@@ -1,0 +1,83 @@
+// Copyright 2026 The skewsearch Authors.
+// Shared console-table helpers for the paper-reproduction benches.
+
+#ifndef SKEWSEARCH_BENCH_BENCH_UTIL_H_
+#define SKEWSEARCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace skewsearch::bench {
+
+/// Prints a "== title ==" banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints an indented free-text note.
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// \brief Minimal fixed-width table printer.
+///
+/// Columns are sized to the widest cell. Use AddRow with pre-formatted
+/// strings (see Fmt below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf(" ");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    size_t total = widths.size() + 1;
+    for (size_t w : widths) total += w + 1;
+    std::printf(" %s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into a std::string.
+inline std::string Fmt(double value, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+/// Integer formatting.
+inline std::string Fmt(size_t value) { return std::to_string(value); }
+inline std::string Fmt(int value) { return std::to_string(value); }
+
+/// Scientific notation for tiny values.
+inline std::string FmtSci(double value, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+}  // namespace skewsearch::bench
+
+#endif  // SKEWSEARCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Microbenchmarks: hashing primitives (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "hashing/mix.h"
+#include "hashing/pairwise.h"
+#include "hashing/path_hasher.h"
+#include "hashing/tabulation.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_Avalanche64(benchmark::State& state) {
+  uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = Avalanche64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Avalanche64);
+
+void BM_MixPair(benchmark::State& state) {
+  uint64_t a = 0x1234, b = 0x9876;
+  for (auto _ : state) {
+    a = MixPair(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MixPair);
+
+void BM_PairwiseHash(benchmark::State& state) {
+  Rng rng(1);
+  PairwiseHash hash(&rng);
+  uint64_t x = 777;
+  for (auto _ : state) {
+    x = hash.HashInt(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_PairwiseHash);
+
+void BM_TabulationHash(benchmark::State& state) {
+  Rng rng(1);
+  TabulationHash hash(&rng);
+  uint64_t x = 777;
+  for (auto _ : state) {
+    x = hash.Hash(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_PathHasherLevelDraw(benchmark::State& state) {
+  PathHasher hasher(42, 32, state.range(0) == 0 ? HashEngine::kMixer
+                                                : HashEngine::kPairwise);
+  uint64_t key = hasher.RootKey(0);
+  uint32_t item = 0;
+  for (auto _ : state) {
+    double draw = hasher.LevelDraw(1 + (item % 31), key, item);
+    benchmark::DoNotOptimize(draw);
+    key += 0x9e3779b97f4a7c15ULL;
+    ++item;
+  }
+}
+BENCHMARK(BM_PathHasherLevelDraw)->Arg(0)->Arg(1);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_RngGeometricSkips(benchmark::State& state) {
+  Rng rng(7);
+  double p = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextGeometricSkips(p));
+  }
+}
+BENCHMARK(BM_RngGeometricSkips)->Arg(10)->Arg(1000);
+
+}  // namespace
+}  // namespace skewsearch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Microbenchmarks: end-to-end index operations — filter generation, build
+// throughput, and query latency for the paper's index and the baselines.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/chosen_path.h"
+#include "baselines/prefix_filter.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+struct Fixture {
+  ProductDistribution dist;
+  Dataset data;
+  SkewedPathIndex index;
+  CorrelatedQuerySampler sampler;
+
+  static Fixture& Get() {
+    static Fixture* fixture = [] {
+      auto f = new Fixture();
+      return f;
+    }();
+    return *fixture;
+  }
+
+  Fixture()
+      : dist(TwoBlockProbabilities(150, 0.25, 10000, 0.005).value()),
+        sampler(&dist, 0.7) {
+    Rng rng(1);
+    data = GenerateDataset(dist, 2048, &rng);
+    SkewedIndexOptions options;
+    options.mode = IndexMode::kCorrelated;
+    options.alpha = 0.7;
+    options.repetitions = 8;
+    options.delta = 0.1;
+    index.Build(&data, &dist, options).ok();
+  }
+};
+
+void BM_ComputeFilterKeys(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(2);
+  SparseVector x = f.dist.Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.ComputeFilterKeys(x.span()));
+  }
+}
+BENCHMARK(BM_ComputeFilterKeys);
+
+void BM_SkewedIndexQuery(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(3);
+  SparseVector q =
+      f.sampler.SampleCorrelated(f.data.Get(17), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.Query(q.span()));
+  }
+}
+BENCHMARK(BM_SkewedIndexQuery);
+
+void BM_SkewedIndexBuild(benchmark::State& state) {
+  auto dist = TwoBlockProbabilities(100, 0.25, 4000, 0.005).value();
+  Rng rng(4);
+  Dataset data = GenerateDataset(dist, static_cast<size_t>(state.range(0)),
+                                 &rng);
+  for (auto _ : state) {
+    SkewedPathIndex index;
+    SkewedIndexOptions options;
+    options.mode = IndexMode::kCorrelated;
+    options.alpha = 0.7;
+    options.repetitions = 4;
+    options.delta = 0.1;
+    benchmark::DoNotOptimize(index.Build(&data, &dist, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SkewedIndexBuild)->Arg(256)->Arg(1024)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PrefixFilterQuery(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  PrefixFilterIndex prefix;
+  PrefixFilterOptions options;
+  options.b1 = 0.5;
+  if (!prefix.Build(&f.data, options).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(5);
+  SparseVector q = f.sampler.SampleCorrelated(f.data.Get(17), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prefix.Query(q.span()));
+  }
+}
+BENCHMARK(BM_PrefixFilterQuery);
+
+void BM_ChosenPathQuery(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ChosenPathIndex cp;
+  ChosenPathOptions options;
+  options.b1 = 0.6;
+  options.b2 = 0.15;
+  options.repetitions = 8;
+  options.verify_threshold = 0.5;
+  if (!cp.Build(&f.data, &f.dist, options).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(6);
+  SparseVector q = f.sampler.SampleCorrelated(f.data.Get(17), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cp.Query(q.span()));
+  }
+}
+BENCHMARK(BM_ChosenPathQuery);
+
+void BM_DistributionSample(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dist.Sample(&rng));
+  }
+}
+BENCHMARK(BM_DistributionSample);
+
+}  // namespace
+}  // namespace skewsearch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks: intersection kernels and similarity measures.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "data/sparse_vector.h"
+#include "sim/intersect.h"
+#include "sim/measures.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+std::vector<ItemId> MakeSorted(size_t count, ItemId universe, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ItemId> ids;
+  ids.reserve(count);
+  while (ids.size() < count) {
+    ids.push_back(static_cast<ItemId>(rng.NextBounded(universe)));
+  }
+  SparseVector v = SparseVector::FromIds(std::move(ids));
+  return v.ids();
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSizeMerge(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectMerge)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IntersectGallopingAsymmetric(benchmark::State& state) {
+  auto a = MakeSorted(32, 1 << 20, 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSizeGalloping(a, b));
+  }
+}
+BENCHMARK(BM_IntersectGallopingAsymmetric)->Arg(1024)->Arg(16384);
+
+void BM_IntersectAutoAsymmetric(benchmark::State& state) {
+  auto a = MakeSorted(32, 1 << 20, 1);
+  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSize(a, b));
+  }
+}
+BENCHMARK(BM_IntersectAutoAsymmetric)->Arg(1024)->Arg(16384);
+
+void BM_BraunBlanquet(benchmark::State& state) {
+  auto a = MakeSorted(256, 1 << 16, 3);
+  auto b = MakeSorted(256, 1 << 16, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BraunBlanquet(a, b));
+  }
+}
+BENCHMARK(BM_BraunBlanquet);
+
+}  // namespace
+}  // namespace skewsearch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// End-to-end exponent validation (Theorems 1-2, no single figure in the
+// paper): measures query cost against n for our index and all three
+// baselines on a skewed two-block distribution with alpha-correlated
+// queries, fits rho-hat on the log-log curve, and compares with the
+// analytic exponents. Also reports recall so the cost numbers are
+// comparable at equal quality.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/chosen_path.h"
+#include "baselines/minhash_lsh.h"
+#include "baselines/prefix_filter.h"
+#include "bench_util.h"
+#include "core/rho.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "sim/measures.h"
+#include "stats/exponent_fit.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+using bench::Fmt;
+
+struct Series {
+  std::vector<double> ns;
+  std::vector<double> cost;
+  double recall_sum = 0.0;
+  int recall_count = 0;
+
+  void Add(double n, double c, double recall) {
+    ns.push_back(n);
+    cost.push_back(c + 1.0);
+    recall_sum += recall;
+    recall_count++;
+  }
+  double AvgRecall() const {
+    return recall_count > 0 ? recall_sum / recall_count : 0.0;
+  }
+  double Exponent() const {
+    auto fit = FitPowerLaw(ns, cost);
+    return fit.ok() ? fit->exponent : -99.0;
+  }
+};
+
+void Run() {
+  const double alpha = 2.0 / 3.0;
+  // Fig-1 style skew: m = 60, half the mass at p = 1/4, half at p/32.
+  auto dist = TwoBlockProbabilities(120, 0.25, 3840, 0.25 / 32).value();
+
+  double rho_ours = CorrelatedRho(dist, alpha).value();
+  double b1 = ExpectedCorrelatedSimilarity(dist, alpha);
+  double b2 = ExpectedUncorrelatedSimilarity(dist);
+  double rho_cp = ChosenPathRho(b1, b2);
+
+  bench::Banner("Scaling: analytic exponents for this instance");
+  bench::Note("distribution: 120 dims at 0.25 + 3840 at 0.0078 (m = 60)");
+  std::printf("  ours (Theorem 1): rho = %.3f | chosen path: rho = %.3f | "
+              "minhash (rho = ln j1/ln j2): %.3f | brute force: 1.0\n",
+              rho_ours, rho_cp,
+              ChosenPathRho(BraunBlanquetToJaccardEquivalent(b1),
+                            BraunBlanquetToJaccardEquivalent(b2)));
+
+  bench::Banner("Scaling: measured candidates/query vs n");
+  Series ours_series, cp_series, mh_series, prefix_series, brute_series;
+  bench::Table table({"n", "ours", "chosen path", "minhash", "prefix",
+                      "brute", "recall(ours/cp/mh/pf)"});
+  for (size_t n : {512, 1024, 2048, 4096, 8192}) {
+    Rng rng(0x5ca1e + n);
+    Dataset data = GenerateDataset(dist, n, &rng);
+
+    SkewedPathIndex ours;
+    SkewedIndexOptions our_options;
+    our_options.mode = IndexMode::kCorrelated;
+    our_options.alpha = alpha;
+    our_options.repetitions = 8;
+    our_options.delta = 0.05;
+    if (!ours.Build(&data, &dist, our_options).ok()) continue;
+
+    ChosenPathIndex cp;
+    ChosenPathOptions cp_options;
+    cp_options.b1 = b1;
+    cp_options.b2 = b2 * 1.5;
+    cp_options.repetitions = 8;
+    cp_options.verify_threshold = alpha / 1.3;
+    if (!cp.Build(&data, &dist, cp_options).ok()) continue;
+
+    MinHashLsh minhash;
+    MinHashOptions mh_options;
+    mh_options.j1 = BraunBlanquetToJaccardEquivalent(b1);
+    mh_options.j2 = BraunBlanquetToJaccardEquivalent(b2) * 1.5;
+    mh_options.verify_measure = Measure::kBraunBlanquet;
+    mh_options.verify_threshold = alpha / 1.3;
+    if (!minhash.Build(&data, mh_options).ok()) continue;
+
+    PrefixFilterIndex prefix;
+    PrefixFilterOptions prefix_options;
+    prefix_options.b1 = alpha / 1.3;
+    if (!prefix.Build(&data, prefix_options).ok()) continue;
+
+    CorrelatedQuerySampler sampler(&dist, alpha);
+    const int kQueries = 60;
+    double oc = 0, cc = 0, mc = 0, pc = 0;
+    int of = 0, cf = 0, mf = 0, pf = 0;
+    for (int t = 0; t < kQueries; ++t) {
+      VectorId target = static_cast<VectorId>(rng.NextBounded(n));
+      SparseVector q = sampler.SampleCorrelated(data.Get(target), &rng);
+      QueryStats s;
+      auto h = ours.Query(q.span(), &s);
+      of += (h && h->id == target);
+      oc += static_cast<double>(s.candidates);
+      h = cp.Query(q.span(), &s);
+      cf += (h && h->id == target);
+      cc += static_cast<double>(s.candidates);
+      h = minhash.Query(q.span(), &s);
+      mf += (h && h->id == target);
+      mc += static_cast<double>(s.candidates);
+      h = prefix.Query(q.span(), &s);
+      pf += (h && h->id == target);
+      pc += static_cast<double>(s.candidates);
+    }
+    double nq = kQueries;
+    ours_series.Add(static_cast<double>(n), oc / nq, of / nq);
+    cp_series.Add(static_cast<double>(n), cc / nq, cf / nq);
+    mh_series.Add(static_cast<double>(n), mc / nq, mf / nq);
+    prefix_series.Add(static_cast<double>(n), pc / nq, pf / nq);
+    brute_series.Add(static_cast<double>(n), static_cast<double>(n), 1.0);
+    table.AddRow({Fmt(n), Fmt(oc / nq, 1), Fmt(cc / nq, 1), Fmt(mc / nq, 1),
+                  Fmt(pc / nq, 1), Fmt(static_cast<size_t>(n)),
+                  Fmt(of / nq, 2) + "/" + Fmt(cf / nq, 2) + "/" +
+                      Fmt(mf / nq, 2) + "/" + Fmt(pf / nq, 2)});
+  }
+  table.Print();
+
+  bench::Banner("Fitted exponents vs analytic");
+  bench::Table fits({"method", "analytic rho", "measured rho_hat",
+                     "avg recall"});
+  fits.AddRow({"ours", Fmt(rho_ours, 3), Fmt(ours_series.Exponent(), 3),
+               Fmt(ours_series.AvgRecall(), 2)});
+  fits.AddRow({"chosen path", Fmt(rho_cp, 3), Fmt(cp_series.Exponent(), 3),
+               Fmt(cp_series.AvgRecall(), 2)});
+  fits.AddRow({"minhash", "~" + Fmt(ChosenPathRho(
+                                        BraunBlanquetToJaccardEquivalent(b1),
+                                        BraunBlanquetToJaccardEquivalent(b2)),
+                                    3),
+               Fmt(mh_series.Exponent(), 3), Fmt(mh_series.AvgRecall(), 2)});
+  fits.AddRow({"prefix filter", "1 (no guarantee)",
+               Fmt(prefix_series.Exponent(), 3),
+               Fmt(prefix_series.AvgRecall(), 2)});
+  fits.AddRow({"brute force", "1.000", Fmt(brute_series.Exponent(), 3),
+               "1.00"});
+  fits.Print();
+  bench::Note("expected shape: rho_hat(ours) < rho_hat(chosen path) <");
+  bench::Note("rho_hat(minhash); prefix near-linear on this Theta(1)-");
+  bench::Note("probability instance; measured exponents carry the delta");
+  bench::Note("boost and O(n^eps) slack of Theorems 1-2, so bands not");
+  bench::Note("exact values are compared.");
+}
+
+}  // namespace
+}  // namespace skewsearch
+
+int main() {
+  skewsearch::Run();
+  return 0;
+}

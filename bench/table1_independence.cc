@@ -1,0 +1,89 @@
+// Reproduces Table 1 of the paper: for each dataset, the ratio between the
+// expected observed co-occurrence E_I[Pr_x(forall j in I: x_j = 1)] and the
+// independence prediction E_I[prod_{j in I} p_j], for random item subsets
+// of size |I| = 2 and 3.
+//
+// SUBSTITUTION: synthetic stand-ins replace the original datasets
+// (DESIGN.md §5). Profiles the paper found near-independent are generated
+// from a product distribution (ratio ~ 1); the four strongly dependent
+// ones (KOSARAK, NETFLIX, ORKUT, SPOTIFY) carry a topic-model component
+// whose strength was chosen to reproduce the paper's qualitative ordering
+// (ratios > 1, growing with |I|, SPOTIFY the most extreme).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/mann_profiles.h"
+#include "stats/independence.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double ratio2;
+  double ratio3;
+};
+
+// Values from the paper's Table 1.
+constexpr PaperRow kPaperTable[] = {
+    {"AOL", 1.2, 3.9},          {"BMS-POS", 1.5, 3.9},
+    {"DBLP", 1.4, 2.3},         {"ENRON", 2.9, 21.8},
+    {"FLICKR", 1.7, 4.9},       {"KOSARAK", 7.1, 269.4},
+    {"LIVEJOURNAL", 2.3, 7.3},  {"NETFLIX", 3.1, 24.0},
+    {"ORKUT", 4.0, 37.9},       {"SPOTIFY", 24.7, 6022.1},
+};
+
+void Run() {
+  using bench::Fmt;
+  bench::Banner("Table 1: independence ratios, |I| = 2 and |I| = 3");
+  Rng rng(0x7ab1e1);
+
+  bench::Table table({"dataset", "paper |I|=2", "ours |I|=2", "paper |I|=3",
+                      "ours |I|=3", "class"});
+  bool ordering_ok = true;
+  double spotify2 = 0.0, max_other2 = 0.0;
+  for (const PaperRow& row : kPaperTable) {
+    auto spec = FindMannProfile(row.name).value();
+    spec.n = std::min<size_t>(spec.n, 6000);
+    auto inst = BuildMannInstance(spec, &rng);
+    if (!inst.ok()) continue;
+    auto r2 = ExactIndependenceRatio(inst->data, 2);
+    auto r3 = ExactIndependenceRatio(inst->data, 3);
+    double v2 = r2.ok() ? r2->ratio : -1.0;
+    double v3 = r3.ok() ? r3->ratio : -1.0;
+    bool dependent = spec.topic_strength > 0.0;
+    if (dependent && v3 < v2) ordering_ok = false;
+    if (spec.name == "SPOTIFY") {
+      spotify2 = v2;
+    } else {
+      max_other2 = std::max(max_other2, v2);
+    }
+    table.AddRow({row.name, Fmt(row.ratio2, 1), Fmt(v2, 2),
+                  Fmt(row.ratio3, 1), Fmt(v3, 2),
+                  dependent ? "dependent (topic model)" : "independent"});
+  }
+  table.Print();
+
+  bench::Banner("Shape check vs paper");
+  bench::Note("paper: all ratios >= 1; dependent datasets have |I|=3 ratio");
+  bench::Note(">> |I|=2 ratio; SPOTIFY is the most extreme at |I|=2.");
+  std::printf("  measured: |I|=3 > |I|=2 on all dependent stand-ins: %s\n",
+              ordering_ok ? "MATCHES" : "MISMATCH");
+  std::printf("  measured: SPOTIFY |I|=2 ratio (%.2f) is the largest "
+              "(next: %.2f): %s\n",
+              spotify2, max_other2,
+              spotify2 > max_other2 ? "MATCHES" : "MISMATCH");
+  bench::Note("absolute values depend on the real datasets' hidden");
+  bench::Note("co-occurrence structure and are not expected to match;");
+  bench::Note("the independent/dependent split and the ordering are.");
+}
+
+}  // namespace
+}  // namespace skewsearch
+
+int main() {
+  skewsearch::Run();
+  return 0;
+}

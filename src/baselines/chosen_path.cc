@@ -1,0 +1,150 @@
+#include "baselines/chosen_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sim/measures.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+Status ChosenPathIndex::Build(const Dataset* data,
+                              const ProductDistribution* dist,
+                              const ChosenPathOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (options.b1 <= 0.0 || options.b1 >= 1.0 || options.b2 <= 0.0 ||
+      options.b2 >= options.b1) {
+    return Status::InvalidArgument("need 0 < b2 < b1 < 1");
+  }
+
+  Timer timer;
+  data_ = data;
+  options_ = options;
+  const size_t n = data->size();
+  const double log_n = std::log(static_cast<double>(n));
+  depth_ = std::max(1, static_cast<int>(
+                           std::ceil(log_n / std::log(1.0 / options.b2))));
+  verify_threshold_ =
+      options.verify_threshold >= 0.0 ? options.verify_threshold : options.b1;
+
+  int reps = options.repetitions;
+  if (reps <= 0) {
+    reps = static_cast<int>(
+        std::ceil(options.repetition_boost * std::max(1.0, log_n)));
+  }
+
+  policy_ = std::make_unique<ClassicChosenPathPolicy>(options.b1);
+  hasher_ = std::make_unique<PathHasher>(options.seed, depth_ + 1,
+                                         options.hash_engine);
+  PathEngineOptions engine_options;
+  engine_options.stop_rule = StopRule::kFixedDepth;
+  engine_options.fixed_depth = depth_;
+  engine_options.max_depth = depth_ + 1;
+  engine_options.max_paths = options.max_paths_per_element;
+  engine_options.without_replacement = false;  // classic CP replaces
+  engine_ = std::make_unique<PathEngine>(dist, policy_.get(), hasher_.get(),
+                                         engine_options);
+
+  build_stats_ = IndexBuildStats{};
+  build_stats_.repetitions = reps;
+  table_ = FilterTable();
+  std::vector<uint64_t> keys;
+  for (VectorId id = 0; id < n; ++id) {
+    auto x = data->Get(id);
+    for (int rep = 0; rep < reps; ++rep) {
+      keys.clear();
+      PathGenStats gen;
+      engine_->ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
+      build_stats_.nodes_expanded += gen.nodes_expanded;
+      if (gen.cap_hit) build_stats_.cap_hits++;
+      for (uint64_t key : keys) table_.Add(key, id);
+      build_stats_.total_filters += keys.size();
+    }
+  }
+  table_.Freeze();
+  build_stats_.distinct_keys = table_.num_keys();
+  build_stats_.avg_filters_per_element =
+      static_cast<double>(build_stats_.total_filters) /
+      (static_cast<double>(n) * std::max(1, reps));
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::optional<Match> ChosenPathIndex::Query(std::span<const ItemId> query,
+                                            QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::optional<Match> found;
+  if (engine_ != nullptr && !query.empty()) {
+    std::vector<uint64_t> keys;
+    std::unordered_set<VectorId> seen;
+    for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
+      keys.clear();
+      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                              nullptr);
+      local.filters += keys.size();
+      for (uint64_t key : keys) {
+        auto postings = table_.Lookup(key);
+        local.candidates += postings.size();
+        for (VectorId id : postings) {
+          if (!seen.insert(id).second) continue;
+          local.verifications++;
+          double sim = BraunBlanquet(query, data_->Get(id));
+          if (sim >= verify_threshold_) {
+            found = Match{id, sim};
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+    local.distinct_candidates = seen.size();
+  }
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return found;
+}
+
+std::vector<Match> ChosenPathIndex::QueryAll(std::span<const ItemId> query,
+                                             double threshold,
+                                             QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::vector<Match> out;
+  if (engine_ != nullptr && !query.empty()) {
+    std::vector<uint64_t> keys;
+    std::unordered_set<VectorId> seen;
+    for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
+      keys.clear();
+      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                              nullptr);
+      local.filters += keys.size();
+      for (uint64_t key : keys) {
+        auto postings = table_.Lookup(key);
+        local.candidates += postings.size();
+        for (VectorId id : postings) {
+          if (!seen.insert(id).second) continue;
+          local.verifications++;
+          double sim = BraunBlanquet(query, data_->Get(id));
+          if (sim >= threshold) out.push_back({id, sim});
+        }
+      }
+    }
+    local.distinct_candidates = seen.size();
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace skewsearch

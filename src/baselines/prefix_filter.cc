@@ -1,0 +1,174 @@
+#include "baselines/prefix_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "sim/measures.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+namespace {
+
+// Minimum overlap implied by B(x, q) >= b1 for a vector of size `size`
+// paired with anything at least as large: o >= ceil(b1 * size).
+size_t MinOverlap(double b1, size_t size) {
+  return static_cast<size_t>(
+      std::ceil(b1 * static_cast<double>(size) - 1e-9));
+}
+
+// Prefix length |x| - o + 1 clamped into [1, |x|] (0 for empty vectors).
+size_t PrefixLength(double b1, size_t size) {
+  if (size == 0) return 0;
+  size_t o = std::max<size_t>(1, MinOverlap(b1, size));
+  if (o >= size) return 1;
+  return size - o + 1;
+}
+
+}  // namespace
+
+Status PrefixFilterIndex::Build(const Dataset* data,
+                                const PrefixFilterOptions& options) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("data must be non-null");
+  }
+  if (options.b1 <= 0.0 || options.b1 > 1.0) {
+    return Status::InvalidArgument("b1 must be in (0, 1]");
+  }
+  data_ = data;
+  options_ = options;
+  const size_t d = data->dimension();
+
+  // Global order: ascending document frequency, ties by item id.
+  std::vector<uint32_t> counts(d, 0);
+  for (VectorId id = 0; id < data->size(); ++id) {
+    for (ItemId item : data->Get(id)) counts[item]++;
+  }
+  rank_to_item_.resize(d);
+  std::iota(rank_to_item_.begin(), rank_to_item_.end(), 0);
+  std::sort(rank_to_item_.begin(), rank_to_item_.end(),
+            [&](ItemId a, ItemId b) {
+              if (counts[a] != counts[b]) return counts[a] < counts[b];
+              return a < b;
+            });
+  rank_.resize(d);
+  for (size_t r = 0; r < d; ++r) rank_[rank_to_item_[r]] = static_cast<uint32_t>(r);
+
+  // Index each vector's prefix (its rarest tokens) into per-rank lists.
+  std::vector<uint32_t> sizes(d, 0);
+  std::vector<std::pair<uint32_t, VectorId>> entries;
+  for (VectorId id = 0; id < data->size(); ++id) {
+    auto ids = data->Get(id);
+    std::vector<ItemId> by_rank = RankSorted(ids);
+    size_t len = PrefixLength(options.b1, by_rank.size());
+    for (size_t k = 0; k < len; ++k) {
+      entries.push_back({rank_[by_rank[k]], id});
+    }
+  }
+  for (const auto& [r, id] : entries) sizes[r]++;
+  posting_offsets_.assign(d + 1, 0);
+  for (size_t r = 0; r < d; ++r) {
+    posting_offsets_[r + 1] = posting_offsets_[r] + sizes[r];
+  }
+  postings_.resize(entries.size());
+  std::vector<uint32_t> cursor(posting_offsets_.begin(),
+                               posting_offsets_.end() - 1);
+  for (const auto& [r, id] : entries) {
+    postings_[cursor[r]++] = id;
+  }
+  return Status::OK();
+}
+
+size_t PrefixFilterIndex::TokenRank(ItemId item) const {
+  return rank_[item];
+}
+
+std::vector<ItemId> PrefixFilterIndex::RankSorted(
+    std::span<const ItemId> ids) const {
+  std::vector<ItemId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
+    return rank_[a] < rank_[b];
+  });
+  return out;
+}
+
+std::vector<Match> PrefixFilterIndex::QueryAll(std::span<const ItemId> query,
+                                               QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::vector<Match> out;
+  if (data_ != nullptr && !query.empty()) {
+    const double b1 = options_.b1;
+    const size_t q_size = query.size();
+    std::vector<ItemId> by_rank = RankSorted(query);
+    size_t len = PrefixLength(b1, q_size);
+    local.filters = len;
+    std::unordered_set<VectorId> seen;
+    for (size_t k = 0; k < len; ++k) {
+      uint32_t r = rank_[by_rank[k]];
+      for (uint32_t idx = posting_offsets_[r]; idx < posting_offsets_[r + 1];
+           ++idx) {
+        VectorId id = postings_[idx];
+        local.candidates++;
+        if (!seen.insert(id).second) continue;
+        // Size filter: B >= b1 forces b1 |q| <= |x| <= |q| / b1.
+        size_t x_size = data_->SizeOf(id);
+        double xs = static_cast<double>(x_size);
+        double qs = static_cast<double>(q_size);
+        if (xs < b1 * qs - 1e-9 || xs > qs / b1 + 1e-9) continue;
+        local.verifications++;
+        double sim = BraunBlanquet(query, data_->Get(id));
+        if (sim >= b1) out.push_back({id, sim});
+      }
+    }
+    local.distinct_candidates = seen.size();
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<JoinPair> PrefixFilterIndex::SelfJoin(QueryStats* stats) const {
+  QueryStats total;
+  std::vector<JoinPair> out;
+  if (data_ != nullptr) {
+    for (VectorId id = 0; id < data_->size(); ++id) {
+      QueryStats qs;
+      auto matches = QueryAll(data_->Get(id), &qs);
+      total.filters += qs.filters;
+      total.candidates += qs.candidates;
+      total.verifications += qs.verifications;
+      for (const Match& m : matches) {
+        if (m.id > id) out.push_back({id, m.id, m.similarity});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+std::optional<Match> PrefixFilterIndex::Query(std::span<const ItemId> query,
+                                              QueryStats* stats) const {
+  auto all = QueryAll(query, stats);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+size_t PrefixFilterIndex::MemoryBytes() const {
+  return rank_.capacity() * sizeof(uint32_t) +
+         rank_to_item_.capacity() * sizeof(ItemId) +
+         posting_offsets_.capacity() * sizeof(uint32_t) +
+         postings_.capacity() * sizeof(VectorId);
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,293 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "core/similarity_join.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/estimate.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "data/mann_profiles.h"
+#include "stats/independence.h"
+#include "stats/skew_profile.h"
+#include "util/random.h"
+
+namespace skewsearch {
+
+namespace {
+
+constexpr char kUsage[] = R"(skewsearch_cli — set similarity search for skewed data
+
+Usage: skewsearch_cli <command> [--flag value]...
+
+Commands:
+  generate --kind uniform|twoblock|zipf|harmonic --n N --d N --out FILE
+           [--p X] [--p2 X] [--d2 N] [--exp X] [--avg X] [--seed S] [--binary]
+  mann     --name NAME --out FILE [--n N] [--seed S] [--binary]
+  profile  --in FILE [--binary]
+  independence --in FILE [--binary]
+  query-bench --in FILE --alpha A [--queries N] [--seed S] [--binary]
+  selfjoin --in FILE --b1 X [--seed S] [--binary]
+  help
+)";
+
+/// Parsed "--key value" flags.
+class Flags {
+ public:
+  static std::optional<Flags> Parse(const std::vector<std::string>& args,
+                                    size_t start) {
+    Flags flags;
+    for (size_t i = start; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+        return std::nullopt;
+      }
+      std::string key = arg.substr(2);
+      if (key == "binary") {  // boolean flag
+        flags.values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        return std::nullopt;
+      }
+      flags.values_[key] = args[++i];
+    }
+    return flags;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  // Numeric getters fall back (with a warning) on malformed values rather
+  // than throwing out of main.
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "warning: --%s '%s' is not a number; using %g\n",
+                   key.c_str(), it->second.c_str(), fallback);
+      return fallback;
+    }
+    return value;
+  }
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr,
+                   "warning: --%s '%s' is not an integer; using %llu\n",
+                   key.c_str(), it->second.c_str(),
+                   static_cast<unsigned long long>(fallback));
+      return fallback;
+    }
+    return static_cast<uint64_t>(value);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Dataset> LoadDataset(const Flags& flags) {
+  std::string path = flags.Get("in", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--in FILE is required");
+  }
+  return flags.Has("binary") ? ReadBinary(path) : ReadTransactions(path);
+}
+
+Status SaveDataset(const Dataset& data, const Flags& flags) {
+  std::string path = flags.Get("out", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--out FILE is required");
+  }
+  return flags.Has("binary") ? WriteBinary(data, path)
+                             : WriteTransactions(data, path);
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string kind = flags.Get("kind", "zipf");
+  size_t n = flags.GetUint("n", 10000);
+  size_t d = flags.GetUint("d", 10000);
+  Result<ProductDistribution> dist = Status::InvalidArgument("unset");
+  if (kind == "uniform") {
+    dist = UniformProbabilities(d, flags.GetDouble("p", 0.1));
+  } else if (kind == "twoblock") {
+    size_t d2 = flags.GetUint("d2", d);
+    dist = TwoBlockProbabilities(d, flags.GetDouble("p", 0.25), d2,
+                                 flags.GetDouble("p2", 0.01));
+  } else if (kind == "zipf") {
+    dist = ZipfProbabilities(d, flags.GetDouble("exp", 1.0),
+                             flags.GetDouble("p", 0.5));
+  } else if (kind == "harmonic") {
+    dist = HarmonicProbabilities(d);
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  if (!dist.ok()) return Fail(dist.status());
+  if (flags.Has("avg")) {
+    dist = ScaleToAverageSize(*dist, flags.GetDouble("avg", 10.0));
+    if (!dist.ok()) return Fail(dist.status());
+  }
+  Rng rng(flags.GetUint("seed", 1));
+  Dataset data = GenerateDataset(*dist, n, &rng);
+  Status s = SaveDataset(data, flags);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu vectors (d=%zu, avg |x| = %.2f) to %s\n",
+              data.size(), data.dimension(), data.AverageSize(),
+              flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdMann(const Flags& flags) {
+  auto spec = FindMannProfile(flags.Get("name", ""));
+  if (!spec.ok()) return Fail(spec.status());
+  MannProfileSpec profile = *spec;
+  if (flags.Has("n")) profile.n = flags.GetUint("n", profile.n);
+  Rng rng(flags.GetUint("seed", 1));
+  auto inst = BuildMannInstance(profile, &rng);
+  if (!inst.ok()) return Fail(inst.status());
+  Status s = SaveDataset(inst->data, flags);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s stand-in: %zu vectors, d=%zu, avg |x| = %.2f\n",
+              profile.name.c_str(), inst->data.size(),
+              inst->data.dimension(), inst->data.AverageSize());
+  return 0;
+}
+
+int CmdProfile(const Flags& flags) {
+  auto data = LoadDataset(flags);
+  if (!data.ok()) return Fail(data.status());
+  SkewProfile profile = ComputeSkewProfile(*data);
+  std::printf("n = %zu, d = %zu, avg |x| = %.2f, distinct items = %zu\n",
+              data->size(), data->dimension(), data->AverageSize(),
+              profile.frequencies.size());
+  std::printf("fitted Zipf exponent = %.3f\n", FitZipfExponent(profile));
+  std::printf("log-rank skew profile (x = log_d j, y = 1 + log_n p_j):\n");
+  for (const ProfilePoint& pt : LogAxisSeries(profile, 12)) {
+    std::printf("  %.3f  %.3f\n", pt.x, pt.y);
+  }
+  return 0;
+}
+
+int CmdIndependence(const Flags& flags) {
+  auto data = LoadDataset(flags);
+  if (!data.ok()) return Fail(data.status());
+  for (size_t k : {1u, 2u, 3u}) {
+    auto est = ExactIndependenceRatio(*data, k);
+    if (!est.ok()) return Fail(est.status());
+    std::printf("|I| = %zu: ratio = %.3f (observed %.3e, independent "
+                "prediction %.3e)\n",
+                k, est->ratio, est->expected_observed,
+                est->expected_product);
+  }
+  return 0;
+}
+
+int CmdQueryBench(const Flags& flags) {
+  auto data = LoadDataset(flags);
+  if (!data.ok()) return Fail(data.status());
+  double alpha = flags.GetDouble("alpha", 0.7);
+  auto dist = EstimateFrequencies(*data);
+  if (!dist.ok()) return Fail(dist.status());
+
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = alpha;
+  options.seed = flags.GetUint("seed", 1);
+  Status s = index.Build(&*data, &*dist, options);
+  if (!s.ok()) return Fail(s);
+  std::printf("index: %d repetitions, %.1f filters/element, %.1f MB, "
+              "built in %.2fs\n",
+              index.repetitions(),
+              index.build_stats().avg_filters_per_element,
+              static_cast<double>(index.MemoryBytes()) / 1e6,
+              index.build_stats().build_seconds);
+
+  CorrelatedQuerySampler sampler(&*dist, alpha);
+  Rng rng(flags.GetUint("seed", 1) ^ 0xabcdef);
+  const size_t queries = flags.GetUint("queries", 100);
+  size_t found = 0, candidates = 0;
+  double seconds = 0;
+  for (size_t t = 0; t < queries; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data->size()));
+    SparseVector q = sampler.SampleCorrelated(data->Get(target), &rng);
+    QueryStats stats;
+    auto hit = index.Query(q.span(), &stats);
+    found += (hit && hit->id == target);
+    candidates += stats.candidates;
+    seconds += stats.seconds;
+  }
+  std::printf("queries: %zu, recall %.2f, %.1f candidates/query, "
+              "%.1f us/query\n",
+              queries, static_cast<double>(found) / queries,
+              static_cast<double>(candidates) / queries,
+              1e6 * seconds / queries);
+  return 0;
+}
+
+int CmdSelfJoin(const Flags& flags) {
+  auto data = LoadDataset(flags);
+  if (!data.ok()) return Fail(data.status());
+  double b1 = flags.GetDouble("b1", 0.7);
+  auto dist = EstimateFrequencies(*data);
+  if (!dist.ok()) return Fail(dist.status());
+
+  JoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = b1;
+  options.index.seed = flags.GetUint("seed", 1);
+  options.threshold = b1;
+  JoinStats stats;
+  auto pairs = SelfSimilarityJoin(*data, *dist, options, &stats);
+  if (!pairs.ok()) return Fail(pairs.status());
+  std::printf("self-join at B >= %.2f: %zu pairs (build %.2fs, probe "
+              "%.2fs, %zu candidates)\n",
+              b1, pairs->size(), stats.build_seconds, stats.probe_seconds,
+              stats.candidates);
+  for (size_t k = 0; k < std::min<size_t>(10, pairs->size()); ++k) {
+    const JoinPair& pr = (*pairs)[k];
+    std::printf("  %u ~ %u  (%.3f)\n", pr.left, pr.right, pr.similarity);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    std::printf("%s", kUsage);
+    return args.empty() ? 1 : 0;
+  }
+  auto flags = Flags::Parse(args, 1);
+  if (!flags) return 1;
+  const std::string& command = args[0];
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "mann") return CmdMann(*flags);
+  if (command == "profile") return CmdProfile(*flags);
+  if (command == "independence") return CmdIndependence(*flags);
+  if (command == "query-bench") return CmdQueryBench(*flags);
+  if (command == "selfjoin") return CmdSelfJoin(*flags);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 1;
+}
+
+}  // namespace skewsearch

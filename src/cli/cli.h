@@ -1,0 +1,31 @@
+// Copyright 2026 The skewsearch Authors.
+// Command-line interface, packaged as a library so the binary stays a
+// three-line main() and the command logic is unit-testable.
+//
+// Subcommands:
+//   generate      sample a dataset from a synthetic distribution
+//   mann          materialize one of the Mann-et-al. stand-in datasets
+//   profile       dataset statistics + frequency-skew profile (Figure 2)
+//   independence  exact independence ratios |I| = 1..3 (Table 1)
+//   query-bench   build the index on a dataset file and measure recall /
+//                 candidate cost on correlated queries
+//   selfjoin      similarity self-join of a dataset file
+//
+// Run `skewsearch_cli help` for flags.
+
+#ifndef SKEWSEARCH_CLI_CLI_H_
+#define SKEWSEARCH_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace skewsearch {
+
+/// Executes one CLI invocation. \p args excludes the program name
+/// (e.g. {"generate", "--kind", "zipf", ...}). Output goes to stdout,
+/// errors to stderr. Returns a process exit code (0 on success).
+int RunCli(const std::vector<std::string>& args);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CLI_CLI_H_

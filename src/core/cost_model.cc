@@ -1,0 +1,150 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/rho.h"
+#include "util/math.h"
+
+namespace skewsearch {
+
+namespace {
+
+// Items grouped by probability; the DP is per group, not per dimension.
+struct Group {
+  double p;
+  double count;
+  double log_inv_p;
+};
+
+std::vector<Group> GroupItems(const ProductDistribution& dist) {
+  // Geometric rounding: probabilities within 1% share a group.
+  std::map<int, Group> buckets;
+  for (double p : dist.probabilities()) {
+    int key = static_cast<int>(std::floor(std::log(p) / std::log(1.01)));
+    auto [it, inserted] = buckets.try_emplace(key, Group{p, 0.0, 0.0});
+    it->second.count += 1.0;
+    // Keep the representative probability as a running mean.
+    it->second.p += (p - it->second.p) / it->second.count;
+  }
+  std::vector<Group> groups;
+  groups.reserve(buckets.size());
+  for (auto& [key, group] : buckets) {
+    group.log_inv_p = -std::log(group.p);
+    groups.push_back(group);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<CostPrediction> PredictFilterGeneration(
+    const ProductDistribution& dist, const CostModelOptions& options) {
+  if (options.n < 2) {
+    return Status::InvalidArgument("n must be >= 2");
+  }
+  if (options.budget_bins < 8) {
+    return Status::InvalidArgument("budget_bins must be >= 8");
+  }
+  if (options.mode == IndexMode::kCorrelated &&
+      (options.alpha <= 0.0 || options.alpha > 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (options.mode == IndexMode::kAdversarial &&
+      (options.b1 <= 0.0 || options.b1 >= 1.0)) {
+    return Status::InvalidArgument("b1 must be in (0, 1)");
+  }
+
+  const double log_n = std::log(static_cast<double>(options.n));
+  const double bin_width = log_n / static_cast<double>(options.budget_bins);
+  const double m = dist.SumP();
+  const std::vector<Group> groups = GroupItems(dist);
+
+  // s(i, j) in expectation over x (sizes concentrate at m for large C).
+  auto threshold = [&](const Group& g, int depth) {
+    double s;
+    if (options.mode == IndexMode::kCorrelated) {
+      double p_hat = ConditionalProbability(g.p, options.alpha);
+      double denom = p_hat * m - depth;
+      s = denom <= 1.0 + options.delta ? 1.0
+                                       : (1.0 + options.delta) / denom;
+    } else {
+      double denom = options.b1 * m - depth;
+      s = denom <= 1.0 ? 1.0 : 1.0 / denom;
+    }
+    return Clamp(s, 0.0, 1.0);
+  };
+
+  // live[b] = expected number of live (non-filter) paths whose consumed
+  // budget falls in bin b, at the current depth.
+  std::vector<double> live(options.budget_bins, 0.0);
+  live[0] = 1.0;  // the empty path
+  CostPrediction out;
+  out.filters_by_depth.assign(static_cast<size_t>(options.max_depth) + 1,
+                              0.0);
+
+  for (int depth = 0; depth < options.max_depth; ++depth) {
+    double live_total = 0.0;
+    for (double v : live) live_total += v;
+    if (live_total < 1e-12) break;
+    out.expected_nodes += live_total;
+
+    std::vector<double> next(options.budget_bins, 0.0);
+    for (const Group& g : groups) {
+      // Expected children per live path through this group: an item of
+      // the group is in x w.p. p, and is sampled w.p. s.
+      double weight = g.count * g.p * threshold(g, depth);
+      if (weight <= 0.0) continue;
+      out.expected_draws += live_total * g.count * g.p;
+      size_t shift = static_cast<size_t>(g.log_inv_p / bin_width);
+      for (size_t b = 0; b < options.budget_bins; ++b) {
+        if (live[b] <= 0.0) continue;
+        double mass = live[b] * weight;
+        size_t nb = b + shift;
+        if (nb >= options.budget_bins) {
+          // Budget exhausted: the child is a filter of length depth+1.
+          out.expected_filters += mass;
+          out.filters_by_depth[static_cast<size_t>(depth) + 1] += mass;
+        } else {
+          next[nb] += mass;
+        }
+      }
+    }
+    live.swap(next);
+  }
+
+  double depth_mass = 0.0, depth_weighted = 0.0;
+  for (size_t depth = 0; depth < out.filters_by_depth.size(); ++depth) {
+    depth_mass += out.filters_by_depth[depth];
+    depth_weighted += out.filters_by_depth[depth] *
+                      static_cast<double>(depth);
+  }
+  out.mean_filter_depth = depth_mass > 0.0 ? depth_weighted / depth_mass
+                                           : 0.0;
+  return out;
+}
+
+Result<double> PredictFiltersPerElement(const ProductDistribution& dist,
+                                        const SkewedIndexOptions& options,
+                                        size_t n) {
+  CostModelOptions model;
+  model.mode = options.mode;
+  model.alpha = options.alpha;
+  model.b1 = options.b1;
+  model.n = n;
+  if (options.delta >= 0.0) {
+    model.delta = options.delta;
+  } else {
+    double c_constant = dist.CForN(n);
+    double paper_delta =
+        3.0 / std::sqrt(std::max(1e-9, options.alpha * c_constant));
+    model.delta = options.strict_paper_delta ? paper_delta
+                                             : std::min(paper_delta, 0.3);
+  }
+  auto prediction = PredictFilterGeneration(dist, model);
+  if (!prediction.ok()) return prediction.status();
+  return prediction->expected_filters;
+}
+
+}  // namespace skewsearch

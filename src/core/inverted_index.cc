@@ -1,0 +1,118 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace skewsearch {
+
+namespace {
+
+template <typename T>
+bool WriteVector(std::ostream* out, const std::vector<T>& values) {
+  uint64_t count = values.size();
+  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(*out);
+}
+
+template <typename T>
+bool ReadVector(std::istream* in, std::vector<T>* values) {
+  uint64_t count = 0;
+  in->read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!*in) return false;
+  // Guard absurd sizes against corrupted headers before allocating.
+  if (count > (uint64_t{1} << 40) / sizeof(T)) return false;
+  values->resize(count);
+  in->read(reinterpret_cast<char*>(values->data()),
+           static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(*in);
+}
+
+}  // namespace
+
+void FilterTable::Reserve(size_t expected_pairs) {
+  pairs_.reserve(expected_pairs);
+}
+
+void FilterTable::Add(uint64_t key, VectorId id) {
+  pairs_.push_back({key, id});
+}
+
+void FilterTable::Freeze() {
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const Pair& a, const Pair& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.id < b.id;
+            });
+  keys_.clear();
+  offsets_.clear();
+  ids_.clear();
+  ids_.reserve(pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (i == 0 || pairs_[i].key != pairs_[i - 1].key) {
+      keys_.push_back(pairs_[i].key);
+      offsets_.push_back(static_cast<uint32_t>(ids_.size()));
+    }
+    ids_.push_back(pairs_[i].id);
+  }
+  offsets_.push_back(static_cast<uint32_t>(ids_.size()));
+  pairs_.clear();
+  pairs_.shrink_to_fit();
+}
+
+std::span<const VectorId> FilterTable::Lookup(uint64_t key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return {};
+  size_t idx = static_cast<size_t>(it - keys_.begin());
+  return {ids_.data() + offsets_[idx],
+          static_cast<size_t>(offsets_[idx + 1] - offsets_[idx])};
+}
+
+Status FilterTable::WriteTo(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  if (!WriteVector(out, keys_) || !WriteVector(out, offsets_) ||
+      !WriteVector(out, ids_)) {
+    return Status::IOError("filter table write failed");
+  }
+  return Status::OK();
+}
+
+Status FilterTable::ReadFrom(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  FilterTable fresh;
+  if (!ReadVector(in, &fresh.keys_) || !ReadVector(in, &fresh.offsets_) ||
+      !ReadVector(in, &fresh.ids_)) {
+    return Status::InvalidArgument("truncated or corrupt filter table");
+  }
+  // Structural validation: offsets bracket ids_, keys sorted.
+  if (fresh.offsets_.size() != fresh.keys_.size() + 1 ||
+      (fresh.offsets_.empty() && !fresh.keys_.empty())) {
+    return Status::InvalidArgument("filter table offset/key mismatch");
+  }
+  if (!fresh.offsets_.empty() &&
+      (fresh.offsets_.front() != 0 ||
+       fresh.offsets_.back() != fresh.ids_.size())) {
+    return Status::InvalidArgument("filter table offsets out of range");
+  }
+  for (size_t i = 1; i < fresh.keys_.size(); ++i) {
+    if (fresh.keys_[i - 1] >= fresh.keys_[i]) {
+      return Status::InvalidArgument("filter table keys not sorted");
+    }
+    if (fresh.offsets_[i] < fresh.offsets_[i - 1]) {
+      return Status::InvalidArgument("filter table offsets not monotone");
+    }
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
+size_t FilterTable::MemoryBytes() const {
+  return pairs_.capacity() * sizeof(Pair) +
+         keys_.capacity() * sizeof(uint64_t) +
+         offsets_.capacity() * sizeof(uint32_t) +
+         ids_.capacity() * sizeof(VectorId);
+}
+
+}  // namespace skewsearch

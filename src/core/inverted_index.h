@@ -1,0 +1,70 @@
+// Copyright 2026 The skewsearch Authors.
+// FilterTable: the inverted index from filter keys to posting lists of
+// vector ids ("for each filter f we can look up {x in S : f in F(x)}",
+// Section 3). Shared by the paper's index and the Chosen Path baseline.
+//
+// Built as a flat (key, id) pair list that is sorted once and then frozen
+// into unique keys + offsets + ids. Compared to a hash map this halves
+// memory, is cache-friendly to build, and makes lookups a binary search
+// over the (typically few million) distinct keys.
+
+#ifndef SKEWSEARCH_CORE_INVERTED_INDEX_H_
+#define SKEWSEARCH_CORE_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+/// \brief Frozen multimap from 64-bit filter keys to vector ids.
+class FilterTable {
+ public:
+  /// Pre-allocates for \p expected_pairs (optional).
+  void Reserve(size_t expected_pairs);
+
+  /// Adds one (filter key, vector id) pair. Only valid before Freeze().
+  void Add(uint64_t key, VectorId id);
+
+  /// Sorts and deduplicates keys, building the posting lists. Must be
+  /// called exactly once, after which Add is illegal.
+  void Freeze();
+
+  /// Posting list for \p key (empty when absent). Only valid after
+  /// Freeze().
+  std::span<const VectorId> Lookup(uint64_t key) const;
+
+  /// Number of stored (key, id) pairs.
+  size_t num_pairs() const { return ids_.empty() ? pairs_.size() : ids_.size(); }
+
+  /// Number of distinct keys (0 before Freeze()).
+  size_t num_keys() const { return keys_.size(); }
+
+  /// Approximate heap usage in bytes.
+  size_t MemoryBytes() const;
+
+  /// Serializes the frozen table (keys, offsets, ids) to \p out.
+  /// Only valid after Freeze().
+  Status WriteTo(std::ostream* out) const;
+
+  /// Replaces this table with one read from \p in (already frozen).
+  Status ReadFrom(std::istream* in);
+
+ private:
+  struct Pair {
+    uint64_t key;
+    VectorId id;
+  };
+  std::vector<Pair> pairs_;       // staging; cleared by Freeze()
+  std::vector<uint64_t> keys_;    // sorted distinct keys
+  std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into ids_
+  std::vector<VectorId> ids_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_INVERTED_INDEX_H_

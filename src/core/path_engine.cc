@@ -1,0 +1,106 @@
+#include "core/path_engine.h"
+
+#include <algorithm>
+
+namespace skewsearch {
+
+namespace {
+
+// One node of the recursion forest, stored in a flat arena. Parent links
+// let the without-replacement check walk the (short) ancestor chain instead
+// of storing an item set per node.
+struct Node {
+  uint64_t key;
+  double log_inv_prod;  // sum of ln(1/p_i) along the path
+  int32_t parent;       // index into the arena, -1 for roots
+  ItemId item;          // item appended to create this node
+  int32_t depth;        // path length; 0 for the root (whose item is unused)
+};
+
+bool PathContains(const std::vector<Node>& arena, int32_t node, ItemId item) {
+  // The root (depth 0) carries no item; stop before inspecting it.
+  while (node >= 0 && arena[static_cast<size_t>(node)].depth > 0) {
+    if (arena[static_cast<size_t>(node)].item == item) return true;
+    node = arena[static_cast<size_t>(node)].parent;
+  }
+  return false;
+}
+
+}  // namespace
+
+PathEngine::PathEngine(const ProductDistribution* dist,
+                       const ThresholdPolicy* policy, const PathHasher* hasher,
+                       const PathEngineOptions& options)
+    : dist_(dist), policy_(policy), hasher_(hasher), options_(options) {}
+
+void PathEngine::ComputeFilters(std::span<const ItemId> x, uint32_t rep,
+                                std::vector<uint64_t>* out,
+                                PathGenStats* stats) const {
+  PathGenStats local;
+  if (!x.empty()) {
+    std::vector<Node> arena;
+    arena.reserve(64);
+    std::vector<int32_t> frontier;
+    std::vector<int32_t> next;
+
+    arena.push_back(Node{hasher_->RootKey(rep), 0.0, -1, 0, 0});
+    frontier.push_back(0);
+
+    const size_t vec_size = x.size();
+    bool done = false;
+    while (!frontier.empty() && !done) {
+      next.clear();
+      for (int32_t node_idx : frontier) {
+        // Copy the node: the arena may reallocate while children are added.
+        const Node node = arena[static_cast<size_t>(node_idx)];
+        if (node.depth >= options_.max_depth) continue;
+        local.nodes_expanded++;
+        const int level = node.depth + 1;
+        for (ItemId item : x) {
+          if (options_.without_replacement &&
+              PathContains(arena, node_idx, item)) {
+            continue;
+          }
+          local.draws++;
+          // A threshold >= 1 accepts unconditionally. When both a data
+          // vector and a query draw (thresholds may differ, e.g. through
+          // |x| vs |q|), they compare against the *same* LevelDraw value,
+          // which is what makes shared prefixes evolve consistently.
+          double threshold = policy_->Threshold(vec_size, node.depth, item);
+          if (threshold < 1.0 &&
+              hasher_->LevelDraw(level, node.key, item) >= threshold) {
+            continue;
+          }
+          Node child;
+          child.key = hasher_->ExtendKey(node.key, item);
+          child.log_inv_prod = node.log_inv_prod + dist_->LogInvP(item);
+          child.parent = node_idx;
+          child.item = item;
+          child.depth = level;
+
+          bool is_filter =
+              options_.stop_rule == StopRule::kProbability
+                  ? child.log_inv_prod >= options_.log_n
+                  : child.depth >= options_.fixed_depth;
+          if (is_filter) {
+            out->push_back(child.key);
+            local.filters_emitted++;
+          } else {
+            arena.push_back(child);
+            next.push_back(static_cast<int32_t>(arena.size() - 1));
+          }
+          if (arena.size() + local.filters_emitted >= options_.max_paths) {
+            local.cap_hit = true;
+            done = true;
+            break;
+          }
+        }
+        if (done) break;
+      }
+      frontier.swap(next);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,33 @@
+#include "core/path_policy.h"
+
+#include "core/rho.h"
+
+namespace skewsearch {
+
+double AdversarialPolicy::Threshold(size_t vec_size, int depth,
+                                    ItemId /*item*/) const {
+  double denom = b1_ * static_cast<double>(vec_size) - depth;
+  if (denom <= 1.0) return 1.0;  // sample surely once the budget is spent
+  return 1.0 / denom;
+}
+
+CorrelatedPolicy::CorrelatedPolicy(const ProductDistribution* dist,
+                                   double alpha, double delta)
+    : dist_(dist), alpha_(alpha), delta_(delta), m_(dist->SumP()) {}
+
+double CorrelatedPolicy::Threshold(size_t /*vec_size*/, int depth,
+                                   ItemId item) const {
+  double p_hat = ConditionalProbability(dist_->p(item), alpha_);
+  double denom = p_hat * m_ - depth;
+  if (denom <= 1.0 + delta_) return 1.0;
+  return (1.0 + delta_) / denom;
+}
+
+double ClassicChosenPathPolicy::Threshold(size_t vec_size, int /*depth*/,
+                                          ItemId /*item*/) const {
+  double denom = b1_ * static_cast<double>(vec_size);
+  if (denom <= 1.0) return 1.0;
+  return 1.0 / denom;
+}
+
+}  // namespace skewsearch

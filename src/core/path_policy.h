@@ -1,0 +1,96 @@
+// Copyright 2026 The skewsearch Authors.
+// Sampling-threshold policies s(x, j, i) for the chosen-path recursion.
+//
+// The paper's data structure "comes with a (deterministic) function s which
+// maps each vector x, path-length j and bit i to a threshold s(x,j,i)"
+// (Section 3). The threshold is where all the distribution-dependence
+// lives; the recursion machinery (core/path_engine.h) is shared by the
+// paper's two policies and by the classic Chosen Path baseline.
+
+#ifndef SKEWSEARCH_CORE_PATH_POLICY_H_
+#define SKEWSEARCH_CORE_PATH_POLICY_H_
+
+#include <cstddef>
+
+#include "data/distribution.h"
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+/// \brief Interface: the sampling threshold s(x, j, i).
+///
+/// \p vec_size is |x| (the only property of x the analyzed policies use),
+/// \p depth is j (number of items already on the path), \p item is i.
+class ThresholdPolicy {
+ public:
+  virtual ~ThresholdPolicy() = default;
+
+  /// Returns s(x, j, i), clamped by callers to [0, 1].
+  virtual double Threshold(size_t vec_size, int depth, ItemId item) const = 0;
+};
+
+/// \brief Section 5: s(x, j, i) = 1 / (b1 |x| - j).
+///
+/// Distribution-independent threshold; skew adaptation comes entirely from
+/// the probability stop rule. Guarantees Lemma 5's condition whenever
+/// B(x, q) >= b1.
+class AdversarialPolicy : public ThresholdPolicy {
+ public:
+  explicit AdversarialPolicy(double b1) : b1_(b1) {}
+
+  double Threshold(size_t vec_size, int depth, ItemId item) const override;
+
+  double b1() const { return b1_; }
+
+ private:
+  double b1_;
+};
+
+/// \brief Section 6: s(x, j, i) = (1 + delta) / (p_hat_i C ln n - j),
+/// p_hat_i = p_i (1 - alpha) + alpha, C ln n = sum_i p_i.
+///
+/// Rare items (small p_i => p_hat_i ~ alpha) are sampled aggressively;
+/// frequent items are sampled at roughly their information content. The
+/// paper sets delta = 3 / sqrt(alpha C) to make Lemma 11's concentration
+/// argument go through, noting "a smaller constant is likely sufficient in
+/// practice" — callers choose delta (see SkewedIndexOptions).
+class CorrelatedPolicy : public ThresholdPolicy {
+ public:
+  /// \param dist  the data distribution (not owned; must outlive this).
+  /// \param alpha target correlation.
+  /// \param delta sampling boost (>= 0).
+  CorrelatedPolicy(const ProductDistribution* dist, double alpha,
+                   double delta);
+
+  double Threshold(size_t vec_size, int depth, ItemId item) const override;
+
+  double alpha() const { return alpha_; }
+  double delta() const { return delta_; }
+
+ private:
+  const ProductDistribution* dist_;
+  double alpha_;
+  double delta_;
+  double m_;  // sum_i p_i = C ln n
+};
+
+/// \brief The classic Chosen Path threshold (Christiani & Pagh, STOC'17):
+/// s(x, j, i) = 1 / (b1 |x|), independent of j, i and of the distribution.
+///
+/// Used by the baseline index (fixed-depth stop rule, sampling with
+/// replacement) that the paper compares against.
+class ClassicChosenPathPolicy : public ThresholdPolicy {
+ public:
+  explicit ClassicChosenPathPolicy(double b1) : b1_(b1) {}
+
+  double Threshold(size_t vec_size, int depth, ItemId item) const override;
+
+  double b1() const { return b1_; }
+
+ private:
+  double b1_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_PATH_POLICY_H_

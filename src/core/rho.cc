@@ -1,0 +1,173 @@
+#include "core/rho.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+namespace {
+
+// Bisection for a strictly decreasing function f on [0, hi] with f(0) >= 0:
+// returns the root of f, 0 if f(0) < 0 (no positive solution; the instance
+// is "easy"), or hi if f(hi) > 0.
+double BisectDecreasing(const std::function<double(double)>& f, double hi) {
+  double f0 = f(0.0);
+  if (f0 < 0.0) return 0.0;
+  double fhi = f(hi);
+  if (fhi > 0.0) return hi;
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (f(mid) >= 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Status ValidateGroups(std::span<const ProbabilityGroup> groups) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("need at least one probability group");
+  }
+  for (const auto& g : groups) {
+    if (!(g.p > 0.0) || !(g.p < 1.0) || !(g.count > 0.0)) {
+      return Status::InvalidArgument(
+          "groups need p in (0, 1) and count > 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double ConditionalProbability(double p, double alpha) {
+  return p * (1.0 - alpha) + alpha;
+}
+
+Result<double> CorrelatedRhoGrouped(std::span<const ProbabilityGroup> groups,
+                                    double alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(ValidateGroups(groups));
+  double target = 0.0;
+  for (const auto& g : groups) target += g.count * g.p;
+  auto f = [&](double rho) {
+    double lhs = 0.0;
+    for (const auto& g : groups) {
+      lhs += g.count * std::pow(g.p, 1.0 + rho) /
+             ConditionalProbability(g.p, alpha);
+    }
+    return lhs - target;  // decreasing; f(0) = sum c*p/p_hat >= target
+  };
+  return Clamp(BisectDecreasing(f, 1.0), 0.0, 1.0);
+}
+
+Result<double> PreprocessRhoGrouped(std::span<const ProbabilityGroup> groups,
+                                    double b1) {
+  if (!(b1 > 0.0) || !(b1 < 1.0)) {
+    return Status::InvalidArgument("b1 must be in (0, 1)");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(ValidateGroups(groups));
+  double target = 0.0;
+  for (const auto& g : groups) target += g.count * g.p;
+  target *= b1;
+  auto f = [&](double rho) {
+    double lhs = 0.0;
+    for (const auto& g : groups) {
+      lhs += g.count * std::pow(g.p, 1.0 + rho);
+    }
+    return lhs - target;  // f(0) = sum c*p > b1 sum c*p
+  };
+  return Clamp(BisectDecreasing(f, 1.0), 0.0, 1.0);
+}
+
+Result<double> AdversarialQueryRhoGrouped(
+    std::span<const ProbabilityGroup> groups, double b1) {
+  if (!(b1 > 0.0) || !(b1 < 1.0)) {
+    return Status::InvalidArgument("b1 must be in (0, 1)");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(ValidateGroups(groups));
+  double size = 0.0;
+  for (const auto& g : groups) size += g.count;
+  const double target = b1 * size;
+  auto f = [&](double rho) {
+    double lhs = 0.0;
+    for (const auto& g : groups) lhs += g.count * std::pow(g.p, rho);
+    return lhs - target;  // f(0) = |q| > b1 |q|
+  };
+  return Clamp(BisectDecreasing(f, 1.0), 0.0, 1.0);
+}
+
+Result<double> CorrelatedRho(const ProductDistribution& dist, double alpha) {
+  std::vector<ProbabilityGroup> groups;
+  groups.reserve(dist.dimension());
+  for (double p : dist.probabilities()) groups.push_back({p, 1.0});
+  return CorrelatedRhoGrouped(groups, alpha);
+}
+
+Result<double> PreprocessRho(const ProductDistribution& dist, double b1) {
+  std::vector<ProbabilityGroup> groups;
+  groups.reserve(dist.dimension());
+  for (double p : dist.probabilities()) groups.push_back({p, 1.0});
+  return PreprocessRhoGrouped(groups, b1);
+}
+
+Result<double> AdversarialQueryRho(std::span<const double> query_probs,
+                                   double b1) {
+  if (query_probs.empty()) {
+    return Status::InvalidArgument("query has no items");
+  }
+  std::vector<ProbabilityGroup> groups;
+  groups.reserve(query_probs.size());
+  for (double p : query_probs) groups.push_back({p, 1.0});
+  return AdversarialQueryRhoGrouped(groups, b1);
+}
+
+Result<double> AdversarialQueryRho(const ProductDistribution& dist,
+                                   const SparseVector& q, double b1) {
+  std::vector<double> probs;
+  probs.reserve(q.size());
+  for (ItemId item : q.ids()) {
+    if (item >= dist.dimension()) {
+      return Status::InvalidArgument("query item outside the universe");
+    }
+    probs.push_back(dist.p(item));
+  }
+  return AdversarialQueryRho(probs, b1);
+}
+
+double ChosenPathRho(double b1, double b2) {
+  if (b1 >= 1.0) return 0.0;
+  if (b2 >= b1) return 1.0;
+  if (b2 <= 0.0) return 0.0;
+  return std::log(b1) / std::log(b2);
+}
+
+double ExpectedCorrelatedSimilarity(const ProductDistribution& dist,
+                                    double alpha) {
+  const auto& p = dist.probabilities();
+  double num = 0.0;
+  for (double pi : p) num += pi * ConditionalProbability(pi, alpha);
+  return num / dist.SumP();
+}
+
+double ExpectedUncorrelatedSimilarity(const ProductDistribution& dist) {
+  const auto& p = dist.probabilities();
+  double num = 0.0;
+  for (double pi : p) num += pi * pi;
+  return num / dist.SumP();
+}
+
+double ChosenPathRhoForDistribution(const ProductDistribution& dist,
+                                    double alpha) {
+  return ChosenPathRho(ExpectedCorrelatedSimilarity(dist, alpha),
+                       ExpectedUncorrelatedSimilarity(dist));
+}
+
+}  // namespace skewsearch

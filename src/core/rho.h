@@ -1,0 +1,103 @@
+// Copyright 2026 The skewsearch Authors.
+// Numerical solvers for the paper's exponent equations. None of these has a
+// closed form for skewed distributions (Section 7: "To our knowledge there
+// is no closed-form expression"); all are solved by bisection, which is
+// safe because each left-hand side is strictly decreasing in rho.
+//
+// Equations implemented (natural logs; see DESIGN.md §3.3):
+//   Theorem 1 (correlated):   sum_i p_i^(1+rho) / p_hat_i = sum_i p_i,
+//                             p_hat_i = p_i (1 - alpha) + alpha
+//   Theorem 2 (preprocess):   sum_i p_i^(1+rho_u)        = b1 sum_i p_i
+//   Lemma 8 / §7.1 (query):   sum_{i in q} p_i^rho(q)    = b1 |q|
+//       (Theorem 2's display writes the right-hand side as
+//        b1 * sum_{i in q} p_i; Lemma 8 and the §7.1 worked examples use
+//        b1 * |q|, which is the version consistent with the threshold
+//        s(q,j,i) = 1/(b1|q| - j) — we follow Lemma 8 and flag the
+//        discrepancy here and in EXPERIMENTS.md.)
+//   Chosen Path (baseline):   rho_CP = log(b1) / log(b2)
+//
+// When an equation has no solution with rho > 0 (very easy instances, e.g.
+// §7.1's b1 = 2/3 example) the solvers return 0, matching the paper's
+// "rho arbitrarily close to zero".
+
+#ifndef SKEWSEARCH_CORE_RHO_H_
+#define SKEWSEARCH_CORE_RHO_H_
+
+#include <span>
+#include <vector>
+
+#include "data/distribution.h"
+#include "data/sparse_vector.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// p_hat_i = Pr[x_i = 1 | q_i = 1] = p_i (1 - alpha) + alpha (Section 6).
+double ConditionalProbability(double p, double alpha);
+
+/// \brief A group of `count` dimensions sharing probability `p`.
+///
+/// The paper's examples use block distributions whose dimension counts
+/// grow polynomially in n (e.g. n^{0.9} C ln n dimensions at n^{-0.9});
+/// grouped solvers evaluate the exponent equations without materializing
+/// the d-dimensional probability vector, so the asymptotic claims can be
+/// checked at astronomically large n.
+struct ProbabilityGroup {
+  double p;      ///< item-level probability, in (0, 1)
+  double count;  ///< number of dimensions with this probability (> 0)
+};
+
+/// Grouped form of CorrelatedRho:
+/// sum_g count_g p_g^(1+rho) / p_hat_g = sum_g count_g p_g.
+Result<double> CorrelatedRhoGrouped(std::span<const ProbabilityGroup> groups,
+                                    double alpha);
+
+/// Grouped form of PreprocessRho: sum count p^(1+rho) = b1 sum count p.
+Result<double> PreprocessRhoGrouped(std::span<const ProbabilityGroup> groups,
+                                    double b1);
+
+/// Grouped form of AdversarialQueryRho, where `count` is the number of
+/// *query items* with probability p: sum count p^rho = b1 sum count.
+Result<double> AdversarialQueryRhoGrouped(
+    std::span<const ProbabilityGroup> groups, double b1);
+
+/// Solves Theorem 1's equation for the correlated-query exponent.
+/// Requires alpha in (0, 1]; result clamped to [0, 1].
+Result<double> CorrelatedRho(const ProductDistribution& dist, double alpha);
+
+/// Solves Theorem 2's preprocessing exponent rho_u:
+/// sum p^(1+rho) = b1 sum p. Requires b1 in (0, 1).
+Result<double> PreprocessRho(const ProductDistribution& dist, double b1);
+
+/// Solves the per-query adversarial exponent (Lemma 8 / §7.1):
+/// sum_{i in q} p_i^rho = b1 |q| over the probabilities of q's items.
+/// Requires b1 in (0, 1) and a non-empty probability list.
+Result<double> AdversarialQueryRho(std::span<const double> query_probs,
+                                   double b1);
+
+/// Convenience overload: looks up the probabilities of q's items in dist.
+Result<double> AdversarialQueryRho(const ProductDistribution& dist,
+                                   const SparseVector& q, double b1);
+
+/// The Chosen Path worst-case exponent log(b1)/log(b2) for
+/// 0 < b2 < b1 < 1; returns 0 when b1 >= 1 and 1 when b2 >= b1.
+double ChosenPathRho(double b1, double b2);
+
+/// Expected Braun-Blanquet similarity between x ~ D and q ~ D_alpha(x),
+/// approximating max(|x|,|q|) by E|x| (valid for large C, Lemma 10):
+/// b1(D, alpha) = sum p_i p_hat_i / sum p_i.
+double ExpectedCorrelatedSimilarity(const ProductDistribution& dist,
+                                    double alpha);
+
+/// Expected similarity between two independent draws from D:
+/// b2(D) = sum p_i^2 / sum p_i.
+double ExpectedUncorrelatedSimilarity(const ProductDistribution& dist);
+
+/// The Chosen Path exponent on a correlated instance over D (used for the
+/// Figure 1 baseline curve): ChosenPathRho(b1(D, alpha), b2(D)).
+double ChosenPathRhoForDistribution(const ProductDistribution& dist,
+                                    double alpha);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_RHO_H_

@@ -1,0 +1,100 @@
+#include "core/similarity_join.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace skewsearch {
+
+namespace {
+
+Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
+                                       const Dataset& right,
+                                       const ProductDistribution& dist,
+                                       const JoinOptions& options,
+                                       bool self_join, JoinStats* stats) {
+  JoinStats local;
+  Timer build_timer;
+  SkewedPathIndex index;
+  SKEWSEARCH_RETURN_NOT_OK(index.Build(&right, &dist, options.index));
+  local.build_seconds = build_timer.ElapsedSeconds();
+
+  double threshold =
+      options.threshold >= 0.0 ? options.threshold : index.verify_threshold();
+
+  Timer probe_timer;
+  std::vector<JoinPair> out;
+  auto probe_range = [&](VectorId begin, VectorId end,
+                         std::vector<JoinPair>* sink, size_t* candidates,
+                         size_t* verifications) {
+    for (VectorId lid = begin; lid < end; ++lid) {
+      QueryStats qs;
+      auto matches = index.QueryAll(left.Get(lid), threshold, &qs);
+      *candidates += qs.candidates;
+      *verifications += qs.verifications;
+      for (const Match& m : matches) {
+        if (self_join && m.id <= lid) continue;  // each pair emitted once
+        sink->push_back({lid, m.id, m.similarity});
+      }
+    }
+  };
+  if (options.probe_threads <= 1) {
+    probe_range(0, static_cast<VectorId>(left.size()), &out,
+                &local.candidates, &local.verifications);
+  } else {
+    const int threads = options.probe_threads;
+    struct Shard {
+      std::vector<JoinPair> pairs;
+      size_t candidates = 0;
+      size_t verifications = 0;
+    };
+    std::vector<Shard> shards(static_cast<size_t>(threads));
+    std::vector<std::thread> workers;
+    const size_t chunk = (left.size() + static_cast<size_t>(threads) - 1) /
+                         static_cast<size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      size_t begin = static_cast<size_t>(t) * chunk;
+      size_t end = std::min(left.size(), begin + chunk);
+      if (begin >= end) break;
+      Shard* shard = &shards[static_cast<size_t>(t)];
+      workers.emplace_back([&, begin, end, shard] {
+        probe_range(static_cast<VectorId>(begin),
+                    static_cast<VectorId>(end), &shard->pairs,
+                    &shard->candidates, &shard->verifications);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (Shard& shard : shards) {
+      local.candidates += shard.candidates;
+      local.verifications += shard.verifications;
+      out.insert(out.end(), shard.pairs.begin(), shard.pairs.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  local.pairs = out.size();
+  local.probe_seconds = probe_timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<JoinPair>> SimilarityJoin(const Dataset& left,
+                                             const Dataset& right,
+                                             const ProductDistribution& dist,
+                                             const JoinOptions& options,
+                                             JoinStats* stats) {
+  return JoinImpl(left, right, dist, options, /*self_join=*/false, stats);
+}
+
+Result<std::vector<JoinPair>> SelfSimilarityJoin(
+    const Dataset& data, const ProductDistribution& dist,
+    const JoinOptions& options, JoinStats* stats) {
+  return JoinImpl(data, data, dist, options, /*self_join=*/true, stats);
+}
+
+}  // namespace skewsearch

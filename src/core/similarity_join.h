@@ -1,0 +1,60 @@
+// Copyright 2026 The skewsearch Authors.
+// Similarity join via repeated similarity search (the paper's "Similarity
+// joins" paragraph: index S, then probe with every r in R; preprocessing
+// O(d |S|^{1+rho}), total join time O(d |R| |S|^rho) when the output is
+// small).
+
+#ifndef SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
+#define SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
+
+#include <vector>
+
+#include "core/skewed_index.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "sim/brute_force.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Join configuration.
+struct JoinOptions {
+  /// Index configuration for the build side (mode, b1/alpha, seed, ...).
+  SkewedIndexOptions index;
+  /// Similarity pairs must reach; negative derives the index's
+  /// verify threshold.
+  double threshold = -1.0;
+  /// Probe-side parallelism (<= 1 = serial). Probes are independent; the
+  /// output is identical to a serial join.
+  int probe_threads = 0;
+};
+
+/// \brief Join counters.
+struct JoinStats {
+  size_t pairs = 0;
+  size_t candidates = 0;       ///< summed posting-list work across probes
+  size_t verifications = 0;
+  double build_seconds = 0.0;
+  double probe_seconds = 0.0;
+};
+
+/// R-S join: returns all (r, s) with B(r, s) >= threshold found by probing
+/// an index over \p right with every vector of \p left. `left` ids populate
+/// JoinPair::left, `right` ids JoinPair::right. Being an LSF method the
+/// join is probabilistic: each qualifying pair is reported with the
+/// index's success probability (boost via index.repetition_boost).
+Result<std::vector<JoinPair>> SimilarityJoin(const Dataset& left,
+                                             const Dataset& right,
+                                             const ProductDistribution& dist,
+                                             const JoinOptions& options,
+                                             JoinStats* stats = nullptr);
+
+/// Self join: all pairs (i < j) within \p data with similarity >=
+/// threshold (self-matches removed, pairs deduplicated).
+Result<std::vector<JoinPair>> SelfSimilarityJoin(
+    const Dataset& data, const ProductDistribution& dist,
+    const JoinOptions& options, JoinStats* stats = nullptr);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_SIMILARITY_JOIN_H_

@@ -1,0 +1,494 @@
+#include "core/skewed_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "core/rho.h"
+#include "hashing/mix.h"
+#include "sim/measures.h"
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+Status SkewedPathIndex::Build(const Dataset* data,
+                              const ProductDistribution* dist,
+                              const SkewedIndexOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  if (options.mode == IndexMode::kAdversarial &&
+      (options.b1 <= 0.0 || options.b1 >= 1.0)) {
+    return Status::InvalidArgument("b1 must be in (0, 1)");
+  }
+  if (options.mode == IndexMode::kCorrelated &&
+      (options.alpha <= 0.0 || options.alpha > 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+
+  Timer timer;
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+
+  const size_t n = data->size();
+  const double log_n = std::log(static_cast<double>(n));
+  const double c_constant = dist->CForN(n);
+
+  // Derived parameters -------------------------------------------------
+  double delta = options.delta;
+  if (options.mode == IndexMode::kCorrelated) {
+    double paper_delta =
+        3.0 / std::sqrt(std::max(1e-9, options.alpha * c_constant));
+    if (delta < 0.0) {
+      delta = options.strict_paper_delta ? paper_delta
+                                         : std::min(paper_delta, 0.3);
+    }
+    if (options.alpha * c_constant < 15.0) {
+      SKEWSEARCH_LOG(kInfo)
+          << "alpha*C = " << options.alpha * c_constant
+          << " < 15: outside the regime of Lemma 11; rely on repetitions";
+    }
+  } else {
+    delta = 0.0;
+  }
+
+  verify_threshold_ = options.verify_threshold;
+  if (verify_threshold_ < 0.0) {
+    verify_threshold_ = options.mode == IndexMode::kAdversarial
+                            ? options.b1
+                            : options.alpha / 1.3;
+  }
+
+  int reps = options.repetitions;
+  if (reps <= 0) {
+    reps = static_cast<int>(
+        std::ceil(options.repetition_boost * std::max(1.0, log_n)));
+  }
+
+  SetupEngine(n, delta);
+
+  // Populate the inverted index -----------------------------------------
+  build_stats_ = IndexBuildStats{};
+  build_stats_.repetitions = reps;
+  build_stats_.delta_used = delta;
+  table_ = FilterTable();
+
+  int threads = options.build_threads;
+  if (threads <= 1) {
+    std::vector<uint64_t> keys;
+    for (VectorId id = 0; id < n; ++id) {
+      auto x = data->Get(id);
+      for (int rep = 0; rep < reps; ++rep) {
+        keys.clear();
+        PathGenStats gen;
+        engine_->ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
+        build_stats_.nodes_expanded += gen.nodes_expanded;
+        if (gen.cap_hit) build_stats_.cap_hits++;
+        for (uint64_t key : keys) table_.Add(key, id);
+        build_stats_.total_filters += keys.size();
+      }
+    }
+  } else {
+    // Filter keys are deterministic given (seed, rep, x), so threads can
+    // process disjoint id ranges into private buffers; merging preserves
+    // the exact same table contents as a serial build.
+    struct Shard {
+      std::vector<std::pair<uint64_t, VectorId>> pairs;
+      size_t nodes_expanded = 0;
+      size_t cap_hits = 0;
+    };
+    std::vector<Shard> shards(static_cast<size_t>(threads));
+    std::vector<std::thread> workers;
+    const size_t chunk = (n + static_cast<size_t>(threads) - 1) /
+                         static_cast<size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Shard& shard = shards[static_cast<size_t>(t)];
+        const size_t begin = static_cast<size_t>(t) * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        std::vector<uint64_t> keys;
+        for (size_t id = begin; id < end; ++id) {
+          auto x = data->Get(static_cast<VectorId>(id));
+          for (int rep = 0; rep < reps; ++rep) {
+            keys.clear();
+            PathGenStats gen;
+            engine_->ComputeFilters(x, static_cast<uint32_t>(rep), &keys,
+                                    &gen);
+            shard.nodes_expanded += gen.nodes_expanded;
+            if (gen.cap_hit) shard.cap_hits++;
+            for (uint64_t key : keys) {
+              shard.pairs.push_back({key, static_cast<VectorId>(id)});
+            }
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    size_t total_pairs = 0;
+    for (const Shard& shard : shards) total_pairs += shard.pairs.size();
+    table_.Reserve(total_pairs);
+    for (const Shard& shard : shards) {
+      build_stats_.nodes_expanded += shard.nodes_expanded;
+      build_stats_.cap_hits += shard.cap_hits;
+      for (const auto& [key, id] : shard.pairs) table_.Add(key, id);
+      build_stats_.total_filters += shard.pairs.size();
+    }
+  }
+  table_.Freeze();
+  build_stats_.distinct_keys = table_.num_keys();
+  build_stats_.avg_filters_per_element =
+      static_cast<double>(build_stats_.total_filters) /
+      (static_cast<double>(n) * std::max(1, reps));
+  if (build_stats_.cap_hits > 0) {
+    SKEWSEARCH_LOG(kWarning)
+        << "path cap hit for " << build_stats_.cap_hits
+        << " (element, repetition) pairs; consider raising "
+           "max_paths_per_element";
+  }
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+void SkewedPathIndex::SetupEngine(size_t n, double delta) {
+  const double log_n = std::log(static_cast<double>(n));
+  if (options_.mode == IndexMode::kAdversarial) {
+    policy_ = std::make_unique<AdversarialPolicy>(options_.b1);
+  } else {
+    policy_ =
+        std::make_unique<CorrelatedPolicy>(dist_, options_.alpha, delta);
+  }
+  // All p_i <= max_p < 1, so every path step adds >= ln(1/max_p) to the
+  // stop sum; depth never exceeds ln n / ln(1/max_p) (+1 for the step that
+  // crosses the boundary, +1 slack).
+  int depth_bound = options_.max_depth;
+  if (dist_->MaxP() < 1.0) {
+    double per_step = -std::log(dist_->MaxP());
+    if (per_step > 1e-9) {
+      depth_bound = std::min(
+          depth_bound, static_cast<int>(std::ceil(log_n / per_step)) + 2);
+    }
+  }
+  hasher_ = std::make_unique<PathHasher>(options_.seed, depth_bound,
+                                         options_.hash_engine);
+  PathEngineOptions engine_options;
+  engine_options.stop_rule = StopRule::kProbability;
+  engine_options.log_n = log_n;
+  engine_options.max_depth = depth_bound;
+  engine_options.max_paths = options_.max_paths_per_element;
+  engine_options.without_replacement = true;
+  engine_ = std::make_unique<PathEngine>(dist_, policy_.get(),
+                                         hasher_.get(), engine_options);
+}
+
+std::vector<uint64_t> SkewedPathIndex::ComputeFilterKeys(
+    std::span<const ItemId> query) const {
+  std::vector<uint64_t> keys;
+  if (engine_ == nullptr) return keys;
+  for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
+    engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                            nullptr);
+  }
+  return keys;
+}
+
+std::optional<Match> SkewedPathIndex::Query(std::span<const ItemId> query,
+                                            QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::optional<Match> found;
+  if (engine_ != nullptr && !query.empty()) {
+    std::vector<uint64_t> keys;
+    std::unordered_set<VectorId> seen;
+    for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
+      keys.clear();
+      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                              nullptr);
+      local.filters += keys.size();
+      for (uint64_t key : keys) {
+        auto postings = table_.Lookup(key);
+        local.candidates += postings.size();
+        for (VectorId id : postings) {
+          if (!seen.insert(id).second) continue;
+          local.verifications++;
+          double sim =
+              Similarity(options_.verify_measure, query, data_->Get(id));
+          if (sim >= verify_threshold_) {
+            found = Match{id, sim};
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+    local.distinct_candidates = seen.size();
+  }
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return found;
+}
+
+std::vector<Match> SkewedPathIndex::QueryAll(std::span<const ItemId> query,
+                                             double threshold,
+                                             QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::vector<Match> out;
+  if (engine_ != nullptr && !query.empty()) {
+    std::vector<uint64_t> keys;
+    std::unordered_set<VectorId> seen;
+    for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
+      keys.clear();
+      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                              nullptr);
+      local.filters += keys.size();
+      for (uint64_t key : keys) {
+        auto postings = table_.Lookup(key);
+        local.candidates += postings.size();
+        for (VectorId id : postings) {
+          if (!seen.insert(id).second) continue;
+          local.verifications++;
+          double sim =
+              Similarity(options_.verify_measure, query, data_->Get(id));
+          if (sim >= threshold) out.push_back({id, sim});
+        }
+      }
+    }
+    local.distinct_candidates = seen.size();
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<Match> SkewedPathIndex::QueryTopK(std::span<const ItemId> query,
+                                              size_t k,
+                                              QueryStats* stats) const {
+  // Rank every surfaced candidate (threshold 0 keeps them all), truncate.
+  std::vector<Match> all = QueryAll(query, 0.0, stats);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<std::optional<Match>> SkewedPathIndex::BatchQuery(
+    const Dataset& queries, int threads,
+    std::vector<QueryStats>* stats) const {
+  std::vector<std::optional<Match>> results(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), QueryStats{});
+  if (queries.empty()) return results;
+  auto run_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      QueryStats qs;
+      results[i] = Query(queries.Get(static_cast<VectorId>(i)), &qs);
+      if (stats != nullptr) (*stats)[i] = qs;
+    }
+  };
+  if (threads <= 1) {
+    run_range(0, queries.size());
+    return results;
+  }
+  std::vector<std::thread> workers;
+  const size_t chunk = (queries.size() + static_cast<size_t>(threads) - 1) /
+                       static_cast<size_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    size_t begin = static_cast<size_t>(t) * chunk;
+    size_t end = std::min(queries.size(), begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back(run_range, begin, end);
+  }
+  for (auto& worker : workers) worker.join();
+  return results;
+}
+
+double SkewedPathIndex::EstimateCollisionRate(
+    std::span<const ItemId> a, std::span<const ItemId> b) const {
+  if (engine_ == nullptr || build_stats_.repetitions == 0) return 0.0;
+  int collisions = 0;
+  std::vector<uint64_t> keys_a, keys_b;
+  for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
+    keys_a.clear();
+    keys_b.clear();
+    engine_->ComputeFilters(a, static_cast<uint32_t>(rep), &keys_a, nullptr);
+    engine_->ComputeFilters(b, static_cast<uint32_t>(rep), &keys_b, nullptr);
+    std::set<uint64_t> set_a(keys_a.begin(), keys_a.end());
+    bool hit = false;
+    for (uint64_t key : keys_b) {
+      if (set_a.count(key)) {
+        hit = true;
+        break;
+      }
+    }
+    collisions += hit;
+  }
+  return static_cast<double>(collisions) /
+         static_cast<double>(build_stats_.repetitions);
+}
+
+Result<double> SkewedPathIndex::PredictQueryExponent(
+    std::span<const ItemId> query) const {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument("index not built");
+  }
+  if (options_.mode == IndexMode::kCorrelated) {
+    return CorrelatedRho(*dist_, options_.alpha);
+  }
+  std::vector<double> probs;
+  probs.reserve(query.size());
+  for (ItemId item : query) {
+    if (item >= dist_->dimension()) {
+      return Status::InvalidArgument("query item outside the universe");
+    }
+    probs.push_back(dist_->p(item));
+  }
+  return AdversarialQueryRho(probs, options_.b1);
+}
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'S', 'K', 'I', '1'};
+
+template <typename T>
+bool WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+// Cheap content fingerprint: shape plus a sampled item hash. Rejects
+// re-supplying a different dataset on Load without a full scan.
+uint64_t DatasetFingerprint(const Dataset& data) {
+  uint64_t h = Mix64(data.size() * 0x9e3779b97f4a7c15ULL ^
+                     data.TotalItems());
+  h = MixPair(h, Mix64(data.dimension()));
+  const size_t samples = std::min<size_t>(64, data.size());
+  for (size_t k = 0; k < samples; ++k) {
+    VectorId id = static_cast<VectorId>(k * data.size() / samples);
+    auto items = data.Get(id);
+    uint64_t vh = Mix64(items.size() + 1);
+    for (ItemId item : items) vh = MixPair(vh, Mix64(item));
+    h = MixPair(h, vh);
+  }
+  return h;
+}
+
+}  // namespace
+
+Status SkewedPathIndex::Save(const std::string& path) const {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument("cannot save an unbuilt index");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(kIndexMagic, sizeof(kIndexMagic));
+  uint8_t mode = options_.mode == IndexMode::kAdversarial ? 0 : 1;
+  uint8_t engine = options_.hash_engine == HashEngine::kMixer ? 0 : 1;
+  uint8_t measure = static_cast<uint8_t>(options_.verify_measure);
+  bool ok = WritePod(out, mode) && WritePod(out, engine) &&
+            WritePod(out, measure) && WritePod(out, options_.b1) &&
+            WritePod(out, options_.alpha) && WritePod(out, options_.seed) &&
+            WritePod(out, options_.max_depth) &&
+            WritePod(out, options_.max_paths_per_element) &&
+            WritePod(out, verify_threshold_) &&
+            WritePod(out, build_stats_.repetitions) &&
+            WritePod(out, build_stats_.delta_used) &&
+            WritePod(out, build_stats_.total_filters) &&
+            WritePod(out, build_stats_.distinct_keys) &&
+            WritePod(out, build_stats_.avg_filters_per_element) &&
+            WritePod(out, build_stats_.cap_hits) &&
+            WritePod(out, build_stats_.nodes_expanded) &&
+            WritePod(out, DatasetFingerprint(*data_));
+  if (!ok) return Status::IOError("header write to '" + path + "' failed");
+  SKEWSEARCH_RETURN_NOT_OK(table_.WriteTo(&out));
+  out.flush();
+  if (!out) return Status::IOError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Status SkewedPathIndex::Load(const std::string& path, const Dataset* data,
+                             const ProductDistribution* dist) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a skewsearch index file");
+  }
+  uint8_t mode = 0, engine = 0, measure = 0;
+  SkewedIndexOptions options;
+  IndexBuildStats stats;
+  double verify = 0.0;
+  uint64_t fingerprint = 0;
+  bool ok = ReadPod(in, &mode) && ReadPod(in, &engine) &&
+            ReadPod(in, &measure) && ReadPod(in, &options.b1) &&
+            ReadPod(in, &options.alpha) && ReadPod(in, &options.seed) &&
+            ReadPod(in, &options.max_depth) &&
+            ReadPod(in, &options.max_paths_per_element) &&
+            ReadPod(in, &verify) && ReadPod(in, &stats.repetitions) &&
+            ReadPod(in, &stats.delta_used) &&
+            ReadPod(in, &stats.total_filters) &&
+            ReadPod(in, &stats.distinct_keys) &&
+            ReadPod(in, &stats.avg_filters_per_element) &&
+            ReadPod(in, &stats.cap_hits) &&
+            ReadPod(in, &stats.nodes_expanded) && ReadPod(in, &fingerprint);
+  if (!ok) {
+    return Status::InvalidArgument("truncated index header in '" + path +
+                                   "'");
+  }
+  if (fingerprint != DatasetFingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one this index was built from");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  options.mode = mode == 0 ? IndexMode::kAdversarial : IndexMode::kCorrelated;
+  options.hash_engine = engine == 0 ? HashEngine::kMixer
+                                    : HashEngine::kPairwise;
+  options.verify_measure = static_cast<Measure>(measure);
+  options.repetitions = stats.repetitions;
+
+  FilterTable table;
+  SKEWSEARCH_RETURN_NOT_OK(table.ReadFrom(&in));
+
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  verify_threshold_ = verify;
+  build_stats_ = stats;
+  table_ = std::move(table);
+  SetupEngine(data->size(), stats.delta_used);
+  return Status::OK();
+}
+
+}  // namespace skewsearch

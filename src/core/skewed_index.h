@@ -1,0 +1,229 @@
+// Copyright 2026 The skewsearch Authors.
+// SkewedPathIndex — the paper's primary contribution.
+//
+// A recursive, data-dependent locality-sensitive-filtering index over
+// sparse boolean vectors drawn from a known product distribution
+// D[p_1..p_d]. Two modes:
+//
+//   kAdversarial (Theorem 2): guarantees for *any* query q that has a
+//     dataset vector with Braun-Blanquet similarity >= b1; query cost
+//     adapts to the query's own frequency profile (exponent rho(q)).
+//
+//   kCorrelated (Theorem 1): tuned for queries that are alpha-correlated
+//     with some dataset vector (Definition 3); thresholds are weighted by
+//     the conditional probabilities p_hat_i = p_i(1-alpha) + alpha.
+//
+// One build performs L independent repetitions (fresh hash functions per
+// repetition) to boost the per-repetition success probability of
+// Lemma 5 (>= 1/ln n) to a constant; queries probe all repetitions.
+
+#ifndef SKEWSEARCH_CORE_SKEWED_INDEX_H_
+#define SKEWSEARCH_CORE_SKEWED_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/path_engine.h"
+#include "core/path_policy.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "hashing/path_hasher.h"
+#include "sim/brute_force.h"
+#include "sim/measures.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+/// Which of the paper's two analyses the index instantiates.
+enum class IndexMode {
+  kAdversarial,  ///< Section 5: s(x,j,i) = 1/(b1|x| - j)
+  kCorrelated,   ///< Section 6: s(x,j,i) = (1+delta)/(p_hat_i C ln n - j)
+};
+
+/// \brief Build- and query-time configuration.
+struct SkewedIndexOptions {
+  IndexMode mode = IndexMode::kCorrelated;
+
+  /// Braun-Blanquet similarity threshold (kAdversarial).
+  double b1 = 0.5;
+
+  /// Target correlation (kCorrelated).
+  double alpha = 0.5;
+
+  /// Number of independent repetitions; 0 derives
+  /// ceil(repetition_boost * ln n) (Lemma 5 gives 1/ln n per repetition).
+  int repetitions = 0;
+  double repetition_boost = 2.0;
+
+  /// Master seed; the whole structure is deterministic given it.
+  uint64_t seed = 0x5eed5eed5eedULL;
+
+  /// Sampling boost delta for kCorrelated. Negative derives the default:
+  /// the paper's 3/sqrt(alpha C) when strict_paper_delta, otherwise
+  /// min(3/sqrt(alpha C), 0.3) — the paper itself notes "a smaller
+  /// constant is likely sufficient in practice" and the strict value
+  /// inflates |F(x)| by n^{ln(1+delta)} for moderate C.
+  double delta = -1.0;
+  bool strict_paper_delta = false;
+
+  /// Similarity a candidate must reach to be returned. Negative derives
+  /// b1 (kAdversarial) or alpha/1.3 (kCorrelated, Lemma 10).
+  double verify_threshold = -1.0;
+
+  /// Safety valve passed to the path engine (per element per repetition).
+  size_t max_paths_per_element = size_t{1} << 20;
+
+  /// Hard cap on path length.
+  int max_depth = 64;
+
+  /// Level-hash engine (mixer by default; pairwise for the paper's exact
+  /// independence assumption).
+  HashEngine hash_engine = HashEngine::kMixer;
+
+  /// Measure used to verify candidates. The paper's guarantees are stated
+  /// for Braun-Blanquet (the default); the candidate-generation machinery
+  /// is measure-agnostic, so other measures can be verified too ("results
+  /// extend to other similarity measures", §1).
+  Measure verify_measure = Measure::kBraunBlanquet;
+
+  /// Build parallelism: number of worker threads; 0 = single-threaded.
+  /// Filter keys are deterministic functions of the seed, so the built
+  /// index is identical regardless of thread count.
+  int build_threads = 0;
+};
+
+/// \brief Counters from Build().
+struct IndexBuildStats {
+  size_t total_filters = 0;        ///< sum over elements and repetitions
+  size_t distinct_keys = 0;        ///< distinct filter keys in the table
+  double avg_filters_per_element = 0.0;  ///< per repetition
+  size_t cap_hits = 0;             ///< elements truncated by the safety valve
+  size_t nodes_expanded = 0;
+  int repetitions = 0;
+  double delta_used = 0.0;         ///< kCorrelated only
+  double build_seconds = 0.0;
+};
+
+/// \brief Counters from one query.
+struct QueryStats {
+  size_t filters = 0;              ///< |F(q)| across repetitions
+  size_t candidates = 0;           ///< sum of posting-list sizes (the
+                                   ///< paper's query-cost proxy)
+  size_t distinct_candidates = 0;  ///< after deduplication
+  size_t verifications = 0;        ///< full similarity computations
+  double seconds = 0.0;
+};
+
+/// \brief The skew-adaptive chosen-path index.
+///
+/// Usage:
+/// \code
+///   SkewedPathIndex index;
+///   SkewedIndexOptions opt;
+///   opt.mode = IndexMode::kCorrelated;
+///   opt.alpha = 0.7;
+///   SKEWSEARCH_RETURN_NOT_OK(index.Build(&data, &dist, opt));
+///   if (auto hit = index.Query(q.span())) { ... }
+/// \endcode
+///
+/// The dataset and distribution are borrowed and must outlive the index.
+/// Queries are const and safe to issue from multiple threads.
+class SkewedPathIndex {
+ public:
+  SkewedPathIndex() = default;
+
+  /// Builds the inverted filter index over \p data.
+  Status Build(const Dataset* data, const ProductDistribution* dist,
+               const SkewedIndexOptions& options);
+
+  /// Returns some vector with similarity >= verify_threshold(), scanning
+  /// candidates in filter order and stopping at the first hit (the paper's
+  /// query semantics), or nullopt.
+  std::optional<Match> Query(std::span<const ItemId> query,
+                             QueryStats* stats = nullptr) const;
+
+  /// Returns all distinct candidates with similarity >= \p threshold,
+  /// sorted by descending similarity (ties by id). Exhausts all filters.
+  std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
+                              QueryStats* stats = nullptr) const;
+
+  /// Returns the k most similar *candidates* (approximate top-k: ranking
+  /// is exact among the vectors the filters surface, which under the
+  /// paper's guarantees include every sufficiently similar vector w.h.p.).
+  std::vector<Match> QueryTopK(std::span<const ItemId> query, size_t k,
+                               QueryStats* stats = nullptr) const;
+
+  /// Answers every vector of \p queries as a Query(), using \p threads
+  /// workers (<= 1 = serial). Results align positionally with queries;
+  /// \p stats (if non-null) is resized likewise. Queries are independent
+  /// and the index is immutable, so results equal the serial ones.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, int threads = 0,
+      std::vector<QueryStats>* stats = nullptr) const;
+
+  /// Lemma 5 diagnostic: the fraction of repetitions in which F(a) and
+  /// F(b) share at least one filter. For a b1-similar (or alpha-
+  /// correlated) pair this is the per-repetition success probability the
+  /// repetition count is provisioned against (>= 1/ln n per Lemma 5).
+  double EstimateCollisionRate(std::span<const ItemId> a,
+                               std::span<const ItemId> b) const;
+
+  /// Analytic per-query cost exponent (Lemma 8): solves
+  /// sum_{i in q} p_i^rho = b1 |q| for this index's b1. Only meaningful in
+  /// kAdversarial mode; kCorrelated returns the global Theorem 1 rho.
+  Result<double> PredictQueryExponent(std::span<const ItemId> query) const;
+
+  /// The filter keys F(q) the index would probe for \p query
+  /// (diagnostics / tests).
+  std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
+
+  /// True after a successful Build().
+  bool built() const { return engine_ != nullptr; }
+
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+  const SkewedIndexOptions& options() const { return options_; }
+
+  /// The similarity a returned match is guaranteed to have.
+  double verify_threshold() const { return verify_threshold_; }
+
+  /// Number of repetitions actually used.
+  int repetitions() const { return build_stats_.repetitions; }
+
+  /// Approximate heap usage of the inverted index.
+  size_t MemoryBytes() const { return table_.MemoryBytes(); }
+
+  /// Persists the built index (configuration + inverted filter table +
+  /// a fingerprint of the dataset) so it can be reloaded without paying
+  /// the build again. Only valid after Build().
+  Status Save(const std::string& path) const;
+
+  /// Restores an index saved with Save(). The caller re-supplies the
+  /// *same* dataset and distribution (both are borrowed, not serialized);
+  /// a fingerprint check rejects mismatched data. Queries on the loaded
+  /// index behave identically to the original (the hash functions are
+  /// reconstructed deterministically from the stored seed).
+  Status Load(const std::string& path, const Dataset* data,
+              const ProductDistribution* dist);
+
+ private:
+  /// (Re)constructs policy/hasher/engine from options_ + dist_ for a
+  /// dataset of size n; shared by Build() and Load().
+  void SetupEngine(size_t n, double delta);
+  const Dataset* data_ = nullptr;
+  const ProductDistribution* dist_ = nullptr;
+  SkewedIndexOptions options_;
+  double verify_threshold_ = 0.0;
+  std::unique_ptr<ThresholdPolicy> policy_;
+  std::unique_ptr<PathHasher> hasher_;
+  std::unique_ptr<PathEngine> engine_;
+  FilterTable table_;
+  IndexBuildStats build_stats_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_SKEWED_INDEX_H_

@@ -1,0 +1,68 @@
+#include "core/zipf_analysis.h"
+
+#include <cmath>
+
+#include "core/rho.h"
+#include "data/generators.h"
+
+namespace skewsearch {
+
+Result<ProductDistribution> MakeZipfClassDistribution(
+    const ZipfClassOptions& options, size_t n) {
+  if (n < 2) return Status::InvalidArgument("n must be >= 2");
+  if (options.exponent <= 0.0) {
+    return Status::InvalidArgument("exponent must be positive");
+  }
+  size_t d = std::max<size_t>(
+      16, static_cast<size_t>(options.universe_factor *
+                              static_cast<double>(n)));
+  const double log_n = std::log(static_cast<double>(n));
+  switch (options.kind) {
+    case ZipfClass::kPureZipf:
+      // Fixed head probability 1/2; expected size is whatever the
+      // harmonic-like sum gives (Theta(log d) for s = 1, O(1) for s > 1).
+      return ZipfProbabilities(d, options.exponent, 0.5);
+    case ZipfClass::kScaledZipf: {
+      // Zipf shape rescaled so sum p = c0 * ln n.
+      auto shaped = ZipfProbabilities(d, options.exponent, 0.5);
+      if (!shaped.ok()) return shaped.status();
+      return ScaleToAverageSize(*shaped, options.c0 * log_n);
+    }
+    case ZipfClass::kPiecewiseZipf: {
+      // Theta(ln n)-wide flat-ish head + Zipf tail, rescaled to c0 ln n.
+      size_t head = std::max<size_t>(
+          4, static_cast<size_t>(4.0 * options.c0 * log_n));
+      head = std::min(head, d - 1);
+      auto shaped = PiecewiseZipfProbabilities(
+          {{head, 0.5, 0.1}, {d - head, 0.25, options.exponent}});
+      if (!shaped.ok()) return shaped.status();
+      return ScaleToAverageSize(*shaped, options.c0 * log_n);
+    }
+  }
+  return Status::InvalidArgument("unknown Zipf class");
+}
+
+Result<std::vector<ZipfClassPoint>> AnalyzeZipfClass(
+    const ZipfClassOptions& options, const std::vector<size_t>& ns) {
+  if (ns.empty()) return Status::InvalidArgument("need at least one n");
+  std::vector<ZipfClassPoint> points;
+  points.reserve(ns.size());
+  for (size_t n : ns) {
+    auto dist = MakeZipfClassDistribution(options, n);
+    if (!dist.ok()) return dist.status();
+    ZipfClassPoint point;
+    point.n = n;
+    point.expected_size = dist->SumP();
+    point.c_of_n = dist->CForN(n);
+    auto rho = CorrelatedRho(*dist, options.alpha);
+    if (!rho.ok()) return rho.status();
+    point.rho_ours = *rho;
+    point.rho_chosen_path = ChosenPathRhoForDistribution(*dist,
+                                                         options.alpha);
+    point.gap = point.rho_chosen_path - point.rho_ours;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace skewsearch

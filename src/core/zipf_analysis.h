@@ -1,0 +1,78 @@
+// Copyright 2026 The skewsearch Authors.
+// Exploration of the paper's Section 9 open problem:
+//
+//   "One more often encounters distributions with much more gradual skew,
+//    such as a Zipf distribution. Unfortunately, sets selected using a
+//    Zipf distribution have very small expected size, which trivializes
+//    the asymptotics. It would be interesting to find a class of
+//    distributions that accurately characterizes the skew of real data
+//    while remaining interesting for asymptotic analysis."
+//
+// This module formalizes candidate classes and measures, as n grows,
+//   (a) whether the asymptotics stay "interesting" — the paper needs
+//       sum_i p_i = C ln n with large C, i.e. C(n) must not vanish — and
+//   (b) whether the skew advantage persists — the gap between our
+//       Theorem 1 exponent and Chosen Path's.
+//
+// Classes implemented:
+//   kPureZipf        p_j = p1 / j^s with d(n) = n:      C(n) -> constant
+//                    (s = 1) or -> 0 (s > 1): trivializes, as the paper
+//                    observes.
+//   kScaledZipf      Zipf shape, but rescaled so that sum p = C0 ln n
+//                    (density grows with n, shape fixed): C(n) = C0 by
+//                    construction — asymptotics stay interesting, skew
+//                    persists. A candidate answer to the open problem.
+//   kPiecewiseZipf   the Section 8 observation: a flatter head plus a
+//                    Zipf tail, head width Theta(ln n): keeps both the
+//                    realistic profile and C(n) = Theta(1).
+
+#ifndef SKEWSEARCH_CORE_ZIPF_ANALYSIS_H_
+#define SKEWSEARCH_CORE_ZIPF_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/distribution.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// Candidate distribution classes for the Section 9 open problem.
+enum class ZipfClass {
+  kPureZipf,
+  kScaledZipf,
+  kPiecewiseZipf,
+};
+
+/// \brief Parameters of a Zipf-class family.
+struct ZipfClassOptions {
+  ZipfClass kind = ZipfClass::kScaledZipf;
+  double exponent = 1.0;  ///< Zipf decay s
+  double c0 = 10.0;       ///< target C for the scaled/piecewise classes
+  double alpha = 2.0 / 3.0;  ///< correlation for the exponent comparison
+  /// Universe size as a function of n: d = universe_factor * n.
+  double universe_factor = 1.0;
+};
+
+/// \brief One row of the asymptotic study.
+struct ZipfClassPoint {
+  size_t n = 0;
+  double expected_size = 0.0;  ///< m(n) = sum p_i
+  double c_of_n = 0.0;         ///< m(n) / ln n
+  double rho_ours = 0.0;       ///< Theorem 1 exponent
+  double rho_chosen_path = 0.0;
+  double gap = 0.0;            ///< rho_cp - rho_ours (the skew advantage)
+};
+
+/// Materializes the class's distribution at size n.
+Result<ProductDistribution> MakeZipfClassDistribution(
+    const ZipfClassOptions& options, size_t n);
+
+/// Computes the asymptotic study at each n: m(n), C(n) and the exponent
+/// gap. Answers (a) and (b) above per class.
+Result<std::vector<ZipfClassPoint>> AnalyzeZipfClass(
+    const ZipfClassOptions& options, const std::vector<size_t>& ns);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_ZIPF_ANALYSIS_H_

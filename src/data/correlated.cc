@@ -1,0 +1,44 @@
+#include "data/correlated.h"
+
+#include "hashing/mix.h"
+#include "util/math.h"
+
+namespace skewsearch {
+
+namespace {
+
+// Copy-coin for dimension `item` under query nonce `nonce`: true means
+// "q_i copies x_i", false means "q_i is resampled from Bernoulli(p_i)".
+inline bool CopyCoin(uint64_t nonce, ItemId item, double alpha) {
+  return ToUnitInterval(Mix64(nonce ^ Mix64(0xc0ffee123457ULL + item))) <
+         alpha;
+}
+
+}  // namespace
+
+CorrelatedQuerySampler::CorrelatedQuerySampler(const ProductDistribution* dist,
+                                               double alpha)
+    : dist_(dist), alpha_(Clamp(alpha, 0.0, 1.0)) {}
+
+SparseVector CorrelatedQuerySampler::SampleCorrelated(
+    std::span<const ItemId> x, Rng* rng) const {
+  const uint64_t nonce = rng->NextUint64();
+  std::vector<ItemId> ids;
+  ids.reserve(x.size() + 8);
+  // Dimensions where the coin says "copy" take x's bit; only set bits of x
+  // can contribute.
+  for (ItemId item : x) {
+    if (CopyCoin(nonce, item, alpha_)) ids.push_back(item);
+  }
+  // Dimensions where the coin says "resample" take a fresh Bernoulli(p_i);
+  // only set bits of an independent sample y ~ D can contribute. The two
+  // branches are disjoint by construction (a coin is either copy or
+  // resample), so no dimension is added twice.
+  SparseVector fresh = dist_->Sample(rng);
+  for (ItemId item : fresh.ids()) {
+    if (!CopyCoin(nonce, item, alpha_)) ids.push_back(item);
+  }
+  return SparseVector::FromIds(std::move(ids));
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,45 @@
+// Copyright 2026 The skewsearch Authors.
+// Alpha-correlated query sampling (Definition 3 of the paper).
+//
+// q ~ D_alpha(x): independently per dimension i, q_i = x_i with probability
+// alpha, otherwise q_i ~ Bernoulli(p_i). Marginally q ~ D, and each (q_i,
+// x_i) pair has Pearson correlation alpha.
+
+#ifndef SKEWSEARCH_DATA_CORRELATED_H_
+#define SKEWSEARCH_DATA_CORRELATED_H_
+
+#include <span>
+
+#include "data/distribution.h"
+#include "data/sparse_vector.h"
+#include "util/random.h"
+
+namespace skewsearch {
+
+/// \brief Samples queries alpha-correlated with a given vector.
+///
+/// Implementation note: materializing the per-dimension copy/resample coin
+/// for all d dimensions would cost O(d) per query. Instead the coin for
+/// dimension i is a hash of (per-query nonce, i): deterministic within one
+/// query, independent across queries, and only evaluated for the O(|x|+|y|)
+/// dimensions that could possibly be set — so sampling costs O(|x| + |y|).
+class CorrelatedQuerySampler {
+ public:
+  /// \param dist  the data distribution D (not owned; must outlive this).
+  /// \param alpha correlation in [0, 1].
+  CorrelatedQuerySampler(const ProductDistribution* dist, double alpha);
+
+  /// Draws q ~ D_alpha(x).
+  SparseVector SampleCorrelated(std::span<const ItemId> x, Rng* rng) const;
+
+  /// The correlation parameter.
+  double alpha() const { return alpha_; }
+
+ private:
+  const ProductDistribution* dist_;
+  double alpha_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_CORRELATED_H_

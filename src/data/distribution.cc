@@ -1,0 +1,86 @@
+#include "data/distribution.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+Result<ProductDistribution> ProductDistribution::Create(
+    std::vector<double> p) {
+  if (p.empty()) {
+    return Status::InvalidArgument("distribution needs at least one item");
+  }
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (!(p[i] > 0.0) || !(p[i] < 1.0)) {
+      return Status::InvalidArgument(
+          "p[" + std::to_string(i) + "] = " + std::to_string(p[i]) +
+          " outside (0, 1)");
+    }
+  }
+  return ProductDistribution(std::move(p));
+}
+
+ProductDistribution::ProductDistribution(std::vector<double> p)
+    : p_(std::move(p)) {
+  log_inv_p_.resize(p_.size());
+  std::vector<double> copy(p_);
+  sum_p_ = StableSum(copy);
+  for (size_t i = 0; i < p_.size(); ++i) {
+    log_inv_p_[i] = -std::log(p_[i]);
+    max_p_ = std::max(max_p_, p_[i]);
+  }
+  // Greedy blocking: extend the current block while the max/min probability
+  // ratio stays <= 2, which bounds the thinning rejection rate by 1/2.
+  ItemId begin = 0;
+  double bmin = p_[0];
+  double bmax = p_[0];
+  for (ItemId i = 1; i < p_.size(); ++i) {
+    double nmin = std::min(bmin, p_[i]);
+    double nmax = std::max(bmax, p_[i]);
+    if (nmax > 2.0 * nmin) {
+      blocks_.push_back({begin, i, bmax});
+      begin = i;
+      bmin = bmax = p_[i];
+    } else {
+      bmin = nmin;
+      bmax = nmax;
+    }
+  }
+  blocks_.push_back({begin, static_cast<ItemId>(p_.size()), bmax});
+}
+
+double ProductDistribution::CForN(size_t n) const {
+  if (n < 2) return 0.0;
+  return sum_p_ / std::log(static_cast<double>(n));
+}
+
+bool ProductDistribution::SatisfiesHalfAssumption(double eps) const {
+  return max_p_ <= 0.5 + eps;
+}
+
+SparseVector ProductDistribution::Sample(Rng* rng) const {
+  std::vector<ItemId> ids;
+  ids.reserve(static_cast<size_t>(sum_p_ * 1.5) + 8);
+  for (const Block& block : blocks_) {
+    ItemId pos = block.begin;
+    while (true) {
+      uint64_t skip = rng->NextGeometricSkips(block.p_max);
+      uint64_t candidate = static_cast<uint64_t>(pos) + skip;
+      if (candidate >= block.end) break;
+      ItemId item = static_cast<ItemId>(candidate);
+      // Thinning: candidate fired at rate p_max; accept at p_i / p_max to
+      // realize exact Bernoulli(p_i).
+      double accept = p_[item] / block.p_max;
+      if (accept >= 1.0 || rng->NextBernoulli(accept)) {
+        ids.push_back(item);
+      }
+      pos = item + 1;
+      if (pos >= block.end) break;
+    }
+  }
+  return SparseVector::FromSorted(std::move(ids));
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,31 @@
+#include "data/estimate.h"
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+Result<ProductDistribution> EstimateFrequencies(
+    const Dataset& data, const EstimateOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot estimate from an empty dataset");
+  }
+  if (data.dimension() == 0) {
+    return Status::InvalidArgument("dataset has zero dimension");
+  }
+  const double n = static_cast<double>(data.size());
+  double min_p = options.min_p > 0.0 ? options.min_p : 1.0 / (2.0 * n);
+
+  std::vector<double> counts(data.dimension(), 0.0);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (ItemId item : data.Get(id)) counts[item] += 1.0;
+  }
+  std::vector<double> p(data.dimension());
+  for (size_t i = 0; i < p.size(); ++i) {
+    double estimate =
+        (counts[i] + options.smoothing) / (n + 2.0 * options.smoothing);
+    p[i] = Clamp(estimate, min_p, options.max_p);
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+}  // namespace skewsearch

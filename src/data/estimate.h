@@ -1,0 +1,35 @@
+// Copyright 2026 The skewsearch Authors.
+// Frequency estimation from data (the paper's Section 9 open question:
+// "one can estimate each p_i to very high precision by counting the
+// occurrences in the dataset itself"). This module is the basis of the
+// estimated-vs-known-p ablation in bench/ablation_estimated_p.
+
+#ifndef SKEWSEARCH_DATA_ESTIMATE_H_
+#define SKEWSEARCH_DATA_ESTIMATE_H_
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Options for EstimateFrequencies.
+struct EstimateOptions {
+  /// Additive (Laplace) smoothing so unseen items keep nonzero probability.
+  double smoothing = 0.5;
+  /// Lower clamp; <= 0 means 1 / (2n) (an item absent from the data).
+  double min_p = -1.0;
+  /// Upper clamp; the model requires probabilities below 1 and the theory
+  /// prefers <= 1/2.
+  double max_p = 0.5;
+};
+
+/// Estimates D[p_1..p_d] from item occurrence counts:
+/// p_i = (count_i + smoothing) / (n + 2 * smoothing), clamped into
+/// [min_p, max_p]. The universe size is data.dimension().
+Result<ProductDistribution> EstimateFrequencies(
+    const Dataset& data, const EstimateOptions& options = {});
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_ESTIMATE_H_

@@ -1,0 +1,183 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/correlated.h"
+#include "util/math.h"
+
+namespace skewsearch {
+
+Result<ProductDistribution> UniformProbabilities(size_t d, double p) {
+  return ProductDistribution::Create(std::vector<double>(d, p));
+}
+
+Result<ProductDistribution> TwoBlockProbabilities(size_t d_frequent,
+                                                  double p_frequent,
+                                                  size_t d_rare,
+                                                  double p_rare) {
+  std::vector<double> p;
+  p.reserve(d_frequent + d_rare);
+  p.insert(p.end(), d_frequent, p_frequent);
+  p.insert(p.end(), d_rare, p_rare);
+  return ProductDistribution::Create(std::move(p));
+}
+
+Result<ProductDistribution> HarmonicProbabilities(size_t d, double cap) {
+  std::vector<double> p(d);
+  for (size_t k = 0; k < d; ++k) {
+    p[k] = std::min(cap, 1.0 / static_cast<double>(k + 1));
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+Result<ProductDistribution> ZipfProbabilities(size_t d, double exponent,
+                                              double p_head, double cap) {
+  std::vector<double> p(d);
+  for (size_t j = 0; j < d; ++j) {
+    p[j] = std::min(cap, p_head / std::pow(static_cast<double>(j + 1),
+                                           exponent));
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+Result<ProductDistribution> PiecewiseZipfProbabilities(
+    const std::vector<ZipfSegment>& segments, double cap) {
+  std::vector<double> p;
+  for (const ZipfSegment& seg : segments) {
+    for (size_t j = 0; j < seg.count; ++j) {
+      p.push_back(std::min(
+          cap, seg.p_head / std::pow(static_cast<double>(j + 1),
+                                     seg.exponent)));
+    }
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+Result<ProductDistribution> ScaleToAverageSize(const ProductDistribution& dist,
+                                               double target_avg_size,
+                                               double cap) {
+  if (target_avg_size <= 0.0) {
+    return Status::InvalidArgument("target average size must be positive");
+  }
+  std::vector<double> p = dist.probabilities();
+  // The cap makes the map scale -> E|x| piecewise linear; a few fixpoint
+  // rounds converge far closer than sampling noise.
+  double scale = 1.0;
+  for (int round = 0; round < 64; ++round) {
+    double sum = 0.0;
+    for (double v : p) sum += std::min(cap, v * scale);
+    if (std::abs(sum - target_avg_size) < 1e-9 * target_avg_size) break;
+    if (sum <= 0.0) break;
+    scale *= target_avg_size / sum;
+  }
+  for (double& v : p) {
+    v = Clamp(v * scale, 1e-12, cap);
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+Dataset GenerateDataset(const ProductDistribution& dist, size_t n, Rng* rng) {
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    data.Add(dist.Sample(rng));
+  }
+  Status s = data.SetDimension(dist.dimension());
+  (void)s;  // dimension() of samples never exceeds dist.dimension()
+  return data;
+}
+
+PlantedPairInstance GeneratePlantedPair(const ProductDistribution& dist,
+                                        size_t n, double alpha, Rng* rng) {
+  PlantedPairInstance out;
+  std::vector<SparseVector> vectors;
+  vectors.reserve(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    vectors.push_back(dist.Sample(rng));
+  }
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  size_t base = rng->NextBounded(vectors.size());
+  vectors.push_back(sampler.SampleCorrelated(vectors[base].span(), rng));
+
+  // Shuffle positions while remembering where the pair lands.
+  std::vector<size_t> perm(vectors.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+  std::vector<size_t> where(perm.size());
+  for (size_t slot = 0; slot < perm.size(); ++slot) where[perm[slot]] = slot;
+
+  std::vector<const SparseVector*> ordered(vectors.size());
+  for (size_t slot = 0; slot < perm.size(); ++slot) {
+    ordered[slot] = &vectors[perm[slot]];
+  }
+  for (const SparseVector* v : ordered) out.data.Add(*v);
+  Status s = out.data.SetDimension(dist.dimension());
+  (void)s;
+  out.first = static_cast<VectorId>(where[base]);
+  out.second = static_cast<VectorId>(where[vectors.size() - 1]);
+  return out;
+}
+
+TopicModelGenerator::TopicModelGenerator(const ProductDistribution& background,
+                                         TopicModelOptions options, Rng* rng)
+    : background_(&background), options_(options) {
+  topics_.resize(options_.num_topics);
+  const uint64_t d = background.dimension();
+  for (auto& topic : topics_) {
+    // Sample topic_size distinct items uniformly from the universe.
+    std::vector<ItemId> items;
+    while (items.size() < options_.topic_size &&
+           items.size() < static_cast<size_t>(d)) {
+      ItemId candidate = static_cast<ItemId>(rng->NextBounded(d));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    topic = std::move(items);
+  }
+}
+
+SparseVector TopicModelGenerator::Sample(Rng* rng) const {
+  SparseVector base = background_->Sample(rng);
+  std::vector<ItemId> ids(base.ids());
+  auto include_topic = [&](const std::vector<ItemId>& topic) {
+    for (ItemId item : topic) {
+      if (rng->NextBernoulli(options_.include_prob)) ids.push_back(item);
+    }
+  };
+  if (options_.heavy_tail_exponent > 0.0 && !topics_.empty()) {
+    // Pareto-like count: Pr[active >= k] = (k+1)^{-exponent}.
+    double u = rng->NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    double raw =
+        std::floor(std::pow(u, -1.0 / options_.heavy_tail_exponent));
+    size_t active = static_cast<size_t>(
+        std::min<double>(raw - 1.0, static_cast<double>(topics_.size())));
+    // Distinct random topics; for small `active` the retry loop is cheap.
+    std::vector<size_t> chosen;
+    while (chosen.size() < active) {
+      size_t t = static_cast<size_t>(rng->NextBounded(topics_.size()));
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+        include_topic(topics_[t]);
+      }
+    }
+  } else {
+    for (const auto& topic : topics_) {
+      if (!rng->NextBernoulli(options_.activation_prob)) continue;
+      include_topic(topic);
+    }
+  }
+  return SparseVector::FromIds(std::move(ids));
+}
+
+Dataset TopicModelGenerator::Generate(size_t n, Rng* rng) const {
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) data.Add(Sample(rng));
+  Status s = data.SetDimension(background_->dimension());
+  (void)s;
+  return data;
+}
+
+}  // namespace skewsearch

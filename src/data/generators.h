@@ -1,0 +1,125 @@
+// Copyright 2026 The skewsearch Authors.
+// Distribution builders and dataset generators for every workload the
+// paper's analysis and evaluation rely on:
+//   - uniform p (no skew; Chosen Path's home turf),
+//   - two-block distributions (Figure 1 and the Section 7 examples),
+//   - the harmonic distribution of the Section 1 motivating example,
+//   - (piecewise-)Zipfian profiles matching Section 8's real-data study,
+//   - planted-pair "light bulb" instances,
+//   - topic-model datasets with *dependent* bits (Table 1 / robustness).
+
+#ifndef SKEWSEARCH_DATA_GENERATORS_H_
+#define SKEWSEARCH_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// All d items set with the same probability p (the no-skew case; our data
+/// structure must match Chosen Path here).
+Result<ProductDistribution> UniformProbabilities(size_t d, double p);
+
+/// d_frequent items at p_frequent followed by d_rare items at p_rare.
+/// The Figure 1 setting is TwoBlock(d/2, p, d/2, p/8).
+Result<ProductDistribution> TwoBlockProbabilities(size_t d_frequent,
+                                                  double p_frequent,
+                                                  size_t d_rare,
+                                                  double p_rare);
+
+/// The motivating example's "harmonic" distribution: p_k = min(cap, 1/k),
+/// k = 1..d. (The paper's p_1 = 1 is capped to keep probabilities < 1.)
+Result<ProductDistribution> HarmonicProbabilities(size_t d, double cap = 0.5);
+
+/// Zipfian: p_j proportional to 1/(j+1)^exponent, scaled so the maximum is
+/// p_head (then capped at `cap`).
+Result<ProductDistribution> ZipfProbabilities(size_t d, double exponent,
+                                              double p_head,
+                                              double cap = 0.5);
+
+/// One segment of a piecewise-Zipfian profile (Section 8 observes that real
+/// data is approximately piecewise Zipfian).
+struct ZipfSegment {
+  size_t count;     ///< number of items in the segment
+  double p_head;    ///< probability of the segment's most frequent item
+  double exponent;  ///< Zipf decay within the segment
+};
+
+/// Concatenates Zipf segments into one profile (capped at `cap`).
+Result<ProductDistribution> PiecewiseZipfProbabilities(
+    const std::vector<ZipfSegment>& segments, double cap = 0.5);
+
+/// Rescales probabilities (multiplicatively, then capped at `cap`) so the
+/// expected set size becomes `target_avg_size`. Used to match real-dataset
+/// densities. Iterates because the cap makes scaling nonlinear.
+Result<ProductDistribution> ScaleToAverageSize(const ProductDistribution& dist,
+                                               double target_avg_size,
+                                               double cap = 0.5);
+
+/// Samples n i.i.d. vectors from \p dist.
+Dataset GenerateDataset(const ProductDistribution& dist, size_t n, Rng* rng);
+
+/// \brief A "light bulb" instance: i.i.d. background plus one planted
+/// alpha-correlated pair.
+struct PlantedPairInstance {
+  Dataset data;
+  VectorId first;   ///< index of x
+  VectorId second;  ///< index of the vector alpha-correlated with x
+};
+
+/// Generates n-1 i.i.d. vectors plus one vector alpha-correlated with a
+/// random one of them, at shuffled positions.
+PlantedPairInstance GeneratePlantedPair(const ProductDistribution& dist,
+                                        size_t n, double alpha, Rng* rng);
+
+/// \brief Options for the topic-model generator (dependent bits).
+///
+/// Each vector draws an independent background sample from `background`,
+/// then activates each of `num_topics` topics independently with
+/// probability `activation_prob`; an active topic contributes each item of
+/// its (fixed, size `topic_size`) item set with probability `include_prob`.
+/// Items inside a topic therefore co-occur more often than independence
+/// predicts — exactly the effect Table 1 measures on real data.
+struct TopicModelOptions {
+  size_t num_topics = 50;
+  size_t topic_size = 20;
+  double activation_prob = 0.05;
+  double include_prob = 0.5;
+  /// When > 0, the number of active topics per vector is heavy-tailed
+  /// instead of Bernoulli-per-topic: Pr[active >= k] ~ (k+1)^{-exponent}.
+  /// Occasional vectors activate many topics at once, producing the
+  /// heavy-tailed set sizes and strong |I|=3 co-occurrence that the
+  /// paper's Table 1 reports for KOSARAK/NETFLIX/ORKUT/SPOTIFY.
+  double heavy_tail_exponent = 0.0;
+};
+
+/// \brief Generator producing positively-correlated datasets.
+class TopicModelGenerator {
+ public:
+  /// Topics are drawn once from \p rng over [0, background.dimension()).
+  TopicModelGenerator(const ProductDistribution& background,
+                      TopicModelOptions options, Rng* rng);
+
+  /// Samples one vector (background + active-topic items).
+  SparseVector Sample(Rng* rng) const;
+
+  /// Samples a whole dataset of n vectors.
+  Dataset Generate(size_t n, Rng* rng) const;
+
+  /// The fixed item set of topic t (for tests).
+  const std::vector<ItemId>& topic(size_t t) const { return topics_[t]; }
+
+ private:
+  const ProductDistribution* background_;
+  TopicModelOptions options_;
+  std::vector<std::vector<ItemId>> topics_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_GENERATORS_H_

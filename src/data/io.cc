@@ -1,0 +1,171 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+Status WriteTransactions(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  for (VectorId id = 0; id < data.size(); ++id) {
+    auto items = data.Get(id);
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (k > 0) out << ' ';
+      out << items[k];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'S', 'K', 'S', '1'};
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteBinary(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  uint64_t n = data.size();
+  uint64_t dim = data.dimension();
+  uint64_t total = data.TotalItems();
+  if (!WritePod(out, n) || !WritePod(out, dim) || !WritePod(out, total)) {
+    return Status::IOError("header write to '" + path + "' failed");
+  }
+  uint64_t offset = 0;
+  if (!WritePod(out, offset)) return Status::IOError("offset write failed");
+  for (VectorId id = 0; id < data.size(); ++id) {
+    offset += data.SizeOf(id);
+    if (!WritePod(out, offset)) {
+      return Status::IOError("offset write to '" + path + "' failed");
+    }
+  }
+  for (VectorId id = 0; id < data.size(); ++id) {
+    auto items = data.Get(id);
+    out.write(reinterpret_cast<const char*>(items.data()),
+              static_cast<std::streamsize>(items.size() * sizeof(ItemId)));
+    if (!out) {
+      return Status::IOError("item write to '" + path + "' failed");
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path +
+                           "' for reading: " + std::strerror(errno));
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a skewsearch binary dataset");
+  }
+  uint64_t n = 0, dim = 0, total = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &dim) || !ReadPod(in, &total)) {
+    return Status::InvalidArgument("truncated header in '" + path + "'");
+  }
+  std::vector<uint64_t> offsets(n + 1);
+  for (auto& offset : offsets) {
+    if (!ReadPod(in, &offset)) {
+      return Status::InvalidArgument("truncated offsets in '" + path + "'");
+    }
+  }
+  if (offsets.front() != 0 || offsets.back() != total) {
+    return Status::InvalidArgument("inconsistent offsets in '" + path + "'");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::InvalidArgument("decreasing offsets in '" + path + "'");
+    }
+  }
+  Dataset data;
+  std::vector<ItemId> buffer;
+  for (size_t i = 0; i < n; ++i) {
+    size_t count = offsets[i + 1] - offsets[i];
+    buffer.resize(count);
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(count * sizeof(ItemId)));
+    if (!in) {
+      return Status::InvalidArgument("truncated items in '" + path + "'");
+    }
+    for (size_t k = 1; k < buffer.size(); ++k) {
+      if (buffer[k - 1] >= buffer[k]) {
+        return Status::InvalidArgument(
+            "vector " + std::to_string(i) + " in '" + path +
+            "' is not strictly sorted");
+      }
+    }
+    data.Add(std::span<const ItemId>(buffer));
+  }
+  if (dim > 0) {
+    SKEWSEARCH_RETURN_NOT_OK(data.SetDimension(dim));
+  }
+  return data;
+}
+
+Result<Dataset> ReadTransactions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path +
+                           "' for reading: " + std::strerror(errno));
+  }
+  Dataset data;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::vector<ItemId> ids;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+          value > 0xffffffffULL) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + " of '" + path +
+            "': bad item token '" + token + "'");
+      }
+      ids.push_back(static_cast<ItemId>(value));
+    }
+    data.Add(SparseVector::FromIds(std::move(ids)));
+  }
+  return data;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,37 @@
+// Copyright 2026 The skewsearch Authors.
+// Dataset (de)serialization in the "transaction" text format used by the
+// set-similarity-join benchmark ecosystem: one set per line, items as
+// whitespace-separated non-negative integers.
+
+#ifndef SKEWSEARCH_DATA_IO_H_
+#define SKEWSEARCH_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+/// Writes \p data to \p path, one line per set.
+Status WriteTransactions(const Dataset& data, const std::string& path);
+
+/// Reads a transaction file. Items on each line are sorted and deduplicated;
+/// empty lines become empty sets. Fails with IOError / InvalidArgument on
+/// unreadable files or non-numeric tokens.
+Result<Dataset> ReadTransactions(const std::string& path);
+
+/// Writes \p data in the skewsearch binary format (magic "SKS1",
+/// little-endian u64 header fields, u64 offsets, u32 items). Roughly 5x
+/// faster and 2-3x smaller than the text format for typical datasets.
+Status WriteBinary(const Dataset& data, const std::string& path);
+
+/// Reads a binary dataset written by WriteBinary. Validates the magic,
+/// header consistency, and that item arrays are sorted; fails with
+/// IOError / InvalidArgument on malformed files.
+Result<Dataset> ReadBinary(const std::string& path);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_IO_H_

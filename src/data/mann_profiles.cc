@@ -1,0 +1,70 @@
+#include "data/mann_profiles.h"
+
+#include <cmath>
+
+namespace skewsearch {
+
+std::vector<MannProfileSpec> AllMannProfiles() {
+  // Shapes chosen per the published dataset statistics (Mann et al. 2016,
+  // Table 1) with n and d scaled to ~10-20k sets. `topic_strength` is the
+  // topic activation probability; profiles whose measured independence
+  // ratios in the paper's Table 1 are close to 1 get strength 0, the four
+  // strongly-dependent datasets get increasing strengths (SPOTIFY, whose
+  // |I|=3 ratio is 6022, gets the largest).
+  return {
+      // name          n      d      avg    zipf  headfr headexp topic tsz  tail
+      {"AOL",          20000, 48000, 3.0,   1.05, 0.02,  0.35,   0.0,  0,   0.0},
+      {"BMS-POS",      16000, 1657,  6.5,   0.95, 0.05,  0.30,   0.0,  0,   0.0},
+      {"DBLP",         16000, 6900,  10.2,  0.80, 0.05,  0.30,   0.0,  0,   0.0},
+      {"ENRON",        12000, 60000, 135.0, 0.75, 0.03,  0.25,   0.02, 110, 1.45},
+      {"FLICKR",       18000, 26000, 10.1,  0.90, 0.04,  0.30,   0.01, 16,  2.6},
+      {"KOSARAK",      16000, 18000, 11.9,  1.10, 0.02,  0.20,   0.06, 24,  1.75},
+      {"LIVEJOURNAL",  14000, 52000, 35.1,  0.85, 0.03,  0.30,   0.02, 40,  1.8},
+      {"NETFLIX",      10000, 8900,  209.3, 0.65, 0.08,  0.20,   0.05, 170, 1.45},
+      {"ORKUT",        12000, 64000, 119.7, 0.70, 0.04,  0.25,   0.05, 120, 1.4},
+      {"SPOTIFY",      14000, 38000, 12.8,  1.20, 0.01,  0.15,   0.12, 56,  1.0},
+  };
+}
+
+Result<MannProfileSpec> FindMannProfile(const std::string& name) {
+  for (const MannProfileSpec& spec : AllMannProfiles()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no Mann profile named '" + name + "'");
+}
+
+Result<MannInstance> BuildMannInstance(const MannProfileSpec& spec, Rng* rng) {
+  // Two Zipf segments: a flatter "head" (very frequent items, e.g. stop
+  // words / blockbuster movies) and a steeper tail — the piecewise-Zipfian
+  // shape Section 8 reports for all ten datasets.
+  size_t head = std::max<size_t>(1, static_cast<size_t>(
+                                        spec.head_fraction *
+                                        static_cast<double>(spec.d)));
+  size_t tail = spec.d > head ? spec.d - head : 1;
+  std::vector<ZipfSegment> segments = {
+      {head, 0.5, spec.head_exponent},
+      {tail, 0.5 / std::pow(static_cast<double>(head), 0.5),
+       spec.zipf_exponent},
+  };
+  auto shaped = PiecewiseZipfProbabilities(segments);
+  if (!shaped.ok()) return shaped.status();
+  auto scaled = ScaleToAverageSize(*shaped, spec.avg_size);
+  if (!scaled.ok()) return scaled.status();
+
+  MannInstance out{spec, std::move(scaled.value()), Dataset()};
+  if (spec.topic_strength > 0.0) {
+    TopicModelOptions topic_options;
+    topic_options.num_topics = 64;
+    topic_options.topic_size = spec.topic_size;
+    topic_options.activation_prob = spec.topic_strength;
+    topic_options.include_prob = 0.6;
+    topic_options.heavy_tail_exponent = spec.heavy_tail;
+    TopicModelGenerator gen(out.distribution, topic_options, rng);
+    out.data = gen.Generate(spec.n, rng);
+  } else {
+    out.data = GenerateDataset(out.distribution, spec.n, rng);
+  }
+  return out;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,67 @@
+// Copyright 2026 The skewsearch Authors.
+// Synthetic stand-ins for the ten real datasets of the set-similarity
+// benchmark of Mann, Augsten & Bouros (PVLDB 2016), which the paper uses in
+// Section 8 (Figure 2: frequency skew; Table 1: independence ratios).
+//
+// SUBSTITUTION (documented in DESIGN.md §5): the original datasets are not
+// redistributable here, so each profile below is a *shape-matched,
+// scaled-down* synthetic model: a piecewise-Zipfian item-frequency curve
+// (Section 8's empirical finding is precisely that the real curves are
+// close to piecewise Zipfian) with n, d and average set size scaled to
+// laptop size while preserving density and skew, plus — for the datasets
+// where the paper measured strong positive dependence (KOSARAK, NETFLIX,
+// ORKUT, SPOTIFY in Table 1) — a topic-model component that plants
+// co-occurrence of matching strength.
+
+#ifndef SKEWSEARCH_DATA_MANN_PROFILES_H_
+#define SKEWSEARCH_DATA_MANN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "data/generators.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Parameters of one synthetic stand-in profile.
+struct MannProfileSpec {
+  std::string name;        ///< original dataset name (e.g. "KOSARAK")
+  size_t n;                ///< number of sets (scaled down)
+  size_t d;                ///< universe size (scaled down)
+  double avg_size;         ///< target average set size (matches original)
+  double zipf_exponent;    ///< dominant Zipf decay of the frequency curve
+  double head_fraction;    ///< fraction of dimensions in the flatter head
+  double head_exponent;    ///< Zipf decay within the head segment
+  double topic_strength;   ///< 0 = independent; >0 plants dependence
+  size_t topic_size;       ///< items per planted topic (if any)
+  double heavy_tail;       ///< >0: heavy-tailed topic activation exponent
+                           ///< (smaller = heavier tail; see
+                           ///< TopicModelOptions::heavy_tail_exponent)
+};
+
+/// All ten profiles in the paper's Table 1 order.
+std::vector<MannProfileSpec> AllMannProfiles();
+
+/// Looks up a profile by (case-sensitive) name.
+Result<MannProfileSpec> FindMannProfile(const std::string& name);
+
+/// \brief A realized stand-in: the frequency model plus a sampled dataset.
+struct MannInstance {
+  MannProfileSpec spec;
+  ProductDistribution distribution;  ///< the piecewise-Zipfian marginals
+  Dataset data;                      ///< sampled (independent or topic) data
+};
+
+/// Builds the distribution and samples the dataset for \p spec.
+/// When spec.topic_strength > 0 the dataset is sampled from the topic model
+/// (so its bits are positively dependent); the returned `distribution`
+/// still describes the background marginals used for generation.
+Result<MannInstance> BuildMannInstance(const MannProfileSpec& spec, Rng* rng);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_MANN_PROFILES_H_

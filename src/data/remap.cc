@@ -1,0 +1,91 @@
+#include "data/remap.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace skewsearch {
+
+ItemRemap::ItemRemap(std::vector<ItemId> forward)
+    : forward_(std::move(forward)) {
+  backward_.resize(forward_.size());
+  for (size_t old_id = 0; old_id < forward_.size(); ++old_id) {
+    backward_[forward_[old_id]] = static_cast<ItemId>(old_id);
+  }
+}
+
+ItemRemap ItemRemap::Identity(size_t d) {
+  std::vector<ItemId> forward(d);
+  std::iota(forward.begin(), forward.end(), 0);
+  return ItemRemap(std::move(forward));
+}
+
+namespace {
+
+// Builds old->new from a ranking of old ids (rank 0 = new id 0).
+std::vector<ItemId> ForwardFromRanking(std::vector<ItemId> ranking) {
+  std::vector<ItemId> forward(ranking.size());
+  for (size_t rank = 0; rank < ranking.size(); ++rank) {
+    forward[ranking[rank]] = static_cast<ItemId>(rank);
+  }
+  return forward;
+}
+
+}  // namespace
+
+ItemRemap ItemRemap::ByFrequency(const Dataset& data) {
+  std::vector<uint32_t> counts(data.dimension(), 0);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (ItemId item : data.Get(id)) counts[item]++;
+  }
+  std::vector<ItemId> ranking(data.dimension());
+  std::iota(ranking.begin(), ranking.end(), 0);
+  std::sort(ranking.begin(), ranking.end(), [&](ItemId a, ItemId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+  return ItemRemap(ForwardFromRanking(std::move(ranking)));
+}
+
+ItemRemap ItemRemap::ByProbability(const ProductDistribution& dist) {
+  std::vector<ItemId> ranking(dist.dimension());
+  std::iota(ranking.begin(), ranking.end(), 0);
+  std::sort(ranking.begin(), ranking.end(), [&](ItemId a, ItemId b) {
+    if (dist.p(a) != dist.p(b)) return dist.p(a) > dist.p(b);
+    return a < b;
+  });
+  return ItemRemap(ForwardFromRanking(std::move(ranking)));
+}
+
+SparseVector ItemRemap::Apply(const SparseVector& vec) const {
+  std::vector<ItemId> ids;
+  ids.reserve(vec.size());
+  for (ItemId item : vec.ids()) ids.push_back(forward_[item]);
+  return SparseVector::FromIds(std::move(ids));
+}
+
+Dataset ItemRemap::Apply(const Dataset& data) const {
+  Dataset out;
+  std::vector<ItemId> ids;
+  for (VectorId id = 0; id < data.size(); ++id) {
+    ids.clear();
+    for (ItemId item : data.Get(id)) ids.push_back(forward_[item]);
+    out.Add(SparseVector::FromIds(ids));
+  }
+  Status s = out.SetDimension(dimension());
+  (void)s;  // forward_ is a bijection into [dimension())
+  return out;
+}
+
+Result<ProductDistribution> ItemRemap::Apply(
+    const ProductDistribution& dist) const {
+  if (dist.dimension() != dimension()) {
+    return Status::InvalidArgument("remap/distribution dimension mismatch");
+  }
+  std::vector<double> p(dimension());
+  for (size_t old_id = 0; old_id < dimension(); ++old_id) {
+    p[forward_[old_id]] = dist.p(static_cast<ItemId>(old_id));
+  }
+  return ProductDistribution::Create(std::move(p));
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,31 @@
+#include "data/sparse_vector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skewsearch {
+
+SparseVector SparseVector::FromIds(std::vector<ItemId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return SparseVector(std::move(ids));
+}
+
+SparseVector SparseVector::FromSorted(std::vector<ItemId> ids) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < ids.size(); ++i) {
+    assert(ids[i - 1] < ids[i] && "FromSorted requires strictly increasing ids");
+  }
+#endif
+  return SparseVector(std::move(ids));
+}
+
+SparseVector SparseVector::Of(std::initializer_list<ItemId> ids) {
+  return FromIds(std::vector<ItemId>(ids));
+}
+
+bool SparseVector::Contains(ItemId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+}  // namespace skewsearch

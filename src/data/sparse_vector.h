@@ -1,0 +1,70 @@
+// Copyright 2026 The skewsearch Authors.
+// Sparse 0/1 vectors, the element type of the paper's model.
+//
+// A vector x in {0,1}^d is stored as the strictly increasing list of its
+// set-bit indices ("items"). All similarity measures and the path recursion
+// operate on this representation.
+
+#ifndef SKEWSEARCH_DATA_SPARSE_VECTOR_H_
+#define SKEWSEARCH_DATA_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace skewsearch {
+
+/// Index of a dimension / item of the universe [d].
+using ItemId = uint32_t;
+
+/// \brief A sparse boolean vector: the sorted set of its 1-bits.
+///
+/// Invariant: ids are strictly increasing (no duplicates). Construct via
+/// FromIds (sorts and dedupes) or FromSorted (trusts the caller, checked
+/// with assertions in debug builds).
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from arbitrary ids: sorts and removes duplicates.
+  static SparseVector FromIds(std::vector<ItemId> ids);
+
+  /// Builds from ids that are already strictly increasing.
+  static SparseVector FromSorted(std::vector<ItemId> ids);
+
+  /// Convenience literal constructor (sorts and dedupes).
+  static SparseVector Of(std::initializer_list<ItemId> ids);
+
+  /// Number of set bits (|x|, the Hamming weight).
+  size_t size() const { return ids_.size(); }
+
+  /// True iff no bit is set.
+  bool empty() const { return ids_.empty(); }
+
+  /// Sorted set-bit indices.
+  const std::vector<ItemId>& ids() const { return ids_; }
+
+  /// Read-only view of the ids.
+  std::span<const ItemId> span() const { return {ids_.data(), ids_.size()}; }
+
+  /// Membership test by binary search (O(log |x|)).
+  bool Contains(ItemId id) const;
+
+  /// The i-th smallest set bit.
+  ItemId operator[](size_t i) const { return ids_[i]; }
+
+  friend bool operator==(const SparseVector& a, const SparseVector& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  explicit SparseVector(std::vector<ItemId> sorted_ids)
+      : ids_(std::move(sorted_ids)) {}
+
+  std::vector<ItemId> ids_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DATA_SPARSE_VECTOR_H_

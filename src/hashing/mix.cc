@@ -1,0 +1,35 @@
+#include "hashing/mix.h"
+
+namespace skewsearch {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t Avalanche64(uint64_t x) {
+  x ^= x >> 37;
+  x *= 0x165667919e3779f9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+uint64_t MixPair(uint64_t a, uint64_t b) {
+  // Asymmetric combination: rotating one side breaks commutativity so that
+  // MixPair(a, b) != MixPair(b, a) in general.
+  uint64_t x = a + 0x9e3779b97f4a7c15ULL;
+  x ^= (b << 23) | (b >> 41);
+  x = Mix64(x);
+  x += b;
+  return Avalanche64(x);
+}
+
+double ToUnitInterval(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace skewsearch

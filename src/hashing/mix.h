@@ -1,0 +1,31 @@
+// Copyright 2026 The skewsearch Authors.
+// 64-bit mixing / finalization primitives.
+//
+// These are the raw building blocks for the path hashes of Section 3 of the
+// paper: fast avalanche mixers used to (a) derive path keys incrementally
+// and (b) produce per-(path, item) uniform values in [0,1). A genuinely
+// pairwise-independent alternative lives in hashing/pairwise.h.
+
+#ifndef SKEWSEARCH_HASHING_MIX_H_
+#define SKEWSEARCH_HASHING_MIX_H_
+
+#include <cstdint>
+
+namespace skewsearch {
+
+/// MurmurHash3 fmix64 finalizer: bijective avalanche mix of 64 bits.
+uint64_t Mix64(uint64_t x);
+
+/// xxHash3-style avalanche (distinct constants from Mix64).
+uint64_t Avalanche64(uint64_t x);
+
+/// Combines two words into one well-mixed word (non-commutative, so order
+/// matters — required for hashing *ordered* paths).
+uint64_t MixPair(uint64_t a, uint64_t b);
+
+/// Maps 64 random bits to a double uniform in [0, 1) (53-bit mantissa).
+double ToUnitInterval(uint64_t bits);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_HASHING_MIX_H_

@@ -1,0 +1,42 @@
+#include "hashing/pairwise.h"
+
+namespace skewsearch {
+
+uint64_t ModMersenne61(uint64_t x) {
+  // x = hi * 2^61 + lo  =>  x mod p = hi + lo (mod p) since 2^61 = 1 (mod p).
+  uint64_t r = (x & kMersenne61) + (x >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+uint64_t MulModMersenne61(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod) & kMersenne61;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + ModMersenne61(hi);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+PairwiseHash::PairwiseHash(Rng* rng)
+    : a_(1 + rng->NextBounded(kMersenne61 - 1)),
+      b_(rng->NextBounded(kMersenne61)) {}
+
+PairwiseHash::PairwiseHash(uint64_t a, uint64_t b)
+    : a_(ModMersenne61(a)), b_(ModMersenne61(b)) {
+  if (a_ == 0) a_ = 1;
+}
+
+uint64_t PairwiseHash::HashInt(uint64_t key) const {
+  uint64_t x = ModMersenne61(key);
+  uint64_t r = MulModMersenne61(a_, x) + b_;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+double PairwiseHash::HashUnit(uint64_t key) const {
+  return static_cast<double>(HashInt(key)) /
+         static_cast<double>(kMersenne61);
+}
+
+}  // namespace skewsearch

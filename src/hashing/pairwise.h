@@ -1,0 +1,57 @@
+// Copyright 2026 The skewsearch Authors.
+// Pairwise-independent hash families.
+//
+// Section 3 of the paper draws the level hashes h_j from "a family H of
+// pairwise independent hash functions". We provide the classic degree-one
+// polynomial family over the Mersenne prime p = 2^61 - 1:
+//
+//   h_{a,b}(x) = ((a * x + b) mod p) mod m,      a in [1, p), b in [0, p)
+//
+// which is pairwise independent on [p]. Keys that are full 64-bit words are
+// first reduced mod p; the resulting bias is < 2^-58 and irrelevant here.
+
+#ifndef SKEWSEARCH_HASHING_PAIRWISE_H_
+#define SKEWSEARCH_HASHING_PAIRWISE_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace skewsearch {
+
+/// The Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// Reduces a 64-bit value modulo 2^61 - 1.
+uint64_t ModMersenne61(uint64_t x);
+
+/// Computes (a * b) mod (2^61 - 1) without overflow.
+uint64_t MulModMersenne61(uint64_t a, uint64_t b);
+
+/// \brief One member of the pairwise-independent polynomial family.
+///
+/// Maps 64-bit keys to [0, 1) (via a 61-bit intermediate value). For any two
+/// distinct inputs the pair of outputs is uniform on [p]^2 over the draw of
+/// (a, b) — the property required by Lemma 5's second-moment argument.
+class PairwiseHash {
+ public:
+  /// Draws (a, b) from \p rng.
+  explicit PairwiseHash(Rng* rng);
+
+  /// Constructs from explicit coefficients (used by tests).
+  PairwiseHash(uint64_t a, uint64_t b);
+
+  /// Returns h(key) as a 61-bit integer in [0, 2^61 - 1).
+  uint64_t HashInt(uint64_t key) const;
+
+  /// Returns h(key) scaled to [0, 1).
+  double HashUnit(uint64_t key) const;
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_HASHING_PAIRWISE_H_

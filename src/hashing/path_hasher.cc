@@ -1,0 +1,44 @@
+#include "hashing/path_hasher.h"
+
+#include "hashing/mix.h"
+#include "util/random.h"
+
+namespace skewsearch {
+
+PathHasher::PathHasher(uint64_t seed, int max_level, HashEngine engine)
+    : seed_(seed), max_level_(max_level), engine_(engine) {
+  Rng rng(Mix64(seed ^ 0x5ca1ab1e0ddba11ULL));
+  level_salts_.reserve(static_cast<size_t>(max_level));
+  for (int level = 0; level < max_level; ++level) {
+    level_salts_.push_back(rng.NextUint64());
+  }
+  if (engine_ == HashEngine::kPairwise) {
+    level_hashes_.reserve(static_cast<size_t>(max_level));
+    for (int level = 0; level < max_level; ++level) {
+      level_hashes_.emplace_back(&rng);
+    }
+  }
+}
+
+uint64_t PathHasher::RootKey(uint32_t rep) const {
+  return MixPair(Mix64(seed_), Mix64(0xabcdef12345678ULL + rep));
+}
+
+uint64_t PathHasher::ExtendKey(uint64_t path_key, uint32_t item) const {
+  return MixPair(path_key, Mix64(0x1234567890abcdefULL ^ item));
+}
+
+double PathHasher::LevelDraw(int level, uint64_t path_key,
+                             uint32_t item) const {
+  size_t idx = static_cast<size_t>(level - 1) % level_salts_.size();
+  // The draw must identify the *child* path (v o i); combining the parent
+  // key with the item gives exactly that identity.
+  uint64_t child = MixPair(path_key ^ level_salts_[idx],
+                           Mix64(0x9e3779b97f4a7c15ULL ^ item));
+  if (engine_ == HashEngine::kPairwise) {
+    return level_hashes_[idx].HashUnit(child);
+  }
+  return ToUnitInterval(Avalanche64(child));
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,77 @@
+// Copyright 2026 The skewsearch Authors.
+// PathHasher: the randomness source of the chosen-path recursion.
+//
+// The paper (Section 3) fixes k hash functions h_j : [d]^j -> [0,1], one
+// per path length, drawn from a pairwise-independent family. A path
+// v = (i_1, ..., i_j) is extended by item i iff h_{j+1}(v o i) < s(x, j, i).
+//
+// We represent a path by a 64-bit *key* built incrementally:
+//
+//   key(empty, rep)   = Mix(seed, rep)            -- one root per repetition
+//   key(v o i)        = MixPair(key(v), Mix(i))
+//
+// Distinct paths map to distinct keys up to 64-bit collisions (birthday
+// bound; ~2^24 live paths => collision probability < 2^-16 per build, and a
+// key collision can only *add* candidate checks, never lose the planted
+// match, so correctness is unaffected).
+//
+// The level draw h_{j+1}(v o i) is a function of (level, key(v), i) only —
+// crucially NOT of x — so data vectors and queries make identical decisions
+// on identical path prefixes, which is what makes F(x) and F(q) intersect.
+
+#ifndef SKEWSEARCH_HASHING_PATH_HASHER_H_
+#define SKEWSEARCH_HASHING_PATH_HASHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hashing/pairwise.h"
+
+namespace skewsearch {
+
+/// Selects the hash engine behind the level draws.
+enum class HashEngine {
+  /// Seeded xxhash/murmur-style mixer. Fastest; passes our statistical
+  /// independence tests; the default.
+  kMixer,
+  /// Degree-one polynomial over 2^61-1 applied to the mixed key: genuinely
+  /// pairwise independent, matching the paper's assumption exactly.
+  kPairwise,
+};
+
+/// \brief Deterministic randomness for path growth and path identity.
+///
+/// Thread-safe for concurrent reads after construction.
+class PathHasher {
+ public:
+  /// \param seed   master seed; everything is a deterministic function of it.
+  /// \param max_level  largest path length that will be queried.
+  /// \param engine     hash engine for the level draws.
+  PathHasher(uint64_t seed, int max_level,
+             HashEngine engine = HashEngine::kMixer);
+
+  /// Root key for repetition \p rep (the empty path of that repetition).
+  uint64_t RootKey(uint32_t rep) const;
+
+  /// Key of the path v o i given the key of v.
+  uint64_t ExtendKey(uint64_t path_key, uint32_t item) const;
+
+  /// The level draw h_{level}(v o i) in [0, 1): the uniform variate compared
+  /// against the sampling threshold s(x, j, i). \p level is the length of
+  /// the path being created (j + 1), 1-based.
+  double LevelDraw(int level, uint64_t path_key, uint32_t item) const;
+
+  /// Number of per-level hash functions owned (== max_level).
+  int max_level() const { return max_level_; }
+
+ private:
+  uint64_t seed_;
+  int max_level_;
+  HashEngine engine_;
+  std::vector<uint64_t> level_salts_;       // one per level, for kMixer
+  std::vector<PairwiseHash> level_hashes_;  // one per level, for kPairwise
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_HASHING_PATH_HASHER_H_

@@ -1,0 +1,25 @@
+#include "hashing/tabulation.h"
+
+#include "hashing/mix.h"
+
+namespace skewsearch {
+
+TabulationHash::TabulationHash(Rng* rng) {
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng->NextUint64();
+  }
+}
+
+uint64_t TabulationHash::Hash(uint64_t key) const {
+  uint64_t h = 0;
+  for (size_t byte = 0; byte < 8; ++byte) {
+    h ^= tables_[byte][(key >> (8 * byte)) & 0xff];
+  }
+  return h;
+}
+
+double TabulationHash::HashUnit(uint64_t key) const {
+  return ToUnitInterval(Hash(key));
+}
+
+}  // namespace skewsearch

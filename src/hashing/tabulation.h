@@ -1,0 +1,40 @@
+// Copyright 2026 The skewsearch Authors.
+// Simple tabulation hashing (Zobrist / Patrascu-Thorup).
+//
+// 3-independent and extremely fast in practice; offered as an alternative
+// hash engine for the inverted index and available to users who want
+// stronger-than-mixer guarantees without the modular arithmetic of
+// hashing/pairwise.h.
+
+#ifndef SKEWSEARCH_HASHING_TABULATION_H_
+#define SKEWSEARCH_HASHING_TABULATION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace skewsearch {
+
+/// \brief Simple tabulation hash on 64-bit keys.
+///
+/// Splits the key into 8 bytes and XORs 8 random table lookups. The table
+/// (16 KiB) is filled from the supplied RNG at construction.
+class TabulationHash {
+ public:
+  /// Fills the lookup tables from \p rng.
+  explicit TabulationHash(Rng* rng);
+
+  /// Returns the 64-bit hash of \p key.
+  uint64_t Hash(uint64_t key) const;
+
+  /// Returns the hash scaled to [0, 1).
+  double HashUnit(uint64_t key) const;
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_HASHING_TABULATION_H_

@@ -1,0 +1,52 @@
+#include "sim/brute_force.h"
+
+#include <algorithm>
+
+namespace skewsearch {
+
+BruteForceSearcher::BruteForceSearcher(const Dataset* data, Measure measure)
+    : data_(data), measure_(measure) {}
+
+std::vector<Match> BruteForceSearcher::AboveThreshold(
+    std::span<const ItemId> query, double threshold) const {
+  std::vector<Match> out;
+  for (VectorId id = 0; id < data_->size(); ++id) {
+    double sim = Similarity(measure_, query, data_->Get(id));
+    if (sim >= threshold) out.push_back({id, sim});
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<Match> BruteForceSearcher::TopK(std::span<const ItemId> query,
+                                            size_t k) const {
+  std::vector<Match> all = AboveThreshold(query, -1.0);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Match BruteForceSearcher::Best(std::span<const ItemId> query) const {
+  Match best{0, -1.0};
+  for (VectorId id = 0; id < data_->size(); ++id) {
+    double sim = Similarity(measure_, query, data_->Get(id));
+    if (sim > best.similarity) best = {id, sim};
+  }
+  return best;
+}
+
+std::vector<JoinPair> BruteForceSearcher::SelfJoinAbove(
+    double threshold) const {
+  std::vector<JoinPair> out;
+  for (VectorId i = 0; i < data_->size(); ++i) {
+    for (VectorId j = i + 1; j < data_->size(); ++j) {
+      double sim = Similarity(measure_, data_->Get(i), data_->Get(j));
+      if (sim >= threshold) out.push_back({i, j, sim});
+    }
+  }
+  return out;
+}
+
+}  // namespace skewsearch

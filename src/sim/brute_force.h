@@ -1,0 +1,66 @@
+// Copyright 2026 The skewsearch Authors.
+// Exact linear-scan search and join: the ground truth against which every
+// index in this library is tested, and the trivial baseline the heuristics
+// degenerate to on hard inputs.
+
+#ifndef SKEWSEARCH_SIM_BRUTE_FORCE_H_
+#define SKEWSEARCH_SIM_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/sparse_vector.h"
+#include "sim/measures.h"
+
+namespace skewsearch {
+
+/// One search hit.
+struct Match {
+  VectorId id;
+  double similarity;
+
+  friend bool operator==(const Match& a, const Match& b) {
+    return a.id == b.id && a.similarity == b.similarity;
+  }
+};
+
+/// A matching pair produced by a join.
+struct JoinPair {
+  VectorId left;
+  VectorId right;
+  double similarity;
+};
+
+/// \brief Exact searcher scanning the whole dataset per query.
+class BruteForceSearcher {
+ public:
+  /// \param data dataset to search (not owned; must outlive the searcher).
+  /// \param measure similarity measure used for all queries.
+  explicit BruteForceSearcher(const Dataset* data,
+                              Measure measure = Measure::kBraunBlanquet);
+
+  /// All vectors with similarity >= threshold, sorted by descending
+  /// similarity (ties by id).
+  std::vector<Match> AboveThreshold(std::span<const ItemId> query,
+                                    double threshold) const;
+
+  /// The k most similar vectors (fewer if the dataset is smaller), sorted
+  /// by descending similarity (ties by id).
+  std::vector<Match> TopK(std::span<const ItemId> query, size_t k) const;
+
+  /// The single best match, or {0, -1} for an empty dataset.
+  Match Best(std::span<const ItemId> query) const;
+
+  /// All pairs (i < j) with similarity >= threshold — the exact similarity
+  /// self-join, used to validate index-based joins. O(n^2) scans.
+  std::vector<JoinPair> SelfJoinAbove(double threshold) const;
+
+ private:
+  const Dataset* data_;
+  Measure measure_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_SIM_BRUTE_FORCE_H_

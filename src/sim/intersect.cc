@@ -1,0 +1,81 @@
+#include "sim/intersect.h"
+
+#include <algorithm>
+
+namespace skewsearch {
+
+size_t IntersectSizeMerge(std::span<const ItemId> a,
+                          std::span<const ItemId> b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t IntersectSizeGalloping(std::span<const ItemId> a,
+                              std::span<const ItemId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  size_t count = 0;
+  size_t lo = 0;
+  for (ItemId needle : a) {
+    // Exponential search for needle in b[lo..).
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < b.size() && b[hi] < needle) {
+      lo = hi + 1;
+      hi = lo + step;
+      step <<= 1;
+    }
+    hi = std::min(hi, b.size());
+    const ItemId* pos = std::lower_bound(b.data() + lo, b.data() + hi, needle);
+    lo = static_cast<size_t>(pos - b.data());
+    if (lo < b.size() && b[lo] == needle) {
+      ++count;
+      ++lo;
+    }
+    if (lo >= b.size()) break;
+  }
+  return count;
+}
+
+size_t IntersectSize(std::span<const ItemId> a, std::span<const ItemId> b) {
+  size_t small = std::min(a.size(), b.size());
+  size_t large = std::max(a.size(), b.size());
+  // Galloping wins once the lists differ by roughly an order of magnitude.
+  if (small * 16 < large) return IntersectSizeGalloping(a, b);
+  return IntersectSizeMerge(a, b);
+}
+
+size_t IntersectSizeAtLeast(std::span<const ItemId> a,
+                            std::span<const ItemId> b, size_t bound) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    // Upper bound on what is still reachable; stop once the target bound
+    // cannot be met or has been met.
+    if (count >= bound) return count;
+    if (count + std::min(a.size() - i, b.size() - j) < bound) return count;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,38 @@
+// Copyright 2026 The skewsearch Authors.
+// Intersection kernels for sorted id lists — the inner loop of candidate
+// verification. |x n q| drives every similarity measure in sim/measures.h.
+
+#ifndef SKEWSEARCH_SIM_INTERSECT_H_
+#define SKEWSEARCH_SIM_INTERSECT_H_
+
+#include <cstddef>
+#include <span>
+
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+/// Linear merge intersection count; O(|a| + |b|). Best when sizes are
+/// comparable.
+size_t IntersectSizeMerge(std::span<const ItemId> a,
+                          std::span<const ItemId> b);
+
+/// Galloping (exponential search) intersection count; O(|a| log(|b|/|a|))
+/// with |a| <= |b|. Best when one list is much shorter.
+size_t IntersectSizeGalloping(std::span<const ItemId> a,
+                              std::span<const ItemId> b);
+
+/// Dispatches to merge or galloping based on the size ratio.
+size_t IntersectSize(std::span<const ItemId> a, std::span<const ItemId> b);
+
+/// Early-exit predicate kernel: the return value is >= bound if and only
+/// if |a n b| >= bound. Scanning stops as soon as the bound is provably
+/// met or provably unreachable, so the returned value is NOT the exact
+/// intersection size in either early-exit case — use it only to test the
+/// threshold.
+size_t IntersectSizeAtLeast(std::span<const ItemId> a,
+                            std::span<const ItemId> b, size_t bound);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_SIM_INTERSECT_H_

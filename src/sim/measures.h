@@ -1,0 +1,60 @@
+// Copyright 2026 The skewsearch Authors.
+// Set similarity measures. The paper's data structures use Braun-Blanquet
+// similarity B(x, q) = |x n q| / max(|x|, |q|) (following Christiani &
+// Pagh); the others are provided because the paper notes results extend to
+// them and the examples/baselines use Jaccard.
+
+#ifndef SKEWSEARCH_SIM_MEASURES_H_
+#define SKEWSEARCH_SIM_MEASURES_H_
+
+#include <span>
+
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+/// Supported similarity measures.
+enum class Measure {
+  kBraunBlanquet,  ///< |x n q| / max(|x|, |q|)
+  kJaccard,        ///< |x n q| / |x u q|
+  kDice,           ///< 2 |x n q| / (|x| + |q|)
+  kOverlap,        ///< |x n q| / min(|x|, |q|)
+  kCosine,         ///< |x n q| / sqrt(|x| |q|)
+};
+
+/// \name Direct measures on sorted id lists.
+/// All return 0 when either side is empty.
+/// @{
+double BraunBlanquet(std::span<const ItemId> a, std::span<const ItemId> b);
+double Jaccard(std::span<const ItemId> a, std::span<const ItemId> b);
+double Dice(std::span<const ItemId> a, std::span<const ItemId> b);
+double Overlap(std::span<const ItemId> a, std::span<const ItemId> b);
+double Cosine(std::span<const ItemId> a, std::span<const ItemId> b);
+/// @}
+
+/// Computes \p measure on (a, b).
+double Similarity(Measure measure, std::span<const ItemId> a,
+                  std::span<const ItemId> b);
+
+/// Computes a measure given precomputed |a|, |b| and |a n b| (lets callers
+/// reuse one intersection count for several measures).
+double SimilarityFromCounts(Measure measure, size_t size_a, size_t size_b,
+                            size_t intersection);
+
+/// Empirical Pearson (phi) correlation of two boolean vectors in a universe
+/// of size d: (n11 * n00 - n10 * n01) / sqrt(row/col margins). This is the
+/// sample analogue of the paper's alpha parameter.
+double EmpiricalPearson(std::span<const ItemId> a, std::span<const ItemId> b,
+                        size_t d);
+
+/// Converts a Braun-Blanquet threshold to the Jaccard threshold implied for
+/// equal-size sets: j = b / (2 - b). Used when comparing against
+/// Jaccard-based baselines (MinHash).
+double BraunBlanquetToJaccardEquivalent(double b);
+
+/// Inverse of BraunBlanquetToJaccardEquivalent: b = 2j / (1 + j).
+double JaccardToBraunBlanquetEquivalent(double j);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_SIM_MEASURES_H_

@@ -1,0 +1,42 @@
+#include "stats/exponent_fit.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+Result<ExponentFit> FitPowerLaw(const std::vector<double>& n_values,
+                                const std::vector<double>& costs) {
+  if (n_values.size() != costs.size() || n_values.size() < 2) {
+    return Status::InvalidArgument("need >= 2 (n, cost) points");
+  }
+  std::vector<double> xs, ys;
+  xs.reserve(n_values.size());
+  ys.reserve(costs.size());
+  for (size_t i = 0; i < n_values.size(); ++i) {
+    if (n_values[i] <= 0.0 || costs[i] <= 0.0) {
+      return Status::InvalidArgument("points must be positive");
+    }
+    xs.push_back(std::log(n_values[i]));
+    ys.push_back(std::log(costs[i]));
+  }
+  ExponentFit fit;
+  if (!LinearFit(xs, ys, &fit.exponent, &fit.log_constant)) {
+    return Status::InvalidArgument("degenerate fit (all n equal?)");
+  }
+  // R^2 = 1 - SS_res / SS_tot.
+  double mean_y = 0.0;
+  for (double y : ys) mean_y += y;
+  mean_y /= static_cast<double>(ys.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    double pred = fit.exponent * xs[i] + fit.log_constant;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace skewsearch

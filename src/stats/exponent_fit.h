@@ -1,0 +1,29 @@
+// Copyright 2026 The skewsearch Authors.
+// Power-law fitting of measured query costs: cost(n) ~ A * n^rho. The
+// scaling benches compare the fitted rho-hat against the paper's analytic
+// exponents.
+
+#ifndef SKEWSEARCH_STATS_EXPONENT_FIT_H_
+#define SKEWSEARCH_STATS_EXPONENT_FIT_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Result of a log-log least-squares fit.
+struct ExponentFit {
+  double exponent = 0.0;      ///< rho-hat: slope on the log-log plot
+  double log_constant = 0.0;  ///< ln A
+  double r_squared = 0.0;     ///< goodness of fit
+};
+
+/// Fits cost = A * n^rho through (n_values[i], costs[i]). Requires at
+/// least two points, all positive.
+Result<ExponentFit> FitPowerLaw(const std::vector<double>& n_values,
+                                const std::vector<double>& costs);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_STATS_EXPONENT_FIT_H_

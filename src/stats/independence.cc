@@ -1,0 +1,141 @@
+#include "stats/independence.h"
+
+#include <algorithm>
+
+#include "sim/intersect.h"
+
+namespace skewsearch {
+
+Result<IndependenceEstimate> EstimateIndependenceRatio(const Dataset& data,
+                                                       size_t set_size,
+                                                       size_t num_samples,
+                                                       Rng* rng) {
+  if (data.empty() || data.dimension() == 0) {
+    return Status::InvalidArgument("dataset must be non-empty");
+  }
+  if (set_size < 1 || num_samples < 1 || rng == nullptr) {
+    return Status::InvalidArgument(
+        "set_size and num_samples must be >= 1 and rng non-null");
+  }
+  const size_t d = data.dimension();
+  if (set_size > d) {
+    return Status::InvalidArgument("set_size exceeds the universe");
+  }
+  const double n = static_cast<double>(data.size());
+
+  // Inverted lists (sorted by construction order, which is increasing id).
+  std::vector<std::vector<VectorId>> lists(d);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (ItemId item : data.Get(id)) lists[item].push_back(id);
+  }
+
+  double sum_observed = 0.0;
+  double sum_product = 0.0;
+  std::vector<ItemId> subset;
+  for (size_t s = 0; s < num_samples; ++s) {
+    subset.clear();
+    while (subset.size() < set_size) {
+      ItemId candidate = static_cast<ItemId>(rng->NextBounded(d));
+      if (std::find(subset.begin(), subset.end(), candidate) ==
+          subset.end()) {
+        subset.push_back(candidate);
+      }
+    }
+    double product = 1.0;
+    for (ItemId item : subset) {
+      product *= static_cast<double>(lists[item].size()) / n;
+    }
+    sum_product += product;
+    // Co-occurrence count: intersect the inverted lists, smallest first.
+    std::sort(subset.begin(), subset.end(), [&](ItemId a, ItemId b) {
+      return lists[a].size() < lists[b].size();
+    });
+    if (lists[subset[0]].empty()) continue;
+    std::vector<VectorId> current = lists[subset[0]];
+    for (size_t k = 1; k < subset.size() && !current.empty(); ++k) {
+      const auto& other = lists[subset[k]];
+      std::vector<VectorId> next;
+      next.reserve(current.size());
+      std::set_intersection(current.begin(), current.end(), other.begin(),
+                            other.end(), std::back_inserter(next));
+      current = std::move(next);
+    }
+    sum_observed += static_cast<double>(current.size()) / n;
+  }
+
+  IndependenceEstimate out;
+  out.samples = num_samples;
+  out.expected_observed = sum_observed / static_cast<double>(num_samples);
+  out.expected_product = sum_product / static_cast<double>(num_samples);
+  out.ratio = out.expected_product > 0.0
+                  ? out.expected_observed / out.expected_product
+                  : 0.0;
+  return out;
+}
+
+Result<IndependenceEstimate> ExactIndependenceRatio(const Dataset& data,
+                                                    size_t set_size) {
+  if (data.empty() || data.dimension() == 0) {
+    return Status::InvalidArgument("dataset must be non-empty");
+  }
+  if (set_size < 1 || set_size > 3) {
+    return Status::InvalidArgument(
+        "exact computation supports |I| in {1, 2, 3}");
+  }
+  const double n = static_cast<double>(data.size());
+  const double d = static_cast<double>(data.dimension());
+  if (static_cast<double>(set_size) > d) {
+    return Status::InvalidArgument("set_size exceeds the universe");
+  }
+
+  // Numerator: average over subsets I of the co-occurrence probability,
+  // i.e. sum over vectors of C(|x|, k), normalized.
+  auto choose = [](double m, size_t k) {
+    double out = 1.0;
+    for (size_t j = 0; j < k; ++j) out *= (m - static_cast<double>(j));
+    for (size_t j = 2; j <= k; ++j) out /= static_cast<double>(j);
+    return out > 0.0 ? out : 0.0;
+  };
+  double subset_count = choose(d, set_size);
+  double observed_sum = 0.0;
+  std::vector<double> counts(data.dimension(), 0.0);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    observed_sum += choose(static_cast<double>(data.SizeOf(id)), set_size);
+    for (ItemId item : data.Get(id)) counts[item] += 1.0;
+  }
+
+  // Denominator: elementary symmetric polynomial of the empirical
+  // frequencies via power sums (Newton's identities).
+  double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (double c : counts) {
+    double p = c / n;
+    s1 += p;
+    s2 += p * p;
+    s3 += p * p * p;
+  }
+  double ek = 0.0;
+  switch (set_size) {
+    case 1:
+      ek = s1;
+      break;
+    case 2:
+      ek = (s1 * s1 - s2) / 2.0;
+      break;
+    case 3:
+      ek = (s1 * s1 * s1 - 3.0 * s1 * s2 + 2.0 * s3) / 6.0;
+      break;
+    default:
+      break;
+  }
+
+  IndependenceEstimate out;
+  out.samples = static_cast<size_t>(subset_count);
+  out.expected_observed = observed_sum / (n * subset_count);
+  out.expected_product = ek / subset_count;
+  out.ratio = out.expected_product > 0.0
+                  ? out.expected_observed / out.expected_product
+                  : 0.0;
+  return out;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,50 @@
+// Copyright 2026 The skewsearch Authors.
+// Independence-ratio estimation — Table 1 of the paper.
+//
+// For random item subsets I of size |I|, the ratio
+//
+//     E_I[ Pr_{x in S}(forall j in I: x_j = 1) ]  /  E_I[ prod_{j in I} p_j ]
+//
+// measures how far a dataset deviates from the product-distribution
+// assumption (equation (2) of Section 8): ~1 for independent bits, > 1
+// when dimensions co-occur more often than independence predicts.
+
+#ifndef SKEWSEARCH_STATS_INDEPENDENCE_H_
+#define SKEWSEARCH_STATS_INDEPENDENCE_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Result of one independence-ratio estimate.
+struct IndependenceEstimate {
+  double ratio = 0.0;          ///< estimated ratio (1 = independent)
+  double expected_observed = 0.0;  ///< E_I[Pr(all bits set)] estimate
+  double expected_product = 0.0;   ///< E_I[prod p_j] estimate
+  size_t samples = 0;
+};
+
+/// Estimates the Table 1 ratio for subsets of size \p set_size using
+/// \p num_samples uniformly random subsets of [d]. Requires set_size >= 1
+/// and a non-empty dataset. Unbiased but high-variance on sparse data —
+/// prefer ExactIndependenceRatio for |I| <= 3.
+Result<IndependenceEstimate> EstimateIndependenceRatio(const Dataset& data,
+                                                       size_t set_size,
+                                                       size_t num_samples,
+                                                       Rng* rng);
+
+/// Computes the Table 1 ratio exactly for |I| in {1, 2, 3}:
+///   E_I[Pr_x(forall j in I: x_j=1)] = sum_x C(|x|, |I|) / (n * C(d, |I|))
+///   E_I[prod p_j]                   = e_{|I|}(p_1..p_d) / C(d, |I|)
+/// where e_k is the elementary symmetric polynomial of the empirical
+/// frequencies (Newton's identities). No sampling noise; O(total items).
+Result<IndependenceEstimate> ExactIndependenceRatio(const Dataset& data,
+                                                    size_t set_size);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_STATS_INDEPENDENCE_H_

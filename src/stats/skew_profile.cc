@@ -1,0 +1,89 @@
+#include "stats/skew_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+SkewProfile ComputeSkewProfile(const Dataset& data) {
+  SkewProfile profile;
+  profile.n = data.size();
+  profile.d = data.dimension();
+  std::vector<uint32_t> counts(data.dimension(), 0);
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (ItemId item : data.Get(id)) counts[item]++;
+  }
+  for (uint32_t c : counts) {
+    if (c > 0) {
+      profile.frequencies.push_back(static_cast<double>(c) /
+                                    static_cast<double>(data.size()));
+    }
+  }
+  std::sort(profile.frequencies.begin(), profile.frequencies.end(),
+            std::greater<double>());
+  return profile;
+}
+
+namespace {
+
+double YValue(const SkewProfile& profile, size_t j) {
+  // 1 + log_n(p_j) in [0, 1] for p_j >= 1/n.
+  return 1.0 + std::log(profile.frequencies[j]) /
+                   std::log(static_cast<double>(profile.n));
+}
+
+}  // namespace
+
+std::vector<ProfilePoint> LinearAxisSeries(const SkewProfile& profile,
+                                           size_t num_points) {
+  std::vector<ProfilePoint> out;
+  size_t m = profile.frequencies.size();
+  if (m == 0 || profile.n < 2 || profile.d == 0) return out;
+  size_t points = std::min(num_points, m);
+  for (size_t k = 0; k < points; ++k) {
+    size_t j = k * (m - 1) / std::max<size_t>(1, points - 1);
+    out.push_back({static_cast<double>(j + 1) /
+                       static_cast<double>(profile.d),
+                   YValue(profile, j)});
+  }
+  return out;
+}
+
+std::vector<ProfilePoint> LogAxisSeries(const SkewProfile& profile,
+                                        size_t num_points) {
+  std::vector<ProfilePoint> out;
+  size_t m = profile.frequencies.size();
+  if (m == 0 || profile.n < 2 || profile.d < 2) return out;
+  size_t points = std::min(num_points, m);
+  double log_d = std::log(static_cast<double>(profile.d));
+  double log_m = std::log(static_cast<double>(m));
+  for (size_t k = 0; k < points; ++k) {
+    // Geometric rank spacing from 1 to m.
+    double t = static_cast<double>(k) /
+               static_cast<double>(std::max<size_t>(1, points - 1));
+    size_t j = static_cast<size_t>(std::exp(t * log_m)) - 1;
+    j = std::min(j, m - 1);
+    out.push_back({std::log(static_cast<double>(j + 1)) / log_d,
+                   YValue(profile, j)});
+  }
+  return out;
+}
+
+double FitZipfExponent(const SkewProfile& profile) {
+  size_t m = profile.frequencies.size();
+  if (m < 2) return 0.0;
+  std::vector<double> xs, ys;
+  xs.reserve(m);
+  ys.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    xs.push_back(std::log(static_cast<double>(j + 1)));
+    ys.push_back(std::log(profile.frequencies[j]));
+  }
+  double slope = 0.0, intercept = 0.0;
+  if (!LinearFit(xs, ys, &slope, &intercept)) return 0.0;
+  return -slope;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,51 @@
+// Copyright 2026 The skewsearch Authors.
+// Item-frequency skew profiles — the measurement behind Figure 2 of the
+// paper, which plots, for each dataset, 1 + log_n(p_j) against j/d (linear
+// axis) and against log_d(j) (log axis), where p_j are the empirical item
+// frequencies in decreasing order.
+
+#ifndef SKEWSEARCH_STATS_SKEW_PROFILE_H_
+#define SKEWSEARCH_STATS_SKEW_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace skewsearch {
+
+/// \brief Empirical frequency profile of a dataset.
+struct SkewProfile {
+  /// Item frequencies p_j = count_j / n in decreasing order; items that
+  /// never occur are dropped (their log-frequency is -inf).
+  std::vector<double> frequencies;
+  size_t n = 0;  ///< number of sets
+  size_t d = 0;  ///< universe size (including never-occurring items)
+};
+
+/// One point of a Figure 2 series.
+struct ProfilePoint {
+  double x;
+  double y;
+};
+
+/// Counts occurrences and sorts frequencies in decreasing order.
+SkewProfile ComputeSkewProfile(const Dataset& data);
+
+/// Figure 2, left: x = j/d, y = 1 + log_n(p_j); downsampled to at most
+/// \p num_points evenly spaced ranks.
+std::vector<ProfilePoint> LinearAxisSeries(const SkewProfile& profile,
+                                           size_t num_points);
+
+/// Figure 2, right: x = log_d(j), y = 1 + log_n(p_j); downsampled to at
+/// most \p num_points geometrically spaced ranks.
+std::vector<ProfilePoint> LogAxisSeries(const SkewProfile& profile,
+                                        size_t num_points);
+
+/// Least-squares slope of ln(p_j) vs ln(j) — the (negated) Zipf exponent
+/// of the profile. A "plain Zipfian" dataset is linear on the log axis.
+double FitZipfExponent(const SkewProfile& profile);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_STATS_SKEW_PROFILE_H_

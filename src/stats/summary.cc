@@ -1,0 +1,39 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace skewsearch {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+Summary Summarize(std::vector<double> values) {
+  Summary out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  out.count = stats.count();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  out.min = stats.min();
+  out.max = stats.max();
+  out.p50 = Percentile(values, 0.50);
+  out.p90 = Percentile(values, 0.90);
+  out.p99 = Percentile(values, 0.99);
+  return out;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,30 @@
+// Copyright 2026 The skewsearch Authors.
+// Sample summaries (mean / spread / percentiles) used when reporting
+// per-query costs in tests and benches.
+
+#ifndef SKEWSEARCH_STATS_SUMMARY_H_
+#define SKEWSEARCH_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace skewsearch {
+
+/// \brief Five-number-style summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the summary (sorts a copy; nearest-rank percentiles).
+Summary Summarize(std::vector<double> values);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_STATS_SUMMARY_H_

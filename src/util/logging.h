@@ -1,0 +1,54 @@
+// Copyright 2026 The skewsearch Authors.
+// Minimal leveled logger for library diagnostics. Benchmarks print their
+// results directly; the logger is for warnings/progress only, so it stays
+// deliberately tiny (no sinks, no formatting library).
+
+#ifndef SKEWSEARCH_UTIL_LOGGING_H_
+#define SKEWSEARCH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace skewsearch {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is actually emitted
+/// (default kWarning, so library internals are quiet in tests).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Writes one formatted line to stderr if \p level passes the global filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// RAII stream that emits on destruction; used by the SKEWSEARCH_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace skewsearch
+
+/// Usage: SKEWSEARCH_LOG(kWarning) << "cap hit: " << count;
+#define SKEWSEARCH_LOG(severity)                     \
+  ::skewsearch::internal::LogStream(                 \
+      ::skewsearch::LogLevel::severity)
+
+#endif  // SKEWSEARCH_UTIL_LOGGING_H_

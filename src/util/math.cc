@@ -1,0 +1,94 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skewsearch {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double StableSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double v : values) {
+    double y = v - comp;
+    double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double LogAdd(double log_a, double log_b) {
+  if (log_a < log_b) std::swap(log_a, log_b);
+  if (log_b == -1e300) return log_a;
+  return log_a + std::log1p(std::exp(log_b - log_a));
+}
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -1e300;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+bool LinearFit(const std::vector<double>& x, const std::vector<double>& y,
+               double* slope, double* intercept) {
+  if (x.size() != y.size() || x.size() < 2) return false;
+  double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return false;
+  *slope = (n * sxy - sx * sy) / denom;
+  *intercept = (sy - *slope * sx) / n;
+  return true;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningStats sx, sy;
+  for (double v : x) sx.Add(v);
+  for (double v : y) sy.Add(v);
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+double ChernoffHalfWidth(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0 || delta >= 1.0) return 1.0;
+  // Pr[|S - mu| > eps*mu] <= 2 exp(-eps^2 mu / 3)  =>
+  // eps = sqrt(3 ln(2/delta) / mu).
+  return std::sqrt(3.0 * std::log(2.0 / delta) / mu);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,74 @@
+// Copyright 2026 The skewsearch Authors.
+// Small numeric helpers shared across modules.
+
+#ifndef SKEWSEARCH_UTIL_MATH_H_
+#define SKEWSEARCH_UTIL_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skewsearch {
+
+/// \brief Streaming mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return count_; }
+  /// Sample mean (0 when empty).
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Smallest / largest observation (+-inf when empty).
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Kahan-compensated sum of \p values.
+double StableSum(const std::vector<double>& values);
+
+/// log(exp(a) + exp(b)) computed without overflow.
+double LogAdd(double log_a, double log_b);
+
+/// Natural-log binomial coefficient ln C(n, k) via lgamma.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// \brief Ordinary least squares fit y = slope * x + intercept.
+///
+/// Returns false when fewer than two points or degenerate x. Used to fit
+/// empirical exponents on log-log cost curves.
+bool LinearFit(const std::vector<double>& x, const std::vector<double>& y,
+               double* slope, double* intercept);
+
+/// Pearson correlation coefficient of two equal-length samples
+/// (0 when degenerate).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Two-sided Chernoff half-width: the epsilon such that a sum of
+/// independent [0,1] variables with mean \p mu deviates by more than
+/// epsilon*mu with probability at most \p delta. Used to derive test
+/// tolerances from first principles.
+double ChernoffHalfWidth(double mu, double delta);
+
+/// Clamps \p x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_UTIL_MATH_H_

@@ -1,0 +1,101 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <limits>
+
+namespace skewsearch {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 seeding as recommended by the xoshiro authors; guarantees
+  // the state is not all-zero.
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextGeometricSkips(double p) {
+  constexpr uint64_t kSentinel = uint64_t{1} << 63;
+  if (p <= 0.0) return kSentinel;
+  if (p >= 1.0) return 0;
+  // Inversion: floor(ln U / ln(1-p)) has the geometric(p) distribution of
+  // the number of failures before the first success.
+  double u = NextDouble();
+  // NextDouble() may return exactly 0; nudge into (0,1).
+  if (u <= 0.0) u = 0x1.0p-53;
+  double skips = std::floor(std::log(u) / std::log1p(-p));
+  if (skips >= static_cast<double>(kSentinel)) return kSentinel;
+  return static_cast<uint64_t>(skips);
+}
+
+double Rng::NextGaussian() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  while (true) {
+    double u = 2.0 * NextDouble() - 1.0;
+    double v = 2.0 * NextDouble() - 1.0;
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+Rng Rng::Fork() {
+  // Two successive outputs give a fresh 64-bit seed; the SplitMix64 stage
+  // in the constructor decorrelates parent and child streams.
+  uint64_t seed = NextUint64() ^ Rotl(NextUint64(), 31);
+  return Rng(seed);
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,69 @@
+// Copyright 2026 The skewsearch Authors.
+// A minimal Result<T> (value-or-Status), in the spirit of arrow::Result.
+
+#ifndef SKEWSEARCH_UTIL_RESULT_H_
+#define SKEWSEARCH_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace skewsearch {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result constructed from a value is OK; a Result constructed from a
+/// non-OK Status carries that error. Accessing the value of an errored
+/// Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding \p value.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an errored result from a non-OK \p status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// Returns true iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// Returns the status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// \name Value accessors; must only be called when ok().
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value if present, otherwise \p fallback.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_UTIL_RESULT_H_

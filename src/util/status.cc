@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace skewsearch {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "Invalid argument";
+    case Status::Code::kNotFound:
+      return "Not found";
+    case Status::Code::kIOError:
+      return "IO error";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kNotSupported:
+      return "Not supported";
+    case Status::Code::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,106 @@
+// Copyright 2026 The skewsearch Authors.
+// RocksDB-style status object used for error handling throughout the
+// library. Exceptions are not used on any hot path; fallible operations
+// return a Status (or a Result<T>, see util/result.h).
+
+#ifndef SKEWSEARCH_UTIL_STATUS_H_
+#define SKEWSEARCH_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace skewsearch {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy in the OK case.
+///
+/// Typical use:
+/// \code
+///   Status s = index.Build(dataset);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Error categories. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIOError = 3,
+    kAborted = 4,
+    kNotSupported = 5,
+    kInternal = 6,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// \name Factory functions for each error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  /// @}
+
+  /// Returns true iff the status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// \name Category predicates.
+  /// @{
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  /// @}
+
+  /// Returns the error code.
+  Code code() const { return code_; }
+
+  /// Returns the error message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "<category>: <message>" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace skewsearch
+
+/// Propagates a non-OK status to the caller; mirrors RocksDB / Arrow macros.
+#define SKEWSEARCH_RETURN_NOT_OK(expr)            \
+  do {                                            \
+    ::skewsearch::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                      \
+  } while (false)
+
+#endif  // SKEWSEARCH_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The skewsearch Authors.
+// Monotonic wall-clock timer used by the benchmark harness.
+
+#ifndef SKEWSEARCH_UTIL_TIMER_H_
+#define SKEWSEARCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace skewsearch {
+
+/// \brief Simple monotonic stopwatch.
+///
+/// Starts running on construction; Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the timer origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_UTIL_TIMER_H_

@@ -1,0 +1,132 @@
+#include "baselines/chosen_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(ChosenPathTest, BuildValidates) {
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  auto dist = UniformProbabilities(10, 0.2).value();
+  Dataset data;
+  EXPECT_TRUE(index.Build(nullptr, &dist, options).IsInvalidArgument());
+  data.Add(SparseVector::Of({1}));
+  data.Add(SparseVector::Of({2}));
+  options.b2 = 0.6;  // >= b1
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+  options.b1 = 0.0;
+  options.b2 = 0.1;
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+}
+
+TEST(ChosenPathTest, DepthFormula) {
+  auto dist = UniformProbabilities(1000, 0.05).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 256, &rng);
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.5;
+  options.b2 = 0.25;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  int expect = static_cast<int>(
+      std::ceil(std::log(256.0) / std::log(4.0)));
+  EXPECT_EQ(index.depth(), expect);
+}
+
+TEST(ChosenPathTest, FindsExactDuplicate) {
+  auto dist = UniformProbabilities(2000, 0.05).value();  // E|x| = 100
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 256, &rng);
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.8;
+  options.b2 = 0.1;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  int found = 0;
+  for (VectorId id = 0; id < 40; ++id) {
+    auto hit = index.Query(data.Get(id));
+    if (hit && hit->id == id) ++found;
+  }
+  EXPECT_GE(found, 34);
+}
+
+TEST(ChosenPathTest, CorrelatedRecall) {
+  const double alpha = 0.8;
+  auto dist = UniformProbabilities(3000, 0.04).value();
+  Rng rng(3);
+  Dataset data = GenerateDataset(dist, 300, &rng);
+  // b1/b2 from the distribution's expected similarities.
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.04 * (1 - alpha) + alpha;  // p_hat
+  options.b2 = 0.08;                        // ~2x p to be safe
+  options.verify_threshold = options.b1 / 1.4;
+  options.repetition_boost = 3.0;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  int found = 0;
+  const int kQueries = 40;
+  for (int t = 0; t < kQueries; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data.size()));
+    SparseVector q = sampler.SampleCorrelated(data.Get(target), &rng);
+    auto hit = index.Query(q.span());
+    if (hit && hit->id == target) ++found;
+  }
+  EXPECT_GE(found, kQueries * 7 / 10);
+}
+
+TEST(ChosenPathTest, QueryAllMeetsThreshold) {
+  auto dist = UniformProbabilities(1000, 0.06).value();
+  Rng rng(4);
+  Dataset data = GenerateDataset(dist, 150, &rng);
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.7;
+  options.b2 = 0.12;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  auto matches = index.QueryAll(data.Get(0), 0.5);
+  bool self_found = false;
+  for (const auto& m : matches) {
+    EXPECT_GE(m.similarity, 0.5);
+    self_found |= (m.id == 0);
+  }
+  EXPECT_TRUE(self_found);
+}
+
+TEST(ChosenPathTest, StatsPopulated) {
+  auto dist = UniformProbabilities(1000, 0.05).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 128, &rng);
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.6;
+  options.b2 = 0.1;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  EXPECT_GT(index.build_stats().total_filters, 0u);
+  EXPECT_GT(index.build_stats().distinct_keys, 0u);
+  QueryStats stats;
+  index.Query(data.Get(0), &stats);
+  EXPECT_GT(stats.filters, 0u);
+}
+
+TEST(ChosenPathTest, EmptyQuery) {
+  auto dist = UniformProbabilities(100, 0.1).value();
+  Rng rng(6);
+  Dataset data = GenerateDataset(dist, 50, &rng);
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  options.b1 = 0.5;
+  options.b2 = 0.2;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  EXPECT_FALSE(index.Query({}).has_value());
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,145 @@
+#include "baselines/minhash_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(MinHashTest, BuildValidates) {
+  MinHashLsh index;
+  MinHashOptions options;
+  Dataset data;
+  EXPECT_TRUE(index.Build(nullptr, options).IsInvalidArgument());
+  data.Add(SparseVector::Of({1}));
+  data.Add(SparseVector::Of({2}));
+  options.j1 = 0.0;
+  EXPECT_TRUE(index.Build(&data, options).IsInvalidArgument());
+  options.j1 = 0.5;
+  options.j2 = 0.6;  // >= j1 with auto geometry
+  EXPECT_TRUE(index.Build(&data, options).IsInvalidArgument());
+}
+
+TEST(MinHashTest, AutoGeometryReasonable) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 256, &rng);
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.5;
+  options.j2 = 0.2;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  EXPECT_GT(index.rows(), 0);
+  EXPECT_GT(index.bands(), 0);
+  EXPECT_LE(index.bands(), 4096);
+}
+
+TEST(MinHashTest, ExplicitGeometryHonored) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 64, &rng);
+  MinHashLsh index;
+  MinHashOptions options;
+  options.bands = 17;
+  options.rows = 3;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  EXPECT_EQ(index.bands(), 17);
+  EXPECT_EQ(index.rows(), 3);
+}
+
+TEST(MinHashTest, IdenticalVectorsAlwaysCollide) {
+  // MinHash of identical sets is identical => every band matches.
+  auto dist = UniformProbabilities(800, 0.05).value();
+  Rng rng(3);
+  Dataset data = GenerateDataset(dist, 100, &rng);
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.6;
+  options.j2 = 0.15;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  int found = 0;
+  for (VectorId id = 0; id < 30; ++id) {
+    auto hit = index.Query(data.Get(id));
+    if (hit && hit->id == id && hit->similarity == 1.0) ++found;
+  }
+  EXPECT_EQ(found, 30);
+}
+
+TEST(MinHashTest, NearDuplicatesFound) {
+  auto dist = UniformProbabilities(2000, 0.05).value();
+  Rng rng(4);
+  Dataset data;
+  SparseVector base = dist.Sample(&rng);
+  data.Add(base);
+  // 95% overlapping variant.
+  std::vector<ItemId> ids(base.ids());
+  for (size_t k = 0; k < ids.size() / 20 + 1; ++k) {
+    ids[k] = static_cast<ItemId>(1999 - k);
+  }
+  data.Add(SparseVector::FromIds(ids));
+  for (int i = 0; i < 150; ++i) data.Add(dist.Sample(&rng));
+  ASSERT_TRUE(data.SetDimension(2000).ok());
+
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.7;
+  options.j2 = 0.1;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  auto matches = index.QueryAll(base.span(), 0.7);
+  std::set<VectorId> got;
+  for (const auto& m : matches) got.insert(m.id);
+  EXPECT_TRUE(got.count(0));
+  EXPECT_TRUE(got.count(1));
+}
+
+TEST(MinHashTest, UnrelatedQueriesMostlyPruned) {
+  auto dist = UniformProbabilities(3000, 0.03).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 400, &rng);
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.6;
+  options.j2 = 0.1;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  // A fresh random vector should touch only a tiny fraction of the data.
+  QueryStats stats;
+  SparseVector q = dist.Sample(&rng);
+  index.QueryAll(q.span(), 0.6, &stats);
+  EXPECT_LT(stats.distinct_candidates, data.size() / 4);
+}
+
+TEST(MinHashTest, VerifyMeasureConfigurable) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  Rng rng(6);
+  Dataset data = GenerateDataset(dist, 64, &rng);
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.5;
+  options.j2 = 0.2;
+  options.verify_measure = Measure::kBraunBlanquet;
+  options.verify_threshold = 0.9;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  auto hit = index.Query(data.Get(0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(hit->similarity, 0.9);
+}
+
+TEST(MinHashTest, EmptyQueryAndEmptyVectors) {
+  Dataset data;
+  data.Add(SparseVector::Of({}));
+  data.Add(SparseVector::Of({1, 2}));
+  data.Add(SparseVector::Of({3}));
+  MinHashLsh index;
+  MinHashOptions options;
+  options.j1 = 0.5;
+  options.j2 = 0.2;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  EXPECT_FALSE(index.Query({}).has_value());
+}
+
+}  // namespace
+}  // namespace skewsearch

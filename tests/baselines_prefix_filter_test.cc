@@ -1,0 +1,173 @@
+#include "baselines/prefix_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "sim/brute_force.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(PrefixFilterTest, BuildValidates) {
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  EXPECT_TRUE(index.Build(nullptr, options).IsInvalidArgument());
+  Dataset data;
+  data.Add(SparseVector::Of({1}));
+  options.b1 = 0.0;
+  EXPECT_TRUE(index.Build(&data, options).IsInvalidArgument());
+  options.b1 = 1.5;
+  EXPECT_TRUE(index.Build(&data, options).IsInvalidArgument());
+}
+
+TEST(PrefixFilterTest, RanksOrderedByFrequency) {
+  Dataset data;
+  data.Add(SparseVector::Of({0, 1}));
+  data.Add(SparseVector::Of({0, 1}));
+  data.Add(SparseVector::Of({0, 2}));
+  // counts: 0 -> 3, 1 -> 2, 2 -> 1.
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  options.b1 = 0.5;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  EXPECT_LT(index.TokenRank(2), index.TokenRank(1));
+  EXPECT_LT(index.TokenRank(1), index.TokenRank(0));
+}
+
+TEST(PrefixFilterTest, FindsExactDuplicate) {
+  auto dist = UniformProbabilities(500, 0.05).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 150, &rng);
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  options.b1 = 0.9;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  for (VectorId id = 0; id < 20; ++id) {
+    if (data.SizeOf(id) == 0) continue;
+    auto hit = index.Query(data.Get(id));
+    ASSERT_TRUE(hit.has_value()) << "id " << id;
+    EXPECT_DOUBLE_EQ(hit->similarity, 1.0);
+  }
+}
+
+TEST(PrefixFilterTest, ExactlyMatchesBruteForce) {
+  // The defining property: prefix filtering is exact. Over random skewed
+  // datasets and thresholds, QueryAll == brute force above threshold.
+  Rng rng(2);
+  for (double b1 : {0.3, 0.5, 0.7, 0.9}) {
+    auto dist = TwoBlockProbabilities(30, 0.3, 400, 0.02).value();
+    Dataset data = GenerateDataset(dist, 120, &rng);
+    PrefixFilterIndex index;
+    PrefixFilterOptions options;
+    options.b1 = b1;
+    ASSERT_TRUE(index.Build(&data, options).ok());
+    BruteForceSearcher brute(&data);
+    for (int t = 0; t < 25; ++t) {
+      SparseVector q = dist.Sample(&rng);
+      auto got = index.QueryAll(q.span());
+      auto expect = brute.AboveThreshold(q.span(), b1);
+      ASSERT_EQ(got.size(), expect.size())
+          << "b1 = " << b1 << " trial " << t;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expect[i].id);
+        EXPECT_DOUBLE_EQ(got[i].similarity, expect[i].similarity);
+      }
+    }
+  }
+}
+
+TEST(PrefixFilterTest, SizeFilterProvablyCorrect) {
+  // Candidates outside [b1|q|, |q|/b1] can never qualify; ensure none are
+  // returned and that the filter does not drop qualifying sets.
+  Dataset data;
+  data.Add(SparseVector::Of({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));  // |x|=10
+  data.Add(SparseVector::Of({1, 2}));                           // |x|=2
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  options.b1 = 0.5;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});  // |q| = 4
+  // id0: B = 4/10 < 0.5 (also outside size range [2, 8]);
+  // id1: B = 2/4 = 0.5 qualifies.
+  auto hits = index.QueryAll(q.span());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(PrefixFilterTest, RareTokensPruneCandidates) {
+  // With heavy skew, prefixes consist of rare tokens, so candidate counts
+  // stay far below n (the heuristic's selling point).
+  auto dist = TwoBlockProbabilities(20, 0.4, 5000, 0.002).value();
+  Rng rng(3);
+  Dataset data = GenerateDataset(dist, 500, &rng);
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  options.b1 = 0.6;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  QueryStats stats;
+  SparseVector q = dist.Sample(&rng);
+  index.QueryAll(q.span(), &stats);
+  EXPECT_LT(stats.candidates, data.size());
+}
+
+TEST(PrefixFilterTest, EmptyQueryReturnsNothing) {
+  Dataset data;
+  data.Add(SparseVector::Of({1}));
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  EXPECT_FALSE(index.Query({}).has_value());
+}
+
+TEST(PrefixFilterTest, SelfJoinMatchesBruteForce) {
+  Rng rng(9);
+  for (double b1 : {0.4, 0.7}) {
+    auto dist = TwoBlockProbabilities(25, 0.3, 600, 0.02).value();
+    Dataset data = GenerateDataset(dist, 90, &rng);
+    // Plant a few duplicates so the join is non-trivial.
+    for (VectorId id = 0; id < 6; ++id) data.Add(data.GetVector(id * 10));
+    ASSERT_TRUE(data.SetDimension(625).ok());
+
+    PrefixFilterIndex index;
+    PrefixFilterOptions options;
+    options.b1 = b1;
+    ASSERT_TRUE(index.Build(&data, options).ok());
+    QueryStats stats;
+    auto pairs = index.SelfJoin(&stats);
+
+    BruteForceSearcher brute(&data);
+    auto expect = brute.SelfJoinAbove(b1);
+    ASSERT_EQ(pairs.size(), expect.size()) << "b1 = " << b1;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(pairs[i].left, expect[i].left);
+      EXPECT_EQ(pairs[i].right, expect[i].right);
+      EXPECT_DOUBLE_EQ(pairs[i].similarity, expect[i].similarity);
+    }
+    EXPECT_GT(stats.candidates, 0u);
+  }
+}
+
+TEST(PrefixFilterTest, SelfJoinOnEmptyIndex) {
+  PrefixFilterIndex index;
+  EXPECT_TRUE(index.SelfJoin().empty());
+}
+
+TEST(PrefixFilterTest, ThresholdOneMeansExactMatchOnly) {
+  Dataset data;
+  data.Add(SparseVector::Of({1, 2, 3}));
+  data.Add(SparseVector::Of({1, 2, 4}));
+  PrefixFilterIndex index;
+  PrefixFilterOptions options;
+  options.b1 = 1.0;
+  ASSERT_TRUE(index.Build(&data, options).ok());
+  SparseVector q = SparseVector::Of({1, 2, 3});
+  auto hits = index.QueryAll(q.span());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,133 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/io.h"
+
+namespace skewsearch {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cli_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+    text_ = path_ + ".txt";
+    bin_ = path_ + ".bin";
+  }
+  void TearDown() override {
+    std::remove(text_.c_str());
+    std::remove(bin_.c_str());
+  }
+  std::string path_, text_, bin_;
+};
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(RunCli({"help"}), 0);
+}
+
+TEST_F(CliTest, EmptyArgsFail) {
+  EXPECT_EQ(RunCli({}), 1);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(RunCli({"frobnicate"}), 1);
+}
+
+TEST_F(CliTest, MalformedFlagsFail) {
+  EXPECT_EQ(RunCli({"generate", "positional"}), 1);
+  EXPECT_EQ(RunCli({"generate", "--n"}), 1);  // missing value
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  EXPECT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "10", "--d",
+                    "20", "--p", "0.2"}),
+            1);
+}
+
+TEST_F(CliTest, GenerateWritesReadableDataset) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "50", "--d",
+                    "100", "--p", "0.2", "--seed", "3", "--out", text_}),
+            0);
+  auto data = ReadTransactions(text_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 50u);
+  EXPECT_NEAR(data->AverageSize(), 20.0, 4.0);
+}
+
+TEST_F(CliTest, GenerateUnknownKindFails) {
+  EXPECT_EQ(RunCli({"generate", "--kind", "cauchy", "--out", text_}), 1);
+}
+
+TEST_F(CliTest, GenerateBinaryRoundTrip) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "zipf", "--n", "80", "--d", "500",
+                    "--avg", "8", "--out", bin_, "--binary"}),
+            0);
+  auto data = ReadBinary(bin_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 80u);
+}
+
+TEST_F(CliTest, ProfileOnGeneratedData) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "zipf", "--n", "200", "--d",
+                    "1000", "--avg", "10", "--out", text_}),
+            0);
+  EXPECT_EQ(RunCli({"profile", "--in", text_}), 0);
+}
+
+TEST_F(CliTest, ProfileMissingFileFails) {
+  EXPECT_EQ(RunCli({"profile", "--in", "/nonexistent/nope.txt"}), 1);
+  EXPECT_EQ(RunCli({"profile"}), 1);
+}
+
+TEST_F(CliTest, IndependenceOnGeneratedData) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "300", "--d",
+                    "60", "--p", "0.2", "--out", text_}),
+            0);
+  EXPECT_EQ(RunCli({"independence", "--in", text_}), 0);
+}
+
+TEST_F(CliTest, QueryBenchRuns) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "twoblock", "--n", "200", "--d",
+                    "80", "--p", "0.25", "--d2", "2000", "--p2", "0.01",
+                    "--out", text_}),
+            0);
+  EXPECT_EQ(RunCli({"query-bench", "--in", text_, "--alpha", "0.8",
+                    "--queries", "10"}),
+            0);
+}
+
+TEST_F(CliTest, SelfJoinRuns) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "120", "--d",
+                    "400", "--p", "0.05", "--out", text_}),
+            0);
+  EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8"}), 0);
+}
+
+TEST_F(CliTest, MannStandInWorks) {
+  EXPECT_EQ(RunCli({"mann", "--name", "DBLP", "--n", "300", "--out", text_}),
+            0);
+  auto data = ReadTransactions(text_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 300u);
+}
+
+TEST_F(CliTest, MannUnknownNameFails) {
+  EXPECT_EQ(RunCli({"mann", "--name", "NOPE", "--out", text_}), 1);
+}
+
+TEST_F(CliTest, GarbageNumericFlagsFallBackInsteadOfThrowing) {
+  // Malformed numbers must not escape as exceptions; defaults kick in.
+  EXPECT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "banana",
+                    "--d", "50", "--p", "0.2", "--out", text_}),
+            0);
+  auto data = ReadTransactions(text_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 10000u);  // the documented default n
+}
+
+}  // namespace
+}  // namespace skewsearch

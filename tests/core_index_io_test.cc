@@ -1,0 +1,209 @@
+// Save/Load of a built SkewedPathIndex plus the batch-query and
+// parallel-probe APIs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/similarity_join.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/index_io_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
+    dist_ = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
+    Rng rng(11);
+    data_ = GenerateDataset(dist_, 250, &rng);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  SkewedIndexOptions Options() const {
+    SkewedIndexOptions options;
+    options.mode = IndexMode::kCorrelated;
+    options.alpha = 0.7;
+    options.repetitions = 8;
+    options.seed = 4242;
+    return options;
+  }
+
+  std::string path_;
+  ProductDistribution dist_;
+  Dataset data_;
+};
+
+TEST_F(IndexIoTest, SaveRequiresBuiltIndex) {
+  SkewedPathIndex index;
+  EXPECT_TRUE(index.Save(path_).IsInvalidArgument());
+}
+
+TEST_F(IndexIoTest, RoundTripPreservesQueries) {
+  SkewedPathIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, Options()).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  SkewedPathIndex loaded;
+  ASSERT_TRUE(loaded.Load(path_, &data_, &dist_).ok());
+  EXPECT_TRUE(loaded.built());
+  EXPECT_EQ(loaded.repetitions(), original.repetitions());
+  EXPECT_EQ(loaded.build_stats().total_filters,
+            original.build_stats().total_filters);
+  EXPECT_EQ(loaded.build_stats().distinct_keys,
+            original.build_stats().distinct_keys);
+  EXPECT_DOUBLE_EQ(loaded.verify_threshold(), original.verify_threshold());
+
+  CorrelatedQuerySampler sampler(&dist_, 0.7);
+  Rng rng(12);
+  for (int t = 0; t < 20; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data_.size()));
+    SparseVector q = sampler.SampleCorrelated(data_.Get(target), &rng);
+    // Identical filter computation and identical results.
+    EXPECT_EQ(original.ComputeFilterKeys(q.span()),
+              loaded.ComputeFilterKeys(q.span()));
+    auto a = original.QueryAll(q.span(), 0.0);
+    auto b = loaded.QueryAll(q.span(), 0.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+}
+
+TEST_F(IndexIoTest, LoadRejectsDifferentDataset) {
+  SkewedPathIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, Options()).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  Rng rng(13);
+  Dataset other = GenerateDataset(dist_, 250, &rng);
+  SkewedPathIndex loaded;
+  Status s = loaded.Load(path_, &other, &dist_);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("does not match"), std::string::npos);
+}
+
+TEST_F(IndexIoTest, LoadRejectsGarbageFile) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not an index";
+  out.close();
+  SkewedPathIndex loaded;
+  EXPECT_TRUE(loaded.Load(path_, &data_, &dist_).IsInvalidArgument());
+}
+
+TEST_F(IndexIoTest, LoadRejectsTruncatedFile) {
+  SkewedPathIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, Options()).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  SkewedPathIndex loaded;
+  EXPECT_FALSE(loaded.Load(path_, &data_, &dist_).ok());
+}
+
+TEST_F(IndexIoTest, LoadMissingFileIsIOError) {
+  SkewedPathIndex loaded;
+  EXPECT_TRUE(
+      loaded.Load("/nonexistent/index.skidx", &data_, &dist_).IsIOError());
+}
+
+TEST_F(IndexIoTest, AdversarialRoundTrip) {
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.6;
+  options.repetitions = 6;
+  SkewedPathIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, options).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+  SkewedPathIndex loaded;
+  ASSERT_TRUE(loaded.Load(path_, &data_, &dist_).ok());
+  auto hit = loaded.Query(data_.Get(0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 0u);
+}
+
+TEST(BatchQueryTest, MatchesSerialQueries) {
+  auto dist = TwoBlockProbabilities(120, 0.25, 6000, 0.005).value();
+  Rng rng(14);
+  Dataset data = GenerateDataset(dist, 200, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
+  options.repetitions = 8;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+
+  CorrelatedQuerySampler sampler(&dist, 0.7);
+  Dataset queries;
+  for (int t = 0; t < 40; ++t) {
+    queries.Add(sampler.SampleCorrelated(data.Get(t % data.size()), &rng));
+  }
+  std::vector<QueryStats> batch_stats;
+  auto parallel = index.BatchQuery(queries, 4, &batch_stats);
+  auto serial = index.BatchQuery(queries, 1);
+  ASSERT_EQ(parallel.size(), queries.size());
+  ASSERT_EQ(batch_stats.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(parallel[i].has_value(), serial[i].has_value()) << i;
+    if (parallel[i]) {
+      EXPECT_EQ(parallel[i]->id, serial[i]->id);
+      EXPECT_EQ(parallel[i]->similarity, serial[i]->similarity);
+    }
+  }
+}
+
+TEST(BatchQueryTest, EmptyBatch) {
+  auto dist = UniformProbabilities(100, 0.1).value();
+  Rng rng(15);
+  Dataset data = GenerateDataset(dist, 50, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  Dataset empty;
+  EXPECT_TRUE(index.BatchQuery(empty, 4).empty());
+}
+
+TEST(ParallelJoinTest, MatchesSerialJoin) {
+  auto dist = UniformProbabilities(1000, 0.04).value();
+  Rng rng(16);
+  Dataset data;
+  for (int i = 0; i < 120; ++i) data.Add(dist.Sample(&rng));
+  for (int i = 0; i < 8; ++i) data.Add(data.GetVector(i * 5));  // dups
+  ASSERT_TRUE(data.SetDimension(1000).ok());
+
+  JoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = 0.9;
+  options.index.repetition_boost = 3.0;
+  options.threshold = 0.9;
+
+  auto serial = SelfSimilarityJoin(data, dist, options).value();
+  options.probe_threads = 4;
+  auto parallel = SelfSimilarityJoin(data, dist, options).value();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].left, parallel[i].left);
+    EXPECT_EQ(serial[i].right, parallel[i].right);
+    EXPECT_DOUBLE_EQ(serial[i].similarity, parallel[i].similarity);
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,161 @@
+#include "core/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(FilterTableTest, EmptyTable) {
+  FilterTable table;
+  table.Freeze();
+  EXPECT_EQ(table.num_pairs(), 0u);
+  EXPECT_EQ(table.num_keys(), 0u);
+  EXPECT_TRUE(table.Lookup(42).empty());
+}
+
+TEST(FilterTableTest, SingleKey) {
+  FilterTable table;
+  table.Add(7, 1);
+  table.Add(7, 3);
+  table.Add(7, 2);
+  table.Freeze();
+  auto postings = table.Lookup(7);
+  EXPECT_EQ(std::vector<VectorId>(postings.begin(), postings.end()),
+            (std::vector<VectorId>{1, 2, 3}));
+  EXPECT_TRUE(table.Lookup(8).empty());
+  EXPECT_EQ(table.num_keys(), 1u);
+  EXPECT_EQ(table.num_pairs(), 3u);
+}
+
+TEST(FilterTableTest, MultipleKeysSortedLookups) {
+  FilterTable table;
+  table.Add(100, 5);
+  table.Add(1, 0);
+  table.Add(50, 9);
+  table.Add(1, 4);
+  table.Freeze();
+  EXPECT_EQ(table.num_keys(), 3u);
+  EXPECT_EQ(table.Lookup(1).size(), 2u);
+  EXPECT_EQ(table.Lookup(50).size(), 1u);
+  EXPECT_EQ(table.Lookup(100)[0], 5u);
+  EXPECT_TRUE(table.Lookup(0).empty());
+  EXPECT_TRUE(table.Lookup(101).empty());
+  EXPECT_TRUE(table.Lookup(51).empty());
+}
+
+TEST(FilterTableTest, DuplicatePairsKept) {
+  // The same (key, id) may be added twice (an element can choose the same
+  // path in... it cannot within one repetition, but the table must not
+  // assume it). Both entries survive.
+  FilterTable table;
+  table.Add(9, 2);
+  table.Add(9, 2);
+  table.Freeze();
+  EXPECT_EQ(table.Lookup(9).size(), 2u);
+}
+
+TEST(FilterTableTest, PropertyMatchesReferenceMultimap) {
+  Rng rng(11);
+  FilterTable table;
+  std::map<uint64_t, std::multiset<VectorId>> reference;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBounded(500);
+    VectorId id = static_cast<VectorId>(rng.NextBounded(100));
+    table.Add(key, id);
+    reference[key].insert(id);
+  }
+  table.Freeze();
+  EXPECT_EQ(table.num_keys(), reference.size());
+  for (const auto& [key, ids] : reference) {
+    auto postings = table.Lookup(key);
+    std::multiset<VectorId> got(postings.begin(), postings.end());
+    EXPECT_EQ(got, ids) << "key " << key;
+  }
+  // Absent keys.
+  for (uint64_t key = 500; key < 600; ++key) {
+    EXPECT_TRUE(table.Lookup(key).empty());
+  }
+}
+
+TEST(FilterTableTest, MemoryBytesPositiveAfterFreeze) {
+  FilterTable table;
+  for (uint64_t k = 0; k < 100; ++k) table.Add(k, static_cast<VectorId>(k));
+  table.Freeze();
+  EXPECT_GT(table.MemoryBytes(), 100 * sizeof(uint64_t));
+}
+
+TEST(FilterTableTest, ReserveDoesNotAffectContents) {
+  FilterTable table;
+  table.Reserve(1000);
+  table.Add(5, 1);
+  table.Freeze();
+  EXPECT_EQ(table.Lookup(5).size(), 1u);
+}
+
+TEST(FilterTableTest, SerializationRoundTrip) {
+  Rng rng(21);
+  FilterTable table;
+  for (int i = 0; i < 2000; ++i) {
+    table.Add(rng.NextBounded(300), static_cast<VectorId>(rng.NextBounded(64)));
+  }
+  table.Freeze();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(table.WriteTo(&buffer).ok());
+  FilterTable loaded;
+  ASSERT_TRUE(loaded.ReadFrom(&buffer).ok());
+  EXPECT_EQ(loaded.num_keys(), table.num_keys());
+  EXPECT_EQ(loaded.num_pairs(), table.num_pairs());
+  for (uint64_t key = 0; key < 310; ++key) {
+    auto a = table.Lookup(key);
+    auto b = loaded.Lookup(key);
+    ASSERT_EQ(a.size(), b.size()) << key;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(FilterTableTest, SerializationRejectsCorruption) {
+  FilterTable table;
+  table.Add(1, 2);
+  table.Add(3, 4);
+  table.Freeze();
+  std::stringstream buffer;
+  ASSERT_TRUE(table.WriteTo(&buffer).ok());
+  std::string payload = buffer.str();
+
+  // Truncated stream.
+  std::stringstream truncated(payload.substr(0, payload.size() / 2));
+  FilterTable loaded;
+  EXPECT_TRUE(loaded.ReadFrom(&truncated).IsInvalidArgument());
+
+  // Flipped byte inside the key array breaks the sorted-keys invariant.
+  std::string corrupt = payload;
+  corrupt[9] = static_cast<char>(0xff);
+  std::stringstream corrupted(corrupt);
+  EXPECT_FALSE(loaded.ReadFrom(&corrupted).ok());
+
+  // Null stream argument.
+  EXPECT_TRUE(loaded.ReadFrom(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(table.WriteTo(nullptr).IsInvalidArgument());
+}
+
+TEST(FilterTableTest, EmptyTableSerializationRoundTrip) {
+  FilterTable table;
+  table.Freeze();
+  std::stringstream buffer;
+  ASSERT_TRUE(table.WriteTo(&buffer).ok());
+  FilterTable loaded;
+  ASSERT_TRUE(loaded.ReadFrom(&buffer).ok());
+  EXPECT_EQ(loaded.num_keys(), 0u);
+  EXPECT_TRUE(loaded.Lookup(0).empty());
+}
+
+}  // namespace
+}  // namespace skewsearch

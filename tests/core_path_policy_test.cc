@@ -1,0 +1,111 @@
+#include "core/path_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rho.h"
+#include "data/generators.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(AdversarialPolicyTest, MatchesFormula) {
+  AdversarialPolicy policy(0.5);
+  // s = 1 / (b1 |x| - j).
+  EXPECT_DOUBLE_EQ(policy.Threshold(100, 0, 7), 1.0 / 50.0);
+  EXPECT_DOUBLE_EQ(policy.Threshold(100, 10, 7), 1.0 / 40.0);
+}
+
+TEST(AdversarialPolicyTest, ItemIndependent) {
+  AdversarialPolicy policy(0.3);
+  EXPECT_EQ(policy.Threshold(50, 3, 0), policy.Threshold(50, 3, 999));
+}
+
+TEST(AdversarialPolicyTest, ClampsWhenBudgetSpent) {
+  AdversarialPolicy policy(0.5);
+  // b1|x| - j <= 1 => sample surely.
+  EXPECT_DOUBLE_EQ(policy.Threshold(10, 4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.Threshold(10, 9, 0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.Threshold(2, 0, 0), 1.0);
+}
+
+TEST(AdversarialPolicyTest, MonotoneInDepth) {
+  AdversarialPolicy policy(0.4);
+  double prev = 0.0;
+  for (int j = 0; j < 30; ++j) {
+    double s = policy.Threshold(100, j, 0);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(CorrelatedPolicyTest, RareItemsSampledMoreAggressively) {
+  auto dist = TwoBlockProbabilities(100, 0.4, 100, 0.01).value();
+  CorrelatedPolicy policy(&dist, 0.5, 0.1);
+  // p_hat(rare) < p_hat(frequent) => larger threshold for rare items.
+  double s_frequent = policy.Threshold(50, 0, 0);
+  double s_rare = policy.Threshold(50, 0, 150);
+  EXPECT_GT(s_rare, s_frequent);
+}
+
+TEST(CorrelatedPolicyTest, MatchesFormula) {
+  auto dist = UniformProbabilities(100, 0.25).value();
+  const double alpha = 0.5, delta = 0.2;
+  CorrelatedPolicy policy(&dist, alpha, delta);
+  double p_hat = ConditionalProbability(0.25, alpha);
+  double m = dist.SumP();  // 25
+  for (int j : {0, 3, 9}) {
+    EXPECT_DOUBLE_EQ(policy.Threshold(77, j, 5),
+                     (1.0 + delta) / (p_hat * m - j))
+        << "depth " << j;
+  }
+}
+
+TEST(CorrelatedPolicyTest, SizeIndependent) {
+  auto dist = UniformProbabilities(100, 0.25).value();
+  CorrelatedPolicy policy(&dist, 0.5, 0.1);
+  EXPECT_EQ(policy.Threshold(10, 2, 5), policy.Threshold(1000, 2, 5));
+}
+
+TEST(CorrelatedPolicyTest, ClampsToOneForDeepPaths) {
+  // Small universe: p_hat * m barely exceeds j quickly.
+  auto dist = UniformProbabilities(4, 0.4).value();  // m = 1.6
+  CorrelatedPolicy policy(&dist, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(policy.Threshold(4, 3, 0), 1.0);
+}
+
+TEST(CorrelatedPolicyTest, HigherAlphaLowersRareThreshold) {
+  // Larger alpha raises p_hat for rare items => smaller threshold needed.
+  auto dist = TwoBlockProbabilities(10, 0.3, 10, 0.001).value();
+  CorrelatedPolicy lo(&dist, 0.2, 0.1);
+  CorrelatedPolicy hi(&dist, 0.9, 0.1);
+  EXPECT_GT(lo.Threshold(10, 0, 15), hi.Threshold(10, 0, 15));
+}
+
+TEST(ClassicChosenPathPolicyTest, DepthAndItemIndependent) {
+  ClassicChosenPathPolicy policy(0.5);
+  EXPECT_DOUBLE_EQ(policy.Threshold(80, 0, 1), 1.0 / 40.0);
+  EXPECT_EQ(policy.Threshold(80, 0, 1), policy.Threshold(80, 17, 999));
+}
+
+TEST(ClassicChosenPathPolicyTest, ClampsTinyVectors) {
+  ClassicChosenPathPolicy policy(0.5);
+  EXPECT_DOUBLE_EQ(policy.Threshold(1, 0, 0), 1.0);
+}
+
+TEST(PolicyTest, ExpectedBranchingNearOneForCorrelatedPair) {
+  // Lemma 11's engine: for x n q distributed as p_i * p_hat_i, the expected
+  // number of sampled children per shared path is ~ (1 + delta).
+  auto dist = TwoBlockProbabilities(500, 0.25, 20000, 0.005).value();
+  const double alpha = 0.6, delta = 0.15;
+  CorrelatedPolicy policy(&dist, alpha, delta);
+  double expected_branching = 0.0;
+  for (ItemId i = 0; i < dist.dimension(); ++i) {
+    double p_joint =
+        dist.p(i) * ConditionalProbability(dist.p(i), alpha);
+    expected_branching += p_joint * policy.Threshold(0, 0, i);
+  }
+  EXPECT_NEAR(expected_branching, 1.0 + delta, 0.02);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,121 @@
+// Parameterized property sweep for the exponent solvers: across skew
+// ratios, correlations and thresholds, every solution must satisfy its
+// defining equation, stay in [0, 1], and respect the paper's orderings
+// (more skew or more correlation never hurts; ours <= Chosen Path).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/rho.h"
+#include "data/generators.h"
+
+namespace skewsearch {
+namespace {
+
+struct RhoSweepCase {
+  double skew_ratio;  // rare block probability = p / skew_ratio
+  double alpha;
+  double b1;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<RhoSweepCase>& info) {
+  auto fmt = [](double v) {
+    std::string s = std::to_string(v);
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s.substr(0, 5);
+  };
+  return "skew" + fmt(info.param.skew_ratio) + "_a" +
+         fmt(info.param.alpha) + "_b" + fmt(info.param.b1);
+}
+
+class RhoSweepTest : public ::testing::TestWithParam<RhoSweepCase> {
+ protected:
+  ProductDistribution MakeDist() const {
+    const double p = 0.25;
+    return TwoBlockProbabilities(400, p, 400, p / GetParam().skew_ratio)
+        .value();
+  }
+};
+
+TEST_P(RhoSweepTest, CorrelatedSolutionSatisfiesEquation) {
+  ProductDistribution dist = MakeDist();
+  const double alpha = GetParam().alpha;
+  double rho = CorrelatedRho(dist, alpha).value();
+  ASSERT_GE(rho, 0.0);
+  ASSERT_LE(rho, 1.0);
+  if (rho > 0.0 && rho < 1.0) {  // interior root: residual must vanish
+    double lhs = 0.0;
+    for (double p : dist.probabilities()) {
+      lhs += std::pow(p, 1.0 + rho) / ConditionalProbability(p, alpha);
+    }
+    EXPECT_NEAR(lhs, dist.SumP(), 1e-6 * dist.SumP());
+  }
+}
+
+TEST_P(RhoSweepTest, OursNeverAboveChosenPath) {
+  ProductDistribution dist = MakeDist();
+  double ours = CorrelatedRho(dist, GetParam().alpha).value();
+  double cp = ChosenPathRhoForDistribution(dist, GetParam().alpha);
+  EXPECT_LE(ours, cp + 1e-9);
+  if (GetParam().skew_ratio > 1.0) {
+    EXPECT_LT(ours, cp);  // strict once there is any skew
+  } else {
+    EXPECT_NEAR(ours, cp, 1e-6);  // no skew: exactly Chosen Path
+  }
+}
+
+TEST_P(RhoSweepTest, PreprocessSolutionSatisfiesEquation) {
+  ProductDistribution dist = MakeDist();
+  const double b1 = GetParam().b1;
+  double rho = PreprocessRho(dist, b1).value();
+  ASSERT_GE(rho, 0.0);
+  ASSERT_LE(rho, 1.0);
+  if (rho > 0.0 && rho < 1.0) {
+    double lhs = 0.0;
+    for (double p : dist.probabilities()) lhs += std::pow(p, 1.0 + rho);
+    EXPECT_NEAR(lhs, b1 * dist.SumP(), 1e-6 * dist.SumP());
+  }
+}
+
+TEST_P(RhoSweepTest, GroupedSolversAgreeWithPerItem) {
+  ProductDistribution dist = MakeDist();
+  const double p = 0.25;
+  std::vector<ProbabilityGroup> groups{
+      {p, 400.0}, {p / GetParam().skew_ratio, 400.0}};
+  EXPECT_NEAR(CorrelatedRhoGrouped(groups, GetParam().alpha).value(),
+              CorrelatedRho(dist, GetParam().alpha).value(), 1e-9);
+  EXPECT_NEAR(PreprocessRhoGrouped(groups, GetParam().b1).value(),
+              PreprocessRho(dist, GetParam().b1).value(), 1e-9);
+}
+
+TEST_P(RhoSweepTest, RhoDecreasesWithCorrelation) {
+  // p_hat_i = p_i(1-a) + a grows with alpha, so the equation's LHS falls
+  // pointwise and the balancing rho must fall: stronger correlation is
+  // never harder. (Note: "more skew" at fixed block *counts* is NOT
+  // monotone — thinning the rare block also deletes its mass, converging
+  // back to the uniform instance — so that is deliberately not asserted.)
+  ProductDistribution dist = MakeDist();
+  double rho_here = CorrelatedRho(dist, GetParam().alpha).value();
+  double rho_stronger =
+      CorrelatedRho(dist, std::min(1.0, GetParam().alpha + 0.1)).value();
+  EXPECT_LE(rho_stronger, rho_here + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RhoSweepTest,
+    ::testing::Values(RhoSweepCase{1.0, 0.50, 0.40},
+                      RhoSweepCase{2.0, 0.50, 0.40},
+                      RhoSweepCase{8.0, 0.50, 0.40},
+                      RhoSweepCase{64.0, 0.50, 0.40},
+                      RhoSweepCase{8.0, 0.25, 0.30},
+                      RhoSweepCase{8.0, 0.75, 0.60},
+                      RhoSweepCase{8.0, 0.95, 0.80},
+                      RhoSweepCase{256.0, 0.66, 0.50}),
+    SweepName);
+
+}  // namespace
+}  // namespace skewsearch

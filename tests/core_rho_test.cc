@@ -1,0 +1,225 @@
+#include "core/rho.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(RhoTest, ConditionalProbability) {
+  EXPECT_DOUBLE_EQ(ConditionalProbability(0.25, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(ConditionalProbability(0.25, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ConditionalProbability(0.25, 2.0 / 3.0),
+                   0.25 / 3.0 + 2.0 / 3.0);
+}
+
+// --- Correlated rho (Theorem 1) --------------------------------------
+
+TEST(RhoTest, CorrelatedUniformMatchesClosedForm) {
+  // Uniform p: the equation reduces to p^rho = p_hat, i.e.
+  // rho = ln(p_hat)/ln(p) — exactly Chosen Path's exponent.
+  const double p = 0.25, alpha = 0.5;
+  auto dist = UniformProbabilities(1000, p).value();
+  double rho = CorrelatedRho(dist, alpha).value();
+  double expect = std::log(ConditionalProbability(p, alpha)) / std::log(p);
+  EXPECT_NEAR(rho, expect, 1e-9);
+  // And equals the Chosen Path rho for this distribution.
+  EXPECT_NEAR(rho, ChosenPathRhoForDistribution(dist, alpha), 1e-9);
+}
+
+TEST(RhoTest, CorrelatedSolutionSatisfiesEquation) {
+  auto dist = TwoBlockProbabilities(100, 0.3, 10000, 0.003).value();
+  const double alpha = 0.6;
+  double rho = CorrelatedRho(dist, alpha).value();
+  double lhs = 0.0;
+  for (double p : dist.probabilities()) {
+    lhs += std::pow(p, 1.0 + rho) / ConditionalProbability(p, alpha);
+  }
+  EXPECT_NEAR(lhs, dist.SumP(), 1e-6 * dist.SumP());
+}
+
+TEST(RhoTest, CorrelatedBeatsChosenPathUnderSkew) {
+  // Figure 1's headline: with half the bits at p and half at p/8, our rho
+  // is strictly below Chosen Path's.
+  const double alpha = 2.0 / 3.0;
+  for (double p : {0.1, 0.2, 0.3, 0.4}) {
+    auto dist = TwoBlockProbabilities(500, p, 500, p / 8).value();
+    double ours = CorrelatedRho(dist, alpha).value();
+    double cp = ChosenPathRhoForDistribution(dist, alpha);
+    EXPECT_LT(ours, cp - 1e-4) << "p = " << p;
+  }
+}
+
+TEST(RhoTest, CorrelatedIncreasesWithLessCorrelation) {
+  auto dist = TwoBlockProbabilities(200, 0.25, 2000, 0.01).value();
+  double prev = 0.0;
+  for (double alpha : {0.9, 0.7, 0.5, 0.3}) {
+    double rho = CorrelatedRho(dist, alpha).value();
+    EXPECT_GT(rho, prev) << "alpha " << alpha;
+    prev = rho;
+  }
+}
+
+TEST(RhoTest, CorrelatedRejectsBadAlpha) {
+  auto dist = UniformProbabilities(10, 0.1).value();
+  EXPECT_FALSE(CorrelatedRho(dist, 0.0).ok());
+  EXPECT_FALSE(CorrelatedRho(dist, -1.0).ok());
+  EXPECT_FALSE(CorrelatedRho(dist, 1.5).ok());
+}
+
+TEST(RhoTest, Section72ExtremeSkewGivesNearZero) {
+  // §7.2: 4*C*ln n bits at 1/4 and n^0.9*C*ln n bits at n^-0.9 with
+  // alpha = 2/3 => rho -> 0 (query time O(n^eps)). The convergence is
+  // Theta(1/log n), so we evaluate the (grouped) equation at astronomical
+  // n and additionally check monotone decrease.
+  auto rho_at = [](double n) {
+    const double c_log_n = 30.0 * std::log(n);
+    const double p_rare = std::pow(n, -0.9);
+    std::vector<ProbabilityGroup> groups{
+        {0.25, 4.0 * c_log_n},
+        {p_rare, c_log_n / p_rare},
+    };
+    return CorrelatedRhoGrouped(groups, 2.0 / 3.0).value();
+  };
+  double r16 = rho_at(std::pow(2.0, 16));
+  double r64 = rho_at(std::pow(2.0, 64));
+  double r256 = rho_at(std::pow(2.0, 256));
+  EXPECT_GT(r16, r64);
+  EXPECT_GT(r64, r256);
+  EXPECT_LT(r256, 0.02);
+}
+
+// --- Adversarial rho (Lemma 8 / §7.1) ---------------------------------
+
+TEST(RhoTest, AdversarialUniformClosedForm) {
+  // Uniform p: sum p^rho = b1 |q| => p^rho = b1 => rho = ln b1 / ln p.
+  std::vector<double> probs(100, 0.125);
+  double rho = AdversarialQueryRho(probs, 1.0 / 3.0).value();
+  EXPECT_NEAR(rho, std::log(1.0 / 3.0) / std::log(0.125), 1e-9);
+}
+
+TEST(RhoTest, Section71FirstExample) {
+  // pa = 1/4, pb = n^-0.9, b1 = 1/3:
+  //   Chosen Path: rho >= log(1/3)/log(1/8) ~ 0.528
+  //   Ours:        rho -> log(2/3)/log(1/4) ~ 0.293.
+  const double n = 1e12;  // large n so pb^rho is negligible
+  const double pb = std::pow(n, -0.9);
+  std::vector<ProbabilityGroup> groups{{0.25, 500.0}, {pb, 500.0}};
+  double ours = AdversarialQueryRhoGrouped(groups, 1.0 / 3.0).value();
+  EXPECT_NEAR(ours, std::log(2.0 / 3.0) / std::log(0.25), 0.005);
+
+  double cp = ChosenPathRho(1.0 / 3.0, (0.25 + pb) / 2.0);
+  EXPECT_NEAR(cp, 0.528, 0.005);
+  EXPECT_LT(ours, cp);
+}
+
+TEST(RhoTest, Section71SecondExampleRhoGoesToZero) {
+  // b1 = 2/3 forces intersection into the rare half: rho -> 0 at rate
+  // Theta(1/log n) (driven entirely by the rare-item term).
+  auto rho_at = [](double n) {
+    const double pb = std::pow(n, -0.9);
+    std::vector<ProbabilityGroup> groups{{0.25, 500.0}, {pb, 500.0}};
+    return AdversarialQueryRhoGrouped(groups, 2.0 / 3.0).value();
+  };
+  double r12 = rho_at(1e12);
+  double r40 = rho_at(1e40);
+  double r120 = rho_at(1e120);
+  EXPECT_GT(r12, r40);
+  EXPECT_GT(r40, r120);
+  EXPECT_LT(r120, 0.01);
+  // Chosen Path still pays ~0.194 independent of n.
+  double cp = ChosenPathRho(2.0 / 3.0, 1.0 / 8.0);
+  EXPECT_NEAR(cp, 0.194, 0.005);
+  EXPECT_LT(r12, cp);
+}
+
+TEST(RhoTest, AdversarialSolutionSatisfiesEquation) {
+  std::vector<double> probs{0.5, 0.3, 0.1, 0.01, 0.001, 0.2, 0.4};
+  const double b1 = 0.4;
+  double rho = AdversarialQueryRho(probs, b1).value();
+  double lhs = 0.0;
+  for (double p : probs) lhs += std::pow(p, rho);
+  EXPECT_NEAR(lhs, b1 * static_cast<double>(probs.size()), 1e-6);
+}
+
+TEST(RhoTest, AdversarialDistributionOverload) {
+  auto dist = TwoBlockProbabilities(4, 0.25, 4, 0.01).value();
+  SparseVector q = SparseVector::Of({0, 1, 4, 5});
+  double via_overload = AdversarialQueryRho(dist, q, 0.5).value();
+  std::vector<double> probs{0.25, 0.25, 0.01, 0.01};
+  double direct = AdversarialQueryRho(probs, 0.5).value();
+  EXPECT_DOUBLE_EQ(via_overload, direct);
+}
+
+TEST(RhoTest, AdversarialRejectsBadInput) {
+  EXPECT_FALSE(AdversarialQueryRho(std::vector<double>{}, 0.5).ok());
+  EXPECT_FALSE(AdversarialQueryRho(std::vector<double>{0.1}, 0.0).ok());
+  EXPECT_FALSE(AdversarialQueryRho(std::vector<double>{0.1}, 1.0).ok());
+  auto dist = UniformProbabilities(4, 0.2).value();
+  SparseVector q = SparseVector::Of({9});
+  EXPECT_FALSE(AdversarialQueryRho(dist, q, 0.5).ok());
+}
+
+// --- Preprocessing rho (Theorem 2) ------------------------------------
+
+TEST(RhoTest, PreprocessUniformClosedForm) {
+  auto dist = UniformProbabilities(100, 0.2).value();
+  double rho = PreprocessRho(dist, 0.5).value();
+  EXPECT_NEAR(rho, std::log(0.5) / std::log(0.2), 1e-9);
+}
+
+TEST(RhoTest, PreprocessSatisfiesEquation) {
+  auto dist = TwoBlockProbabilities(50, 0.4, 5000, 0.002).value();
+  const double b1 = 0.3;
+  double rho = PreprocessRho(dist, b1).value();
+  double lhs = 0.0;
+  for (double p : dist.probabilities()) lhs += std::pow(p, 1.0 + rho);
+  EXPECT_NEAR(lhs, b1 * dist.SumP(), 1e-6 * dist.SumP());
+}
+
+TEST(RhoTest, PreprocessRejectsBadB1) {
+  auto dist = UniformProbabilities(10, 0.1).value();
+  EXPECT_FALSE(PreprocessRho(dist, 0.0).ok());
+  EXPECT_FALSE(PreprocessRho(dist, 1.0).ok());
+}
+
+// --- Chosen Path helpers ----------------------------------------------
+
+TEST(RhoTest, ChosenPathFormula) {
+  EXPECT_NEAR(ChosenPathRho(0.5, 0.25), 0.5, 1e-12);
+  EXPECT_NEAR(ChosenPathRho(1.0 / 3.0, 1.0 / 8.0),
+              std::log(3.0) / std::log(8.0), 1e-12);
+  EXPECT_EQ(ChosenPathRho(1.0, 0.5), 0.0);
+  EXPECT_EQ(ChosenPathRho(0.3, 0.5), 1.0);  // b2 >= b1 degenerates
+  EXPECT_EQ(ChosenPathRho(0.3, 0.0), 0.0);
+}
+
+TEST(RhoTest, ExpectedSimilarities) {
+  const double p = 0.2, alpha = 0.5;
+  auto dist = UniformProbabilities(100, p).value();
+  EXPECT_NEAR(ExpectedCorrelatedSimilarity(dist, alpha),
+              ConditionalProbability(p, alpha), 1e-12);
+  EXPECT_NEAR(ExpectedUncorrelatedSimilarity(dist), p, 1e-12);
+}
+
+TEST(RhoTest, RhoWithinZeroOne) {
+  // Property: for a range of skews and alphas, all solvers stay in [0, 1].
+  for (double ratio : {1.0, 2.0, 8.0, 64.0}) {
+    for (double alpha : {0.2, 0.5, 0.8}) {
+      auto dist =
+          TwoBlockProbabilities(300, 0.4, 300, 0.4 / ratio).value();
+      double rho = CorrelatedRho(dist, alpha).value();
+      EXPECT_GE(rho, 0.0);
+      EXPECT_LE(rho, 1.0);
+      double pre = PreprocessRho(dist, alpha / 1.3).value();
+      EXPECT_GE(pre, 0.0);
+      EXPECT_LE(pre, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

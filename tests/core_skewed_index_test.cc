@@ -1,0 +1,485 @@
+#include "core/skewed_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "sim/measures.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(SkewedIndexTest, BuildValidatesArguments) {
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  auto dist = UniformProbabilities(10, 0.2).value();
+  Dataset data;
+  EXPECT_TRUE(index.Build(nullptr, &dist, options).IsInvalidArgument());
+  EXPECT_TRUE(index.Build(&data, nullptr, options).IsInvalidArgument());
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+
+  data.Add(SparseVector::Of({1}));
+  data.Add(SparseVector::Of({2}));
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.0;
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+  options.b1 = 1.0;
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.0;
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+  options.alpha = 1.2;
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+}
+
+TEST(SkewedIndexTest, BuildRejectsDimensionMismatch) {
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  auto dist = UniformProbabilities(5, 0.2).value();
+  Dataset data;
+  data.Add(SparseVector::Of({100}));
+  data.Add(SparseVector::Of({1}));
+  EXPECT_TRUE(index.Build(&data, &dist, options).IsInvalidArgument());
+}
+
+TEST(SkewedIndexTest, NotBuiltQueriesReturnNothing) {
+  SkewedPathIndex index;
+  EXPECT_FALSE(index.built());
+  SparseVector q = SparseVector::Of({1, 2});
+  EXPECT_FALSE(index.Query(q.span()).has_value());
+  EXPECT_TRUE(index.QueryAll(q.span(), 0.0).empty());
+  EXPECT_TRUE(index.ComputeFilterKeys(q.span()).empty());
+}
+
+TEST(SkewedIndexTest, DerivedParametersPopulated) {
+  auto dist = UniformProbabilities(2000, 0.05).value();  // m = 100
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 256, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.8;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  EXPECT_TRUE(index.built());
+  EXPECT_GT(index.repetitions(), 0);
+  EXPECT_NEAR(index.verify_threshold(), 0.8 / 1.3, 1e-12);
+  EXPECT_GT(index.build_stats().total_filters, 0u);
+  EXPECT_GT(index.build_stats().delta_used, 0.0);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+TEST(SkewedIndexTest, ExplicitRepetitionsHonored) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 64, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  options.repetitions = 7;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  EXPECT_EQ(index.repetitions(), 7);
+}
+
+TEST(SkewedIndexTest, FindsExactDuplicateAdversarial) {
+  auto dist = UniformProbabilities(3000, 0.03).value();  // E|x| = 90
+  Rng rng(3);
+  Dataset data = GenerateDataset(dist, 300, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.7;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  // Query with an exact copy of a stored vector: B = 1 >= b1; Lemma 5
+  // across ~2 ln n repetitions should find it virtually always.
+  int found = 0;
+  for (VectorId id = 0; id < 50; ++id) {
+    auto hit = index.Query(data.Get(id));
+    if (hit && hit->id == id) ++found;
+  }
+  EXPECT_GE(found, 45);
+}
+
+TEST(SkewedIndexTest, CorrelatedQueriesRecallPlantedTarget) {
+  const double alpha = 0.75;
+  auto dist = TwoBlockProbabilities(400, 0.25, 30000, 0.004).value();
+  Rng rng(4);
+  Dataset data = GenerateDataset(dist, 512, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = alpha;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  int found = 0;
+  const int kQueries = 60;
+  for (int t = 0; t < kQueries; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data.size()));
+    SparseVector q = sampler.SampleCorrelated(data.Get(target), &rng);
+    auto hit = index.Query(q.span());
+    // Any returned match must clear the verify threshold; the planted
+    // target is the overwhelmingly likely unique match (Lemma 10).
+    if (hit && hit->id == target) ++found;
+  }
+  EXPECT_GE(found, kQueries * 8 / 10);
+}
+
+TEST(SkewedIndexTest, ReturnedMatchesMeetThreshold) {
+  auto dist = UniformProbabilities(1500, 0.05).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 200, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.6;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  for (VectorId id = 0; id < 20; ++id) {
+    auto hit = index.Query(data.Get(id));
+    if (hit) {
+      EXPECT_GE(hit->similarity, index.verify_threshold());
+      EXPECT_DOUBLE_EQ(hit->similarity,
+                       BraunBlanquet(data.Get(id), data.Get(hit->id)));
+    }
+  }
+}
+
+TEST(SkewedIndexTest, QueryAllFindsAllNearDuplicates) {
+  // Three near-identical vectors planted among noise; QueryAll must
+  // surface all of them (with enough repetitions).
+  auto dist = UniformProbabilities(4000, 0.02).value();
+  Rng rng(6);
+  Dataset data;
+  SparseVector base = dist.Sample(&rng);
+  data.Add(base);
+  // Two copies with one item changed.
+  for (int c = 0; c < 2; ++c) {
+    std::vector<ItemId> ids(base.ids());
+    ids[static_cast<size_t>(c)] = 3999 - static_cast<ItemId>(c);
+    data.Add(SparseVector::FromIds(ids));
+  }
+  for (int i = 0; i < 200; ++i) data.Add(dist.Sample(&rng));
+  ASSERT_TRUE(data.SetDimension(4000).ok());
+
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.8;
+  options.repetition_boost = 3.0;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  auto matches = index.QueryAll(base.span(), 0.8);
+  // Expect to see ids 0, 1, 2.
+  std::set<VectorId> ids;
+  for (const auto& m : matches) ids.insert(m.id);
+  EXPECT_TRUE(ids.count(0));
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(SkewedIndexTest, QueryStatsAreConsistent) {
+  auto dist = UniformProbabilities(1000, 0.05).value();
+  Rng rng(7);
+  Dataset data = GenerateDataset(dist, 128, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  CorrelatedQuerySampler sampler(&dist, 0.7);
+  QueryStats stats;
+  SparseVector q = sampler.SampleCorrelated(data.Get(0), &rng);
+  index.QueryAll(q.span(), 0.0, &stats);
+  EXPECT_GE(stats.candidates, stats.distinct_candidates);
+  EXPECT_EQ(stats.verifications, stats.distinct_candidates);
+  EXPECT_GE(stats.filters, 0u);
+}
+
+TEST(SkewedIndexTest, DeterministicForFixedSeed) {
+  auto dist = UniformProbabilities(800, 0.06).value();
+  Rng rng(8);
+  Dataset data = GenerateDataset(dist, 100, &rng);
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  options.seed = 1234;
+  SkewedPathIndex a, b;
+  ASSERT_TRUE(a.Build(&data, &dist, options).ok());
+  ASSERT_TRUE(b.Build(&data, &dist, options).ok());
+  SparseVector q = data.GetVector(3);
+  EXPECT_EQ(a.ComputeFilterKeys(q.span()), b.ComputeFilterKeys(q.span()));
+  EXPECT_EQ(a.build_stats().total_filters, b.build_stats().total_filters);
+}
+
+TEST(SkewedIndexTest, DifferentSeedsChangeFilters) {
+  auto dist = UniformProbabilities(800, 0.06).value();
+  Rng rng(9);
+  Dataset data = GenerateDataset(dist, 100, &rng);
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  SkewedPathIndex a, b;
+  options.seed = 1;
+  ASSERT_TRUE(a.Build(&data, &dist, options).ok());
+  options.seed = 2;
+  ASSERT_TRUE(b.Build(&data, &dist, options).ok());
+  SparseVector q = data.GetVector(3);
+  EXPECT_NE(a.ComputeFilterKeys(q.span()), b.ComputeFilterKeys(q.span()));
+}
+
+TEST(SkewedIndexTest, PairwiseHashEngineWorks) {
+  auto dist = UniformProbabilities(1000, 0.05).value();
+  Rng rng(10);
+  Dataset data = GenerateDataset(dist, 128, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.7;
+  options.hash_engine = HashEngine::kPairwise;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  int found = 0;
+  for (VectorId id = 0; id < 30; ++id) {
+    auto hit = index.Query(data.Get(id));
+    if (hit && hit->id == id) ++found;
+  }
+  EXPECT_GE(found, 25);
+}
+
+TEST(SkewedIndexTest, EmptyQueryReturnsNothing) {
+  auto dist = UniformProbabilities(100, 0.1).value();
+  Rng rng(11);
+  Dataset data = GenerateDataset(dist, 50, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  QueryStats stats;
+  EXPECT_FALSE(index.Query({}, &stats).has_value());
+  EXPECT_EQ(stats.candidates, 0u);
+}
+
+TEST(SkewedIndexTest, ParallelBuildIdenticalToSerial) {
+  auto dist = TwoBlockProbabilities(150, 0.2, 5000, 0.01).value();
+  Rng rng(20);
+  Dataset data = GenerateDataset(dist, 300, &rng);
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
+  options.repetitions = 6;
+  options.seed = 777;
+
+  SkewedPathIndex serial, parallel;
+  options.build_threads = 0;
+  ASSERT_TRUE(serial.Build(&data, &dist, options).ok());
+  options.build_threads = 4;
+  ASSERT_TRUE(parallel.Build(&data, &dist, options).ok());
+
+  EXPECT_EQ(serial.build_stats().total_filters,
+            parallel.build_stats().total_filters);
+  EXPECT_EQ(serial.build_stats().distinct_keys,
+            parallel.build_stats().distinct_keys);
+  // Identical query behaviour.
+  CorrelatedQuerySampler sampler(&dist, 0.7);
+  for (int t = 0; t < 10; ++t) {
+    SparseVector q = sampler.SampleCorrelated(data.Get(t), &rng);
+    auto a = serial.QueryAll(q.span(), 0.0);
+    auto b = parallel.QueryAll(q.span(), 0.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+}
+
+TEST(SkewedIndexTest, QueryTopKRanksAndTruncates) {
+  auto dist = UniformProbabilities(2000, 0.03).value();
+  Rng rng(21);
+  Dataset data;
+  SparseVector base = dist.Sample(&rng);
+  data.Add(base);
+  // Graded near-duplicates: drop 1, 3, 9 items.
+  for (size_t drop : {1u, 3u, 9u}) {
+    std::vector<ItemId> ids(base.ids().begin() + drop, base.ids().end());
+    data.Add(SparseVector::FromSorted(std::move(ids)));
+  }
+  for (int i = 0; i < 100; ++i) data.Add(dist.Sample(&rng));
+  ASSERT_TRUE(data.SetDimension(2000).ok());
+
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.8;
+  options.repetition_boost = 3.0;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+
+  auto top2 = index.QueryTopK(base.span(), 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 0u);  // exact duplicate first
+  EXPECT_DOUBLE_EQ(top2[0].similarity, 1.0);
+  EXPECT_GE(top2[0].similarity, top2[1].similarity);
+
+  auto top_many = index.QueryTopK(base.span(), 1000);
+  for (size_t i = 1; i < top_many.size(); ++i) {
+    EXPECT_GE(top_many[i - 1].similarity, top_many[i].similarity);
+  }
+}
+
+TEST(SkewedIndexTest, CollisionRateSeparatesCloseAndFar) {
+  auto dist = TwoBlockProbabilities(200, 0.25, 10000, 0.005).value();
+  Rng rng(22);
+  Dataset data = GenerateDataset(dist, 200, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.8;
+  options.repetitions = 30;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+
+  CorrelatedQuerySampler sampler(&dist, 0.8);
+  SparseVector x = data.GetVector(0);
+  SparseVector close = sampler.SampleCorrelated(x.span(), &rng);
+  SparseVector far = dist.Sample(&rng);
+  double close_rate = index.EstimateCollisionRate(x.span(), close.span());
+  double far_rate = index.EstimateCollisionRate(x.span(), far.span());
+  EXPECT_GT(close_rate, 0.2);  // Lemma 5: >= 1/ln n per repetition
+  EXPECT_LT(far_rate, close_rate);
+  // Identity collides whenever F(x) is non-empty, so it upper-bounds every
+  // other collision rate (F(x) may legitimately be empty in repetitions
+  // where the near-critical branching dies out).
+  double self_rate = index.EstimateCollisionRate(x.span(), x.span());
+  EXPECT_GE(self_rate, close_rate);
+  EXPECT_GT(self_rate, 0.5);
+}
+
+TEST(SkewedIndexTest, PredictQueryExponentAdversarial) {
+  auto dist = TwoBlockProbabilities(100, 0.3, 10000, 0.002).value();
+  Rng rng(23);
+  Dataset data = GenerateDataset(dist, 100, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.5;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+
+  // All-frequent query is predicted more expensive than all-rare.
+  std::vector<ItemId> freq_ids, rare_ids;
+  for (ItemId i = 0; i < 40; ++i) {
+    freq_ids.push_back(i);
+    rare_ids.push_back(100 + i);
+  }
+  double rho_freq = index
+                        .PredictQueryExponent(
+                            SparseVector::FromSorted(freq_ids).span())
+                        .value();
+  double rho_rare = index
+                        .PredictQueryExponent(
+                            SparseVector::FromSorted(rare_ids).span())
+                        .value();
+  EXPECT_GT(rho_freq, rho_rare);
+  // Unbuilt index and out-of-universe items are rejected.
+  SkewedPathIndex empty;
+  EXPECT_FALSE(empty.PredictQueryExponent(SparseVector::Of({1}).span()).ok());
+  EXPECT_FALSE(
+      index.PredictQueryExponent(SparseVector::Of({999999}).span()).ok());
+}
+
+TEST(SkewedIndexTest, JaccardVerificationMeasure) {
+  auto dist = UniformProbabilities(1000, 0.05).value();
+  Rng rng(24);
+  Dataset data = GenerateDataset(dist, 150, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.8;
+  options.verify_measure = Measure::kJaccard;
+  options.verify_threshold = 0.9;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  auto hit = index.Query(data.Get(0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->similarity, 1.0);  // Jaccard of the duplicate
+  EXPECT_DOUBLE_EQ(hit->similarity,
+                   Jaccard(data.Get(0), data.Get(hit->id)));
+}
+
+TEST(SkewedIndexTest, ToleratesEmptyAndTinyVectors) {
+  // Real datasets contain degenerate rows; the index must build and query
+  // around them (empty vectors generate no filters and are never
+  // candidates).
+  auto dist = UniformProbabilities(500, 0.05).value();
+  Rng rng(25);
+  Dataset data;
+  data.Add(SparseVector::Of({}));            // empty
+  data.Add(SparseVector::Of({7}));           // single item
+  for (int i = 0; i < 100; ++i) data.Add(dist.Sample(&rng));
+  data.Add(SparseVector::Of({}));            // empty at the end too
+  ASSERT_TRUE(data.SetDimension(500).ok());
+
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kAdversarial;
+  options.b1 = 0.6;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  // A normal query still finds its duplicate.
+  auto hit = index.Query(data.Get(5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(hit->similarity, 0.6);
+  // Querying the single-item vector is well-defined (may or may not
+  // match, but must not return an empty-vector candidate).
+  auto matches = index.QueryAll(data.Get(1), 0.0);
+  for (const auto& m : matches) EXPECT_GT(data.SizeOf(m.id), 0u);
+}
+
+TEST(SkewedIndexTest, QueryConsistentWithQueryAll) {
+  // Any match returned by Query must appear in QueryAll at the same
+  // threshold with the same similarity.
+  auto dist = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
+  Rng rng(26);
+  Dataset data = GenerateDataset(dist, 150, &rng);
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.75;
+  options.repetitions = 8;
+  ASSERT_TRUE(index.Build(&data, &dist, options).ok());
+  CorrelatedQuerySampler sampler(&dist, 0.75);
+  for (int t = 0; t < 20; ++t) {
+    SparseVector q = sampler.SampleCorrelated(data.Get(t), &rng);
+    auto one = index.Query(q.span());
+    auto all = index.QueryAll(q.span(), index.verify_threshold());
+    if (one) {
+      bool present = false;
+      for (const auto& m : all) {
+        present |= (m.id == one->id && m.similarity == one->similarity);
+      }
+      EXPECT_TRUE(present);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  }
+}
+
+TEST(SkewedIndexTest, StrictPaperDeltaIsLarger) {
+  auto dist = UniformProbabilities(2000, 0.05).value();
+  Rng rng(12);
+  Dataset data = GenerateDataset(dist, 128, &rng);
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.5;
+  SkewedPathIndex relaxed, strict;
+  ASSERT_TRUE(relaxed.Build(&data, &dist, options).ok());
+  options.strict_paper_delta = true;
+  ASSERT_TRUE(strict.Build(&data, &dist, options).ok());
+  EXPECT_GE(strict.build_stats().delta_used,
+            relaxed.build_stats().delta_used);
+  // Larger delta => more filters per element.
+  EXPECT_GE(strict.build_stats().avg_filters_per_element,
+            relaxed.build_stats().avg_filters_per_element);
+}
+
+}  // namespace
+}  // namespace skewsearch

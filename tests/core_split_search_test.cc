@@ -1,0 +1,102 @@
+#include "core/split_search.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(SplitSearchTest, AnalyzeValidates) {
+  auto dist = UniformProbabilities(100, 0.2).value();
+  EXPECT_FALSE(SplitSearcher::Analyze(dist, 100, 0.0).ok());
+  EXPECT_FALSE(SplitSearcher::Analyze(dist, 100, 1.0).ok());
+  EXPECT_TRUE(SplitSearcher::Analyze(dist, 100, 0.5).ok());
+}
+
+TEST(SplitSearchTest, AnalyzePartitionsUniverse) {
+  auto dist = TwoBlockProbabilities(300, 0.3, 700, 0.001).value();
+  auto plan = SplitSearcher::Analyze(dist, 1000, 0.5).value();
+  EXPECT_EQ(plan.frequent_items, 300u);
+  EXPECT_EQ(plan.rare_items, 700u);
+  EXPECT_GT(plan.ell, 0.0);
+  EXPECT_LT(plan.ell, 0.5);
+}
+
+TEST(SplitSearchTest, SplitStrictlyBetterOnTwoBlockSkew) {
+  // The motivating example's point: balancing ell makes
+  // max(rho_f, rho_r) < rho_unsplit when the frequent and rare halves
+  // have very different background intersections.
+  auto skewed = TwoBlockProbabilities(200, 0.3, 20000, 0.002).value();
+  auto plan = SplitSearcher::Analyze(skewed, 4096, 0.5).value();
+  EXPECT_LT(std::max(plan.rho_frequent, plan.rho_rare),
+            plan.rho_unsplit - 0.05);
+}
+
+TEST(SplitSearchTest, SplitStrictlyBetterOnHarmonic) {
+  auto harmonic = HarmonicProbabilities(100000).value();
+  auto plan = SplitSearcher::Analyze(harmonic, 4096, 0.5).value();
+  EXPECT_LT(std::max(plan.rho_frequent, plan.rho_rare),
+            plan.rho_unsplit - 0.01);
+}
+
+TEST(SplitSearchTest, UniformSplitDegeneratesGracefully) {
+  // No skew: the frequency split puts everything on one side; the plan
+  // must stay close to the unsplit exponent rather than blowing up.
+  auto uniform = UniformProbabilities(1000, 0.1).value();
+  auto plan = SplitSearcher::Analyze(uniform, 4096, 0.5).value();
+  EXPECT_LE(std::max(plan.rho_frequent, plan.rho_rare), 1.0);
+  EXPECT_GE(plan.rho_unsplit, 0.0);
+}
+
+TEST(SplitSearchTest, ExplicitEllHonored) {
+  auto dist = TwoBlockProbabilities(100, 0.3, 1000, 0.01).value();
+  auto plan = SplitSearcher::Analyze(dist, 500, 0.5, -1.0, 0.2).value();
+  EXPECT_DOUBLE_EQ(plan.ell, 0.2);
+}
+
+TEST(SplitSearchTest, BuildAndQueryFindsDuplicates) {
+  auto dist = TwoBlockProbabilities(150, 0.25, 8000, 0.01).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 200, &rng);
+  SplitSearcher searcher;
+  SplitSearchOptions options;
+  options.b1 = 0.7;
+  options.index.repetition_boost = 3.0;
+  ASSERT_TRUE(searcher.Build(&data, &dist, options).ok());
+  EXPECT_GT(searcher.plan().frequent_items, 0u);
+  EXPECT_GT(searcher.plan().rare_items, 0u);
+
+  int found = 0;
+  for (VectorId id = 0; id < 30; ++id) {
+    QueryStats stats;
+    auto hit = searcher.Query(data.Get(id), &stats);
+    if (hit && hit->similarity >= 0.7) ++found;
+  }
+  EXPECT_GE(found, 24);
+}
+
+TEST(SplitSearchTest, ReturnedSimilarityIsFullVector) {
+  auto dist = TwoBlockProbabilities(100, 0.3, 4000, 0.01).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 150, &rng);
+  SplitSearcher searcher;
+  SplitSearchOptions options;
+  options.b1 = 0.8;
+  ASSERT_TRUE(searcher.Build(&data, &dist, options).ok());
+  auto hit = searcher.Query(data.Get(5));
+  if (hit) {
+    EXPECT_GE(hit->similarity, 0.8);
+  }
+}
+
+TEST(SplitSearchTest, BuildValidates) {
+  SplitSearcher searcher;
+  SplitSearchOptions options;
+  auto dist = UniformProbabilities(10, 0.2).value();
+  EXPECT_TRUE(searcher.Build(nullptr, &dist, options).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skewsearch

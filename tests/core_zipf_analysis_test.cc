@@ -1,0 +1,86 @@
+#include "core/zipf_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace skewsearch {
+namespace {
+
+TEST(ZipfAnalysisTest, Validates) {
+  ZipfClassOptions options;
+  EXPECT_FALSE(MakeZipfClassDistribution(options, 1).ok());
+  options.exponent = -1.0;
+  EXPECT_FALSE(MakeZipfClassDistribution(options, 1000).ok());
+  options.exponent = 1.0;
+  EXPECT_FALSE(AnalyzeZipfClass(options, {}).ok());
+}
+
+TEST(ZipfAnalysisTest, PureZipfTrivializes) {
+  // The paper's observation: with p_j = 1/2j and d = n, sum p ~ ln(d)/2,
+  // so C(n) = sum p / ln n tends to the constant 1/2 — and for s > 1 the
+  // expected size is O(1), so C(n) -> 0.
+  ZipfClassOptions options;
+  options.kind = ZipfClass::kPureZipf;
+  options.exponent = 1.5;
+  auto points =
+      AnalyzeZipfClass(options, {1 << 10, 1 << 14, 1 << 18}).value();
+  EXPECT_LT(points.back().c_of_n, points.front().c_of_n);
+  EXPECT_LT(points.back().c_of_n, 0.5);
+  // Expected set size stays bounded (the "very small expected size").
+  EXPECT_LT(points.back().expected_size, 10.0);
+}
+
+TEST(ZipfAnalysisTest, ScaledZipfKeepsAsymptoticsInteresting) {
+  // The candidate answer: rescaling the Zipf shape to sum p = C0 ln n
+  // keeps C(n) = C0 at every n while preserving the skew.
+  ZipfClassOptions options;
+  options.kind = ZipfClass::kScaledZipf;
+  options.exponent = 1.0;
+  options.c0 = 8.0;
+  auto points =
+      AnalyzeZipfClass(options, {1 << 10, 1 << 14, 1 << 18}).value();
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.c_of_n, 8.0, 0.5) << "n = " << point.n;
+    // The skew advantage persists: positive exponent gap everywhere.
+    EXPECT_GT(point.gap, 0.0) << "n = " << point.n;
+  }
+}
+
+TEST(ZipfAnalysisTest, PiecewiseZipfAlsoInteresting) {
+  ZipfClassOptions options;
+  options.kind = ZipfClass::kPiecewiseZipf;
+  options.exponent = 1.1;
+  options.c0 = 6.0;
+  auto points = AnalyzeZipfClass(options, {1 << 10, 1 << 16}).value();
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.c_of_n, 6.0, 0.5);
+    EXPECT_GT(point.gap, 0.0);
+    EXPECT_GT(point.rho_ours, 0.0);
+    EXPECT_LE(point.rho_ours, 1.0);
+  }
+}
+
+TEST(ZipfAnalysisTest, GapGrowsWithSkewExponent) {
+  // Steeper Zipf decay = more skew = larger advantage over Chosen Path.
+  double prev_gap = -1.0;
+  for (double s : {0.5, 1.0, 1.5}) {
+    ZipfClassOptions options;
+    options.kind = ZipfClass::kScaledZipf;
+    options.exponent = s;
+    options.c0 = 8.0;
+    auto points = AnalyzeZipfClass(options, {1 << 14}).value();
+    EXPECT_GT(points[0].gap, prev_gap) << "s = " << s;
+    prev_gap = points[0].gap;
+  }
+}
+
+TEST(ZipfAnalysisTest, DistributionPropertiesSane) {
+  ZipfClassOptions options;
+  options.kind = ZipfClass::kScaledZipf;
+  options.c0 = 5.0;
+  auto dist = MakeZipfClassDistribution(options, 4096).value();
+  EXPECT_TRUE(dist.SatisfiesHalfAssumption());
+  EXPECT_GE(dist.dimension(), 4096u);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,117 @@
+#include "data/correlated.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "sim/intersect.h"
+#include "sim/measures.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(CorrelatedQueryTest, AlphaOneCopiesExactly) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  CorrelatedQuerySampler sampler(&dist, 1.0);
+  Rng rng(1);
+  SparseVector x = dist.Sample(&rng);
+  SparseVector q = sampler.SampleCorrelated(x.span(), &rng);
+  EXPECT_EQ(q, x);
+}
+
+TEST(CorrelatedQueryTest, AlphaZeroIsIndependent) {
+  auto dist = UniformProbabilities(2000, 0.05).value();
+  CorrelatedQuerySampler sampler(&dist, 0.0);
+  Rng rng(2);
+  SparseVector x = dist.Sample(&rng);
+  // Intersection with an alpha=0 query should look like two independent
+  // draws: E = |x| * p = ~5.
+  double total_inter = 0.0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    SparseVector q = sampler.SampleCorrelated(x.span(), &rng);
+    total_inter += static_cast<double>(IntersectSizeMerge(x.span(), q.span()));
+  }
+  double mean = total_inter / kTrials;
+  double expected = static_cast<double>(x.size()) * 0.05;
+  EXPECT_NEAR(mean, expected, 2.0);
+}
+
+TEST(CorrelatedQueryTest, MarginalIsStillD) {
+  // q ~ D_alpha(x) has marginal D: E|q| = sum p_i.
+  auto dist = TwoBlockProbabilities(100, 0.3, 1000, 0.01).value();
+  CorrelatedQuerySampler sampler(&dist, 0.6);
+  Rng rng(3);
+  double total = 0.0;
+  const int kTrials = 1500;
+  for (int t = 0; t < kTrials; ++t) {
+    SparseVector x = dist.Sample(&rng);
+    total += static_cast<double>(
+        sampler.SampleCorrelated(x.span(), &rng).size());
+  }
+  EXPECT_NEAR(total / kTrials, dist.SumP(), 1.2);
+}
+
+TEST(CorrelatedQueryTest, IntersectionMatchesTheory) {
+  // E|x n q| = sum_i p_i * p_hat_i with p_hat = p(1-a) + a.
+  const double alpha = 0.7;
+  auto dist = UniformProbabilities(3000, 0.04).value();
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  Rng rng(4);
+  double total = 0.0;
+  const int kTrials = 800;
+  for (int t = 0; t < kTrials; ++t) {
+    SparseVector x = dist.Sample(&rng);
+    SparseVector q = sampler.SampleCorrelated(x.span(), &rng);
+    total += static_cast<double>(IntersectSizeMerge(x.span(), q.span()));
+  }
+  double p_hat = 0.04 * (1 - alpha) + alpha;
+  double expected = 3000 * 0.04 * p_hat;
+  EXPECT_NEAR(total / kTrials, expected, expected * 0.05);
+}
+
+TEST(CorrelatedQueryTest, EmpiricalPearsonApproachesAlpha) {
+  // Per-dimension Pearson correlation of (x_i, q_i) should be ~alpha;
+  // the phi coefficient over a long uniform vector estimates it.
+  const double alpha = 0.5;
+  auto dist = UniformProbabilities(20000, 0.2).value();
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  Rng rng(5);
+  SparseVector x = dist.Sample(&rng);
+  SparseVector q = sampler.SampleCorrelated(x.span(), &rng);
+  double phi = EmpiricalPearson(x.span(), q.span(), dist.dimension());
+  EXPECT_NEAR(phi, alpha, 0.05);
+}
+
+TEST(CorrelatedQueryTest, QueriesVaryAcrossCalls) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  CorrelatedQuerySampler sampler(&dist, 0.5);
+  Rng rng(6);
+  SparseVector x = dist.Sample(&rng);
+  SparseVector q1 = sampler.SampleCorrelated(x.span(), &rng);
+  SparseVector q2 = sampler.SampleCorrelated(x.span(), &rng);
+  EXPECT_FALSE(q1 == q2);
+}
+
+TEST(CorrelatedQueryTest, ClampsAlpha) {
+  auto dist = UniformProbabilities(100, 0.1).value();
+  CorrelatedQuerySampler hi(&dist, 1.5);
+  EXPECT_DOUBLE_EQ(hi.alpha(), 1.0);
+  CorrelatedQuerySampler lo(&dist, -0.5);
+  EXPECT_DOUBLE_EQ(lo.alpha(), 0.0);
+}
+
+TEST(CorrelatedQueryTest, EmptyBaseVector) {
+  auto dist = UniformProbabilities(200, 0.05).value();
+  CorrelatedQuerySampler sampler(&dist, 0.8);
+  Rng rng(7);
+  SparseVector empty;
+  // q should then just be a thinned fresh sample (no crash, ids valid).
+  SparseVector q = sampler.SampleCorrelated(empty.span(), &rng);
+  for (ItemId id : q.ids()) EXPECT_LT(id, 200u);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,144 @@
+#include "data/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(ProductDistributionTest, CreateValidates) {
+  EXPECT_FALSE(ProductDistribution::Create({}).ok());
+  EXPECT_FALSE(ProductDistribution::Create({0.0}).ok());
+  EXPECT_FALSE(ProductDistribution::Create({1.0}).ok());
+  EXPECT_FALSE(ProductDistribution::Create({0.5, -0.1}).ok());
+  EXPECT_TRUE(ProductDistribution::Create({0.5, 0.001}).ok());
+}
+
+TEST(ProductDistributionTest, Accessors) {
+  auto dist = ProductDistribution::Create({0.5, 0.25, 0.125}).value();
+  EXPECT_EQ(dist.dimension(), 3u);
+  EXPECT_DOUBLE_EQ(dist.p(1), 0.25);
+  EXPECT_DOUBLE_EQ(dist.SumP(), 0.875);
+  EXPECT_DOUBLE_EQ(dist.MaxP(), 0.5);
+  EXPECT_NEAR(dist.LogInvP(2), std::log(8.0), 1e-12);
+}
+
+TEST(ProductDistributionTest, HalfAssumption) {
+  EXPECT_TRUE(
+      ProductDistribution::Create({0.5, 0.1}).value().SatisfiesHalfAssumption());
+  EXPECT_FALSE(
+      ProductDistribution::Create({0.7}).value().SatisfiesHalfAssumption());
+}
+
+TEST(ProductDistributionTest, CForN) {
+  std::vector<double> p(100, 0.25);  // sum = 25
+  auto dist = ProductDistribution::Create(p).value();
+  EXPECT_NEAR(dist.CForN(1000), 25.0 / std::log(1000.0), 1e-12);
+  EXPECT_EQ(dist.CForN(1), 0.0);
+}
+
+TEST(ProductDistributionTest, BlocksMergeEqualProbabilities) {
+  std::vector<double> p(1000, 0.3);
+  auto dist = ProductDistribution::Create(p).value();
+  EXPECT_EQ(dist.NumSamplingBlocks(), 1u);
+}
+
+TEST(ProductDistributionTest, BlocksSplitOnLargeRatio) {
+  std::vector<double> p;
+  p.insert(p.end(), 100, 0.4);
+  p.insert(p.end(), 100, 0.01);
+  auto dist = ProductDistribution::Create(p).value();
+  EXPECT_EQ(dist.NumSamplingBlocks(), 2u);
+}
+
+TEST(ProductDistributionTest, SampleRespectsSupport) {
+  auto dist = ProductDistribution::Create({0.5, 0.5, 0.5}).value();
+  Rng rng(1);
+  for (int t = 0; t < 100; ++t) {
+    SparseVector x = dist.Sample(&rng);
+    for (ItemId id : x.ids()) EXPECT_LT(id, 3u);
+    // Sorted strictly increasing.
+    for (size_t i = 1; i < x.size(); ++i) EXPECT_LT(x[i - 1], x[i]);
+  }
+}
+
+TEST(ProductDistributionTest, SampleMeanSizeMatchesSumP) {
+  std::vector<double> p;
+  p.insert(p.end(), 200, 0.3);
+  p.insert(p.end(), 1000, 0.01);
+  auto dist = ProductDistribution::Create(p).value();
+  Rng rng(2);
+  double total = 0.0;
+  const int kSamples = 2000;
+  for (int t = 0; t < kSamples; ++t) {
+    total += static_cast<double>(dist.Sample(&rng).size());
+  }
+  double mean = total / kSamples;
+  // E|x| = 70; Chernoff tolerance for 2000*70 draws.
+  EXPECT_NEAR(mean, dist.SumP(), 1.5);
+}
+
+TEST(ProductDistributionTest, PerItemFrequencyMatchesP) {
+  // Exercises both the skip and the thinning path: probabilities vary
+  // within a factor-2 block.
+  std::vector<double> p{0.5, 0.3, 0.28, 0.26, 0.05, 0.04, 0.03};
+  auto dist = ProductDistribution::Create(p).value();
+  Rng rng(3);
+  std::vector<int> counts(p.size(), 0);
+  const int kSamples = 40000;
+  for (int t = 0; t < kSamples; ++t) {
+    SparseVector sample = dist.Sample(&rng);
+    for (ItemId id : sample.ids()) counts[id]++;
+  }
+  for (size_t i = 0; i < p.size(); ++i) {
+    double freq = static_cast<double>(counts[i]) / kSamples;
+    double sigma = std::sqrt(p[i] * (1 - p[i]) / kSamples);
+    EXPECT_NEAR(freq, p[i], 6 * sigma) << "item " << i;
+  }
+}
+
+TEST(ProductDistributionTest, RareItemsSampledAtCorrectRate) {
+  // A large block of very rare items: skip sampling must neither over- nor
+  // under-sample. Total expected hits = d_rare * p_rare * samples.
+  const size_t d = 100000;
+  const double p_rare = 1e-4;
+  std::vector<double> p(d, p_rare);
+  auto dist = ProductDistribution::Create(p).value();
+  Rng rng(4);
+  size_t hits = 0;
+  const int kSamples = 2000;
+  for (int t = 0; t < kSamples; ++t) hits += dist.Sample(&rng).size();
+  double expected = d * p_rare * kSamples;  // = 20000
+  double sigma = std::sqrt(expected);
+  EXPECT_NEAR(static_cast<double>(hits), expected, 6 * sigma);
+}
+
+TEST(ProductDistributionTest, SamplingIsFastForHugeSparseUniverse) {
+  // O(E|x|) sampling: a 5M-dimensional universe with tiny probabilities
+  // must sample quickly (this test fails by timeout if sampling is O(d)
+  // per draw... it would take minutes).
+  const size_t d = 5000000;
+  std::vector<double> p(d, 2e-6);
+  auto dist = ProductDistribution::Create(p).value();
+  Rng rng(5);
+  size_t total = 0;
+  for (int t = 0; t < 2000; ++t) total += dist.Sample(&rng).size();
+  // E = 2000 * 10 = 20000.
+  EXPECT_NEAR(static_cast<double>(total), 20000.0, 900.0);
+}
+
+TEST(ProductDistributionTest, DeterministicGivenRngSeed) {
+  auto dist = ProductDistribution::Create({0.5, 0.2, 0.1, 0.4}).value();
+  Rng r1(99), r2(99);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_EQ(dist.Sample(&r1), dist.Sample(&r2));
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,86 @@
+#include "data/estimate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(EstimateTest, RejectsEmptyDataset) {
+  Dataset data;
+  EXPECT_TRUE(EstimateFrequencies(data).status().IsInvalidArgument());
+}
+
+TEST(EstimateTest, ExactCountsWithoutSmoothing) {
+  Dataset data;
+  data.Add(SparseVector::Of({0, 1}));
+  data.Add(SparseVector::Of({0}));
+  data.Add(SparseVector::Of({0, 2}));
+  data.Add(SparseVector::Of({0, 1}));
+  EstimateOptions options;
+  options.smoothing = 0.0;
+  options.max_p = 1.0 - 1e-9;
+  auto dist = EstimateFrequencies(data, options);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->p(0), 1.0 - 1e-9, 1e-6);  // 4/4 clamped below 1
+  EXPECT_NEAR(dist->p(1), 0.5, 1e-12);
+  EXPECT_NEAR(dist->p(2), 0.25, 1e-12);
+}
+
+TEST(EstimateTest, SmoothingLiftsUnseenItems) {
+  Dataset data;
+  data.Add(SparseVector::Of({0}));
+  data.Add(SparseVector::Of({0}));
+  ASSERT_TRUE(data.SetDimension(5).ok());
+  auto dist = EstimateFrequencies(data);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->dimension(), 5u);
+  EXPECT_GT(dist->p(4), 0.0);
+  EXPECT_LT(dist->p(4), dist->p(0));
+}
+
+TEST(EstimateTest, MaxPClampApplies) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.Add(SparseVector::Of({0}));
+  auto dist = EstimateFrequencies(data);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_LE(dist->MaxP(), 0.5);
+}
+
+TEST(EstimateTest, RecoversGeneratingDistribution) {
+  auto truth = TwoBlockProbabilities(50, 0.3, 500, 0.02).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(truth, 5000, &rng);
+  auto est = EstimateFrequencies(data);
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est->dimension(), truth.dimension());
+  // Frequent block: relative error small.
+  for (ItemId i = 0; i < 50; ++i) {
+    EXPECT_NEAR(est->p(i), 0.3, 0.05) << "item " << i;
+  }
+  // Rare block: absolute error small.
+  double rare_mean = 0.0;
+  for (ItemId i = 50; i < 550; ++i) rare_mean += est->p(i);
+  rare_mean /= 500.0;
+  EXPECT_NEAR(rare_mean, 0.02, 0.003);
+}
+
+TEST(EstimateTest, CustomMinP) {
+  Dataset data;
+  data.Add(SparseVector::Of({0}));
+  data.Add(SparseVector::Of({1}));
+  ASSERT_TRUE(data.SetDimension(10).ok());
+  EstimateOptions options;
+  options.smoothing = 0.0;
+  options.min_p = 0.01;
+  auto dist = EstimateFrequencies(data, options);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(dist->p(9), 0.01);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,173 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/intersect.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(GeneratorsTest, UniformProbabilities) {
+  auto dist = UniformProbabilities(10, 0.25).value();
+  EXPECT_EQ(dist.dimension(), 10u);
+  for (ItemId i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(dist.p(i), 0.25);
+}
+
+TEST(GeneratorsTest, UniformRejectsBadP) {
+  EXPECT_FALSE(UniformProbabilities(10, 0.0).ok());
+  EXPECT_FALSE(UniformProbabilities(10, 1.0).ok());
+  EXPECT_FALSE(UniformProbabilities(0, 0.5).ok());
+}
+
+TEST(GeneratorsTest, TwoBlockLayout) {
+  auto dist = TwoBlockProbabilities(3, 0.4, 2, 0.05).value();
+  EXPECT_EQ(dist.dimension(), 5u);
+  EXPECT_DOUBLE_EQ(dist.p(0), 0.4);
+  EXPECT_DOUBLE_EQ(dist.p(2), 0.4);
+  EXPECT_DOUBLE_EQ(dist.p(3), 0.05);
+  EXPECT_DOUBLE_EQ(dist.p(4), 0.05);
+}
+
+TEST(GeneratorsTest, HarmonicCapsFirstTerms) {
+  auto dist = HarmonicProbabilities(10).value();
+  EXPECT_DOUBLE_EQ(dist.p(0), 0.5);  // 1/1 capped
+  EXPECT_DOUBLE_EQ(dist.p(1), 0.5);  // 1/2
+  EXPECT_DOUBLE_EQ(dist.p(2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(dist.p(9), 0.1);
+}
+
+TEST(GeneratorsTest, HarmonicSumIsLogarithmic) {
+  auto dist = HarmonicProbabilities(100000).value();
+  // sum 1/k ~ ln d + gamma; the cap subtracts 0.5 from the first term.
+  double expect = std::log(100000.0) + 0.5772 - 0.5;
+  EXPECT_NEAR(dist.SumP(), expect, 0.05);
+}
+
+TEST(GeneratorsTest, ZipfDecays) {
+  auto dist = ZipfProbabilities(100, 1.0, 0.5).value();
+  EXPECT_DOUBLE_EQ(dist.p(0), 0.5);
+  EXPECT_NEAR(dist.p(9), 0.05, 1e-12);
+  for (ItemId i = 1; i < 100; ++i) EXPECT_LE(dist.p(i), dist.p(i - 1));
+}
+
+TEST(GeneratorsTest, PiecewiseZipfConcatenates) {
+  auto dist = PiecewiseZipfProbabilities(
+                  {{10, 0.5, 0.0}, {20, 0.1, 1.0}})
+                  .value();
+  EXPECT_EQ(dist.dimension(), 30u);
+  EXPECT_DOUBLE_EQ(dist.p(5), 0.5);   // flat head
+  EXPECT_DOUBLE_EQ(dist.p(10), 0.1);  // tail head
+  EXPECT_NEAR(dist.p(29), 0.1 / 20.0, 1e-12);
+}
+
+TEST(GeneratorsTest, ScaleToAverageSizeHitsTarget) {
+  auto base = ZipfProbabilities(1000, 1.0, 0.5).value();
+  auto scaled = ScaleToAverageSize(base, 25.0).value();
+  EXPECT_NEAR(scaled.SumP(), 25.0, 0.01);
+  // The cap must be respected.
+  EXPECT_LE(scaled.MaxP(), 0.5 + 1e-12);
+}
+
+TEST(GeneratorsTest, ScaleToAverageSizeRejectsNonPositive) {
+  auto base = UniformProbabilities(10, 0.2).value();
+  EXPECT_FALSE(ScaleToAverageSize(base, 0.0).ok());
+  EXPECT_FALSE(ScaleToAverageSize(base, -3.0).ok());
+}
+
+TEST(GeneratorsTest, GenerateDatasetShape) {
+  auto dist = UniformProbabilities(50, 0.2).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 200, &rng);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.dimension(), 50u);
+  EXPECT_NEAR(data.AverageSize(), 10.0, 1.5);
+}
+
+TEST(GeneratorsTest, PlantedPairIsCorrelated) {
+  auto dist = UniformProbabilities(2000, 0.05).value();
+  Rng rng(2);
+  PlantedPairInstance inst = GeneratePlantedPair(dist, 50, 0.9, &rng);
+  EXPECT_EQ(inst.data.size(), 50u);
+  ASSERT_NE(inst.first, inst.second);
+  auto a = inst.data.Get(inst.first);
+  auto b = inst.data.Get(inst.second);
+  // alpha = 0.9: intersection should far exceed the independent
+  // expectation (|a|*0.05 ~ 5).
+  size_t inter = IntersectSizeMerge(a, b);
+  EXPECT_GT(inter, a.size() / 2);
+}
+
+TEST(GeneratorsTest, PlantedPairPositionsShuffled) {
+  auto dist = UniformProbabilities(500, 0.1).value();
+  // Over several instances, the planted pair should not always be the last
+  // position.
+  int last_position_hits = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    PlantedPairInstance inst = GeneratePlantedPair(dist, 10, 0.8, &rng);
+    if (inst.second == 9u) ++last_position_hits;
+  }
+  EXPECT_LT(last_position_hits, 10);
+}
+
+TEST(TopicModelTest, TopicsHaveRequestedSize) {
+  auto background = UniformProbabilities(1000, 0.01).value();
+  TopicModelOptions options;
+  options.num_topics = 5;
+  options.topic_size = 12;
+  Rng rng(3);
+  TopicModelGenerator gen(background, options, &rng);
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(gen.topic(t).size(), 12u);
+    // Topic items sorted and in range.
+    for (size_t k = 1; k < gen.topic(t).size(); ++k) {
+      EXPECT_LT(gen.topic(t)[k - 1], gen.topic(t)[k]);
+    }
+    EXPECT_LT(gen.topic(t).back(), 1000u);
+  }
+}
+
+TEST(TopicModelTest, InjectsCooccurrence) {
+  // With one always-active topic, its items co-occur far more often than
+  // independence predicts.
+  auto background = UniformProbabilities(5000, 0.002).value();
+  TopicModelOptions options;
+  options.num_topics = 1;
+  options.topic_size = 10;
+  options.activation_prob = 0.5;
+  options.include_prob = 0.9;
+  Rng rng(4);
+  TopicModelGenerator gen(background, options, &rng);
+  Dataset data = gen.Generate(2000, &rng);
+
+  ItemId a = gen.topic(0)[0];
+  ItemId b = gen.topic(0)[1];
+  size_t both = 0, only_a = 0, only_b = 0;
+  for (VectorId id = 0; id < data.size(); ++id) {
+    auto v = data.GetVector(id);
+    bool ha = v.Contains(a), hb = v.Contains(b);
+    both += (ha && hb);
+    only_a += ha;
+    only_b += hb;
+  }
+  double n = static_cast<double>(data.size());
+  double expected_indep = (only_a / n) * (only_b / n) * n;
+  EXPECT_GT(static_cast<double>(both), 2.0 * expected_indep);
+}
+
+TEST(TopicModelTest, ZeroActivationIsPureBackground) {
+  auto background = UniformProbabilities(100, 0.1).value();
+  TopicModelOptions options;
+  options.num_topics = 3;
+  options.activation_prob = 0.0;
+  Rng rng(5);
+  TopicModelGenerator gen(background, options, &rng);
+  Dataset data = gen.Generate(500, &rng);
+  EXPECT_NEAR(data.AverageSize(), 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,170 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace skewsearch {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/skewsearch_io_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(IoTest, RoundTrip) {
+  Dataset data;
+  data.Add(SparseVector::Of({1, 5, 9}));
+  data.Add(SparseVector::Of({}));
+  data.Add(SparseVector::Of({0, 2}));
+  ASSERT_TRUE(WriteTransactions(data, path_).ok());
+  auto back = ReadTransactions(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->GetVector(0), SparseVector::Of({1, 5, 9}));
+  EXPECT_EQ(back->SizeOf(1), 0u);
+  EXPECT_EQ(back->GetVector(2), SparseVector::Of({0, 2}));
+}
+
+TEST_F(IoTest, ReadSortsAndDedupes) {
+  std::ofstream out(path_);
+  out << "5 1 5 3\n";
+  out.close();
+  auto data = ReadTransactions(path_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->GetVector(0), SparseVector::Of({1, 3, 5}));
+}
+
+TEST_F(IoTest, ReadRejectsBadToken) {
+  std::ofstream out(path_);
+  out << "1 2 banana\n";
+  out.close();
+  auto data = ReadTransactions(path_);
+  EXPECT_TRUE(data.status().IsInvalidArgument());
+  EXPECT_NE(data.status().message().find("banana"), std::string::npos);
+}
+
+TEST_F(IoTest, ReadRejectsNegative) {
+  std::ofstream out(path_);
+  out << "1 -2\n";
+  out.close();
+  EXPECT_TRUE(ReadTransactions(path_).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, ReadRejectsOverflow) {
+  std::ofstream out(path_);
+  out << "99999999999999999999\n";
+  out.close();
+  EXPECT_TRUE(ReadTransactions(path_).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadTransactions("/nonexistent/dir/file.txt").status().IsIOError());
+}
+
+TEST_F(IoTest, WriteToBadPathIsIOError) {
+  Dataset data;
+  data.Add(SparseVector::Of({1}));
+  EXPECT_TRUE(WriteTransactions(data, "/nonexistent/dir/file.txt").IsIOError());
+}
+
+TEST_F(IoTest, EmptyDatasetRoundTrips) {
+  Dataset data;
+  ASSERT_TRUE(WriteTransactions(data, path_).ok());
+  auto back = ReadTransactions(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST_F(IoTest, LargeIdsSurvive) {
+  Dataset data;
+  data.Add(SparseVector::Of({4294967294u}));
+  ASSERT_TRUE(WriteTransactions(data, path_).ok());
+  auto back = ReadTransactions(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetVector(0), SparseVector::Of({4294967294u}));
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  Dataset data;
+  data.Add(SparseVector::Of({1, 5, 9}));
+  data.Add(SparseVector::Of({}));
+  data.Add(SparseVector::Of({0, 2, 4294967294u}));
+  ASSERT_TRUE(data.SetDimension(4294967295u).ok());
+  ASSERT_TRUE(WriteBinary(data, path_).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->GetVector(0), SparseVector::Of({1, 5, 9}));
+  EXPECT_EQ(back->SizeOf(1), 0u);
+  EXPECT_EQ(back->GetVector(2), SparseVector::Of({0, 2, 4294967294u}));
+  EXPECT_EQ(back->dimension(), 4294967295u);
+}
+
+TEST_F(IoTest, BinaryEmptyDataset) {
+  Dataset data;
+  ASSERT_TRUE(WriteBinary(data, path_).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTAMAGICFILE and some junk";
+  out.close();
+  EXPECT_TRUE(ReadBinary(path_).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.Add(SparseVector::Of({static_cast<ItemId>(i),
+                               static_cast<ItemId>(i + 100)}));
+  }
+  ASSERT_TRUE(WriteBinary(data, path_).ok());
+  // Truncate the file to cut into the item payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() - 8));
+  out.close();
+  EXPECT_TRUE(ReadBinary(path_).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, BinaryMissingFileIsIOError) {
+  EXPECT_TRUE(ReadBinary("/nonexistent/dir/file.bin").status().IsIOError());
+}
+
+TEST_F(IoTest, BinaryMatchesTextContent) {
+  Dataset data;
+  for (ItemId i = 0; i < 50; ++i) {
+    data.Add(SparseVector::Of({i, i + 50, i + 100}));
+  }
+  std::string text_path = path_ + ".txt";
+  ASSERT_TRUE(WriteTransactions(data, text_path).ok());
+  ASSERT_TRUE(WriteBinary(data, path_).ok());
+  auto from_text = ReadTransactions(text_path);
+  auto from_bin = ReadBinary(path_);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_bin.ok());
+  ASSERT_EQ(from_text->size(), from_bin->size());
+  for (VectorId id = 0; id < from_text->size(); ++id) {
+    EXPECT_EQ(from_text->GetVector(id), from_bin->GetVector(id));
+  }
+  std::remove(text_path.c_str());
+}
+
+}  // namespace
+}  // namespace skewsearch

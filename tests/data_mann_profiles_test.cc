@@ -1,0 +1,83 @@
+#include "data/mann_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(MannProfilesTest, AllTenDatasetsPresent) {
+  auto profiles = AllMannProfiles();
+  ASSERT_EQ(profiles.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& p : profiles) names.insert(p.name);
+  for (const char* expected :
+       {"AOL", "BMS-POS", "DBLP", "ENRON", "FLICKR", "KOSARAK",
+        "LIVEJOURNAL", "NETFLIX", "ORKUT", "SPOTIFY"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(MannProfilesTest, FindByName) {
+  auto spec = FindMannProfile("KOSARAK");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "KOSARAK");
+  EXPECT_GT(spec->topic_strength, 0.0);
+}
+
+TEST(MannProfilesTest, FindRejectsUnknown) {
+  EXPECT_TRUE(FindMannProfile("NOPE").status().IsNotFound());
+}
+
+TEST(MannProfilesTest, DependentDatasetsMarked) {
+  // The four datasets with large Table 1 ratios must carry topic strength.
+  for (const char* name : {"KOSARAK", "NETFLIX", "ORKUT", "SPOTIFY"}) {
+    EXPECT_GT(FindMannProfile(name)->topic_strength, 0.0) << name;
+  }
+  // The near-independent ones must not.
+  for (const char* name : {"AOL", "BMS-POS", "DBLP"}) {
+    EXPECT_EQ(FindMannProfile(name)->topic_strength, 0.0) << name;
+  }
+}
+
+TEST(MannProfilesTest, BuildInstanceMatchesSpecShape) {
+  auto spec = FindMannProfile("BMS-POS").value();
+  // Shrink for test speed.
+  spec.n = 2000;
+  Rng rng(1);
+  auto inst = BuildMannInstance(spec, &rng);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->data.size(), 2000u);
+  EXPECT_EQ(inst->distribution.dimension(), spec.d);
+  // Average size within 15% of target (sampling + cap effects).
+  EXPECT_NEAR(inst->data.AverageSize(), spec.avg_size,
+              0.15 * spec.avg_size);
+}
+
+TEST(MannProfilesTest, TopicInstanceIsDenserThanBackground) {
+  auto spec = FindMannProfile("SPOTIFY").value();
+  spec.n = 1500;
+  Rng rng(2);
+  auto inst = BuildMannInstance(spec, &rng);
+  ASSERT_TRUE(inst.ok());
+  // Topic items add on top of the background marginals.
+  EXPECT_GE(inst->data.AverageSize(), spec.avg_size * 0.9);
+}
+
+TEST(MannProfilesTest, FrequencyCurveIsDecreasingInExpectation) {
+  auto spec = FindMannProfile("AOL").value();
+  Rng rng(3);
+  auto inst = BuildMannInstance(spec, &rng);
+  ASSERT_TRUE(inst.ok());
+  const auto& p = inst->distribution.probabilities();
+  // Within each Zipf segment the curve decreases; check the first segment.
+  size_t head = 1;
+  while (head + 1 < p.size() && p[head + 1] <= p[head]) ++head;
+  EXPECT_GT(head, p.size() / 100);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,105 @@
+#include "data/remap.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "sim/measures.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(RemapTest, IdentityIsIdentity) {
+  ItemRemap remap = ItemRemap::Identity(10);
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_EQ(remap.Forward(i), i);
+    EXPECT_EQ(remap.Backward(i), i);
+  }
+}
+
+TEST(RemapTest, BijectionRoundTrips) {
+  Dataset data;
+  data.Add(SparseVector::Of({0, 3}));
+  data.Add(SparseVector::Of({3}));
+  data.Add(SparseVector::Of({3, 1}));
+  ItemRemap remap = ItemRemap::ByFrequency(data);
+  for (ItemId i = 0; i < remap.dimension(); ++i) {
+    EXPECT_EQ(remap.Backward(remap.Forward(i)), i);
+    EXPECT_EQ(remap.Forward(remap.Backward(i)), i);
+  }
+}
+
+TEST(RemapTest, ByFrequencyOrdersDescending) {
+  Dataset data;
+  data.Add(SparseVector::Of({0, 3}));  // counts: 0->1, 1->1, 3->3
+  data.Add(SparseVector::Of({3}));
+  data.Add(SparseVector::Of({3, 1}));
+  ItemRemap remap = ItemRemap::ByFrequency(data);
+  EXPECT_EQ(remap.Forward(3), 0u);  // most frequent becomes id 0
+  // Ties (items 0 and 1, count 1; item 2, count 0 last).
+  EXPECT_LT(remap.Forward(0), remap.Forward(1));
+  EXPECT_EQ(remap.Forward(2), 3u);
+}
+
+TEST(RemapTest, ByProbabilityOrdersDescending) {
+  auto dist = ProductDistribution::Create({0.1, 0.5, 0.3, 0.2}).value();
+  ItemRemap remap = ItemRemap::ByProbability(dist);
+  EXPECT_EQ(remap.Forward(1), 0u);
+  EXPECT_EQ(remap.Forward(2), 1u);
+  EXPECT_EQ(remap.Forward(3), 2u);
+  EXPECT_EQ(remap.Forward(0), 3u);
+  auto remapped = remap.Apply(dist).value();
+  for (ItemId i = 1; i < 4; ++i) {
+    EXPECT_LE(remapped.p(i), remapped.p(i - 1));
+  }
+}
+
+TEST(RemapTest, SimilaritiesInvariant) {
+  auto dist = ZipfProbabilities(500, 1.0, 0.4).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 50, &rng);
+  ItemRemap remap = ItemRemap::ByFrequency(data);
+  Dataset mapped = remap.Apply(data);
+  ASSERT_EQ(mapped.size(), data.size());
+  for (VectorId i = 0; i < 20; ++i) {
+    for (VectorId j = i; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(BraunBlanquet(data.Get(i), data.Get(j)),
+                       BraunBlanquet(mapped.Get(i), mapped.Get(j)))
+          << i << "," << j;
+      EXPECT_DOUBLE_EQ(Jaccard(data.Get(i), data.Get(j)),
+                       Jaccard(mapped.Get(i), mapped.Get(j)));
+    }
+  }
+}
+
+TEST(RemapTest, ReducesSamplerBlocksOnShuffledZipf) {
+  // A Zipf distribution with shuffled ids fragments into many sampler
+  // blocks; probability-ordering collapses them.
+  auto zipf = ZipfProbabilities(2000, 1.0, 0.5).value();
+  std::vector<double> shuffled = zipf.probabilities();
+  Rng rng(2);
+  rng.Shuffle(&shuffled);
+  auto scattered = ProductDistribution::Create(shuffled).value();
+  ItemRemap remap = ItemRemap::ByProbability(scattered);
+  auto ordered = remap.Apply(scattered).value();
+  EXPECT_LT(ordered.NumSamplingBlocks(),
+            scattered.NumSamplingBlocks() / 4);
+}
+
+TEST(RemapTest, ApplyDistributionRejectsWrongDimension) {
+  auto dist = UniformProbabilities(8, 0.2).value();
+  ItemRemap remap = ItemRemap::Identity(10);
+  EXPECT_FALSE(remap.Apply(dist).ok());
+}
+
+TEST(RemapTest, ApplySparseVector) {
+  auto dist = ProductDistribution::Create({0.1, 0.5, 0.3}).value();
+  ItemRemap remap = ItemRemap::ByProbability(dist);
+  SparseVector v = SparseVector::Of({0, 2});
+  SparseVector mapped = remap.Apply(v);
+  // 0 (p=0.1) -> id 2; 2 (p=0.3) -> id 1.
+  EXPECT_EQ(mapped, SparseVector::Of({1, 2}));
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,64 @@
+#include "data/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace skewsearch {
+namespace {
+
+TEST(SparseVectorTest, DefaultEmpty) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SparseVectorTest, FromIdsSortsAndDedupes) {
+  SparseVector v = SparseVector::FromIds({5, 1, 3, 1, 5, 2});
+  EXPECT_EQ(v.ids(), (std::vector<ItemId>{1, 2, 3, 5}));
+}
+
+TEST(SparseVectorTest, FromSortedTrustsInput) {
+  SparseVector v = SparseVector::FromSorted({1, 2, 9});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 9u);
+}
+
+TEST(SparseVectorTest, OfLiteral) {
+  SparseVector v = SparseVector::Of({7, 3, 3});
+  EXPECT_EQ(v.ids(), (std::vector<ItemId>{3, 7}));
+}
+
+TEST(SparseVectorTest, Contains) {
+  SparseVector v = SparseVector::Of({2, 4, 8, 16});
+  EXPECT_TRUE(v.Contains(2));
+  EXPECT_TRUE(v.Contains(16));
+  EXPECT_FALSE(v.Contains(3));
+  EXPECT_FALSE(v.Contains(0));
+  EXPECT_FALSE(v.Contains(100));
+}
+
+TEST(SparseVectorTest, ContainsOnEmpty) {
+  SparseVector v;
+  EXPECT_FALSE(v.Contains(0));
+}
+
+TEST(SparseVectorTest, SpanViewsSameData) {
+  SparseVector v = SparseVector::Of({1, 2, 3});
+  auto s = v.span();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s.data(), v.ids().data());
+}
+
+TEST(SparseVectorTest, Equality) {
+  EXPECT_EQ(SparseVector::Of({1, 2}), SparseVector::Of({2, 1}));
+  EXPECT_FALSE(SparseVector::Of({1, 2}) == SparseVector::Of({1, 3}));
+}
+
+TEST(SparseVectorTest, LargeIds) {
+  SparseVector v = SparseVector::Of({0xfffffffe, 0});
+  EXPECT_TRUE(v.Contains(0xfffffffe));
+  EXPECT_EQ(v[0], 0u);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,81 @@
+#include "hashing/mix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace skewsearch {
+namespace {
+
+TEST(Mix64Test, Deterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(Mix64Test, BijectiveOnSample) {
+  // fmix64 is a bijection; no collisions on any sample.
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip ~32 of 64 output bits.
+  int total_flips = 0;
+  const int kTrials = 64 * 100;
+  for (uint64_t x = 1; x <= 100; ++x) {
+    for (int bit = 0; bit < 64; ++bit) {
+      uint64_t diff = Mix64(x) ^ Mix64(x ^ (uint64_t{1} << bit));
+      total_flips += __builtin_popcountll(diff);
+    }
+  }
+  double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_NEAR(avg, 32.0, 1.5);
+}
+
+TEST(Avalanche64Test, DeterministicAndDistinctFromMix64) {
+  EXPECT_EQ(Avalanche64(777), Avalanche64(777));
+  // Both finalizers fix 0 (xor/multiply structure), so start from 1.
+  int equal = 0;
+  for (uint64_t x = 1; x <= 1000; ++x) {
+    if (Avalanche64(x) == Mix64(x)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(MixPairTest, OrderSensitive) {
+  // Hashing ordered paths requires MixPair(a,b) != MixPair(b,a).
+  int symmetric = 0;
+  for (uint64_t a = 1; a <= 100; ++a) {
+    uint64_t b = a * 7919 + 13;
+    if (MixPair(a, b) == MixPair(b, a)) ++symmetric;
+  }
+  EXPECT_EQ(symmetric, 0);
+}
+
+TEST(MixPairTest, NoCollisionsOnGrid) {
+  std::set<uint64_t> outputs;
+  for (uint64_t a = 0; a < 100; ++a) {
+    for (uint64_t b = 0; b < 100; ++b) outputs.insert(MixPair(a, b));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(ToUnitIntervalTest, RangeAndExtremes) {
+  EXPECT_GE(ToUnitInterval(0), 0.0);
+  EXPECT_LT(ToUnitInterval(~uint64_t{0}), 1.0);
+  EXPECT_EQ(ToUnitInterval(0), 0.0);
+}
+
+TEST(ToUnitIntervalTest, UniformMean) {
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += ToUnitInterval(Mix64(static_cast<uint64_t>(i) + 1));
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,106 @@
+#include "hashing/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(ModMersenne61Test, SmallValuesUnchanged) {
+  EXPECT_EQ(ModMersenne61(0), 0u);
+  EXPECT_EQ(ModMersenne61(12345), 12345u);
+  EXPECT_EQ(ModMersenne61(kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(ModMersenne61Test, ReducesLargeValues) {
+  EXPECT_EQ(ModMersenne61(kMersenne61), 0u);
+  EXPECT_EQ(ModMersenne61(kMersenne61 + 5), 5u);
+  // 2^61 = 1 (mod p) => 2^64 = 8 (mod p).
+  EXPECT_EQ(ModMersenne61(~uint64_t{0}),
+            (uint64_t{0xffffffffffffffff} % kMersenne61));
+}
+
+TEST(MulModMersenne61Test, MatchesNaiveOnSmall) {
+  for (uint64_t a : {3ull, 1000ull, 123456789ull}) {
+    for (uint64_t b : {7ull, 99991ull, 987654321ull}) {
+      EXPECT_EQ(MulModMersenne61(a, b), (a * b) % kMersenne61);
+    }
+  }
+}
+
+TEST(MulModMersenne61Test, LargeOperands) {
+  // Verify via __int128 reference.
+  uint64_t a = kMersenne61 - 2;
+  uint64_t b = kMersenne61 - 3;
+  unsigned __int128 expect =
+      static_cast<unsigned __int128>(a) * b % kMersenne61;
+  EXPECT_EQ(MulModMersenne61(a, b), static_cast<uint64_t>(expect));
+}
+
+TEST(PairwiseHashTest, Deterministic) {
+  PairwiseHash h(12345, 6789);
+  EXPECT_EQ(h.HashInt(42), h.HashInt(42));
+  EXPECT_DOUBLE_EQ(h.HashUnit(42), h.HashUnit(42));
+}
+
+TEST(PairwiseHashTest, IdentityCoefficients) {
+  // a=1, b=0: h(x) = x mod p.
+  PairwiseHash h(1, 0);
+  EXPECT_EQ(h.HashInt(12345), 12345u);
+}
+
+TEST(PairwiseHashTest, UnitRange) {
+  Rng rng(5);
+  PairwiseHash h(&rng);
+  for (uint64_t x = 0; x < 10000; ++x) {
+    double u = h.HashUnit(x * 2654435761ULL);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PairwiseHashTest, MarginalUniformity) {
+  // For a fixed input, over random (a,b), h(x) is uniform. Spot-check via
+  // mean over many functions.
+  Rng rng(7);
+  double sum = 0.0;
+  const int kFunctions = 20000;
+  for (int i = 0; i < kFunctions; ++i) {
+    PairwiseHash h(&rng);
+    sum += h.HashUnit(123456789);
+  }
+  EXPECT_NEAR(sum / kFunctions, 0.5, 0.01);
+}
+
+TEST(PairwiseHashTest, PairwiseIndependenceStatistical) {
+  // For two fixed distinct inputs x != y, the events {h(x) < 1/2} and
+  // {h(y) < 1/2} should be independent over the draw of (a, b):
+  // Pr[both] ~ 1/4.
+  Rng rng(11);
+  const int kFunctions = 40000;
+  int both = 0, first = 0, second = 0;
+  for (int i = 0; i < kFunctions; ++i) {
+    PairwiseHash h(&rng);
+    bool e1 = h.HashUnit(111) < 0.5;
+    bool e2 = h.HashUnit(999) < 0.5;
+    first += e1;
+    second += e2;
+    both += (e1 && e2);
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kFunctions, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(second) / kFunctions, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(both) / kFunctions, 0.25, 0.02);
+}
+
+TEST(PairwiseHashTest, ZeroMultiplierPromotedToOne) {
+  PairwiseHash h(0, 5);  // a must not be 0; constructor fixes it up
+  // h(x) = x + 5 mod p with a forced to 1.
+  EXPECT_EQ(h.HashInt(10), 15u);
+}
+
+}  // namespace
+}  // namespace skewsearch

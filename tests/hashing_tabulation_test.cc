@@ -1,0 +1,77 @@
+#include "hashing/tabulation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(TabulationHashTest, Deterministic) {
+  Rng rng(3);
+  TabulationHash h(&rng);
+  EXPECT_EQ(h.Hash(123456), h.Hash(123456));
+}
+
+TEST(TabulationHashTest, DifferentSeedsDiffer) {
+  Rng r1(1), r2(2);
+  TabulationHash h1(&r1), h2(&r2);
+  int equal = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if (h1.Hash(x) == h2.Hash(x)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(TabulationHashTest, XorStructure) {
+  // Tabulation hashing of key 0 equals the XOR of the zero-byte entries;
+  // changing a single byte changes exactly one table lookup.
+  Rng rng(5);
+  TabulationHash h(&rng);
+  uint64_t h0 = h.Hash(0);
+  uint64_t h1 = h.Hash(0xff);
+  EXPECT_NE(h0, h1);
+  // h0 ^ h1 = T0[0] ^ T0[0xff]; applying the same delta to another key
+  // with identical byte 0 gives the same XOR difference.
+  uint64_t h2 = h.Hash(0xab00);
+  uint64_t h3 = h.Hash(0xabff);
+  EXPECT_EQ(h0 ^ h1, h2 ^ h3);
+}
+
+TEST(TabulationHashTest, FewCollisionsOnSequentialKeys) {
+  Rng rng(7);
+  TabulationHash h(&rng);
+  std::set<uint64_t> outputs;
+  const int kKeys = 20000;
+  for (uint64_t x = 0; x < kKeys; ++x) outputs.insert(h.Hash(x));
+  EXPECT_EQ(outputs.size(), static_cast<size_t>(kKeys));
+}
+
+TEST(TabulationHashTest, UnitIntervalMean) {
+  Rng rng(9);
+  TabulationHash h(&rng);
+  double sum = 0.0;
+  const int kKeys = 50000;
+  for (uint64_t x = 0; x < kKeys; ++x) sum += h.HashUnit(x);
+  EXPECT_NEAR(sum / kKeys, 0.5, 0.01);
+}
+
+TEST(TabulationHashTest, BitBalance) {
+  // Every output bit should be set for ~half of sequential keys.
+  Rng rng(11);
+  TabulationHash h(&rng);
+  const int kKeys = 20000;
+  std::vector<int> bit_counts(64, 0);
+  for (uint64_t x = 0; x < kKeys; ++x) {
+    uint64_t v = h.Hash(x);
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kKeys / 2, 500) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

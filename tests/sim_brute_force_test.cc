@@ -1,0 +1,104 @@
+#include "sim/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+Dataset SmallData() {
+  Dataset data;
+  data.Add(SparseVector::Of({1, 2, 3, 4}));      // 0
+  data.Add(SparseVector::Of({1, 2, 3, 4, 5}));   // 1
+  data.Add(SparseVector::Of({10, 11, 12}));      // 2
+  data.Add(SparseVector::Of({1, 2}));            // 3
+  return data;
+}
+
+TEST(BruteForceTest, BestFindsExactDuplicate) {
+  Dataset data = SmallData();
+  BruteForceSearcher searcher(&data);
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});
+  Match best = searcher.Best(q.span());
+  EXPECT_EQ(best.id, 0u);
+  EXPECT_DOUBLE_EQ(best.similarity, 1.0);
+}
+
+TEST(BruteForceTest, AboveThresholdSortedDescending) {
+  Dataset data = SmallData();
+  BruteForceSearcher searcher(&data);
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});
+  auto hits = searcher.AboveThreshold(q.span(), 0.4);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);  // 4/5
+  EXPECT_EQ(hits[2].id, 3u);  // 2/4
+  EXPECT_GE(hits[0].similarity, hits[1].similarity);
+  EXPECT_GE(hits[1].similarity, hits[2].similarity);
+}
+
+TEST(BruteForceTest, ThresholdIsInclusive) {
+  Dataset data = SmallData();
+  BruteForceSearcher searcher(&data);
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});
+  auto hits = searcher.AboveThreshold(q.span(), 0.5);  // id 3 has exactly 0.5
+  bool found3 = false;
+  for (const auto& m : hits) found3 |= (m.id == 3u);
+  EXPECT_TRUE(found3);
+}
+
+TEST(BruteForceTest, TopKTruncates) {
+  Dataset data = SmallData();
+  BruteForceSearcher searcher(&data);
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});
+  auto top2 = searcher.TopK(q.span(), 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 0u);
+  EXPECT_EQ(top2[1].id, 1u);
+  auto top10 = searcher.TopK(q.span(), 10);
+  EXPECT_EQ(top10.size(), 4u);
+}
+
+TEST(BruteForceTest, EmptyDataset) {
+  Dataset data;
+  BruteForceSearcher searcher(&data);
+  SparseVector q = SparseVector::Of({1});
+  EXPECT_EQ(searcher.Best(q.span()).similarity, -1.0);
+  EXPECT_TRUE(searcher.AboveThreshold(q.span(), 0.1).empty());
+}
+
+TEST(BruteForceTest, AlternativeMeasure) {
+  Dataset data = SmallData();
+  BruteForceSearcher searcher(&data, Measure::kJaccard);
+  SparseVector q = SparseVector::Of({1, 2, 3, 4});
+  auto hits = searcher.AboveThreshold(q.span(), 0.75);
+  ASSERT_EQ(hits.size(), 2u);  // id0 J=1, id1 J=4/5
+  EXPECT_EQ(hits[0].id, 0u);
+}
+
+TEST(BruteForceTest, SelfJoinMatchesPairwiseScan) {
+  auto dist = UniformProbabilities(60, 0.2).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 40, &rng);
+  BruteForceSearcher searcher(&data);
+  auto pairs = searcher.SelfJoinAbove(0.5);
+  // Verify every reported pair and count independently.
+  size_t expect = 0;
+  for (VectorId i = 0; i < data.size(); ++i) {
+    for (VectorId j = i + 1; j < data.size(); ++j) {
+      if (BraunBlanquet(data.Get(i), data.Get(j)) >= 0.5) ++expect;
+    }
+  }
+  EXPECT_EQ(pairs.size(), expect);
+  for (const auto& pr : pairs) {
+    EXPECT_LT(pr.left, pr.right);
+    EXPECT_GE(pr.similarity, 0.5);
+    EXPECT_DOUBLE_EQ(pr.similarity,
+                     BraunBlanquet(data.Get(pr.left), data.Get(pr.right)));
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

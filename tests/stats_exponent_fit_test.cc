@@ -1,0 +1,55 @@
+#include "stats/exponent_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(ExponentFitTest, ExactPowerLaw) {
+  std::vector<double> ns, costs;
+  for (double n : {1000.0, 2000.0, 4000.0, 8000.0, 16000.0}) {
+    ns.push_back(n);
+    costs.push_back(3.5 * std::pow(n, 0.42));
+  }
+  auto fit = FitPowerLaw(ns, costs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 0.42, 1e-9);
+  EXPECT_NEAR(std::exp(fit->log_constant), 3.5, 1e-6);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(ExponentFitTest, NoisyPowerLawStillClose) {
+  Rng rng(1);
+  std::vector<double> ns, costs;
+  for (int k = 10; k <= 17; ++k) {
+    double n = std::pow(2.0, k);
+    ns.push_back(n);
+    double noise = 1.0 + 0.1 * (rng.NextDouble() - 0.5);
+    costs.push_back(2.0 * std::pow(n, 0.3) * noise);
+  }
+  auto fit = FitPowerLaw(ns, costs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 0.3, 0.03);
+  EXPECT_GT(fit->r_squared, 0.98);
+}
+
+TEST(ExponentFitTest, ConstantCostsGiveZeroExponent) {
+  auto fit = FitPowerLaw({100.0, 1000.0, 10000.0}, {5.0, 5.0, 5.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 0.0, 1e-12);
+}
+
+TEST(ExponentFitTest, Validates) {
+  EXPECT_FALSE(FitPowerLaw({1.0}, {1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, -2.0}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {0.0, 1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({5.0, 5.0}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace skewsearch

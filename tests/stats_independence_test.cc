@@ -1,0 +1,147 @@
+#include "stats/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(IndependenceTest, Validates) {
+  Dataset data;
+  Rng rng(1);
+  EXPECT_FALSE(EstimateIndependenceRatio(data, 2, 100, &rng).ok());
+  data.Add(SparseVector::Of({1}));
+  EXPECT_FALSE(EstimateIndependenceRatio(data, 0, 100, &rng).ok());
+  EXPECT_FALSE(EstimateIndependenceRatio(data, 2, 0, &rng).ok());
+  EXPECT_FALSE(EstimateIndependenceRatio(data, 2, 100, nullptr).ok());
+  EXPECT_FALSE(EstimateIndependenceRatio(data, 100, 100, &rng).ok());
+}
+
+TEST(IndependenceTest, IndependentDataNearOne) {
+  // Genuinely independent bits: the ratio should concentrate near 1.
+  auto dist = UniformProbabilities(60, 0.2).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 8000, &rng);
+  auto est = EstimateIndependenceRatio(data, 2, 4000, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->ratio, 1.0, 0.1);
+  auto est3 = EstimateIndependenceRatio(data, 3, 4000, &rng);
+  ASSERT_TRUE(est3.ok());
+  EXPECT_NEAR(est3->ratio, 1.0, 0.25);
+}
+
+TEST(IndependenceTest, TopicDataAboveOne) {
+  // Planted co-occurrence must push the ratio well above 1, and the
+  // |I| = 3 ratio above the |I| = 2 ratio (matching Table 1's pattern).
+  // Rare-but-co-occurring items give the strongest lift (see SPOTIFY):
+  // marginal ~ p_bg + act*incl stays small while the pair joint is
+  // act*incl^2.
+  auto background = UniformProbabilities(400, 0.01).value();
+  TopicModelOptions options;
+  options.num_topics = 8;
+  options.topic_size = 20;
+  options.activation_prob = 0.02;
+  options.include_prob = 0.9;
+  Rng rng(3);
+  TopicModelGenerator gen(background, options, &rng);
+  Dataset data = gen.Generate(4000, &rng);
+  auto r2 = EstimateIndependenceRatio(data, 2, 20000, &rng);
+  auto r3 = EstimateIndependenceRatio(data, 3, 20000, &rng);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_GT(r2->ratio, 1.4);
+  EXPECT_GT(r3->ratio, r2->ratio);
+}
+
+TEST(IndependenceTest, FieldsConsistent) {
+  auto dist = UniformProbabilities(40, 0.3).value();
+  Rng rng(4);
+  Dataset data = GenerateDataset(dist, 2000, &rng);
+  auto est = EstimateIndependenceRatio(data, 2, 1000, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->samples, 1000u);
+  EXPECT_GT(est->expected_product, 0.0);
+  EXPECT_NEAR(est->ratio,
+              est->expected_observed / est->expected_product, 1e-12);
+}
+
+TEST(ExactIndependenceTest, Validates) {
+  Dataset data;
+  EXPECT_FALSE(ExactIndependenceRatio(data, 2).ok());
+  data.Add(SparseVector::Of({1, 2, 3, 4}));
+  EXPECT_FALSE(ExactIndependenceRatio(data, 0).ok());
+  EXPECT_FALSE(ExactIndependenceRatio(data, 4).ok());
+  EXPECT_TRUE(ExactIndependenceRatio(data, 3).ok());
+}
+
+TEST(ExactIndependenceTest, HandComputedCase) {
+  // Two vectors over d = 3: {0,1} and {0,1,2}.
+  //   numerator(|I|=2) = [C(2,2) + C(3,2)] / (n * C(3,2)) = 4 / 6.
+  //   p = (1, 1, 0.5); e2 = 1*1 + 1*0.5 + 1*0.5 = 2; denom = 2/3.
+  //   ratio = (4/6) / (2/3) = 1.
+  Dataset data;
+  data.Add(SparseVector::Of({0, 1}));
+  data.Add(SparseVector::Of({0, 1, 2}));
+  auto est = ExactIndependenceRatio(data, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->expected_observed, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(est->expected_product, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(est->ratio, 1.0, 1e-12);
+}
+
+TEST(ExactIndependenceTest, IndependentDataNearOne) {
+  auto dist = UniformProbabilities(120, 0.15).value();
+  Rng rng(11);
+  Dataset data = GenerateDataset(dist, 6000, &rng);
+  for (size_t k : {1u, 2u, 3u}) {
+    auto est = ExactIndependenceRatio(data, k);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(est->ratio, 1.0, 0.05) << "|I| = " << k;
+  }
+}
+
+TEST(ExactIndependenceTest, AgreesWithMonteCarlo) {
+  // On a small, dense universe the sampled estimator converges to the
+  // exact value.
+  auto dist = UniformProbabilities(30, 0.3).value();
+  Rng rng(12);
+  Dataset data = GenerateDataset(dist, 1500, &rng);
+  auto exact = ExactIndependenceRatio(data, 2);
+  auto sampled = EstimateIndependenceRatio(data, 2, 40000, &rng);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(sampled->ratio, exact->ratio, 0.1);
+}
+
+TEST(ExactIndependenceTest, HeavyTailTopicsInflateRatios) {
+  // The Table 1 mechanism: heavy-tailed topic activation produces
+  // ratio3 >> ratio2 >> 1.
+  auto background = UniformProbabilities(2000, 0.005).value();
+  TopicModelOptions options;
+  options.num_topics = 32;
+  options.topic_size = 24;
+  options.include_prob = 0.6;
+  options.heavy_tail_exponent = 1.4;
+  Rng rng(13);
+  TopicModelGenerator gen(background, options, &rng);
+  Dataset data = gen.Generate(4000, &rng);
+  double r2 = ExactIndependenceRatio(data, 2)->ratio;
+  double r3 = ExactIndependenceRatio(data, 3)->ratio;
+  EXPECT_GT(r2, 1.5);
+  EXPECT_GT(r3, r2 * 1.5);
+}
+
+TEST(IndependenceTest, SingleItemSubsetsRatioIsOne) {
+  // |I| = 1: numerator and denominator are both E[p_j] exactly.
+  auto dist = UniformProbabilities(50, 0.25).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 1000, &rng);
+  auto est = EstimateIndependenceRatio(data, 1, 2000, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->ratio, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace skewsearch

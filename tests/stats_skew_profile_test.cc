@@ -1,0 +1,91 @@
+#include "stats/skew_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(SkewProfileTest, CountsAndSorts) {
+  Dataset data;
+  data.Add(SparseVector::Of({0, 1}));
+  data.Add(SparseVector::Of({0}));
+  data.Add(SparseVector::Of({0, 2}));
+  data.Add(SparseVector::Of({0}));
+  SkewProfile profile = ComputeSkewProfile(data);
+  EXPECT_EQ(profile.n, 4u);
+  EXPECT_EQ(profile.d, 3u);
+  ASSERT_EQ(profile.frequencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile.frequencies[0], 1.0);    // item 0
+  EXPECT_DOUBLE_EQ(profile.frequencies[1], 0.25);   // item 1 or 2
+  EXPECT_DOUBLE_EQ(profile.frequencies[2], 0.25);
+}
+
+TEST(SkewProfileTest, DropsAbsentItems) {
+  Dataset data;
+  data.Add(SparseVector::Of({5}));
+  ASSERT_TRUE(data.SetDimension(100).ok());
+  SkewProfile profile = ComputeSkewProfile(data);
+  EXPECT_EQ(profile.frequencies.size(), 1u);
+  EXPECT_EQ(profile.d, 100u);
+}
+
+TEST(SkewProfileTest, LinearSeriesShape) {
+  auto dist = ZipfProbabilities(2000, 1.0, 0.5).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 500, &rng);
+  SkewProfile profile = ComputeSkewProfile(data);
+  auto series = LinearAxisSeries(profile, 50);
+  ASSERT_GT(series.size(), 10u);
+  // x in (0, 1]; y decreasing-ish in [<=1, >=0 up to noise]; first point's
+  // y must be the largest (frequencies sorted).
+  for (const auto& pt : series) {
+    EXPECT_GT(pt.x, 0.0);
+    EXPECT_LE(pt.x, 1.0);
+    EXPECT_LE(pt.y, series.front().y + 1e-12);
+  }
+}
+
+TEST(SkewProfileTest, LogSeriesMonotoneX) {
+  auto dist = ZipfProbabilities(2000, 1.0, 0.5).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 500, &rng);
+  SkewProfile profile = ComputeSkewProfile(data);
+  auto series = LogAxisSeries(profile, 40);
+  ASSERT_GT(series.size(), 5u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].x, series[i - 1].x);
+    EXPECT_LE(series[i].y, series[i - 1].y + 1e-9);  // freq sorted desc
+  }
+}
+
+TEST(SkewProfileTest, EmptyDatasetProducesEmptySeries) {
+  Dataset data;
+  SkewProfile profile = ComputeSkewProfile(data);
+  EXPECT_TRUE(LinearAxisSeries(profile, 10).empty());
+  EXPECT_TRUE(LogAxisSeries(profile, 10).empty());
+}
+
+TEST(SkewProfileTest, ZipfExponentRecovered) {
+  // A generated Zipf(s=1) dataset's empirical profile should fit an
+  // exponent near 1 (sampling noise tolerated in the tail).
+  auto dist = ZipfProbabilities(300, 1.0, 0.5).value();
+  Rng rng(3);
+  Dataset data = GenerateDataset(dist, 20000, &rng);
+  SkewProfile profile = ComputeSkewProfile(data);
+  double s = FitZipfExponent(profile);
+  EXPECT_NEAR(s, 1.0, 0.25);
+}
+
+TEST(SkewProfileTest, UniformHasNearZeroExponent) {
+  auto dist = UniformProbabilities(200, 0.2).value();
+  Rng rng(4);
+  Dataset data = GenerateDataset(dist, 5000, &rng);
+  double s = FitZipfExponent(ComputeSkewProfile(data));
+  EXPECT_NEAR(s, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace skewsearch

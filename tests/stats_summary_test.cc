@@ -1,0 +1,48 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace skewsearch {
+namespace {
+
+TEST(SummaryTest, Empty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+}
+
+TEST(SummaryTest, KnownPercentiles) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_EQ(s.p50, 50.0);
+  EXPECT_EQ(s.p90, 90.0);
+  EXPECT_EQ(s.p99, 99.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  Summary s = Summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 3.0);
+}
+
+TEST(SummaryTest, StddevMatchesKnown) {
+  Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.stddev * s.stddev, 32.0 / 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace skewsearch

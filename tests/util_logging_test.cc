@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace skewsearch {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DefaultFiltersBelowWarning) {
+  // The library default keeps tests quiet; just assert the macro compiles
+  // and runs at every level without crashing.
+  SetLogLevel(LogLevel::kError);
+  SKEWSEARCH_LOG(kDebug) << "debug " << 1;
+  SKEWSEARCH_LOG(kInfo) << "info " << 2.5;
+  SKEWSEARCH_LOG(kWarning) << "warn " << "text";
+  SKEWSEARCH_LOG(kError) << "error " << 'c';
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, StreamAcceptsMixedTypes) {
+  SetLogLevel(LogLevel::kError);
+  SKEWSEARCH_LOG(kDebug) << 1 << " " << 2u << " " << 3.0 << " " << true;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,111 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace skewsearch {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Unbiased sample variance of this classic sample is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StableSumTest, CompensatesCancellation) {
+  // 1 + 1e100 - 1e100 naively loses the 1 if summed in the wrong order;
+  // Kahan keeps small terms when magnitudes are graded.
+  std::vector<double> values(1000, 0.1);
+  EXPECT_NEAR(StableSum(values), 100.0, 1e-10);
+}
+
+TEST(LogAddTest, MatchesDirectComputation) {
+  double a = std::log(3.0), b = std::log(5.0);
+  EXPECT_NEAR(LogAdd(a, b), std::log(8.0), 1e-12);
+  EXPECT_NEAR(LogAdd(b, a), std::log(8.0), 1e-12);
+}
+
+TEST(LogAddTest, HandlesExtremeDifference) {
+  EXPECT_NEAR(LogAdd(0.0, -1000.0), 0.0, 1e-12);
+}
+
+TEST(LogBinomialTest, SmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-10);
+  EXPECT_LT(LogBinomial(3, 5), -1e100);  // k > n
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  double slope = 0, intercept = 0;
+  ASSERT_TRUE(LinearFit(x, y, &slope, &intercept));
+  EXPECT_NEAR(slope, 2.0, 1e-12);
+  EXPECT_NEAR(intercept, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, RejectsDegenerate) {
+  double slope, intercept;
+  EXPECT_FALSE(LinearFit({1.0}, {2.0}, &slope, &intercept));
+  EXPECT_FALSE(LinearFit({2.0, 2.0}, {1.0, 5.0}, &slope, &intercept));
+  EXPECT_FALSE(LinearFit({1.0, 2.0}, {1.0}, &slope, &intercept));
+}
+
+TEST(PearsonCorrelationTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, DegenerateIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(ChernoffHalfWidthTest, ShrinksWithMu) {
+  double wide = ChernoffHalfWidth(10.0, 0.01);
+  double narrow = ChernoffHalfWidth(1000.0, 0.01);
+  EXPECT_GT(wide, narrow);
+  EXPECT_NEAR(narrow, std::sqrt(3.0 * std::log(200.0) / 1000.0), 1e-12);
+}
+
+TEST(ChernoffHalfWidthTest, DegenerateReturnsOne) {
+  EXPECT_EQ(ChernoffHalfWidth(0.0, 0.01), 1.0);
+  EXPECT_EQ(ChernoffHalfWidth(10.0, 0.0), 1.0);
+  EXPECT_EQ(ChernoffHalfWidth(10.0, 1.5), 1.0);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -1,0 +1,168 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace skewsearch {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  uint64_t s1 = 1, s2 = 1;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  uint64_t a = SplitMix64(&s1);
+  uint64_t b = SplitMix64(&s1);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  // stderr = 1/sqrt(12*kDraws) ~ 0.0009; 6 sigma.
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.006);
+}
+
+TEST(RngTest, BoundedInRange) {
+  Rng rng(13);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedUniformity) {
+  Rng rng(17);
+  const uint64_t kBound = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBound)]++;
+  for (uint64_t v = 0; v < kBound; ++v) {
+    // Expected 10000 +- ~5 sigma (sigma ~ 95).
+    EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "bucket " << v;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  const int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricSkipsMean) {
+  // E[skips] = (1-p)/p.
+  Rng rng(29);
+  const double p = 0.2;
+  const int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.NextGeometricSkips(p));
+  }
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.1);
+}
+
+TEST(RngTest, GeometricSkipsDegenerate) {
+  Rng rng(31);
+  EXPECT_EQ(rng.NextGeometricSkips(1.0), 0u);
+  EXPECT_GT(rng.NextGeometricSkips(0.0), uint64_t{1} << 62);
+  EXPECT_GT(rng.NextGeometricSkips(-0.5), uint64_t{1} << 62);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  const int kDraws = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = items;
+  rng.Shuffle(&items);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleIsUniformish) {
+  // Position of element 0 after shuffling [0,1,2,3] should be ~uniform.
+  const int kTrials = 40000;
+  std::vector<int> position_counts(4, 0);
+  Rng rng(43);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> items{0, 1, 2, 3};
+    rng.Shuffle(&items);
+    for (int pos = 0; pos < 4; ++pos) {
+      if (items[pos] == 0) position_counts[pos]++;
+    }
+  }
+  for (int pos = 0; pos < 4; ++pos) {
+    EXPECT_NEAR(position_counts[pos], kTrials / 4, 600) << "pos " << pos;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextUint64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+}  // namespace
+}  // namespace skewsearch

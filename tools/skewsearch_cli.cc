@@ -1,0 +1,11 @@
+// Command-line entry point; all logic lives in src/cli (unit-tested).
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return skewsearch::RunCli(args);
+}

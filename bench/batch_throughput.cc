@@ -1,0 +1,173 @@
+// Copyright 2026 The skewsearch Authors.
+// Batch-query throughput vs. thread count on a Zipf-skewed workload.
+//
+// Builds the paper's index over a Zipfian dataset, then answers the same
+// query batch with BatchQuery() at increasing worker counts, reporting
+// queries/sec, speedup over one thread, and the aggregated batch stats.
+// A final verification pass asserts the parallel results are identical
+// to the serial ones (the engine's core determinism contract).
+//
+// Flags: --n <dataset> --queries <batch> --alpha <corr> --threads <list>
+//        --rounds <timed repetitions>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+namespace {
+
+struct Config {
+  size_t n = 20000;
+  size_t num_queries = 4000;
+  double alpha = 0.8;
+  int rounds = 3;
+  std::vector<int> threads = {1, 2, 4, 8};
+};
+
+std::vector<int> ParseThreadList(const char* text) {
+  std::vector<int> out;
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      // Non-numeric or non-positive entries degrade to 1 worker, the
+      // same clamp ThreadPool itself applies.
+      if (!token.empty()) out.push_back(std::max(1, std::atoi(token.c_str())));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return out.empty() ? std::vector<int>{1} : out;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--n") == 0) {
+      config.n = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      config.num_queries = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--alpha") == 0) {
+      config.alpha = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      config.rounds = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      config.threads = ParseThreadList(argv[i + 1]);
+    }
+  }
+  return config;
+}
+
+bool SameResults(const std::vector<std::optional<Match>>& a,
+                 const std::vector<std::optional<Match>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].has_value() != b[i].has_value()) return false;
+    if (a[i].has_value() &&
+        (a[i]->id != b[i]->id || a[i]->similarity != b[i]->similarity)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  Config config = ParseArgs(argc, argv);
+
+  bench::Banner("Batch-query throughput vs. thread count (Zipf workload)");
+  bench::Note("hardware threads available: " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  auto dist = ZipfProbabilities(2000, 1.0, 0.3).value();
+  Rng rng(99);
+  Dataset data = GenerateDataset(dist, config.n, &rng);
+  Dataset queries;
+  CorrelatedQuerySampler sampler(&dist, config.alpha);
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    SparseVector q = sampler.SampleCorrelated(
+        data.Get(static_cast<VectorId>(i % data.size())), &rng);
+    queries.Add(q.span());
+  }
+
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = config.alpha;
+  options.build_threads = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  Status built = index.Build(&data, &dist, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  bench::Note("index built: n=" + std::to_string(config.n) +
+              ", repetitions=" + std::to_string(index.repetitions()) +
+              ", build=" + bench::Fmt(index.build_stats().build_seconds) +
+              "s");
+
+  const auto baseline = index.BatchQuery(queries, 1);
+  double serial_qps = 0.0;
+  bool all_identical = true;
+
+  bench::Table table({"threads", "qps", "speedup", "wall_s", "cand/query",
+                      "identical"});
+  for (int threads : config.threads) {
+    ThreadPool pool(threads);
+    // Warm-up pass (pages in postings, sizes scratch buffers), then the
+    // timed rounds; report the best round to damp scheduler noise.
+    std::vector<std::optional<Match>> results =
+        index.BatchQuery(queries, &pool);
+    double best_seconds = 0.0;
+    BatchQueryStats agg;
+    for (int round = 0; round < config.rounds; ++round) {
+      BatchQueryStats round_stats;
+      results = index.BatchQuery(queries, &pool, nullptr, &round_stats);
+      if (round == 0 || round_stats.wall_seconds < best_seconds) {
+        best_seconds = round_stats.wall_seconds;
+        agg = round_stats;
+      }
+    }
+    const bool identical = SameResults(baseline, results);
+    all_identical = all_identical && identical;
+    const double qps =
+        best_seconds > 0.0 ? static_cast<double>(queries.size()) / best_seconds
+                           : 0.0;
+    if (threads == 1) serial_qps = qps;
+    table.AddRow({bench::Fmt(threads), bench::Fmt(qps, 0),
+                  serial_qps > 0.0 ? bench::Fmt(qps / serial_qps, 2) + "x"
+                                   : "-",
+                  bench::Fmt(best_seconds, 4),
+                  agg.queries > 0
+                      ? bench::Fmt(static_cast<double>(agg.totals.candidates) /
+                                       static_cast<double>(agg.queries),
+                                   1)
+                      : "-",
+                  identical ? "yes" : "NO"});
+  }
+  table.Print();
+  bench::Note(all_identical
+                  ? "parallel results byte-identical to serial: OK"
+                  : "DETERMINISM VIOLATION: parallel results differ!");
+  return all_identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace skewsearch
+
+int main(int argc, char** argv) { return skewsearch::Run(argc, argv); }

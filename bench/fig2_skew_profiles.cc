@@ -45,12 +45,11 @@ void Run() {
     bench::Table table({"j/d", "1+log_n(p_j)", "|", "log_d(j)",
                         "1+log_n(p_j) "});
     for (size_t k = 0; k < std::max(linear.size(), log.size()); ++k) {
-      std::vector<std::string> row(5, "");
+      std::vector<std::string> row = {"", "", "|", "", ""};
       if (k < linear.size()) {
         row[0] = bench::FmtSci(linear[k].x);
         row[1] = Fmt(linear[k].y, 3);
       }
-      row[2] = "|";
       if (k < log.size()) {
         row[3] = Fmt(log[k].x, 3);
         row[4] = Fmt(log[k].y, 3);

@@ -143,11 +143,12 @@ void Run() {
                Fmt(ours_series.AvgRecall(), 2)});
   fits.AddRow({"chosen path", Fmt(rho_cp, 3), Fmt(cp_series.Exponent(), 3),
                Fmt(cp_series.AvgRecall(), 2)});
-  fits.AddRow({"minhash", "~" + Fmt(ChosenPathRho(
-                                        BraunBlanquetToJaccardEquivalent(b1),
-                                        BraunBlanquetToJaccardEquivalent(b2)),
-                                    3),
-               Fmt(mh_series.Exponent(), 3), Fmt(mh_series.AvgRecall(), 2)});
+  std::string minhash_rho = "~";
+  minhash_rho += Fmt(ChosenPathRho(BraunBlanquetToJaccardEquivalent(b1),
+                                   BraunBlanquetToJaccardEquivalent(b2)),
+                     3);
+  fits.AddRow({"minhash", minhash_rho, Fmt(mh_series.Exponent(), 3),
+               Fmt(mh_series.AvgRecall(), 2)});
   fits.AddRow({"prefix filter", "1 (no guarantee)",
                Fmt(prefix_series.Exponent(), 3),
                Fmt(prefix_series.AvgRecall(), 2)});

@@ -35,7 +35,8 @@ using bench::Fmt;
 
 void AnalyticPart() {
   bench::Banner("Section 7.1, Part A: analytic exponents");
-  bench::Table table({"instance", "method", "paper rho", "solved rho (n->inf)"});
+  bench::Table table(
+      {"instance", "method", "paper rho", "solved rho (n->inf)"});
 
   auto ours_at = [](double b1, double n) {
     double pb = std::pow(n, -0.9);

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/batch.h"
 #include "sim/measures.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace skewsearch {
@@ -76,18 +78,35 @@ Status ChosenPathIndex::Build(const Dataset* data,
   return Status::OK();
 }
 
+// Reusable per-thread query workspace; see SkewedPathIndex::QueryScratch.
+struct ChosenPathIndex::QueryScratch {
+  std::vector<uint64_t> keys;
+  std::unordered_set<VectorId> seen;
+  PathGenStats path_gen;
+};
+
 std::optional<Match> ChosenPathIndex::Query(std::span<const ItemId> query,
                                             QueryStats* stats) const {
+  QueryScratch scratch;
+  return QueryImpl(query, stats, &scratch);
+}
+
+std::optional<Match> ChosenPathIndex::QueryImpl(std::span<const ItemId> query,
+                                                QueryStats* stats,
+                                                QueryScratch* scratch) const {
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
   if (engine_ != nullptr && !query.empty()) {
-    std::vector<uint64_t> keys;
-    std::unordered_set<VectorId> seen;
+    std::vector<uint64_t>& keys = scratch->keys;
+    std::unordered_set<VectorId>& seen = scratch->seen;
+    seen.clear();
     for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
       keys.clear();
+      PathGenStats gen;
       engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                              nullptr);
+                              &gen);
+      AddPathGenStats(&scratch->path_gen, gen);
       local.filters += keys.size();
       for (uint64_t key : keys) {
         auto postings = table_.Lookup(key);
@@ -109,6 +128,28 @@ std::optional<Match> ChosenPathIndex::Query(std::span<const ItemId> query,
   local.seconds = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local;
   return found;
+}
+
+std::vector<std::optional<Match>> ChosenPathIndex::BatchQuery(
+    const Dataset& queries, int threads, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::RunWithTransientPool(threads, [&](ThreadPool* pool) {
+    return BatchQuery(queries, pool, stats, batch_stats);
+  });
+}
+
+std::vector<std::optional<Match>> ChosenPathIndex::BatchQuery(
+    const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::Run<QueryScratch>(
+      queries, pool, stats, batch_stats,
+      [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
+        return QueryImpl(queries.Get(static_cast<VectorId>(i)), query_stats,
+                         scratch);
+      },
+      [](const QueryScratch& scratch, BatchQueryStats* agg) {
+        AddPathGenStats(&agg->path_gen, scratch.path_gen);
+      });
 }
 
 std::vector<Match> ChosenPathIndex::QueryAll(std::span<const ItemId> query,

@@ -65,6 +65,20 @@ class ChosenPathIndex {
   std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
                               QueryStats* stats = nullptr) const;
 
+  /// Answers every vector of \p queries as a Query() on \p threads
+  /// workers from a transient pool (<= 1 = serial); results are
+  /// identical to serial execution for every thread count.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, int threads = 0,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Same, sharded onto a caller-owned (reusable) \p pool; null = serial.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, ThreadPool* pool,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
   bool built() const { return engine_ != nullptr; }
   const IndexBuildStats& build_stats() const { return build_stats_; }
   int depth() const { return depth_; }
@@ -72,6 +86,12 @@ class ChosenPathIndex {
   size_t MemoryBytes() const { return table_.MemoryBytes(); }
 
  private:
+  /// Per-thread reusable query workspace (defined in chosen_path.cc).
+  struct QueryScratch;
+  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+                                 QueryStats* stats,
+                                 QueryScratch* scratch) const;
+
   const Dataset* data_ = nullptr;
   ChosenPathOptions options_;
   int depth_ = 0;

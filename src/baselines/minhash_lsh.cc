@@ -5,8 +5,10 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/batch.h"
 #include "hashing/mix.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace skewsearch {
@@ -81,13 +83,27 @@ uint64_t MinHashLsh::BandKey(int band, std::span<const ItemId> ids) const {
   return key;
 }
 
+// Reusable per-thread query workspace: keeps the dedup set's buckets
+// allocated across the queries one worker slot answers.
+struct MinHashLsh::QueryScratch {
+  std::unordered_set<VectorId> seen;
+};
+
 std::optional<Match> MinHashLsh::Query(std::span<const ItemId> query,
                                        QueryStats* stats) const {
+  QueryScratch scratch;
+  return QueryImpl(query, stats, &scratch);
+}
+
+std::optional<Match> MinHashLsh::QueryImpl(std::span<const ItemId> query,
+                                           QueryStats* stats,
+                                           QueryScratch* scratch) const {
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
   if (data_ != nullptr && !query.empty()) {
-    std::unordered_set<VectorId> seen;
+    std::unordered_set<VectorId>& seen = scratch->seen;
+    seen.clear();
     for (int band = 0; band < bands_ && !found; ++band) {
       local.filters++;
       auto postings = table_.Lookup(BandKey(band, query));
@@ -108,6 +124,26 @@ std::optional<Match> MinHashLsh::Query(std::span<const ItemId> query,
   local.seconds = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local;
   return found;
+}
+
+std::vector<std::optional<Match>> MinHashLsh::BatchQuery(
+    const Dataset& queries, int threads, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::RunWithTransientPool(threads, [&](ThreadPool* pool) {
+    return BatchQuery(queries, pool, stats, batch_stats);
+  });
+}
+
+std::vector<std::optional<Match>> MinHashLsh::BatchQuery(
+    const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::Run<QueryScratch>(
+      queries, pool, stats, batch_stats,
+      [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
+        return QueryImpl(queries.Get(static_cast<VectorId>(i)), query_stats,
+                         scratch);
+      },
+      [](const QueryScratch&, BatchQueryStats*) {});
 }
 
 std::vector<Match> MinHashLsh::QueryAll(std::span<const ItemId> query,

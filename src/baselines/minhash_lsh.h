@@ -56,12 +56,33 @@ class MinHashLsh {
   std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
                               QueryStats* stats = nullptr) const;
 
+  /// Answers every vector of \p queries as a Query() on \p threads
+  /// workers from a transient pool (<= 1 = serial); results are
+  /// identical to serial execution for every thread count.
+  /// (batch_stats->path_gen stays zero: MinHash has no path stage.)
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, int threads = 0,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Same, sharded onto a caller-owned (reusable) \p pool; null = serial.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, ThreadPool* pool,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
   int bands() const { return bands_; }
   int rows() const { return rows_; }
   double verify_threshold() const { return verify_threshold_; }
   size_t MemoryBytes() const { return table_.MemoryBytes(); }
 
  private:
+  /// Per-thread reusable query workspace (defined in minhash_lsh.cc).
+  struct QueryScratch;
+  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+                                 QueryStats* stats,
+                                 QueryScratch* scratch) const;
+
   /// MinHash value of one row over a set of items.
   uint64_t RowMin(int row, std::span<const ItemId> ids) const;
   /// Bucket key of one band.

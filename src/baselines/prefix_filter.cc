@@ -54,7 +54,9 @@ Status PrefixFilterIndex::Build(const Dataset* data,
               return a < b;
             });
   rank_.resize(d);
-  for (size_t r = 0; r < d; ++r) rank_[rank_to_item_[r]] = static_cast<uint32_t>(r);
+  for (size_t r = 0; r < d; ++r) {
+    rank_[rank_to_item_[r]] = static_cast<uint32_t>(r);
+  }
 
   // Index each vector's prefix (its rarest tokens) into per-rank lists.
   std::vector<uint32_t> sizes(d, 0);

@@ -49,7 +49,8 @@ class Flags {
       }
       std::string key = arg.substr(2);
       if (key == "binary") {  // boolean flag
-        flags.values_[key] = "1";
+        static const std::string kTrue = "1";
+        flags.values_.insert_or_assign(key, kTrue);
         continue;
       }
       if (i + 1 >= args.size()) {

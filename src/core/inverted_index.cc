@@ -60,6 +60,11 @@ void FilterTable::Freeze() {
   offsets_.push_back(static_cast<uint32_t>(ids_.size()));
   pairs_.clear();
   pairs_.shrink_to_fit();
+  // Drop growth slack so MemoryBytes() reports the same frozen footprint
+  // as a ReadFrom() of this table (which allocates exactly).
+  keys_.shrink_to_fit();
+  offsets_.shrink_to_fit();
+  frozen_ = true;
 }
 
 std::span<const VectorId> FilterTable::Lookup(uint64_t key) const {
@@ -104,6 +109,7 @@ Status FilterTable::ReadFrom(std::istream* in) {
       return Status::InvalidArgument("filter table offsets not monotone");
     }
   }
+  fresh.frozen_ = true;
   *this = std::move(fresh);
   return Status::OK();
 }

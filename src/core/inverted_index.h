@@ -38,11 +38,16 @@ class FilterTable {
   /// Freeze().
   std::span<const VectorId> Lookup(uint64_t key) const;
 
-  /// Number of stored (key, id) pairs.
-  size_t num_pairs() const { return ids_.empty() ? pairs_.size() : ids_.size(); }
+  /// Number of stored (key, id) pairs. Counts the same pairs before and
+  /// after Freeze(): the staging list while building, the frozen posting
+  /// lists afterwards (Freeze neither adds nor drops pairs).
+  size_t num_pairs() const { return frozen_ ? ids_.size() : pairs_.size(); }
 
   /// Number of distinct keys (0 before Freeze()).
   size_t num_keys() const { return keys_.size(); }
+
+  /// True once Freeze() (or ReadFrom()) has produced posting lists.
+  bool frozen() const { return frozen_; }
 
   /// Approximate heap usage in bytes.
   size_t MemoryBytes() const;
@@ -63,6 +68,7 @@ class FilterTable {
   std::vector<uint64_t> keys_;    // sorted distinct keys
   std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into ids_
   std::vector<VectorId> ids_;
+  bool frozen_ = false;
 };
 
 }  // namespace skewsearch

@@ -5,14 +5,15 @@
 #include <cstring>
 #include <fstream>
 #include <set>
-#include <thread>
 #include <unordered_set>
 
+#include "core/batch.h"
 #include "core/rho.h"
 #include "hashing/mix.h"
 #include "sim/measures.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace skewsearch {
@@ -103,41 +104,36 @@ Status SkewedPathIndex::Build(const Dataset* data,
       }
     }
   } else {
-    // Filter keys are deterministic given (seed, rep, x), so threads can
-    // process disjoint id ranges into private buffers; merging preserves
-    // the exact same table contents as a serial build.
+    // Filter keys are deterministic given (seed, rep, x) and Freeze()
+    // sorts pairs by (key, id), so workers can emit into per-slot
+    // buffers in any schedule; the frozen table is identical to a
+    // serial build's.
     struct Shard {
       std::vector<std::pair<uint64_t, VectorId>> pairs;
+      std::vector<uint64_t> keys;  // reused across this slot's vectors
       size_t nodes_expanded = 0;
       size_t cap_hits = 0;
     };
-    std::vector<Shard> shards(static_cast<size_t>(threads));
-    std::vector<std::thread> workers;
-    const size_t chunk = (n + static_cast<size_t>(threads) - 1) /
-                         static_cast<size_t>(threads);
-    for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        Shard& shard = shards[static_cast<size_t>(t)];
-        const size_t begin = static_cast<size_t>(t) * chunk;
-        const size_t end = std::min(n, begin + chunk);
-        std::vector<uint64_t> keys;
-        for (size_t id = begin; id < end; ++id) {
-          auto x = data->Get(static_cast<VectorId>(id));
-          for (int rep = 0; rep < reps; ++rep) {
-            keys.clear();
-            PathGenStats gen;
-            engine_->ComputeFilters(x, static_cast<uint32_t>(rep), &keys,
-                                    &gen);
-            shard.nodes_expanded += gen.nodes_expanded;
-            if (gen.cap_hit) shard.cap_hits++;
-            for (uint64_t key : keys) {
-              shard.pairs.push_back({key, static_cast<VectorId>(id)});
-            }
+    ThreadPool pool(threads);
+    std::vector<Shard> shards(static_cast<size_t>(pool.num_threads()));
+    pool.ParallelFor(n, /*grain=*/64,
+                     [&](size_t begin, size_t end, int slot) {
+      Shard& shard = shards[static_cast<size_t>(slot)];
+      for (size_t id = begin; id < end; ++id) {
+        auto x = data->Get(static_cast<VectorId>(id));
+        for (int rep = 0; rep < reps; ++rep) {
+          shard.keys.clear();
+          PathGenStats gen;
+          engine_->ComputeFilters(x, static_cast<uint32_t>(rep),
+                                  &shard.keys, &gen);
+          shard.nodes_expanded += gen.nodes_expanded;
+          if (gen.cap_hit) shard.cap_hits++;
+          for (uint64_t key : shard.keys) {
+            shard.pairs.push_back({key, static_cast<VectorId>(id)});
           }
         }
-      });
-    }
-    for (auto& worker : workers) worker.join();
+      }
+    });
     size_t total_pairs = 0;
     for (const Shard& shard : shards) total_pairs += shard.pairs.size();
     table_.Reserve(total_pairs);
@@ -205,18 +201,38 @@ std::vector<uint64_t> SkewedPathIndex::ComputeFilterKeys(
   return keys;
 }
 
+// Reusable per-thread query workspace: the filter-key and dedup buffers
+// keep their heap allocations across the (possibly many) queries one
+// worker slot answers, and path-generation counters accumulate here so a
+// batch can report them without touching shared state.
+struct SkewedPathIndex::QueryScratch {
+  std::vector<uint64_t> keys;
+  std::unordered_set<VectorId> seen;
+  PathGenStats path_gen;
+};
+
 std::optional<Match> SkewedPathIndex::Query(std::span<const ItemId> query,
                                             QueryStats* stats) const {
+  QueryScratch scratch;
+  return QueryImpl(query, stats, &scratch);
+}
+
+std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
+                                                QueryStats* stats,
+                                                QueryScratch* scratch) const {
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
   if (engine_ != nullptr && !query.empty()) {
-    std::vector<uint64_t> keys;
-    std::unordered_set<VectorId> seen;
+    std::vector<uint64_t>& keys = scratch->keys;
+    std::unordered_set<VectorId>& seen = scratch->seen;
+    seen.clear();
     for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
       keys.clear();
+      PathGenStats gen;
       engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                              nullptr);
+                              &gen);
+      AddPathGenStats(&scratch->path_gen, gen);
       local.filters += keys.size();
       for (uint64_t key : keys) {
         auto postings = table_.Lookup(key);
@@ -288,33 +304,25 @@ std::vector<Match> SkewedPathIndex::QueryTopK(std::span<const ItemId> query,
 }
 
 std::vector<std::optional<Match>> SkewedPathIndex::BatchQuery(
-    const Dataset& queries, int threads,
-    std::vector<QueryStats>* stats) const {
-  std::vector<std::optional<Match>> results(queries.size());
-  if (stats != nullptr) stats->assign(queries.size(), QueryStats{});
-  if (queries.empty()) return results;
-  auto run_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      QueryStats qs;
-      results[i] = Query(queries.Get(static_cast<VectorId>(i)), &qs);
-      if (stats != nullptr) (*stats)[i] = qs;
-    }
-  };
-  if (threads <= 1) {
-    run_range(0, queries.size());
-    return results;
-  }
-  std::vector<std::thread> workers;
-  const size_t chunk = (queries.size() + static_cast<size_t>(threads) - 1) /
-                       static_cast<size_t>(threads);
-  for (int t = 0; t < threads; ++t) {
-    size_t begin = static_cast<size_t>(t) * chunk;
-    size_t end = std::min(queries.size(), begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back(run_range, begin, end);
-  }
-  for (auto& worker : workers) worker.join();
-  return results;
+    const Dataset& queries, int threads, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::RunWithTransientPool(threads, [&](ThreadPool* pool) {
+    return BatchQuery(queries, pool, stats, batch_stats);
+  });
+}
+
+std::vector<std::optional<Match>> SkewedPathIndex::BatchQuery(
+    const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::Run<QueryScratch>(
+      queries, pool, stats, batch_stats,
+      [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
+        return QueryImpl(queries.Get(static_cast<VectorId>(i)), query_stats,
+                         scratch);
+      },
+      [](const QueryScratch& scratch, BatchQueryStats* agg) {
+        AddPathGenStats(&agg->path_gen, scratch.path_gen);
+      });
 }
 
 double SkewedPathIndex::EstimateCollisionRate(

@@ -28,6 +28,7 @@
 #include "core/inverted_index.h"
 #include "core/path_engine.h"
 #include "core/path_policy.h"
+#include "core/query_stats.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
 #include "hashing/path_hasher.h"
@@ -37,6 +38,8 @@
 #include "util/status.h"
 
 namespace skewsearch {
+
+class ThreadPool;  // util/thread_pool.h
 
 /// Which of the paper's two analyses the index instantiates.
 enum class IndexMode {
@@ -108,16 +111,6 @@ struct IndexBuildStats {
   double build_seconds = 0.0;
 };
 
-/// \brief Counters from one query.
-struct QueryStats {
-  size_t filters = 0;              ///< |F(q)| across repetitions
-  size_t candidates = 0;           ///< sum of posting-list sizes (the
-                                   ///< paper's query-cost proxy)
-  size_t distinct_candidates = 0;  ///< after deduplication
-  size_t verifications = 0;        ///< full similarity computations
-  double seconds = 0.0;
-};
-
 /// \brief The skew-adaptive chosen-path index.
 ///
 /// Usage:
@@ -158,12 +151,24 @@ class SkewedPathIndex {
                                QueryStats* stats = nullptr) const;
 
   /// Answers every vector of \p queries as a Query(), using \p threads
-  /// workers (<= 1 = serial). Results align positionally with queries;
-  /// \p stats (if non-null) is resized likewise. Queries are independent
-  /// and the index is immutable, so results equal the serial ones.
+  /// workers from a transient pool (<= 1 = serial). Results align
+  /// positionally with queries; \p stats (if non-null) is resized
+  /// likewise and \p batch_stats (if non-null) receives batch-level
+  /// aggregates including the summed PathGenStats. Queries are
+  /// independent and the index is immutable, so results are identical
+  /// to the serial ones for every thread count.
   std::vector<std::optional<Match>> BatchQuery(
       const Dataset& queries, int threads = 0,
-      std::vector<QueryStats>* stats = nullptr) const;
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Same, but shards onto caller-owned \p pool (null = serial), so one
+  /// pool can be reused across many batches. Worker slots reuse their
+  /// filter/candidate buffers across the queries they answer.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, ThreadPool* pool,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
 
   /// Lemma 5 diagnostic: the fraction of repetitions in which F(a) and
   /// F(b) share at least one filter. For a b1-similar (or alpha-
@@ -210,6 +215,15 @@ class SkewedPathIndex {
               const ProductDistribution* dist);
 
  private:
+  /// Per-thread reusable query workspace (defined in skewed_index.cc).
+  struct QueryScratch;
+
+  /// Query() against caller-provided scratch buffers; accumulates the
+  /// engine's PathGenStats into the scratch.
+  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+                                 QueryStats* stats,
+                                 QueryScratch* scratch) const;
+
   /// (Re)constructs policy/hasher/engine from options_ + dist_ for a
   /// dataset of size n; shared by Build() and Load().
   void SetupEngine(size_t n, double delta);

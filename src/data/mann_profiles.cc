@@ -11,6 +11,7 @@ std::vector<MannProfileSpec> AllMannProfiles() {
   // ratios in the paper's Table 1 are close to 1 get strength 0, the four
   // strongly-dependent datasets get increasing strengths (SPOTIFY, whose
   // |I|=3 ratio is 6022, gets the largest).
+  // clang-format off
   return {
       // name          n      d      avg    zipf  headfr headexp topic tsz  tail
       {"AOL",          20000, 48000, 3.0,   1.05, 0.02,  0.35,   0.0,  0,   0.0},
@@ -24,6 +25,7 @@ std::vector<MannProfileSpec> AllMannProfiles() {
       {"ORKUT",        12000, 64000, 119.7, 0.70, 0.04,  0.25,   0.05, 120, 1.4},
       {"SPOTIFY",      14000, 38000, 12.8,  1.20, 0.01,  0.15,   0.12, 56,  1.0},
   };
+  // clang-format on
 }
 
 Result<MannProfileSpec> FindMannProfile(const std::string& name) {

@@ -14,7 +14,8 @@ SparseVector SparseVector::FromIds(std::vector<ItemId> ids) {
 SparseVector SparseVector::FromSorted(std::vector<ItemId> ids) {
 #ifndef NDEBUG
   for (size_t i = 1; i < ids.size(); ++i) {
-    assert(ids[i - 1] < ids[i] && "FromSorted requires strictly increasing ids");
+    assert(ids[i - 1] < ids[i] &&
+           "FromSorted requires strictly increasing ids");
   }
 #endif
   return SparseVector(std::move(ids));

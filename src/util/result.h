@@ -21,7 +21,8 @@ template <typename T>
 class Result {
  public:
   /// Constructs an OK result holding \p value.
-  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
 
   /// Constructs an errored result from a non-OK \p status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,212 @@
+// Copyright 2026 The skewsearch Authors.
+// BatchQuery must be a pure parallelization: identical results to the
+// serial query path for every thread count, on the paper's index and on
+// both baselines, with faithfully aggregated statistics.
+#include <optional>
+#include <vector>
+
+#include "baselines/chosen_path.h"
+#include "baselines/minhash_lsh.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace skewsearch {
+namespace {
+
+struct BatchFixture {
+  ProductDistribution dist;
+  Dataset data;
+  Dataset queries;
+};
+
+BatchFixture MakeFixture(size_t n = 300, size_t num_queries = 120) {
+  BatchFixture f{ZipfProbabilities(400, 1.0, 0.3).value(), {}, {}};
+  Rng rng(1234);
+  f.data = GenerateDataset(f.dist, n, &rng);
+  CorrelatedQuerySampler sampler(&f.dist, 0.8);
+  for (size_t i = 0; i < num_queries; ++i) {
+    SparseVector q = sampler.SampleCorrelated(
+        f.data.Get(static_cast<VectorId>(i % f.data.size())), &rng);
+    f.queries.Add(q.span());
+  }
+  return f;
+}
+
+void ExpectSameResults(const std::vector<std::optional<Match>>& a,
+                       const std::vector<std::optional<Match>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].has_value(), b[i].has_value()) << "query " << i;
+    if (a[i].has_value()) {
+      EXPECT_EQ(a[i]->id, b[i]->id) << "query " << i;
+      EXPECT_EQ(a[i]->similarity, b[i]->similarity) << "query " << i;
+    }
+  }
+}
+
+TEST(BatchQueryDeterminismTest, SkewedIndexMatchesSerialAcrossThreadCounts) {
+  BatchFixture f = MakeFixture();
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.8;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  const auto serial = index.BatchQuery(f.queries, 1);
+  for (int threads : {2, 8}) {
+    ExpectSameResults(serial, index.BatchQuery(f.queries, threads));
+  }
+}
+
+TEST(BatchQueryDeterminismTest, ChosenPathMatchesSerialAcrossThreadCounts) {
+  BatchFixture f = MakeFixture();
+  ChosenPathIndex index;
+  ChosenPathOptions options;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  const auto serial = index.BatchQuery(f.queries, 1);
+  for (int threads : {2, 8}) {
+    ExpectSameResults(serial, index.BatchQuery(f.queries, threads));
+  }
+}
+
+TEST(BatchQueryDeterminismTest, MinHashMatchesSerialAcrossThreadCounts) {
+  BatchFixture f = MakeFixture();
+  MinHashLsh index;
+  MinHashOptions options;
+  ASSERT_TRUE(index.Build(&f.data, options).ok());
+
+  const auto serial = index.BatchQuery(f.queries, 1);
+  for (int threads : {2, 8}) {
+    ExpectSameResults(serial, index.BatchQuery(f.queries, threads));
+  }
+}
+
+TEST(BatchQueryDeterminismTest, BatchAgreesWithIndividualQueries) {
+  BatchFixture f = MakeFixture();
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.8;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  std::vector<QueryStats> per_query;
+  const auto batch = index.BatchQuery(f.queries, 8, &per_query);
+  ASSERT_EQ(batch.size(), f.queries.size());
+  ASSERT_EQ(per_query.size(), f.queries.size());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    QueryStats qs;
+    auto lone = index.Query(f.queries.Get(static_cast<VectorId>(i)), &qs);
+    ASSERT_EQ(batch[i].has_value(), lone.has_value()) << "query " << i;
+    if (lone.has_value()) {
+      EXPECT_EQ(batch[i]->id, lone->id);
+      EXPECT_EQ(batch[i]->similarity, lone->similarity);
+    }
+    // Deterministic counters agree too (seconds is wall time, excluded).
+    EXPECT_EQ(per_query[i].filters, qs.filters);
+    EXPECT_EQ(per_query[i].candidates, qs.candidates);
+    EXPECT_EQ(per_query[i].distinct_candidates, qs.distinct_candidates);
+    EXPECT_EQ(per_query[i].verifications, qs.verifications);
+  }
+}
+
+TEST(BatchQueryEdgeTest, EmptyBatchOnEveryEngine) {
+  BatchFixture f = MakeFixture(100, 0);
+  ASSERT_TRUE(f.queries.empty());
+
+  SkewedPathIndex skewed;
+  SkewedIndexOptions skewed_options;
+  ASSERT_TRUE(skewed.Build(&f.data, &f.dist, skewed_options).ok());
+  std::vector<QueryStats> stats{QueryStats{}};  // stale entry must be cleared
+  BatchQueryStats batch_stats;
+  EXPECT_TRUE(skewed.BatchQuery(f.queries, 4, &stats, &batch_stats).empty());
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(batch_stats.queries, 0u);
+  EXPECT_EQ(batch_stats.totals.candidates, 0u);
+
+  ChosenPathIndex chosen;
+  ASSERT_TRUE(chosen.Build(&f.data, &f.dist, ChosenPathOptions{}).ok());
+  EXPECT_TRUE(chosen.BatchQuery(f.queries, 4).empty());
+
+  MinHashLsh minhash;
+  ASSERT_TRUE(minhash.Build(&f.data, MinHashOptions{}).ok());
+  EXPECT_TRUE(minhash.BatchQuery(f.queries, 4).empty());
+}
+
+TEST(BatchQueryEdgeTest, BatchLargerThanPoolAndQueriesWithEmptyVectors) {
+  BatchFixture f = MakeFixture(200, 64);
+  // Sprinkle empty queries between real ones; they must yield nullopt
+  // without disturbing their neighbours' slots.
+  Dataset queries;
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    queries.Add(f.queries.Get(static_cast<VectorId>(i)));
+    if (i % 7 == 0) queries.Add(std::span<const ItemId>{});
+  }
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  ThreadPool pool(3);  // batch of ~73 on 3 workers
+  const auto serial = index.BatchQuery(queries, 1);
+  const auto parallel = index.BatchQuery(queries, &pool);
+  ExpectSameResults(serial, parallel);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries.Get(static_cast<VectorId>(i)).empty()) {
+      EXPECT_FALSE(parallel[i].has_value()) << "empty query " << i;
+    }
+  }
+}
+
+TEST(BatchQueryStatsTest, AggregatesEqualPerQuerySums) {
+  BatchFixture f = MakeFixture();
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.8;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  for (int threads : {1, 2, 8}) {
+    std::vector<QueryStats> per_query;
+    BatchQueryStats agg;
+    index.BatchQuery(f.queries, threads, &per_query, &agg);
+    EXPECT_EQ(agg.queries, f.queries.size());
+    EXPECT_EQ(agg.threads, threads);
+
+    QueryStats sum;
+    for (const QueryStats& qs : per_query) AddQueryStats(&sum, qs);
+    EXPECT_EQ(agg.totals.filters, sum.filters) << threads << " threads";
+    EXPECT_EQ(agg.totals.candidates, sum.candidates);
+    EXPECT_EQ(agg.totals.distinct_candidates, sum.distinct_candidates);
+    EXPECT_EQ(agg.totals.verifications, sum.verifications);
+    EXPECT_GE(agg.wall_seconds, 0.0);
+
+    // Every filter the queries probed was emitted by the path engine,
+    // so the aggregated PathGenStats must account for all of them —
+    // independent of the thread count.
+    EXPECT_EQ(agg.path_gen.filters_emitted, sum.filters);
+    EXPECT_GT(agg.path_gen.nodes_expanded, 0u);
+  }
+}
+
+TEST(BatchQueryStatsTest, ReusedPoolServesManyBatchesConsistently) {
+  BatchFixture f = MakeFixture();
+  SkewedPathIndex index;
+  SkewedIndexOptions options;
+  ASSERT_TRUE(index.Build(&f.data, &f.dist, options).ok());
+
+  ThreadPool pool(4);
+  const auto serial = index.BatchQuery(f.queries, 1);
+  for (int round = 0; round < 3; ++round) {
+    ExpectSameResults(serial, index.BatchQuery(f.queries, &pool));
+  }
+  // A null pool means serial execution through the same code path.
+  ExpectSameResults(serial, index.BatchQuery(f.queries, nullptr));
+}
+
+}  // namespace
+}  // namespace skewsearch

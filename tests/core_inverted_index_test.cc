@@ -91,6 +91,68 @@ TEST(FilterTableTest, MemoryBytesPositiveAfterFreeze) {
   EXPECT_GT(table.MemoryBytes(), 100 * sizeof(uint64_t));
 }
 
+TEST(FilterTableTest, NumPairsConsistentBeforeAndAfterFreeze) {
+  FilterTable table;
+  EXPECT_FALSE(table.frozen());
+  EXPECT_EQ(table.num_pairs(), 0u);
+  table.Add(3, 1);
+  table.Add(3, 1);  // duplicate pair: counted in both states
+  table.Add(9, 2);
+  EXPECT_EQ(table.num_pairs(), 3u);
+  EXPECT_EQ(table.num_keys(), 0u);  // keys exist only once frozen
+  table.Freeze();
+  EXPECT_TRUE(table.frozen());
+  EXPECT_EQ(table.num_pairs(), 3u);
+  EXPECT_EQ(table.num_keys(), 2u);
+}
+
+TEST(FilterTableTest, EmptyFrozenTableStaysEmptyAndFrozen) {
+  // A frozen table with zero pairs must not be mistaken for an unfrozen
+  // one (the old ids_.empty() heuristic could not tell them apart).
+  FilterTable table;
+  table.Freeze();
+  EXPECT_TRUE(table.frozen());
+  EXPECT_EQ(table.num_pairs(), 0u);
+  EXPECT_EQ(table.num_keys(), 0u);
+  EXPECT_TRUE(table.Lookup(0).empty());
+}
+
+TEST(FilterTableTest, MemoryBytesTracksBothStates) {
+  FilterTable building;
+  EXPECT_EQ(building.MemoryBytes(), 0u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    building.Add(k % 37, static_cast<VectorId>(k));
+  }
+  const size_t staged = building.MemoryBytes();
+  EXPECT_GT(staged, 0u);  // staging pairs are real heap usage
+  building.Freeze();
+  const size_t frozen = building.MemoryBytes();
+  EXPECT_GT(frozen, 0u);
+  // Freeze() releases the 16-byte staging pairs for ~12 bytes/pair of
+  // frozen postings (plus key/offset overhead), so the footprint drops.
+  EXPECT_LT(frozen, staged);
+}
+
+TEST(FilterTableTest, FrozenMemoryBytesMatchesSerializedCopy) {
+  // The frozen footprint must not depend on how the table reached the
+  // frozen state: a fresh Freeze() and a ReadFrom() round-trip of the
+  // same table report the same MemoryBytes().
+  FilterTable table;
+  Rng rng(23);
+  for (int i = 0; i < 4096; ++i) {
+    table.Add(rng.NextBounded(700), static_cast<VectorId>(rng.NextBounded(99)));
+  }
+  table.Freeze();
+  std::stringstream buffer;
+  ASSERT_TRUE(table.WriteTo(&buffer).ok());
+  FilterTable loaded;
+  ASSERT_TRUE(loaded.ReadFrom(&buffer).ok());
+  EXPECT_TRUE(loaded.frozen());
+  EXPECT_EQ(loaded.num_pairs(), table.num_pairs());
+  EXPECT_EQ(loaded.num_keys(), table.num_keys());
+  EXPECT_EQ(loaded.MemoryBytes(), table.MemoryBytes());
+}
+
 TEST(FilterTableTest, ReserveDoesNotAffectContents) {
   FilterTable table;
   table.Reserve(1000);

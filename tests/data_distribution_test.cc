@@ -29,8 +29,9 @@ TEST(ProductDistributionTest, Accessors) {
 }
 
 TEST(ProductDistributionTest, HalfAssumption) {
-  EXPECT_TRUE(
-      ProductDistribution::Create({0.5, 0.1}).value().SatisfiesHalfAssumption());
+  EXPECT_TRUE(ProductDistribution::Create({0.5, 0.1})
+                  .value()
+                  .SatisfiesHalfAssumption());
   EXPECT_FALSE(
       ProductDistribution::Create({0.7}).value().SatisfiesHalfAssumption());
 }

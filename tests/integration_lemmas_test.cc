@@ -175,7 +175,9 @@ TEST(FailureInjectionTest, PathCapDegradesGracefully) {
   for (int t = 0; t < 10; ++t) {
     SparseVector q = sampler.SampleCorrelated(data.Get(t), &rng);
     auto hit = index.Query(q.span());
-    if (hit) EXPECT_GE(hit->similarity, index.verify_threshold());
+    if (hit) {
+      EXPECT_GE(hit->similarity, index.verify_threshold());
+    }
   }
 }
 
@@ -195,7 +197,10 @@ TEST(FailureInjectionTest, QueryWithForeignItemsIsSafe) {
   // must stay within the declared universe — verify the documented
   // contract instead of relying on out-of-range reads.
   SparseVector inside = SparseVector::Of({97, 98, 99});
-  EXPECT_NO_FATAL_FAILURE({ auto hit = index.Query(inside.span()); });
+  EXPECT_NO_FATAL_FAILURE({
+    auto hit = index.Query(inside.span());
+    (void)hit;
+  });
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Copyright 2026 The skewsearch Authors.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skewsearch {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto forty_two = pool.Submit([] { return 42; });
+  auto text = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(forty_two.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto failing = pool.Submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkersAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_GE(pool.tasks_executed(), 200u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{13}, size_t{4096}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, grain, [&](size_t begin, size_t end, int slot) {
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, pool.num_threads());
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " n=" << n
+                                     << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsAreUnambiguousScratchIndices) {
+  // Per-slot accumulation with no synchronization must be exact: two
+  // chunks may only share a slot sequentially, never concurrently.
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  std::vector<long> per_slot(static_cast<size_t>(pool.num_threads()), 0);
+  pool.ParallelFor(n, 7, [&](size_t begin, size_t end, int slot) {
+    for (size_t i = begin; i < end; ++i) {
+      per_slot[static_cast<size_t>(slot)] += static_cast<long>(i);
+    }
+  });
+  const long total = std::accumulate(per_slot.begin(), per_slot.end(), 0L);
+  EXPECT_EQ(total, static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineWithSingleWorker) {
+  ThreadPool pool(1);
+  const auto main_id = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.ParallelFor(5, 2, [&](size_t, size_t, int slot) {
+    EXPECT_EQ(slot, 0);
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto& id : seen) EXPECT_EQ(id, main_id);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100, 1,
+                       [](size_t begin, size_t, int) {
+                         if (begin == 42) throw std::runtime_error("bad");
+                       }),
+      std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, 1,
+                   [&](size_t, size_t, int) { counter.fetch_add(1); });
+  EXPECT_GT(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after finishing the queue
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace skewsearch

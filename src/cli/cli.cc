@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "core/sharded_index.h"
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
 #include "data/correlated.h"
@@ -30,9 +31,13 @@ Commands:
   mann     --name NAME --out FILE [--n N] [--seed S] [--binary]
   profile  --in FILE [--binary]
   independence --in FILE [--binary]
-  query-bench --in FILE --alpha A [--queries N] [--seed S] [--binary]
-  selfjoin --in FILE --b1 X [--seed S] [--binary]
+  query-bench --in FILE --alpha A [--queries N] [--seed S] [--shards K]
+           [--binary]
+  selfjoin --in FILE --b1 X [--seed S] [--shards K] [--binary]
   help
+
+--shards K > 1 builds the hash-sharded index instead of the monolithic
+one; results are identical, memory and parallelism differ.
 )";
 
 /// Parsed "--key value" flags.
@@ -209,19 +214,34 @@ int CmdQueryBench(const Flags& flags) {
   auto dist = EstimateFrequencies(*data);
   if (!dist.ok()) return Fail(dist.status());
 
-  SkewedPathIndex index;
+  const int shards = static_cast<int>(flags.GetUint("shards", 1));
   SkewedIndexOptions options;
   options.mode = IndexMode::kCorrelated;
   options.alpha = alpha;
   options.seed = flags.GetUint("seed", 1);
-  Status s = index.Build(&*data, &*dist, options);
-  if (!s.ok()) return Fail(s);
-  std::printf("index: %d repetitions, %.1f filters/element, %.1f MB, "
-              "built in %.2fs\n",
-              index.repetitions(),
-              index.build_stats().avg_filters_per_element,
-              static_cast<double>(index.MemoryBytes()) / 1e6,
-              index.build_stats().build_seconds);
+  SkewedPathIndex index;
+  ShardedIndex sharded;
+  const bool use_shards = shards > 1;
+  if (use_shards) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.index = options;
+    sharded_options.num_shards = shards;
+    Status s = sharded.Build(&*data, &*dist, sharded_options);
+    if (!s.ok()) return Fail(s);
+  } else {
+    Status s = index.Build(&*data, &*dist, options);
+    if (!s.ok()) return Fail(s);
+  }
+  const IndexBuildStats& build_stats =
+      use_shards ? sharded.build_stats() : index.build_stats();
+  std::printf("index: %d shard(s), %d repetitions, %.1f filters/element, "
+              "%.1f MB, built in %.2fs\n",
+              use_shards ? shards : 1, build_stats.repetitions,
+              build_stats.avg_filters_per_element,
+              static_cast<double>(use_shards ? sharded.MemoryBytes()
+                                             : index.MemoryBytes()) /
+                  1e6,
+              build_stats.build_seconds);
 
   CorrelatedQuerySampler sampler(&*dist, alpha);
   Rng rng(flags.GetUint("seed", 1) ^ 0xabcdef);
@@ -232,7 +252,8 @@ int CmdQueryBench(const Flags& flags) {
     VectorId target = static_cast<VectorId>(rng.NextBounded(data->size()));
     SparseVector q = sampler.SampleCorrelated(data->Get(target), &rng);
     QueryStats stats;
-    auto hit = index.Query(q.span(), &stats);
+    auto hit = use_shards ? sharded.Query(q.span(), &stats)
+                          : index.Query(q.span(), &stats);
     found += (hit && hit->id == target);
     candidates += stats.candidates;
     seconds += stats.seconds;
@@ -257,6 +278,7 @@ int CmdSelfJoin(const Flags& flags) {
   options.index.b1 = b1;
   options.index.seed = flags.GetUint("seed", 1);
   options.threshold = b1;
+  options.num_shards = static_cast<int>(flags.GetUint("shards", 1));
   JoinStats stats;
   auto pairs = SelfSimilarityJoin(*data, *dist, options, &stats);
   if (!pairs.ok()) return Fail(pairs.status());

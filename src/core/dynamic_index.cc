@@ -1,0 +1,720 @@
+#include "core/dynamic_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/batch.h"
+#include "core/index_io.h"
+#include "sim/measures.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+namespace {
+
+constexpr char kDynamicMagic[4] = {'S', 'K', 'D', '1'};
+constexpr int kMaxShards = 1 << 12;
+
+}  // namespace
+
+/// One hash partition of the online index. All mutable state is guarded
+/// by `mutex`; the immutable pieces (family, base dataset) live outside.
+struct DynamicIndex::Shard {
+  mutable PaddedSharedMutex mutex;
+
+  /// Frozen postings of the vectors present at Build()/last compaction.
+  FilterTable base;
+
+  /// Postings of vectors inserted since, keyed like the base table.
+  std::unordered_map<uint64_t, std::vector<VectorId>> delta;
+
+  /// Removed ids whose postings are still physically present. Cleared by
+  /// compaction (which drops the postings themselves).
+  std::unordered_set<VectorId> tombstones;
+
+  /// Removed *base* ids, kept forever: the base dataset still contains
+  /// these vectors, so liveness bookkeeping (IsLive/size/double-Remove)
+  /// needs them even after compaction has dropped their postings.
+  /// Removed inserted ids need no such record — they leave `inserted`.
+  std::unordered_set<VectorId> removed_base;
+
+  /// One live inserted vector: its items plus the posting-entry count it
+  /// contributed (so Remove can charge dead entries in O(1)).
+  struct InsertedVector {
+    std::vector<ItemId> items;
+    uint32_t entries = 0;
+  };
+
+  /// Live inserted vectors by id.
+  std::unordered_map<VectorId, InsertedVector> inserted;
+
+  /// Posting entries referencing live / tombstoned ids. A vector always
+  /// contributes the same entry count it did at insert (filter keys are
+  /// deterministic), so these stay exact.
+  size_t live_entries = 0;
+  size_t dead_entries = 0;
+};
+
+DynamicIndex::DynamicIndex() = default;
+DynamicIndex::~DynamicIndex() = default;
+
+Status DynamicIndex::Build(const Dataset* data,
+                           const ProductDistribution* dist,
+                           const DynamicIndexOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, 4096]");
+  }
+  if (!(options.compact_dead_fraction > 0.0) ||
+      !std::isfinite(options.compact_dead_fraction)) {
+    return Status::InvalidArgument(
+        "compact_dead_fraction must be positive and finite");
+  }
+  Result<FilterFamily> family =
+      FilterFamily::Create(dist, options.index, data->size());
+  if (!family.ok()) return family.status();
+
+  Timer timer;
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  family_ = std::move(family).value();
+
+  build_stats_ = IndexBuildStats{};
+  build_stats_.repetitions = family_.repetitions();
+  build_stats_.delta_used = family_.delta();
+  std::vector<FilterTable> tables;
+  SKEWSEARCH_RETURN_NOT_OK(sharded_internal::BuildShardTables(
+      *data, family_, options.num_shards, options.index.build_threads,
+      &build_stats_, &tables, &base_entry_counts_));
+
+  shards_.clear();
+  shards_.reserve(tables.size());
+  for (FilterTable& table : tables) {
+    auto shard = std::make_unique<Shard>();
+    shard->base = std::move(table);
+    shard->live_entries = shard->base.num_pairs();
+    shards_.push_back(std::move(shard));
+  }
+  base_n_ = data->size();
+  next_id_.store(static_cast<VectorId>(base_n_), std::memory_order_relaxed);
+  compactions_.store(0, std::memory_order_relaxed);
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
+                                      size_t* num_filters) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  if (items.empty()) {
+    return Status::InvalidArgument("cannot insert an empty vector");
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] >= dist_->dimension()) {
+      return Status::InvalidArgument(
+          "item outside the distribution's universe");
+    }
+    if (i > 0 && items[i] <= items[i - 1]) {
+      return Status::InvalidArgument(
+          "items must be strictly increasing");
+    }
+  }
+  const VectorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id < base_n_) {  // wrapped uint32 id space
+    return Status::Internal("vector id space exhausted");
+  }
+
+  // Path generation happens outside any lock; the family is immutable.
+  std::vector<uint64_t> keys;
+  for (int rep = 0; rep < family_.repetitions(); ++rep) {
+    family_.ComputeFilters(items, static_cast<uint32_t>(rep), &keys, nullptr);
+  }
+  if (num_filters != nullptr) *num_filters = keys.size();
+
+  Shard& shard =
+      *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
+  WriterLock lock(shard.mutex);
+  Shard::InsertedVector record;
+  record.items.assign(items.begin(), items.end());
+  record.entries = static_cast<uint32_t>(keys.size());
+  shard.inserted.emplace(id, std::move(record));
+  for (uint64_t key : keys) {
+    // Keep each delta posting list sorted by id so the documented scan
+    // order (key position, base-before-delta, id) holds regardless of
+    // which writer won the lock first; ids mostly arrive in increasing
+    // order, so this is an O(1) append in the common case.
+    std::vector<VectorId>& ids = shard.delta[key];
+    ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+  }
+  shard.live_entries += keys.size();
+  return id;
+}
+
+Status DynamicIndex::Remove(VectorId id) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  if (id >= next_id_.load(std::memory_order_relaxed)) {
+    return Status::NotFound("no such vector id");
+  }
+  Shard& shard =
+      *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
+
+  WriterLock lock(shard.mutex);
+  size_t entries = 0;
+  if (id < base_n_) {
+    if (!shard.removed_base.insert(id).second) {
+      return Status::NotFound("vector already removed");
+    }
+    entries = base_entry_counts_[id];
+  } else {
+    auto it = shard.inserted.find(id);
+    if (it == shard.inserted.end()) {
+      return Status::NotFound("no such vector id");
+    }
+    entries = it->second.entries;
+    shard.inserted.erase(it);
+  }
+  shard.tombstones.insert(id);
+  shard.dead_entries += entries;
+  shard.live_entries -= std::min(shard.live_entries, entries);
+  const size_t total = shard.live_entries + shard.dead_entries;
+  if (total > 0 &&
+      static_cast<double>(shard.dead_entries) >
+          options_.compact_dead_fraction * static_cast<double>(total)) {
+    CompactShardLocked(&shard);
+  }
+  return Status::OK();
+}
+
+void DynamicIndex::CompactShardLocked(Shard* shard) {
+  FilterTable fresh;
+  fresh.Reserve(shard->live_entries);
+  for (size_t k = 0; k < shard->base.num_keys(); ++k) {
+    const uint64_t key = shard->base.key_at(k);
+    for (VectorId id : shard->base.postings_at(k)) {
+      if (shard->tombstones.count(id) == 0) fresh.Add(key, id);
+    }
+  }
+  for (const auto& [key, ids] : shard->delta) {
+    for (VectorId id : ids) {
+      if (shard->tombstones.count(id) == 0) fresh.Add(key, id);
+    }
+  }
+  fresh.Freeze();
+  shard->base = std::move(fresh);
+  shard->delta.clear();
+  shard->tombstones.clear();  // removed_base stays: liveness, not postings
+  shard->live_entries = shard->base.num_pairs();
+  shard->dead_entries = 0;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::span<const ItemId> DynamicIndex::ItemsOf(const Shard& shard,
+                                              VectorId id) const {
+  if (id < base_n_) return data_->Get(id);
+  auto it = shard.inserted.find(id);
+  if (it == shard.inserted.end()) return {};
+  return {it->second.items.data(), it->second.items.size()};
+}
+
+// Per-query workspace reused across a batch.
+struct DynamicIndex::QueryScratch {
+  std::vector<uint64_t> keys;
+  std::vector<std::unordered_set<VectorId>> seen;
+  PathGenStats path_gen;
+};
+
+DynamicIndex::RepHit DynamicIndex::ScanShardRep(
+    const Shard& shard, std::span<const ItemId> query,
+    const std::vector<uint64_t>& keys, std::unordered_set<VectorId>* seen,
+    QueryStats* stats) const {
+  RepHit hit;
+  const double threshold = family_.verify_threshold();
+  ReaderLock lock(shard.mutex);
+  auto consider = [&](uint64_t /*key*/, size_t key_idx, uint8_t phase,
+                      VectorId id) {
+    if (!seen->insert(id).second) return false;
+    if (shard.tombstones.count(id) > 0) return false;
+    auto items = ItemsOf(shard, id);
+    if (items.empty()) return false;
+    stats->verifications++;
+    double sim = Similarity(options_.index.verify_measure, query, items);
+    if (sim >= threshold) {
+      hit.found = true;
+      hit.key_idx = key_idx;
+      hit.phase = phase;
+      hit.id = id;
+      hit.similarity = sim;
+      return true;
+    }
+    return false;
+  };
+  for (size_t ki = 0; ki < keys.size(); ++ki) {
+    auto postings = shard.base.Lookup(keys[ki]);
+    stats->candidates += postings.size();
+    for (VectorId id : postings) {
+      if (consider(keys[ki], ki, 0, id)) return hit;
+    }
+    auto it = shard.delta.find(keys[ki]);
+    if (it != shard.delta.end()) {
+      stats->candidates += it->second.size();
+      for (VectorId id : it->second) {
+        if (consider(keys[ki], ki, 1, id)) return hit;
+      }
+    }
+  }
+  return hit;
+}
+
+std::optional<Match> DynamicIndex::Query(std::span<const ItemId> query,
+                                         QueryStats* stats) const {
+  QueryScratch scratch;
+  return QueryImpl(query, stats, &scratch);
+}
+
+std::optional<Match> DynamicIndex::QueryImpl(std::span<const ItemId> query,
+                                             QueryStats* stats,
+                                             QueryScratch* scratch) const {
+  Timer timer;
+  QueryStats local;
+  std::optional<Match> found;
+  if (built() && !query.empty()) {
+    const size_t num = shards_.size();
+    scratch->seen.resize(num);
+    for (auto& seen : scratch->seen) seen.clear();
+    for (int rep = 0; rep < family_.repetitions() && !found; ++rep) {
+      scratch->keys.clear();
+      PathGenStats gen;
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep),
+                             &scratch->keys, &gen);
+      AddPathGenStats(&scratch->path_gen, gen);
+      local.filters += scratch->keys.size();
+      const RepHit* best = nullptr;
+      std::vector<RepHit> hits(num);
+      for (size_t s = 0; s < num; ++s) {
+        QueryStats shard_stats;
+        hits[s] = ScanShardRep(*shards_[s], query, scratch->keys,
+                               &scratch->seen[s], &shard_stats);
+        local.candidates += shard_stats.candidates;
+        local.verifications += shard_stats.verifications;
+        const RepHit& hit = hits[s];
+        if (!hit.found) continue;
+        if (best == nullptr || hit.key_idx < best->key_idx ||
+            (hit.key_idx == best->key_idx &&
+             (hit.phase < best->phase ||
+              (hit.phase == best->phase && hit.id < best->id)))) {
+          best = &hits[s];
+        }
+      }
+      if (best != nullptr) found = Match{best->id, best->similarity};
+    }
+    size_t distinct = 0;
+    for (const auto& seen : scratch->seen) distinct += seen.size();
+    local.distinct_candidates = distinct;
+  }
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return found;
+}
+
+std::vector<Match> DynamicIndex::QueryAll(std::span<const ItemId> query,
+                                          double threshold,
+                                          QueryStats* stats) const {
+  Timer timer;
+  QueryStats local;
+  std::vector<Match> out;
+  if (built() && !query.empty()) {
+    std::vector<uint64_t> keys;
+    for (int rep = 0; rep < family_.repetitions(); ++rep) {
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                             nullptr);
+    }
+    local.filters = keys.size();
+    for (const auto& shard_ptr : shards_) {
+      const Shard& shard = *shard_ptr;
+      std::unordered_set<VectorId> seen;
+      ReaderLock lock(shard.mutex);
+      auto consider = [&](VectorId id) {
+        if (!seen.insert(id).second) return;
+        if (shard.tombstones.count(id) > 0) return;
+        auto items = ItemsOf(shard, id);
+        if (items.empty()) return;
+        local.verifications++;
+        double sim = Similarity(options_.index.verify_measure, query, items);
+        if (sim >= threshold) out.push_back({id, sim});
+      };
+      for (uint64_t key : keys) {
+        auto postings = shard.base.Lookup(key);
+        local.candidates += postings.size();
+        for (VectorId id : postings) consider(id);
+        auto it = shard.delta.find(key);
+        if (it != shard.delta.end()) {
+          local.candidates += it->second.size();
+          for (VectorId id : it->second) consider(id);
+        }
+      }
+      local.distinct_candidates += seen.size();
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::optional<Match>> DynamicIndex::BatchQuery(
+    const Dataset& queries, int threads, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::RunWithTransientPool(threads, [&](ThreadPool* pool) {
+    return BatchQuery(queries, pool, stats, batch_stats);
+  });
+}
+
+std::vector<std::optional<Match>> DynamicIndex::BatchQuery(
+    const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::Run<QueryScratch>(
+      queries, pool, stats, batch_stats,
+      [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
+        return QueryImpl(queries.Get(static_cast<VectorId>(i)), query_stats,
+                         scratch);
+      },
+      [](const QueryScratch& scratch, BatchQueryStats* agg) {
+        AddPathGenStats(&agg->path_gen, scratch.path_gen);
+      });
+}
+
+bool DynamicIndex::IsLive(VectorId id) const {
+  if (!built() || id >= next_id_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const Shard& shard =
+      *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
+  ReaderLock lock(shard.mutex);
+  if (id < base_n_) return shard.removed_base.count(id) == 0;
+  return shard.inserted.count(id) > 0;
+}
+
+size_t DynamicIndex::size() const {
+  if (!built()) return 0;
+  size_t live = base_n_;
+  for (const auto& shard_ptr : shards_) {
+    ReaderLock lock(shard_ptr->mutex);
+    live += shard_ptr->inserted.size();
+    live -= shard_ptr->removed_base.size();
+  }
+  return live;
+}
+
+size_t DynamicIndex::num_tombstones() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    ReaderLock lock(shard_ptr->mutex);
+    total += shard_ptr->tombstones.size();
+  }
+  return total;
+}
+
+size_t DynamicIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    ReaderLock lock(shard_ptr->mutex);
+    const Shard& shard = *shard_ptr;
+    total += shard.base.MemoryBytes();
+    for (const auto& [key, ids] : shard.delta) {
+      total += sizeof(key) + ids.capacity() * sizeof(VectorId);
+    }
+    total += shard.tombstones.size() * sizeof(VectorId);
+    for (const auto& [id, vec] : shard.inserted) {
+      total += sizeof(id) + vec.items.capacity() * sizeof(ItemId);
+    }
+  }
+  return total;
+}
+
+Status DynamicIndex::Save(const std::string& path) const {
+  namespace io = index_io_internal;
+  if (!built()) {
+    return Status::InvalidArgument("cannot save an unbuilt index");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  // Lock every shard (shared) so the snapshot is cross-shard consistent;
+  // writers block on their one shard until we finish.
+  std::vector<ReaderLock> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    locks.emplace_back(shard_ptr->mutex);
+  }
+
+  out.write(kDynamicMagic, sizeof(kDynamicMagic));
+  const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
+  const uint64_t base_n = base_n_;
+  const uint32_t next_id = next_id_.load(std::memory_order_relaxed);
+  bool ok = io::WriteParams(out, options_.index, family_.verify_threshold(),
+                            build_stats_) &&
+            io::WritePod(out, io::Fingerprint(*data_)) &&
+            io::WritePod(out, num_shards) &&
+            io::WritePod(out, options_.compact_dead_fraction) &&
+            io::WritePod(out, base_n) && io::WritePod(out, next_id);
+  if (!ok) return Status::IOError("header write to '" + path + "' failed");
+
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    SKEWSEARCH_RETURN_NOT_OK(shard.base.WriteTo(&out));
+    // Delta postings, key by key (posting order matters and is kept).
+    uint64_t delta_keys = shard.delta.size();
+    ok = io::WritePod(out, delta_keys);
+    for (const auto& [key, ids] : shard.delta) {
+      ok = ok && io::WritePod(out, key) && io::WriteVector(out, ids);
+    }
+    // Tombstones and removed base ids, sorted so identical states save
+    // identical bytes.
+    std::vector<VectorId> tombs(shard.tombstones.begin(),
+                                shard.tombstones.end());
+    std::sort(tombs.begin(), tombs.end());
+    ok = ok && io::WriteVector(out, tombs);
+    std::vector<VectorId> removed(shard.removed_base.begin(),
+                                  shard.removed_base.end());
+    std::sort(removed.begin(), removed.end());
+    ok = ok && io::WriteVector(out, removed);
+    // Inserted vectors, sorted by id for the same reason. Entry counts
+    // are not serialized — Load recomputes them from the postings.
+    std::vector<VectorId> ids;
+    ids.reserve(shard.inserted.size());
+    for (const auto& [id, vec] : shard.inserted) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    uint64_t inserted_count = ids.size();
+    ok = ok && io::WritePod(out, inserted_count);
+    for (VectorId id : ids) {
+      ok = ok && io::WritePod(out, id) &&
+           io::WriteVector(out, shard.inserted.at(id).items);
+    }
+    uint64_t live = shard.live_entries, dead = shard.dead_entries;
+    ok = ok && io::WritePod(out, live) && io::WritePod(out, dead);
+    if (!ok) return Status::IOError("shard write to '" + path + "' failed");
+  }
+  out.flush();
+  if (!out) return Status::IOError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Status DynamicIndex::Load(const std::string& path, const Dataset* data,
+                          const ProductDistribution* dist) {
+  namespace io = index_io_internal;
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kDynamicMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "'" + path + "' is not a skewsearch dynamic index file");
+  }
+  io::ParamHeader header;
+  Status params = io::ReadParams(in, &header);
+  if (!params.ok()) {
+    return Status::InvalidArgument(params.message() + " in '" + path + "'");
+  }
+  uint64_t fingerprint = 0, base_n = 0;
+  uint32_t num_shards = 0, next_id = 0;
+  double compact_fraction = 0.0;
+  if (!io::ReadPod(in, &fingerprint) || !io::ReadPod(in, &num_shards) ||
+      !io::ReadPod(in, &compact_fraction) || !io::ReadPod(in, &base_n) ||
+      !io::ReadPod(in, &next_id)) {
+    return Status::InvalidArgument("truncated index header in '" + path +
+                                   "'");
+  }
+  if (fingerprint != io::Fingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one this index was built from");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  if (base_n != data->size() || next_id < base_n) {
+    return Status::InvalidArgument("corrupt id bounds in '" + path + "'");
+  }
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("corrupt shard count in '" + path + "'");
+  }
+  if (!(compact_fraction > 0.0) || !std::isfinite(compact_fraction)) {
+    return Status::InvalidArgument("corrupt compaction threshold in '" +
+                                   path + "'");
+  }
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index header in '" + path +
+                                   "': " + family.status().message());
+  }
+
+  const int shard_count = static_cast<int>(num_shards);
+  auto in_shard = [&](VectorId id, int s) {
+    return id < next_id &&
+           ShardedIndex::ShardOf(id, shard_count) == s;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    SKEWSEARCH_RETURN_NOT_OK(shard->base.ReadFrom(&in));
+    for (size_t k = 0; k < shard->base.num_keys(); ++k) {
+      for (VectorId id : shard->base.postings_at(k)) {
+        if (id >= base_n || !in_shard(id, static_cast<int>(s))) {
+          return Status::InvalidArgument(
+              "shard table references out-of-place vector ids");
+        }
+      }
+    }
+    uint64_t delta_keys = 0;
+    if (!io::ReadPod(in, &delta_keys) || delta_keys > (uint64_t{1} << 32)) {
+      return Status::InvalidArgument("corrupt delta block in '" + path +
+                                     "'");
+    }
+    for (uint64_t k = 0; k < delta_keys; ++k) {
+      uint64_t key = 0;
+      std::vector<VectorId> ids;
+      if (!io::ReadPod(in, &key) || !io::ReadVector(in, &ids) ||
+          ids.empty()) {
+        return Status::InvalidArgument("corrupt delta block in '" + path +
+                                       "'");
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] < base_n || !in_shard(ids[i], static_cast<int>(s))) {
+          return Status::InvalidArgument(
+              "delta postings reference out-of-place vector ids");
+        }
+        if (i > 0 && ids[i] < ids[i - 1]) {
+          return Status::InvalidArgument(
+              "delta postings not sorted by vector id");
+        }
+      }
+      shard->delta.emplace(key, std::move(ids));
+    }
+    std::vector<VectorId> tombs;
+    if (!io::ReadVector(in, &tombs)) {
+      return Status::InvalidArgument("corrupt tombstone block in '" + path +
+                                     "'");
+    }
+    for (VectorId id : tombs) {
+      if (!in_shard(id, static_cast<int>(s))) {
+        return Status::InvalidArgument(
+            "tombstones reference out-of-place vector ids");
+      }
+    }
+    shard->tombstones.insert(tombs.begin(), tombs.end());
+    std::vector<VectorId> removed;
+    if (!io::ReadVector(in, &removed)) {
+      return Status::InvalidArgument("corrupt removed-base block in '" +
+                                     path + "'");
+    }
+    for (VectorId id : removed) {
+      if (id >= base_n || !in_shard(id, static_cast<int>(s))) {
+        return Status::InvalidArgument(
+            "removed-base ids reference out-of-place vector ids");
+      }
+    }
+    shard->removed_base.insert(removed.begin(), removed.end());
+    uint64_t inserted_count = 0;
+    if (!io::ReadPod(in, &inserted_count) ||
+        inserted_count > (uint64_t{1} << 32)) {
+      return Status::InvalidArgument("corrupt inserted block in '" + path +
+                                     "'");
+    }
+    for (uint64_t k = 0; k < inserted_count; ++k) {
+      VectorId id = 0;
+      std::vector<ItemId> items;
+      if (!io::ReadPod(in, &id) || !io::ReadVector(in, &items)) {
+        return Status::InvalidArgument("corrupt inserted block in '" + path +
+                                       "'");
+      }
+      if (id < base_n || !in_shard(id, static_cast<int>(s)) ||
+          shard->tombstones.count(id) > 0) {
+        return Status::InvalidArgument(
+            "inserted vectors reference out-of-place ids");
+      }
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i] >= dist->dimension() ||
+            (i > 0 && items[i] <= items[i - 1])) {
+          return Status::InvalidArgument(
+              "inserted vector has invalid items");
+        }
+      }
+      Shard::InsertedVector record;
+      record.items = std::move(items);
+      shard->inserted.emplace(id, std::move(record));
+    }
+    uint64_t live = 0, dead = 0;
+    if (!io::ReadPod(in, &live) || !io::ReadPod(in, &dead)) {
+      return Status::InvalidArgument("corrupt shard footer in '" + path +
+                                     "'");
+    }
+    shard->live_entries = static_cast<size_t>(live);
+    shard->dead_entries = static_cast<size_t>(dead);
+    shards.push_back(std::move(shard));
+  }
+
+  // Recompute per-vector entry counts (not serialized) by scanning the
+  // postings once: base ids into the flat array, inserted ids into their
+  // records. Tombstoned ids may still appear in postings; their counts
+  // are charged but never read again.
+  std::vector<uint32_t> entry_counts(static_cast<size_t>(base_n), 0);
+  for (const auto& shard : shards) {
+    auto charge = [&](VectorId id) {
+      if (id < base_n) {
+        entry_counts[id]++;
+      } else {
+        auto it = shard->inserted.find(id);
+        if (it != shard->inserted.end()) it->second.entries++;
+      }
+    };
+    for (size_t k = 0; k < shard->base.num_keys(); ++k) {
+      for (VectorId id : shard->base.postings_at(k)) charge(id);
+    }
+    for (const auto& [key, ids] : shard->delta) {
+      for (VectorId id : ids) charge(id);
+    }
+  }
+
+  data_ = data;
+  dist_ = dist;
+  options_.index = header.options;
+  options_.num_shards = shard_count;
+  options_.compact_dead_fraction = compact_fraction;
+  family_ = std::move(family).value();
+  build_stats_ = header.stats;
+  base_n_ = static_cast<size_t>(base_n);
+  base_entry_counts_ = std::move(entry_counts);
+  shards_ = std::move(shards);
+  next_id_.store(next_id, std::memory_order_relaxed);
+  compactions_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace skewsearch

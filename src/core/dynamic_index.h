@@ -1,0 +1,213 @@
+// Copyright 2026 The skewsearch Authors.
+// DynamicIndex: the sharded index made online — Insert() and Remove()
+// after Build(), with concurrent readers.
+//
+// Layout per shard: the frozen base posting table (built exactly like a
+// ShardedIndex shard), a delta map holding the postings of vectors
+// inserted since the last rebuild, a tombstone set for removed ids, and
+// the owned item lists of inserted vectors. The filter family never
+// changes after Build() — filter keys are a pure function of
+// (seed, repetition, vector) — so an insert only has to replay the path
+// engine for the new vector and append the resulting (key, id) pairs to
+// its shard's delta under that shard's writer lock.
+//
+// Concurrency contract: readers take one shard's shared lock only for
+// the duration of scanning that shard; writers (insert / remove /
+// compaction) take exactly one shard's exclusive lock. Queries therefore
+// proceed in parallel with each other and with mutations of other
+// shards, and a mutation completed before a query starts is always
+// visible to it (no lost results); a removal completed before a query
+// starts is never returned (no phantoms).
+//
+// Removes are tombstones: postings stay in place and readers skip dead
+// ids. When more than compact_dead_fraction of a shard's posting entries
+// are dead, that shard alone is rebuilt (tombstoned entries dropped,
+// delta folded into a fresh frozen table).
+//
+// Parameters (repetitions, thresholds, depth bound) stay as derived at
+// Build() time from the original n; after heavy growth, rebuild to
+// re-derive them.
+
+#ifndef SKEWSEARCH_CORE_DYNAMIC_INDEX_H_
+#define SKEWSEARCH_CORE_DYNAMIC_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/query_stats.h"
+#include "core/sharded_index.h"
+#include "core/skewed_index.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "sim/brute_force.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+class ThreadPool;  // util/thread_pool.h
+
+/// \brief Configuration of the online index.
+struct DynamicIndexOptions {
+  /// Per-shard index configuration (seed shared across shards).
+  SkewedIndexOptions index;
+
+  /// Number of hash partitions K (>= 1).
+  int num_shards = 4;
+
+  /// A shard is rebuilt once more than this fraction of its posting
+  /// entries belongs to removed vectors. Must be > 0; values >= 1
+  /// effectively disable compaction.
+  double compact_dead_fraction = 0.25;
+};
+
+/// \brief Sharded index with Insert/Remove and concurrent readers.
+///
+/// The base dataset and distribution are borrowed and must outlive the
+/// index; inserted vectors are copied and owned. Query/QueryAll/
+/// BatchQuery are safe to call concurrently with Insert/Remove from any
+/// number of threads. Not movable (per-shard locks pin addresses).
+class DynamicIndex {
+ public:
+  DynamicIndex();
+  ~DynamicIndex();
+  DynamicIndex(const DynamicIndex&) = delete;
+  DynamicIndex& operator=(const DynamicIndex&) = delete;
+
+  /// Builds the per-shard base tables over \p data. Not thread-safe
+  /// against concurrent use of this object.
+  Status Build(const Dataset* data, const ProductDistribution* dist,
+               const DynamicIndexOptions& options);
+
+  /// Inserts one vector (strictly increasing item ids, all inside the
+  /// distribution's universe) and returns its id. Runs the path engine
+  /// outside any lock, then appends postings under the owning shard's
+  /// writer lock. Thread-safe. \p num_filters (if non-null) receives the
+  /// number of posting entries the vector contributed — 0 means the
+  /// filter family emitted no paths for it, so no query can ever surface
+  /// it until a rebuild.
+  Result<VectorId> Insert(std::span<const ItemId> items,
+                          size_t* num_filters = nullptr);
+
+  /// Tombstones \p id (a base vector or a previous Insert). Returns
+  /// NotFound for unknown or already-removed ids. May trigger compaction
+  /// of the owning shard. Thread-safe.
+  Status Remove(VectorId id);
+
+  /// First match with similarity >= verify_threshold() in the scan order
+  /// (repetition, key position, base-before-delta, id), or nullopt.
+  /// Deterministic for a quiesced index. Thread-safe, wait-free with
+  /// respect to other readers.
+  std::optional<Match> Query(std::span<const ItemId> query,
+                             QueryStats* stats = nullptr) const;
+
+  /// All distinct live matches with similarity >= \p threshold, sorted
+  /// by descending similarity (ties by id). On a freshly built index
+  /// this is byte-identical to the unsharded SkewedPathIndex::QueryAll.
+  std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
+                              QueryStats* stats = nullptr) const;
+
+  /// Answers every vector of \p queries as a Query(), parallelized over
+  /// the batch. Safe to run concurrently with writers; each in-flight
+  /// query sees each shard atomically.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, int threads = 0,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Same, on a caller-owned pool (null = serial).
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, ThreadPool* pool,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Persists parameters, every shard's base table, delta postings,
+  /// tombstones and inserted vectors. Takes all shard locks (shared), so
+  /// the snapshot is consistent. Only valid after Build().
+  Status Save(const std::string& path) const;
+
+  /// Restores an index saved with Save(); the caller re-supplies the
+  /// same *base* dataset and distribution (fingerprint-checked).
+  /// Inserted vectors and tombstones are restored from the file.
+  Status Load(const std::string& path, const Dataset* data,
+              const ProductDistribution* dist);
+
+  /// True after a successful Build()/Load().
+  bool built() const { return family_.valid(); }
+
+  /// True iff \p id currently exists and is not tombstoned. Thread-safe.
+  bool IsLive(VectorId id) const;
+
+  /// Number of live vectors (base + inserted - removed). Takes shard
+  /// locks; exact for a quiesced index. Thread-safe.
+  size_t size() const;
+
+  /// Number of tombstoned ids not yet compacted away. Thread-safe.
+  size_t num_tombstones() const;
+
+  /// Number of shard rebuilds triggered so far.
+  size_t num_compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+  size_t base_size() const { return base_n_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int repetitions() const { return family_.repetitions(); }
+  double verify_threshold() const { return family_.verify_threshold(); }
+  const FilterFamily& family() const { return family_; }
+  const DynamicIndexOptions& options() const { return options_; }
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+
+  /// Approximate heap usage (base tables + deltas + inserted vectors).
+  /// Takes shard locks. Thread-safe.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Shard;         // defined in dynamic_index.cc
+  struct QueryScratch;  // defined in dynamic_index.cc
+
+  /// First passing candidate of one (repetition, shard) scan; the
+  /// coordinate orders base postings before delta postings of a key.
+  struct RepHit {
+    bool found = false;
+    size_t key_idx = 0;
+    uint8_t phase = 0;  ///< 0 = base table, 1 = delta
+    VectorId id = 0;
+    double similarity = 0.0;
+  };
+
+  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+                                 QueryStats* stats,
+                                 QueryScratch* scratch) const;
+  RepHit ScanShardRep(const Shard& shard, std::span<const ItemId> query,
+                      const std::vector<uint64_t>& keys,
+                      std::unordered_set<VectorId>* seen,
+                      QueryStats* stats) const;
+  std::span<const ItemId> ItemsOf(const Shard& shard, VectorId id) const;
+  void CompactShardLocked(Shard* shard);
+
+  const Dataset* data_ = nullptr;
+  const ProductDistribution* dist_ = nullptr;
+  DynamicIndexOptions options_;
+  FilterFamily family_;
+  IndexBuildStats build_stats_;
+  size_t base_n_ = 0;
+  /// Posting entries each base vector contributed (filled at Build,
+  /// recomputed at Load; immutable afterwards, so lock-free to read).
+  /// Lets Remove() charge dead entries in O(1) instead of replaying the
+  /// path engine.
+  std::vector<uint32_t> base_entry_counts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<VectorId> next_id_{0};
+  std::atomic<size_t> compactions_{0};
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_DYNAMIC_INDEX_H_

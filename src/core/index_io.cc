@@ -1,0 +1,86 @@
+#include "core/index_io.h"
+
+#include <algorithm>
+
+#include "hashing/mix.h"
+#include "sim/measures.h"
+
+namespace skewsearch {
+namespace index_io_internal {
+
+int64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !in || end < pos) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
+uint64_t Fingerprint(const Dataset& data) {
+  uint64_t h = Mix64(data.size() * 0x9e3779b97f4a7c15ULL ^
+                     data.TotalItems());
+  h = MixPair(h, Mix64(data.dimension()));
+  const size_t samples = std::min<size_t>(64, data.size());
+  for (size_t k = 0; k < samples; ++k) {
+    VectorId id = static_cast<VectorId>(k * data.size() / samples);
+    auto items = data.Get(id);
+    uint64_t vh = Mix64(items.size() + 1);
+    for (ItemId item : items) vh = MixPair(vh, Mix64(item));
+    h = MixPair(h, vh);
+  }
+  return h;
+}
+
+bool WriteParams(std::ostream& out, const SkewedIndexOptions& options,
+                 double verify_threshold, const IndexBuildStats& stats) {
+  uint8_t mode = options.mode == IndexMode::kAdversarial ? 0 : 1;
+  uint8_t engine = options.hash_engine == HashEngine::kMixer ? 0 : 1;
+  uint8_t measure = static_cast<uint8_t>(options.verify_measure);
+  return WritePod(out, mode) && WritePod(out, engine) &&
+         WritePod(out, measure) && WritePod(out, options.b1) &&
+         WritePod(out, options.alpha) && WritePod(out, options.seed) &&
+         WritePod(out, options.max_depth) &&
+         WritePod(out, options.max_paths_per_element) &&
+         WritePod(out, verify_threshold) &&
+         WritePod(out, stats.repetitions) && WritePod(out, stats.delta_used) &&
+         WritePod(out, stats.total_filters) &&
+         WritePod(out, stats.distinct_keys) &&
+         WritePod(out, stats.avg_filters_per_element) &&
+         WritePod(out, stats.cap_hits) && WritePod(out, stats.nodes_expanded);
+}
+
+Status ReadParams(std::istream& in, ParamHeader* header) {
+  uint8_t mode = 0, engine = 0, measure = 0;
+  SkewedIndexOptions& options = header->options;
+  IndexBuildStats& stats = header->stats;
+  bool ok = ReadPod(in, &mode) && ReadPod(in, &engine) &&
+            ReadPod(in, &measure) && ReadPod(in, &options.b1) &&
+            ReadPod(in, &options.alpha) && ReadPod(in, &options.seed) &&
+            ReadPod(in, &options.max_depth) &&
+            ReadPod(in, &options.max_paths_per_element) &&
+            ReadPod(in, &header->verify_threshold) &&
+            ReadPod(in, &stats.repetitions) && ReadPod(in, &stats.delta_used) &&
+            ReadPod(in, &stats.total_filters) &&
+            ReadPod(in, &stats.distinct_keys) &&
+            ReadPod(in, &stats.avg_filters_per_element) &&
+            ReadPod(in, &stats.cap_hits) && ReadPod(in, &stats.nodes_expanded);
+  if (!ok) return Status::InvalidArgument("truncated index header");
+  // Field-level sanity before anything derived is touched: a corrupted
+  // header must yield a clean error, never a crash or a runaway
+  // allocation downstream.
+  if (mode > 1 || engine > 1 ||
+      measure > static_cast<uint8_t>(Measure::kCosine)) {
+    return Status::InvalidArgument("corrupt index header: bad enum field");
+  }
+  options.mode = mode == 0 ? IndexMode::kAdversarial : IndexMode::kCorrelated;
+  options.hash_engine =
+      engine == 0 ? HashEngine::kMixer : HashEngine::kPairwise;
+  options.verify_measure = static_cast<Measure>(measure);
+  options.repetitions = stats.repetitions;
+  return Status::OK();
+}
+
+}  // namespace index_io_internal
+}  // namespace skewsearch

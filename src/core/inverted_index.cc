@@ -4,30 +4,20 @@
 #include <istream>
 #include <ostream>
 
+#include "core/index_io.h"
+
 namespace skewsearch {
 
 namespace {
 
 template <typename T>
 bool WriteVector(std::ostream* out, const std::vector<T>& values) {
-  uint64_t count = values.size();
-  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out->write(reinterpret_cast<const char*>(values.data()),
-             static_cast<std::streamsize>(count * sizeof(T)));
-  return static_cast<bool>(*out);
+  return index_io_internal::WriteVector(*out, values);
 }
 
 template <typename T>
 bool ReadVector(std::istream* in, std::vector<T>* values) {
-  uint64_t count = 0;
-  in->read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!*in) return false;
-  // Guard absurd sizes against corrupted headers before allocating.
-  if (count > (uint64_t{1} << 40) / sizeof(T)) return false;
-  values->resize(count);
-  in->read(reinterpret_cast<char*>(values->data()),
-           static_cast<std::streamsize>(count * sizeof(T)));
-  return static_cast<bool>(*in);
+  return index_io_internal::ReadVector(*in, values);
 }
 
 }  // namespace

@@ -38,6 +38,17 @@ class FilterTable {
   /// Freeze().
   std::span<const VectorId> Lookup(uint64_t key) const;
 
+  /// \name Positional access to the frozen table (iteration order is by
+  /// ascending key). Used by compaction, serialization and validation.
+  /// Only valid after Freeze(); \p idx must be < num_keys().
+  /// @{
+  uint64_t key_at(size_t idx) const { return keys_[idx]; }
+  std::span<const VectorId> postings_at(size_t idx) const {
+    return {ids_.data() + offsets_[idx],
+            static_cast<size_t>(offsets_[idx + 1] - offsets_[idx])};
+  }
+  /// @}
+
   /// Number of stored (key, id) pairs. Counts the same pairs before and
   /// after Freeze(): the staging list while building, the frozen posting
   /// lists afterwards (Freeze neither adds nor drops pairs).

@@ -1,0 +1,456 @@
+#include "core/sharded_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "core/batch.h"
+#include "core/index_io.h"
+#include "hashing/mix.h"
+#include "sim/measures.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+namespace {
+
+constexpr char kShardedMagic[4] = {'S', 'K', 'S', '1'};
+constexpr int kMaxShards = 1 << 12;
+
+}  // namespace
+
+int ShardedIndex::ShardOf(VectorId id, int num_shards) {
+  return static_cast<int>(Mix64(id) % static_cast<uint64_t>(num_shards));
+}
+
+Status ShardedIndex::Build(const Dataset* data,
+                           const ProductDistribution* dist,
+                           const ShardedIndexOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, 4096]");
+  }
+  Result<FilterFamily> family =
+      FilterFamily::Create(dist, options.index, data->size());
+  if (!family.ok()) return family.status();
+
+  Timer timer;
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  family_ = std::move(family).value();
+
+  build_stats_ = IndexBuildStats{};
+  build_stats_.repetitions = family_.repetitions();
+  build_stats_.delta_used = family_.delta();
+  SKEWSEARCH_RETURN_NOT_OK(sharded_internal::BuildShardTables(
+      *data, family_, options.num_shards, options.index.build_threads,
+      &build_stats_, &shards_));
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+namespace sharded_internal {
+
+Status BuildShardTables(const Dataset& data, const FilterFamily& family,
+                        int num_shards, int build_threads,
+                        IndexBuildStats* stats,
+                        std::vector<FilterTable>* shards,
+                        std::vector<uint32_t>* entry_counts) {
+  const size_t n = data.size();
+  const int reps = family.repetitions();
+  shards->assign(static_cast<size_t>(num_shards), FilterTable());
+  // Each id is handled by exactly one worker, so slots write disjoint
+  // entries and no synchronization is needed.
+  if (entry_counts != nullptr) entry_counts->assign(n, 0);
+
+  // The partition is a pure function of the id, so build parallelism
+  // cannot move a vector between shards.
+  auto emit = [&](uint64_t key, VectorId id) {
+    (*shards)[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards))].Add(
+        key, id);
+  };
+
+  if (build_threads <= 1) {
+    std::vector<uint64_t> keys;
+    for (VectorId id = 0; id < n; ++id) {
+      auto x = data.Get(id);
+      for (int rep = 0; rep < reps; ++rep) {
+        keys.clear();
+        PathGenStats gen;
+        family.ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
+        stats->nodes_expanded += gen.nodes_expanded;
+        if (gen.cap_hit) stats->cap_hits++;
+        for (uint64_t key : keys) emit(key, id);
+        stats->total_filters += keys.size();
+        if (entry_counts != nullptr) {
+          (*entry_counts)[id] += static_cast<uint32_t>(keys.size());
+        }
+      }
+    }
+  } else {
+    struct Slot {
+      std::vector<std::pair<uint64_t, VectorId>> pairs;
+      std::vector<uint64_t> keys;
+      size_t nodes_expanded = 0;
+      size_t cap_hits = 0;
+    };
+    ThreadPool pool(build_threads);
+    std::vector<Slot> slots(static_cast<size_t>(pool.num_threads()));
+    pool.ParallelFor(n, /*grain=*/64, [&](size_t begin, size_t end,
+                                          int slot_id) {
+      Slot& slot = slots[static_cast<size_t>(slot_id)];
+      for (size_t id = begin; id < end; ++id) {
+        auto x = data.Get(static_cast<VectorId>(id));
+        for (int rep = 0; rep < reps; ++rep) {
+          slot.keys.clear();
+          PathGenStats gen;
+          family.ComputeFilters(x, static_cast<uint32_t>(rep), &slot.keys,
+                                &gen);
+          slot.nodes_expanded += gen.nodes_expanded;
+          if (gen.cap_hit) slot.cap_hits++;
+          for (uint64_t key : slot.keys) {
+            slot.pairs.push_back({key, static_cast<VectorId>(id)});
+          }
+          if (entry_counts != nullptr) {
+            (*entry_counts)[id] += static_cast<uint32_t>(slot.keys.size());
+          }
+        }
+      }
+    });
+    for (const Slot& slot : slots) {
+      stats->nodes_expanded += slot.nodes_expanded;
+      stats->cap_hits += slot.cap_hits;
+      for (const auto& [key, id] : slot.pairs) emit(key, id);
+      stats->total_filters += slot.pairs.size();
+    }
+  }
+  for (FilterTable& shard : *shards) {
+    shard.Freeze();
+    stats->distinct_keys += shard.num_keys();
+  }
+  stats->avg_filters_per_element =
+      static_cast<double>(stats->total_filters) /
+      (static_cast<double>(n) * std::max(1, reps));
+  return Status::OK();
+}
+
+}  // namespace sharded_internal
+
+// Per-query workspace reused across a batch: key buffer, one dedup set
+// per shard, the per-(rep, shard) hit/stat slots, and path-generation
+// counters for batch aggregation.
+struct ShardedIndex::QueryScratch {
+  std::vector<uint64_t> keys;
+  std::vector<std::unordered_set<VectorId>> seen;
+  std::vector<RepHit> hits;
+  std::vector<QueryStats> shard_stats;
+  PathGenStats path_gen;
+};
+
+ShardedIndex::RepHit ShardedIndex::ScanShardRep(
+    const FilterTable& table, std::span<const ItemId> query,
+    const std::vector<uint64_t>& keys, std::unordered_set<VectorId>* seen,
+    QueryStats* stats) const {
+  RepHit hit;
+  const double threshold = family_.verify_threshold();
+  for (size_t ki = 0; ki < keys.size(); ++ki) {
+    auto postings = table.Lookup(keys[ki]);
+    stats->candidates += postings.size();
+    for (VectorId id : postings) {
+      if (!seen->insert(id).second) continue;
+      stats->verifications++;
+      double sim = Similarity(options_.index.verify_measure, query,
+                              data_->Get(id));
+      if (sim >= threshold) {
+        hit.found = true;
+        hit.key_idx = ki;
+        hit.id = id;
+        hit.similarity = sim;
+        return hit;
+      }
+    }
+  }
+  return hit;
+}
+
+std::optional<Match> ShardedIndex::Query(std::span<const ItemId> query,
+                                         QueryStats* stats) const {
+  return Query(query, nullptr, stats);
+}
+
+std::optional<Match> ShardedIndex::Query(std::span<const ItemId> query,
+                                         ThreadPool* pool,
+                                         QueryStats* stats) const {
+  QueryScratch scratch;
+  return QueryImpl(query, pool, stats, &scratch);
+}
+
+std::optional<Match> ShardedIndex::QueryImpl(std::span<const ItemId> query,
+                                             ThreadPool* pool,
+                                             QueryStats* stats,
+                                             QueryScratch* scratch) const {
+  Timer timer;
+  QueryStats local;
+  std::optional<Match> found;
+  if (built() && !query.empty()) {
+    const int num = num_shards();
+    scratch->seen.resize(static_cast<size_t>(num));
+    for (auto& seen : scratch->seen) seen.clear();
+    for (int rep = 0; rep < family_.repetitions() && !found; ++rep) {
+      scratch->keys.clear();
+      PathGenStats gen;
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep),
+                             &scratch->keys, &gen);
+      AddPathGenStats(&scratch->path_gen, gen);
+      local.filters += scratch->keys.size();
+      scratch->hits.assign(static_cast<size_t>(num), RepHit{});
+      scratch->shard_stats.assign(static_cast<size_t>(num), QueryStats{});
+      auto scan_shard = [&](size_t s) {
+        scratch->hits[s] =
+            ScanShardRep(shards_[s], query, scratch->keys,
+                         &scratch->seen[s], &scratch->shard_stats[s]);
+      };
+      if (pool != nullptr && num > 1) {
+        pool->ParallelFor(static_cast<size_t>(num), /*grain=*/1,
+                          [&](size_t begin, size_t end, int) {
+                            for (size_t s = begin; s < end; ++s) {
+                              scan_shard(s);
+                            }
+                          });
+      } else {
+        for (size_t s = 0; s < static_cast<size_t>(num); ++s) scan_shard(s);
+      }
+      // Merge by scan coordinate: the unsharded index checks candidates
+      // in (key position, id-within-posting-list) order, so the minimal
+      // (key_idx, id) over the shard winners is exactly its first hit.
+      const RepHit* best = nullptr;
+      for (const RepHit& hit : scratch->hits) {
+        if (!hit.found) continue;
+        if (best == nullptr || hit.key_idx < best->key_idx ||
+            (hit.key_idx == best->key_idx && hit.id < best->id)) {
+          best = &hit;
+        }
+      }
+      for (const QueryStats& qs : scratch->shard_stats) {
+        local.candidates += qs.candidates;
+        local.verifications += qs.verifications;
+      }
+      if (best != nullptr) found = Match{best->id, best->similarity};
+    }
+    size_t distinct = 0;
+    for (const auto& seen : scratch->seen) distinct += seen.size();
+    local.distinct_candidates = distinct;
+  }
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return found;
+}
+
+std::vector<Match> ShardedIndex::QueryAll(std::span<const ItemId> query,
+                                          double threshold, QueryStats* stats,
+                                          ThreadPool* pool) const {
+  Timer timer;
+  QueryStats local;
+  std::vector<Match> out;
+  if (built() && !query.empty()) {
+    // QueryAll exhausts every repetition, so all keys can be computed up
+    // front and each shard scanned exactly once.
+    std::vector<uint64_t> keys;
+    for (int rep = 0; rep < family_.repetitions(); ++rep) {
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                             nullptr);
+    }
+    local.filters = keys.size();
+    const size_t num = shards_.size();
+    std::vector<std::vector<Match>> matches(num);
+    std::vector<QueryStats> shard_stats(num);
+    std::vector<size_t> distinct(num, 0);
+    auto scan_shard = [&](size_t s) {
+      std::unordered_set<VectorId> seen;
+      for (uint64_t key : keys) {
+        auto postings = shards_[s].Lookup(key);
+        shard_stats[s].candidates += postings.size();
+        for (VectorId id : postings) {
+          if (!seen.insert(id).second) continue;
+          shard_stats[s].verifications++;
+          double sim = Similarity(options_.index.verify_measure, query,
+                                  data_->Get(id));
+          if (sim >= threshold) matches[s].push_back({id, sim});
+        }
+      }
+      distinct[s] = seen.size();
+    };
+    if (pool != nullptr && num > 1) {
+      pool->ParallelFor(num, /*grain=*/1,
+                        [&](size_t begin, size_t end, int) {
+                          for (size_t s = begin; s < end; ++s) scan_shard(s);
+                        });
+    } else {
+      for (size_t s = 0; s < num; ++s) scan_shard(s);
+    }
+    for (size_t s = 0; s < num; ++s) {
+      local.candidates += shard_stats[s].candidates;
+      local.verifications += shard_stats[s].verifications;
+      local.distinct_candidates += distinct[s];
+      out.insert(out.end(), matches[s].begin(), matches[s].end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::optional<Match>> ShardedIndex::BatchQuery(
+    const Dataset& queries, int threads, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  return batch_internal::RunWithTransientPool(threads, [&](ThreadPool* pool) {
+    return BatchQuery(queries, pool, stats, batch_stats);
+  });
+}
+
+std::vector<std::optional<Match>> ShardedIndex::BatchQuery(
+    const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
+    BatchQueryStats* batch_stats) const {
+  // The batch is parallelized over queries; each query scans its shards
+  // serially (fanning a query's shards onto the same pool would deadlock
+  // a worker waiting on its own pool).
+  return batch_internal::Run<QueryScratch>(
+      queries, pool, stats, batch_stats,
+      [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
+        return QueryImpl(queries.Get(static_cast<VectorId>(i)), nullptr,
+                         query_stats, scratch);
+      },
+      [](const QueryScratch& scratch, BatchQueryStats* agg) {
+        AddPathGenStats(&agg->path_gen, scratch.path_gen);
+      });
+}
+
+std::vector<uint64_t> ShardedIndex::ComputeFilterKeys(
+    std::span<const ItemId> query) const {
+  std::vector<uint64_t> keys;
+  if (!built()) return keys;
+  for (int rep = 0; rep < family_.repetitions(); ++rep) {
+    family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, nullptr);
+  }
+  return keys;
+}
+
+size_t ShardedIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const FilterTable& shard : shards_) total += shard.MemoryBytes();
+  return total;
+}
+
+Status ShardedIndex::Save(const std::string& path) const {
+  namespace io = index_io_internal;
+  if (!built()) {
+    return Status::InvalidArgument("cannot save an unbuilt index");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(kShardedMagic, sizeof(kShardedMagic));
+  uint32_t num_shards = static_cast<uint32_t>(shards_.size());
+  bool ok = io::WriteParams(out, options_.index, family_.verify_threshold(),
+                            build_stats_) &&
+            io::WritePod(out, io::Fingerprint(*data_)) &&
+            io::WritePod(out, num_shards);
+  if (!ok) return Status::IOError("header write to '" + path + "' failed");
+  for (const FilterTable& shard : shards_) {
+    SKEWSEARCH_RETURN_NOT_OK(shard.WriteTo(&out));
+  }
+  out.flush();
+  if (!out) return Status::IOError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Status ShardedIndex::Load(const std::string& path, const Dataset* data,
+                          const ProductDistribution* dist) {
+  namespace io = index_io_internal;
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kShardedMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "'" + path + "' is not a skewsearch sharded index file");
+  }
+  io::ParamHeader header;
+  Status params = io::ReadParams(in, &header);
+  if (!params.ok()) {
+    return Status::InvalidArgument(params.message() + " in '" + path + "'");
+  }
+  uint64_t fingerprint = 0;
+  uint32_t num_shards = 0;
+  if (!io::ReadPod(in, &fingerprint) || !io::ReadPod(in, &num_shards)) {
+    return Status::InvalidArgument("truncated index header in '" + path +
+                                   "'");
+  }
+  if (fingerprint != io::Fingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one this index was built from");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("corrupt shard count in '" + path + "'");
+  }
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index header in '" + path +
+                                   "': " + family.status().message());
+  }
+
+  std::vector<FilterTable> shards(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    SKEWSEARCH_RETURN_NOT_OK(shards[s].ReadFrom(&in));
+    // Every posting must reference the dataset *and* live in the shard
+    // its id hashes to; anything else is corruption.
+    for (size_t k = 0; k < shards[s].num_keys(); ++k) {
+      for (VectorId id : shards[s].postings_at(k)) {
+        if (id >= data->size() ||
+            ShardOf(id, static_cast<int>(num_shards)) !=
+                static_cast<int>(s)) {
+          return Status::InvalidArgument(
+              "shard table references out-of-place vector ids");
+        }
+      }
+    }
+  }
+
+  data_ = data;
+  dist_ = dist;
+  options_.index = header.options;
+  options_.num_shards = static_cast<int>(num_shards);
+  family_ = std::move(family).value();
+  build_stats_ = header.stats;
+  shards_ = std::move(shards);
+  return Status::OK();
+}
+
+}  // namespace skewsearch

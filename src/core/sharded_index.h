@@ -1,0 +1,186 @@
+// Copyright 2026 The skewsearch Authors.
+// ShardedIndex: the paper's index, hash-partitioned across K shards.
+//
+// The L-repetition filter family is a deterministic function of
+// (seed, repetition, vector) alone — it never looks at which vectors are
+// stored. A sharded build therefore runs the *same* family as a
+// monolithic build and only splits the posting lists: shard s holds the
+// (filter key, id) pairs of the vectors with ShardOf(id) == s. A query
+// computes its filter keys once per repetition, fans the table lookups
+// out over the shards (optionally on a ThreadPool), and merges by the
+// scan coordinate (repetition, key position, id) — which makes the
+// result *byte-identical* to an unsharded SkewedPathIndex for every
+// shard count and thread count. Per-query work counters differ (shards
+// other than the winning one scan to the end of the repetition), but
+// results never do.
+//
+// This is the skew-aware analogue of LSF-Join's partitioning insight:
+// the repetition structure is naturally shard-friendly because each
+// repetition is a standalone filter family.
+
+#ifndef SKEWSEARCH_CORE_SHARDED_INDEX_H_
+#define SKEWSEARCH_CORE_SHARDED_INDEX_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/query_stats.h"
+#include "core/skewed_index.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "sim/brute_force.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+class ThreadPool;  // util/thread_pool.h
+
+/// \brief Configuration of a sharded build.
+struct ShardedIndexOptions {
+  /// Per-shard index configuration; the seed is shared by all shards (it
+  /// must be, for the family to match a monolithic build).
+  SkewedIndexOptions index;
+
+  /// Number of hash partitions K (>= 1).
+  int num_shards = 4;
+};
+
+/// \brief The paper's index, split into K hash partitions.
+///
+/// The dataset and distribution are borrowed and must outlive the index.
+/// Queries are const and safe to issue from multiple threads.
+class ShardedIndex {
+ public:
+  ShardedIndex() = default;
+
+  /// Stable hash partition of vector ids (same for every build with the
+  /// same K, so Save/Load and incremental layers agree on placement).
+  static int ShardOf(VectorId id, int num_shards);
+
+  /// Builds the K per-shard posting tables over \p data.
+  Status Build(const Dataset* data, const ProductDistribution* dist,
+               const ShardedIndexOptions& options);
+
+  /// Returns the same match an unsharded SkewedPathIndex::Query would,
+  /// scanning shards serially on the calling thread.
+  std::optional<Match> Query(std::span<const ItemId> query,
+                             QueryStats* stats = nullptr) const;
+
+  /// Same result, but each repetition's shard scans fan out over \p pool
+  /// (null = serial). Must not be called from a worker of \p pool.
+  std::optional<Match> Query(std::span<const ItemId> query, ThreadPool* pool,
+                             QueryStats* stats = nullptr) const;
+
+  /// All distinct matches with similarity >= \p threshold, sorted by
+  /// descending similarity (ties by id) — identical to the unsharded
+  /// QueryAll. Shard scans fan out over \p pool when given.
+  std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
+                              QueryStats* stats = nullptr,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Answers every vector of \p queries as a Query(), parallelized over
+  /// the batch (each query scans its shards serially, so worker counts
+  /// never change results). <= 1 thread runs serially.
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, int threads = 0,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Same, on a caller-owned pool (null = serial).
+  std::vector<std::optional<Match>> BatchQuery(
+      const Dataset& queries, ThreadPool* pool,
+      std::vector<QueryStats>* stats = nullptr,
+      BatchQueryStats* batch_stats = nullptr) const;
+
+  /// Persists the sharded index (parameters + K posting tables + dataset
+  /// fingerprint). Only valid after Build().
+  Status Save(const std::string& path) const;
+
+  /// Restores an index saved with Save(); the caller re-supplies the same
+  /// dataset and distribution (fingerprint-checked).
+  Status Load(const std::string& path, const Dataset* data,
+              const ProductDistribution* dist);
+
+  /// The filter keys the index probes for \p query (diagnostics/tests).
+  std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
+
+  /// True after a successful Build()/Load().
+  bool built() const { return family_.valid(); }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int repetitions() const { return family_.repetitions(); }
+  double verify_threshold() const { return family_.verify_threshold(); }
+  const FilterFamily& family() const { return family_; }
+  const ShardedIndexOptions& options() const { return options_; }
+
+  /// Aggregate build counters. distinct_keys counts distinct
+  /// (shard, key) pairs — a key shared by two shards counts twice.
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+
+  /// Posting entries stored in shard \p s (balance diagnostics).
+  size_t shard_entries(int s) const {
+    return shards_[static_cast<size_t>(s)].num_pairs();
+  }
+
+  /// The frozen posting table of shard \p s (used by the dynamic layer
+  /// and tests).
+  const FilterTable& shard_table(int s) const {
+    return shards_[static_cast<size_t>(s)];
+  }
+
+  /// Approximate heap usage of all shard tables.
+  size_t MemoryBytes() const;
+
+ private:
+  struct QueryScratch;  // defined in sharded_index.cc
+
+  /// First passing candidate of one (repetition, shard) scan, tagged
+  /// with its scan coordinate for the cross-shard merge.
+  struct RepHit {
+    bool found = false;
+    size_t key_idx = 0;
+    VectorId id = 0;
+    double similarity = 0.0;
+  };
+
+  RepHit ScanShardRep(const FilterTable& table, std::span<const ItemId> query,
+                      const std::vector<uint64_t>& keys,
+                      std::unordered_set<VectorId>* seen,
+                      QueryStats* stats) const;
+
+  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+                                 ThreadPool* pool, QueryStats* stats,
+                                 QueryScratch* scratch) const;
+
+  const Dataset* data_ = nullptr;
+  const ProductDistribution* dist_ = nullptr;
+  ShardedIndexOptions options_;
+  FilterFamily family_;
+  std::vector<FilterTable> shards_;
+  IndexBuildStats build_stats_;
+};
+
+namespace sharded_internal {
+
+/// Runs \p family over every vector of \p data and freezes one posting
+/// table per shard (pairs routed by ShardedIndex::ShardOf). Shared by the
+/// static ShardedIndex and the dynamic layer so both partitions are
+/// guaranteed to agree. Accumulates into \p stats (repetitions/delta are
+/// left untouched). \p entry_counts (optional) receives each vector's
+/// posting-entry count — the dynamic layer uses it to make Remove() O(1)
+/// instead of replaying path generation.
+Status BuildShardTables(const Dataset& data, const FilterFamily& family,
+                        int num_shards, int build_threads,
+                        IndexBuildStats* stats,
+                        std::vector<FilterTable>* shards,
+                        std::vector<uint32_t>* entry_counts = nullptr);
+
+}  // namespace sharded_internal
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_SHARDED_INDEX_H_

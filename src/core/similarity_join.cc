@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/sharded_index.h"
 #include "util/timer.h"
 
 namespace skewsearch {
@@ -16,12 +17,30 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                                        bool self_join, JoinStats* stats) {
   JoinStats local;
   Timer build_timer;
+  // Either build side answers QueryAll identically; the sharded one
+  // splits the posting lists across num_shards partitions.
   SkewedPathIndex index;
-  SKEWSEARCH_RETURN_NOT_OK(index.Build(&right, &dist, options.index));
+  ShardedIndex sharded;
+  const bool use_shards = options.num_shards > 1;
+  if (use_shards) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.index = options.index;
+    sharded_options.num_shards = options.num_shards;
+    SKEWSEARCH_RETURN_NOT_OK(sharded.Build(&right, &dist, sharded_options));
+  } else {
+    SKEWSEARCH_RETURN_NOT_OK(index.Build(&right, &dist, options.index));
+  }
   local.build_seconds = build_timer.ElapsedSeconds();
 
-  double threshold =
-      options.threshold >= 0.0 ? options.threshold : index.verify_threshold();
+  auto query_all = [&](std::span<const ItemId> query, double thresh,
+                       QueryStats* query_stats) {
+    return use_shards ? sharded.QueryAll(query, thresh, query_stats)
+                      : index.QueryAll(query, thresh, query_stats);
+  };
+  double threshold = options.threshold >= 0.0
+                         ? options.threshold
+                         : (use_shards ? sharded.verify_threshold()
+                                       : index.verify_threshold());
 
   Timer probe_timer;
   std::vector<JoinPair> out;
@@ -30,7 +49,7 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                          size_t* verifications) {
     for (VectorId lid = begin; lid < end; ++lid) {
       QueryStats qs;
-      auto matches = index.QueryAll(left.Get(lid), threshold, &qs);
+      auto matches = query_all(left.Get(lid), threshold, &qs);
       *candidates += qs.candidates;
       *verifications += qs.verifications;
       for (const Match& m : matches) {

@@ -8,8 +8,8 @@
 #include <unordered_set>
 
 #include "core/batch.h"
+#include "core/index_io.h"
 #include "core/rho.h"
-#include "hashing/mix.h"
 #include "sim/measures.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -18,38 +18,48 @@
 
 namespace skewsearch {
 
-Status SkewedPathIndex::Build(const Dataset* data,
-                              const ProductDistribution* dist,
-                              const SkewedIndexOptions& options) {
-  if (data == nullptr || dist == nullptr) {
-    return Status::InvalidArgument("data and dist must be non-null");
+namespace {
+
+Status ValidateFamilyOptions(const ProductDistribution* dist,
+                             const SkewedIndexOptions& options, size_t n) {
+  if (dist == nullptr) {
+    return Status::InvalidArgument("dist must be non-null");
   }
-  if (data->size() < 2) {
+  if (n < 2) {
     return Status::InvalidArgument("dataset needs at least 2 vectors");
   }
-  if (data->dimension() > dist->dimension()) {
-    return Status::InvalidArgument(
-        "dataset items exceed the distribution's universe");
-  }
+  // Negated-conjunction form so NaN (e.g. from a corrupted index header)
+  // fails the check instead of slipping past both one-sided comparisons.
   if (options.mode == IndexMode::kAdversarial &&
-      (options.b1 <= 0.0 || options.b1 >= 1.0)) {
+      !(options.b1 > 0.0 && options.b1 < 1.0)) {
     return Status::InvalidArgument("b1 must be in (0, 1)");
   }
   if (options.mode == IndexMode::kCorrelated &&
-      (options.alpha <= 0.0 || options.alpha > 1.0)) {
+      !(options.alpha > 0.0 && options.alpha <= 1.0)) {
     return Status::InvalidArgument("alpha must be in (0, 1]");
   }
+  if (options.max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be >= 1");
+  }
+  if (options.max_paths_per_element == 0) {
+    return Status::InvalidArgument("max_paths_per_element must be > 0");
+  }
+  return Status::OK();
+}
 
-  Timer timer;
-  data_ = data;
-  dist_ = dist;
-  options_ = options;
+}  // namespace
 
-  const size_t n = data->size();
+Result<FilterFamily> FilterFamily::Create(const ProductDistribution* dist,
+                                          const SkewedIndexOptions& options,
+                                          size_t n) {
+  SKEWSEARCH_RETURN_NOT_OK(ValidateFamilyOptions(dist, options, n));
+
   const double log_n = std::log(static_cast<double>(n));
   const double c_constant = dist->CForN(n);
 
-  // Derived parameters -------------------------------------------------
+  FilterFamily family;
+  family.options_ = options;
+
   double delta = options.delta;
   if (options.mode == IndexMode::kCorrelated) {
     double paper_delta =
@@ -66,12 +76,13 @@ Status SkewedPathIndex::Build(const Dataset* data,
   } else {
     delta = 0.0;
   }
+  family.delta_ = delta;
 
-  verify_threshold_ = options.verify_threshold;
-  if (verify_threshold_ < 0.0) {
-    verify_threshold_ = options.mode == IndexMode::kAdversarial
-                            ? options.b1
-                            : options.alpha / 1.3;
+  family.verify_threshold_ = options.verify_threshold;
+  if (family.verify_threshold_ < 0.0) {
+    family.verify_threshold_ = options.mode == IndexMode::kAdversarial
+                                   ? options.b1
+                                   : options.alpha / 1.3;
   }
 
   int reps = options.repetitions;
@@ -79,13 +90,106 @@ Status SkewedPathIndex::Build(const Dataset* data,
     reps = static_cast<int>(
         std::ceil(options.repetition_boost * std::max(1.0, log_n)));
   }
+  family.repetitions_ = reps;
 
-  SetupEngine(n, delta);
+  SKEWSEARCH_RETURN_NOT_OK(family.Init(dist, n));
+  return family;
+}
+
+Result<FilterFamily> FilterFamily::Restore(const ProductDistribution* dist,
+                                           const SkewedIndexOptions& options,
+                                           size_t n, int repetitions,
+                                           double delta,
+                                           double verify_threshold) {
+  SKEWSEARCH_RETURN_NOT_OK(ValidateFamilyOptions(dist, options, n));
+  if (repetitions < 1 || repetitions > (1 << 20)) {
+    return Status::InvalidArgument("repetition count out of range");
+  }
+  if (!std::isfinite(delta) || delta < 0.0) {
+    return Status::InvalidArgument("delta must be finite and >= 0");
+  }
+  if (!std::isfinite(verify_threshold) || verify_threshold < 0.0 ||
+      verify_threshold > 1.0) {
+    return Status::InvalidArgument("verify threshold must be in [0, 1]");
+  }
+  FilterFamily family;
+  family.options_ = options;
+  family.repetitions_ = repetitions;
+  family.delta_ = delta;
+  family.verify_threshold_ = verify_threshold;
+  SKEWSEARCH_RETURN_NOT_OK(family.Init(dist, n));
+  return family;
+}
+
+Status FilterFamily::Init(const ProductDistribution* dist, size_t n) {
+  dist_ = dist;
+  const double log_n = std::log(static_cast<double>(n));
+  if (options_.mode == IndexMode::kAdversarial) {
+    policy_ = std::make_unique<AdversarialPolicy>(options_.b1);
+  } else {
+    policy_ =
+        std::make_unique<CorrelatedPolicy>(dist_, options_.alpha, delta_);
+  }
+  // All p_i <= max_p < 1, so every path step adds >= ln(1/max_p) to the
+  // stop sum; depth never exceeds ln n / ln(1/max_p) (+1 for the step that
+  // crosses the boundary, +1 slack).
+  int depth_bound = options_.max_depth;
+  if (dist_->MaxP() < 1.0) {
+    double per_step = -std::log(dist_->MaxP());
+    if (per_step > 1e-9) {
+      depth_bound = std::min(
+          depth_bound, static_cast<int>(std::ceil(log_n / per_step)) + 2);
+    }
+  }
+  hasher_ = std::make_unique<PathHasher>(options_.seed, depth_bound,
+                                         options_.hash_engine);
+  PathEngineOptions engine_options;
+  engine_options.stop_rule = StopRule::kProbability;
+  engine_options.log_n = log_n;
+  engine_options.max_depth = depth_bound;
+  engine_options.max_paths = options_.max_paths_per_element;
+  engine_options.without_replacement = true;
+  engine_ = std::make_unique<PathEngine>(dist_, policy_.get(), hasher_.get(),
+                                         engine_options);
+  return Status::OK();
+}
+
+void FilterFamily::ComputeFilters(std::span<const ItemId> x, uint32_t rep,
+                                  std::vector<uint64_t>* keys,
+                                  PathGenStats* stats) const {
+  engine_->ComputeFilters(x, rep, keys, stats);
+}
+
+Status SkewedPathIndex::Build(const Dataset* data,
+                              const ProductDistribution* dist,
+                              const SkewedIndexOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  Result<FilterFamily> family = FilterFamily::Create(dist, options,
+                                                     data->size());
+  if (!family.ok()) return family.status();
+
+  Timer timer;
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  family_ = std::move(family).value();
+
+  const size_t n = data->size();
+  const int reps = family_.repetitions();
 
   // Populate the inverted index -----------------------------------------
   build_stats_ = IndexBuildStats{};
   build_stats_.repetitions = reps;
-  build_stats_.delta_used = delta;
+  build_stats_.delta_used = family_.delta();
   table_ = FilterTable();
 
   int threads = options.build_threads;
@@ -96,7 +200,7 @@ Status SkewedPathIndex::Build(const Dataset* data,
       for (int rep = 0; rep < reps; ++rep) {
         keys.clear();
         PathGenStats gen;
-        engine_->ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
+        family_.ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
         build_stats_.nodes_expanded += gen.nodes_expanded;
         if (gen.cap_hit) build_stats_.cap_hits++;
         for (uint64_t key : keys) table_.Add(key, id);
@@ -124,8 +228,8 @@ Status SkewedPathIndex::Build(const Dataset* data,
         for (int rep = 0; rep < reps; ++rep) {
           shard.keys.clear();
           PathGenStats gen;
-          engine_->ComputeFilters(x, static_cast<uint32_t>(rep),
-                                  &shard.keys, &gen);
+          family_.ComputeFilters(x, static_cast<uint32_t>(rep),
+                                 &shard.keys, &gen);
           shard.nodes_expanded += gen.nodes_expanded;
           if (gen.cap_hit) shard.cap_hits++;
           for (uint64_t key : shard.keys) {
@@ -159,44 +263,12 @@ Status SkewedPathIndex::Build(const Dataset* data,
   return Status::OK();
 }
 
-void SkewedPathIndex::SetupEngine(size_t n, double delta) {
-  const double log_n = std::log(static_cast<double>(n));
-  if (options_.mode == IndexMode::kAdversarial) {
-    policy_ = std::make_unique<AdversarialPolicy>(options_.b1);
-  } else {
-    policy_ =
-        std::make_unique<CorrelatedPolicy>(dist_, options_.alpha, delta);
-  }
-  // All p_i <= max_p < 1, so every path step adds >= ln(1/max_p) to the
-  // stop sum; depth never exceeds ln n / ln(1/max_p) (+1 for the step that
-  // crosses the boundary, +1 slack).
-  int depth_bound = options_.max_depth;
-  if (dist_->MaxP() < 1.0) {
-    double per_step = -std::log(dist_->MaxP());
-    if (per_step > 1e-9) {
-      depth_bound = std::min(
-          depth_bound, static_cast<int>(std::ceil(log_n / per_step)) + 2);
-    }
-  }
-  hasher_ = std::make_unique<PathHasher>(options_.seed, depth_bound,
-                                         options_.hash_engine);
-  PathEngineOptions engine_options;
-  engine_options.stop_rule = StopRule::kProbability;
-  engine_options.log_n = log_n;
-  engine_options.max_depth = depth_bound;
-  engine_options.max_paths = options_.max_paths_per_element;
-  engine_options.without_replacement = true;
-  engine_ = std::make_unique<PathEngine>(dist_, policy_.get(),
-                                         hasher_.get(), engine_options);
-}
-
 std::vector<uint64_t> SkewedPathIndex::ComputeFilterKeys(
     std::span<const ItemId> query) const {
   std::vector<uint64_t> keys;
-  if (engine_ == nullptr) return keys;
+  if (!family_.valid()) return keys;
   for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
-    engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                            nullptr);
+    family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, nullptr);
   }
   return keys;
 }
@@ -223,15 +295,15 @@ std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
-  if (engine_ != nullptr && !query.empty()) {
+  if (family_.valid() && !query.empty()) {
+    const double threshold = family_.verify_threshold();
     std::vector<uint64_t>& keys = scratch->keys;
     std::unordered_set<VectorId>& seen = scratch->seen;
     seen.clear();
     for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
       keys.clear();
       PathGenStats gen;
-      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                              &gen);
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, &gen);
       AddPathGenStats(&scratch->path_gen, gen);
       local.filters += keys.size();
       for (uint64_t key : keys) {
@@ -242,7 +314,7 @@ std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
           local.verifications++;
           double sim =
               Similarity(options_.verify_measure, query, data_->Get(id));
-          if (sim >= verify_threshold_) {
+          if (sim >= threshold) {
             found = Match{id, sim};
             break;
           }
@@ -263,13 +335,13 @@ std::vector<Match> SkewedPathIndex::QueryAll(std::span<const ItemId> query,
   Timer timer;
   QueryStats local;
   std::vector<Match> out;
-  if (engine_ != nullptr && !query.empty()) {
+  if (family_.valid() && !query.empty()) {
     std::vector<uint64_t> keys;
     std::unordered_set<VectorId> seen;
     for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
       keys.clear();
-      engine_->ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                              nullptr);
+      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
+                             nullptr);
       local.filters += keys.size();
       for (uint64_t key : keys) {
         auto postings = table_.Lookup(key);
@@ -327,14 +399,14 @@ std::vector<std::optional<Match>> SkewedPathIndex::BatchQuery(
 
 double SkewedPathIndex::EstimateCollisionRate(
     std::span<const ItemId> a, std::span<const ItemId> b) const {
-  if (engine_ == nullptr || build_stats_.repetitions == 0) return 0.0;
+  if (!family_.valid() || build_stats_.repetitions == 0) return 0.0;
   int collisions = 0;
   std::vector<uint64_t> keys_a, keys_b;
   for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
     keys_a.clear();
     keys_b.clear();
-    engine_->ComputeFilters(a, static_cast<uint32_t>(rep), &keys_a, nullptr);
-    engine_->ComputeFilters(b, static_cast<uint32_t>(rep), &keys_b, nullptr);
+    family_.ComputeFilters(a, static_cast<uint32_t>(rep), &keys_a, nullptr);
+    family_.ComputeFilters(b, static_cast<uint32_t>(rep), &keys_b, nullptr);
     std::set<uint64_t> set_a(keys_a.begin(), keys_a.end());
     bool hit = false;
     for (uint64_t key : keys_b) {
@@ -351,7 +423,7 @@ double SkewedPathIndex::EstimateCollisionRate(
 
 Result<double> SkewedPathIndex::PredictQueryExponent(
     std::span<const ItemId> query) const {
-  if (engine_ == nullptr) {
+  if (!family_.valid()) {
     return Status::InvalidArgument("index not built");
   }
   if (options_.mode == IndexMode::kCorrelated) {
@@ -372,39 +444,11 @@ namespace {
 
 constexpr char kIndexMagic[4] = {'S', 'K', 'I', '1'};
 
-template <typename T>
-bool WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  return static_cast<bool>(out);
-}
-
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-// Cheap content fingerprint: shape plus a sampled item hash. Rejects
-// re-supplying a different dataset on Load without a full scan.
-uint64_t DatasetFingerprint(const Dataset& data) {
-  uint64_t h = Mix64(data.size() * 0x9e3779b97f4a7c15ULL ^
-                     data.TotalItems());
-  h = MixPair(h, Mix64(data.dimension()));
-  const size_t samples = std::min<size_t>(64, data.size());
-  for (size_t k = 0; k < samples; ++k) {
-    VectorId id = static_cast<VectorId>(k * data.size() / samples);
-    auto items = data.Get(id);
-    uint64_t vh = Mix64(items.size() + 1);
-    for (ItemId item : items) vh = MixPair(vh, Mix64(item));
-    h = MixPair(h, vh);
-  }
-  return h;
-}
-
 }  // namespace
 
 Status SkewedPathIndex::Save(const std::string& path) const {
-  if (engine_ == nullptr) {
+  namespace io = index_io_internal;
+  if (!family_.valid()) {
     return Status::InvalidArgument("cannot save an unbuilt index");
   }
   std::ofstream out(path, std::ios::binary);
@@ -412,23 +456,9 @@ Status SkewedPathIndex::Save(const std::string& path) const {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
   out.write(kIndexMagic, sizeof(kIndexMagic));
-  uint8_t mode = options_.mode == IndexMode::kAdversarial ? 0 : 1;
-  uint8_t engine = options_.hash_engine == HashEngine::kMixer ? 0 : 1;
-  uint8_t measure = static_cast<uint8_t>(options_.verify_measure);
-  bool ok = WritePod(out, mode) && WritePod(out, engine) &&
-            WritePod(out, measure) && WritePod(out, options_.b1) &&
-            WritePod(out, options_.alpha) && WritePod(out, options_.seed) &&
-            WritePod(out, options_.max_depth) &&
-            WritePod(out, options_.max_paths_per_element) &&
-            WritePod(out, verify_threshold_) &&
-            WritePod(out, build_stats_.repetitions) &&
-            WritePod(out, build_stats_.delta_used) &&
-            WritePod(out, build_stats_.total_filters) &&
-            WritePod(out, build_stats_.distinct_keys) &&
-            WritePod(out, build_stats_.avg_filters_per_element) &&
-            WritePod(out, build_stats_.cap_hits) &&
-            WritePod(out, build_stats_.nodes_expanded) &&
-            WritePod(out, DatasetFingerprint(*data_));
+  bool ok = io::WriteParams(out, options_, family_.verify_threshold(),
+                            build_stats_) &&
+            io::WritePod(out, io::Fingerprint(*data_));
   if (!ok) return Status::IOError("header write to '" + path + "' failed");
   SKEWSEARCH_RETURN_NOT_OK(table_.WriteTo(&out));
   out.flush();
@@ -438,6 +468,7 @@ Status SkewedPathIndex::Save(const std::string& path) const {
 
 Status SkewedPathIndex::Load(const std::string& path, const Dataset* data,
                              const ProductDistribution* dist) {
+  namespace io = index_io_internal;
   if (data == nullptr || dist == nullptr) {
     return Status::InvalidArgument("data and dist must be non-null");
   }
@@ -451,28 +482,17 @@ Status SkewedPathIndex::Load(const std::string& path, const Dataset* data,
     return Status::InvalidArgument("'" + path +
                                    "' is not a skewsearch index file");
   }
-  uint8_t mode = 0, engine = 0, measure = 0;
-  SkewedIndexOptions options;
-  IndexBuildStats stats;
-  double verify = 0.0;
+  io::ParamHeader header;
+  Status params = io::ReadParams(in, &header);
+  if (!params.ok()) {
+    return Status::InvalidArgument(params.message() + " in '" + path + "'");
+  }
   uint64_t fingerprint = 0;
-  bool ok = ReadPod(in, &mode) && ReadPod(in, &engine) &&
-            ReadPod(in, &measure) && ReadPod(in, &options.b1) &&
-            ReadPod(in, &options.alpha) && ReadPod(in, &options.seed) &&
-            ReadPod(in, &options.max_depth) &&
-            ReadPod(in, &options.max_paths_per_element) &&
-            ReadPod(in, &verify) && ReadPod(in, &stats.repetitions) &&
-            ReadPod(in, &stats.delta_used) &&
-            ReadPod(in, &stats.total_filters) &&
-            ReadPod(in, &stats.distinct_keys) &&
-            ReadPod(in, &stats.avg_filters_per_element) &&
-            ReadPod(in, &stats.cap_hits) &&
-            ReadPod(in, &stats.nodes_expanded) && ReadPod(in, &fingerprint);
-  if (!ok) {
+  if (!io::ReadPod(in, &fingerprint)) {
     return Status::InvalidArgument("truncated index header in '" + path +
                                    "'");
   }
-  if (fingerprint != DatasetFingerprint(*data)) {
+  if (fingerprint != io::Fingerprint(*data)) {
     return Status::InvalidArgument(
         "dataset does not match the one this index was built from");
   }
@@ -480,22 +500,34 @@ Status SkewedPathIndex::Load(const std::string& path, const Dataset* data,
     return Status::InvalidArgument(
         "dataset items exceed the distribution's universe");
   }
-  options.mode = mode == 0 ? IndexMode::kAdversarial : IndexMode::kCorrelated;
-  options.hash_engine = engine == 0 ? HashEngine::kMixer
-                                    : HashEngine::kPairwise;
-  options.verify_measure = static_cast<Measure>(measure);
-  options.repetitions = stats.repetitions;
+
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index header in '" + path +
+                                   "': " + family.status().message());
+  }
 
   FilterTable table;
   SKEWSEARCH_RETURN_NOT_OK(table.ReadFrom(&in));
+  // Posting ids must reference the supplied dataset; a corrupt table that
+  // passed the structural checks would otherwise crash the first query.
+  for (size_t k = 0; k < table.num_keys(); ++k) {
+    for (VectorId id : table.postings_at(k)) {
+      if (id >= data->size()) {
+        return Status::InvalidArgument(
+            "filter table references vector ids beyond the dataset");
+      }
+    }
+  }
 
   data_ = data;
   dist_ = dist;
-  options_ = options;
-  verify_threshold_ = verify;
-  build_stats_ = stats;
+  options_ = header.options;
+  family_ = std::move(family).value();
+  build_stats_ = header.stats;
   table_ = std::move(table);
-  SetupEngine(data->size(), stats.delta_used);
   return Status::OK();
 }
 

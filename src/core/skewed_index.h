@@ -111,6 +111,67 @@ struct IndexBuildStats {
   double build_seconds = 0.0;
 };
 
+/// \brief The L-repetition path-filter family shared by every index
+/// flavor (single, sharded, dynamic).
+///
+/// Bundles parameter derivation (repetitions, delta, verify threshold,
+/// depth bound) with the per-repetition filter computation F_r(x), i.e.
+/// everything about the paper's structure that does *not* depend on which
+/// vectors are stored. Because filter keys are a deterministic function of
+/// (seed, repetition, x) alone, a family built once can generate postings
+/// incrementally — for a shard's subset of the data, or for a vector
+/// inserted long after the build — and they are guaranteed to match what a
+/// monolithic build would have produced.
+///
+/// Immutable and thread-safe after creation. The distribution is borrowed
+/// and must outlive the family.
+class FilterFamily {
+ public:
+  FilterFamily() = default;
+  FilterFamily(FilterFamily&&) = default;
+  FilterFamily& operator=(FilterFamily&&) = default;
+
+  /// Validates \p options and derives every parameter for a dataset of
+  /// \p n vectors drawn from \p dist.
+  static Result<FilterFamily> Create(const ProductDistribution* dist,
+                                     const SkewedIndexOptions& options,
+                                     size_t n);
+
+  /// Rebuilds a family from persisted parameters (the Load path):
+  /// validation and engine construction as in Create, but repetitions /
+  /// delta / verify threshold are taken as stored instead of re-derived.
+  static Result<FilterFamily> Restore(const ProductDistribution* dist,
+                                      const SkewedIndexOptions& options,
+                                      size_t n, int repetitions, double delta,
+                                      double verify_threshold);
+
+  /// Appends the filter keys F_r(\p x) of repetition \p rep to \p keys.
+  /// \p stats may be null. Safe to call concurrently.
+  void ComputeFilters(std::span<const ItemId> x, uint32_t rep,
+                      std::vector<uint64_t>* keys,
+                      PathGenStats* stats = nullptr) const;
+
+  /// True once Create()/Restore() succeeded.
+  bool valid() const { return engine_ != nullptr; }
+
+  int repetitions() const { return repetitions_; }
+  double delta() const { return delta_; }
+  double verify_threshold() const { return verify_threshold_; }
+  const SkewedIndexOptions& options() const { return options_; }
+
+ private:
+  Status Init(const ProductDistribution* dist, size_t n);
+
+  SkewedIndexOptions options_;
+  int repetitions_ = 0;
+  double delta_ = 0.0;
+  double verify_threshold_ = 0.0;
+  const ProductDistribution* dist_ = nullptr;
+  std::unique_ptr<ThresholdPolicy> policy_;
+  std::unique_ptr<PathHasher> hasher_;
+  std::unique_ptr<PathEngine> engine_;
+};
+
 /// \brief The skew-adaptive chosen-path index.
 ///
 /// Usage:
@@ -187,13 +248,20 @@ class SkewedPathIndex {
   std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
 
   /// True after a successful Build().
-  bool built() const { return engine_ != nullptr; }
+  bool built() const { return family_.valid(); }
 
   const IndexBuildStats& build_stats() const { return build_stats_; }
   const SkewedIndexOptions& options() const { return options_; }
 
+  /// The filter family driving this index (hook for the sharded/dynamic
+  /// layers and for tests; only meaningful after Build()/Load()).
+  const FilterFamily& family() const { return family_; }
+
+  /// The frozen posting lists (diagnostics/tests).
+  const FilterTable& filter_table() const { return table_; }
+
   /// The similarity a returned match is guaranteed to have.
-  double verify_threshold() const { return verify_threshold_; }
+  double verify_threshold() const { return family_.verify_threshold(); }
 
   /// Number of repetitions actually used.
   int repetitions() const { return build_stats_.repetitions; }
@@ -224,16 +292,10 @@ class SkewedPathIndex {
                                  QueryStats* stats,
                                  QueryScratch* scratch) const;
 
-  /// (Re)constructs policy/hasher/engine from options_ + dist_ for a
-  /// dataset of size n; shared by Build() and Load().
-  void SetupEngine(size_t n, double delta);
   const Dataset* data_ = nullptr;
   const ProductDistribution* dist_ = nullptr;
   SkewedIndexOptions options_;
-  double verify_threshold_ = 0.0;
-  std::unique_ptr<ThresholdPolicy> policy_;
-  std::unique_ptr<PathHasher> hasher_;
-  std::unique_ptr<PathEngine> engine_;
+  FilterFamily family_;
   FilterTable table_;
   IndexBuildStats build_stats_;
 };

@@ -1,0 +1,59 @@
+// Copyright 2026 The skewsearch Authors.
+// Synchronization helpers for the sharded/online index layers.
+//
+// The dynamic index keeps one reader-writer lock per shard. Those locks
+// live in an array, and under heavy mixed traffic the readers of shard i
+// and the writers of shard i+1 would otherwise ping-pong the same cache
+// line between cores — so the lock is padded to a full destructive-
+// interference span. Readers take the shared side only for the duration
+// of one shard scan; writers (insert/remove/compaction) take the
+// exclusive side of exactly one shard, which bounds the blocking any
+// single mutation can cause.
+
+#ifndef SKEWSEARCH_UTIL_SYNC_H_
+#define SKEWSEARCH_UTIL_SYNC_H_
+
+#include <cstddef>
+#include <new>
+#include <shared_mutex>
+
+namespace skewsearch {
+
+/// Destructive-interference span. Fixed at 64 (true for effectively all
+/// x86-64 and most aarch64 parts) rather than taken from
+/// std::hardware_destructive_interference_size, whose value is ABI-
+/// unstable across compiler flags (GCC warns on any use of it).
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// \brief A shared_mutex padded to its own cache line.
+///
+/// Satisfies SharedLockable, so it works directly with std::shared_lock /
+/// std::unique_lock. Neither movable nor copyable (like the mutex it
+/// wraps); containers of shards therefore hold them behind stable
+/// addresses (e.g. std::unique_ptr).
+class alignas(kCacheLineBytes) PaddedSharedMutex {
+ public:
+  PaddedSharedMutex() = default;
+  PaddedSharedMutex(const PaddedSharedMutex&) = delete;
+  PaddedSharedMutex& operator=(const PaddedSharedMutex&) = delete;
+
+  void lock() { mutex_.lock(); }
+  bool try_lock() { return mutex_.try_lock(); }
+  void unlock() { mutex_.unlock(); }
+
+  void lock_shared() { mutex_.lock_shared(); }
+  bool try_lock_shared() { return mutex_.try_lock_shared(); }
+  void unlock_shared() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII guards for the two sides of a PaddedSharedMutex; the names make
+/// call sites read as intent ("ReaderLock lock(shard.mutex)").
+using ReaderLock = std::shared_lock<PaddedSharedMutex>;
+using WriterLock = std::unique_lock<PaddedSharedMutex>;
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_UTIL_SYNC_H_

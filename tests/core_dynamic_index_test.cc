@@ -1,0 +1,347 @@
+// DynamicIndex: online inserts/removes on top of the sharded layout —
+// fresh-build equivalence with the unsharded index, insert-then-query
+// recall, remove-then-query absence, compaction transparency, and
+// Save/Load round-trips including tombstone state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_index.h"
+#include "core/skewed_index.h"
+#include "data/correlated.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+class DynamicIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dist_ = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
+    Rng rng(31);
+    data_ = GenerateDataset(dist_, 250, &rng);
+  }
+
+  DynamicIndexOptions Options(int num_shards = 4,
+                              double compact_fraction = 0.25) const {
+    DynamicIndexOptions options;
+    options.index.mode = IndexMode::kCorrelated;
+    options.index.alpha = 0.7;
+    options.index.repetitions = 10;
+    options.index.seed = 515;
+    options.num_shards = num_shards;
+    options.compact_dead_fraction = compact_fraction;
+    return options;
+  }
+
+  // Samples `count` non-empty vectors the filter family actually emits
+  // paths for (a path-less vector is unfindable by design).
+  std::vector<SparseVector> FreshVectors(const DynamicIndex& index,
+                                         size_t count, uint64_t seed) {
+    std::vector<SparseVector> out;
+    Rng rng(seed);
+    while (out.size() < count) {
+      SparseVector v = dist_.Sample(&rng);
+      if (v.span().empty()) continue;
+      std::vector<uint64_t> keys;
+      for (int rep = 0; rep < index.repetitions(); ++rep) {
+        index.family().ComputeFilters(v.span(),
+                                      static_cast<uint32_t>(rep), &keys);
+      }
+      if (!keys.empty()) out.push_back(std::move(v));
+    }
+    return out;
+  }
+
+  ProductDistribution dist_;
+  Dataset data_;
+};
+
+void ExpectSameMatches(const std::vector<Match>& a,
+                       const std::vector<Match>& b, const std::string& ctx) {
+  ASSERT_EQ(a.size(), b.size()) << ctx;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << ctx << " entry " << i;
+    EXPECT_EQ(a[i].similarity, b[i].similarity) << ctx << " entry " << i;
+  }
+}
+
+bool ContainsId(const std::vector<Match>& matches, VectorId id) {
+  for (const Match& m : matches) {
+    if (m.id == id) return true;
+  }
+  return false;
+}
+
+TEST_F(DynamicIndexTest, FreshBuildMatchesUnshardedQueryAll) {
+  SkewedPathIndex reference;
+  ASSERT_TRUE(reference.Build(&data_, &dist_, Options().index).ok());
+  DynamicIndex dynamic;
+  ASSERT_TRUE(dynamic.Build(&data_, &dist_, Options()).ok());
+  EXPECT_EQ(dynamic.size(), data_.size());
+
+  CorrelatedQuerySampler sampler(&dist_, 0.7);
+  Rng rng(32);
+  for (int t = 0; t < 30; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data_.size()));
+    SparseVector q = sampler.SampleCorrelated(data_.Get(target), &rng);
+    ExpectSameMatches(dynamic.QueryAll(q.span(), 0.0),
+                      reference.QueryAll(q.span(), 0.0),
+                      "query " + std::to_string(t));
+  }
+}
+
+TEST_F(DynamicIndexTest, InsertThenQueryFindsTheNewVector) {
+  DynamicIndex index;
+  ASSERT_TRUE(index.Build(&data_, &dist_, Options()).ok());
+
+  auto fresh = FreshVectors(index, 40, 33);
+  std::vector<VectorId> ids;
+  for (const SparseVector& v : fresh) {
+    size_t num_filters = 0;
+    auto id = index.Insert(v.span(), &num_filters);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_GE(*id, data_.size());
+    EXPECT_GT(num_filters, 0u);
+    EXPECT_TRUE(index.IsLive(*id));
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(index.size(), data_.size() + fresh.size());
+
+  // An exact-duplicate query shares every filter key with the inserted
+  // vector, so it must be surfaced in every repetition: recall 100%.
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    auto hit = index.Query(fresh[i].span());
+    ASSERT_TRUE(hit.has_value()) << "inserted vector " << i << " lost";
+    EXPECT_GE(hit->similarity, index.verify_threshold());
+    auto all = index.QueryAll(fresh[i].span(), 0.999);
+    EXPECT_TRUE(ContainsId(all, ids[i]))
+        << "inserted vector " << i << " not in QueryAll";
+  }
+
+  // Correlated (non-exact) queries against inserted vectors succeed with
+  // the recall the repetition count provisions for.
+  CorrelatedQuerySampler sampler(&dist_, 0.8);
+  Rng rng(34);
+  int found = 0;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    SparseVector q = sampler.SampleCorrelated(fresh[i].span(), &rng);
+    auto all = index.QueryAll(q.span(), 0.0);
+    found += ContainsId(all, ids[i]);
+  }
+  EXPECT_GE(found, static_cast<int>(fresh.size() * 7 / 10))
+      << "correlated recall on inserted vectors: " << found << "/"
+      << fresh.size();
+}
+
+TEST_F(DynamicIndexTest, RemoveThenQueryNeverReturnsIt) {
+  // Compaction disabled so removal is pure tombstoning here.
+  DynamicIndex index;
+  ASSERT_TRUE(index.Build(&data_, &dist_, Options(4, 100.0)).ok());
+  auto fresh = FreshVectors(index, 10, 35);
+  std::vector<VectorId> inserted_ids;
+  for (const SparseVector& v : fresh) {
+    inserted_ids.push_back(*index.Insert(v.span()));
+  }
+
+  std::vector<VectorId> removed = {0, 3, 17, 42, 100, inserted_ids[0],
+                                   inserted_ids[5]};
+  for (VectorId id : removed) {
+    ASSERT_TRUE(index.Remove(id).ok()) << "id " << id;
+    EXPECT_FALSE(index.IsLive(id));
+    EXPECT_TRUE(index.Remove(id).IsNotFound()) << "double remove " << id;
+  }
+  EXPECT_EQ(index.num_tombstones(), removed.size());
+  EXPECT_EQ(index.size(), data_.size() + fresh.size() - removed.size());
+
+  // Probing with the removed vectors themselves: the strongest possible
+  // pull towards the tombstoned id — it must never come back.
+  for (VectorId id : removed) {
+    auto items = id < data_.size()
+                     ? data_.Get(id)
+                     : fresh[id == inserted_ids[0] ? 0 : 5].span();
+    auto hit = index.Query(items);
+    if (hit.has_value()) {
+      EXPECT_NE(hit->id, id);
+    }
+    EXPECT_FALSE(ContainsId(index.QueryAll(items, 0.0), id));
+  }
+  // Unknown ids are clean errors.
+  EXPECT_TRUE(index.Remove(1u << 30).IsNotFound());
+}
+
+TEST_F(DynamicIndexTest, CompactionPreservesResultsAndFires) {
+  // Two identical indexes, one with compaction effectively disabled; the
+  // same mutation stream must leave them query-equivalent.
+  DynamicIndex compacting, reference;
+  ASSERT_TRUE(compacting.Build(&data_, &dist_, Options(2, 0.25)).ok());
+  ASSERT_TRUE(reference.Build(&data_, &dist_, Options(2, 100.0)).ok());
+
+  auto fresh = FreshVectors(compacting, 20, 36);
+  for (const SparseVector& v : fresh) {
+    VectorId a = *compacting.Insert(v.span());
+    VectorId b = *reference.Insert(v.span());
+    EXPECT_EQ(a, b);  // same id assignment order
+  }
+  // Remove enough of the base to push shards past 25% dead entries.
+  Rng rng(37);
+  size_t removed = 0;
+  for (VectorId id = 0; id < data_.size() && removed < data_.size() / 2;
+       id += 1 + static_cast<VectorId>(rng.NextBounded(2))) {
+    ASSERT_TRUE(compacting.Remove(id).ok());
+    ASSERT_TRUE(reference.Remove(id).ok());
+    ++removed;
+  }
+  EXPECT_GT(compacting.num_compactions(), 0u);
+  EXPECT_EQ(reference.num_compactions(), 0u);
+  // Compaction dropped the tombstones it covered.
+  EXPECT_LT(compacting.num_tombstones(), reference.num_tombstones());
+  EXPECT_EQ(compacting.size(), reference.size());
+
+  CorrelatedQuerySampler sampler(&dist_, 0.7);
+  Rng qrng(38);
+  for (int t = 0; t < 25; ++t) {
+    VectorId target = static_cast<VectorId>(qrng.NextBounded(data_.size()));
+    SparseVector q = sampler.SampleCorrelated(data_.Get(target), &qrng);
+    ExpectSameMatches(compacting.QueryAll(q.span(), 0.0),
+                      reference.QueryAll(q.span(), 0.0),
+                      "query " + std::to_string(t));
+  }
+}
+
+TEST_F(DynamicIndexTest, BatchQueryMatchesSerial) {
+  DynamicIndex index;
+  ASSERT_TRUE(index.Build(&data_, &dist_, Options()).ok());
+  auto fresh = FreshVectors(index, 15, 39);
+  for (const SparseVector& v : fresh) ASSERT_TRUE(index.Insert(v.span()).ok());
+  for (VectorId id = 0; id < 20; id += 3) ASSERT_TRUE(index.Remove(id).ok());
+
+  CorrelatedQuerySampler sampler(&dist_, 0.7);
+  Rng rng(40);
+  Dataset queries;
+  for (int t = 0; t < 30; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data_.size()));
+    queries.Add(sampler.SampleCorrelated(data_.Get(target), &rng).span());
+  }
+  auto serial = index.BatchQuery(queries, 1);
+  auto parallel = index.BatchQuery(queries, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].has_value(), parallel[i].has_value()) << i;
+    if (serial[i]) {
+      EXPECT_EQ(serial[i]->id, parallel[i]->id) << i;
+      EXPECT_EQ(serial[i]->similarity, parallel[i]->similarity) << i;
+    }
+  }
+}
+
+TEST_F(DynamicIndexTest, InsertValidation) {
+  DynamicIndex index;
+  ASSERT_TRUE(index.Build(&data_, &dist_, Options()).ok());
+  EXPECT_TRUE(index.Insert({}).status().IsInvalidArgument());
+  std::vector<ItemId> unsorted = {5, 3, 9};
+  EXPECT_TRUE(index.Insert(unsorted).status().IsInvalidArgument());
+  std::vector<ItemId> out_of_universe = {
+      1, static_cast<ItemId>(dist_.dimension())};
+  EXPECT_TRUE(index.Insert(out_of_universe).status().IsInvalidArgument());
+  DynamicIndex unbuilt;
+  std::vector<ItemId> ok_items = {1, 2, 3};
+  EXPECT_TRUE(unbuilt.Insert(ok_items).status().IsInvalidArgument());
+  EXPECT_TRUE(unbuilt.Remove(0).IsInvalidArgument());
+}
+
+class DynamicIndexIoTest : public DynamicIndexTest {
+ protected:
+  void SetUp() override {
+    DynamicIndexTest::SetUp();
+    path_ = ::testing::TempDir() + "/dynamic_io_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(DynamicIndexIoTest, SaveLoadRoundTripsTombstonesAndInserts) {
+  DynamicIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, Options(3, 100.0)).ok());
+  auto fresh = FreshVectors(original, 20, 41);
+  std::vector<VectorId> ids;
+  for (const SparseVector& v : fresh) ids.push_back(*original.Insert(v.span()));
+  std::vector<VectorId> removed = {2, 8, 50, ids[1], ids[7]};
+  for (VectorId id : removed) ASSERT_TRUE(original.Remove(id).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  DynamicIndex loaded;
+  ASSERT_TRUE(loaded.Load(path_, &data_, &dist_).ok());
+  EXPECT_EQ(loaded.num_shards(), original.num_shards());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_tombstones(), original.num_tombstones());
+  EXPECT_EQ(loaded.base_size(), data_.size());
+  for (VectorId id : removed) EXPECT_FALSE(loaded.IsLive(id));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(loaded.IsLive(ids[i]), original.IsLive(ids[i])) << i;
+  }
+
+  CorrelatedQuerySampler sampler(&dist_, 0.7);
+  Rng rng(42);
+  for (int t = 0; t < 25; ++t) {
+    VectorId target = static_cast<VectorId>(rng.NextBounded(data_.size()));
+    SparseVector q = sampler.SampleCorrelated(data_.Get(target), &rng);
+    ExpectSameMatches(loaded.QueryAll(q.span(), 0.0),
+                      original.QueryAll(q.span(), 0.0),
+                      "query " + std::to_string(t));
+  }
+  for (const SparseVector& v : fresh) {
+    ExpectSameMatches(loaded.QueryAll(v.span(), 0.0),
+                      original.QueryAll(v.span(), 0.0), "inserted probe");
+  }
+
+  // The id space continues where it left off: new inserts after Load get
+  // fresh ids and are findable.
+  auto more = FreshVectors(loaded, 3, 43);
+  for (const SparseVector& v : more) {
+    auto id = loaded.Insert(v.span());
+    ASSERT_TRUE(id.ok());
+    EXPECT_GE(*id, data_.size() + fresh.size());
+    EXPECT_TRUE(ContainsId(loaded.QueryAll(v.span(), 0.999), *id));
+  }
+}
+
+TEST_F(DynamicIndexIoTest, LoadRejectsDifferentDatasetAndCorruption) {
+  DynamicIndex original;
+  ASSERT_TRUE(original.Build(&data_, &dist_, Options(3)).ok());
+  auto fresh = FreshVectors(original, 5, 44);
+  for (const SparseVector& v : fresh) {
+    ASSERT_TRUE(original.Insert(v.span()).ok());
+  }
+  ASSERT_TRUE(original.Remove(1).ok());
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  Rng rng(45);
+  Dataset other = GenerateDataset(dist_, 250, &rng);
+  DynamicIndex loaded;
+  EXPECT_TRUE(loaded.Load(path_, &other, &dist_).IsInvalidArgument());
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t keep = 0; keep < contents.size();
+       keep += 1 + contents.size() / 37) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    DynamicIndex truncated;
+    EXPECT_FALSE(truncated.Load(path_, &data_, &dist_).ok())
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
@@ -120,6 +122,115 @@ TEST_F(IndexIoTest, LoadMissingFileIsIOError) {
   SkewedPathIndex loaded;
   EXPECT_TRUE(
       loaded.Load("/nonexistent/index.skidx", &data_, &dist_).IsIOError());
+}
+
+// ---- Negative paths: corruption must produce clean errors, not crashes.
+
+class IndexIoCorruptionTest : public IndexIoTest {
+ protected:
+  std::string SaveValidIndex() {
+    SkewedPathIndex original;
+    EXPECT_TRUE(original.Build(&data_, &dist_, Options()).ok());
+    EXPECT_TRUE(original.Save(path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+
+  Status TryLoad() {
+    SkewedPathIndex loaded;
+    return loaded.Load(path_, &data_, &dist_);
+  }
+
+  // Byte offsets into the fixed-width header (magic is bytes 0..3).
+  static constexpr size_t kModeOffset = 4;
+  static constexpr size_t kRepetitionsOffset = 51;
+};
+
+TEST_F(IndexIoCorruptionTest, RejectsCorruptedMagicVersion) {
+  std::string contents = SaveValidIndex();
+  for (size_t byte : {size_t{0}, size_t{3}}) {  // vendor byte, version byte
+    std::string mutated = contents;
+    mutated[byte] = static_cast<char>(mutated[byte] + 1);
+    WriteFile(mutated);
+    Status s = TryLoad();
+    EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+    EXPECT_NE(s.message().find("not a skewsearch index"), std::string::npos);
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, RejectsWrongDatasetSize) {
+  SaveValidIndex();
+  for (size_t other_n : {data_.size() / 2, data_.size() + 7}) {
+    Rng rng(404 + other_n);
+    Dataset other = GenerateDataset(dist_, other_n, &rng);
+    SkewedPathIndex loaded;
+    Status s = loaded.Load(path_, &other, &dist_);
+    EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+    EXPECT_NE(s.message().find("does not match"), std::string::npos);
+    EXPECT_FALSE(loaded.built());
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, RejectsBadEnumFields) {
+  std::string contents = SaveValidIndex();
+  for (size_t offset : {kModeOffset, kModeOffset + 1, kModeOffset + 2}) {
+    std::string mutated = contents;
+    mutated[offset] = 17;  // no IndexMode/HashEngine/Measure has this value
+    WriteFile(mutated);
+    Status s = TryLoad();
+    EXPECT_TRUE(s.IsInvalidArgument()) << "offset " << offset;
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, RejectsInsaneRepetitionCounts) {
+  std::string contents = SaveValidIndex();
+  for (int32_t bad : {0, -5, 1 << 24}) {
+    std::string mutated = contents;
+    std::memcpy(&mutated[kRepetitionsOffset], &bad, sizeof(bad));
+    WriteFile(mutated);
+    Status s = TryLoad();
+    EXPECT_TRUE(s.IsInvalidArgument()) << "repetitions=" << bad << ": "
+                                       << s.ToString();
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, RejectsOutOfRangePostingIds) {
+  std::string contents = SaveValidIndex();
+  // The posting-id array is the last vector in the file; smash its final
+  // entry to an id far beyond the dataset. Structural checks can't see
+  // this — only the id-range validation can.
+  ASSERT_GE(contents.size(), sizeof(uint32_t));
+  uint32_t bad_id = 0xfffffff0u;
+  std::memcpy(&contents[contents.size() - sizeof(bad_id)], &bad_id,
+              sizeof(bad_id));
+  WriteFile(contents);
+  Status s = TryLoad();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("beyond the dataset"), std::string::npos);
+}
+
+TEST_F(IndexIoCorruptionTest, TruncationSweepNeverCrashes) {
+  std::string contents = SaveValidIndex();
+  // Every header prefix, then strides through the table region.
+  std::vector<size_t> cuts;
+  for (size_t k = 0; k < std::min<size_t>(80, contents.size()); ++k) {
+    cuts.push_back(k);
+  }
+  for (size_t k = 80; k < contents.size(); k += contents.size() / 23 + 1) {
+    cuts.push_back(k);
+  }
+  cuts.push_back(contents.size() - 1);
+  for (size_t keep : cuts) {
+    WriteFile(contents.substr(0, keep));
+    EXPECT_FALSE(TryLoad().ok()) << "prefix of " << keep << " bytes";
+  }
 }
 
 TEST_F(IndexIoTest, AdversarialRoundTrip) {

@@ -1,0 +1,231 @@
+// Copyright 2026 The skewsearch Authors.
+// Maintenance interference: query latency while the maintenance
+// subsystem works vs. idle.
+//
+// The point of the epoch/snapshot read path is that background
+// compaction and drift rebuilds never block readers: they build off to
+// the side and publish with one pointer swap. This bench quantifies
+// that. Three phases over the same correlated query stream:
+//
+//   idle       quiesced online index, no maintenance activity
+//   compaction churn thread removes/re-inserts, maintenance thread
+//              compacts dirty shards throughout
+//   rebuild    churn plus repeated forced parameter rebuilds (the
+//              heaviest maintenance action there is)
+//
+// Reported: p50/p99/max per-query latency and QPS per phase. With
+// wait-free reads the p99 between phases should move by far less than a
+// rebuild takes — readers only ever see a swap, never a lock.
+//
+// Flags: --n <dataset> --queries <count> --alpha <corr> --shards <K>
+//        --churn <mutations per phase> --rounds <timed repetitions>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dynamic_index.h"
+#include "data/correlated.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "maintenance/service.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+namespace {
+
+struct Config {
+  size_t n = 20000;
+  size_t num_queries = 2000;
+  double alpha = 0.8;
+  int shards = 8;
+  size_t churn = 4000;
+  int rounds = 3;
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--n") == 0) {
+      config.n = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      config.num_queries = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--alpha") == 0) {
+      config.alpha = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      config.shards = std::max(1, std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      config.churn = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      config.rounds = std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
+  return config;
+}
+
+struct LatencyProfile {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double qps = 0.0;
+};
+
+/// Pools every round's per-query latencies and reports quantiles over
+/// the whole pool: an interference measurement must not cherry-pick the
+/// least-disturbed round, or the tail it exists to expose disappears.
+LatencyProfile Measure(const DynamicIndex& index, const Dataset& queries,
+                       int rounds) {
+  std::vector<double> latencies;
+  latencies.reserve(queries.size() * static_cast<size_t>(rounds));
+  double seconds = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    Timer wall;
+    for (VectorId q = 0; q < queries.size(); ++q) {
+      QueryStats stats;
+      index.Query(queries.Get(q), &stats);
+      latencies.push_back(stats.seconds * 1e6);
+    }
+    seconds += wall.ElapsedSeconds();
+  }
+  std::sort(latencies.begin(), latencies.end());
+  LatencyProfile profile;
+  profile.p50_us = latencies[latencies.size() / 2];
+  profile.p99_us = latencies[latencies.size() * 99 / 100];
+  profile.max_us = latencies.back();
+  profile.qps =
+      seconds > 0.0 ? static_cast<double>(latencies.size()) / seconds : 0.0;
+  return profile;
+}
+
+int Run(int argc, char** argv) {
+  Config config = ParseArgs(argc, argv);
+
+  bench::Banner("Maintenance interference (query latency vs. housekeeping)");
+  bench::Note("hardware threads available: " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  auto dist = ZipfProbabilities(2000, 1.0, 0.3).value();
+  Rng rng(131);
+  Dataset data = GenerateDataset(dist, config.n, &rng);
+  Dataset queries;
+  CorrelatedQuerySampler sampler(&dist, config.alpha);
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    queries.Add(sampler
+                    .SampleCorrelated(
+                        data.Get(static_cast<VectorId>(i % data.size())),
+                        &rng)
+                    .span());
+  }
+  std::vector<SparseVector> fresh;
+  while (fresh.size() < config.churn) {
+    SparseVector v = dist.Sample(&rng);
+    if (!v.span().empty()) fresh.push_back(std::move(v));
+  }
+
+  DynamicIndexOptions options;
+  options.index.mode = IndexMode::kCorrelated;
+  options.index.alpha = config.alpha;
+  options.index.build_threads = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  options.num_shards = config.shards;
+  options.compact_dead_fraction = 0.10;
+  DynamicIndex index;
+  Status built = index.Build(&data, &dist, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  MaintenanceService service;
+  MaintenanceOptions maintenance;
+  maintenance.poll_interval_ms = 1;
+  maintenance.drift_factor = 0.0;  // rebuilds are forced, not drifted into
+  if (!service.Attach(&index, maintenance).ok() || !service.Start().ok()) {
+    std::fprintf(stderr, "maintenance service failed to start\n");
+    return 1;
+  }
+
+  bench::Table table({"phase", "p50_us", "p99_us", "max_us", "qps",
+                      "compactions", "rebuilds"});
+  auto add_row = [&](const std::string& phase, const LatencyProfile& p) {
+    table.AddRow({phase, bench::Fmt(p.p50_us, 1), bench::Fmt(p.p99_us, 1),
+                  bench::Fmt(p.max_us, 1), bench::Fmt(p.qps, 0),
+                  bench::Fmt(index.num_compactions()),
+                  bench::Fmt(index.num_rebuilds())});
+  };
+
+  // Phase 1: idle.
+  Measure(index, queries, 1);  // warm-up
+  add_row("idle", Measure(index, queries, config.rounds));
+
+  // A churn thread that keeps dead-entry pressure on the shards.
+  auto churn_loop = [&](std::atomic<bool>* stop) {
+    Rng crng(132);
+    size_t i = 0;
+    while (!stop->load(std::memory_order_acquire)) {
+      VectorId victim =
+          static_cast<VectorId>(crng.NextBounded(data.size()));
+      index.Remove(victim).ok();  // NotFound on repeats is fine
+      index.Insert(fresh[i % fresh.size()].span()).ok();
+      ++i;
+    }
+  };
+
+  // Phase 2: background compaction under churn. A synchronous churn
+  // batch first, so the shards are guaranteed dirty when measurement
+  // starts (on a loaded single-CPU box the churn thread alone may not
+  // get enough slices inside the measurement window).
+  {
+    Rng crng(133);
+    for (size_t i = 0; i < config.churn; ++i) {
+      index.Remove(static_cast<VectorId>(crng.NextBounded(data.size())))
+          .ok();
+      index.Insert(fresh[i % fresh.size()].span()).ok();
+    }
+    std::atomic<bool> stop{false};
+    std::thread churn(churn_loop, &stop);
+    LatencyProfile profile = Measure(index, queries, config.rounds);
+    stop.store(true, std::memory_order_release);
+    churn.join();
+    service.RunOnce().ok();  // flush whatever the thread did not reach
+    add_row("compaction", profile);
+  }
+
+  // Phase 3: churn plus repeated full parameter rebuilds.
+  {
+    std::atomic<bool> stop{false};
+    std::thread churn(churn_loop, &stop);
+    std::thread rebuilder([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t live = index.size();
+        if (live >= 2 && !index.RebuildForSize(live).ok()) return;
+      }
+    });
+    LatencyProfile profile = Measure(index, queries, config.rounds);
+    stop.store(true, std::memory_order_release);
+    churn.join();
+    rebuilder.join();
+    add_row("rebuild", profile);
+  }
+  service.Detach();
+
+  table.Print();
+  bench::Note("wait-free reads: p99 should stay in the same ballpark "
+              "across all three phases (a blocking design shows "
+              "rebuild-length spikes in max_us).");
+  bench::Note("NOTE: single-CPU containers timeshare the maintenance "
+              "thread with the reader; interpret interference numbers on "
+              "multicore hardware.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace skewsearch
+
+int main(int argc, char** argv) { return skewsearch::Run(argc, argv); }

@@ -1,13 +1,17 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
 
+#include "core/cost_model.h"
+#include "core/dynamic_index.h"
 #include "core/sharded_index.h"
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
+#include "maintenance/service.h"
 #include "data/correlated.h"
 #include "data/estimate.h"
 #include "data/generators.h"
@@ -32,12 +36,21 @@ Commands:
   profile  --in FILE [--binary]
   independence --in FILE [--binary]
   query-bench --in FILE --alpha A [--queries N] [--seed S] [--shards K]
-           [--binary]
-  selfjoin --in FILE --b1 X [--seed S] [--shards K] [--binary]
+           [--online] [--maintenance 0|1] [--drift-factor F]
+           [--dead-ratio R] [--churn N] [--binary]
+  selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
+           [--maintenance 0|1] [--drift-factor F] [--dead-ratio R] [--binary]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
 one; results are identical, memory and parallelism differ.
+
+--online (implied by any --maintenance/--drift-factor/--dead-ratio/
+--churn flag) serves from the online DynamicIndex with the maintenance
+subsystem attached: --maintenance 1 (default) runs the background
+thread, --dead-ratio sets the compaction trigger, --drift-factor the
+live-rebuild trigger, and --churn N applies N remove+insert pairs before
+querying so compaction and drift actually fire.
 )";
 
 /// Parsed "--key value" flags.
@@ -53,7 +66,7 @@ class Flags {
         return std::nullopt;
       }
       std::string key = arg.substr(2);
-      if (key == "binary") {  // boolean flag
+      if (key == "binary" || key == "online") {  // boolean flags
         static const std::string kTrue = "1";
         flags.values_.insert_or_assign(key, kTrue);
         continue;
@@ -207,12 +220,132 @@ int CmdIndependence(const Flags& flags) {
   return 0;
 }
 
+bool WantsOnline(const Flags& flags) {
+  return flags.Has("online") || flags.Has("maintenance") ||
+         flags.Has("drift-factor") || flags.Has("dead-ratio") ||
+         flags.Has("churn");
+}
+
+MaintenanceOptions MaintenanceFromFlags(const Flags& flags) {
+  MaintenanceOptions options;
+  options.dead_ratio = flags.GetDouble("dead-ratio", -1.0);
+  options.drift_factor = flags.GetDouble("drift-factor", 2.0);
+  options.poll_interval_ms = 5;
+  options.min_rebuild_n = 2;
+  return options;
+}
+
+/// The online serving path: DynamicIndex + MaintenanceService, churned
+/// so compaction (and, with a low --drift-factor, a live rebuild)
+/// actually runs, then benched like the static path.
+int CmdQueryBenchOnline(const Flags& flags, const Dataset& data,
+                        const ProductDistribution& dist, double alpha) {
+  DynamicIndexOptions options;
+  options.index.mode = IndexMode::kCorrelated;
+  options.index.alpha = alpha;
+  options.index.seed = flags.GetUint("seed", 1);
+  options.num_shards =
+      std::max(1, static_cast<int>(flags.GetUint("shards", 1)));
+  DynamicIndex index;
+  Status built = index.Build(&data, &dist, options);
+  if (!built.ok()) return Fail(built);
+  MaintenanceService service;
+  Status attached = service.Attach(&index, MaintenanceFromFlags(flags));
+  if (!attached.ok()) return Fail(attached);
+  const bool thread = flags.GetUint("maintenance", 1) != 0;
+  if (thread) {
+    Status started = service.Start();
+    if (!started.ok()) return Fail(started);
+  }
+  std::printf("online index: %d shard(s), %d repetitions, maintenance "
+              "thread %s\n",
+              index.num_shards(), index.repetitions(),
+              thread ? "on" : "off");
+
+  // Churn: tombstone random base vectors and insert fresh samples so the
+  // delta/tombstone machinery (and the service) has real work. With the
+  // thread off, drive the service inline every so often — unmaintained
+  // churn grows the per-shard delta without bound, and the COW write
+  // path pays for its accumulated size on every mutation.
+  Rng churn_rng(flags.GetUint("seed", 1) ^ 0x5eed);
+  const size_t churn = flags.GetUint("churn", data.size() / 5);
+  const size_t maintenance_stride = std::max<size_t>(1, data.size() / 4);
+  size_t removed = 0, inserted = 0;
+  for (size_t i = 0; i < churn; ++i) {
+    VectorId victim =
+        static_cast<VectorId>(churn_rng.NextBounded(data.size()));
+    if (index.Remove(victim).ok()) ++removed;
+    SparseVector fresh = dist.Sample(&churn_rng);
+    if (!fresh.span().empty() && index.Insert(fresh.span()).ok()) {
+      ++inserted;
+    }
+    if (!thread && (i + 1) % maintenance_stride == 0) {
+      Status pass = service.RunOnce();
+      if (!pass.ok()) return Fail(pass);
+    }
+  }
+  Status pass = service.RunOnce();  // deterministic flush of queued work
+  if (!pass.ok()) return Fail(pass);
+  std::printf("churn: %zu removed, %zu inserted -> live %zu, tombstones "
+              "%zu, compactions %zu, rebuilds %zu\n",
+              removed, inserted, index.size(), index.num_tombstones(),
+              index.num_compactions(), index.num_rebuilds());
+
+  // Delta-aware cost model against the current layout.
+  auto prediction = PredictOnlineQueryCost(dist, options.index,
+                                           index.size(), index.Profile());
+  if (prediction.ok()) {
+    std::printf("cost model: dead fraction %.3f, delta fraction %.3f, "
+                "predicted candidate factor %.3f\n",
+                prediction->dead_fraction, prediction->delta_fraction,
+                prediction->candidate_factor);
+  }
+
+  // Query targets: the base vectors that survived the churn (a heavy
+  // --churn can tombstone every one of them).
+  std::vector<VectorId> live_targets;
+  live_targets.reserve(data.size());
+  for (VectorId id = 0; id < data.size(); ++id) {
+    if (index.IsLive(id)) live_targets.push_back(id);
+  }
+  if (live_targets.empty()) {
+    service.Detach();
+    std::printf("queries: skipped (churn removed every base vector)\n");
+    return 0;
+  }
+  CorrelatedQuerySampler sampler(&dist, alpha);
+  Rng rng(flags.GetUint("seed", 1) ^ 0xabcdef);
+  const size_t queries = flags.GetUint("queries", 100);
+  size_t found = 0, candidates = 0;
+  double seconds = 0;
+  for (size_t t = 0; t < queries; ++t) {
+    VectorId target = live_targets[static_cast<size_t>(
+        rng.NextBounded(live_targets.size()))];
+    SparseVector q = sampler.SampleCorrelated(data.Get(target), &rng);
+    QueryStats stats;
+    auto hit = index.Query(q.span(), &stats);
+    found += (hit && hit->id == target);
+    candidates += stats.candidates;
+    seconds += stats.seconds;
+  }
+  service.Detach();
+  std::printf("queries: %zu, recall %.2f, %.1f candidates/query, "
+              "%.1f us/query\n",
+              queries, static_cast<double>(found) / queries,
+              static_cast<double>(candidates) / queries,
+              1e6 * seconds / queries);
+  return 0;
+}
+
 int CmdQueryBench(const Flags& flags) {
   auto data = LoadDataset(flags);
   if (!data.ok()) return Fail(data.status());
   double alpha = flags.GetDouble("alpha", 0.7);
   auto dist = EstimateFrequencies(*data);
   if (!dist.ok()) return Fail(dist.status());
+  if (WantsOnline(flags)) {
+    return CmdQueryBenchOnline(flags, *data, *dist, alpha);
+  }
 
   const int shards = static_cast<int>(flags.GetUint("shards", 1));
   SkewedIndexOptions options;
@@ -279,6 +412,11 @@ int CmdSelfJoin(const Flags& flags) {
   options.index.seed = flags.GetUint("seed", 1);
   options.threshold = b1;
   options.num_shards = static_cast<int>(flags.GetUint("shards", 1));
+  if (WantsOnline(flags)) {
+    options.online = true;
+    options.maintenance = MaintenanceFromFlags(flags);
+    options.maintenance_thread = flags.GetUint("maintenance", 1) != 0;
+  }
   JoinStats stats;
   auto pairs = SelfSimilarityJoin(*data, *dist, options, &stats);
   if (!pairs.ok()) return Fail(pairs.status());
@@ -286,6 +424,12 @@ int CmdSelfJoin(const Flags& flags) {
               "%.2fs, %zu candidates)\n",
               b1, pairs->size(), stats.build_seconds, stats.probe_seconds,
               stats.candidates);
+  if (options.online) {
+    std::printf("online build side: maintenance thread %s, %zu "
+                "compactions, %zu rebuilds\n",
+                options.maintenance_thread ? "on" : "off",
+                stats.compactions, stats.rebuilds);
+  }
   for (size_t k = 0; k < std::min<size_t>(10, pairs->size()); ++k) {
     const JoinPair& pr = (*pairs)[k];
     std::printf("  %u ~ %u  (%.3f)\n", pr.left, pr.right, pr.similarity);

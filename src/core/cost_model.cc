@@ -147,4 +147,36 @@ Result<double> PredictFiltersPerElement(const ProductDistribution& dist,
   return prediction->expected_filters;
 }
 
+double PredictOnlineCandidateFactor(const OnlineIndexProfile& profile) {
+  const double total = static_cast<double>(profile.base_entries) +
+                       static_cast<double>(profile.delta_entries);
+  const double dead = static_cast<double>(profile.dead_entries);
+  if (total <= 0.0 || dead <= 0.0) return 1.0;
+  const double live = total - dead;
+  if (live <= 0.0) return 1.0;  // degenerate: everything tombstoned
+  return total / live;
+}
+
+Result<OnlineCostPrediction> PredictOnlineQueryCost(
+    const ProductDistribution& dist, const SkewedIndexOptions& options,
+    size_t n, const OnlineIndexProfile& profile) {
+  if (profile.dead_entries > profile.base_entries + profile.delta_entries) {
+    return Status::InvalidArgument(
+        "dead_entries exceed total posting entries");
+  }
+  auto filters = PredictFiltersPerElement(dist, options, n);
+  if (!filters.ok()) return filters.status();
+
+  OnlineCostPrediction out;
+  out.expected_filters = *filters;
+  const double total = static_cast<double>(profile.base_entries) +
+                       static_cast<double>(profile.delta_entries);
+  if (total > 0.0) {
+    out.dead_fraction = static_cast<double>(profile.dead_entries) / total;
+    out.delta_fraction = static_cast<double>(profile.delta_entries) / total;
+  }
+  out.candidate_factor = PredictOnlineCandidateFactor(profile);
+  return out;
+}
+
 }  // namespace skewsearch

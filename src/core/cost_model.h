@@ -65,6 +65,50 @@ Result<double> PredictFiltersPerElement(const ProductDistribution& dist,
                                         const SkewedIndexOptions& options,
                                         size_t n);
 
+/// \brief Aggregate layout counters of an online (dynamic) index.
+///
+/// Produced by DynamicIndex::Profile(); the delta-aware model uses it to
+/// scale frozen-table predictions to what the online read path actually
+/// pays: tombstoned postings are scanned (and charged as candidates)
+/// before being skipped, and delta lists add one hash-map probe per
+/// touched key.
+struct OnlineIndexProfile {
+  size_t base_entries = 0;   ///< posting entries in the frozen shard tables
+  size_t delta_entries = 0;  ///< posting entries held in delta lists
+  size_t dead_entries = 0;   ///< posting entries referencing tombstoned ids
+  size_t delta_keys = 0;     ///< distinct (shard, key) pairs with a delta list
+};
+
+/// \brief Delta-aware prediction of online-index query overheads.
+struct OnlineCostPrediction {
+  /// Scanned candidates per query relative to a fully compacted index
+  /// of the same live content: 1 / (1 - dead_fraction). Dead postings
+  /// are charged to the candidates counter and then skipped, so the
+  /// posting-scan work of a query scales by exactly this factor.
+  double candidate_factor = 1.0;
+
+  /// Fraction of posting entries that are tombstoned.
+  double dead_fraction = 0.0;
+
+  /// Fraction of posting entries living in delta lists; each touched key
+  /// additionally pays one hash-map probe per shard for them.
+  double delta_fraction = 0.0;
+
+  /// Query-side E|F(q)| per repetition from the Lemma 6 DP — multiply by
+  /// repetitions for the number of keys a query probes.
+  double expected_filters = 0.0;
+};
+
+/// Pure layout factor: scanned candidates on the online index divided by
+/// scanned candidates on a compacted index with the same live content.
+double PredictOnlineCandidateFactor(const OnlineIndexProfile& profile);
+
+/// Full delta-aware prediction: evaluates the Lemma 6 recursion for the
+/// configuration and scales it by the layout overheads of \p profile.
+Result<OnlineCostPrediction> PredictOnlineQueryCost(
+    const ProductDistribution& dist, const SkewedIndexOptions& options,
+    size_t n, const OnlineIndexProfile& profile);
+
 }  // namespace skewsearch
 
 #endif  // SKEWSEARCH_CORE_COST_MODEL_H_

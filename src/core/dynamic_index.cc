@@ -1,16 +1,15 @@
 #include "core/dynamic_index.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "core/batch.h"
 #include "core/index_io.h"
 #include "sim/measures.h"
-#include "util/sync.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -18,51 +17,321 @@ namespace skewsearch {
 
 namespace {
 
-constexpr char kDynamicMagic[4] = {'S', 'K', 'D', '1'};
+constexpr char kDynamicMagic[4] = {'S', 'K', 'D', '2'};
 constexpr int kMaxShards = 1 << 12;
+constexpr uint64_t kMaxBlockCount = uint64_t{1} << 32;
+constexpr uint32_t kMaxEditions = 1u << 20;
+
+/// Writers collect retired snapshots opportunistically once this many
+/// pile up, so an index without a maintenance thread still reclaims.
+constexpr size_t kCollectBacklog = 32;
 
 }  // namespace
 
-/// One hash partition of the online index. All mutable state is guarded
-/// by `mutex`; the immutable pieces (family, base dataset) live outside.
-struct DynamicIndex::Shard {
-  mutable PaddedSharedMutex mutex;
+/// One derivation of the paper's parameters (repetitions, delta, depth
+/// bound, verify threshold) for a particular live count. Editions are
+/// append-only and kept alive for the index lifetime; each published
+/// shard snapshot references the edition its postings were generated
+/// under, which is what keeps queries correct while a rebuild migrates
+/// the shards one at a time.
+struct DynamicIndex::Edition {
+  FilterFamily family;
+  uint64_t version = 0;
+  size_t derived_n = 0;
+};
 
-  /// Frozen postings of the vectors present at Build()/last compaction.
-  FilterTable base;
-
-  /// Postings of vectors inserted since, keyed like the base table.
-  std::unordered_map<uint64_t, std::vector<VectorId>> delta;
-
-  /// Removed ids whose postings are still physically present. Cleared by
-  /// compaction (which drops the postings themselves).
-  std::unordered_set<VectorId> tombstones;
-
-  /// Removed *base* ids, kept forever: the base dataset still contains
-  /// these vectors, so liveness bookkeeping (IsLive/size/double-Remove)
-  /// needs them even after compaction has dropped their postings.
-  /// Removed inserted ids need no such record — they leave `inserted`.
-  std::unordered_set<VectorId> removed_base;
-
+/// The immutable published state of one shard. Posting lists, inserted
+/// vectors and the base table are shared substructure (shared_ptr), and
+/// every growing registry (delta postings, inserted vectors, tombstones,
+/// removed base ids) is split into COW sub-map buckets: a mutation
+/// deep-copies only the buckets it touches and shares the rest, so
+/// cloning a state costs O(touched buckets x bucket size) — never
+/// O(shard) and never the posting payloads or item lists. Bucket sizes
+/// stay flat because the maintenance service folds the delta past an
+/// absolute cap; that is the price of wait-free readers (a true
+/// persistent-map would push writers further toward O(keys), see
+/// ROADMAP).
+struct DynamicIndex::ShardState {
   /// One live inserted vector: its items plus the posting-entry count it
-  /// contributed (so Remove can charge dead entries in O(1)).
+  /// contributed under `edition` (so Remove can charge dead entries in
+  /// O(1)).
   struct InsertedVector {
     std::vector<ItemId> items;
     uint32_t entries = 0;
   };
 
-  /// Live inserted vectors by id.
-  std::unordered_map<VectorId, InsertedVector> inserted;
+  static constexpr size_t kInsertedBuckets = 64;
+  using InsertedMap =
+      std::unordered_map<VectorId, std::shared_ptr<const InsertedVector>>;
+  static constexpr size_t kDeltaBuckets = 256;
+  using DeltaMap =
+      std::unordered_map<uint64_t,
+                         std::shared_ptr<const std::vector<VectorId>>>;
 
-  /// Posting entries referencing live / tombstoned ids. A vector always
-  /// contributes the same entry count it did at insert (filter keys are
-  /// deterministic), so these stay exact.
+  std::shared_ptr<const Edition> edition;
+
+  /// Frozen postings of the vectors present at Build()/last compaction.
+  std::shared_ptr<const FilterTable> base;
+
+  /// Posting-entry count each base vector of this shard contributed
+  /// under `edition` (ids absent from the map contributed 0). Replaced
+  /// only by a rebuild; shared across clones otherwise.
+  std::shared_ptr<const std::unordered_map<VectorId, uint32_t>> base_counts;
+
+  /// Postings of vectors inserted since the last compaction, keyed like
+  /// the base table, bucketized for cheap COW like `inserted` (the delta
+  /// also grows without bound between compactions). A null bucket is
+  /// empty; posting lists are immutable once published.
+  std::array<std::shared_ptr<const DeltaMap>, kDeltaBuckets> delta;
+
+  using TombstoneMap = std::unordered_map<VectorId, uint32_t>;
+  using RemovedSet = std::unordered_set<VectorId>;
+
+  /// Removed ids whose postings are still physically present, mapped to
+  /// the entry count they occupy. Compaction drops the covered ids
+  /// together with their postings. Bucketized for cheap COW like the
+  /// other registries.
+  std::array<std::shared_ptr<const TombstoneMap>, kInsertedBuckets>
+      tombstones;
+
+  /// Removed *base* ids, kept forever: the base dataset still contains
+  /// these vectors, so liveness bookkeeping (IsLive/size/double-Remove)
+  /// needs them even after compaction has dropped their postings.
+  /// Bucketized: this set only ever grows, so a flat copy per mutation
+  /// would cost O(total removals) forever.
+  std::array<std::shared_ptr<const RemovedSet>, kInsertedBuckets>
+      removed_base;
+
+  /// Live inserted vectors by id, bucketized for cheap COW (see above).
+  /// A null bucket is empty. Ids within a shard are a pseudo-random
+  /// subset of the id space, so id % kInsertedBuckets spreads evenly.
+  std::array<std::shared_ptr<const InsertedMap>, kInsertedBuckets> inserted;
+
+  /// Posting entries referencing live / tombstoned ids. Invariant:
+  /// live + dead == base->num_pairs() + total delta entries, and
+  /// dead == sum of tombstone entry counts.
   size_t live_entries = 0;
   size_t dead_entries = 0;
+
+  static size_t BucketOf(VectorId id) {
+    return static_cast<size_t>(id) % kInsertedBuckets;
+  }
+
+  /// Filter keys are already uniformly hashed, so modulo spreads evenly.
+  static size_t DeltaBucketOf(uint64_t key) { return key % kDeltaBuckets; }
+
+  const std::vector<VectorId>* FindDelta(uint64_t key) const {
+    const std::shared_ptr<const DeltaMap>& bucket =
+        delta[DeltaBucketOf(key)];
+    if (bucket == nullptr) return nullptr;
+    auto it = bucket->find(key);
+    return it == bucket->end() ? nullptr : it->second.get();
+  }
+
+  size_t delta_key_count() const {
+    size_t count = 0;
+    for (const auto& bucket : delta) {
+      if (bucket != nullptr) count += bucket->size();
+    }
+    return count;
+  }
+
+  /// Invokes fn(key, posting_list_shared_ptr) for every delta list.
+  template <typename Fn>
+  void ForEachDelta(Fn&& fn) const {
+    for (const auto& bucket : delta) {
+      if (bucket == nullptr) continue;
+      for (const auto& [key, ids] : *bucket) fn(key, ids);
+    }
+  }
+
+  /// COW append of \p id to every key's posting list, kept sorted by
+  /// id. Each touched bucket is cloned exactly once no matter how many
+  /// of the vector's keys land in it (an insert emits
+  /// filters-per-element x repetitions keys, so per-key cloning would
+  /// multiply the copy cost by that factor).
+  void AppendDeltaAll(const std::vector<uint64_t>& keys, VectorId id) {
+    std::array<DeltaMap*, kDeltaBuckets> touched{};
+    for (uint64_t key : keys) {
+      const size_t b = DeltaBucketOf(key);
+      if (touched[b] == nullptr) {
+        auto fresh = delta[b] != nullptr ? std::make_shared<DeltaMap>(*delta[b])
+                                         : std::make_shared<DeltaMap>();
+        touched[b] = fresh.get();
+        delta[b] = std::move(fresh);
+      }
+      std::shared_ptr<const std::vector<VectorId>>& slot = (*touched[b])[key];
+      auto fresh_list = slot != nullptr
+                            ? std::make_shared<std::vector<VectorId>>(*slot)
+                            : std::make_shared<std::vector<VectorId>>();
+      fresh_list->insert(
+          std::upper_bound(fresh_list->begin(), fresh_list->end(), id), id);
+      slot = std::move(fresh_list);
+    }
+  }
+
+  /// Bulk-installs \p lists as the delta (exclusive-owner setup paths:
+  /// compaction merge, rebuild merge, Load).
+  void SetDelta(std::array<DeltaMap, kDeltaBuckets>&& buckets) {
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b].empty()) {
+        delta[b] = nullptr;
+      } else {
+        delta[b] = std::make_shared<const DeltaMap>(std::move(buckets[b]));
+      }
+    }
+  }
+
+  const InsertedVector* FindInserted(VectorId id) const {
+    const std::shared_ptr<const InsertedMap>& bucket = inserted[BucketOf(id)];
+    if (bucket == nullptr) return nullptr;
+    auto it = bucket->find(id);
+    return it == bucket->end() ? nullptr : it->second.get();
+  }
+
+  size_t inserted_count() const {
+    size_t count = 0;
+    for (const auto& bucket : inserted) {
+      if (bucket != nullptr) count += bucket->size();
+    }
+    return count;
+  }
+
+  /// Invokes fn(id, record_shared_ptr) for every live inserted vector.
+  template <typename Fn>
+  void ForEachInserted(Fn&& fn) const {
+    for (const auto& bucket : inserted) {
+      if (bucket == nullptr) continue;
+      for (const auto& [id, record] : *bucket) fn(id, record);
+    }
+  }
+
+  /// COW insert/overwrite of one record (clones only its bucket).
+  void PutInserted(VectorId id,
+                   std::shared_ptr<const InsertedVector> record) {
+    std::shared_ptr<const InsertedMap>& bucket = inserted[BucketOf(id)];
+    auto fresh = bucket != nullptr ? std::make_shared<InsertedMap>(*bucket)
+                                   : std::make_shared<InsertedMap>();
+    (*fresh)[id] = std::move(record);
+    bucket = std::move(fresh);
+  }
+
+  /// COW erase of one record (clones only its bucket).
+  void EraseInserted(VectorId id) {
+    std::shared_ptr<const InsertedMap>& bucket = inserted[BucketOf(id)];
+    if (bucket == nullptr) return;
+    auto fresh = std::make_shared<InsertedMap>(*bucket);
+    fresh->erase(id);
+    bucket = std::move(fresh);
+  }
+
+  bool IsTombstoned(VectorId id) const {
+    const std::shared_ptr<const TombstoneMap>& bucket =
+        tombstones[BucketOf(id)];
+    return bucket != nullptr && bucket->count(id) > 0;
+  }
+
+  size_t tombstone_count() const {
+    size_t count = 0;
+    for (const auto& bucket : tombstones) {
+      if (bucket != nullptr) count += bucket->size();
+    }
+    return count;
+  }
+
+  /// Invokes fn(id, entries) for every tombstone.
+  template <typename Fn>
+  void ForEachTombstone(Fn&& fn) const {
+    for (const auto& bucket : tombstones) {
+      if (bucket == nullptr) continue;
+      for (const auto& [id, entries] : *bucket) fn(id, entries);
+    }
+  }
+
+  /// COW insert of one tombstone (clones only its bucket).
+  void PutTombstone(VectorId id, uint32_t entries) {
+    std::shared_ptr<const TombstoneMap>& bucket = tombstones[BucketOf(id)];
+    auto fresh = bucket != nullptr ? std::make_shared<TombstoneMap>(*bucket)
+                                   : std::make_shared<TombstoneMap>();
+    fresh->emplace(id, entries);
+    bucket = std::move(fresh);
+  }
+
+  /// Bulk-installs \p buckets as the tombstones (exclusive-owner setup
+  /// paths: compaction merge, rebuild merge, Load).
+  void SetTombstones(
+      std::array<TombstoneMap, kInsertedBuckets>&& buckets) {
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b].empty()) {
+        tombstones[b] = nullptr;
+      } else {
+        tombstones[b] =
+            std::make_shared<const TombstoneMap>(std::move(buckets[b]));
+      }
+    }
+  }
+
+  bool HasRemovedBase(VectorId id) const {
+    const std::shared_ptr<const RemovedSet>& bucket =
+        removed_base[BucketOf(id)];
+    return bucket != nullptr && bucket->count(id) > 0;
+  }
+
+  size_t removed_base_count() const {
+    size_t count = 0;
+    for (const auto& bucket : removed_base) {
+      if (bucket != nullptr) count += bucket->size();
+    }
+    return count;
+  }
+
+  /// Invokes fn(id) for every removed base id.
+  template <typename Fn>
+  void ForEachRemovedBase(Fn&& fn) const {
+    for (const auto& bucket : removed_base) {
+      if (bucket == nullptr) continue;
+      for (VectorId id : *bucket) fn(id);
+    }
+  }
+
+  /// COW insert of one removed base id (clones only its bucket).
+  void AddRemovedBase(VectorId id) {
+    std::shared_ptr<const RemovedSet>& bucket = removed_base[BucketOf(id)];
+    auto fresh = bucket != nullptr ? std::make_shared<RemovedSet>(*bucket)
+                                   : std::make_shared<RemovedSet>();
+    fresh->insert(id);
+    bucket = std::move(fresh);
+  }
+};
+
+/// One hash partition: the atomically published snapshot plus the mutex
+/// that serializes this shard's writers. Readers never touch the mutex.
+struct DynamicIndex::Shard {
+  std::atomic<const ShardState*> state{nullptr};
+  mutable PaddedMutex writer;
+  /// Owns what `state` points at. Guarded by `writer`.
+  std::shared_ptr<const ShardState> owner;
 };
 
 DynamicIndex::DynamicIndex() = default;
 DynamicIndex::~DynamicIndex() = default;
+
+void DynamicIndex::PublishLocked(Shard* shard,
+                                 std::shared_ptr<const ShardState> next)
+    const {
+  const ShardState* raw = next.get();
+  std::shared_ptr<const ShardState> old = std::move(shard->owner);
+  shard->owner = std::move(next);
+  shard->state.store(raw, std::memory_order_seq_cst);
+  if (epochs_.Retire(std::move(old)) >= kCollectBacklog) epochs_.Collect();
+}
+
+std::shared_ptr<const DynamicIndex::ShardState> DynamicIndex::OwnerOf(
+    int s) const {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  MutexLock lock(shard.writer);
+  return shard.owner;
+}
 
 Status DynamicIndex::Build(const Dataset* data,
                            const ProductDistribution* dist,
@@ -93,27 +362,58 @@ Status DynamicIndex::Build(const Dataset* data,
   data_ = data;
   dist_ = dist;
   options_ = options;
-  family_ = std::move(family).value();
+
+  auto edition = std::make_shared<Edition>();
+  edition->family = std::move(family).value();
+  edition->version = 0;
+  edition->derived_n = data->size();
 
   build_stats_ = IndexBuildStats{};
-  build_stats_.repetitions = family_.repetitions();
-  build_stats_.delta_used = family_.delta();
+  build_stats_.repetitions = edition->family.repetitions();
+  build_stats_.delta_used = edition->family.delta();
   std::vector<FilterTable> tables;
+  std::vector<uint32_t> entry_counts;
   SKEWSEARCH_RETURN_NOT_OK(sharded_internal::BuildShardTables(
-      *data, family_, options.num_shards, options.index.build_threads,
-      &build_stats_, &tables, &base_entry_counts_));
+      *data, edition->family, options.num_shards, options.index.build_threads,
+      &build_stats_, &tables, &entry_counts));
+
+  // Split the flat per-vector entry counts into per-shard maps (the
+  // shard states hold them so a rebuild can swap in counts for its new
+  // edition shard by shard).
+  std::vector<std::unordered_map<VectorId, uint32_t>> counts(tables.size());
+  for (VectorId id = 0; id < data->size(); ++id) {
+    if (entry_counts[id] == 0) continue;
+    counts[static_cast<size_t>(
+        ShardedIndex::ShardOf(id, options.num_shards))]
+        .emplace(id, entry_counts[id]);
+  }
 
   shards_.clear();
   shards_.reserve(tables.size());
-  for (FilterTable& table : tables) {
+  for (size_t s = 0; s < tables.size(); ++s) {
+    auto state = std::make_shared<ShardState>();
+    state->edition = edition;
+    state->base = std::make_shared<FilterTable>(std::move(tables[s]));
+    state->base_counts =
+        std::make_shared<const std::unordered_map<VectorId, uint32_t>>(
+            std::move(counts[s]));
+    state->live_entries = state->base->num_pairs();
     auto shard = std::make_unique<Shard>();
-    shard->base = std::move(table);
-    shard->live_entries = shard->base.num_pairs();
+    shard->state.store(state.get(), std::memory_order_seq_cst);
+    shard->owner = std::move(state);
     shards_.push_back(std::move(shard));
   }
+
+  {
+    std::lock_guard<std::mutex> lock(editions_mutex_);
+    editions_.clear();
+    editions_.push_back(edition);
+  }
+  current_edition_.store(edition.get(), std::memory_order_seq_cst);
   base_n_ = data->size();
   next_id_.store(static_cast<VectorId>(base_n_), std::memory_order_relaxed);
   compactions_.store(0, std::memory_order_relaxed);
+  rebuilds_.store(0, std::memory_order_relaxed);
   build_stats_.build_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
@@ -130,8 +430,7 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
           "item outside the distribution's universe");
     }
     if (i > 0 && items[i] <= items[i - 1]) {
-      return Status::InvalidArgument(
-          "items must be strictly increasing");
+      return Status::InvalidArgument("items must be strictly increasing");
     }
   }
   const VectorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -139,29 +438,47 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
     return Status::Internal("vector id space exhausted");
   }
 
-  // Path generation happens outside any lock; the family is immutable.
-  std::vector<uint64_t> keys;
-  for (int rep = 0; rep < family_.repetitions(); ++rep) {
-    family_.ComputeFilters(items, static_cast<uint32_t>(rep), &keys, nullptr);
-  }
-  if (num_filters != nullptr) *num_filters = keys.size();
-
   Shard& shard =
       *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
-  WriterLock lock(shard.mutex);
-  Shard::InsertedVector record;
-  record.items.assign(items.begin(), items.end());
-  record.entries = static_cast<uint32_t>(keys.size());
-  shard.inserted.emplace(id, std::move(record));
-  for (uint64_t key : keys) {
-    // Keep each delta posting list sorted by id so the documented scan
-    // order (key position, base-before-delta, id) holds regardless of
-    // which writer won the lock first; ids mostly arrive in increasing
-    // order, so this is an O(1) append in the common case.
-    std::vector<VectorId>& ids = shard.delta[key];
-    ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+
+  // Path generation happens outside any lock against the shard's
+  // current edition (editions live for the index lifetime, so the raw
+  // pointer stays valid past the pin).
+  const Edition* edition = nullptr;
+  {
+    EpochManager::Guard guard = epochs_.Pin();
+    edition = shard.state.load(std::memory_order_seq_cst)->edition.get();
   }
-  shard.live_entries += keys.size();
+  std::vector<uint64_t> keys;
+  auto compute = [&](const Edition& ed) {
+    keys.clear();
+    for (int rep = 0; rep < ed.family.repetitions(); ++rep) {
+      ed.family.ComputeFilters(items, static_cast<uint32_t>(rep), &keys,
+                               nullptr);
+    }
+  };
+  compute(*edition);
+
+  MutexLock lock(shard.writer);
+  const ShardState& s1 = *shard.owner;
+  if (s1.edition.get() != edition) {
+    // A rebuild migrated the shard between key generation and the lock;
+    // regenerate under the edition the postings must match (rare).
+    compute(*s1.edition);
+  }
+  if (num_filters != nullptr) *num_filters = keys.size();
+  auto next = std::make_shared<ShardState>(s1);
+  auto record = std::make_shared<ShardState::InsertedVector>();
+  record->items.assign(items.begin(), items.end());
+  record->entries = static_cast<uint32_t>(keys.size());
+  next->PutInserted(id, std::move(record));
+  // Copy-on-write the touched buckets + posting lists, keeping each
+  // list sorted by id so the documented scan order (key position,
+  // base-before-delta, id) holds regardless of which writer won the
+  // lock first.
+  next->AppendDeltaAll(keys, id);
+  next->live_entries += keys.size();
+  PublishLocked(&shard, std::move(next));
   return id;
 }
 
@@ -170,86 +487,342 @@ Status DynamicIndex::Remove(VectorId id) {
   if (id >= next_id_.load(std::memory_order_relaxed)) {
     return Status::NotFound("no such vector id");
   }
-  Shard& shard =
-      *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
-
-  WriterLock lock(shard.mutex);
-  size_t entries = 0;
+  const int s = ShardedIndex::ShardOf(id, num_shards());
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  MutexLock lock(shard.writer);
+  const ShardState& s1 = *shard.owner;
+  uint32_t entries = 0;
   if (id < base_n_) {
-    if (!shard.removed_base.insert(id).second) {
+    if (s1.HasRemovedBase(id)) {
       return Status::NotFound("vector already removed");
     }
-    entries = base_entry_counts_[id];
+    auto it = s1.base_counts->find(id);
+    entries = it != s1.base_counts->end() ? it->second : 0;
   } else {
-    auto it = shard.inserted.find(id);
-    if (it == shard.inserted.end()) {
+    const ShardState::InsertedVector* record = s1.FindInserted(id);
+    if (record == nullptr) {
       return Status::NotFound("no such vector id");
     }
-    entries = it->second.entries;
-    shard.inserted.erase(it);
+    entries = record->entries;
   }
-  shard.tombstones.insert(id);
-  shard.dead_entries += entries;
-  shard.live_entries -= std::min(shard.live_entries, entries);
-  const size_t total = shard.live_entries + shard.dead_entries;
-  if (total > 0 &&
-      static_cast<double>(shard.dead_entries) >
-          options_.compact_dead_fraction * static_cast<double>(total)) {
-    CompactShardLocked(&shard);
+  auto next = std::make_shared<ShardState>(s1);
+  if (id < base_n_) {
+    next->AddRemovedBase(id);
+  } else {
+    next->EraseInserted(id);
+  }
+  next->PutTombstone(id, entries);
+  next->dead_entries += entries;
+  next->live_entries -= std::min<size_t>(next->live_entries, entries);
+  const size_t total = next->live_entries + next->dead_entries;
+  const bool wants_maintenance =
+      total > 0 &&
+      static_cast<double>(next->dead_entries) >
+          options_.compact_dead_fraction * static_cast<double>(total);
+  PublishLocked(&shard, std::move(next));
+  if (wants_maintenance) {
+    // Never compact in the remover's thread: hand the shard to the
+    // maintenance component (if any) and return. Notified under the
+    // shard's writer mutex so SetMaintenanceListener() can act as a
+    // barrier against in-flight callbacks (see its contract).
+    MaintenanceListener* listener =
+        listener_.load(std::memory_order_acquire);
+    if (listener != nullptr) listener->OnShardDirty(s);
   }
   return Status::OK();
 }
 
-void DynamicIndex::CompactShardLocked(Shard* shard) {
+void DynamicIndex::SetMaintenanceListener(MaintenanceListener* listener) {
+  listener_.store(listener, std::memory_order_seq_cst);
+  // Barrier: notifications fire under a shard writer mutex, so taking
+  // and releasing every one guarantees no callback to a *previous*
+  // listener is still in flight when this returns — making it safe to
+  // destroy the old listener afterwards.
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->writer);
+  }
+}
+
+Status DynamicIndex::CompactShard(int s) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  if (s < 0 || s >= num_shards()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  std::shared_ptr<const ShardState> s0 = OwnerOf(s);
+  // Compaction has two jobs: dropping tombstoned postings and folding
+  // the delta into the frozen base (a grown delta slows both queries —
+  // one extra hash probe per key — and the COW write path, which clones
+  // delta buckets). Nothing to do only when both are absent.
+  if (s0->tombstone_count() == 0 && s0->delta_key_count() == 0) {
+    return Status::OK();
+  }
+
+  // Phase 1 (no locks held): rebuild the frozen table from the pinned
+  // snapshot, dropping tombstoned postings and folding the delta in.
   FilterTable fresh;
-  fresh.Reserve(shard->live_entries);
-  for (size_t k = 0; k < shard->base.num_keys(); ++k) {
-    const uint64_t key = shard->base.key_at(k);
-    for (VectorId id : shard->base.postings_at(k)) {
-      if (shard->tombstones.count(id) == 0) fresh.Add(key, id);
+  fresh.Reserve(s0->live_entries);
+  for (size_t k = 0; k < s0->base->num_keys(); ++k) {
+    const uint64_t key = s0->base->key_at(k);
+    for (VectorId id : s0->base->postings_at(k)) {
+      if (!s0->IsTombstoned(id)) fresh.Add(key, id);
     }
   }
-  for (const auto& [key, ids] : shard->delta) {
-    for (VectorId id : ids) {
-      if (shard->tombstones.count(id) == 0) fresh.Add(key, id);
+  s0->ForEachDelta([&](uint64_t key, const auto& ids) {
+    for (VectorId id : *ids) {
+      if (!s0->IsTombstoned(id)) fresh.Add(key, id);
     }
+  });
+  fresh.Freeze();
+
+  // Phase 2: merge the mutations that raced phase 1 and publish. The
+  // lock section is bounded by that churn, not by the shard size.
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  {
+    MutexLock lock(shard.writer);
+    const ShardState& s1 = *shard.owner;
+    if (s1.edition != s0->edition) {
+      return Status::OK();  // a rebuild superseded this compaction
+    }
+    auto next = std::make_shared<ShardState>();
+    next->edition = s1.edition;
+    next->base = std::make_shared<FilterTable>(std::move(fresh));
+    next->base_counts = s1.base_counts;
+    next->inserted = s1.inserted;
+    next->removed_base = s1.removed_base;
+    // Postings of vectors inserted after the snapshot stay in the delta;
+    // everything the snapshot covered is now in the base table.
+    size_t delta_entries = 0;
+    std::array<ShardState::DeltaMap, ShardState::kDeltaBuckets> kept;
+    s1.ForEachDelta([&](uint64_t key, const auto& ids) {
+      std::vector<VectorId> keep;
+      for (VectorId id : *ids) {
+        if (s0->FindInserted(id) == nullptr && !s0->IsTombstoned(id)) {
+          keep.push_back(id);
+        }
+      }
+      if (!keep.empty()) {
+        delta_entries += keep.size();
+        kept[ShardState::DeltaBucketOf(key)].emplace(
+            key, std::make_shared<const std::vector<VectorId>>(
+                     std::move(keep)));
+      }
+    });
+    next->SetDelta(std::move(kept));
+    // Tombstones the snapshot did not cover keep their (still physically
+    // present) postings and stay dead until the next compaction.
+    size_t dead = 0;
+    std::array<ShardState::TombstoneMap, ShardState::kInsertedBuckets>
+        kept_tombs;
+    s1.ForEachTombstone([&](VectorId id, uint32_t entries) {
+      if (!s0->IsTombstoned(id)) {
+        kept_tombs[ShardState::BucketOf(id)].emplace(id, entries);
+        dead += entries;
+      }
+    });
+    next->SetTombstones(std::move(kept_tombs));
+    next->dead_entries = dead;
+    const size_t total = next->base->num_pairs() + delta_entries;
+    next->live_entries = total - std::min(total, dead);
+    PublishLocked(&shard, std::move(next));
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  epochs_.Collect();
+  return Status::OK();
+}
+
+Status DynamicIndex::RebuildShardLocked(
+    int s, std::shared_ptr<const Edition> edition) {
+  std::shared_ptr<const ShardState> s0 = OwnerOf(s);
+  const FilterFamily& family = edition->family;
+
+  // Phase 1 (no locks held): replay the path engine under the new
+  // edition for every vector that was live in the snapshot.
+  FilterTable fresh;
+  auto base_counts =
+      std::make_shared<std::unordered_map<VectorId, uint32_t>>();
+  std::unordered_map<VectorId, uint32_t> replayed;  // live inserted ids
+  std::vector<uint64_t> keys;
+  auto replay = [&](std::span<const ItemId> items, VectorId id) {
+    keys.clear();
+    for (int rep = 0; rep < family.repetitions(); ++rep) {
+      family.ComputeFilters(items, static_cast<uint32_t>(rep), &keys,
+                            nullptr);
+    }
+    for (uint64_t key : keys) fresh.Add(key, id);
+    return static_cast<uint32_t>(keys.size());
+  };
+  for (VectorId id = 0; id < base_n_; ++id) {
+    if (ShardedIndex::ShardOf(id, num_shards()) != s) continue;
+    if (s0->HasRemovedBase(id)) continue;
+    const uint32_t count = replay(data_->Get(id), id);
+    if (count > 0) base_counts->emplace(id, count);
+  }
+  std::vector<VectorId> inserted_ids;
+  inserted_ids.reserve(s0->inserted_count());
+  s0->ForEachInserted(
+      [&](VectorId id, const auto& /*record*/) { inserted_ids.push_back(id); });
+  std::sort(inserted_ids.begin(), inserted_ids.end());
+  // New-edition records for every vector inserted as of the snapshot are
+  // also built here, off-lock — the merge below must not pay O(shard)
+  // item copies while holding the writer mutex.
+  std::unordered_map<VectorId,
+                     std::shared_ptr<const ShardState::InsertedVector>>
+      prebuilt;
+  prebuilt.reserve(inserted_ids.size());
+  for (VectorId id : inserted_ids) {
+    const ShardState::InsertedVector& record = *s0->FindInserted(id);
+    const uint32_t count =
+        replay({record.items.data(), record.items.size()}, id);
+    replayed.emplace(id, count);
+    auto fresh_record = std::make_shared<ShardState::InsertedVector>();
+    fresh_record->items = record.items;
+    fresh_record->entries = count;
+    prebuilt.emplace(id, std::move(fresh_record));
   }
   fresh.Freeze();
-  shard->base = std::move(fresh);
-  shard->delta.clear();
-  shard->tombstones.clear();  // removed_base stays: liveness, not postings
-  shard->live_entries = shard->base.num_pairs();
-  shard->dead_entries = 0;
-  compactions_.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 2: short merge of the churn that raced the replay, publish.
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  MutexLock lock(shard.writer);
+  const ShardState& s1 = *shard.owner;
+  if (s1.edition != s0->edition) {
+    return Status::Internal("concurrent edition change during rebuild");
+  }
+  auto next = std::make_shared<ShardState>();
+  next->edition = edition;
+  next->base_counts = base_counts;
+  next->removed_base = s1.removed_base;
+  size_t delta_entries = 0;
+  std::unordered_map<uint64_t, std::vector<VectorId>> delta;
+  std::array<ShardState::InsertedMap, ShardState::kInsertedBuckets>
+      fresh_buckets;
+  s1.ForEachInserted([&](VectorId id, const auto& record) {
+    auto done = prebuilt.find(id);
+    if (done != prebuilt.end()) {
+      // Folded into the fresh base table; the new-edition record was
+      // already built off-lock — O(1) here.
+      fresh_buckets[ShardState::BucketOf(id)].emplace(
+          id, std::move(done->second));
+      return;
+    }
+    // Inserted while we were replaying: generate its postings under
+    // the new edition now (bounded by the churn, not the shard size).
+    keys.clear();
+    for (int rep = 0; rep < family.repetitions(); ++rep) {
+      family.ComputeFilters({record->items.data(), record->items.size()},
+                            static_cast<uint32_t>(rep), &keys, nullptr);
+    }
+    for (uint64_t key : keys) delta[key].push_back(id);
+    delta_entries += keys.size();
+    auto fresh_record = std::make_shared<ShardState::InsertedVector>();
+    fresh_record->items = record->items;
+    fresh_record->entries = static_cast<uint32_t>(keys.size());
+    fresh_buckets[ShardState::BucketOf(id)].emplace(
+        id, std::move(fresh_record));
+  });
+  for (size_t b = 0; b < fresh_buckets.size(); ++b) {
+    if (fresh_buckets[b].empty()) continue;
+    next->inserted[b] = std::make_shared<const ShardState::InsertedMap>(
+        std::move(fresh_buckets[b]));
+  }
+  std::array<ShardState::DeltaMap, ShardState::kDeltaBuckets> delta_buckets;
+  for (auto& [key, ids] : delta) {
+    std::sort(ids.begin(), ids.end());
+    delta_buckets[ShardState::DeltaBucketOf(key)].emplace(
+        key, std::make_shared<const std::vector<VectorId>>(std::move(ids)));
+  }
+  next->SetDelta(std::move(delta_buckets));
+  size_t dead = 0;
+  std::array<ShardState::TombstoneMap, ShardState::kInsertedBuckets>
+      tomb_buckets;
+  s1.ForEachTombstone([&](VectorId id, uint32_t /*old_entries*/) {
+    if (s0->IsTombstoned(id)) return;  // not regenerated
+    uint32_t entries = 0;
+    if (id < base_n_) {
+      auto it = base_counts->find(id);
+      entries = it != base_counts->end() ? it->second : 0;
+    } else {
+      auto it = replayed.find(id);
+      if (it == replayed.end()) return;  // insert+remove raced phase 1
+      entries = it->second;
+    }
+    tomb_buckets[ShardState::BucketOf(id)].emplace(id, entries);
+    dead += entries;
+  });
+  next->SetTombstones(std::move(tomb_buckets));
+  next->base = std::make_shared<FilterTable>(std::move(fresh));
+  next->dead_entries = dead;
+  const size_t total = next->base->num_pairs() + delta_entries;
+  next->live_entries = total - std::min(total, dead);
+  PublishLocked(&shard, std::move(next));
+  return Status::OK();
 }
 
-std::span<const ItemId> DynamicIndex::ItemsOf(const Shard& shard,
+Status DynamicIndex::RebuildForSize(size_t target_n) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  if (target_n < 2) {
+    return Status::InvalidArgument("target size must be at least 2");
+  }
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  Result<FilterFamily> family =
+      FilterFamily::Create(dist_, options_.index, target_n);
+  if (!family.ok()) return family.status();
+  auto edition = std::make_shared<Edition>();
+  edition->family = std::move(family).value();
+  edition->derived_n = target_n;
+  {
+    std::lock_guard<std::mutex> lock(editions_mutex_);
+    edition->version = static_cast<uint64_t>(editions_.size());
+    editions_.push_back(edition);
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    SKEWSEARCH_RETURN_NOT_OK(RebuildShardLocked(s, edition));
+  }
+  current_edition_.store(edition.get(), std::memory_order_seq_cst);
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  epochs_.Collect();
+  return Status::OK();
+}
+
+std::span<const ItemId> DynamicIndex::ItemsOf(const ShardState& state,
                                               VectorId id) const {
   if (id < base_n_) return data_->Get(id);
-  auto it = shard.inserted.find(id);
-  if (it == shard.inserted.end()) return {};
-  return {it->second.items.data(), it->second.items.size()};
+  const ShardState::InsertedVector* record = state.FindInserted(id);
+  if (record == nullptr) return {};
+  return {record->items.data(), record->items.size()};
 }
 
-// Per-query workspace reused across a batch.
+// Per-query workspace reused across a batch. Editions are keyed by
+// pointer; almost every query sees exactly one.
 struct DynamicIndex::QueryScratch {
-  std::vector<uint64_t> keys;
+  struct EditionKeys {
+    const Edition* edition = nullptr;
+    std::vector<uint64_t> keys;
+  };
+  std::vector<EditionKeys> editions;
   std::vector<std::unordered_set<VectorId>> seen;
   PathGenStats path_gen;
+
+  EditionKeys& KeysFor(const Edition* edition) {
+    for (EditionKeys& entry : editions) {
+      if (entry.edition == edition) return entry;
+    }
+    editions.push_back(EditionKeys{edition, {}});
+    return editions.back();
+  }
 };
 
 DynamicIndex::RepHit DynamicIndex::ScanShardRep(
-    const Shard& shard, std::span<const ItemId> query,
+    const ShardState& state, std::span<const ItemId> query,
     const std::vector<uint64_t>& keys, std::unordered_set<VectorId>* seen,
     QueryStats* stats) const {
   RepHit hit;
-  const double threshold = family_.verify_threshold();
-  ReaderLock lock(shard.mutex);
-  auto consider = [&](uint64_t /*key*/, size_t key_idx, uint8_t phase,
-                      VectorId id) {
+  const double threshold = state.edition->family.verify_threshold();
+  auto consider = [&](size_t key_idx, uint8_t phase, VectorId id) {
     if (!seen->insert(id).second) return false;
-    if (shard.tombstones.count(id) > 0) return false;
-    auto items = ItemsOf(shard, id);
+    if (state.IsTombstoned(id)) return false;
+    auto items = ItemsOf(state, id);
     if (items.empty()) return false;
     stats->verifications++;
     double sim = Similarity(options_.index.verify_measure, query, items);
@@ -264,50 +837,58 @@ DynamicIndex::RepHit DynamicIndex::ScanShardRep(
     return false;
   };
   for (size_t ki = 0; ki < keys.size(); ++ki) {
-    auto postings = shard.base.Lookup(keys[ki]);
+    auto postings = state.base->Lookup(keys[ki]);
     stats->candidates += postings.size();
     for (VectorId id : postings) {
-      if (consider(keys[ki], ki, 0, id)) return hit;
+      if (consider(ki, 0, id)) return hit;
     }
-    auto it = shard.delta.find(keys[ki]);
-    if (it != shard.delta.end()) {
-      stats->candidates += it->second.size();
-      for (VectorId id : it->second) {
-        if (consider(keys[ki], ki, 1, id)) return hit;
+    const std::vector<VectorId>* extra = state.FindDelta(keys[ki]);
+    if (extra != nullptr) {
+      stats->candidates += extra->size();
+      for (VectorId id : *extra) {
+        if (consider(ki, 1, id)) return hit;
       }
     }
   }
   return hit;
 }
 
-std::optional<Match> DynamicIndex::Query(std::span<const ItemId> query,
-                                         QueryStats* stats) const {
-  QueryScratch scratch;
-  return QueryImpl(query, stats, &scratch);
-}
-
-std::optional<Match> DynamicIndex::QueryImpl(std::span<const ItemId> query,
-                                             QueryStats* stats,
-                                             QueryScratch* scratch) const {
+std::optional<Match> DynamicIndex::QueryImpl(
+    const std::vector<const void*>& states, std::span<const ItemId> query,
+    QueryStats* stats, QueryScratch* scratch) const {
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
-  if (built() && !query.empty()) {
-    const size_t num = shards_.size();
+  if (!states.empty() && !query.empty()) {
+    const size_t num = states.size();
     scratch->seen.resize(num);
     for (auto& seen : scratch->seen) seen.clear();
-    for (int rep = 0; rep < family_.repetitions() && !found; ++rep) {
-      scratch->keys.clear();
-      PathGenStats gen;
-      family_.ComputeFilters(query, static_cast<uint32_t>(rep),
-                             &scratch->keys, &gen);
-      AddPathGenStats(&scratch->path_gen, gen);
-      local.filters += scratch->keys.size();
+    // Editions referenced by this view (usually one; two mid-rebuild).
+    scratch->editions.clear();
+    int max_reps = 0;
+    for (const void* raw : states) {
+      const auto* state = static_cast<const ShardState*>(raw);
+      scratch->KeysFor(state->edition.get());
+      max_reps = std::max(max_reps, state->edition->family.repetitions());
+    }
+    std::vector<RepHit> hits(num);
+    for (int rep = 0; rep < max_reps && !found; ++rep) {
+      for (auto& entry : scratch->editions) {
+        if (rep >= entry.edition->family.repetitions()) continue;
+        entry.keys.clear();
+        PathGenStats gen;
+        entry.edition->family.ComputeFilters(
+            query, static_cast<uint32_t>(rep), &entry.keys, &gen);
+        AddPathGenStats(&scratch->path_gen, gen);
+        local.filters += entry.keys.size();
+      }
       const RepHit* best = nullptr;
-      std::vector<RepHit> hits(num);
       for (size_t s = 0; s < num; ++s) {
+        const auto* state = static_cast<const ShardState*>(states[s]);
+        if (rep >= state->edition->family.repetitions()) continue;
         QueryStats shard_stats;
-        hits[s] = ScanShardRep(*shards_[s], query, scratch->keys,
+        hits[s] = ScanShardRep(*state, query,
+                               scratch->KeysFor(state->edition.get()).keys,
                                &scratch->seen[s], &shard_stats);
         local.candidates += shard_stats.candidates;
         local.verifications += shard_stats.verifications;
@@ -331,40 +912,51 @@ std::optional<Match> DynamicIndex::QueryImpl(std::span<const ItemId> query,
   return found;
 }
 
-std::vector<Match> DynamicIndex::QueryAll(std::span<const ItemId> query,
-                                          double threshold,
-                                          QueryStats* stats) const {
+std::vector<Match> DynamicIndex::QueryAllImpl(
+    const std::vector<const void*>& states, std::span<const ItemId> query,
+    double threshold, QueryStats* stats) const {
   Timer timer;
   QueryStats local;
   std::vector<Match> out;
-  if (built() && !query.empty()) {
-    std::vector<uint64_t> keys;
-    for (int rep = 0; rep < family_.repetitions(); ++rep) {
-      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                             nullptr);
-    }
-    local.filters = keys.size();
-    for (const auto& shard_ptr : shards_) {
-      const Shard& shard = *shard_ptr;
+  if (!states.empty() && !query.empty()) {
+    // Full key lists (all repetitions) per referenced edition.
+    std::vector<std::pair<const Edition*, std::vector<uint64_t>>> keys;
+    auto keys_for = [&](const Edition* edition)
+        -> const std::vector<uint64_t>& {
+      for (auto& entry : keys) {
+        if (entry.first == edition) return entry.second;
+      }
+      keys.emplace_back(edition, std::vector<uint64_t>());
+      std::vector<uint64_t>& fresh = keys.back().second;
+      for (int rep = 0; rep < edition->family.repetitions(); ++rep) {
+        edition->family.ComputeFilters(query, static_cast<uint32_t>(rep),
+                                       &fresh, nullptr);
+      }
+      local.filters += fresh.size();
+      return fresh;
+    };
+    for (const void* raw : states) {
+      const auto* state = static_cast<const ShardState*>(raw);
+      const std::vector<uint64_t>& shard_keys =
+          keys_for(state->edition.get());
       std::unordered_set<VectorId> seen;
-      ReaderLock lock(shard.mutex);
       auto consider = [&](VectorId id) {
         if (!seen.insert(id).second) return;
-        if (shard.tombstones.count(id) > 0) return;
-        auto items = ItemsOf(shard, id);
+        if (state->IsTombstoned(id)) return;
+        auto items = ItemsOf(*state, id);
         if (items.empty()) return;
         local.verifications++;
         double sim = Similarity(options_.index.verify_measure, query, items);
         if (sim >= threshold) out.push_back({id, sim});
       };
-      for (uint64_t key : keys) {
-        auto postings = shard.base.Lookup(key);
+      for (uint64_t key : shard_keys) {
+        auto postings = state->base->Lookup(key);
         local.candidates += postings.size();
         for (VectorId id : postings) consider(id);
-        auto it = shard.delta.find(key);
-        if (it != shard.delta.end()) {
-          local.candidates += it->second.size();
-          for (VectorId id : it->second) consider(id);
+        const std::vector<VectorId>* extra = state->FindDelta(key);
+        if (extra != nullptr) {
+          local.candidates += extra->size();
+          for (VectorId id : *extra) consider(id);
         }
       }
       local.distinct_candidates += seen.size();
@@ -379,6 +971,72 @@ std::vector<Match> DynamicIndex::QueryAll(std::span<const ItemId> query,
   return out;
 }
 
+std::optional<Match> DynamicIndex::Query(std::span<const ItemId> query,
+                                         QueryStats* stats) const {
+  if (!built()) {
+    if (stats != nullptr) *stats = QueryStats{};
+    return std::nullopt;
+  }
+  Snapshot snapshot = GetSnapshot();
+  QueryScratch scratch;
+  return QueryImpl(snapshot.states_, query, stats, &scratch);
+}
+
+std::vector<Match> DynamicIndex::QueryAll(std::span<const ItemId> query,
+                                          double threshold,
+                                          QueryStats* stats) const {
+  if (!built()) {
+    if (stats != nullptr) *stats = QueryStats{};
+    return {};
+  }
+  Snapshot snapshot = GetSnapshot();
+  return QueryAllImpl(snapshot.states_, query, threshold, stats);
+}
+
+DynamicIndex::Snapshot DynamicIndex::GetSnapshot() const {
+  Snapshot snapshot;
+  if (!built()) return snapshot;
+  snapshot.index_ = this;
+  snapshot.guard_ = epochs_.Pin();
+  snapshot.states_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.states_.push_back(
+        shard->state.load(std::memory_order_seq_cst));
+  }
+  return snapshot;
+}
+
+std::optional<Match> DynamicIndex::Snapshot::Query(
+    std::span<const ItemId> query, QueryStats* stats) const {
+  if (!valid()) {
+    if (stats != nullptr) *stats = QueryStats{};
+    return std::nullopt;
+  }
+  QueryScratch scratch;
+  return index_->QueryImpl(states_, query, stats, &scratch);
+}
+
+std::vector<Match> DynamicIndex::Snapshot::QueryAll(
+    std::span<const ItemId> query, double threshold,
+    QueryStats* stats) const {
+  if (!valid()) {
+    if (stats != nullptr) *stats = QueryStats{};
+    return {};
+  }
+  return index_->QueryAllImpl(states_, query, threshold, stats);
+}
+
+size_t DynamicIndex::Snapshot::size() const {
+  if (!valid()) return 0;
+  size_t live = index_->base_n_;
+  for (const void* raw : states_) {
+    const auto* state = static_cast<const ShardState*>(raw);
+    live += state->inserted_count();
+    live -= state->removed_base_count();
+  }
+  return live;
+}
+
 std::vector<std::optional<Match>> DynamicIndex::BatchQuery(
     const Dataset& queries, int threads, std::vector<QueryStats>* stats,
     BatchQueryStats* batch_stats) const {
@@ -390,10 +1048,14 @@ std::vector<std::optional<Match>> DynamicIndex::BatchQuery(
 std::vector<std::optional<Match>> DynamicIndex::BatchQuery(
     const Dataset& queries, ThreadPool* pool, std::vector<QueryStats>* stats,
     BatchQueryStats* batch_stats) const {
+  // One pinned snapshot for the whole batch: a consistent cross-shard
+  // cut, unaffected by concurrent writers, compaction or rebuild.
+  Snapshot snapshot = GetSnapshot();
   return batch_internal::Run<QueryScratch>(
       queries, pool, stats, batch_stats,
       [&](size_t i, QueryScratch* scratch, QueryStats* query_stats) {
-        return QueryImpl(queries.Get(static_cast<VectorId>(i)), query_stats,
+        return QueryImpl(snapshot.states_,
+                         queries.Get(static_cast<VectorId>(i)), query_stats,
                          scratch);
       },
       [](const QueryScratch& scratch, BatchQueryStats* agg) {
@@ -405,46 +1067,108 @@ bool DynamicIndex::IsLive(VectorId id) const {
   if (!built() || id >= next_id_.load(std::memory_order_relaxed)) {
     return false;
   }
-  const Shard& shard =
-      *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
-  ReaderLock lock(shard.mutex);
-  if (id < base_n_) return shard.removed_base.count(id) == 0;
-  return shard.inserted.count(id) > 0;
+  EpochManager::Guard guard = epochs_.Pin();
+  const ShardState* state =
+      shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))]
+          ->state.load(std::memory_order_seq_cst);
+  if (id < base_n_) return !state->HasRemovedBase(id);
+  return state->FindInserted(id) != nullptr;
 }
 
 size_t DynamicIndex::size() const {
   if (!built()) return 0;
-  size_t live = base_n_;
-  for (const auto& shard_ptr : shards_) {
-    ReaderLock lock(shard_ptr->mutex);
-    live += shard_ptr->inserted.size();
-    live -= shard_ptr->removed_base.size();
-  }
-  return live;
+  return GetSnapshot().size();
 }
 
 size_t DynamicIndex::num_tombstones() const {
+  if (!built()) return 0;
+  EpochManager::Guard guard = epochs_.Pin();
   size_t total = 0;
-  for (const auto& shard_ptr : shards_) {
-    ReaderLock lock(shard_ptr->mutex);
-    total += shard_ptr->tombstones.size();
+  for (const auto& shard : shards_) {
+    total +=
+        shard->state.load(std::memory_order_seq_cst)->tombstone_count();
   }
   return total;
 }
 
+ShardHealth DynamicIndex::Health(int s) const {
+  ShardHealth health;
+  if (!built() || s < 0 || s >= num_shards()) return health;
+  EpochManager::Guard guard = epochs_.Pin();
+  const ShardState* state =
+      shards_[static_cast<size_t>(s)]->state.load(std::memory_order_seq_cst);
+  health.live_entries = state->live_entries;
+  health.dead_entries = state->dead_entries;
+  state->ForEachDelta([&](uint64_t /*key*/, const auto& ids) {
+    health.delta_entries += ids->size();
+  });
+  health.tombstones = state->tombstone_count();
+  health.edition = state->edition->version;
+  const size_t total = health.live_entries + health.dead_entries;
+  health.dead_ratio =
+      total > 0 ? static_cast<double>(health.dead_entries) /
+                      static_cast<double>(total)
+                : 0.0;
+  return health;
+}
+
+OnlineIndexProfile DynamicIndex::Profile() const {
+  OnlineIndexProfile profile;
+  if (!built()) return profile;
+  EpochManager::Guard guard = epochs_.Pin();
+  for (const auto& shard : shards_) {
+    const ShardState* state =
+        shard->state.load(std::memory_order_seq_cst);
+    profile.base_entries += state->base->num_pairs();
+    profile.dead_entries += state->dead_entries;
+    profile.delta_keys += state->delta_key_count();
+    state->ForEachDelta([&](uint64_t /*key*/, const auto& ids) {
+      profile.delta_entries += ids->size();
+    });
+  }
+  return profile;
+}
+
+size_t DynamicIndex::derived_n() const {
+  const Edition* edition = current_edition_.load(std::memory_order_acquire);
+  return edition != nullptr ? edition->derived_n : 0;
+}
+
+uint64_t DynamicIndex::edition_version() const {
+  const Edition* edition = current_edition_.load(std::memory_order_acquire);
+  return edition != nullptr ? edition->version : 0;
+}
+
+int DynamicIndex::repetitions() const {
+  const Edition* edition = current_edition_.load(std::memory_order_acquire);
+  return edition != nullptr ? edition->family.repetitions() : 0;
+}
+
+double DynamicIndex::verify_threshold() const {
+  const Edition* edition = current_edition_.load(std::memory_order_acquire);
+  return edition != nullptr ? edition->family.verify_threshold() : 0.0;
+}
+
+const FilterFamily& DynamicIndex::family() const {
+  return current_edition_.load(std::memory_order_acquire)->family;
+}
+
 size_t DynamicIndex::MemoryBytes() const {
+  if (!built()) return 0;
+  EpochManager::Guard guard = epochs_.Pin();
   size_t total = 0;
-  for (const auto& shard_ptr : shards_) {
-    ReaderLock lock(shard_ptr->mutex);
-    const Shard& shard = *shard_ptr;
-    total += shard.base.MemoryBytes();
-    for (const auto& [key, ids] : shard.delta) {
-      total += sizeof(key) + ids.capacity() * sizeof(VectorId);
-    }
-    total += shard.tombstones.size() * sizeof(VectorId);
-    for (const auto& [id, vec] : shard.inserted) {
-      total += sizeof(id) + vec.items.capacity() * sizeof(ItemId);
-    }
+  for (const auto& shard : shards_) {
+    const ShardState* state =
+        shard->state.load(std::memory_order_seq_cst);
+    total += state->base->MemoryBytes();
+    state->ForEachDelta([&](uint64_t key, const auto& ids) {
+      total += sizeof(key) + ids->capacity() * sizeof(VectorId);
+    });
+    total +=
+        state->tombstone_count() * (sizeof(VectorId) + sizeof(uint32_t));
+    state->ForEachInserted([&](VectorId id, const auto& record) {
+      total += sizeof(id) + record->items.capacity() * sizeof(ItemId);
+    });
   }
   return total;
 }
@@ -458,58 +1182,91 @@ Status DynamicIndex::Save(const std::string& path) const {
   if (!out) {
     return Status::IOError("cannot open '" + path + "' for writing");
   }
-  // Lock every shard (shared) so the snapshot is cross-shard consistent;
-  // writers block on their one shard until we finish.
-  std::vector<ReaderLock> locks;
-  locks.reserve(shards_.size());
-  for (const auto& shard_ptr : shards_) {
-    locks.emplace_back(shard_ptr->mutex);
+  // One pinned snapshot: cross-shard consistent, and writers are never
+  // blocked while we serialize.
+  Snapshot snapshot = GetSnapshot();
+  std::vector<std::shared_ptr<const Edition>> editions;
+  {
+    std::lock_guard<std::mutex> lock(editions_mutex_);
+    editions = editions_;
   }
 
   out.write(kDynamicMagic, sizeof(kDynamicMagic));
   const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
   const uint64_t base_n = base_n_;
   const uint32_t next_id = next_id_.load(std::memory_order_relaxed);
-  bool ok = io::WriteParams(out, options_.index, family_.verify_threshold(),
+  bool ok = io::WriteParams(out, options_.index,
+                            editions[0]->family.verify_threshold(),
                             build_stats_) &&
             io::WritePod(out, io::Fingerprint(*data_)) &&
             io::WritePod(out, num_shards) &&
             io::WritePod(out, options_.compact_dead_fraction) &&
             io::WritePod(out, base_n) && io::WritePod(out, next_id);
+  const uint32_t num_editions = static_cast<uint32_t>(editions.size());
+  ok = ok && io::WritePod(out, num_editions);
+  for (const auto& edition : editions) {
+    const uint64_t derived_n = edition->derived_n;
+    const int32_t repetitions = edition->family.repetitions();
+    const double delta = edition->family.delta();
+    const double verify_threshold = edition->family.verify_threshold();
+    ok = ok && io::WritePod(out, derived_n) &&
+         io::WritePod(out, repetitions) && io::WritePod(out, delta) &&
+         io::WritePod(out, verify_threshold);
+  }
   if (!ok) return Status::IOError("header write to '" + path + "' failed");
 
-  for (const auto& shard_ptr : shards_) {
-    const Shard& shard = *shard_ptr;
-    SKEWSEARCH_RETURN_NOT_OK(shard.base.WriteTo(&out));
-    // Delta postings, key by key (posting order matters and is kept).
-    uint64_t delta_keys = shard.delta.size();
-    ok = io::WritePod(out, delta_keys);
-    for (const auto& [key, ids] : shard.delta) {
-      ok = ok && io::WritePod(out, key) && io::WriteVector(out, ids);
+  for (const void* raw : snapshot.states_) {
+    const auto* state = static_cast<const ShardState*>(raw);
+    const uint32_t edition_version =
+        static_cast<uint32_t>(state->edition->version);
+    ok = io::WritePod(out, edition_version);
+    if (!ok) return Status::IOError("shard write to '" + path + "' failed");
+    SKEWSEARCH_RETURN_NOT_OK(state->base->WriteTo(&out));
+    // Delta postings sorted by key so identical states save identical
+    // bytes (posting order within a key is kept as stored).
+    std::vector<uint64_t> delta_keys;
+    delta_keys.reserve(state->delta_key_count());
+    state->ForEachDelta(
+        [&](uint64_t key, const auto& /*ids*/) { delta_keys.push_back(key); });
+    std::sort(delta_keys.begin(), delta_keys.end());
+    uint64_t delta_count = delta_keys.size();
+    ok = io::WritePod(out, delta_count);
+    for (uint64_t key : delta_keys) {
+      ok = ok && io::WritePod(out, key) &&
+           io::WriteVector(out, *state->FindDelta(key));
     }
-    // Tombstones and removed base ids, sorted so identical states save
-    // identical bytes.
-    std::vector<VectorId> tombs(shard.tombstones.begin(),
-                                shard.tombstones.end());
+    // Tombstones as (id, entries) pairs, sorted by id.
+    std::vector<std::pair<VectorId, uint32_t>> tombs;
+    tombs.reserve(state->tombstone_count());
+    state->ForEachTombstone([&](VectorId id, uint32_t entries) {
+      tombs.emplace_back(id, entries);
+    });
     std::sort(tombs.begin(), tombs.end());
-    ok = ok && io::WriteVector(out, tombs);
-    std::vector<VectorId> removed(shard.removed_base.begin(),
-                                  shard.removed_base.end());
+    uint64_t tomb_count = tombs.size();
+    ok = ok && io::WritePod(out, tomb_count);
+    for (const auto& [id, entries] : tombs) {
+      ok = ok && io::WritePod(out, id) && io::WritePod(out, entries);
+    }
+    std::vector<VectorId> removed;
+    removed.reserve(state->removed_base_count());
+    state->ForEachRemovedBase(
+        [&](VectorId id) { removed.push_back(id); });
     std::sort(removed.begin(), removed.end());
     ok = ok && io::WriteVector(out, removed);
-    // Inserted vectors, sorted by id for the same reason. Entry counts
-    // are not serialized — Load recomputes them from the postings.
+    // Inserted vectors, sorted by id. Entry counts are not serialized —
+    // Load recomputes them from the postings.
     std::vector<VectorId> ids;
-    ids.reserve(shard.inserted.size());
-    for (const auto& [id, vec] : shard.inserted) ids.push_back(id);
+    ids.reserve(state->inserted_count());
+    state->ForEachInserted(
+        [&](VectorId id, const auto& /*record*/) { ids.push_back(id); });
     std::sort(ids.begin(), ids.end());
     uint64_t inserted_count = ids.size();
     ok = ok && io::WritePod(out, inserted_count);
     for (VectorId id : ids) {
       ok = ok && io::WritePod(out, id) &&
-           io::WriteVector(out, shard.inserted.at(id).items);
+           io::WriteVector(out, state->FindInserted(id)->items);
     }
-    uint64_t live = shard.live_entries, dead = shard.dead_entries;
+    uint64_t live = state->live_entries, dead = state->dead_entries;
     ok = ok && io::WritePod(out, live) && io::WritePod(out, dead);
     if (!ok) return Status::IOError("shard write to '" + path + "' failed");
   }
@@ -540,11 +1297,11 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
     return Status::InvalidArgument(params.message() + " in '" + path + "'");
   }
   uint64_t fingerprint = 0, base_n = 0;
-  uint32_t num_shards = 0, next_id = 0;
+  uint32_t num_shards = 0, next_id = 0, num_editions = 0;
   double compact_fraction = 0.0;
   if (!io::ReadPod(in, &fingerprint) || !io::ReadPod(in, &num_shards) ||
       !io::ReadPod(in, &compact_fraction) || !io::ReadPod(in, &base_n) ||
-      !io::ReadPod(in, &next_id)) {
+      !io::ReadPod(in, &next_id) || !io::ReadPod(in, &num_editions)) {
     return Status::InvalidArgument("truncated index header in '" + path +
                                    "'");
   }
@@ -566,38 +1323,74 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
     return Status::InvalidArgument("corrupt compaction threshold in '" +
                                    path + "'");
   }
-  Result<FilterFamily> family = FilterFamily::Restore(
-      dist, header.options, data->size(), header.stats.repetitions,
-      header.stats.delta_used, header.verify_threshold);
-  if (!family.ok()) {
-    return Status::InvalidArgument("corrupt index header in '" + path +
-                                   "': " + family.status().message());
+  if (num_editions < 1 || num_editions > kMaxEditions) {
+    return Status::InvalidArgument("corrupt edition count in '" + path +
+                                   "'");
+  }
+  std::vector<std::shared_ptr<const Edition>> editions;
+  editions.reserve(num_editions);
+  for (uint32_t e = 0; e < num_editions; ++e) {
+    uint64_t derived_n = 0;
+    int32_t repetitions = 0;
+    double delta = 0.0, verify_threshold = 0.0;
+    if (!io::ReadPod(in, &derived_n) || !io::ReadPod(in, &repetitions) ||
+        !io::ReadPod(in, &delta) || !io::ReadPod(in, &verify_threshold)) {
+      return Status::InvalidArgument("truncated edition block in '" + path +
+                                     "'");
+    }
+    if (derived_n < 2) {
+      return Status::InvalidArgument("corrupt edition block in '" + path +
+                                     "'");
+    }
+    Result<FilterFamily> family = FilterFamily::Restore(
+        dist, header.options, static_cast<size_t>(derived_n), repetitions,
+        delta, verify_threshold);
+    if (!family.ok()) {
+      return Status::InvalidArgument("corrupt edition block in '" + path +
+                                     "': " + family.status().message());
+    }
+    auto edition = std::make_shared<Edition>();
+    edition->family = std::move(family).value();
+    edition->version = e;
+    edition->derived_n = static_cast<size_t>(derived_n);
+    editions.push_back(std::move(edition));
   }
 
   const int shard_count = static_cast<int>(num_shards);
   auto in_shard = [&](VectorId id, int s) {
-    return id < next_id &&
-           ShardedIndex::ShardOf(id, shard_count) == s;
+    return id < next_id && ShardedIndex::ShardOf(id, shard_count) == s;
   };
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
-    SKEWSEARCH_RETURN_NOT_OK(shard->base.ReadFrom(&in));
-    for (size_t k = 0; k < shard->base.num_keys(); ++k) {
-      for (VectorId id : shard->base.postings_at(k)) {
-        if (id >= base_n || !in_shard(id, static_cast<int>(s))) {
+    uint32_t edition_version = 0;
+    if (!io::ReadPod(in, &edition_version) ||
+        edition_version >= num_editions) {
+      return Status::InvalidArgument("corrupt shard edition in '" + path +
+                                     "'");
+    }
+    auto state = std::make_shared<ShardState>();
+    state->edition = editions[edition_version];
+    auto base = std::make_shared<FilterTable>();
+    SKEWSEARCH_RETURN_NOT_OK(base->ReadFrom(&in));
+    for (size_t k = 0; k < base->num_keys(); ++k) {
+      for (VectorId id : base->postings_at(k)) {
+        if (!in_shard(id, static_cast<int>(s))) {
           return Status::InvalidArgument(
               "shard table references out-of-place vector ids");
         }
       }
     }
-    uint64_t delta_keys = 0;
-    if (!io::ReadPod(in, &delta_keys) || delta_keys > (uint64_t{1} << 32)) {
+    state->base = base;
+    uint64_t delta_count = 0;
+    size_t delta_entries = 0;
+    if (!io::ReadPod(in, &delta_count) || delta_count > kMaxBlockCount) {
       return Status::InvalidArgument("corrupt delta block in '" + path +
                                      "'");
     }
-    for (uint64_t k = 0; k < delta_keys; ++k) {
+    std::array<ShardState::DeltaMap, ShardState::kDeltaBuckets>
+        delta_buckets;
+    for (uint64_t k = 0; k < delta_count; ++k) {
       uint64_t key = 0;
       std::vector<VectorId> ids;
       if (!io::ReadPod(in, &key) || !io::ReadVector(in, &ids) ||
@@ -615,20 +1408,43 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
               "delta postings not sorted by vector id");
         }
       }
-      shard->delta.emplace(key, std::move(ids));
+      delta_entries += ids.size();
+      const bool fresh =
+          delta_buckets[ShardState::DeltaBucketOf(key)]
+              .emplace(key, std::make_shared<const std::vector<VectorId>>(
+                                std::move(ids)))
+              .second;
+      if (!fresh) {
+        return Status::InvalidArgument("duplicate delta key in '" + path +
+                                       "'");
+      }
     }
-    std::vector<VectorId> tombs;
-    if (!io::ReadVector(in, &tombs)) {
+    state->SetDelta(std::move(delta_buckets));
+    uint64_t tomb_count = 0;
+    uint64_t tomb_entry_total = 0;
+    if (!io::ReadPod(in, &tomb_count) || tomb_count > kMaxBlockCount) {
       return Status::InvalidArgument("corrupt tombstone block in '" + path +
                                      "'");
     }
-    for (VectorId id : tombs) {
-      if (!in_shard(id, static_cast<int>(s))) {
-        return Status::InvalidArgument(
-            "tombstones reference out-of-place vector ids");
+    std::array<ShardState::TombstoneMap, ShardState::kInsertedBuckets>
+        tomb_buckets;
+    for (uint64_t k = 0; k < tomb_count; ++k) {
+      VectorId id = 0;
+      uint32_t entries = 0;
+      if (!io::ReadPod(in, &id) || !io::ReadPod(in, &entries) ||
+          !in_shard(id, static_cast<int>(s))) {
+        return Status::InvalidArgument("corrupt tombstone block in '" +
+                                       path + "'");
       }
+      if (!tomb_buckets[ShardState::BucketOf(id)]
+               .emplace(id, entries)
+               .second) {
+        return Status::InvalidArgument("duplicate tombstone in '" + path +
+                                       "'");
+      }
+      tomb_entry_total += entries;
     }
-    shard->tombstones.insert(tombs.begin(), tombs.end());
+    state->SetTombstones(std::move(tomb_buckets));
     std::vector<VectorId> removed;
     if (!io::ReadVector(in, &removed)) {
       return Status::InvalidArgument("corrupt removed-base block in '" +
@@ -640,13 +1456,25 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
             "removed-base ids reference out-of-place vector ids");
       }
     }
-    shard->removed_base.insert(removed.begin(), removed.end());
+    {
+      std::array<ShardState::RemovedSet, ShardState::kInsertedBuckets>
+          removed_buckets;
+      for (VectorId id : removed) {
+        removed_buckets[ShardState::BucketOf(id)].insert(id);
+      }
+      for (size_t b = 0; b < removed_buckets.size(); ++b) {
+        if (removed_buckets[b].empty()) continue;
+        state->removed_base[b] = std::make_shared<const ShardState::RemovedSet>(
+            std::move(removed_buckets[b]));
+      }
+    }
     uint64_t inserted_count = 0;
     if (!io::ReadPod(in, &inserted_count) ||
-        inserted_count > (uint64_t{1} << 32)) {
+        inserted_count > kMaxBlockCount) {
       return Status::InvalidArgument("corrupt inserted block in '" + path +
                                      "'");
     }
+    std::unordered_map<VectorId, ShardState::InsertedVector> inserted;
     for (uint64_t k = 0; k < inserted_count; ++k) {
       VectorId id = 0;
       std::vector<ItemId> items;
@@ -655,51 +1483,74 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
                                        "'");
       }
       if (id < base_n || !in_shard(id, static_cast<int>(s)) ||
-          shard->tombstones.count(id) > 0) {
+          state->IsTombstoned(id)) {
         return Status::InvalidArgument(
             "inserted vectors reference out-of-place ids");
       }
       for (size_t i = 0; i < items.size(); ++i) {
         if (items[i] >= dist->dimension() ||
             (i > 0 && items[i] <= items[i - 1])) {
-          return Status::InvalidArgument(
-              "inserted vector has invalid items");
+          return Status::InvalidArgument("inserted vector has invalid items");
         }
       }
-      Shard::InsertedVector record;
+      ShardState::InsertedVector record;
       record.items = std::move(items);
-      shard->inserted.emplace(id, std::move(record));
+      inserted.emplace(id, std::move(record));
     }
     uint64_t live = 0, dead = 0;
     if (!io::ReadPod(in, &live) || !io::ReadPod(in, &dead)) {
       return Status::InvalidArgument("corrupt shard footer in '" + path +
                                      "'");
     }
-    shard->live_entries = static_cast<size_t>(live);
-    shard->dead_entries = static_cast<size_t>(dead);
-    shards.push_back(std::move(shard));
-  }
+    // Structural invariants the in-memory state maintains; reject files
+    // that violate them rather than serving inconsistent accounting.
+    const uint64_t physical =
+        static_cast<uint64_t>(base->num_pairs()) + delta_entries;
+    if (live + dead != physical || dead != tomb_entry_total) {
+      return Status::InvalidArgument("inconsistent entry accounting in '" +
+                                     path + "'");
+    }
+    state->live_entries = static_cast<size_t>(live);
+    state->dead_entries = static_cast<size_t>(dead);
 
-  // Recompute per-vector entry counts (not serialized) by scanning the
-  // postings once: base ids into the flat array, inserted ids into their
-  // records. Tombstoned ids may still appear in postings; their counts
-  // are charged but never read again.
-  std::vector<uint32_t> entry_counts(static_cast<size_t>(base_n), 0);
-  for (const auto& shard : shards) {
+    // Recompute per-vector entry counts (not serialized) by scanning the
+    // postings once: base ids into the shard's count map, inserted ids
+    // into their records. Tombstoned ids may still appear in postings;
+    // their counts are charged but never read again.
+    auto base_counts =
+        std::make_shared<std::unordered_map<VectorId, uint32_t>>();
     auto charge = [&](VectorId id) {
       if (id < base_n) {
-        entry_counts[id]++;
+        (*base_counts)[id]++;
       } else {
-        auto it = shard->inserted.find(id);
-        if (it != shard->inserted.end()) it->second.entries++;
+        auto it = inserted.find(id);
+        if (it != inserted.end()) it->second.entries++;
       }
     };
-    for (size_t k = 0; k < shard->base.num_keys(); ++k) {
-      for (VectorId id : shard->base.postings_at(k)) charge(id);
+    for (size_t k = 0; k < base->num_keys(); ++k) {
+      for (VectorId id : base->postings_at(k)) charge(id);
     }
-    for (const auto& [key, ids] : shard->delta) {
-      for (VectorId id : ids) charge(id);
+    state->ForEachDelta([&](uint64_t /*key*/, const auto& ids) {
+      for (VectorId id : *ids) charge(id);
+    });
+    state->base_counts = std::move(base_counts);
+    std::array<ShardState::InsertedMap, ShardState::kInsertedBuckets>
+        buckets;
+    for (auto& [id, record] : inserted) {
+      buckets[ShardState::BucketOf(id)].emplace(
+          id, std::make_shared<const ShardState::InsertedVector>(
+                  std::move(record)));
     }
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b].empty()) continue;
+      state->inserted[b] = std::make_shared<const ShardState::InsertedMap>(
+          std::move(buckets[b]));
+    }
+
+    auto shard = std::make_unique<Shard>();
+    shard->state.store(state.get(), std::memory_order_seq_cst);
+    shard->owner = std::move(state);
+    shards.push_back(std::move(shard));
   }
 
   data_ = data;
@@ -707,13 +1558,18 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
   options_.index = header.options;
   options_.num_shards = shard_count;
   options_.compact_dead_fraction = compact_fraction;
-  family_ = std::move(family).value();
   build_stats_ = header.stats;
   base_n_ = static_cast<size_t>(base_n);
-  base_entry_counts_ = std::move(entry_counts);
   shards_ = std::move(shards);
+  {
+    std::lock_guard<std::mutex> lock(editions_mutex_);
+    editions_ = std::move(editions);
+    current_edition_.store(editions_.back().get(),
+                           std::memory_order_seq_cst);
+  }
   next_id_.store(next_id, std::memory_order_relaxed);
   compactions_.store(0, std::memory_order_relaxed);
+  rebuilds_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,53 +1,70 @@
 // Copyright 2026 The skewsearch Authors.
 // DynamicIndex: the sharded index made online — Insert() and Remove()
-// after Build(), with concurrent readers.
+// after Build(), with wait-free concurrent readers.
 //
-// Layout per shard: the frozen base posting table (built exactly like a
-// ShardedIndex shard), a delta map holding the postings of vectors
-// inserted since the last rebuild, a tombstone set for removed ids, and
-// the owned item lists of inserted vectors. The filter family never
-// changes after Build() — filter keys are a pure function of
-// (seed, repetition, vector) — so an insert only has to replay the path
-// engine for the new vector and append the resulting (key, id) pairs to
-// its shard's delta under that shard's writer lock.
+// Layout per shard: an immutable *snapshot* published behind an atomic
+// pointer. A snapshot bundles the frozen base posting table, a delta map
+// holding the postings of vectors inserted since the last compaction, a
+// tombstone map for removed ids, the owned item lists of inserted
+// vectors, and the parameter *edition* (filter family) the postings were
+// generated under. Filter keys are a pure function of
+// (seed, repetition, vector), so an insert only replays the path engine
+// for the new vector and appends the resulting (key, id) pairs to its
+// shard's delta.
 //
-// Concurrency contract: readers take one shard's shared lock only for
-// the duration of scanning that shard; writers (insert / remove /
-// compaction) take exactly one shard's exclusive lock. Queries therefore
-// proceed in parallel with each other and with mutations of other
-// shards, and a mutation completed before a query starts is always
-// visible to it (no lost results); a removal completed before a query
-// starts is never returned (no phantoms).
+// Concurrency contract (epoch-based, see maintenance/epoch.h): readers
+// pin an epoch, load the shard snapshot pointers they need, and scan
+// without taking any lock — reads are wait-free and never block on
+// writers, compaction or rebuild. Writers serialize per shard on a
+// plain mutex, clone the current snapshot (cheap: posting lists and
+// inserted vectors are shared substructure), apply their mutation, and
+// publish by a single pointer swap; the old snapshot is retired to the
+// epoch manager and reclaimed once no reader still pins it. A mutation
+// completed before a query starts is always visible to it (no lost
+// results); a removal completed before a query starts is never returned
+// (no phantoms).
 //
-// Removes are tombstones: postings stay in place and readers skip dead
-// ids. When more than compact_dead_fraction of a shard's posting entries
-// are dead, that shard alone is rebuilt (tombstoned entries dropped,
-// delta folded into a fresh frozen table).
+// Housekeeping is decoupled from the write path: Remove() past the
+// dead-entry threshold only *flags* the shard and notifies the attached
+// maintenance listener — it never compacts in the caller's thread. The
+// MaintenanceService (maintenance/service.h) runs compaction and, when
+// the live count has drifted far from the size the parameters were
+// derived for, a full parameter re-derive + rebuild, shard by shard; in
+// both cases the expensive table construction happens off-lock against
+// a pinned snapshot and only a short merge section holds the shard's
+// writer mutex, so the index stays online throughout.
 //
-// Parameters (repetitions, thresholds, depth bound) stay as derived at
-// Build() time from the original n; after heavy growth, rebuild to
-// re-derive them.
+// Snapshot isolation: GetSnapshot() pins one epoch and captures every
+// shard's current state; queries against that handle return identical
+// results no matter how many mutations, compactions or rebuilds happen
+// concurrently. BatchQuery() answers the whole batch against one such
+// snapshot, giving a batch a consistent cross-shard cut.
 
 #ifndef SKEWSEARCH_CORE_DYNAMIC_INDEX_H_
 #define SKEWSEARCH_CORE_DYNAMIC_INDEX_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/cost_model.h"
 #include "core/inverted_index.h"
 #include "core/query_stats.h"
 #include "core/sharded_index.h"
 #include "core/skewed_index.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
+#include "maintenance/epoch.h"
 #include "sim/brute_force.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace skewsearch {
 
@@ -61,24 +78,91 @@ struct DynamicIndexOptions {
   /// Number of hash partitions K (>= 1).
   int num_shards = 4;
 
-  /// A shard is rebuilt once more than this fraction of its posting
-  /// entries belongs to removed vectors. Must be > 0; values >= 1
-  /// effectively disable compaction.
+  /// A shard is flagged for compaction once more than this fraction of
+  /// its posting entries belongs to removed vectors. Must be > 0; values
+  /// >= 1 effectively disable the flagging.
   double compact_dead_fraction = 0.25;
 };
 
-/// \brief Sharded index with Insert/Remove and concurrent readers.
+/// \brief Hook the index uses to hand housekeeping to a maintenance
+/// component. Callbacks fire on the mutating thread while it still
+/// holds the owning shard's writer mutex (that is what lets
+/// SetMaintenanceListener() act as a barrier against in-flight
+/// callbacks), so implementations must only signal — never call back
+/// into the index, and never block.
+class MaintenanceListener {
+ public:
+  virtual ~MaintenanceListener() = default;
+
+  /// Shard \p shard crossed the dead-entry threshold and wants
+  /// compaction.
+  virtual void OnShardDirty(int shard) = 0;
+};
+
+/// \brief Per-shard health counters (for maintenance policy and tests).
+struct ShardHealth {
+  size_t live_entries = 0;   ///< posting entries referencing live ids
+  size_t dead_entries = 0;   ///< posting entries referencing tombstones
+  size_t delta_entries = 0;  ///< entries held in delta lists
+  size_t tombstones = 0;     ///< dead ids whose postings are present
+  uint64_t edition = 0;      ///< parameter edition the shard serves
+  double dead_ratio = 0.0;   ///< dead / (live + dead), 0 when empty
+};
+
+/// \brief Sharded index with Insert/Remove, wait-free concurrent readers
+/// and decoupled maintenance.
 ///
 /// The base dataset and distribution are borrowed and must outlive the
 /// index; inserted vectors are copied and owned. Query/QueryAll/
-/// BatchQuery are safe to call concurrently with Insert/Remove from any
-/// number of threads. Not movable (per-shard locks pin addresses).
+/// BatchQuery/GetSnapshot are safe to call concurrently with Insert/
+/// Remove/CompactShard/RebuildForSize from any number of threads. Not
+/// movable (shard slots and epoch slots pin addresses). Destruction
+/// requires quiescence: no reader, writer or snapshot may be in flight.
 class DynamicIndex {
  public:
   DynamicIndex();
   ~DynamicIndex();
   DynamicIndex(const DynamicIndex&) = delete;
   DynamicIndex& operator=(const DynamicIndex&) = delete;
+
+  /// \brief A pinned, immutable cross-shard view of the index.
+  ///
+  /// Queries against a snapshot return byte-identical results for its
+  /// whole lifetime, regardless of concurrent mutations, compactions or
+  /// rebuilds. Holding a snapshot defers reclamation of superseded
+  /// tables (it pins an epoch), so scope snapshots to a query batch,
+  /// not to the application lifetime. Movable, not copyable.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot& operator=(Snapshot&&) noexcept = default;
+
+    bool valid() const { return index_ != nullptr; }
+
+    /// First match in scan order, as DynamicIndex::Query, but evaluated
+    /// against this snapshot's fixed state.
+    std::optional<Match> Query(std::span<const ItemId> query,
+                               QueryStats* stats = nullptr) const;
+
+    /// All live matches >= \p threshold, as DynamicIndex::QueryAll, but
+    /// evaluated against this snapshot's fixed state.
+    std::vector<Match> QueryAll(std::span<const ItemId> query,
+                                double threshold,
+                                QueryStats* stats = nullptr) const;
+
+    /// Live vectors in this snapshot.
+    size_t size() const;
+
+    /// The epoch this snapshot pinned (diagnostics/tests).
+    uint64_t epoch() const { return guard_.epoch(); }
+
+   private:
+    friend class DynamicIndex;
+    const DynamicIndex* index_ = nullptr;
+    EpochManager::Guard guard_;
+    std::vector<const void*> states_;  // const ShardState*, type-erased
+  };
 
   /// Builds the per-shard base tables over \p data. Not thread-safe
   /// against concurrent use of this object.
@@ -87,23 +171,24 @@ class DynamicIndex {
 
   /// Inserts one vector (strictly increasing item ids, all inside the
   /// distribution's universe) and returns its id. Runs the path engine
-  /// outside any lock, then appends postings under the owning shard's
-  /// writer lock. Thread-safe. \p num_filters (if non-null) receives the
-  /// number of posting entries the vector contributed — 0 means the
-  /// filter family emitted no paths for it, so no query can ever surface
-  /// it until a rebuild.
+  /// outside any lock, then publishes a new shard snapshot under the
+  /// owning shard's writer mutex. Thread-safe. \p num_filters (if
+  /// non-null) receives the number of posting entries the vector
+  /// contributed — 0 means the filter family emitted no paths for it,
+  /// so no query can ever surface it until a rebuild.
   Result<VectorId> Insert(std::span<const ItemId> items,
                           size_t* num_filters = nullptr);
 
   /// Tombstones \p id (a base vector or a previous Insert). Returns
-  /// NotFound for unknown or already-removed ids. May trigger compaction
-  /// of the owning shard. Thread-safe.
+  /// NotFound for unknown or already-removed ids. Never compacts
+  /// inline: crossing the dead-entry threshold only notifies the
+  /// attached maintenance listener. Thread-safe.
   Status Remove(VectorId id);
 
-  /// First match with similarity >= verify_threshold() in the scan order
-  /// (repetition, key position, base-before-delta, id), or nullopt.
-  /// Deterministic for a quiesced index. Thread-safe, wait-free with
-  /// respect to other readers.
+  /// First match with similarity >= the shard's verify threshold in the
+  /// scan order (repetition, key position, base-before-delta, id), or
+  /// nullopt. Deterministic for a quiesced index. Thread-safe and
+  /// wait-free (lock-free reads; never blocks on writers).
   std::optional<Match> Query(std::span<const ItemId> query,
                              QueryStats* stats = nullptr) const;
 
@@ -113,9 +198,13 @@ class DynamicIndex {
   std::vector<Match> QueryAll(std::span<const ItemId> query, double threshold,
                               QueryStats* stats = nullptr) const;
 
+  /// Pins the current state of every shard into one consistent view.
+  Snapshot GetSnapshot() const;
+
   /// Answers every vector of \p queries as a Query(), parallelized over
-  /// the batch. Safe to run concurrently with writers; each in-flight
-  /// query sees each shard atomically.
+  /// the batch. The whole batch is answered against one Snapshot, so it
+  /// sees a single consistent cross-shard cut even while writers,
+  /// compaction or rebuild proceed.
   std::vector<std::optional<Match>> BatchQuery(
       const Dataset& queries, int threads = 0,
       std::vector<QueryStats>* stats = nullptr,
@@ -127,9 +216,49 @@ class DynamicIndex {
       std::vector<QueryStats>* stats = nullptr,
       BatchQueryStats* batch_stats = nullptr) const;
 
-  /// Persists parameters, every shard's base table, delta postings,
-  /// tombstones and inserted vectors. Takes all shard locks (shared), so
-  /// the snapshot is consistent. Only valid after Build().
+  /// \name Maintenance operations
+  /// Thread-safe against readers and writers; maintenance calls
+  /// serialize among themselves. Intended to run on the maintenance
+  /// thread (see maintenance/service.h) but callable directly.
+  /// @{
+
+  /// Rebuilds shard \p s without tombstoned entries, folding its delta
+  /// into a fresh frozen table. The expensive table build runs against a
+  /// pinned snapshot with no locks held; only a short merge section
+  /// (bounded by the mutations that raced the build) takes the shard's
+  /// writer mutex. No-op when the shard has no tombstones.
+  Status CompactShard(int s);
+
+  /// Re-derives the filter-family parameters for a live count of
+  /// \p target_n and migrates every shard to the new edition, one shard
+  /// at a time; readers stay online throughout and see each shard flip
+  /// atomically. Queries spanning the migration remain correct because
+  /// every snapshot carries its own edition.
+  Status RebuildForSize(size_t target_n);
+
+  /// Registers (or clears, with nullptr) the maintenance listener that
+  /// Remove() notifies when a shard crosses the dead-entry threshold.
+  /// Acts as a barrier: when this returns, no callback to a previously
+  /// registered listener is still in flight, so the old listener may be
+  /// destroyed. Thread-safe (may briefly block on shard writers).
+  void SetMaintenanceListener(MaintenanceListener* listener);
+
+  /// Health counters of shard \p s (taken from its current snapshot).
+  ShardHealth Health(int s) const;
+
+  /// Aggregate online-layout profile for the delta-aware cost model.
+  OnlineIndexProfile Profile() const;
+
+  /// The epoch-reclamation domain (exposed for the maintenance service
+  /// and tests; Collect() is safe to call at any time).
+  EpochManager& epochs() const { return epochs_; }
+
+  /// @}
+
+  /// Persists parameters, every edition, and every shard's snapshot
+  /// (base table, delta postings, tombstones, inserted vectors). Reads
+  /// one pinned snapshot, so writers are never blocked. Only valid
+  /// after Build().
   Status Save(const std::string& path) const;
 
   /// Restores an index saved with Save(); the caller re-supplies the
@@ -139,37 +268,57 @@ class DynamicIndex {
               const ProductDistribution* dist);
 
   /// True after a successful Build()/Load().
-  bool built() const { return family_.valid(); }
+  bool built() const { return !shards_.empty(); }
 
   /// True iff \p id currently exists and is not tombstoned. Thread-safe.
   bool IsLive(VectorId id) const;
 
-  /// Number of live vectors (base + inserted - removed). Takes shard
-  /// locks; exact for a quiesced index. Thread-safe.
+  /// Number of live vectors (base + inserted - removed). Exact for a
+  /// quiesced index. Thread-safe, lock-free.
   size_t size() const;
 
-  /// Number of tombstoned ids not yet compacted away. Thread-safe.
+  /// Number of tombstoned ids whose postings are still physically
+  /// present (compaction drops them). Thread-safe.
   size_t num_tombstones() const;
 
-  /// Number of shard rebuilds triggered so far.
+  /// Number of shard compactions completed so far.
   size_t num_compactions() const {
     return compactions_.load(std::memory_order_relaxed);
   }
 
+  /// Number of full parameter re-derive rebuilds completed so far.
+  size_t num_rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+
   size_t base_size() const { return base_n_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  int repetitions() const { return family_.repetitions(); }
-  double verify_threshold() const { return family_.verify_threshold(); }
-  const FilterFamily& family() const { return family_; }
+
+  /// The live count the current parameter edition was derived for.
+  size_t derived_n() const;
+
+  /// Version of the current parameter edition (0 = as built).
+  uint64_t edition_version() const;
+
+  /// Repetitions / verify threshold / family of the *current* edition.
+  /// During a rebuild individual shards may briefly serve the previous
+  /// edition; queries handle that internally. The family reference stays
+  /// valid for the index's lifetime (editions are never destroyed).
+  int repetitions() const;
+  double verify_threshold() const;
+  const FilterFamily& family() const;
+
   const DynamicIndexOptions& options() const { return options_; }
   const IndexBuildStats& build_stats() const { return build_stats_; }
 
   /// Approximate heap usage (base tables + deltas + inserted vectors).
-  /// Takes shard locks. Thread-safe.
+  /// Thread-safe.
   size_t MemoryBytes() const;
 
  private:
-  struct Shard;         // defined in dynamic_index.cc
+  struct Edition;       // parameter edition (filter family + derivation)
+  struct Shard;         // atomic snapshot slot + writer mutex
+  struct ShardState;    // immutable published snapshot
   struct QueryScratch;  // defined in dynamic_index.cc
 
   /// First passing candidate of one (repetition, shard) scan; the
@@ -182,30 +331,54 @@ class DynamicIndex {
     double similarity = 0.0;
   };
 
-  std::optional<Match> QueryImpl(std::span<const ItemId> query,
+  std::optional<Match> QueryImpl(const std::vector<const void*>& states,
+                                 std::span<const ItemId> query,
                                  QueryStats* stats,
                                  QueryScratch* scratch) const;
-  RepHit ScanShardRep(const Shard& shard, std::span<const ItemId> query,
+  std::vector<Match> QueryAllImpl(const std::vector<const void*>& states,
+                                  std::span<const ItemId> query,
+                                  double threshold, QueryStats* stats) const;
+  RepHit ScanShardRep(const ShardState& state, std::span<const ItemId> query,
                       const std::vector<uint64_t>& keys,
                       std::unordered_set<VectorId>* seen,
                       QueryStats* stats) const;
-  std::span<const ItemId> ItemsOf(const Shard& shard, VectorId id) const;
-  void CompactShardLocked(Shard* shard);
+  std::span<const ItemId> ItemsOf(const ShardState& state, VectorId id) const;
+
+  /// Swaps \p next in as shard \p s's snapshot and retires the old one.
+  /// Caller holds the shard's writer mutex.
+  void PublishLocked(Shard* shard,
+                     std::shared_ptr<const ShardState> next) const;
+
+  /// Copies the current owner pointer of shard \p s (takes and releases
+  /// the writer mutex).
+  std::shared_ptr<const ShardState> OwnerOf(int s) const;
+
+  Status RebuildShardLocked(int s, std::shared_ptr<const Edition> edition);
 
   const Dataset* data_ = nullptr;
   const ProductDistribution* dist_ = nullptr;
   DynamicIndexOptions options_;
-  FilterFamily family_;
   IndexBuildStats build_stats_;
   size_t base_n_ = 0;
-  /// Posting entries each base vector contributed (filled at Build,
-  /// recomputed at Load; immutable afterwards, so lock-free to read).
-  /// Lets Remove() charge dead entries in O(1) instead of replaying the
-  /// path engine.
-  std::vector<uint32_t> base_entry_counts_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Parameter editions, append-only; index in the vector == version.
+  /// Kept alive for the index lifetime so family() references stay
+  /// valid. Guarded by editions_mutex_ for mutation; the current edition
+  /// is also published through current_edition_ for lock-free reads.
+  mutable std::mutex editions_mutex_;
+  std::vector<std::shared_ptr<const Edition>> editions_;
+  std::atomic<const Edition*> current_edition_{nullptr};
+
+  /// Serializes CompactShard / RebuildForSize among themselves (writers
+  /// and readers are not affected).
+  std::mutex maintenance_mutex_;
+
+  mutable EpochManager epochs_;
+  std::atomic<MaintenanceListener*> listener_{nullptr};
   std::atomic<VectorId> next_id_{0};
   std::atomic<size_t> compactions_{0};
+  std::atomic<size_t> rebuilds_{0};
 };
 
 }  // namespace skewsearch

@@ -17,12 +17,25 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                                        bool self_join, JoinStats* stats) {
   JoinStats local;
   Timer build_timer;
-  // Either build side answers QueryAll identically; the sharded one
-  // splits the posting lists across num_shards partitions.
+  // Every build side answers QueryAll identically; the sharded one
+  // splits the posting lists across num_shards partitions, the online
+  // one additionally runs the maintenance subsystem while probing.
   SkewedPathIndex index;
   ShardedIndex sharded;
-  const bool use_shards = options.num_shards > 1;
-  if (use_shards) {
+  DynamicIndex dynamic;
+  MaintenanceService service;
+  const bool use_online = options.online;
+  const bool use_shards = !use_online && options.num_shards > 1;
+  if (use_online) {
+    DynamicIndexOptions dynamic_options;
+    dynamic_options.index = options.index;
+    dynamic_options.num_shards = std::max(1, options.num_shards);
+    SKEWSEARCH_RETURN_NOT_OK(dynamic.Build(&right, &dist, dynamic_options));
+    SKEWSEARCH_RETURN_NOT_OK(service.Attach(&dynamic, options.maintenance));
+    if (options.maintenance_thread) {
+      SKEWSEARCH_RETURN_NOT_OK(service.Start());
+    }
+  } else if (use_shards) {
     ShardedIndexOptions sharded_options;
     sharded_options.index = options.index;
     sharded_options.num_shards = options.num_shards;
@@ -34,13 +47,14 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
 
   auto query_all = [&](std::span<const ItemId> query, double thresh,
                        QueryStats* query_stats) {
+    if (use_online) return dynamic.QueryAll(query, thresh, query_stats);
     return use_shards ? sharded.QueryAll(query, thresh, query_stats)
                       : index.QueryAll(query, thresh, query_stats);
   };
-  double threshold = options.threshold >= 0.0
-                         ? options.threshold
-                         : (use_shards ? sharded.verify_threshold()
-                                       : index.verify_threshold());
+  double threshold = options.threshold >= 0.0 ? options.threshold
+                     : use_online             ? dynamic.verify_threshold()
+                     : use_shards             ? sharded.verify_threshold()
+                                              : index.verify_threshold();
 
   Timer probe_timer;
   std::vector<JoinPair> out;
@@ -96,6 +110,11 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
   });
   local.pairs = out.size();
   local.probe_seconds = probe_timer.ElapsedSeconds();
+  if (use_online) {
+    service.Detach();  // joins the thread before the index goes away
+    local.compactions = dynamic.num_compactions();
+    local.rebuilds = dynamic.num_rebuilds();
+  }
   if (stats != nullptr) *stats = local;
   return out;
 }

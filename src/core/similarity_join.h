@@ -12,6 +12,7 @@
 #include "core/skewed_index.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
+#include "maintenance/service.h"
 #include "sim/brute_force.h"
 #include "util/result.h"
 
@@ -32,6 +33,16 @@ struct JoinOptions {
   /// are byte-identical to unsharded ones, so the join output does not
   /// depend on this knob — only memory layout and parallelism do.
   int num_shards = 0;
+  /// When true, the build side is the *online* DynamicIndex with a
+  /// MaintenanceService attached for the duration of the join (the
+  /// end-to-end drivable maintenance path). A fresh dynamic build
+  /// answers QueryAll identically to the static index, so this changes
+  /// which engine serves the probes, not the output.
+  bool online = false;
+  /// Maintenance policy when online; `maintenance_thread` also starts
+  /// the background thread while the join runs.
+  MaintenanceOptions maintenance;
+  bool maintenance_thread = false;
 };
 
 /// \brief Join counters.
@@ -41,6 +52,8 @@ struct JoinStats {
   size_t verifications = 0;
   double build_seconds = 0.0;
   double probe_seconds = 0.0;
+  size_t compactions = 0;      ///< online build side only
+  size_t rebuilds = 0;         ///< online build side only
 };
 
 /// R-S join: returns all (r, s) with B(r, s) >= threshold found by probing

@@ -1,0 +1,98 @@
+#include "maintenance/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace skewsearch {
+
+namespace {
+
+/// Cheap per-thread starting offset so concurrent pins don't all fight
+/// over slot 0.
+size_t SlotScanStart() {
+  static std::atomic<size_t> counter{0};
+  thread_local const size_t start =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return start;
+}
+
+}  // namespace
+
+void EpochManager::PinSlot(Guard* guard) {
+  const size_t start = SlotScanStart();
+  for (;;) {
+    // Read the epoch first: the CAS below publishes it, and seq_cst
+    // ordering guarantees any pointer loaded afterwards was current at
+    // or after the moment the pin became visible.
+    const uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+    for (size_t k = 0; k < kMaxReaders; ++k) {
+      const size_t s = (start + k) % kMaxReaders;
+      uint64_t expected = 0;
+      if (slots_[s].value.compare_exchange_strong(
+              expected, epoch + 1, std::memory_order_seq_cst)) {
+        guard->manager_ = this;
+        guard->slot_ = static_cast<uint32_t>(s);
+        guard->epoch_ = epoch;
+        return;
+      }
+    }
+    std::this_thread::yield();  // > kMaxReaders concurrent pins
+  }
+}
+
+void EpochManager::UnpinSlot(uint32_t slot) {
+  // seq_cst (hence release): Collect()'s acquire load of this slot
+  // creates the happens-before edge that makes reclaiming the objects
+  // this reader scanned race-free.
+  slots_[slot].value.store(0, std::memory_order_seq_cst);
+}
+
+size_t EpochManager::Retire(std::shared_ptr<const void> retired) {
+  size_t backlog = 0;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    limbo_.emplace_back(epoch_.load(std::memory_order_seq_cst),
+                        std::move(retired));
+    backlog = limbo_.size();
+  }
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  return backlog;
+}
+
+size_t EpochManager::Collect() {
+  uint64_t min_pinned = UINT64_MAX;
+  for (const PaddedAtomicU64& slot : slots_) {
+    const uint64_t value = slot.value.load(std::memory_order_seq_cst);
+    if (value != 0) min_pinned = std::min(min_pinned, value - 1);
+  }
+  // Move reclaimable entries out under the lock, destroy them outside it
+  // (snapshot destructors can be arbitrarily heavy).
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> dead;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    auto alive_end = std::partition(
+        limbo_.begin(), limbo_.end(),
+        [min_pinned](const auto& entry) { return entry.first >= min_pinned; });
+    dead.assign(std::make_move_iterator(alive_end),
+                std::make_move_iterator(limbo_.end()));
+    limbo_.erase(alive_end, limbo_.end());
+  }
+  reclaimed_.fetch_add(dead.size(), std::memory_order_relaxed);
+  return dead.size();
+}
+
+size_t EpochManager::pinned_readers() const {
+  size_t pinned = 0;
+  for (const PaddedAtomicU64& slot : slots_) {
+    if (slot.value.load(std::memory_order_seq_cst) != 0) ++pinned;
+  }
+  return pinned;
+}
+
+size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mutex_);
+  return limbo_.size();
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,163 @@
+// Copyright 2026 The skewsearch Authors.
+// EpochManager: epoch-based reclamation (a user-space RCU) for the
+// online index's read path.
+//
+// The dynamic index publishes each shard as an immutable snapshot behind
+// an atomic pointer. Readers no longer take any lock: they *pin* the
+// current epoch (one CAS into a padded reader slot), load the snapshot
+// pointers they need, scan, and unpin (one store). Writers build a new
+// snapshot off to the side, swap the pointer, and hand the old snapshot
+// to the manager via Retire(); it is destroyed only once every reader
+// that could possibly still be scanning it has unpinned.
+//
+// Safety argument (all epoch, slot and snapshot-pointer operations are
+// seq_cst, so a single total order exists):
+//   * Retire(p) happens after p was swapped out, and records the epoch
+//     E at retire time, then advances the epoch.
+//   * A reader pinned with epoch e protects every retirement with
+//     epoch >= e: Collect() only frees entries whose retire epoch is
+//     strictly below the minimum pinned epoch.
+//   * A reader pinned with epoch e cannot hold a pointer retired at
+//     epoch < e: observing the advanced epoch places its pin after the
+//     swap in the total order, so its subsequent pointer loads can only
+//     return the replacement.
+// The unpin store is a release and Collect()'s slot loads acquire, so
+// reclamation also carries a proper happens-before edge for TSan.
+//
+// Capacity: kMaxReaders concurrent pins; a pin beyond that spins until a
+// slot frees (readers hold slots only for the duration of one scan, so
+// this is a pathological case, not a steady state).
+
+#ifndef SKEWSEARCH_MAINTENANCE_EPOCH_H_
+#define SKEWSEARCH_MAINTENANCE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace skewsearch {
+
+/// \brief Epoch-based reclamation domain.
+///
+/// One manager per index. Pin() / Retire() / Collect() are thread-safe;
+/// the destructor requires that no reader is pinned (the owning index's
+/// destruction contract already demands quiescence).
+class EpochManager {
+ public:
+  /// Maximum concurrently pinned readers before Pin() has to spin.
+  static constexpr size_t kMaxReaders = 64;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Destroys everything still in limbo (callers guarantee quiescence).
+  ~EpochManager() { limbo_.clear(); }
+
+  /// \brief RAII epoch pin. Movable; destroying (or moving from) unpins.
+  ///
+  /// While a Guard is alive, every object retired at or after the
+  /// guard's epoch stays alive. Guards are cheap (one CAS + one store)
+  /// but not free — pin once per query or batch, not per shard.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(EpochManager* manager) { manager->PinSlot(this); }
+    Guard(Guard&& other) noexcept
+        : manager_(std::exchange(other.manager_, nullptr)),
+          slot_(other.slot_),
+          epoch_(other.epoch_) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = std::exchange(other.manager_, nullptr);
+        slot_ = other.slot_;
+        epoch_ = other.epoch_;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    bool pinned() const { return manager_ != nullptr; }
+
+    /// The epoch this guard pinned (diagnostics/tests).
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochManager;
+    void Release() {
+      if (manager_ != nullptr) {
+        manager_->UnpinSlot(slot_);
+        manager_ = nullptr;
+      }
+    }
+
+    EpochManager* manager_ = nullptr;
+    uint32_t slot_ = 0;
+    uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch. Wait-free in the common case (< kMaxReaders
+  /// concurrent readers); spins otherwise.
+  Guard Pin() { return Guard(this); }
+
+  /// Transfers ownership of \p retired to the manager and advances the
+  /// epoch. The object is destroyed by a later Collect() once no pinned
+  /// reader predates its retirement. Must be called *after* the object
+  /// has been unlinked from every reader-reachable location. Returns the
+  /// limbo backlog including this entry (so callers can trigger a
+  /// Collect() without re-taking the limbo lock).
+  size_t Retire(std::shared_ptr<const void> retired);
+
+  /// Destroys every limbo entry no pinned reader can still see; returns
+  /// the number destroyed. Called opportunistically by writers and
+  /// periodically by the maintenance service.
+  size_t Collect();
+
+  /// Current epoch (advanced by every Retire()).
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Readers currently pinned (approximate under concurrency).
+  size_t pinned_readers() const;
+
+  /// Retired objects not yet reclaimed.
+  size_t limbo_size() const;
+
+  uint64_t total_retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+
+  void PinSlot(Guard* guard);
+  void UnpinSlot(uint32_t slot);
+
+  /// Slot values are pinned_epoch + 1; 0 means free.
+  std::array<PaddedAtomicU64, kMaxReaders> slots_;
+  std::atomic<uint64_t> epoch_{1};
+
+  mutable std::mutex limbo_mutex_;
+  /// (retire epoch, object) pairs awaiting reclamation.
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> limbo_;
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_MAINTENANCE_EPOCH_H_

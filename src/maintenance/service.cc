@@ -1,0 +1,144 @@
+#include "maintenance/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace skewsearch {
+
+MaintenanceService::~MaintenanceService() { Detach(); }
+
+Status MaintenanceService::Attach(DynamicIndex* index,
+                                  const MaintenanceOptions& options) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("index must be non-null");
+  }
+  if (options.poll_interval_ms <= 0) {
+    return Status::InvalidArgument("poll_interval_ms must be positive");
+  }
+  if (running()) {
+    return Status::InvalidArgument("cannot re-attach while running");
+  }
+  if (index_ != nullptr) index_->SetMaintenanceListener(nullptr);
+  index_ = index;
+  options_ = options;
+  index_->SetMaintenanceListener(this);
+  return Status::OK();
+}
+
+void MaintenanceService::Detach() {
+  Stop();
+  if (index_ != nullptr) {
+    index_->SetMaintenanceListener(nullptr);
+    index_ = nullptr;
+  }
+}
+
+Status MaintenanceService::Start() {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("no index attached");
+  }
+  if (running()) return Status::OK();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::OK();
+}
+
+void MaintenanceService::Stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void MaintenanceService::OnShardDirty(int /*shard*/) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dirty_ = true;
+  }
+  cv_.notify_one();
+}
+
+Status MaintenanceService::RunOnce() {
+  DynamicIndex* index = index_;
+  if (index == nullptr) {
+    return Status::InvalidArgument("no index attached");
+  }
+  if (!index->built()) return Status::OK();
+  const double threshold = options_.dead_ratio >= 0.0
+                               ? options_.dead_ratio
+                               : index->options().compact_dead_fraction;
+  size_t compactions = 0;
+  Status status = Status::OK();
+  for (int s = 0; s < index->num_shards() && status.ok(); ++s) {
+    ShardHealth health = index->Health(s);
+    const size_t total = health.live_entries + health.dead_entries;
+    const bool dead_pressure =
+        health.dead_entries > 0 && health.dead_ratio > threshold;
+    const bool delta_pressure =
+        (options_.delta_ratio > 0.0 && total > 0 &&
+         static_cast<double>(health.delta_entries) >
+             options_.delta_ratio * static_cast<double>(total)) ||
+        (options_.max_delta_entries > 0 &&
+         health.delta_entries > options_.max_delta_entries);
+    if (dead_pressure || delta_pressure) {
+      status = index->CompactShard(s);
+      if (status.ok()) ++compactions;
+    }
+  }
+  size_t rebuilds = 0;
+  if (status.ok() && options_.drift_factor > 1.0) {
+    const double factor = options_.drift_factor;
+    const size_t live = index->size();
+    const size_t derived = index->derived_n();
+    const bool drifted =
+        derived > 0 && live >= std::max<size_t>(2, options_.min_rebuild_n) &&
+        (static_cast<double>(live) > factor * static_cast<double>(derived) ||
+         static_cast<double>(live) * factor < static_cast<double>(derived));
+    if (drifted) {
+      status = index->RebuildForSize(live);
+      if (status.ok()) ++rebuilds;
+    }
+  }
+  const size_t reclaimed = index->epochs().Collect();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.scans++;
+    stats_.compactions += compactions;
+    stats_.rebuilds += rebuilds;
+    stats_.reclaimed += reclaimed;
+    if (!status.ok()) last_error_ = status;
+  }
+  return status;
+}
+
+void MaintenanceService::ThreadMain() {
+  const auto interval = std::chrono::milliseconds(options_.poll_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, interval, [this] {
+        return stop_.load(std::memory_order_acquire) || dirty_;
+      });
+      dirty_ = false;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    RunOnce().ok();  // failures recorded in last_error_
+  }
+}
+
+MaintenanceStats MaintenanceService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Status MaintenanceService::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+}  // namespace skewsearch

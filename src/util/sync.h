@@ -1,21 +1,22 @@
 // Copyright 2026 The skewsearch Authors.
-// Synchronization helpers for the sharded/online index layers.
+// Synchronization primitives for the sharded/online index layers.
 //
-// The dynamic index keeps one reader-writer lock per shard. Those locks
-// live in an array, and under heavy mixed traffic the readers of shard i
-// and the writers of shard i+1 would otherwise ping-pong the same cache
-// line between cores — so the lock is padded to a full destructive-
-// interference span. Readers take the shared side only for the duration
-// of one shard scan; writers (insert/remove/compaction) take the
-// exclusive side of exactly one shard, which bounds the blocking any
-// single mutation can cause.
+// The online index keeps per-shard state in arrays, and under heavy
+// mixed traffic the readers of shard i and the writers of shard i+1
+// would otherwise ping-pong the same cache line between cores — so
+// every primitive here is padded to a full destructive-interference
+// span. The epoch/RCU manager (maintenance/epoch.h) builds its reader
+// slots out of PaddedAtomicU64; writers of the dynamic index serialize
+// on a PaddedMutex per shard while readers proceed wait-free against
+// published immutable snapshots.
 
 #ifndef SKEWSEARCH_UTIL_SYNC_H_
 #define SKEWSEARCH_UTIL_SYNC_H_
 
+#include <atomic>
 #include <cstddef>
-#include <new>
-#include <shared_mutex>
+#include <cstdint>
+#include <mutex>
 
 namespace skewsearch {
 
@@ -25,34 +26,38 @@ namespace skewsearch {
 /// unstable across compiler flags (GCC warns on any use of it).
 inline constexpr size_t kCacheLineBytes = 64;
 
-/// \brief A shared_mutex padded to its own cache line.
+/// \brief A std::mutex padded to its own cache line.
 ///
-/// Satisfies SharedLockable, so it works directly with std::shared_lock /
+/// Satisfies Lockable, so it works directly with std::lock_guard /
 /// std::unique_lock. Neither movable nor copyable (like the mutex it
 /// wraps); containers of shards therefore hold them behind stable
 /// addresses (e.g. std::unique_ptr).
-class alignas(kCacheLineBytes) PaddedSharedMutex {
+class alignas(kCacheLineBytes) PaddedMutex {
  public:
-  PaddedSharedMutex() = default;
-  PaddedSharedMutex(const PaddedSharedMutex&) = delete;
-  PaddedSharedMutex& operator=(const PaddedSharedMutex&) = delete;
+  PaddedMutex() = default;
+  PaddedMutex(const PaddedMutex&) = delete;
+  PaddedMutex& operator=(const PaddedMutex&) = delete;
 
   void lock() { mutex_.lock(); }
   bool try_lock() { return mutex_.try_lock(); }
   void unlock() { mutex_.unlock(); }
 
-  void lock_shared() { mutex_.lock_shared(); }
-  bool try_lock_shared() { return mutex_.try_lock_shared(); }
-  void unlock_shared() { mutex_.unlock_shared(); }
-
  private:
-  std::shared_mutex mutex_;
+  std::mutex mutex_;
 };
 
-/// RAII guards for the two sides of a PaddedSharedMutex; the names make
-/// call sites read as intent ("ReaderLock lock(shard.mutex)").
-using ReaderLock = std::shared_lock<PaddedSharedMutex>;
-using WriterLock = std::unique_lock<PaddedSharedMutex>;
+/// \brief A 64-bit atomic padded to its own cache line.
+///
+/// The building block of the epoch manager's reader-slot array: each
+/// reader publishes its pinned epoch through one of these, and padding
+/// keeps two readers pinning concurrently from sharing a line.
+struct alignas(kCacheLineBytes) PaddedAtomicU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+/// RAII guard for PaddedMutex; the name makes call sites read as intent
+/// ("MutexLock lock(shard.writer)").
+using MutexLock = std::lock_guard<PaddedMutex>;
 
 }  // namespace skewsearch
 

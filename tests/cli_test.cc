@@ -107,6 +107,36 @@ TEST_F(CliTest, SelfJoinRuns) {
   EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8"}), 0);
 }
 
+TEST_F(CliTest, QueryBenchOnlineWithMaintenanceRuns) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "twoblock", "--n", "200", "--d",
+                    "80", "--p", "0.25", "--d2", "2000", "--p2", "0.01",
+                    "--out", text_}),
+            0);
+  // Manual maintenance drive: churn forces tombstones, the flushed
+  // RunOnce compacts, a tight drift factor forces a live rebuild.
+  EXPECT_EQ(RunCli({"query-bench", "--in", text_, "--alpha", "0.8",
+                    "--queries", "10", "--shards", "2", "--online",
+                    "--maintenance", "0", "--dead-ratio", "0.1",
+                    "--drift-factor", "1.05", "--churn", "60"}),
+            0);
+  // Background thread on (the default when any maintenance flag is set).
+  EXPECT_EQ(RunCli({"query-bench", "--in", text_, "--alpha", "0.8",
+                    "--queries", "10", "--churn", "40"}),
+            0);
+}
+
+TEST_F(CliTest, SelfJoinOnlineRuns) {
+  ASSERT_EQ(RunCli({"generate", "--kind", "uniform", "--n", "120", "--d",
+                    "400", "--p", "0.05", "--out", text_}),
+            0);
+  EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8", "--online",
+                    "--maintenance", "1", "--shards", "2"}),
+            0);
+  EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8",
+                    "--maintenance", "0"}),
+            0);
+}
+
 TEST_F(CliTest, MannStandInWorks) {
   EXPECT_EQ(RunCli({"mann", "--name", "DBLP", "--n", "300", "--out", text_}),
             0);

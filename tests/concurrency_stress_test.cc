@@ -20,6 +20,7 @@
 
 #include "core/dynamic_index.h"
 #include "data/generators.h"
+#include "maintenance/service.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -212,9 +213,17 @@ TEST_F(ConcurrencyStressTest, ParallelInsertersAllVisible) {
   }
 }
 
-// Readers racing a remover that pushes shards through compaction: the
-// rebuilt shard must serve the same answers.
-TEST_F(ConcurrencyStressTest, ReadersRaceCompaction) {
+// Readers racing a remover while the maintenance thread compacts the
+// shards the removals dirty: the rebuilt shards must serve the same
+// answers throughout.
+TEST_F(ConcurrencyStressTest, ReadersRaceBackgroundCompaction) {
+  MaintenanceService service;
+  MaintenanceOptions options;
+  options.poll_interval_ms = 1;
+  options.drift_factor = 0.0;  // compaction only in this test
+  ASSERT_TRUE(service.Attach(&index_, options).ok());
+  ASSERT_TRUE(service.Start().ok());
+
   std::atomic<bool> done{false};
   std::atomic<int> violations{0};
   std::vector<std::thread> readers;
@@ -234,14 +243,19 @@ TEST_F(ConcurrencyStressTest, ReadersRaceCompaction) {
       }
     });
   }
-  // Remove aggressively so multiple compactions fire mid-read.
+  // Remove aggressively so the maintenance thread compacts mid-read.
   for (size_t k = 0; k < kNumRemoves; ++k) {
     ASSERT_TRUE(index_.Remove(static_cast<VectorId>(k)).ok());
   }
   done.store(true, std::memory_order_release);
   for (auto& reader : readers) reader.join();
+  service.Stop();
+  // A final deterministic pass: whatever the thread did not get to.
+  ASSERT_TRUE(service.RunOnce().ok());
+  service.Detach();
   EXPECT_EQ(violations.load(), 0);
   EXPECT_GT(index_.num_compactions(), 0u);
+  EXPECT_TRUE(service.last_error().ok()) << service.last_error().ToString();
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "core/dynamic_index.h"
+#include "data/correlated.h"
 #include "data/generators.h"
 #include "util/random.h"
 
@@ -112,6 +114,92 @@ TEST(CostModelTest, AdversarialModeMatchesMeasuredBand) {
   double predicted = PredictFiltersPerElement(dist, options, n).value();
   EXPECT_GT(predicted, measured / 3.0);
   EXPECT_LT(predicted, measured * 3.0);
+}
+
+TEST(OnlineCostModelTest, CandidateFactorBasics) {
+  OnlineIndexProfile profile;
+  EXPECT_DOUBLE_EQ(PredictOnlineCandidateFactor(profile), 1.0);
+  profile.base_entries = 900;
+  profile.delta_entries = 100;
+  EXPECT_DOUBLE_EQ(PredictOnlineCandidateFactor(profile), 1.0);  // no dead
+  profile.dead_entries = 500;
+  EXPECT_DOUBLE_EQ(PredictOnlineCandidateFactor(profile), 2.0);
+  profile.dead_entries = 750;  // monotone in the dead fraction
+  EXPECT_DOUBLE_EQ(PredictOnlineCandidateFactor(profile), 4.0);
+  profile.dead_entries = 1000;  // fully tombstoned: degenerate guard
+  EXPECT_DOUBLE_EQ(PredictOnlineCandidateFactor(profile), 1.0);
+}
+
+TEST(OnlineCostModelTest, PredictOnlineQueryCostScalesAndValidates) {
+  auto dist = TwoBlockProbabilities(150, 0.25, 10000, 0.005).value();
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
+  options.delta = 0.1;
+  OnlineIndexProfile profile;
+  profile.base_entries = 800;
+  profile.delta_entries = 200;
+  profile.dead_entries = 250;
+  auto prediction =
+      PredictOnlineQueryCost(dist, options, 2048, profile).value();
+  EXPECT_DOUBLE_EQ(prediction.dead_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(prediction.delta_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(prediction.candidate_factor, 1000.0 / 750.0);
+  EXPECT_GT(prediction.expected_filters, 0.0);
+
+  profile.dead_entries = 2000;  // more dead than entries: corrupt input
+  EXPECT_TRUE(PredictOnlineQueryCost(dist, options, 2048, profile)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OnlineCostModelTest, FactorMatchesMeasuredScanOverhead) {
+  // Two online indexes over the same stream; one compacted. The
+  // candidate counts a query batch measures must differ by roughly the
+  // predicted layout factor (dead postings are scanned, then skipped).
+  auto dist = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
+  Rng rng(91);
+  Dataset data = GenerateDataset(dist, 400, &rng);
+  DynamicIndexOptions options;
+  options.index.mode = IndexMode::kCorrelated;
+  options.index.alpha = 0.7;
+  options.index.repetitions = 8;
+  options.index.seed = 919;
+  options.num_shards = 3;
+  options.compact_dead_fraction = 100.0;  // keep tombstones in place
+  DynamicIndex uncompacted, compacted;
+  ASSERT_TRUE(uncompacted.Build(&data, &dist, options).ok());
+  ASSERT_TRUE(compacted.Build(&data, &dist, options).ok());
+  for (VectorId id = 0; id < data.size(); id += 2) {
+    ASSERT_TRUE(uncompacted.Remove(id).ok());
+    ASSERT_TRUE(compacted.Remove(id).ok());
+  }
+  for (int s = 0; s < compacted.num_shards(); ++s) {
+    ASSERT_TRUE(compacted.CompactShard(s).ok());
+  }
+
+  const OnlineIndexProfile profile = uncompacted.Profile();
+  EXPECT_GT(profile.dead_entries, 0u);
+  const double predicted = PredictOnlineCandidateFactor(profile);
+  EXPECT_GT(predicted, 1.0);
+
+  CorrelatedQuerySampler sampler(&dist, 0.7);
+  Rng qrng(92);
+  size_t candidates_uncompacted = 0, candidates_compacted = 0;
+  for (int t = 0; t < 60; ++t) {
+    VectorId target = static_cast<VectorId>(qrng.NextBounded(data.size()));
+    SparseVector q = sampler.SampleCorrelated(data.Get(target), &qrng);
+    QueryStats a, b;
+    uncompacted.QueryAll(q.span(), 0.0, &a);
+    compacted.QueryAll(q.span(), 0.0, &b);
+    candidates_uncompacted += a.candidates;
+    candidates_compacted += b.candidates;
+  }
+  ASSERT_GT(candidates_compacted, 0u);
+  const double measured = static_cast<double>(candidates_uncompacted) /
+                          static_cast<double>(candidates_compacted);
+  EXPECT_NEAR(measured, predicted, 0.3 * predicted)
+      << "measured " << measured << " vs predicted " << predicted;
 }
 
 TEST(CostModelTest, FiltersGrowWithN) {

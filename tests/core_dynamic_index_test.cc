@@ -14,6 +14,7 @@
 #include "core/skewed_index.h"
 #include "data/correlated.h"
 #include "data/generators.h"
+#include "maintenance/service.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -181,6 +182,8 @@ TEST_F(DynamicIndexTest, CompactionPreservesResultsAndFires) {
   DynamicIndex compacting, reference;
   ASSERT_TRUE(compacting.Build(&data_, &dist_, Options(2, 0.25)).ok());
   ASSERT_TRUE(reference.Build(&data_, &dist_, Options(2, 100.0)).ok());
+  MaintenanceService service;
+  ASSERT_TRUE(service.Attach(&compacting).ok());
 
   auto fresh = FreshVectors(compacting, 20, 36);
   for (const SparseVector& v : fresh) {
@@ -197,7 +200,12 @@ TEST_F(DynamicIndexTest, CompactionPreservesResultsAndFires) {
     ASSERT_TRUE(reference.Remove(id).ok());
     ++removed;
   }
+  // Remove() never compacts in the caller's thread anymore — the work
+  // happens when the maintenance pass runs.
+  EXPECT_EQ(compacting.num_compactions(), 0u);
+  ASSERT_TRUE(service.RunOnce().ok());
   EXPECT_GT(compacting.num_compactions(), 0u);
+  EXPECT_GT(service.stats().compactions, 0u);
   EXPECT_EQ(reference.num_compactions(), 0u);
   // Compaction dropped the tombstones it covered.
   EXPECT_LT(compacting.num_tombstones(), reference.num_tombstones());

@@ -96,6 +96,7 @@ LatencyProfile Measure(const DynamicIndex& index, const Dataset& queries,
   }
   std::sort(latencies.begin(), latencies.end());
   LatencyProfile profile;
+  if (latencies.empty()) return profile;  // --queries 0 / --rounds 0
   profile.p50_us = latencies[latencies.size() / 2];
   profile.p99_us = latencies[latencies.size() * 99 / 100];
   profile.max_us = latencies.back();

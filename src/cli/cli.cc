@@ -39,7 +39,8 @@ Commands:
            [--online] [--maintenance 0|1] [--drift-factor F]
            [--dead-ratio R] [--churn N] [--binary]
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
-           [--maintenance 0|1] [--drift-factor F] [--dead-ratio R] [--binary]
+           [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
+           [--churn N] [--binary]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
@@ -50,7 +51,9 @@ one; results are identical, memory and parallelism differ.
 subsystem attached: --maintenance 1 (default) runs the background
 thread, --dead-ratio sets the compaction trigger, --drift-factor the
 live-rebuild trigger, and --churn N applies N remove+insert pairs before
-querying so compaction and drift actually fire.
+querying so compaction and drift actually fire. For selfjoin the churn
+is net no-op (insert a copy, tombstone it) so the pair output is
+unchanged while the service still gets real compaction work.
 )";
 
 /// Parsed "--key value" flags.
@@ -416,6 +419,7 @@ int CmdSelfJoin(const Flags& flags) {
     options.online = true;
     options.maintenance = MaintenanceFromFlags(flags);
     options.maintenance_thread = flags.GetUint("maintenance", 1) != 0;
+    options.churn = flags.GetUint("churn", data->size() / 5);
   }
   JoinStats stats;
   auto pairs = SelfSimilarityJoin(*data, *dist, options, &stats);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <utility>
 
 #include "core/batch.h"
@@ -316,14 +317,19 @@ struct DynamicIndex::Shard {
 DynamicIndex::DynamicIndex() = default;
 DynamicIndex::~DynamicIndex() = default;
 
-void DynamicIndex::PublishLocked(Shard* shard,
+bool DynamicIndex::PublishLocked(Shard* shard,
                                  std::shared_ptr<const ShardState> next)
     const {
   const ShardState* raw = next.get();
   std::shared_ptr<const ShardState> old = std::move(shard->owner);
   shard->owner = std::move(next);
   shard->state.store(raw, std::memory_order_seq_cst);
-  if (epochs_.Retire(std::move(old)) >= kCollectBacklog) epochs_.Collect();
+  // Never Collect() here: the caller still holds the shard writer
+  // mutex, and reclaiming can run arbitrarily heavy snapshot
+  // destructors (a compacted-away FilterTable is O(shard)). Report
+  // whether the backlog warrants a collect so the caller can run one
+  // after unlocking.
+  return epochs_.Retire(std::move(old)) >= kCollectBacklog;
 }
 
 std::shared_ptr<const DynamicIndex::ShardState> DynamicIndex::OwnerOf(
@@ -433,10 +439,16 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
       return Status::InvalidArgument("items must be strictly increasing");
     }
   }
-  const VectorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  if (id < base_n_) {  // wrapped uint32 id space
-    return Status::Internal("vector id space exhausted");
-  }
+  // The maximum VectorId is a sentinel that is never handed out and
+  // never incremented past, so exhaustion is sticky: the counter cannot
+  // wrap back into the live id range and reissue ids.
+  VectorId id = next_id_.load(std::memory_order_relaxed);
+  do {
+    if (id == std::numeric_limits<VectorId>::max()) {
+      return Status::Internal("vector id space exhausted");
+    }
+  } while (!next_id_.compare_exchange_weak(id, id + 1,
+                                           std::memory_order_relaxed));
 
   Shard& shard =
       *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
@@ -459,26 +471,31 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
   };
   compute(*edition);
 
-  MutexLock lock(shard.writer);
-  const ShardState& s1 = *shard.owner;
-  if (s1.edition.get() != edition) {
-    // A rebuild migrated the shard between key generation and the lock;
-    // regenerate under the edition the postings must match (rare).
-    compute(*s1.edition);
+  bool collect = false;
+  {
+    MutexLock lock(shard.writer);
+    const ShardState& s1 = *shard.owner;
+    if (s1.edition.get() != edition) {
+      // A rebuild migrated the shard between key generation and the
+      // lock; regenerate under the edition the postings must match
+      // (rare).
+      compute(*s1.edition);
+    }
+    if (num_filters != nullptr) *num_filters = keys.size();
+    auto next = std::make_shared<ShardState>(s1);
+    auto record = std::make_shared<ShardState::InsertedVector>();
+    record->items.assign(items.begin(), items.end());
+    record->entries = static_cast<uint32_t>(keys.size());
+    next->PutInserted(id, std::move(record));
+    // Copy-on-write the touched buckets + posting lists, keeping each
+    // list sorted by id so the documented scan order (key position,
+    // base-before-delta, id) holds regardless of which writer won the
+    // lock first.
+    next->AppendDeltaAll(keys, id);
+    next->live_entries += keys.size();
+    collect = PublishLocked(&shard, std::move(next));
   }
-  if (num_filters != nullptr) *num_filters = keys.size();
-  auto next = std::make_shared<ShardState>(s1);
-  auto record = std::make_shared<ShardState::InsertedVector>();
-  record->items.assign(items.begin(), items.end());
-  record->entries = static_cast<uint32_t>(keys.size());
-  next->PutInserted(id, std::move(record));
-  // Copy-on-write the touched buckets + posting lists, keeping each
-  // list sorted by id so the documented scan order (key position,
-  // base-before-delta, id) holds regardless of which writer won the
-  // lock first.
-  next->AppendDeltaAll(keys, id);
-  next->live_entries += keys.size();
-  PublishLocked(&shard, std::move(next));
+  if (collect) epochs_.Collect();
   return id;
 }
 
@@ -489,46 +506,50 @@ Status DynamicIndex::Remove(VectorId id) {
   }
   const int s = ShardedIndex::ShardOf(id, num_shards());
   Shard& shard = *shards_[static_cast<size_t>(s)];
-  MutexLock lock(shard.writer);
-  const ShardState& s1 = *shard.owner;
-  uint32_t entries = 0;
-  if (id < base_n_) {
-    if (s1.HasRemovedBase(id)) {
-      return Status::NotFound("vector already removed");
+  bool collect = false;
+  {
+    MutexLock lock(shard.writer);
+    const ShardState& s1 = *shard.owner;
+    uint32_t entries = 0;
+    if (id < base_n_) {
+      if (s1.HasRemovedBase(id)) {
+        return Status::NotFound("vector already removed");
+      }
+      auto it = s1.base_counts->find(id);
+      entries = it != s1.base_counts->end() ? it->second : 0;
+    } else {
+      const ShardState::InsertedVector* record = s1.FindInserted(id);
+      if (record == nullptr) {
+        return Status::NotFound("no such vector id");
+      }
+      entries = record->entries;
     }
-    auto it = s1.base_counts->find(id);
-    entries = it != s1.base_counts->end() ? it->second : 0;
-  } else {
-    const ShardState::InsertedVector* record = s1.FindInserted(id);
-    if (record == nullptr) {
-      return Status::NotFound("no such vector id");
+    auto next = std::make_shared<ShardState>(s1);
+    if (id < base_n_) {
+      next->AddRemovedBase(id);
+    } else {
+      next->EraseInserted(id);
     }
-    entries = record->entries;
+    next->PutTombstone(id, entries);
+    next->dead_entries += entries;
+    next->live_entries -= std::min<size_t>(next->live_entries, entries);
+    const size_t total = next->live_entries + next->dead_entries;
+    const bool wants_maintenance =
+        total > 0 &&
+        static_cast<double>(next->dead_entries) >
+            options_.compact_dead_fraction * static_cast<double>(total);
+    collect = PublishLocked(&shard, std::move(next));
+    if (wants_maintenance) {
+      // Never compact in the remover's thread: hand the shard to the
+      // maintenance component (if any) and return. Notified under the
+      // shard's writer mutex so SetMaintenanceListener() can act as a
+      // barrier against in-flight callbacks (see its contract).
+      MaintenanceListener* listener =
+          listener_.load(std::memory_order_acquire);
+      if (listener != nullptr) listener->OnShardDirty(s);
+    }
   }
-  auto next = std::make_shared<ShardState>(s1);
-  if (id < base_n_) {
-    next->AddRemovedBase(id);
-  } else {
-    next->EraseInserted(id);
-  }
-  next->PutTombstone(id, entries);
-  next->dead_entries += entries;
-  next->live_entries -= std::min<size_t>(next->live_entries, entries);
-  const size_t total = next->live_entries + next->dead_entries;
-  const bool wants_maintenance =
-      total > 0 &&
-      static_cast<double>(next->dead_entries) >
-          options_.compact_dead_fraction * static_cast<double>(total);
-  PublishLocked(&shard, std::move(next));
-  if (wants_maintenance) {
-    // Never compact in the remover's thread: hand the shard to the
-    // maintenance component (if any) and return. Notified under the
-    // shard's writer mutex so SetMaintenanceListener() can act as a
-    // barrier against in-flight callbacks (see its contract).
-    MaintenanceListener* listener =
-        listener_.load(std::memory_order_acquire);
-    if (listener != nullptr) listener->OnShardDirty(s);
-  }
+  if (collect) epochs_.Collect();
   return Status::OK();
 }
 
@@ -1150,7 +1171,9 @@ double DynamicIndex::verify_threshold() const {
 }
 
 const FilterFamily& DynamicIndex::family() const {
-  return current_edition_.load(std::memory_order_acquire)->family;
+  static const FilterFamily kEmpty;
+  const Edition* edition = current_edition_.load(std::memory_order_acquire);
+  return edition != nullptr ? edition->family : kEmpty;
 }
 
 size_t DynamicIndex::MemoryBytes() const {
@@ -1186,9 +1209,18 @@ Status DynamicIndex::Save(const std::string& path) const {
   // blocked while we serialize.
   Snapshot snapshot = GetSnapshot();
   std::vector<std::shared_ptr<const Edition>> editions;
+  uint32_t current_version = 0;
   {
     std::lock_guard<std::mutex> lock(editions_mutex_);
     editions = editions_;
+    // Recorded explicitly: a save can race a rebuild that has already
+    // appended its new edition but not yet migrated every shard, in
+    // which case the newest edition is *not* the current one — loading
+    // it as current would report parameters no shard serves and pin
+    // derived_n at the rebuild target, so the drift trigger could never
+    // fire again to finish the migration.
+    current_version = static_cast<uint32_t>(
+        current_edition_.load(std::memory_order_seq_cst)->version);
   }
 
   out.write(kDynamicMagic, sizeof(kDynamicMagic));
@@ -1203,7 +1235,8 @@ Status DynamicIndex::Save(const std::string& path) const {
             io::WritePod(out, options_.compact_dead_fraction) &&
             io::WritePod(out, base_n) && io::WritePod(out, next_id);
   const uint32_t num_editions = static_cast<uint32_t>(editions.size());
-  ok = ok && io::WritePod(out, num_editions);
+  ok = ok && io::WritePod(out, num_editions) &&
+       io::WritePod(out, current_version);
   for (const auto& edition : editions) {
     const uint64_t derived_n = edition->derived_n;
     const int32_t repetitions = edition->family.repetitions();
@@ -1298,10 +1331,12 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
   }
   uint64_t fingerprint = 0, base_n = 0;
   uint32_t num_shards = 0, next_id = 0, num_editions = 0;
+  uint32_t current_version = 0;
   double compact_fraction = 0.0;
   if (!io::ReadPod(in, &fingerprint) || !io::ReadPod(in, &num_shards) ||
       !io::ReadPod(in, &compact_fraction) || !io::ReadPod(in, &base_n) ||
-      !io::ReadPod(in, &next_id) || !io::ReadPod(in, &num_editions)) {
+      !io::ReadPod(in, &next_id) || !io::ReadPod(in, &num_editions) ||
+      !io::ReadPod(in, &current_version)) {
     return Status::InvalidArgument("truncated index header in '" + path +
                                    "'");
   }
@@ -1325,6 +1360,10 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
   }
   if (num_editions < 1 || num_editions > kMaxEditions) {
     return Status::InvalidArgument("corrupt edition count in '" + path +
+                                   "'");
+  }
+  if (current_version >= num_editions) {
+    return Status::InvalidArgument("corrupt current edition in '" + path +
                                    "'");
   }
   std::vector<std::shared_ptr<const Edition>> editions;
@@ -1564,7 +1603,11 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
   {
     std::lock_guard<std::mutex> lock(editions_mutex_);
     editions_ = std::move(editions);
-    current_edition_.store(editions_.back().get(),
+    // The saved current edition, not editions_.back(): the file may
+    // capture a rebuild mid-migration, where the newest edition is not
+    // yet current. Restoring the true current keeps derived_n() honest
+    // so the drift trigger can still fire and finish the migration.
+    current_edition_.store(editions_[current_version].get(),
                            std::memory_order_seq_cst);
   }
   next_id_.store(next_id, std::memory_order_relaxed);

@@ -304,6 +304,8 @@ class DynamicIndex {
   /// During a rebuild individual shards may briefly serve the previous
   /// edition; queries handle that internally. The family reference stays
   /// valid for the index's lifetime (editions are never destroyed).
+  /// Before Build()/Load() these return graceful defaults (0 / 0.0 / an
+  /// empty family).
   int repetitions() const;
   double verify_threshold() const;
   const FilterFamily& family() const;
@@ -345,8 +347,11 @@ class DynamicIndex {
   std::span<const ItemId> ItemsOf(const ShardState& state, VectorId id) const;
 
   /// Swaps \p next in as shard \p s's snapshot and retires the old one.
-  /// Caller holds the shard's writer mutex.
-  void PublishLocked(Shard* shard,
+  /// Caller holds the shard's writer mutex. Returns true when the limbo
+  /// backlog warrants an epochs_.Collect() — which the caller must run
+  /// only *after* releasing the mutex (reclamation can destroy
+  /// O(shard)-sized retired tables).
+  bool PublishLocked(Shard* shard,
                      std::shared_ptr<const ShardState> next) const;
 
   /// Copies the current owner pointer of shard \p s (takes and releases

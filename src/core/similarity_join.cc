@@ -35,6 +35,27 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
     if (options.maintenance_thread) {
       SKEWSEARCH_RETURN_NOT_OK(service.Start());
     }
+    // Net no-op churn: insert a copy of a build-side vector, tombstone
+    // it right away. Every copy is dead before the first probe, so the
+    // join output is unchanged, but the deltas + tombstones accumulate
+    // into real compaction work for the maintenance service while the
+    // probe phase runs. Without the background thread, drain inline at
+    // intervals so the flagged shards are still serviced.
+    if (options.churn > 0) {
+      const size_t stride = std::max<size_t>(1, options.churn / 4);
+      for (size_t i = 0, inserted = 0; inserted < options.churn; ++i) {
+        if (i >= options.churn * 2) break;  // all build vectors empty
+        auto source = right.Get(static_cast<VectorId>(i % right.size()));
+        if (source.empty()) continue;
+        Result<VectorId> id = dynamic.Insert(source);
+        SKEWSEARCH_RETURN_NOT_OK(id.status());
+        SKEWSEARCH_RETURN_NOT_OK(dynamic.Remove(id.value()));
+        ++inserted;
+        if (!options.maintenance_thread && inserted % stride == 0) {
+          SKEWSEARCH_RETURN_NOT_OK(service.RunOnce());
+        }
+      }
+    }
   } else if (use_shards) {
     ShardedIndexOptions sharded_options;
     sharded_options.index = options.index;

@@ -43,6 +43,17 @@ struct JoinOptions {
   /// the background thread while the join runs.
   MaintenanceOptions maintenance;
   bool maintenance_thread = false;
+  /// Online only: number of net no-op insert+remove cycles applied to
+  /// the build side after the build. Each cycle inserts a copy of an
+  /// existing build-side vector and immediately tombstones it, so the
+  /// join output is unchanged — but the accumulated deltas and
+  /// tombstones give the maintenance service real compaction work that
+  /// overlaps the probe phase. (Being net no-op, the churn never moves
+  /// the live count, so it exercises compaction but can never trip the
+  /// drift-rebuild trigger.) With the background thread off,
+  /// maintenance runs inline at intervals during the churn. 0 =
+  /// pristine build side, in which case the service has nothing to do.
+  size_t churn = 0;
 };
 
 /// \brief Join counters.

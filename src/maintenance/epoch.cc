@@ -61,7 +61,16 @@ size_t EpochManager::Retire(std::shared_ptr<const void> retired) {
 }
 
 size_t EpochManager::Collect() {
-  uint64_t min_pinned = UINT64_MAX;
+  // Bound reclamation by the epoch read *before* the slot scan. A reader
+  // that pins after the scan is invisible to it, but its pin load comes
+  // after this load in the seq_cst total order, so it observes an epoch
+  // >= scan_epoch — and a reader pinned at epoch e can only hold
+  // pointers retired at epoch >= e. Entries retired at or after
+  // scan_epoch therefore stay in limbo until a later Collect(), closing
+  // the window where a concurrent pin + Retire() could race this pass
+  // into freeing a snapshot that late reader still dereferences.
+  const uint64_t scan_epoch = epoch_.load(std::memory_order_seq_cst);
+  uint64_t min_pinned = scan_epoch;
   for (const PaddedAtomicU64& slot : slots_) {
     const uint64_t value = slot.value.load(std::memory_order_seq_cst);
     if (value != 0) min_pinned = std::min(min_pinned, value - 1);

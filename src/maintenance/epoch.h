@@ -16,7 +16,11 @@
 //     E at retire time, then advances the epoch.
 //   * A reader pinned with epoch e protects every retirement with
 //     epoch >= e: Collect() only frees entries whose retire epoch is
-//     strictly below the minimum pinned epoch.
+//     strictly below min(minimum pinned epoch, epoch at the start of the
+//     slot scan). The second bound covers readers that pin after the
+//     scan (and are thus invisible to it): such a pin observes an epoch
+//     >= the scan epoch, so anything it can hold was retired at or
+//     after the scan epoch and is left in limbo for a later pass.
 //   * A reader pinned with epoch e cannot hold a pointer retired at
 //     epoch < e: observing the advanced epoch places its pin after the
 //     swap in the total order, so its subsequent pointer loads can only

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
@@ -14,6 +15,7 @@ class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = ::testing::TempDir() + "/cli_test_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this));
     text_ = path_ + ".txt";
     bin_ = path_ + ".bin";
@@ -132,8 +134,11 @@ TEST_F(CliTest, SelfJoinOnlineRuns) {
   EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8", "--online",
                     "--maintenance", "1", "--shards", "2"}),
             0);
+  // Manual maintenance drive: the net no-op churn tombstones enough
+  // entries that the aggressive dead-ratio compacts during the join.
   EXPECT_EQ(RunCli({"selfjoin", "--in", text_, "--b1", "0.8",
-                    "--maintenance", "0"}),
+                    "--maintenance", "0", "--dead-ratio", "0.1",
+                    "--churn", "60"}),
             0);
 }
 

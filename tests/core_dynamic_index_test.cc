@@ -4,6 +4,7 @@
 // Save/Load round-trips including tombstone state.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -268,6 +269,7 @@ class DynamicIndexIoTest : public DynamicIndexTest {
   void SetUp() override {
     DynamicIndexTest::SetUp();
     path_ = ::testing::TempDir() + "/dynamic_io_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
   }
   void TearDown() override { std::remove(path_.c_str()); }

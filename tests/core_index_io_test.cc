@@ -2,6 +2,7 @@
 // parallel-probe APIs.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +23,7 @@ class IndexIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = ::testing::TempDir() + "/index_io_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
     dist_ = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
     Rng rng(11);

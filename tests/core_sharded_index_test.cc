@@ -4,6 +4,7 @@
 // and Save/Load.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -218,6 +219,7 @@ class ShardedIndexIoTest : public ShardedIndexTest {
   void SetUp() override {
     ShardedIndexTest::SetUp();
     path_ = ::testing::TempDir() + "/sharded_io_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
   }
   void TearDown() override { std::remove(path_.c_str()); }

@@ -112,6 +112,40 @@ TEST(SimilarityJoinTest, StatsPopulated) {
   EXPECT_GT(stats.candidates + stats.verifications, 0u);
 }
 
+TEST(SimilarityJoinTest, OnlineChurnedJoinMatchesOfflineAndCompacts) {
+  auto dist = UniformProbabilities(1500, 0.03).value();
+  Rng rng(6);
+  Dataset data;
+  for (int i = 0; i < 100; ++i) data.Add(dist.Sample(&rng));
+  for (int i = 0; i < 8; ++i) data.Add(data.GetVector(i * 5));  // dups
+  ASSERT_TRUE(data.SetDimension(1500).ok());
+
+  JoinOptions offline = AdversarialJoinOptions(0.8);
+  auto expected = SelfSimilarityJoin(data, dist, offline);
+  ASSERT_TRUE(expected.ok());
+
+  // Online build side, driven inline (no thread, so every maintenance
+  // pass is deterministic) with enough net no-op churn to cross the
+  // aggressive dead-ratio: the service must do real compaction work,
+  // and the pair output must be identical to the offline join.
+  JoinOptions online = AdversarialJoinOptions(0.8);
+  online.online = true;
+  online.maintenance_thread = false;
+  online.maintenance.dead_ratio = 0.05;
+  online.churn = data.size() / 2;
+  JoinStats stats;
+  auto got = SelfSimilarityJoin(data, dist, online, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(stats.compactions, 0u);
+
+  ASSERT_EQ(got->size(), expected->size());
+  for (size_t i = 0; i < got->size(); ++i) {
+    EXPECT_EQ((*got)[i].left, (*expected)[i].left);
+    EXPECT_EQ((*got)[i].right, (*expected)[i].right);
+    EXPECT_DOUBLE_EQ((*got)[i].similarity, (*expected)[i].similarity);
+  }
+}
+
 TEST(SimilarityJoinTest, OutputSortedByLeftThenRight) {
   auto dist = UniformProbabilities(600, 0.05).value();
   Rng rng(5);

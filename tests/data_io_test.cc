@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -13,6 +14,7 @@ class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = ::testing::TempDir() + "/skewsearch_io_test_" +
+            std::to_string(::getpid()) + "_" +
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
   }
   void TearDown() override { std::remove(path_.c_str()); }

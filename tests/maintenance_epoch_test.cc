@@ -160,5 +160,71 @@ TEST(EpochManagerStressTest, ReadersNeverSeeReclaimedState) {
   EXPECT_EQ(epochs.limbo_size(), 0u);
 }
 
+// Regression for the Collect() slot-scan race: a dedicated collector
+// thread runs Collect() in a tight loop, so its slot scans constantly
+// race readers pinning just after the scan against the writer retiring
+// the snapshot those readers are about to load. Collect() must bound
+// reclamation by the epoch it observed *before* the scan; without that
+// bound this frees a node mid-dereference, which the canary (and
+// TSan/ASan) turns into a hard failure.
+TEST(EpochManagerStressTest, ConcurrentCollectorNeverFreesAPinnedLoad) {
+  constexpr uint64_t kAlive = 0xA11CE;
+  struct Node {
+    explicit Node(uint64_t v) : value(v) {}
+    ~Node() { canary.store(0xDEAD, std::memory_order_release); }
+    std::atomic<uint64_t> canary{kAlive};
+    uint64_t value = 0;
+  };
+
+  EpochManager epochs;
+  auto initial = std::make_shared<Node>(0);
+  std::atomic<const Node*> published{initial.get()};
+  std::shared_ptr<Node> owner = std::move(initial);
+
+  // Two readers (not more): the hazard needs slot scans that observe
+  // *no* pinned reader, then a pin landing inside the scan→partition
+  // window, so mostly-unpinned readers hit it far more often.
+  constexpr int kReaders = 2;
+  constexpr uint64_t kGenerations = 20000;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        EpochManager::Guard guard = epochs.Pin();
+        const Node* node = published.load(std::memory_order_seq_cst);
+        for (int probe = 0; probe < 4; ++probe) {
+          if (node->canary.load(std::memory_order_acquire) != kAlive) {
+            violations.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::thread collector([&] {
+    while (!done.load(std::memory_order_acquire)) epochs.Collect();
+  });
+
+  for (uint64_t generation = 1; generation <= kGenerations; ++generation) {
+    auto next = std::make_shared<Node>(generation);
+    const Node* raw = next.get();
+    std::shared_ptr<Node> old = std::move(owner);
+    owner = std::move(next);
+    published.store(raw, std::memory_order_seq_cst);
+    epochs.Retire(std::move(old));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  collector.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  epochs.Collect();  // quiesced: everything retired is now reclaimable
+  EXPECT_EQ(epochs.total_reclaimed(), epochs.total_retired());
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+}
+
 }  // namespace
 }  // namespace skewsearch

@@ -40,11 +40,18 @@ Commands:
            [--dead-ratio R] [--churn N] [--binary]
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
-           [--churn N] [--binary]
+           [--churn N] [--workers W] [--heavy-threshold T] [--binary]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
 one; results are identical, memory and parallelism differ.
+
+--workers W > 1 (selfjoin) runs the distributed all-pairs backend: the
+filter-key space is partitioned across W in-process workers with
+skew-aware heavy-key splitting (--heavy-threshold T overrides the
+split point, default auto), and the coordinator merges the per-worker
+pair streams. The pair output is identical to the single-process join.
+Incompatible with --online.
 
 --online (implied by any --maintenance/--drift-factor/--dead-ratio/
 --churn flag) serves from the online DynamicIndex with the maintenance
@@ -415,6 +422,8 @@ int CmdSelfJoin(const Flags& flags) {
   options.index.seed = flags.GetUint("seed", 1);
   options.threshold = b1;
   options.num_shards = static_cast<int>(flags.GetUint("shards", 1));
+  options.workers = static_cast<int>(flags.GetUint("workers", 0));
+  options.heavy_threshold = flags.GetUint("heavy-threshold", 0);
   if (WantsOnline(flags)) {
     options.online = true;
     options.maintenance = MaintenanceFromFlags(flags);
@@ -428,6 +437,12 @@ int CmdSelfJoin(const Flags& flags) {
               "%.2fs, %zu candidates)\n",
               b1, pairs->size(), stats.build_seconds, stats.probe_seconds,
               stats.candidates);
+  if (options.workers > 1) {
+    std::printf("distributed backend: %d workers, duplication factor "
+                "%.2f, probe fan-out %.2f\n",
+                options.workers, stats.duplication_factor,
+                stats.probe_fanout);
+  }
   if (options.online) {
     std::printf("online build side: maintenance thread %s, %zu "
                 "compactions, %zu rebuilds\n",

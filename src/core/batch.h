@@ -37,7 +37,8 @@ auto RunWithTransientPool(int threads, const PoolFn& fn) {
 }
 
 /// Answers every query in \p queries via
-/// `query_one(i, &scratch, &query_stats) -> std::optional<Match>`,
+/// `query_one(i, &scratch, &query_stats)`, which yields an optional
+/// Match per query,
 /// using one Scratch per worker slot. \p reduce folds each slot's
 /// scratch into the aggregate: `reduce(scratch, batch_stats)`.
 /// A null (or single-threaded) \p pool runs serially on the caller.

@@ -4,17 +4,64 @@
 #include <thread>
 
 #include "core/sharded_index.h"
+#include "distributed/distributed_join.h"
 #include "util/timer.h"
 
 namespace skewsearch {
 
 namespace {
 
+/// The distributed pair-emission backend: plan a skew-aware key
+/// partition, fan the probes out over in-process workers, merge. Output
+/// is identical to the single-process backend (asserted in tests), so
+/// the choice is purely an execution-strategy knob.
+Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
+                                                 const Dataset& right,
+                                                 const ProductDistribution&
+                                                     dist,
+                                                 const JoinOptions& options,
+                                                 bool self_join,
+                                                 JoinStats* stats) {
+  if (options.online) {
+    return Status::InvalidArgument(
+        "workers > 1 is incompatible with the online build side");
+  }
+  DistributedJoinOptions distributed;
+  distributed.index = options.index;
+  distributed.threshold = options.threshold;
+  distributed.workers = options.workers;
+  distributed.heavy_threshold = options.heavy_threshold;
+  distributed.threads = options.probe_threads;
+  DistributedJoin join;
+  SKEWSEARCH_RETURN_NOT_OK(join.Build(&right, &dist, distributed));
+  DistributedJoinStats distributed_stats;
+  Result<std::vector<JoinPair>> pairs =
+      self_join ? join.SelfJoin(&distributed_stats)
+                : join.Join(left, &distributed_stats);
+  SKEWSEARCH_RETURN_NOT_OK(pairs.status());
+  if (stats != nullptr) {
+    JoinStats local;
+    local.pairs = distributed_stats.pairs;
+    local.candidates = distributed_stats.candidates;
+    local.verifications = distributed_stats.verifications;
+    local.build_seconds =
+        distributed_stats.build_seconds + distributed_stats.plan_seconds;
+    local.probe_seconds = distributed_stats.probe_seconds;
+    local.duplication_factor = distributed_stats.duplication_factor;
+    local.probe_fanout = distributed_stats.probe_fanout;
+    *stats = local;
+  }
+  return pairs;
+}
+
 Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                                        const Dataset& right,
                                        const ProductDistribution& dist,
                                        const JoinOptions& options,
                                        bool self_join, JoinStats* stats) {
+  if (options.workers > 1) {
+    return DistributedBackend(left, right, dist, options, self_join, stats);
+  }
   JoinStats local;
   Timer build_timer;
   // Every build side answers QueryAll identically; the sharded one

@@ -3,6 +3,14 @@
 // joins" paragraph: index S, then probe with every r in R; preprocessing
 // O(d |S|^{1+rho}), total join time O(d |R| |S|^rho) when the output is
 // small).
+//
+// Pair emission is pluggable: the default backend probes one in-process
+// index (monolithic, sharded or online per JoinOptions), while
+// `JoinOptions::workers > 1` routes the same probes through the
+// distributed driver (src/distributed/) — a planner/worker pipeline
+// whose output is identical for every worker count. All backends emit
+// into the same canonical (left, right)-sorted pair list, which is what
+// makes them interchangeable and cross-checkable.
 
 #ifndef SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
 #define SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
@@ -54,6 +62,18 @@ struct JoinOptions {
   /// maintenance runs inline at intervals during the churn. 0 =
   /// pristine build side, in which case the service has nothing to do.
   size_t churn = 0;
+  /// When > 1, pair emission runs on the distributed backend
+  /// (src/distributed/) instead of the single-process probe loop: a
+  /// PartitionPlanner splits the filter-key space across this many
+  /// in-process workers (heavy keys sliced, light keys hashed once) and
+  /// the coordinator merges and dedups the per-worker pair streams. The
+  /// output is provably identical to the single-process backend for any
+  /// worker count. Incompatible with `online` (the distributed build
+  /// side is immutable); `num_shards` is ignored by this backend.
+  int workers = 0;
+  /// Distributed backend only: posting count above which the planner
+  /// splits a filter key across workers (0 = auto).
+  size_t heavy_threshold = 0;
 };
 
 /// \brief Join counters.
@@ -65,6 +85,10 @@ struct JoinStats {
   double probe_seconds = 0.0;
   size_t compactions = 0;      ///< online build side only
   size_t rebuilds = 0;         ///< online build side only
+  /// Distributed backend only: data shipped to workers over one dataset
+  /// copy (1.0 elsewhere), and the average workers contacted per probe.
+  double duplication_factor = 1.0;
+  double probe_fanout = 0.0;
 };
 
 /// R-S join: returns all (r, s) with B(r, s) >= threshold found by probing

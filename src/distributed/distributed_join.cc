@@ -1,0 +1,301 @@
+#include "distributed/distributed_join.h"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "core/sharded_index.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace skewsearch {
+
+namespace {
+
+/// Packs a (left, right) pair for the cross-worker merge dedup.
+uint64_t PairKey(VectorId left, VectorId right) {
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+
+}  // namespace
+
+Status DistributedJoin::Build(const Dataset* data,
+                              const ProductDistribution* dist,
+                              const DistributedJoinOptions& options) {
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  Result<FilterFamily> family =
+      FilterFamily::Create(dist, options.index, data->size());
+  if (!family.ok()) return family.status();
+
+  // Everything fallible below works on locals; members are assigned
+  // only once the whole build has succeeded, so a failed Build leaves
+  // any previous state fully usable (and built() false on a fresh
+  // coordinator).
+  Timer build_timer;
+  const double threshold = options.threshold >= 0.0
+                               ? options.threshold
+                               : family->verify_threshold();
+
+  // The monolithic posting table, built by the exact machinery the
+  // sharded index shares with the single index — so the slices the plan
+  // cuts from it are guaranteed to cover what a single-process join
+  // would scan.
+  IndexBuildStats build_stats;
+  build_stats.repetitions = family->repetitions();
+  build_stats.delta_used = family->delta();
+  std::vector<FilterTable> full;
+  SKEWSEARCH_RETURN_NOT_OK(sharded_internal::BuildShardTables(
+      *data, *family, /*num_shards=*/1, options.threads, &build_stats,
+      &full));
+  const FilterTable& table = full[0];
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  Timer plan_timer;
+  PartitionPlannerOptions planner;
+  planner.workers = options.workers;
+  planner.heavy_threshold = options.heavy_threshold;
+  planner.sample_fraction = options.sample_fraction;
+  Result<PartitionPlan> plan =
+      options.sample_fraction >= 1.0
+          ? PartitionPlanner::PlanFromTable(table, planner)
+          : PartitionPlanner::PlanFromData(*data, *family, planner);
+  if (!plan.ok()) return plan.status();
+
+  // Cut the monolithic table into per-worker slices: light keys go
+  // whole to their hash home, heavy keys as contiguous near-equal
+  // chunks to their slice owners. Disjoint cover by construction.
+  std::vector<FilterTable> tables(static_cast<size_t>(options.workers));
+  std::vector<int> owners;
+  for (size_t k = 0; k < table.num_keys(); ++k) {
+    const uint64_t key = table.key_at(k);
+    auto postings = table.postings_at(k);
+    owners.clear();
+    plan->RouteKey(key, &owners);
+    const size_t slices = owners.size();
+    for (size_t j = 0; j < slices; ++j) {
+      const size_t begin = j * postings.size() / slices;
+      const size_t end = (j + 1) * postings.size() / slices;
+      FilterTable& target = tables[static_cast<size_t>(owners[j])];
+      for (size_t i = begin; i < end; ++i) target.Add(key, postings[i]);
+    }
+  }
+  std::vector<JoinWorker> workers;
+  workers.reserve(static_cast<size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    FilterTable& slice = tables[static_cast<size_t>(w)];
+    slice.Freeze();
+    workers.emplace_back(w, std::move(slice), data, threshold,
+                         options.index.verify_measure);
+  }
+
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  family_ = std::move(family).value();
+  threshold_ = threshold;
+  plan_ = std::move(plan).value();
+  workers_ = std::move(workers);
+  build_seconds_ = build_seconds;
+  plan_seconds_ = plan_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+double DistributedJoin::DuplicationFactor() const {
+  if (!built() || data_->size() == 0) return 1.0;
+  size_t shipped = 0;
+  for (const JoinWorker& worker : workers_) {
+    shipped += worker.distinct_vectors();
+  }
+  return static_cast<double>(shipped) / static_cast<double>(data_->size());
+}
+
+Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
+    const Dataset& left, bool self_join, DistributedJoinStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("DistributedJoin::Build must succeed "
+                                   "before joining");
+  }
+  Timer probe_timer;
+  const int num_workers = this->num_workers();
+  const size_t worker_count = static_cast<size_t>(num_workers);
+  const int reps = family_.repetitions();
+
+  // Phase 1 — route: compute each probe's filter keys once, split them
+  // by owner, and enqueue one ProbeRequest per touched worker. Routing
+  // parallelizes over probes; each worker's queue is sorted by probe id
+  // afterwards, so the queues are independent of the schedule.
+  struct RouteSlot {
+    std::vector<std::vector<ProbeRequest>> queues;
+    std::vector<uint64_t> keys;
+    std::vector<std::vector<uint64_t>> worker_keys;
+    std::vector<int> owners;
+    size_t fanout_sum = 0;
+    size_t routed_probes = 0;
+  };
+  const int threads = options_.threads;
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  std::vector<RouteSlot> slots(
+      static_cast<size_t>(pool ? pool->num_threads() : 1));
+  for (RouteSlot& slot : slots) {
+    slot.queues.resize(worker_count);
+    slot.worker_keys.resize(worker_count);
+  }
+  auto route_range = [&](size_t begin, size_t end, int slot_id) {
+    RouteSlot& slot = slots[static_cast<size_t>(slot_id)];
+    for (size_t i = begin; i < end; ++i) {
+      const VectorId lid = static_cast<VectorId>(i);
+      auto query = left.Get(lid);
+      if (query.empty()) continue;  // QueryAll answers empty probes empty
+      slot.routed_probes++;
+      slot.keys.clear();
+      for (int rep = 0; rep < reps; ++rep) {
+        family_.ComputeFilters(query, static_cast<uint32_t>(rep),
+                               &slot.keys, nullptr);
+      }
+      for (auto& keys : slot.worker_keys) keys.clear();
+      for (uint64_t key : slot.keys) {
+        slot.owners.clear();
+        plan_.RouteKey(key, &slot.owners);
+        for (int owner : slot.owners) {
+          slot.worker_keys[static_cast<size_t>(owner)].push_back(key);
+        }
+      }
+      for (size_t w = 0; w < worker_count; ++w) {
+        if (slot.worker_keys[w].empty()) continue;
+        ProbeRequest request;
+        request.left = lid;
+        request.items = query;
+        request.exclude_left_and_below = self_join;
+        request.keys = std::move(slot.worker_keys[w]);
+        slot.worker_keys[w].clear();
+        slot.queues[w].push_back(std::move(request));
+        slot.fanout_sum++;
+      }
+    }
+  };
+  if (!pool) {
+    route_range(0, left.size(), 0);
+  } else {
+    pool->ParallelFor(left.size(), /*grain=*/64, route_range);
+  }
+  std::vector<std::vector<ProbeRequest>> queues(worker_count);
+  size_t fanout_sum = 0;
+  size_t routed_probes = 0;
+  for (RouteSlot& slot : slots) {
+    fanout_sum += slot.fanout_sum;
+    routed_probes += slot.routed_probes;
+    for (size_t w = 0; w < worker_count; ++w) {
+      auto& queue = queues[w];
+      queue.insert(queue.end(),
+                   std::make_move_iterator(slot.queues[w].begin()),
+                   std::make_move_iterator(slot.queues[w].end()));
+    }
+  }
+  for (auto& queue : queues) {
+    std::sort(queue.begin(), queue.end(),
+              [](const ProbeRequest& a, const ProbeRequest& b) {
+                return a.left < b.left;
+              });
+  }
+
+  // Phase 2 — serve: each worker drains its queue independently; the
+  // fan-out over the pool is the in-process stand-in for W machines.
+  std::vector<std::vector<ProbeResponse>> responses(worker_count);
+  std::vector<double> worker_seconds(worker_count, 0.0);
+  auto serve_worker = [&](size_t w) {
+    Timer timer;
+    const JoinWorker& worker = workers_[w];
+    auto& out = responses[w];
+    out.reserve(queues[w].size());
+    for (const ProbeRequest& request : queues[w]) {
+      out.push_back(worker.Probe(request));
+    }
+    worker_seconds[w] = timer.ElapsedSeconds();
+  };
+  if (!pool) {
+    for (size_t w = 0; w < worker_count; ++w) serve_worker(w);
+  } else {
+    pool->ParallelFor(worker_count, /*grain=*/1,
+                      [&](size_t begin, size_t end, int /*slot*/) {
+                        for (size_t w = begin; w < end; ++w) serve_worker(w);
+                      });
+  }
+
+  // Phase 3 — merge: drop pairs that surfaced on more than one worker
+  // (the same build vector can sit behind different keys on different
+  // workers), then sort into the canonical (left, right) order the
+  // single-process join uses.
+  std::vector<JoinPair> out;
+  std::unordered_set<uint64_t> emitted;
+  DistributedJoinStats local;
+  local.workers.resize(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    WorkerLoad& load = local.workers[w];
+    load.worker = static_cast<int>(w);
+    load.keys = workers_[w].num_keys();
+    load.entries = workers_[w].num_entries();
+    load.vectors = workers_[w].distinct_vectors();
+    load.probes = queues[w].size();
+    load.probe_seconds = worker_seconds[w];
+    for (const ProbeResponse& response : responses[w]) {
+      load.candidates += response.candidates;
+      load.verifications += response.verifications;
+      load.pairs += response.matches.size();
+      for (const Match& match : response.matches) {
+        if (!emitted.insert(PairKey(response.left, match.id)).second) {
+          local.cross_worker_duplicates++;
+          continue;
+        }
+        out.push_back({response.left, match.id, match.similarity});
+      }
+    }
+    local.candidates += load.candidates;
+    local.verifications += load.verifications;
+  }
+  std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+
+  local.pairs = out.size();
+  local.heavy_keys = plan_.num_heavy_keys();
+  local.replicated_slices = plan_.replicated_slices();
+  local.duplication_factor = DuplicationFactor();
+  local.probe_fanout =
+      routed_probes > 0
+          ? static_cast<double>(fanout_sum) / static_cast<double>(routed_probes)
+          : 0.0;
+  local.build_seconds = build_seconds_;
+  local.plan_seconds = plan_seconds_;
+  local.probe_seconds = probe_timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+Result<std::vector<JoinPair>> DistributedJoin::Join(
+    const Dataset& left, DistributedJoinStats* stats) const {
+  return JoinImpl(left, /*self_join=*/false, stats);
+}
+
+Result<std::vector<JoinPair>> DistributedJoin::SelfJoin(
+    DistributedJoinStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("DistributedJoin::Build must succeed "
+                                   "before joining");
+  }
+  return JoinImpl(*data_, /*self_join=*/true, stats);
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,161 @@
+// Copyright 2026 The skewsearch Authors.
+// DistributedJoin: a partition-aware all-pairs similarity-join driver
+// that simulates a multi-worker LSF-Join deployment in-process.
+//
+// The coordinator builds the read-only filter family, asks the
+// PartitionPlanner for a skew-aware key partition, hands each JoinWorker
+// its posting slices, and then drives the join as pure message passing:
+// for every probe it computes the filter keys once (they are a pure
+// function of seed x repetition x vector), routes each key to its
+// owners, fans the per-worker ProbeRequests out over a thread pool, and
+// merges the ProbeResponses — deduplicating pairs that surfaced on more
+// than one worker.
+//
+// Output contract: the emitted pair list is byte-identical to the
+// single-process SimilarityJoin/SelfSimilarityJoin for every worker
+// count and heavy threshold. The argument: the workers' posting slices
+// are a disjoint cover of the monolithic table (light keys whole, heavy
+// keys sliced), so the union over workers of a probe's candidates is
+// exactly the monolithic candidate set; verification is a deterministic
+// function of the two vectors; and the coordinator's dedup + (left,
+// right) sort produces the same canonical order the single-process join
+// sorts into. Both sides of the seam hold only the read-only family and
+// datasets, so a real RPC transport can replace the in-process fan-out
+// without changing results.
+
+#ifndef SKEWSEARCH_DISTRIBUTED_DISTRIBUTED_JOIN_H_
+#define SKEWSEARCH_DISTRIBUTED_DISTRIBUTED_JOIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/skewed_index.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "distributed/partition_plan.h"
+#include "distributed/worker.h"
+#include "sim/brute_force.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Configuration of a distributed join.
+struct DistributedJoinOptions {
+  /// Index configuration of the build side (mode, b1/alpha, seed, ...).
+  SkewedIndexOptions index;
+
+  /// Similarity pairs must reach; negative derives the family's verify
+  /// threshold (same default as the single-process join).
+  double threshold = -1.0;
+
+  /// Number of simulated workers W (>= 1).
+  int workers = 4;
+
+  /// Heavy-key split point forwarded to the planner (0 = auto).
+  size_t heavy_threshold = 0;
+
+  /// Planner estimate pass: 1 (default) plans from the exact posting
+  /// counts; < 1 plans from a sampled frequency estimate instead, as a
+  /// coordinator without the full table would.
+  double sample_fraction = 1.0;
+
+  /// Parallelism for the build and the worker fan-out (<= 1 = serial;
+  /// workers are driven one per pool slot either way, so the thread
+  /// count never changes results).
+  int threads = 0;
+};
+
+/// \brief Per-worker load/work report.
+struct WorkerLoad {
+  int worker = 0;
+  size_t keys = 0;            ///< distinct keys (slices) owned
+  size_t entries = 0;         ///< posting entries owned
+  size_t vectors = 0;         ///< distinct build vectors referenced
+  size_t probes = 0;          ///< probe requests received
+  size_t candidates = 0;      ///< posting entries scanned
+  size_t verifications = 0;   ///< similarity computations
+  size_t pairs = 0;           ///< pairs emitted (before cross-worker dedup)
+  double probe_seconds = 0.0; ///< busy time in the probe phase
+};
+
+/// \brief Coordinator-side counters of a distributed join.
+struct DistributedJoinStats {
+  size_t pairs = 0;
+  size_t candidates = 0;
+  size_t verifications = 0;
+  size_t heavy_keys = 0;              ///< keys the planner split
+  size_t replicated_slices = 0;       ///< total heavy-slice assignments
+  size_t cross_worker_duplicates = 0; ///< pairs dropped by the merge dedup
+  /// Sum over workers of distinct build vectors referenced, over n: the
+  /// data shipped to workers relative to one copy of the dataset.
+  double duplication_factor = 1.0;
+  /// Average number of workers a probe contacts.
+  double probe_fanout = 0.0;
+  double build_seconds = 0.0;  ///< family + full posting table
+  double plan_seconds = 0.0;   ///< planner + worker table partitioning
+  double probe_seconds = 0.0;  ///< route + serve + merge
+  std::vector<WorkerLoad> workers;
+};
+
+/// \brief The distributed all-pairs join coordinator.
+///
+/// Build() once over the indexed side, then Join()/SelfJoin() any number
+/// of times. The build-side dataset and distribution are borrowed and
+/// must outlive the coordinator.
+class DistributedJoin {
+ public:
+  DistributedJoin() = default;
+  DistributedJoin(const DistributedJoin&) = delete;
+  DistributedJoin& operator=(const DistributedJoin&) = delete;
+
+  /// Derives the family, builds the full posting table, plans the
+  /// partition and constructs one JoinWorker per plan slot. On failure
+  /// the coordinator is left exactly as before the call (a fresh one
+  /// stays unbuilt; a built one keeps serving its previous state).
+  Status Build(const Dataset* data, const ProductDistribution* dist,
+               const DistributedJoinOptions& options);
+
+  /// R-S join: probes with every vector of \p left; pairs are (left id,
+  /// build id, similarity), sorted by (left, right). Byte-identical to
+  /// SimilarityJoin over the same options.
+  Result<std::vector<JoinPair>> Join(const Dataset& left,
+                                     DistributedJoinStats* stats = nullptr)
+      const;
+
+  /// Self join over the build side: all pairs (i < j) with similarity >=
+  /// the threshold. Byte-identical to SelfSimilarityJoin.
+  Result<std::vector<JoinPair>> SelfJoin(
+      DistributedJoinStats* stats = nullptr) const;
+
+  /// True after a successful Build().
+  bool built() const { return family_.valid(); }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const PartitionPlan& plan() const { return plan_; }
+  const JoinWorker& worker(int w) const {
+    return workers_[static_cast<size_t>(w)];
+  }
+  const FilterFamily& family() const { return family_; }
+  double threshold() const { return threshold_; }
+
+  /// Sum over workers of distinct referenced vectors, over n.
+  double DuplicationFactor() const;
+
+ private:
+  Result<std::vector<JoinPair>> JoinImpl(const Dataset& left, bool self_join,
+                                         DistributedJoinStats* stats) const;
+
+  const Dataset* data_ = nullptr;
+  const ProductDistribution* dist_ = nullptr;
+  DistributedJoinOptions options_;
+  FilterFamily family_;
+  PartitionPlan plan_;
+  std::vector<JoinWorker> workers_;
+  double threshold_ = 0.0;
+  double build_seconds_ = 0.0;
+  double plan_seconds_ = 0.0;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DISTRIBUTED_DISTRIBUTED_JOIN_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 The skewsearch Authors.
+// The coordinator <-> worker wire types of the distributed join.
+//
+// These are deliberately plain aggregates of POD fields and flat
+// vectors: everything that crosses the planner/worker seam is spelled
+// out here, so a real RPC transport (protobuf, flatbuffers, raw frames)
+// can serialize them without touching any index internals. The only
+// state the seam does NOT carry is the read-only FilterFamily and the
+// build-side vectors a worker verifies against — in a deployment those
+// are distributed once at plan time (the family is a pure function of
+// the index options and seed, so shipping the options suffices; the
+// vectors shipped per worker are what the duplication factor counts).
+
+#ifndef SKEWSEARCH_DISTRIBUTED_MESSAGES_H_
+#define SKEWSEARCH_DISTRIBUTED_MESSAGES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/brute_force.h"
+
+namespace skewsearch {
+
+/// \brief One probe routed to one worker.
+struct ProbeRequest {
+  /// Id of the probing (left-side) vector.
+  VectorId left = 0;
+
+  /// The probe vector's items (the payload a wire format would inline;
+  /// in-process it is a view into the probing dataset).
+  std::span<const ItemId> items;
+
+  /// True for self-joins: the worker only emits matches with id > left,
+  /// so each unordered pair is reported once and self-matches never.
+  bool exclude_left_and_below = false;
+
+  /// The filter keys of F(left) this worker owns under the plan, in the
+  /// coordinator's computation order (repetition-major). May contain
+  /// repeats when distinct repetitions emit the same key; the worker
+  /// dedups candidates, so repeats are harmless.
+  std::vector<uint64_t> keys;
+};
+
+/// \brief A worker's answer to one ProbeRequest.
+struct ProbeResponse {
+  /// Echo of ProbeRequest::left.
+  VectorId left = 0;
+
+  /// Verified matches from this worker's posting slices: similarity >=
+  /// the join threshold, each distinct id at most once per response.
+  /// The same id may appear in another worker's response (the
+  /// coordinator dedups cross-worker).
+  std::vector<Match> matches;
+
+  /// Posting entries scanned while answering.
+  uint64_t candidates = 0;
+
+  /// Distinct candidates verified (similarity computations).
+  uint64_t verifications = 0;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DISTRIBUTED_MESSAGES_H_

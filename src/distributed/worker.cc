@@ -1,0 +1,47 @@
+#include "distributed/worker.h"
+
+#include <utility>
+
+namespace skewsearch {
+
+JoinWorker::JoinWorker(int worker_id, FilterTable table,
+                       const Dataset* build_data, double threshold,
+                       Measure measure)
+    : worker_id_(worker_id),
+      table_(std::move(table)),
+      build_data_(build_data),
+      threshold_(threshold),
+      measure_(measure) {
+  std::unordered_set<VectorId> distinct;
+  for (size_t k = 0; k < table_.num_keys(); ++k) {
+    for (VectorId id : table_.postings_at(k)) distinct.insert(id);
+  }
+  distinct_vectors_ = distinct.size();
+}
+
+ProbeResponse JoinWorker::Probe(const ProbeRequest& request) const {
+  ProbeResponse response;
+  response.left = request.left;
+  std::span<const ItemId> query = request.items;
+  // Same candidate-collection semantics as the single-process QueryAll:
+  // dedup ids across every key (and repetition), then verify each
+  // survivor once, counting every posting entry scanned. The self-join
+  // exclusion runs before verification — the single-process join filters
+  // after, so its verification counter is higher, but the emitted pairs
+  // are the same.
+  std::unordered_set<VectorId> seen;
+  for (uint64_t key : request.keys) {
+    auto postings = table_.Lookup(key);
+    response.candidates += postings.size();
+    for (VectorId id : postings) {
+      if (!seen.insert(id).second) continue;
+      if (request.exclude_left_and_below && id <= request.left) continue;
+      response.verifications++;
+      double sim = Similarity(measure_, query, build_data_->Get(id));
+      if (sim >= threshold_) response.matches.push_back({id, sim});
+    }
+  }
+  return response;
+}
+
+}  // namespace skewsearch

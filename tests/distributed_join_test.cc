@@ -1,0 +1,316 @@
+#include "distributed/distributed_join.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/similarity_join.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+JoinOptions AdversarialJoinOptions(double b1, uint64_t seed) {
+  JoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = b1;
+  options.index.repetition_boost = 3.0;
+  options.index.seed = seed;
+  options.threshold = b1;
+  return options;
+}
+
+DistributedJoinOptions DistributedFrom(const JoinOptions& options,
+                                       int workers) {
+  DistributedJoinOptions distributed;
+  distributed.index = options.index;
+  distributed.threshold = options.threshold;
+  distributed.workers = workers;
+  return distributed;
+}
+
+Dataset ZipfDataWithDuplicates(uint64_t seed, size_t n,
+                               ProductDistribution* dist_out) {
+  auto dist = ZipfProbabilities(2000, 1.0, 0.4).value();
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) data.Add(dist.Sample(&rng));
+  for (size_t i = 0; i < n / 10; ++i) {
+    data.Add(data.GetVector(static_cast<VectorId>(i * 3)));
+  }
+  EXPECT_TRUE(data.SetDimension(2000).ok());
+  *dist_out = std::move(dist);
+  return data;
+}
+
+Dataset TwoBlockDataWithDuplicates(uint64_t seed, size_t n,
+                                   ProductDistribution* dist_out) {
+  auto dist = TwoBlockProbabilities(60, 0.25, 1500, 0.01).value();
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) data.Add(dist.Sample(&rng));
+  for (size_t i = 0; i < n / 10; ++i) {
+    data.Add(data.GetVector(static_cast<VectorId>(i * 5)));
+  }
+  EXPECT_TRUE(data.SetDimension(1560).ok());
+  *dist_out = std::move(dist);
+  return data;
+}
+
+void ExpectIdentical(const std::vector<JoinPair>& expected,
+                     const std::vector<JoinPair>& got) {
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].left, got[i].left) << "pair " << i;
+    EXPECT_EQ(expected[i].right, got[i].right) << "pair " << i;
+    EXPECT_DOUBLE_EQ(expected[i].similarity, got[i].similarity)
+        << "pair " << i;
+  }
+}
+
+/// The acceptance-criterion sweep: DistributedSelfJoin must equal the
+/// single-process SelfSimilarityJoin pair-for-pair for W in {1, 2, 7}.
+void RunIdentitySweep(const Dataset& data, const ProductDistribution& dist,
+                      const JoinOptions& options) {
+  auto expected = SelfSimilarityJoin(data, dist, options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->size(), 0u) << "sweep needs a non-trivial output";
+  for (int workers : {1, 2, 7}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    DistributedJoin join;
+    ASSERT_TRUE(
+        join.Build(&data, &dist, DistributedFrom(options, workers)).ok());
+    DistributedJoinStats stats;
+    auto got = join.SelfJoin(&stats);
+    ASSERT_TRUE(got.ok());
+    ExpectIdentical(*expected, *got);
+    EXPECT_EQ(stats.pairs, got->size());
+    EXPECT_GE(stats.duplication_factor, workers > 1 ? 1.0 : 0.0);
+    EXPECT_EQ(stats.workers.size(), static_cast<size_t>(workers));
+  }
+}
+
+TEST(DistributedJoinTest, SelfJoinIdenticalToSingleProcessOnZipf) {
+  for (uint64_t seed : {11u, 12u}) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    ProductDistribution dist;
+    Dataset data = ZipfDataWithDuplicates(seed, 120, &dist);
+    RunIdentitySweep(data, dist, AdversarialJoinOptions(0.8, seed));
+  }
+}
+
+TEST(DistributedJoinTest, SelfJoinIdenticalToSingleProcessOnTwoBlock) {
+  for (uint64_t seed : {21u, 22u}) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    ProductDistribution dist;
+    Dataset data = TwoBlockDataWithDuplicates(seed, 120, &dist);
+    RunIdentitySweep(data, dist, AdversarialJoinOptions(0.8, seed));
+  }
+}
+
+TEST(DistributedJoinTest, ForcedHeavySplittingPreservesOutput) {
+  // heavy_threshold 1 makes *every* key heavy (maximal slicing and
+  // probe fan-out); the output must not change.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(31, 100, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 31);
+  auto expected = SelfSimilarityJoin(data, dist, options);
+  ASSERT_TRUE(expected.ok());
+
+  DistributedJoinOptions distributed = DistributedFrom(options, 5);
+  distributed.heavy_threshold = 1;
+  DistributedJoin join;
+  ASSERT_TRUE(join.Build(&data, &dist, distributed).ok());
+  DistributedJoinStats stats;
+  auto got = join.SelfJoin(&stats);
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*expected, *got);
+  EXPECT_GT(stats.heavy_keys, 0u);
+  EXPECT_GT(stats.replicated_slices, stats.heavy_keys);
+}
+
+TEST(DistributedJoinTest, AllLightRoutingPreservesOutput) {
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(32, 100, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 32);
+  auto expected = SelfSimilarityJoin(data, dist, options);
+  ASSERT_TRUE(expected.ok());
+
+  DistributedJoinOptions distributed = DistributedFrom(options, 5);
+  distributed.heavy_threshold = data.size() * 1000;  // nothing is heavy
+  DistributedJoin join;
+  ASSERT_TRUE(join.Build(&data, &dist, distributed).ok());
+  DistributedJoinStats stats;
+  auto got = join.SelfJoin(&stats);
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*expected, *got);
+  EXPECT_EQ(stats.heavy_keys, 0u);
+  EXPECT_GE(stats.probe_fanout, 1.0);
+  EXPECT_LE(stats.probe_fanout, 5.0);
+}
+
+TEST(DistributedJoinTest, SampledPlanPreservesOutput) {
+  // Routing decisions may differ under a sampled estimate pass, but the
+  // slices still cover the table, so the output is unchanged.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(33, 100, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 33);
+  auto expected = SelfSimilarityJoin(data, dist, options);
+  ASSERT_TRUE(expected.ok());
+
+  DistributedJoinOptions distributed = DistributedFrom(options, 4);
+  distributed.sample_fraction = 0.4;
+  DistributedJoin join;
+  ASSERT_TRUE(join.Build(&data, &dist, distributed).ok());
+  auto got = join.SelfJoin();
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*expected, *got);
+}
+
+TEST(DistributedJoinTest, RSJoinIdenticalToSingleProcess) {
+  ProductDistribution dist;
+  Dataset right = ZipfDataWithDuplicates(41, 100, &dist);
+  Rng rng(42);
+  Dataset left;
+  for (VectorId id = 0; id < 10; ++id) left.Add(right.GetVector(id * 2));
+  for (int i = 0; i < 30; ++i) left.Add(dist.Sample(&rng));
+  ASSERT_TRUE(left.SetDimension(2000).ok());
+
+  JoinOptions options = AdversarialJoinOptions(0.8, 41);
+  auto expected = SimilarityJoin(left, right, dist, options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->size(), 0u);
+  for (int workers : {1, 2, 7}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    DistributedJoin join;
+    ASSERT_TRUE(
+        join.Build(&right, &dist, DistributedFrom(options, workers)).ok());
+    auto got = join.Join(left);
+    ASSERT_TRUE(got.ok());
+    ExpectIdentical(*expected, *got);
+  }
+}
+
+TEST(DistributedJoinParallelIdentityTest, ThreadsDoNotChangeOutput) {
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(51, 120, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 51);
+  DistributedJoinOptions serial_options = DistributedFrom(options, 4);
+  DistributedJoin serial;
+  ASSERT_TRUE(serial.Build(&data, &dist, serial_options).ok());
+  auto expected = serial.SelfJoin();
+  ASSERT_TRUE(expected.ok());
+
+  DistributedJoinOptions parallel_options = DistributedFrom(options, 4);
+  parallel_options.threads = 4;
+  DistributedJoin parallel;
+  ASSERT_TRUE(parallel.Build(&data, &dist, parallel_options).ok());
+  auto got = parallel.SelfJoin();
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*expected, *got);
+}
+
+TEST(DistributedJoinTest, JoinOptionsWorkersRouteThroughBackend) {
+  // The pluggable-backend seam: SelfSimilarityJoin with workers > 1
+  // must produce the same pairs and report distributed stats.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(61, 100, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 61);
+  auto expected = SelfSimilarityJoin(data, dist, options);
+  ASSERT_TRUE(expected.ok());
+
+  JoinOptions via_backend = options;
+  via_backend.workers = 3;
+  JoinStats stats;
+  auto got = SelfSimilarityJoin(data, dist, via_backend, &stats);
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*expected, *got);
+  EXPECT_EQ(stats.pairs, got->size());
+  EXPECT_GE(stats.duplication_factor, 1.0);
+  EXPECT_GE(stats.probe_fanout, 1.0);
+}
+
+TEST(DistributedJoinTest, WorkersIncompatibleWithOnline) {
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(62, 50, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 62);
+  options.workers = 2;
+  options.online = true;
+  auto result = SelfSimilarityJoin(data, dist, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DistributedJoinTest, PropagatesBuildErrors) {
+  auto dist = UniformProbabilities(10, 0.2).value();
+  Dataset tiny;
+  tiny.Add(SparseVector::Of({1}));
+  DistributedJoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = 0.5;
+  DistributedJoin join;
+  EXPECT_TRUE(join.Build(&tiny, &dist, options).IsInvalidArgument());
+  EXPECT_FALSE(join.built());
+  EXPECT_FALSE(join.SelfJoin().ok());
+}
+
+TEST(DistributedJoinTest, FailedBuildLeavesCoordinatorUnbuilt) {
+  // A failure *after* the family derivation (here: an invalid worker
+  // count, rejected by the planner) must not leave built() true with
+  // zero workers — SelfJoin would then return an empty result instead
+  // of an error.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(81, 60, &dist);
+  DistributedJoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = 0.8;
+  options.workers = 0;
+  DistributedJoin join;
+  EXPECT_TRUE(join.Build(&data, &dist, options).IsInvalidArgument());
+  EXPECT_FALSE(join.built());
+  auto result = join.SelfJoin();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+
+  // And a failed re-Build keeps the previous good state serving.
+  options.workers = 3;
+  ASSERT_TRUE(join.Build(&data, &dist, options).ok());
+  auto expected = join.SelfJoin();
+  ASSERT_TRUE(expected.ok());
+  DistributedJoinOptions bad = options;
+  bad.workers = 100000;  // beyond the planner's cap
+  EXPECT_TRUE(join.Build(&data, &dist, bad).IsInvalidArgument());
+  EXPECT_TRUE(join.built());
+  auto still = join.SelfJoin();
+  ASSERT_TRUE(still.ok());
+  ExpectIdentical(*expected, *still);
+}
+
+TEST(DistributedJoinTest, WorkerLoadsAccountForEveryEntry) {
+  // The slices are a disjoint cover: per-worker entries must sum to the
+  // monolithic table's pair count, whatever the split.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(71, 120, &dist);
+  JoinOptions options = AdversarialJoinOptions(0.8, 71);
+
+  SkewedPathIndex index;
+  ASSERT_TRUE(index.Build(&data, &dist, options.index).ok());
+  const size_t expected_entries = index.filter_table().num_pairs();
+
+  for (size_t heavy_threshold : {size_t{1}, size_t{0}, size_t{1000000}}) {
+    SCOPED_TRACE("heavy_threshold = " + std::to_string(heavy_threshold));
+    DistributedJoinOptions distributed = DistributedFrom(options, 6);
+    distributed.heavy_threshold = heavy_threshold;
+    DistributedJoin join;
+    ASSERT_TRUE(join.Build(&data, &dist, distributed).ok());
+    size_t total = 0;
+    for (int w = 0; w < join.num_workers(); ++w) {
+      total += join.worker(w).num_entries();
+    }
+    EXPECT_EQ(total, expected_entries);
+  }
+}
+
+}  // namespace
+}  // namespace skewsearch

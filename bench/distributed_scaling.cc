@@ -13,19 +13,33 @@
 // planner's heavy-key splitting absorbs skew: duplication factor and
 // fan-out grow with skew while the per-worker entry balance stays flat.
 //
+// With --transport loopback|tcp, part 1 serves the workers over the
+// real transport seam (thread-hosted ServeConnection sessions; tcp uses
+// actual localhost sockets) and reports bytes-on-wire plus the round
+// trips taken with batched probes (the default ProbeBatch frames)
+// versus unbatched (--probe-batch 1, one round trip per probe) —
+// identity against the single-process baseline is verified either way.
+//
 // Flags: --n <dataset> --b1 <threshold> --workers <list> --threads <T>
 //        --seed <S> --rounds <timed repetitions>
+//        --transport inprocess|loopback|tcp --probe-batch <N>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/similarity_join.h"
 #include "data/generators.h"
 #include "distributed/distributed_join.h"
+#include "distributed/transport/session.h"
+#include "distributed/transport/tcp_transport.h"
+#include "distributed/transport/transport.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -39,6 +53,8 @@ struct Config {
   int rounds = 3;
   uint64_t seed = 1;
   std::vector<int> workers = {1, 2, 4, 8};
+  std::string transport = "inprocess";  // inprocess | loopback | tcp
+  size_t probe_batch = 256;
 };
 
 std::vector<int> ParseIntList(const char* text) {
@@ -71,9 +87,102 @@ Config ParseArgs(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       config.workers = ParseIntList(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      config.transport = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--probe-batch") == 0) {
+      config.probe_batch = static_cast<size_t>(std::atoll(argv[i + 1]));
     }
   }
   return config;
+}
+
+/// One thread-hosted remote worker (loopback queues or a real localhost
+/// socket) running the same ServeConnection loop the join-worker
+/// process runs. The destructor wakes a thread still blocked in
+/// Accept (listener shared for exactly that) and joins, so bailing out
+/// of the bench on any error path can never hit std::terminate on a
+/// joinable thread.
+struct HostedWorker {
+  std::thread thread;
+  Status status;
+  std::shared_ptr<TcpListener> listener;
+
+  ~HostedWorker() {
+    if (listener) listener->Shutdown();
+    if (thread.joinable()) thread.join();
+  }
+
+  void ServeLoopback(std::unique_ptr<FrameConnection> end) {
+    thread = std::thread([this, conn = std::move(end)]() mutable {
+      status = ServeConnection(conn.get());
+    });
+  }
+  void ServeTcp(std::shared_ptr<TcpListener> shared_listener) {
+    listener = shared_listener;
+    thread = std::thread([this, l = std::move(shared_listener)] {
+      auto conn = l->Accept();
+      if (!conn.ok()) {
+        status = conn.status();
+        return;
+      }
+      status = ServeConnection(conn->get());
+    });
+  }
+};
+
+/// Attaches `join` to thread-hosted workers over the chosen transport.
+bool AttachHosted(DistributedJoin* join, const std::string& transport,
+                  std::vector<std::unique_ptr<HostedWorker>>* hosts) {
+  std::vector<std::unique_ptr<FrameConnection>> connections;
+  for (int w = 0; w < join->num_workers(); ++w) {
+    auto host = std::make_unique<HostedWorker>();
+    if (transport == "loopback") {
+      auto [coordinator_end, worker_end] = LoopbackPair();
+      host->ServeLoopback(std::move(worker_end));
+      connections.push_back(std::move(coordinator_end));
+    } else {
+      auto listener = TcpListener::Listen(0);
+      if (!listener.ok()) {
+        std::fprintf(stderr, "listen failed: %s\n",
+                     listener.status().ToString().c_str());
+        return false;
+      }
+      const uint16_t port = listener->port();
+      host->ServeTcp(
+          std::make_shared<TcpListener>(std::move(listener).value()));
+      auto connection = TcpConnect("127.0.0.1", port);
+      if (!connection.ok()) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     connection.status().ToString().c_str());
+        return false;
+      }
+      connections.push_back(std::move(connection).value());
+    }
+    hosts->push_back(std::move(host));
+  }
+  Status attached = join->AttachRemote(std::move(connections));
+  if (!attached.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n",
+                 attached.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool DetachHosted(DistributedJoin* join,
+                  std::vector<std::unique_ptr<HostedWorker>>* hosts) {
+  join->DetachRemote();
+  bool ok = true;
+  for (auto& host : *hosts) {
+    if (host->thread.joinable()) host->thread.join();
+    if (!host->status.ok()) {
+      std::fprintf(stderr, "worker failed: %s\n",
+                   host->status.ToString().c_str());
+      ok = false;
+    }
+  }
+  hosts->clear();
+  return ok;
 }
 
 Dataset MakeData(const ProductDistribution& dist, size_t n, uint64_t seed,
@@ -127,6 +236,15 @@ int Run(int argc, char** argv) {
   using bench::Note;
   using bench::Table;
 
+  const bool remote_transport = config.transport != "inprocess";
+  if (remote_transport && config.transport != "loopback" &&
+      config.transport != "tcp") {
+    std::fprintf(stderr,
+                 "unknown --transport '%s' (inprocess, loopback, tcp)\n",
+                 config.transport.c_str());
+    return 1;
+  }
+
   JoinOptions join_options;
   join_options.index.mode = IndexMode::kAdversarial;
   join_options.index.b1 = config.b1;
@@ -161,46 +279,123 @@ int Run(int argc, char** argv) {
        " pairs/sec (probe phase, best of " + Fmt(config.rounds) +
        " rounds)");
 
-  Table scaling({"workers", "pairs", "pairs/sec", "dup factor", "fan-out",
-                 "max/mean entries", "identical"});
   bool all_identical = true;
-  for (int workers : config.workers) {
-    DistributedJoinOptions options;
-    options.index = join_options.index;
-    options.threshold = config.b1;
-    options.workers = workers;
-    options.threads = config.threads;
-    DistributedJoin join;
-    Status built = join.Build(&data, &dist, options);
-    if (!built.ok()) {
-      std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
-      return 1;
+  if (!remote_transport) {
+    Table scaling({"workers", "pairs", "pairs/sec", "dup factor", "fan-out",
+                   "max/mean entries", "identical"});
+    for (int workers : config.workers) {
+      DistributedJoinOptions options;
+      options.index = join_options.index;
+      options.threshold = config.b1;
+      options.workers = workers;
+      options.threads = config.threads;
+      DistributedJoin join;
+      Status built = join.Build(&data, &dist, options);
+      if (!built.ok()) {
+        std::fprintf(stderr, "build failed: %s\n", built.ToString().c_str());
+        return 1;
+      }
+      DistributedJoinStats stats;
+      auto pairs = join.SelfJoin(&stats);
+      if (!pairs.ok()) return 1;
+      double best = stats.probe_seconds;
+      for (int round = 1; round < config.rounds; ++round) {
+        DistributedJoinStats round_stats;
+        auto again = join.SelfJoin(&round_stats);
+        if (!again.ok()) return 1;
+        best = std::min(best, round_stats.probe_seconds);
+      }
+      const bool identical = SamePairs(*baseline, *pairs);
+      all_identical = all_identical && identical;
+      BalanceReport balance = Balance(stats);
+      scaling.AddRow({Fmt(workers), Fmt(pairs->size()),
+                      Fmt(pairs->size() / std::max(1e-9, best), 0),
+                      Fmt(stats.duplication_factor, 2),
+                      Fmt(stats.probe_fanout, 2),
+                      Fmt(balance.max_entries) + "/" +
+                          Fmt(balance.mean_entries, 0),
+                      identical ? "yes" : "NO"});
     }
-    DistributedJoinStats stats;
-    auto pairs = join.SelfJoin(&stats);
-    if (!pairs.ok()) return 1;
-    double best = stats.probe_seconds;
-    for (int round = 1; round < config.rounds; ++round) {
-      DistributedJoinStats round_stats;
-      auto again = join.SelfJoin(&round_stats);
-      if (!again.ok()) return 1;
-      best = std::min(best, round_stats.probe_seconds);
+    scaling.Print();
+    Note("container may be single-core; wall-clock scaling vs W needs "
+         "multicore hardware, but duplication/balance/identity hold "
+         "anywhere");
+  } else {
+    // Remote serving over the chosen transport: each worker count runs
+    // twice — batched ProbeBatch frames (--probe-batch, default 256
+    // probes per frame) and unbatched (1 probe per frame) — so the
+    // round-trip and bytes-on-wire columns show exactly what the
+    // batching buys. "wire KB" counts probe-phase frame bytes both
+    // directions; "ship KB" is the one-time handshake + assignment
+    // traffic (the duplication factor in bytes).
+    Banner("transport = " + config.transport + " (probe batch " +
+           Fmt(config.probe_batch) + " vs 1)");
+    Table scaling({"workers", "pairs", "pairs/sec", "ship KB", "wire KB",
+                   "trips", "wire KB (b=1)", "trips (b=1)", "identical"});
+    for (int workers : config.workers) {
+      struct RemoteRun {
+        uint64_t wire_kb = 0;
+        size_t round_trips = 0;
+        uint64_t ship_kb = 0;
+        double best_seconds = 1e9;
+        size_t pairs = 0;
+        bool identical = false;
+      };
+      RemoteRun runs[2];
+      const size_t batches[2] = {config.probe_batch, 1};
+      for (int variant = 0; variant < 2; ++variant) {
+        DistributedJoinOptions options;
+        options.index = join_options.index;
+        options.threshold = config.b1;
+        options.workers = workers;
+        options.threads = config.threads;
+        options.probe_batch = batches[variant];
+        // hosts must outlive join: join's destructor shuts the remote
+        // sessions down, which is what lets the hosts' destructors
+        // join their serving threads on early-error returns.
+        std::vector<std::unique_ptr<HostedWorker>> hosts;
+        DistributedJoin join;
+        Status built = join.Build(&data, &dist, options);
+        if (!built.ok()) {
+          std::fprintf(stderr, "build failed: %s\n",
+                       built.ToString().c_str());
+          return 1;
+        }
+        if (!AttachHosted(&join, config.transport, &hosts)) return 1;
+        const WireStats shipped = join.RemoteWireTotals();
+        RemoteRun& run = runs[variant];
+        run.ship_kb = shipped.bytes_sent / 1000;
+        for (int round = 0; round < config.rounds; ++round) {
+          DistributedJoinStats stats;
+          auto pairs = join.SelfJoin(&stats);
+          if (!pairs.ok()) {
+            std::fprintf(stderr, "remote join failed: %s\n",
+                         pairs.status().ToString().c_str());
+            return 1;
+          }
+          run.best_seconds = std::min(run.best_seconds, stats.probe_seconds);
+          run.wire_kb =
+              (stats.wire_bytes_sent + stats.wire_bytes_received) / 1000;
+          run.round_trips = stats.probe_round_trips;
+          run.pairs = pairs->size();
+          run.identical = SamePairs(*baseline, *pairs);
+        }
+        if (!DetachHosted(&join, &hosts)) return 1;
+        all_identical = all_identical && run.identical;
+      }
+      scaling.AddRow({Fmt(workers), Fmt(runs[0].pairs),
+                      Fmt(runs[0].pairs /
+                              std::max(1e-9, runs[0].best_seconds),
+                          0),
+                      Fmt(runs[0].ship_kb), Fmt(runs[0].wire_kb),
+                      Fmt(runs[0].round_trips), Fmt(runs[1].wire_kb),
+                      Fmt(runs[1].round_trips),
+                      runs[0].identical && runs[1].identical ? "yes" : "NO"});
     }
-    const bool identical = SamePairs(*baseline, *pairs);
-    all_identical = all_identical && identical;
-    BalanceReport balance = Balance(stats);
-    scaling.AddRow({Fmt(workers), Fmt(pairs->size()),
-                    Fmt(pairs->size() / std::max(1e-9, best), 0),
-                    Fmt(stats.duplication_factor, 2),
-                    Fmt(stats.probe_fanout, 2),
-                    Fmt(balance.max_entries) + "/" +
-                        Fmt(balance.mean_entries, 0),
-                    identical ? "yes" : "NO"});
+    scaling.Print();
+    Note("batched frames amortize per-message overhead: same pairs, far "
+         "fewer round trips than one frame per probe");
   }
-  scaling.Print();
-  Note("container may be single-core; wall-clock scaling vs W needs "
-       "multicore hardware, but duplication/balance/identity hold "
-       "anywhere");
 
   // Part 2: duplication factor vs skew ----------------------------------
   Banner("duplication factor vs skew (W = 8)");

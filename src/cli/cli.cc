@@ -11,6 +11,8 @@
 #include "core/sharded_index.h"
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
+#include "distributed/transport/session.h"
+#include "distributed/transport/tcp_transport.h"
 #include "maintenance/service.h"
 #include "data/correlated.h"
 #include "data/estimate.h"
@@ -40,7 +42,10 @@ Commands:
            [--dead-ratio R] [--churn N] [--binary]
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
-           [--churn N] [--workers W] [--heavy-threshold T] [--binary]
+           [--churn N] [--workers W] [--heavy-threshold T]
+           [--connect HOST:PORT,...] [--probe-batch N]
+           [--dump-pairs FILE] [--binary]
+  join-worker [--listen PORT]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
@@ -52,6 +57,23 @@ skew-aware heavy-key splitting (--heavy-threshold T overrides the
 split point, default auto), and the coordinator merges the per-worker
 pair streams. The pair output is identical to the single-process join.
 Incompatible with --online.
+
+--connect HOST:PORT,... (selfjoin) serves the distributed backend from
+remote join-worker processes instead of in-process workers: one
+endpoint per worker (--workers, if given, must match the endpoint
+count). The coordinator ships each worker its posting-slice assignment
+over the TCP transport, streams probe batches of --probe-batch N
+requests per frame (default 256, 0 = one frame per worker), and merges
+— the pair output is still identical. See docs/WIRE_PROTOCOL.md for
+the wire format and the README for a walkthrough.
+
+join-worker hosts one worker of a distributed join: it listens on
+--listen PORT (default 0 = any free port, printed on stdout), serves
+exactly one coordinator session, and exits 0 on an orderly shutdown.
+
+--dump-pairs FILE (selfjoin) writes every emitted pair as one
+"left right similarity" line — what the multi-process smoke test
+diffs across backends.
 
 --online (implied by any --maintenance/--drift-factor/--dead-ratio/
 --churn flag) serves from the online DynamicIndex with the maintenance
@@ -424,6 +446,24 @@ int CmdSelfJoin(const Flags& flags) {
   options.num_shards = static_cast<int>(flags.GetUint("shards", 1));
   options.workers = static_cast<int>(flags.GetUint("workers", 0));
   options.heavy_threshold = flags.GetUint("heavy-threshold", 0);
+  options.probe_batch =
+      static_cast<size_t>(flags.GetUint("probe-batch", 256));
+  if (flags.Has("connect")) {
+    const std::string endpoints = flags.Get("connect", "");
+    std::string token;
+    for (size_t i = 0; i <= endpoints.size(); ++i) {
+      if (i == endpoints.size() || endpoints[i] == ',') {
+        if (!token.empty()) options.remote_workers.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(endpoints[i]);
+      }
+    }
+    if (options.remote_workers.empty()) {
+      std::fprintf(stderr, "--connect needs at least one host:port\n");
+      return 1;
+    }
+  }
   if (WantsOnline(flags)) {
     options.online = true;
     options.maintenance = MaintenanceFromFlags(flags);
@@ -437,11 +477,21 @@ int CmdSelfJoin(const Flags& flags) {
               "%.2fs, %zu candidates)\n",
               b1, pairs->size(), stats.build_seconds, stats.probe_seconds,
               stats.candidates);
-  if (options.workers > 1) {
-    std::printf("distributed backend: %d workers, duplication factor "
+  if (options.workers > 1 || !options.remote_workers.empty()) {
+    const int workers = options.remote_workers.empty()
+                            ? options.workers
+                            : static_cast<int>(options.remote_workers.size());
+    std::printf("distributed backend: %d workers%s, duplication factor "
                 "%.2f, probe fan-out %.2f\n",
-                options.workers, stats.duplication_factor,
-                stats.probe_fanout);
+                workers, options.remote_workers.empty() ? "" : " (remote)",
+                stats.duplication_factor, stats.probe_fanout);
+  }
+  if (!options.remote_workers.empty()) {
+    std::printf("wire: %.1f KB sent, %.1f KB received, %zu probe round "
+                "trips\n",
+                static_cast<double>(stats.wire_bytes_sent) / 1e3,
+                static_cast<double>(stats.wire_bytes_received) / 1e3,
+                stats.probe_round_trips);
   }
   if (options.online) {
     std::printf("online build side: maintenance thread %s, %zu "
@@ -453,6 +503,55 @@ int CmdSelfJoin(const Flags& flags) {
     const JoinPair& pr = (*pairs)[k];
     std::printf("  %u ~ %u  (%.3f)\n", pr.left, pr.right, pr.similarity);
   }
+  if (flags.Has("dump-pairs")) {
+    const std::string path = flags.Get("dump-pairs", "");
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   path.c_str());
+      return 1;
+    }
+    // %.17g round-trips every double exactly, so two dumps are equal
+    // iff the pair lists are byte-identical.
+    for (const JoinPair& pr : *pairs) {
+      std::fprintf(out, "%u %u %.17g\n", pr.left, pr.right, pr.similarity);
+    }
+    std::fclose(out);
+    std::printf("wrote %zu pairs to %s\n", pairs->size(), path.c_str());
+  }
+  return 0;
+}
+
+int CmdJoinWorker(const Flags& flags) {
+  const uint64_t requested = flags.GetUint("listen", 0);
+  if (requested > 65535) {
+    std::fprintf(stderr, "error: --listen %llu is not a valid port\n",
+                 static_cast<unsigned long long>(requested));
+    return 1;
+  }
+  const uint16_t port = static_cast<uint16_t>(requested);
+  auto listener = TcpListener::Listen(port);
+  if (!listener.ok()) return Fail(listener.status());
+  // The smoke script and any process manager parse this line (and port
+  // 0 resolves to the kernel's pick), so flush it before blocking.
+  std::printf("join-worker listening on port %u\n",
+              static_cast<unsigned>(listener->port()));
+  std::fflush(stdout);
+  auto connection = listener->Accept();
+  if (!connection.ok()) return Fail(connection.status());
+  WorkerServeStats stats;
+  Status served = ServeConnection(connection->get(), &stats);
+  if (!served.ok()) return Fail(served);
+  std::printf("worker %u served %llu probes in %llu batches: %llu "
+              "matches from %llu posting entries (%.1f KB in, %.1f KB "
+              "out)\n",
+              stats.worker_id,
+              static_cast<unsigned long long>(stats.probes),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.matches),
+              static_cast<unsigned long long>(stats.posting_entries),
+              static_cast<double>(stats.wire.bytes_received) / 1e3,
+              static_cast<double>(stats.wire.bytes_sent) / 1e3);
   return 0;
 }
 
@@ -472,6 +571,7 @@ int RunCli(const std::vector<std::string>& args) {
   if (command == "independence") return CmdIndependence(*flags);
   if (command == "query-bench") return CmdQueryBench(*flags);
   if (command == "selfjoin") return CmdSelfJoin(*flags);
+  if (command == "join-worker") return CmdJoinWorker(*flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 1;
 }

@@ -346,7 +346,7 @@ class DynamicIndex {
                       QueryStats* stats) const;
   std::span<const ItemId> ItemsOf(const ShardState& state, VectorId id) const;
 
-  /// Swaps \p next in as shard \p s's snapshot and retires the old one.
+  /// Swaps \p next in as \p shard's snapshot and retires the old one.
   /// Caller holds the shard's writer mutex. Returns true when the limbo
   /// backlog warrants an epochs_.Collect() — which the caller must run
   /// only *after* releasing the mutex (reclamation can destroy

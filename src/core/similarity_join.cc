@@ -1,15 +1,41 @@
 #include "core/similarity_join.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <thread>
+#include <utility>
 
 #include "core/sharded_index.h"
 #include "distributed/distributed_join.h"
+#include "distributed/transport/tcp_transport.h"
 #include "util/timer.h"
 
 namespace skewsearch {
 
 namespace {
+
+/// Splits "host:port" (the last ':' separates the port, so numeric
+/// hosts with dots are fine) and connects over TCP.
+Result<std::unique_ptr<FrameConnection>> ConnectEndpoint(
+    const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("remote worker endpoint '" + endpoint +
+                                   "' is not host:port");
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const std::string port_text = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port == 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("remote worker endpoint '" + endpoint +
+                                   "' has an invalid port");
+  }
+  return TcpConnect(host, static_cast<uint16_t>(port));
+}
 
 /// The distributed pair-emission backend: plan a skew-aware key
 /// partition, fan the probes out over in-process workers, merge. Output
@@ -26,14 +52,36 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
     return Status::InvalidArgument(
         "workers > 1 is incompatible with the online build side");
   }
+  int workers = options.workers;
+  if (!options.remote_workers.empty()) {
+    const int endpoints = static_cast<int>(options.remote_workers.size());
+    if (workers > 0 && workers != endpoints) {
+      return Status::InvalidArgument(
+          "workers (" + std::to_string(workers) + ") does not match the " +
+          std::to_string(endpoints) + " remote worker endpoint(s)");
+    }
+    workers = endpoints;
+  }
   DistributedJoinOptions distributed;
   distributed.index = options.index;
   distributed.threshold = options.threshold;
-  distributed.workers = options.workers;
+  distributed.workers = workers;
   distributed.heavy_threshold = options.heavy_threshold;
   distributed.threads = options.probe_threads;
+  distributed.probe_batch = options.probe_batch;
   DistributedJoin join;
   SKEWSEARCH_RETURN_NOT_OK(join.Build(&right, &dist, distributed));
+  if (!options.remote_workers.empty()) {
+    std::vector<std::unique_ptr<FrameConnection>> connections;
+    connections.reserve(options.remote_workers.size());
+    for (const std::string& endpoint : options.remote_workers) {
+      Result<std::unique_ptr<FrameConnection>> connection =
+          ConnectEndpoint(endpoint);
+      SKEWSEARCH_RETURN_NOT_OK(connection.status());
+      connections.push_back(std::move(connection).value());
+    }
+    SKEWSEARCH_RETURN_NOT_OK(join.AttachRemote(std::move(connections)));
+  }
   DistributedJoinStats distributed_stats;
   Result<std::vector<JoinPair>> pairs =
       self_join ? join.SelfJoin(&distributed_stats)
@@ -49,6 +97,9 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
     local.probe_seconds = distributed_stats.probe_seconds;
     local.duplication_factor = distributed_stats.duplication_factor;
     local.probe_fanout = distributed_stats.probe_fanout;
+    local.wire_bytes_sent = distributed_stats.wire_bytes_sent;
+    local.wire_bytes_received = distributed_stats.wire_bytes_received;
+    local.probe_round_trips = distributed_stats.probe_round_trips;
     *stats = local;
   }
   return pairs;
@@ -59,7 +110,7 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                                        const ProductDistribution& dist,
                                        const JoinOptions& options,
                                        bool self_join, JoinStats* stats) {
-  if (options.workers > 1) {
+  if (options.workers > 1 || !options.remote_workers.empty()) {
     return DistributedBackend(left, right, dist, options, self_join, stats);
   }
   JoinStats local;

@@ -15,6 +15,8 @@
 #ifndef SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
 #define SKEWSEARCH_CORE_SIMILARITY_JOIN_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/skewed_index.h"
@@ -74,6 +76,19 @@ struct JoinOptions {
   /// Distributed backend only: posting count above which the planner
   /// splits a filter key across workers (0 = auto).
   size_t heavy_threshold = 0;
+  /// When non-empty, the distributed backend's workers are remote
+  /// `join-worker` processes at these "host:port" endpoints, one per
+  /// worker, reached over the TCP transport
+  /// (distributed/transport/tcp_transport.h): the coordinator connects,
+  /// ships each worker its posting-slice assignment, streams probe
+  /// batches, and merges — output still byte-identical to every other
+  /// backend. Implies the distributed backend even for a single
+  /// endpoint; `workers` must be 0 or match the endpoint count.
+  std::vector<std::string> remote_workers;
+  /// Remote workers only: probes shipped per ProbeBatch frame (0 =
+  /// each worker's whole queue in one frame). Batch size never changes
+  /// the output, only the number of round trips.
+  size_t probe_batch = 256;
 };
 
 /// \brief Join counters.
@@ -89,6 +104,11 @@ struct JoinStats {
   /// copy (1.0 elsewhere), and the average workers contacted per probe.
   double duplication_factor = 1.0;
   double probe_fanout = 0.0;
+  /// Remote workers only (zero otherwise): probe-phase frame bytes on
+  /// the wire and ProbeBatch round trips taken.
+  uint64_t wire_bytes_sent = 0;
+  uint64_t wire_bytes_received = 0;
+  size_t probe_round_trips = 0;
 };
 
 /// R-S join: returns all (r, s) with B(r, s) >= threshold found by probing

@@ -21,6 +21,90 @@ uint64_t PairKey(VectorId left, VectorId right) {
 
 }  // namespace
 
+DistributedJoin::~DistributedJoin() { DetachRemote(); }
+
+wire::WorkerAssignment DistributedJoin::BuildAssignment(int w) const {
+  const JoinWorker& worker = workers_[static_cast<size_t>(w)];
+  const FilterTable& table = worker.table();
+  wire::WorkerAssignment assignment;
+  assignment.threshold = threshold_;
+  assignment.measure = options_.index.verify_measure;
+  assignment.postings.reserve(table.num_keys());
+  std::vector<VectorId> referenced;
+  referenced.reserve(table.num_pairs());
+  for (size_t k = 0; k < table.num_keys(); ++k) {
+    auto postings = table.postings_at(k);
+    assignment.postings.emplace_back(
+        table.key_at(k),
+        std::vector<VectorId>(postings.begin(), postings.end()));
+    referenced.insert(referenced.end(), postings.begin(), postings.end());
+  }
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  assignment.vectors.reserve(referenced.size());
+  for (VectorId id : referenced) {
+    auto items = data_->Get(id);
+    assignment.vectors.emplace_back(
+        id, std::vector<ItemId>(items.begin(), items.end()));
+  }
+  return assignment;
+}
+
+Status DistributedJoin::AttachRemote(
+    std::vector<std::unique_ptr<FrameConnection>> connections) {
+  if (!built()) {
+    return Status::InvalidArgument(
+        "AttachRemote requires a successful Build");
+  }
+  if (remote()) {
+    return Status::InvalidArgument(
+        "remote workers already attached; DetachRemote first");
+  }
+  if (connections.size() != workers_.size()) {
+    return Status::InvalidArgument(
+        "AttachRemote needs exactly one connection per worker (" +
+        std::to_string(workers_.size()) + " workers, " +
+        std::to_string(connections.size()) + " connections)");
+  }
+  std::vector<RemoteWorkerSession> sessions;
+  sessions.reserve(connections.size());
+  for (size_t w = 0; w < connections.size(); ++w) {
+    if (connections[w] == nullptr) {
+      for (auto& session : sessions) (void)session.Shutdown();
+      return Status::InvalidArgument("AttachRemote got a null connection");
+    }
+    Result<RemoteWorkerSession> session = RemoteWorkerSession::Start(
+        std::move(connections[w]), static_cast<uint32_t>(w),
+        static_cast<uint32_t>(workers_.size()),
+        BuildAssignment(static_cast<int>(w)));
+    if (!session.ok()) {
+      for (auto& started : sessions) (void)started.Shutdown();
+      return session.status();
+    }
+    sessions.push_back(std::move(session).value());
+  }
+  sessions_ = std::move(sessions);
+  return Status::OK();
+}
+
+void DistributedJoin::DetachRemote() {
+  for (auto& session : sessions_) (void)session.Shutdown();
+  sessions_.clear();
+}
+
+WireStats DistributedJoin::RemoteWireTotals() const {
+  WireStats totals;
+  for (const auto& session : sessions_) {
+    const WireStats& stats = session.stats();
+    totals.frames_sent += stats.frames_sent;
+    totals.frames_received += stats.frames_received;
+    totals.bytes_sent += stats.bytes_sent;
+    totals.bytes_received += stats.bytes_received;
+  }
+  return totals;
+}
+
 Status DistributedJoin::Build(const Dataset* data,
                               const ProductDistribution* dist,
                               const DistributedJoinOptions& options) {
@@ -99,6 +183,10 @@ Status DistributedJoin::Build(const Dataset* data,
                          options.index.verify_measure);
   }
 
+  // A new build invalidates any shipped assignments; end those sessions
+  // before the slices they mirror are replaced. (A *failed* build above
+  // returned without touching them, keeping the previous state serving.)
+  DetachRemote();
   data_ = data;
   dist_ = dist;
   options_ = options;
@@ -212,15 +300,49 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
 
   // Phase 2 — serve: each worker drains its queue independently; the
   // fan-out over the pool is the in-process stand-in for W machines.
+  // With remote sessions attached the same queues ship as ProbeBatch
+  // frames instead (at most probe_batch requests per frame, one
+  // request/response round trip per frame), so batch boundaries and the
+  // transport never influence which responses come back — only how many
+  // frames it took.
+  const bool serve_remote = !sessions_.empty();
   std::vector<std::vector<ProbeResponse>> responses(worker_count);
   std::vector<double> worker_seconds(worker_count, 0.0);
+  std::vector<Status> worker_status(worker_count);
+  std::vector<size_t> worker_round_trips(worker_count, 0);
+  std::vector<WireStats> wire_before(worker_count);
+  if (serve_remote) {
+    for (size_t w = 0; w < worker_count; ++w) {
+      wire_before[w] = sessions_[w].stats();
+    }
+  }
   auto serve_worker = [&](size_t w) {
     Timer timer;
-    const JoinWorker& worker = workers_[w];
     auto& out = responses[w];
-    out.reserve(queues[w].size());
-    for (const ProbeRequest& request : queues[w]) {
-      out.push_back(worker.Probe(request));
+    const auto& queue = queues[w];
+    out.reserve(queue.size());
+    if (serve_remote) {
+      RemoteWorkerSession& session = sessions_[w];
+      const size_t batch =
+          options_.probe_batch == 0 ? queue.size() : options_.probe_batch;
+      for (size_t begin = 0; begin < queue.size(); begin += batch) {
+        const size_t count = std::min(batch, queue.size() - begin);
+        Result<std::vector<ProbeResponse>> answered = session.Probe(
+            std::span<const ProbeRequest>(queue.data() + begin, count));
+        if (!answered.ok()) {
+          worker_status[w] = answered.status();
+          return;
+        }
+        worker_round_trips[w]++;
+        for (ProbeResponse& response : *answered) {
+          out.push_back(std::move(response));
+        }
+      }
+    } else {
+      const JoinWorker& worker = workers_[w];
+      for (const ProbeRequest& request : queue) {
+        out.push_back(worker.Probe(request));
+      }
     }
     worker_seconds[w] = timer.ElapsedSeconds();
   };
@@ -231,6 +353,9 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
                       [&](size_t begin, size_t end, int /*slot*/) {
                         for (size_t w = begin; w < end; ++w) serve_worker(w);
                       });
+  }
+  for (const Status& status : worker_status) {
+    SKEWSEARCH_RETURN_NOT_OK(status);
   }
 
   // Phase 3 — merge: drop pairs that surfaced on more than one worker
@@ -269,6 +394,15 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
     return a.right < b.right;
   });
 
+  if (serve_remote) {
+    for (size_t w = 0; w < worker_count; ++w) {
+      const WireStats& after = sessions_[w].stats();
+      local.wire_bytes_sent += after.bytes_sent - wire_before[w].bytes_sent;
+      local.wire_bytes_received +=
+          after.bytes_received - wire_before[w].bytes_received;
+      local.probe_round_trips += worker_round_trips[w];
+    }
+  }
   local.pairs = out.size();
   local.heavy_keys = plan_.num_heavy_keys();
   local.replicated_slices = plan_.replicated_slices();

@@ -27,12 +27,16 @@
 #define SKEWSEARCH_DISTRIBUTED_DISTRIBUTED_JOIN_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/skewed_index.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
 #include "distributed/partition_plan.h"
+#include "distributed/transport/session.h"
+#include "distributed/transport/transport.h"
 #include "distributed/worker.h"
 #include "sim/brute_force.h"
 #include "util/result.h"
@@ -63,6 +67,13 @@ struct DistributedJoinOptions {
   /// workers are driven one per pool slot either way, so the thread
   /// count never changes results).
   int threads = 0;
+
+  /// Remote serving only (AttachRemote): maximum ProbeRequests shipped
+  /// per ProbeBatch frame; 0 ships each worker's whole queue as one
+  /// batch. Batching amortizes the per-frame overhead and round trips
+  /// without affecting results (a worker answers probes independently,
+  /// so the batch boundaries are invisible in the output).
+  size_t probe_batch = 256;
 };
 
 /// \brief Per-worker load/work report.
@@ -94,6 +105,12 @@ struct DistributedJoinStats {
   double build_seconds = 0.0;  ///< family + full posting table
   double plan_seconds = 0.0;   ///< planner + worker table partitioning
   double probe_seconds = 0.0;  ///< route + serve + merge
+  /// Remote serving only (zero when the join ran in-process): frame
+  /// bytes this join put on / read off the wire, and the number of
+  /// ProbeBatch round trips it took.
+  uint64_t wire_bytes_sent = 0;
+  uint64_t wire_bytes_received = 0;
+  size_t probe_round_trips = 0;
   std::vector<WorkerLoad> workers;
 };
 
@@ -107,6 +124,7 @@ class DistributedJoin {
   DistributedJoin() = default;
   DistributedJoin(const DistributedJoin&) = delete;
   DistributedJoin& operator=(const DistributedJoin&) = delete;
+  ~DistributedJoin();  // detaches remote workers (orderly Shutdown)
 
   /// Derives the family, builds the full posting table, plans the
   /// partition and constructs one JoinWorker per plan slot. On failure
@@ -127,6 +145,31 @@ class DistributedJoin {
   Result<std::vector<JoinPair>> SelfJoin(
       DistributedJoinStats* stats = nullptr) const;
 
+  /// Switches Join()/SelfJoin() from in-process serving to remote
+  /// workers: one connection per plan slot, in worker order. Runs the
+  /// handshake + assignment session (transport/session.h) on each
+  /// connection, shipping that worker's posting slices and the build
+  /// vectors they reference, and cross-checks the reconstruction acks.
+  /// Requires a successful Build(); on any failure every already-started
+  /// session is shut down and the coordinator stays in-process. The
+  /// probe phase then ships batches of at most `probe_batch` requests
+  /// per frame and merges exactly as in-process serving does — the
+  /// output stays byte-identical across transports.
+  Status AttachRemote(
+      std::vector<std::unique_ptr<FrameConnection>> connections);
+
+  /// Sends Shutdown to every attached worker and returns to in-process
+  /// serving. Safe to call when not attached.
+  void DetachRemote();
+
+  /// True while Join()/SelfJoin() are served by remote workers.
+  bool remote() const { return !sessions_.empty(); }
+
+  /// Cumulative coordinator-side traffic over every attached session —
+  /// unlike the per-join DistributedJoinStats counters this includes
+  /// the handshake and assignment shipping (zero when not remote).
+  WireStats RemoteWireTotals() const;
+
   /// True after a successful Build().
   bool built() const { return family_.valid(); }
 
@@ -145,12 +188,19 @@ class DistributedJoin {
   Result<std::vector<JoinPair>> JoinImpl(const Dataset& left, bool self_join,
                                          DistributedJoinStats* stats) const;
 
+  /// Serializes worker \p w's slices + referenced build vectors.
+  wire::WorkerAssignment BuildAssignment(int w) const;
+
   const Dataset* data_ = nullptr;
   const ProductDistribution* dist_ = nullptr;
   DistributedJoinOptions options_;
   FilterFamily family_;
   PartitionPlan plan_;
   std::vector<JoinWorker> workers_;
+  /// Remote sessions, one per worker when attached. Mutable because
+  /// serving a (logically const) join drives the connection state; each
+  /// session is driven by exactly one thread of the probe fan-out.
+  mutable std::vector<RemoteWorkerSession> sessions_;
   double threshold_ = 0.0;
   double build_seconds_ = 0.0;
   double plan_seconds_ = 0.0;

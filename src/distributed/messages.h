@@ -3,13 +3,14 @@
 //
 // These are deliberately plain aggregates of POD fields and flat
 // vectors: everything that crosses the planner/worker seam is spelled
-// out here, so a real RPC transport (protobuf, flatbuffers, raw frames)
-// can serialize them without touching any index internals. The only
-// state the seam does NOT carry is the read-only FilterFamily and the
-// build-side vectors a worker verifies against — in a deployment those
-// are distributed once at plan time (the family is a pure function of
-// the index options and seed, so shipping the options suffices; the
-// vectors shipped per worker are what the duplication factor counts).
+// out here, so a transport can serialize them without touching any
+// index internals — transport/wire.h does exactly that (ProbeBatch /
+// ResponseBatch frames; docs/WIRE_PROTOCOL.md is the normative spec).
+// The only state the seam does NOT carry is the read-only FilterFamily
+// and the build-side vectors a worker verifies against — those are
+// distributed once at attach time (the vectors shipped per worker are
+// what the duplication factor counts; see transport/session.h's
+// Assignment phase).
 
 #ifndef SKEWSEARCH_DISTRIBUTED_MESSAGES_H_
 #define SKEWSEARCH_DISTRIBUTED_MESSAGES_H_

@@ -1,0 +1,252 @@
+#include "distributed/transport/session.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "data/dataset.h"
+#include "distributed/worker.h"
+
+namespace skewsearch {
+
+namespace {
+
+/// Receives the next frame, unwrapping a peer Error frame into the
+/// Status it carries.
+Status ReceiveChecked(FrameConnection* connection, wire::Frame* frame) {
+  SKEWSEARCH_RETURN_NOT_OK(connection->Receive(frame));
+  if (frame->type == wire::FrameType::kError) {
+    wire::ErrorFrame error;
+    SKEWSEARCH_RETURN_NOT_OK(wire::DecodeError(*frame, &error));
+    return wire::StatusFromError(error);
+  }
+  return Status::OK();
+}
+
+/// Worker-side failure path: best-effort Error frame, close, propagate.
+Status FailSession(FrameConnection* connection, const Status& status) {
+  (void)connection->Send(wire::EncodeError(status));
+  connection->Close();
+  return status;
+}
+
+}  // namespace
+
+Result<RemoteWorkerSession> RemoteWorkerSession::Start(
+    std::unique_ptr<FrameConnection> connection, uint32_t worker_id,
+    uint32_t num_workers, const wire::WorkerAssignment& assignment) {
+  wire::HelloFrame hello;
+  hello.min_version = wire::kVersionMin;
+  hello.max_version = wire::kVersionMax;
+  hello.worker_id = worker_id;
+  hello.num_workers = num_workers;
+  Status sent = connection->Send(wire::EncodeHello(hello));
+  if (!sent.ok()) {
+    connection->Close();
+    return sent;
+  }
+  wire::Frame frame;
+  Status received = ReceiveChecked(connection.get(), &frame);
+  if (!received.ok()) {
+    connection->Close();
+    return received;
+  }
+  wire::HelloAckFrame ack;
+  Status decoded = wire::DecodeHelloAck(frame, &ack);
+  if (!decoded.ok()) {
+    connection->Close();
+    return decoded;
+  }
+  if (ack.version < wire::kVersionMin || ack.version > wire::kVersionMax ||
+      ack.worker_id != worker_id) {
+    connection->Close();
+    return Status::IOError("session: handshake ack does not match (version " +
+                           std::to_string(ack.version) + ", worker " +
+                           std::to_string(ack.worker_id) + ")");
+  }
+  // From here on every frame is stamped with (and interpreted under)
+  // the negotiated version; the Hello above went out under kVersionMin
+  // so the oldest peer could parse it.
+  connection->set_frame_version(ack.version);
+
+  sent = connection->Send(wire::EncodeAssignment(assignment));
+  if (!sent.ok()) {
+    connection->Close();
+    return sent;
+  }
+  received = ReceiveChecked(connection.get(), &frame);
+  if (!received.ok()) {
+    connection->Close();
+    return received;
+  }
+  wire::AssignmentAckFrame assignment_ack;
+  decoded = wire::DecodeAssignmentAck(frame, &assignment_ack);
+  if (!decoded.ok()) {
+    connection->Close();
+    return decoded;
+  }
+  uint64_t shipped_entries = 0;
+  for (const auto& [key, ids] : assignment.postings) {
+    shipped_entries += ids.size();
+  }
+  if (assignment_ack.num_keys != assignment.postings.size() ||
+      assignment_ack.num_entries != shipped_entries ||
+      assignment_ack.distinct_vectors != assignment.vectors.size()) {
+    connection->Close();
+    return Status::Internal(
+        "session: worker reconstructed a different slice than was "
+        "shipped (keys " +
+        std::to_string(assignment_ack.num_keys) + "/" +
+        std::to_string(assignment.postings.size()) + ", entries " +
+        std::to_string(assignment_ack.num_entries) + "/" +
+        std::to_string(shipped_entries) + ")");
+  }
+  return RemoteWorkerSession(std::move(connection), worker_id, ack.version);
+}
+
+Result<std::vector<ProbeResponse>> RemoteWorkerSession::Probe(
+    std::span<const ProbeRequest> batch) {
+  if (shut_down_) return Status::InvalidArgument("session: already shut down");
+  SKEWSEARCH_RETURN_NOT_OK(connection_->Send(wire::EncodeProbeBatch(batch)));
+  wire::Frame frame;
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection_.get(), &frame));
+  wire::ResponseBatch responses;
+  SKEWSEARCH_RETURN_NOT_OK(wire::DecodeResponseBatch(frame, &responses));
+  if (responses.responses.size() != batch.size()) {
+    return Status::IOError("session: response count does not match the "
+                           "batch");
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (responses.responses[i].left != batch[i].left) {
+      return Status::IOError("session: response order does not match the "
+                             "batch");
+    }
+  }
+  return std::move(responses.responses);
+}
+
+Status RemoteWorkerSession::Shutdown() {
+  if (shut_down_) return Status::OK();
+  shut_down_ = true;
+  Status sent = connection_->Send(wire::EncodeShutdown());
+  connection_->Close();
+  return sent;
+}
+
+Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats) {
+  WorkerServeStats local;
+
+  // Phase 1 — handshake: pick the highest mutually supported version.
+  wire::Frame frame;
+  SKEWSEARCH_RETURN_NOT_OK(connection->Receive(&frame));
+  wire::HelloFrame hello;
+  Status decoded = wire::DecodeHello(frame, &hello);
+  if (!decoded.ok()) return FailSession(connection, decoded);
+  if (hello.max_version < wire::kVersionMin ||
+      hello.min_version > wire::kVersionMax) {
+    return FailSession(
+        connection,
+        Status::NotSupported(
+            "session: no common protocol version (peer speaks " +
+            std::to_string(hello.min_version) + ".." +
+            std::to_string(hello.max_version) + ", this worker " +
+            std::to_string(wire::kVersionMin) + ".." +
+            std::to_string(wire::kVersionMax) + ")"));
+  }
+  wire::HelloAckFrame ack;
+  ack.version = std::min(hello.max_version, wire::kVersionMax);
+  ack.worker_id = hello.worker_id;
+  local.worker_id = hello.worker_id;
+  // The ack and everything after it travel under the chosen version
+  // (overlap was verified above, so the coordinator accepts it).
+  connection->set_frame_version(ack.version);
+  SKEWSEARCH_RETURN_NOT_OK(connection->Send(wire::EncodeHelloAck(ack)));
+
+  // Phase 2 — assignment: reconstruct the posting slices and the
+  // shipped vectors into exactly what the in-process JoinWorker holds.
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+  wire::WorkerAssignment assignment;
+  decoded = wire::DecodeAssignment(frame, &assignment);
+  if (!decoded.ok()) return FailSession(connection, decoded);
+
+  // The shipped vectors are stored densely (memory proportional to what
+  // was shipped, never to the coordinator's id space) with an id map
+  // for verification; ids on the wire stay the original VectorIds.
+  // Every posting id must have a shipped vector and every shipped
+  // vector must be referenced — an assignment violating either is
+  // rejected here, so the probe loop can trust the map completely.
+  std::vector<VectorId> referenced;
+  uint64_t entries = 0;
+  for (const auto& [key, ids] : assignment.postings) {
+    referenced.insert(referenced.end(), ids.begin(), ids.end());
+    entries += ids.size();
+  }
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  if (referenced.size() != assignment.vectors.size()) {
+    return FailSession(
+        connection,
+        Status::InvalidArgument(
+            "session: assignment ships " +
+            std::to_string(assignment.vectors.size()) + " vectors but the "
+            "postings reference " + std::to_string(referenced.size())));
+  }
+  for (size_t i = 0; i < referenced.size(); ++i) {
+    if (assignment.vectors[i].first != referenced[i]) {
+      return FailSession(connection,
+                         Status::InvalidArgument(
+                             "session: shipped vectors do not match the "
+                             "posting ids"));
+    }
+  }
+
+  Dataset data;
+  std::unordered_map<VectorId, VectorId> dense_positions;
+  dense_positions.reserve(assignment.vectors.size());
+  for (const auto& [id, items] : assignment.vectors) {
+    dense_positions.emplace(id, data.Add(std::span<const ItemId>(items)));
+  }
+  FilterTable table;
+  table.Reserve(entries);
+  for (const auto& [key, ids] : assignment.postings) {
+    for (VectorId id : ids) table.Add(key, id);
+  }
+  table.Freeze();
+  local.posting_entries = table.num_pairs();
+
+  JoinWorker worker(static_cast<int>(hello.worker_id), std::move(table),
+                    &data, assignment.threshold, assignment.measure,
+                    &dense_positions);
+  wire::AssignmentAckFrame assignment_ack;
+  assignment_ack.num_keys = worker.num_keys();
+  assignment_ack.num_entries = worker.num_entries();
+  assignment_ack.distinct_vectors = worker.distinct_vectors();
+  SKEWSEARCH_RETURN_NOT_OK(
+      connection->Send(wire::EncodeAssignmentAck(assignment_ack)));
+
+  // Phase 3 — probe loop until Shutdown.
+  std::vector<ProbeResponse> responses;
+  for (;;) {
+    SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+    if (frame.type == wire::FrameType::kShutdown) break;
+    wire::ProbeBatch batch;
+    decoded = wire::DecodeProbeBatch(frame, &batch);
+    if (!decoded.ok()) return FailSession(connection, decoded);
+    responses.clear();
+    responses.reserve(batch.probes.size());
+    for (const wire::OwnedProbe& probe : batch.probes) {
+      responses.push_back(worker.Probe(probe.View()));
+      local.matches += responses.back().matches.size();
+    }
+    local.batches++;
+    local.probes += batch.probes.size();
+    SKEWSEARCH_RETURN_NOT_OK(
+        connection->Send(wire::EncodeResponseBatch(responses)));
+  }
+  local.wire = connection->stats();
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,108 @@
+// Copyright 2026 The skewsearch Authors.
+// The coordinator/worker session protocol over any FrameConnection.
+//
+// A session has three phases (normatively specified, with the frame
+// encodings, in docs/WIRE_PROTOCOL.md):
+//
+//   1. Handshake — the coordinator sends Hello (version range, worker
+//      id, worker count); the worker answers HelloAck with the highest
+//      version both sides support, or an Error frame when the ranges
+//      are disjoint.
+//   2. Assignment — the coordinator ships the worker's posting slices
+//      and the build-side vectors those slices reference; the worker
+//      reconstructs its frozen table and answers AssignmentAck with
+//      reconstruction counters the coordinator cross-checks, so a
+//      corrupted or misrouted assignment fails the attach instead of
+//      silently dropping pairs.
+//   3. Probe loop — ProbeBatch frames answered by ResponseBatch frames
+//      (responses in request order, one per request), until Shutdown
+//      ends the session in an orderly way.
+//
+// Either side may send Error at any point and close; the other side
+// surfaces it as the carried Status. The worker's answers are computed
+// by the same JoinWorker used in-process, which is what keeps remote
+// joins byte-identical to local ones.
+
+#ifndef SKEWSEARCH_DISTRIBUTED_TRANSPORT_SESSION_H_
+#define SKEWSEARCH_DISTRIBUTED_TRANSPORT_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "distributed/messages.h"
+#include "distributed/transport/transport.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Coordinator-side handle on one remote worker.
+///
+/// Created by Start(), which runs the handshake and ships the
+/// assignment; afterwards Probe() drives the probe loop. One driver
+/// thread per session (matching FrameConnection's contract).
+class RemoteWorkerSession {
+ public:
+  /// Runs phases 1 and 2: handshake as worker \p worker_id of
+  /// \p num_workers, then ships \p assignment and cross-checks the ack.
+  /// On failure the connection is closed and the error returned.
+  static Result<RemoteWorkerSession> Start(
+      std::unique_ptr<FrameConnection> connection, uint32_t worker_id,
+      uint32_t num_workers, const wire::WorkerAssignment& assignment);
+
+  RemoteWorkerSession(RemoteWorkerSession&&) = default;
+  RemoteWorkerSession& operator=(RemoteWorkerSession&&) = default;
+
+  /// Ships one ProbeBatch and blocks for the ResponseBatch; responses
+  /// come back in request order, one per request (validated).
+  Result<std::vector<ProbeResponse>> Probe(
+      std::span<const ProbeRequest> batch);
+
+  /// Sends Shutdown and closes; idempotent. The session is unusable
+  /// afterwards.
+  Status Shutdown();
+
+  /// Traffic counters of the underlying connection.
+  const WireStats& stats() const { return connection_->stats(); }
+
+  uint32_t worker_id() const { return worker_id_; }
+
+  /// The protocol version the handshake negotiated.
+  uint8_t negotiated_version() const { return version_; }
+
+ private:
+  RemoteWorkerSession(std::unique_ptr<FrameConnection> connection,
+                      uint32_t worker_id, uint8_t version)
+      : connection_(std::move(connection)),
+        worker_id_(worker_id),
+        version_(version) {}
+
+  std::unique_ptr<FrameConnection> connection_;
+  uint32_t worker_id_ = 0;
+  uint8_t version_ = 0;
+  bool shut_down_ = false;
+};
+
+/// \brief Worker-side counters of one served session.
+struct WorkerServeStats {
+  uint32_t worker_id = 0;        ///< plan slot assigned by the handshake
+  uint64_t batches = 0;          ///< ProbeBatch frames answered
+  uint64_t probes = 0;           ///< individual probes answered
+  uint64_t matches = 0;          ///< verified pairs returned
+  uint64_t posting_entries = 0;  ///< entries in the reconstructed table
+  WireStats wire;                ///< connection traffic totals
+};
+
+/// Serves one coordinator session on \p connection: accepts the
+/// handshake, reconstructs the assigned posting slices and shipped
+/// vectors into a local JoinWorker, then answers probe batches until a
+/// Shutdown frame arrives (returns OK) or the session fails (returns
+/// the error after sending a best-effort Error frame). This is the
+/// whole body of the `join-worker` CLI process.
+Status ServeConnection(FrameConnection* connection,
+                       WorkerServeStats* stats = nullptr);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DISTRIBUTED_TRANSPORT_SESSION_H_

@@ -1,0 +1,262 @@
+#include "distributed/transport/tcp_transport.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace skewsearch {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError("tcp: " + what + ": " + std::strerror(errno));
+}
+
+Status ApplySocketOptions(int fd, const TcpOptions& options) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  if (options.io_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options.io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(options.io_timeout_ms % 1000) * 1000;
+    if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+      return Errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+    }
+  }
+  return Status::OK();
+}
+
+class TcpConnection : public FrameConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+
+  ~TcpConnection() override { Close(); }
+
+  Status Send(const wire::Frame& frame) override {
+    if (fd_ < 0) return Status::IOError("tcp: connection closed");
+    std::vector<uint8_t> header;
+    header.reserve(wire::kFrameHeaderBytes);
+    wire::AppendFrameHeader(frame.type,
+                            static_cast<uint32_t>(frame.payload.size()),
+                            frame_version(), &header);
+    // One gathered write for header + payload; partial writes resume at
+    // the right offset within whichever buffer the kernel stopped in.
+    iovec iov[2];
+    iov[0].iov_base = header.data();
+    iov[0].iov_len = header.size();
+    iov[1].iov_base = const_cast<uint8_t*>(frame.payload.data());
+    iov[1].iov_len = frame.payload.size();
+    size_t active = frame.payload.empty() ? 1 : 2;
+    iovec* cursor = iov;
+    while (active > 0) {
+      msghdr msg{};
+      msg.msg_iov = cursor;
+      msg.msg_iovlen = active;
+      ssize_t sent = sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::IOError("tcp: send timed out");
+        }
+        return Errno("sendmsg");
+      }
+      size_t progress = static_cast<size_t>(sent);
+      while (active > 0 && progress >= cursor->iov_len) {
+        progress -= cursor->iov_len;
+        ++cursor;
+        --active;
+      }
+      if (active > 0) {
+        cursor->iov_base = static_cast<uint8_t*>(cursor->iov_base) + progress;
+        cursor->iov_len -= progress;
+      }
+    }
+    stats_.frames_sent++;
+    stats_.bytes_sent += wire::kFrameHeaderBytes + frame.payload.size();
+    return Status::OK();
+  }
+
+  Status Receive(wire::Frame* frame) override {
+    if (fd_ < 0) return Status::IOError("tcp: connection closed");
+    uint8_t header[wire::kFrameHeaderBytes];
+    SKEWSEARCH_RETURN_NOT_OK(ReadExactly(header, sizeof(header)));
+    wire::FrameHeader decoded;
+    SKEWSEARCH_RETURN_NOT_OK(wire::DecodeFrameHeader(
+        std::span<const uint8_t>(header, sizeof(header)), &decoded));
+    frame->type = decoded.type;
+    frame->payload.resize(decoded.payload_length);
+    if (decoded.payload_length > 0) {
+      SKEWSEARCH_RETURN_NOT_OK(
+          ReadExactly(frame->payload.data(), decoded.payload_length));
+    }
+    stats_.frames_received++;
+    stats_.bytes_received += wire::kFrameHeaderBytes + decoded.payload_length;
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  Status ReadExactly(uint8_t* out, size_t count) {
+    size_t done = 0;
+    while (done < count) {
+      ssize_t got = recv(fd_, out + done, count - done, 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::IOError("tcp: receive timed out");
+        }
+        return Errno("recv");
+      }
+      if (got == 0) {
+        return Status::IOError("tcp: connection closed by peer");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FrameConnection>> TcpConnect(
+    const std::string& host, uint16_t port, const TcpOptions& options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return Status::IOError("tcp: cannot resolve '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  Status last = Status::IOError("tcp: no addresses for '" + host + "'");
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("connect to " + host + ":" + service);
+      ::close(fd);
+      continue;
+    }
+    Status configured = ApplySocketOptions(fd, options);
+    if (!configured.ok()) {
+      ::close(fd);
+      last = configured;
+      continue;
+    }
+    freeaddrinfo(resolved);
+    return std::unique_ptr<FrameConnection>(
+        std::make_unique<TcpConnection>(fd));
+  }
+  freeaddrinfo(resolved);
+  return last;
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), options_(other.options_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    options_ = other.options_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<TcpListener> TcpListener::Listen(uint16_t port,
+                                        const TcpOptions& options) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    Status status = Errno("setsockopt(SO_REUSEADDR)");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind port " + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (listen(fd, SOMAXCONN) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return TcpListener(fd, ntohs(addr.sin_port), options);
+}
+
+Result<std::unique_ptr<FrameConnection>> TcpListener::Accept() {
+  if (fd_ < 0) return Status::IOError("tcp: listener closed");
+  for (;;) {
+    int fd = accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    Status configured = ApplySocketOptions(fd, options_);
+    if (!configured.ok()) {
+      ::close(fd);
+      return configured;
+    }
+    return std::unique_ptr<FrameConnection>(
+        std::make_unique<TcpConnection>(fd));
+  }
+}
+
+void TcpListener::Shutdown() {
+  // shutdown() on a listening socket reliably wakes a blocked accept()
+  // on Linux (close() alone would not); fd_ is deliberately left alone
+  // so the owner thread's Close() still runs.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,253 @@
+// Copyright 2026 The skewsearch Authors.
+// The distributed join's wire codec: versioned, length-prefixed binary
+// frames for everything that crosses the coordinator <-> worker seam
+// (handshake, posting-slice assignment, probe batches, responses,
+// errors). docs/WIRE_PROTOCOL.md is the normative byte-level spec of
+// this file; when code and spec disagree, fix one of them in the same
+// change.
+//
+// Design rules, shared with core/index_io:
+//   * Fixed-width little-endian fields, no alignment, no padding.
+//   * Every variable-length count is validated against the bytes that
+//     are actually present before anything is allocated, so a corrupt
+//     or hostile length field can never demand unbounded memory
+//     (bounded-allocation decode). The frame header's payload length is
+//     itself capped at kMaxFramePayload.
+//   * Decoding never trusts the peer: enum ranges, reserved bits,
+//     sortedness and cross-references are all checked, and a failure is
+//     a Status, never UB.
+
+#ifndef SKEWSEARCH_DISTRIBUTED_TRANSPORT_WIRE_H_
+#define SKEWSEARCH_DISTRIBUTED_TRANSPORT_WIRE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "distributed/messages.h"
+#include "sim/measures.h"
+#include "util/result.h"
+
+namespace skewsearch {
+namespace wire {
+
+// The codec writes native representations via memcpy while the spec
+// mandates little-endian bytes on the wire (unlike the on-disk formats,
+// these bytes cross machines). Until a big-endian port byte-swaps in
+// PayloadWriter/PayloadReader, building one must be a compile error,
+// not a silent protocol violation.
+static_assert(std::endian::native == std::endian::little,
+              "the wire codec requires a little-endian host (see "
+              "docs/WIRE_PROTOCOL.md, Conventions)");
+
+/// First four payload-frame bytes, the ASCII "SKWJ" read little-endian.
+inline constexpr uint32_t kMagic = 0x4A574B53u;
+
+/// \name Protocol versions this build can speak.
+/// The Hello frame carries the coordinator's [min, max] range; the
+/// worker's HelloAck picks the highest version both sides support (see
+/// docs/WIRE_PROTOCOL.md, "Version negotiation").
+/// @{
+inline constexpr uint8_t kVersionMin = 1;
+inline constexpr uint8_t kVersionMax = 1;
+/// @}
+
+/// Hard cap on a frame's payload length. A header announcing more is
+/// rejected before any payload is read or allocated.
+inline constexpr uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+/// Serialized frame-header size in bytes: magic u32, version u8,
+/// type u8, reserved u16 (must be zero), payload length u32.
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// \brief Frame types (the `type` header field).
+enum class FrameType : uint8_t {
+  kHello = 1,          ///< coordinator -> worker: version range + identity
+  kHelloAck = 2,       ///< worker -> coordinator: chosen version
+  kAssignment = 3,     ///< coordinator -> worker: posting slices + vectors
+  kAssignmentAck = 4,  ///< worker -> coordinator: slice checksum counters
+  kProbeBatch = 5,     ///< coordinator -> worker: batched ProbeRequests
+  kResponseBatch = 6,  ///< worker -> coordinator: batched ProbeResponses
+  kShutdown = 7,       ///< coordinator -> worker: orderly end of session
+  kError = 8,          ///< either direction: fatal error, then close
+};
+
+/// True iff \p type is one of the FrameType enumerators.
+bool IsValidFrameType(uint8_t type);
+
+/// \brief One decoded frame: its type plus the raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief A decoded frame header.
+struct FrameHeader {
+  uint8_t version = 0;
+  FrameType type = FrameType::kError;
+  uint32_t payload_length = 0;
+};
+
+/// Appends the 12-byte header for a \p type frame with
+/// \p payload_length payload bytes, stamped with \p version.
+void AppendFrameHeader(FrameType type, uint32_t payload_length,
+                       uint8_t version, std::vector<uint8_t>* out);
+
+/// Decodes and validates a frame header: magic, version within
+/// [kVersionMin, kVersionMax], known type, reserved bits zero, payload
+/// length <= kMaxFramePayload. \p bytes must hold >= kFrameHeaderBytes.
+Status DecodeFrameHeader(std::span<const uint8_t> bytes, FrameHeader* out);
+
+/// \brief Little-endian payload builder.
+class PayloadWriter {
+ public:
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  /// Appends \p count raw bytes.
+  void Bytes(const void* data, size_t count);
+
+  size_t size() const { return buf_.size(); }
+
+  /// Surrenders the built payload.
+  std::vector<uint8_t> Take() && { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Bounded little-endian payload reader.
+///
+/// Every accessor fails (without advancing past the end) when fewer
+/// bytes remain than requested; remaining() is what decode routines
+/// check counts against before allocating.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F64(double* v);
+  /// Copies \p count raw bytes into \p out.
+  Status Bytes(void* out, size_t count);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// True iff every payload byte has been consumed (decoders require
+  /// this, so trailing garbage is corruption, not slack).
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Hello: opens a session, proposes a version range.
+struct HelloFrame {
+  uint8_t min_version = kVersionMin;
+  uint8_t max_version = kVersionMax;
+  uint32_t worker_id = 0;    ///< plan slot this connection will serve
+  uint32_t num_workers = 0;  ///< total workers in the plan
+};
+
+/// \brief HelloAck: the version the worker chose.
+struct HelloAckFrame {
+  uint8_t version = 0;       ///< highest version both sides support
+  uint32_t worker_id = 0;    ///< echo of HelloFrame::worker_id
+};
+
+/// \brief Assignment: everything a worker needs to serve its slices.
+///
+/// Mirrors what the in-process JoinWorker constructor receives: the
+/// frozen posting slices this worker owns, plus the (id, items) pairs
+/// of every build-side vector those postings reference — the shipped
+/// set whose total size over workers is the duplication factor.
+struct WorkerAssignment {
+  double threshold = 0.0;
+  Measure measure = Measure::kBraunBlanquet;
+  /// (filter key, posting ids), keys strictly increasing; ids are this
+  /// worker's slice of the key's posting list, in slice order.
+  std::vector<std::pair<uint64_t, std::vector<VectorId>>> postings;
+  /// (vector id, sorted items), ids strictly increasing. Every posting
+  /// id above must appear here (checked by the decoder's consumer).
+  std::vector<std::pair<VectorId, std::vector<ItemId>>> vectors;
+};
+
+/// \brief AssignmentAck: counters the coordinator cross-checks.
+struct AssignmentAckFrame {
+  uint64_t num_keys = 0;          ///< distinct keys reconstructed
+  uint64_t num_entries = 0;       ///< posting entries reconstructed
+  uint64_t distinct_vectors = 0;  ///< distinct vectors received
+};
+
+/// \brief One decoded probe with owned storage (the wire-side twin of
+/// ProbeRequest, whose items are a borrowed span).
+struct OwnedProbe {
+  VectorId left = 0;
+  bool exclude_left_and_below = false;
+  std::vector<ItemId> items;
+  std::vector<uint64_t> keys;
+
+  /// A ProbeRequest viewing this probe's storage (valid while the
+  /// OwnedProbe lives and is not mutated).
+  ProbeRequest View() const;
+};
+
+/// \brief A decoded ProbeBatch frame.
+struct ProbeBatch {
+  std::vector<OwnedProbe> probes;
+};
+
+/// \brief A decoded ResponseBatch frame.
+struct ResponseBatch {
+  std::vector<ProbeResponse> responses;
+};
+
+/// \brief Error frame: a Status crossing the wire.
+struct ErrorFrame {
+  uint16_t code = 0;     ///< Status::Code numeric value
+  std::string message;
+};
+
+/// \name Frame encoders. Each returns a complete Frame (type + payload).
+/// @{
+Frame EncodeHello(const HelloFrame& hello);
+Frame EncodeHelloAck(const HelloAckFrame& ack);
+Frame EncodeAssignment(const WorkerAssignment& assignment);
+Frame EncodeAssignmentAck(const AssignmentAckFrame& ack);
+Frame EncodeProbeBatch(std::span<const ProbeRequest> batch);
+Frame EncodeResponseBatch(std::span<const ProbeResponse> batch);
+Frame EncodeShutdown();
+Frame EncodeError(const Status& status);
+/// @}
+
+/// \name Frame decoders. Each checks the frame type, every field range
+/// and bound, and that the payload is consumed exactly.
+/// @{
+Status DecodeHello(const Frame& frame, HelloFrame* out);
+Status DecodeHelloAck(const Frame& frame, HelloAckFrame* out);
+Status DecodeAssignment(const Frame& frame, WorkerAssignment* out);
+Status DecodeAssignmentAck(const Frame& frame, AssignmentAckFrame* out);
+Status DecodeProbeBatch(const Frame& frame, ProbeBatch* out);
+Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out);
+Status DecodeError(const Frame& frame, ErrorFrame* out);
+/// @}
+
+/// Reconstructs the Status an Error frame carries (unknown codes map to
+/// Status::Internal so a newer peer's error is never silently OK).
+Status StatusFromError(const ErrorFrame& error);
+
+}  // namespace wire
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DISTRIBUTED_TRANSPORT_WIRE_H_

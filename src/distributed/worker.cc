@@ -4,14 +4,16 @@
 
 namespace skewsearch {
 
-JoinWorker::JoinWorker(int worker_id, FilterTable table,
-                       const Dataset* build_data, double threshold,
-                       Measure measure)
+JoinWorker::JoinWorker(
+    int worker_id, FilterTable table, const Dataset* build_data,
+    double threshold, Measure measure,
+    const std::unordered_map<VectorId, VectorId>* dense_positions)
     : worker_id_(worker_id),
       table_(std::move(table)),
       build_data_(build_data),
       threshold_(threshold),
-      measure_(measure) {
+      measure_(measure),
+      dense_positions_(dense_positions) {
   std::unordered_set<VectorId> distinct;
   for (size_t k = 0; k < table_.num_keys(); ++k) {
     for (VectorId id : table_.postings_at(k)) distinct.insert(id);
@@ -37,7 +39,11 @@ ProbeResponse JoinWorker::Probe(const ProbeRequest& request) const {
       if (!seen.insert(id).second) continue;
       if (request.exclude_left_and_below && id <= request.left) continue;
       response.verifications++;
-      double sim = Similarity(measure_, query, build_data_->Get(id));
+      // Reconstructed (remote) workers store only the shipped vectors,
+      // densely; the session layer guarantees every table id is mapped.
+      const VectorId stored =
+          dense_positions_ == nullptr ? id : dense_positions_->at(id);
+      double sim = Similarity(measure_, query, build_data_->Get(stored));
       if (sim >= threshold_) response.matches.push_back({id, sim});
     }
   }

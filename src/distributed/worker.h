@@ -16,6 +16,7 @@
 #define SKEWSEARCH_DISTRIBUTED_WORKER_H_
 
 #include <cstddef>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/inverted_index.h"
@@ -38,8 +39,18 @@ class JoinWorker {
   /// \param build_data the indexed (right) side the postings reference.
   /// \param threshold similarity a pair must reach to be emitted.
   /// \param measure similarity measure used for verification.
+  /// \param dense_positions optional map from the VectorIds appearing in
+  ///   \p table to positions within \p build_data, for workers holding
+  ///   only the shipped subset of the build side stored densely (the
+  ///   remote `join-worker` reconstruction — see transport/session.h);
+  ///   every table id must be mapped. Ids in requests and responses are
+  ///   always the original VectorIds. nullptr (the in-process case)
+  ///   means \p build_data is indexed by the original ids directly. The
+  ///   map is borrowed and must outlive the worker.
   JoinWorker(int worker_id, FilterTable table, const Dataset* build_data,
-             double threshold, Measure measure);
+             double threshold, Measure measure,
+             const std::unordered_map<VectorId, VectorId>* dense_positions =
+                 nullptr);
 
   /// Answers one probe: looks up every key, dedups candidate ids,
   /// verifies each against the probe vector, and returns the matches
@@ -59,12 +70,17 @@ class JoinWorker {
   /// this over workers and dividing by n gives the duplication factor.
   size_t distinct_vectors() const { return distinct_vectors_; }
 
+  /// The frozen posting slices this worker serves (what a transport
+  /// serializes into a WorkerAssignment).
+  const FilterTable& table() const { return table_; }
+
  private:
   int worker_id_;
   FilterTable table_;
   const Dataset* build_data_;
   double threshold_;
   Measure measure_;
+  const std::unordered_map<VectorId, VectorId>* dense_positions_;
   size_t distinct_vectors_ = 0;
 };
 

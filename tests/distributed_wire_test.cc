@@ -1,0 +1,435 @@
+// Tests for the distributed join's wire codec: randomized round-trip
+// property tests over every frame type, and the negative paths the
+// spec (docs/WIRE_PROTOCOL.md) requires a decoder to reject — corrupt
+// magic/version/type, truncated frames at every prefix, and oversized
+// count fields that must fail before allocating anything.
+
+#include "distributed/transport/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/random.h"
+
+namespace skewsearch {
+namespace wire {
+namespace {
+
+std::vector<uint8_t> HeaderBytes(FrameType type, uint32_t length,
+                                 uint8_t version = kVersionMax) {
+  std::vector<uint8_t> bytes;
+  AppendFrameHeader(type, length, version, &bytes);
+  return bytes;
+}
+
+TEST(DistributedWireTest, FrameHeaderRoundTrip) {
+  std::vector<uint8_t> bytes = HeaderBytes(FrameType::kProbeBatch, 12345);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(bytes, &header).ok());
+  EXPECT_EQ(header.type, FrameType::kProbeBatch);
+  EXPECT_EQ(header.payload_length, 12345u);
+  EXPECT_EQ(header.version, kVersionMax);
+}
+
+TEST(DistributedWireTest, FrameHeaderRejectsCorruptMagic) {
+  std::vector<uint8_t> bytes = HeaderBytes(FrameType::kHello, 0);
+  for (size_t byte = 0; byte < 4; ++byte) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[byte] ^= 0x40;
+    FrameHeader header;
+    EXPECT_FALSE(DecodeFrameHeader(corrupt, &header).ok())
+        << "flipped magic byte " << byte;
+  }
+}
+
+TEST(DistributedWireTest, FrameHeaderRejectsBadVersion) {
+  FrameHeader header;
+  EXPECT_FALSE(
+      DecodeFrameHeader(HeaderBytes(FrameType::kHello, 0, 0), &header).ok());
+  EXPECT_FALSE(
+      DecodeFrameHeader(HeaderBytes(FrameType::kHello, 0, kVersionMax + 1),
+                        &header)
+          .ok());
+}
+
+TEST(DistributedWireTest, FrameHeaderRejectsUnknownTypeAndReservedBits) {
+  std::vector<uint8_t> bytes = HeaderBytes(FrameType::kHello, 0);
+  std::vector<uint8_t> bad_type = bytes;
+  bad_type[5] = 0;  // type field
+  FrameHeader header;
+  EXPECT_FALSE(DecodeFrameHeader(bad_type, &header).ok());
+  bad_type[5] = 99;
+  EXPECT_FALSE(DecodeFrameHeader(bad_type, &header).ok());
+
+  std::vector<uint8_t> bad_reserved = bytes;
+  bad_reserved[6] = 1;  // reserved u16
+  EXPECT_FALSE(DecodeFrameHeader(bad_reserved, &header).ok());
+}
+
+TEST(DistributedWireTest, FrameHeaderRejectsOversizedPayloadLength) {
+  // A header announcing more than kMaxFramePayload must be rejected
+  // before any payload is read — this is the transport's allocation
+  // bound.
+  std::vector<uint8_t> bytes =
+      HeaderBytes(FrameType::kAssignment, kMaxFramePayload);
+  FrameHeader header;
+  EXPECT_TRUE(DecodeFrameHeader(bytes, &header).ok());
+  const uint32_t oversized = kMaxFramePayload + 1;
+  std::memcpy(bytes.data() + 8, &oversized, sizeof(oversized));
+  EXPECT_FALSE(DecodeFrameHeader(bytes, &header).ok());
+}
+
+TEST(DistributedWireTest, FrameHeaderRejectsShortBuffer) {
+  std::vector<uint8_t> bytes = HeaderBytes(FrameType::kHello, 0);
+  FrameHeader header;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeFrameHeader(
+                     std::span<const uint8_t>(bytes.data(), len), &header)
+                     .ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(DistributedWireTest, HelloRoundTripAndValidation) {
+  HelloFrame hello;
+  hello.min_version = 1;
+  hello.max_version = 3;
+  hello.worker_id = 2;
+  hello.num_workers = 7;
+  Frame frame = EncodeHello(hello);
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  HelloFrame decoded;
+  ASSERT_TRUE(DecodeHello(frame, &decoded).ok());
+  EXPECT_EQ(decoded.min_version, 1);
+  EXPECT_EQ(decoded.max_version, 3);
+  EXPECT_EQ(decoded.worker_id, 2u);
+  EXPECT_EQ(decoded.num_workers, 7u);
+
+  // Inverted version range and out-of-range worker ids are corruption.
+  hello.min_version = 4;
+  EXPECT_FALSE(DecodeHello(EncodeHello(hello), &decoded).ok());
+  hello.min_version = 1;
+  hello.worker_id = 7;
+  EXPECT_FALSE(DecodeHello(EncodeHello(hello), &decoded).ok());
+}
+
+TEST(DistributedWireTest, DecodersRejectMismatchedFrameType) {
+  Frame frame = EncodeShutdown();
+  HelloFrame hello;
+  HelloAckFrame hello_ack;
+  WorkerAssignment assignment;
+  AssignmentAckFrame assignment_ack;
+  ProbeBatch probes;
+  ResponseBatch responses;
+  ErrorFrame error;
+  EXPECT_FALSE(DecodeHello(frame, &hello).ok());
+  EXPECT_FALSE(DecodeHelloAck(frame, &hello_ack).ok());
+  EXPECT_FALSE(DecodeAssignment(frame, &assignment).ok());
+  EXPECT_FALSE(DecodeAssignmentAck(frame, &assignment_ack).ok());
+  EXPECT_FALSE(DecodeProbeBatch(frame, &probes).ok());
+  EXPECT_FALSE(DecodeResponseBatch(frame, &responses).ok());
+  EXPECT_FALSE(DecodeError(frame, &error).ok());
+}
+
+WorkerAssignment RandomAssignment(Rng* rng) {
+  WorkerAssignment assignment;
+  assignment.threshold = 0.5 + 0.4 * rng->NextDouble();
+  assignment.measure = static_cast<Measure>(rng->NextBounded(5));
+  const size_t num_keys = 1 + rng->NextBounded(20);
+  uint64_t key = 0;
+  std::vector<VectorId> referenced;
+  for (size_t k = 0; k < num_keys; ++k) {
+    key += 1 + rng->NextBounded(1000);
+    std::vector<VectorId> ids;
+    const size_t count = 1 + rng->NextBounded(6);
+    for (size_t i = 0; i < count; ++i) {
+      ids.push_back(static_cast<VectorId>(rng->NextBounded(50)));
+    }
+    for (VectorId id : ids) referenced.push_back(id);
+    assignment.postings.emplace_back(key, std::move(ids));
+  }
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  for (VectorId id : referenced) {
+    std::vector<ItemId> items;
+    ItemId item = 0;
+    const size_t count = rng->NextBounded(8);
+    for (size_t i = 0; i < count; ++i) {
+      item += 1 + static_cast<ItemId>(rng->NextBounded(100));
+      items.push_back(item);
+    }
+    assignment.vectors.emplace_back(id, std::move(items));
+  }
+  return assignment;
+}
+
+TEST(DistributedWireTest, AssignmentRandomizedRoundTrip) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    WorkerAssignment assignment = RandomAssignment(&rng);
+    Frame frame = EncodeAssignment(assignment);
+    WorkerAssignment decoded;
+    ASSERT_TRUE(DecodeAssignment(frame, &decoded).ok());
+    EXPECT_EQ(decoded.threshold, assignment.threshold);
+    EXPECT_EQ(decoded.measure, assignment.measure);
+    ASSERT_EQ(decoded.postings.size(), assignment.postings.size());
+    for (size_t k = 0; k < assignment.postings.size(); ++k) {
+      EXPECT_EQ(decoded.postings[k].first, assignment.postings[k].first);
+      EXPECT_EQ(decoded.postings[k].second, assignment.postings[k].second);
+    }
+    ASSERT_EQ(decoded.vectors.size(), assignment.vectors.size());
+    for (size_t v = 0; v < assignment.vectors.size(); ++v) {
+      EXPECT_EQ(decoded.vectors[v].first, assignment.vectors[v].first);
+      EXPECT_EQ(decoded.vectors[v].second, assignment.vectors[v].second);
+    }
+  }
+}
+
+TEST(DistributedWireTest, AssignmentTruncatedAtEveryPrefixFails) {
+  Rng rng(42);
+  WorkerAssignment assignment = RandomAssignment(&rng);
+  Frame frame = EncodeAssignment(assignment);
+  // Every strict prefix must decode to an error — never crash, never
+  // succeed (the payload is consumed exactly, so success on a prefix
+  // would mean trailing-byte tolerance or a short read).
+  for (size_t len = 0; len < frame.payload.size(); ++len) {
+    Frame truncated;
+    truncated.type = frame.type;
+    truncated.payload.assign(frame.payload.begin(),
+                             frame.payload.begin() + len);
+    WorkerAssignment decoded;
+    EXPECT_FALSE(DecodeAssignment(truncated, &decoded).ok())
+        << "prefix " << len << " of " << frame.payload.size();
+  }
+  // And the full payload with trailing garbage fails too.
+  Frame padded = frame;
+  padded.payload.push_back(0);
+  WorkerAssignment decoded;
+  EXPECT_FALSE(DecodeAssignment(padded, &decoded).ok());
+}
+
+TEST(DistributedWireTest, AssignmentRejectsUnsortedKeysAndVectors) {
+  WorkerAssignment assignment;
+  assignment.threshold = 0.5;
+  assignment.postings.emplace_back(10, std::vector<VectorId>{1});
+  assignment.postings.emplace_back(10, std::vector<VectorId>{2});
+  assignment.vectors.emplace_back(1, std::vector<ItemId>{3});
+  assignment.vectors.emplace_back(2, std::vector<ItemId>{3});
+  WorkerAssignment decoded;
+  EXPECT_FALSE(DecodeAssignment(EncodeAssignment(assignment), &decoded).ok())
+      << "duplicate keys must be rejected";
+
+  assignment.postings[1].first = 11;
+  ASSERT_TRUE(DecodeAssignment(EncodeAssignment(assignment), &decoded).ok());
+
+  assignment.vectors[1].first = 1;  // duplicate vector id
+  EXPECT_FALSE(
+      DecodeAssignment(EncodeAssignment(assignment), &decoded).ok());
+
+  assignment.vectors[1].first = 2;
+  assignment.vectors[1].second = {5, 5};  // non-increasing items
+  EXPECT_FALSE(
+      DecodeAssignment(EncodeAssignment(assignment), &decoded).ok());
+}
+
+TEST(DistributedWireTest, OversizedCountsFailBeforeAllocating) {
+  // Hand-craft payloads whose count fields wildly exceed the bytes
+  // present. The bounded-allocation rule: the decoder must reject them
+  // by comparing the count against the remaining payload, so a 30-byte
+  // frame can never make it resize a vector to 2^32 elements. (Run
+  // under ASan in CI, an actual oversized allocation would abort.)
+  {
+    PayloadWriter writer;
+    writer.F64(0.5);
+    writer.U8(0);
+    writer.U32(0xFFFFFFFFu);  // posting-key count
+    Frame frame{FrameType::kAssignment, std::move(writer).Take()};
+    WorkerAssignment decoded;
+    EXPECT_FALSE(DecodeAssignment(frame, &decoded).ok());
+  }
+  {
+    PayloadWriter writer;
+    writer.F64(0.5);
+    writer.U8(0);
+    writer.U32(1);            // one key...
+    writer.U64(7);            // key
+    writer.U32(0xFFFFFFFFu);  // ...claiming 4G posting ids
+    Frame frame{FrameType::kAssignment, std::move(writer).Take()};
+    WorkerAssignment decoded;
+    EXPECT_FALSE(DecodeAssignment(frame, &decoded).ok());
+  }
+  {
+    PayloadWriter writer;
+    writer.U32(0xFFFFFFFFu);  // probe count
+    Frame frame{FrameType::kProbeBatch, std::move(writer).Take()};
+    ProbeBatch decoded;
+    EXPECT_FALSE(DecodeProbeBatch(frame, &decoded).ok());
+  }
+  {
+    PayloadWriter writer;
+    writer.U32(1);            // one probe...
+    writer.U32(3);            // left
+    writer.U8(0);             // flags
+    writer.U32(0xFFFFFFFFu);  // ...claiming 4G items
+    Frame frame{FrameType::kProbeBatch, std::move(writer).Take()};
+    ProbeBatch decoded;
+    EXPECT_FALSE(DecodeProbeBatch(frame, &decoded).ok());
+  }
+  {
+    PayloadWriter writer;
+    writer.U32(0xFFFFFFFFu);  // response count
+    Frame frame{FrameType::kResponseBatch, std::move(writer).Take()};
+    ResponseBatch decoded;
+    EXPECT_FALSE(DecodeResponseBatch(frame, &decoded).ok());
+  }
+  {
+    PayloadWriter writer;
+    writer.U32(1);            // one response...
+    writer.U32(3);            // left
+    writer.U64(0);            // candidates
+    writer.U64(0);            // verifications
+    writer.U32(0xFFFFFFFFu);  // ...claiming 4G matches
+    Frame frame{FrameType::kResponseBatch, std::move(writer).Take()};
+    ResponseBatch decoded;
+    EXPECT_FALSE(DecodeResponseBatch(frame, &decoded).ok());
+  }
+}
+
+TEST(DistributedWireTest, ProbeBatchRandomizedRoundTrip) {
+  for (uint64_t seed = 11; seed <= 16; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<std::vector<ItemId>> item_storage;
+    std::vector<ProbeRequest> batch;
+    const size_t count = rng.NextBounded(10);
+    item_storage.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<ItemId> items;
+      const size_t num_items = rng.NextBounded(12);
+      ItemId item = 0;
+      for (size_t j = 0; j < num_items; ++j) {
+        item += 1 + static_cast<ItemId>(rng.NextBounded(50));
+        items.push_back(item);
+      }
+      item_storage.push_back(std::move(items));
+      ProbeRequest request;
+      request.left = static_cast<VectorId>(rng.NextBounded(1000));
+      request.items = item_storage.back();
+      request.exclude_left_and_below = rng.NextBounded(2) == 1;
+      const size_t num_keys = rng.NextBounded(8);
+      for (size_t k = 0; k < num_keys; ++k) {
+        request.keys.push_back(rng.NextUint64());
+      }
+      batch.push_back(std::move(request));
+    }
+    Frame frame = EncodeProbeBatch(batch);
+    ProbeBatch decoded;
+    ASSERT_TRUE(DecodeProbeBatch(frame, &decoded).ok());
+    ASSERT_EQ(decoded.probes.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(decoded.probes[i].left, batch[i].left);
+      EXPECT_EQ(decoded.probes[i].exclude_left_and_below,
+                batch[i].exclude_left_and_below);
+      EXPECT_TRUE(std::equal(decoded.probes[i].items.begin(),
+                             decoded.probes[i].items.end(),
+                             batch[i].items.begin(), batch[i].items.end()));
+      EXPECT_EQ(decoded.probes[i].keys, batch[i].keys);
+      // The owned probe's view must reproduce the original request.
+      ProbeRequest view = decoded.probes[i].View();
+      EXPECT_EQ(view.left, batch[i].left);
+      EXPECT_EQ(view.keys, batch[i].keys);
+    }
+  }
+}
+
+TEST(DistributedWireTest, ProbeBatchRejectsUnknownFlags) {
+  ProbeRequest request;
+  request.left = 1;
+  Frame frame = EncodeProbeBatch(std::span<const ProbeRequest>(&request, 1));
+  // flags byte sits right after the count (u32) and left (u32).
+  frame.payload[8] = 0x02;
+  ProbeBatch decoded;
+  EXPECT_FALSE(DecodeProbeBatch(frame, &decoded).ok());
+}
+
+TEST(DistributedWireTest, ResponseBatchRandomizedRoundTrip) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    std::vector<ProbeResponse> batch;
+    const size_t count = rng.NextBounded(10);
+    for (size_t i = 0; i < count; ++i) {
+      ProbeResponse response;
+      response.left = static_cast<VectorId>(rng.NextBounded(1000));
+      response.candidates = rng.NextUint64();
+      response.verifications = rng.NextUint64();
+      const size_t num_matches = rng.NextBounded(6);
+      for (size_t m = 0; m < num_matches; ++m) {
+        response.matches.push_back(
+            {static_cast<VectorId>(rng.NextBounded(1000)),
+             rng.NextDouble()});
+      }
+      batch.push_back(std::move(response));
+    }
+    Frame frame = EncodeResponseBatch(batch);
+    ResponseBatch decoded;
+    ASSERT_TRUE(DecodeResponseBatch(frame, &decoded).ok());
+    ASSERT_EQ(decoded.responses.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(decoded.responses[i].left, batch[i].left);
+      EXPECT_EQ(decoded.responses[i].candidates, batch[i].candidates);
+      EXPECT_EQ(decoded.responses[i].verifications, batch[i].verifications);
+      ASSERT_EQ(decoded.responses[i].matches.size(),
+                batch[i].matches.size());
+      for (size_t m = 0; m < batch[i].matches.size(); ++m) {
+        EXPECT_EQ(decoded.responses[i].matches[m], batch[i].matches[m]);
+      }
+    }
+  }
+}
+
+TEST(DistributedWireTest, ErrorFrameCarriesEveryStatusCode) {
+  const Status statuses[] = {
+      Status::InvalidArgument("bad arg"), Status::NotFound("missing"),
+      Status::IOError("io"),              Status::Aborted("stop"),
+      Status::NotSupported("nope"),       Status::Internal("bug"),
+  };
+  for (const Status& status : statuses) {
+    SCOPED_TRACE(status.ToString());
+    Frame frame = EncodeError(status);
+    ErrorFrame error;
+    ASSERT_TRUE(DecodeError(frame, &error).ok());
+    Status round_tripped = StatusFromError(error);
+    EXPECT_EQ(round_tripped.code(), status.code());
+    EXPECT_EQ(round_tripped.message(), status.message());
+  }
+  // An Error frame claiming code OK must not decode into success.
+  Frame ok_error = EncodeError(Status::Internal("x"));
+  ok_error.payload[0] = 0;
+  ok_error.payload[1] = 0;
+  ErrorFrame error;
+  ASSERT_TRUE(DecodeError(ok_error, &error).ok());
+  EXPECT_FALSE(StatusFromError(error).ok());
+}
+
+TEST(DistributedWireTest, ErrorFrameLengthMismatchRejected) {
+  Frame frame = EncodeError(Status::Internal("hello"));
+  frame.payload.pop_back();  // message shorter than its declared length
+  ErrorFrame error;
+  EXPECT_FALSE(DecodeError(frame, &error).ok());
+}
+
+TEST(DistributedWireTest, ShutdownHasEmptyPayload) {
+  Frame frame = EncodeShutdown();
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace skewsearch

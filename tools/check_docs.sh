@@ -21,7 +21,8 @@ if ! "$CXX" --version | grep -qi clang; then
 fi
 
 status=0
-for header in src/core/*.h src/maintenance/*.h src/distributed/*.h; do
+for header in src/core/*.h src/maintenance/*.h src/distributed/*.h \
+              src/distributed/transport/*.h; do
   if ! "$CXX" -std=c++20 -fsyntax-only -Isrc \
        -Wdocumentation -Werror=documentation "$header"; then
     echo "FAIL: $header" >&2

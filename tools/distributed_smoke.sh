@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Multi-process smoke test of the distributed join's TCP transport:
+# launches two real `join-worker` OS processes, runs a coordinator
+# `selfjoin --connect` against them, and asserts the dumped pair list is
+# byte-identical to the single-process join — the acceptance criterion
+# of the transport layer, checked end to end through the CLI (CI runs
+# this; see docs/WIRE_PROTOCOL.md for what crosses the wire).
+#
+# Usage: tools/distributed_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="$BUILD/tools/skewsearch_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "error: '$CLI' not built (cmake --build $BUILD --target skewsearch_cli)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+WORKER_PIDS=()
+cleanup() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    kill "$pid" 2> /dev/null || true
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# A dataset dense enough that the self-join has a non-trivial output
+# (the identity check would be vacuous on zero pairs).
+"$CLI" generate --kind zipf --n 600 --d 300 --p 0.9 --exp 1.2 --avg 8 \
+  --seed 7 --out "$TMP/data.txt"
+
+echo "--- single-process baseline"
+"$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 --dump-pairs "$TMP/single.txt"
+
+pair_count="$(wc -l < "$TMP/single.txt")"
+if [ "$pair_count" -eq 0 ]; then
+  echo "error: baseline produced zero pairs; the identity check is vacuous" >&2
+  exit 2
+fi
+
+# Two worker processes on kernel-chosen ports (parsed from their
+# "listening on port N" line; each serves one session and exits 0 on an
+# orderly shutdown).
+start_worker() {
+  local log="$1"
+  "$CLI" join-worker > "$log" &
+  WORKER_PIDS+=("$!")
+  for _ in $(seq 1 100); do
+    if grep -q 'listening on port' "$log"; then return 0; fi
+    sleep 0.1
+  done
+  echo "error: worker never started listening ($log)" >&2
+  return 2
+}
+
+echo "--- starting 2 join-worker processes"
+start_worker "$TMP/worker1.log"
+start_worker "$TMP/worker2.log"
+PORT1="$(grep -o 'port [0-9]*' "$TMP/worker1.log" | cut -d' ' -f2)"
+PORT2="$(grep -o 'port [0-9]*' "$TMP/worker2.log" | cut -d' ' -f2)"
+echo "workers listening on ports $PORT1 and $PORT2"
+
+echo "--- coordinator over TCP"
+"$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 \
+  --connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
+  --dump-pairs "$TMP/tcp.txt"
+
+# Orderly shutdown: both worker processes must exit 0 on their own.
+for pid in "${WORKER_PIDS[@]}"; do
+  if ! wait "$pid"; then
+    echo "error: worker process $pid exited non-zero" >&2
+    cat "$TMP"/worker*.log >&2
+    exit 1
+  fi
+done
+WORKER_PIDS=()
+cat "$TMP/worker1.log" "$TMP/worker2.log"
+
+echo "--- comparing pair dumps"
+if ! diff -u "$TMP/single.txt" "$TMP/tcp.txt"; then
+  echo "FAIL: distributed output differs from the single-process join" >&2
+  exit 1
+fi
+echo "PASS: $pair_count pairs byte-identical across 2 worker processes"

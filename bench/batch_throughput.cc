@@ -8,7 +8,7 @@
 // to the serial ones (the engine's core determinism contract).
 //
 // Flags: --n <dataset> --queries <batch> --alpha <corr> --threads <list>
-//        --rounds <timed repetitions>
+//        --rounds <timed repetitions> --json <file> (see bench_util.h)
 
 #include <algorithm>
 #include <cstdio>
@@ -89,6 +89,7 @@ bool SameResults(const std::vector<std::optional<Match>>& a,
 
 int Run(int argc, char** argv) {
   Config config = ParseArgs(argc, argv);
+  bench::JsonReporter reporter("batch_throughput");
 
   bench::Banner("Batch-query throughput vs. thread count (Zipf workload)");
   bench::Note("hardware threads available: " +
@@ -122,6 +123,13 @@ int Run(int argc, char** argv) {
               "s");
 
   const auto baseline = index.BatchQuery(queries, 1);
+  size_t matches = 0;
+  for (const auto& m : baseline) {
+    if (m.has_value()) ++matches;
+  }
+  reporter.Metric("repetitions", index.repetitions(), /*stable=*/true, "reps");
+  reporter.Metric("matches", static_cast<double>(matches), /*stable=*/true,
+                  "queries");
   double serial_qps = 0.0;
   bool all_identical = true;
 
@@ -148,7 +156,20 @@ int Run(int argc, char** argv) {
     const double qps =
         best_seconds > 0.0 ? static_cast<double>(queries.size()) / best_seconds
                            : 0.0;
-    if (threads == 1) serial_qps = qps;
+    if (threads == 1) {
+      serial_qps = qps;
+      // Candidate volume is seed-deterministic (parallelism only shards
+      // the batch); qps and speedups are machine-dependent wall clock.
+      reporter.Metric("candidates_total",
+                      static_cast<double>(agg.totals.candidates),
+                      /*stable=*/true, "candidates");
+    }
+    reporter.Metric("qps_t" + std::to_string(threads), qps, /*stable=*/false,
+                    "queries/s");
+    if (serial_qps > 0.0 && threads != 1) {
+      reporter.Metric("speedup_t" + std::to_string(threads), qps / serial_qps,
+                      /*stable=*/false, "x");
+    }
     table.AddRow({bench::Fmt(threads), bench::Fmt(qps, 0),
                   serial_qps > 0.0 ? bench::Fmt(qps / serial_qps, 2) + "x"
                                    : "-",
@@ -164,6 +185,9 @@ int Run(int argc, char** argv) {
   bench::Note(all_identical
                   ? "parallel results byte-identical to serial: OK"
                   : "DETERMINISM VIOLATION: parallel results differ!");
+  reporter.Metric("results_identical", all_identical ? 1.0 : 0.0,
+                  /*stable=*/true, "bool");
+  if (!reporter.WriteIfRequested(argc, argv)) return 1;
   return all_identical ? 0 : 2;
 }
 

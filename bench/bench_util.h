@@ -1,11 +1,36 @@
 // Copyright 2026 The skewsearch Authors.
-// Shared console-table helpers for the paper-reproduction benches.
+// Shared helpers for the paper-reproduction benches: console tables, a
+// standalone micro-timer, and the machine-readable JSON output contract.
+//
+// Every bench binary accepts `--json FILE` and, when given, writes its
+// headline metrics as one JSON document (schema below) next to its
+// usual console tables. tools/bench_compare.py diffs such a document
+// against the committed BENCH_baseline.json, failing CI when a metric
+// marked *stable* (deterministic on 1 CPU: counts, bytes, sizes) drifts
+// beyond tolerance; *advisory* metrics (wall clock, speedups) are
+// reported but never fail the build.
+//
+// JSON schema (one object per bench run):
+//   {
+//     "bench": "<name>",
+//     "metrics": {
+//       "<metric>": {"value": <number>, "stable": true|false,
+//                     "unit": "<string>"},
+//       ...
+//     }
+//   }
 
 #ifndef SKEWSEARCH_BENCH_BENCH_UTIL_H_
 #define SKEWSEARCH_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace skewsearch::bench {
@@ -77,6 +102,131 @@ inline std::string FmtSci(double value, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
   return buf;
 }
+
+/// Compiler barrier: keeps \p value (and everything feeding it) alive
+/// through optimization, the standalone stand-in for
+/// benchmark::DoNotOptimize.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+/// Nanoseconds per call of \p fn: calibrates a batch size until one
+/// batch runs >= \p min_batch_seconds, then times \p repeats batches and
+/// returns the fastest (minimum damps scheduler noise — the standard
+/// micro-bench estimator for a quiet machine).
+template <typename F>
+inline double NsPerOp(F&& fn, int repeats = 5,
+                      double min_batch_seconds = 0.01) {
+  using Clock = std::chrono::steady_clock;
+  auto run_batch = [&](uint64_t iters) {
+    const auto start = Clock::now();
+    for (uint64_t i = 0; i < iters; ++i) fn();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  uint64_t iters = 1;
+  double seconds = run_batch(iters);
+  while (seconds < min_batch_seconds && iters < (uint64_t{1} << 40)) {
+    iters *= 4;
+    seconds = run_batch(iters);
+  }
+  double best = seconds;
+  for (int r = 1; r < repeats; ++r) {
+    best = std::min(best, run_batch(iters));
+  }
+  return best * 1e9 / static_cast<double>(iters);
+}
+
+/// Returns the value following `--json` in \p argv, or nullptr. Every
+/// bench passes its raw argc/argv here; the flag composes with each
+/// bench's own flag parsing (all of them skip unknown pairs).
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// \brief Collects named metrics and writes the bench JSON document.
+///
+/// Usage:
+///   bench::JsonReporter reporter("micro_intersect");
+///   reporter.Metric("intersect_size_4096", size, /*stable=*/true);
+///   reporter.Metric("kernel_speedup", speedup, /*stable=*/false, "x");
+///   reporter.WriteIfRequested(argc, argv);   // honors --json FILE
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records one metric. \p stable marks values that are deterministic
+  /// for a fixed seed on 1 CPU (counts, bytes, ratios of counts) — the
+  /// ones bench_compare.py enforces; wall-clock-derived values must
+  /// pass stable=false. Non-finite values are stored as null (compare
+  /// treats them as advisory-only).
+  void Metric(const std::string& name, double value, bool stable,
+              const std::string& unit = "") {
+    metrics_.push_back({name, value, stable, unit});
+  }
+
+  /// Serializes the document. Deterministic field order (insertion).
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + bench_name_ +
+                      "\",\n  \"metrics\": {\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Entry& m = metrics_[i];
+      char value[64];
+      if (std::isfinite(m.value)) {
+        std::snprintf(value, sizeof(value), "%.17g", m.value);
+      } else {
+        std::snprintf(value, sizeof(value), "null");
+      }
+      out += "    \"" + m.name + "\": {\"value\": " + value +
+             ", \"stable\": " + (m.stable ? "true" : "false") +
+             ", \"unit\": \"" + m.unit + "\"}";
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    return out;
+  }
+
+  /// Writes to \p path; returns false (with a note on stderr) on IO
+  /// failure so benches can propagate a nonzero exit.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench JSON to '%s'\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+  }
+
+  /// Honors `--json FILE` if present in \p argv; no-op (and success)
+  /// otherwise.
+  bool WriteIfRequested(int argc, char** argv) const {
+    const char* path = JsonPathFromArgs(argc, argv);
+    return path == nullptr ? true : WriteTo(path);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    bool stable;
+    std::string unit;
+  };
+
+  std::string bench_name_;
+  std::vector<Entry> metrics_;
+};
 
 }  // namespace skewsearch::bench
 

@@ -1,97 +1,116 @@
-// Microbenchmarks: hashing primitives (google-benchmark).
+// Copyright 2026 The skewsearch Authors.
+// Microbenchmarks: hashing primitives and the one-pass sketcher.
+//
+// Standalone timer harness (bench_util.h), no external dependency.
+// The sketch section measures the fast one-pass sketcher against the
+// classic t-pass MinHash it replaces — the "fast similarity sketching"
+// speedup the hashing layer claims.
+//
+// Flags: --json FILE   write metrics JSON (see bench_util.h)
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "hashing/mix.h"
 #include "hashing/pairwise.h"
 #include "hashing/path_hasher.h"
+#include "hashing/sketch.h"
 #include "hashing/tabulation.h"
 #include "util/random.h"
 
 namespace skewsearch {
 namespace {
 
-void BM_Mix64(benchmark::State& state) {
+int Run(int argc, char** argv) {
+  bench::Banner("Hashing primitives");
+  bench::JsonReporter reporter("micro_hashing");
+
+  bench::Table table({"primitive", "ns/op"});
   uint64_t x = 0x12345678;
-  for (auto _ : state) {
+  const double mix_ns = bench::NsPerOp([&] {
     x = Mix64(x);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_Mix64);
+    bench::DoNotOptimize(x);
+  });
+  table.AddRow({"Mix64", bench::Fmt(mix_ns, 2)});
 
-void BM_Avalanche64(benchmark::State& state) {
-  uint64_t x = 0x12345678;
-  for (auto _ : state) {
+  const double avalanche_ns = bench::NsPerOp([&] {
     x = Avalanche64(x);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_Avalanche64);
+    bench::DoNotOptimize(x);
+  });
+  table.AddRow({"Avalanche64", bench::Fmt(avalanche_ns, 2)});
 
-void BM_MixPair(benchmark::State& state) {
-  uint64_t a = 0x1234, b = 0x9876;
-  for (auto _ : state) {
-    a = MixPair(a, b);
-    benchmark::DoNotOptimize(a);
-  }
-}
-BENCHMARK(BM_MixPair);
+  uint64_t b = 0x9876;
+  const double mixpair_ns = bench::NsPerOp([&] {
+    x = MixPair(x, b);
+    bench::DoNotOptimize(x);
+  });
+  table.AddRow({"MixPair", bench::Fmt(mixpair_ns, 2)});
 
-void BM_PairwiseHash(benchmark::State& state) {
   Rng rng(1);
-  PairwiseHash hash(&rng);
-  uint64_t x = 777;
-  for (auto _ : state) {
-    x = hash.HashInt(x);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_PairwiseHash);
+  PairwiseHash pairwise(&rng);
+  const double pairwise_ns = bench::NsPerOp([&] {
+    x = pairwise.HashInt(x);
+    bench::DoNotOptimize(x);
+  });
+  table.AddRow({"PairwiseHash", bench::Fmt(pairwise_ns, 2)});
 
-void BM_TabulationHash(benchmark::State& state) {
-  Rng rng(1);
-  TabulationHash hash(&rng);
-  uint64_t x = 777;
-  for (auto _ : state) {
-    x = hash.Hash(x);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_TabulationHash);
+  TabulationHash tabulation(&rng);
+  const double tabulation_ns = bench::NsPerOp([&] {
+    x = tabulation.Hash(x);
+    bench::DoNotOptimize(x);
+  });
+  table.AddRow({"TabulationHash", bench::Fmt(tabulation_ns, 2)});
 
-void BM_PathHasherLevelDraw(benchmark::State& state) {
-  PathHasher hasher(42, 32, state.range(0) == 0 ? HashEngine::kMixer
-                                                : HashEngine::kPairwise);
+  PathHasher hasher(42, 32, HashEngine::kMixer);
   uint64_t key = hasher.RootKey(0);
   uint32_t item = 0;
-  for (auto _ : state) {
-    double draw = hasher.LevelDraw(1 + (item % 31), key, item);
-    benchmark::DoNotOptimize(draw);
+  const double draw_ns = bench::NsPerOp([&] {
+    bench::DoNotOptimize(hasher.LevelDraw(1 + (item % 31), key, item));
     key += 0x9e3779b97f4a7c15ULL;
     ++item;
-  }
-}
-BENCHMARK(BM_PathHasherLevelDraw)->Arg(0)->Arg(1);
+  });
+  table.AddRow({"PathHasher::LevelDraw", bench::Fmt(draw_ns, 2)});
+  table.Print();
 
-void BM_RngNextDouble(benchmark::State& state) {
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.NextDouble());
-  }
-}
-BENCHMARK(BM_RngNextDouble);
+  reporter.Metric("mix64_ns", mix_ns, /*stable=*/false, "ns");
+  reporter.Metric("pairwise_ns", pairwise_ns, /*stable=*/false, "ns");
+  reporter.Metric("tabulation_ns", tabulation_ns, /*stable=*/false, "ns");
+  reporter.Metric("level_draw_ns", draw_ns, /*stable=*/false, "ns");
 
-void BM_RngGeometricSkips(benchmark::State& state) {
-  Rng rng(7);
-  double p = 1.0 / static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.NextGeometricSkips(p));
+  bench::Banner("One-pass similarity sketching vs classic t-pass MinHash");
+  bench::Table sketch_table({"t", "set", "classic_us", "fast_us", "speedup"});
+  // The one-pass scheme wins when the set is large relative to t (its
+  // per-element cost collapses to O(1) expected once the sketch fills);
+  // 8192-element sets cover the join-verification regime it serves.
+  for (uint32_t t : {64u, 256u, 1024u}) {
+    std::vector<ItemId> items;
+    Rng set_rng(9);
+    for (size_t i = 0; i < 8192; ++i) {
+      items.push_back(static_cast<ItemId>(set_rng.NextBounded(1u << 24)));
+    }
+    FastSketcher sketcher(t, 77);
+    std::vector<double> sketch;
+    const double classic_ns = bench::NsPerOp(
+        [&] { sketcher.SketchClassic(items, &sketch); }, 5, 0.02);
+    const double fast_ns =
+        bench::NsPerOp([&] { sketcher.Sketch(items, &sketch); }, 5, 0.02);
+    const double speedup = classic_ns / fast_ns;
+    sketch_table.AddRow({bench::Fmt(static_cast<size_t>(t)),
+                         bench::Fmt(items.size()),
+                         bench::Fmt(classic_ns / 1e3, 1),
+                         bench::Fmt(fast_ns / 1e3, 1),
+                         bench::Fmt(speedup, 2)});
+    reporter.Metric("sketch_speedup_t" + std::to_string(t), speedup,
+                    /*stable=*/false, "x");
   }
+  sketch_table.Print();
+
+  return reporter.WriteIfRequested(argc, argv) ? 0 : 1;
 }
-BENCHMARK(BM_RngGeometricSkips)->Arg(10)->Arg(1000);
 
 }  // namespace
 }  // namespace skewsearch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return skewsearch::Run(argc, argv); }

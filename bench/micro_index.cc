@@ -1,12 +1,16 @@
-// Microbenchmarks: end-to-end index operations — filter generation, build
-// throughput, and query latency for the paper's index and the baselines.
+// Copyright 2026 The skewsearch Authors.
+// Microbenchmarks: end-to-end index operations — filter generation,
+// build throughput, and query latency for the paper's index and the
+// baselines. Standalone timer harness (bench_util.h).
+//
+// Flags: --json FILE   write metrics JSON (see bench_util.h)
 
-#include <benchmark/benchmark.h>
-
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/chosen_path.h"
 #include "baselines/prefix_filter.h"
+#include "bench_util.h"
 #include "core/skewed_index.h"
 #include "data/correlated.h"
 #include "data/generators.h"
@@ -15,121 +19,107 @@
 namespace skewsearch {
 namespace {
 
-struct Fixture {
-  ProductDistribution dist;
-  Dataset data;
+int Run(int argc, char** argv) {
+  bench::Banner("Index micro-operations");
+  bench::JsonReporter reporter("micro_index");
+
+  auto dist = TwoBlockProbabilities(150, 0.25, 10000, 0.005).value();
+  Rng rng(1);
+  Dataset data = GenerateDataset(dist, 2048, &rng);
+  CorrelatedQuerySampler sampler(&dist, 0.7);
+
   SkewedPathIndex index;
-  CorrelatedQuerySampler sampler;
-
-  static Fixture& Get() {
-    static Fixture* fixture = [] {
-      auto f = new Fixture();
-      return f;
-    }();
-    return *fixture;
-  }
-
-  Fixture()
-      : dist(TwoBlockProbabilities(150, 0.25, 10000, 0.005).value()),
-        sampler(&dist, 0.7) {
-    Rng rng(1);
-    data = GenerateDataset(dist, 2048, &rng);
-    SkewedIndexOptions options;
-    options.mode = IndexMode::kCorrelated;
-    options.alpha = 0.7;
-    options.repetitions = 8;
-    options.delta = 0.1;
-    index.Build(&data, &dist, options).ok();
-  }
-};
-
-void BM_ComputeFilterKeys(benchmark::State& state) {
-  Fixture& f = Fixture::Get();
-  Rng rng(2);
-  SparseVector x = f.dist.Sample(&rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.index.ComputeFilterKeys(x.span()));
-  }
-}
-BENCHMARK(BM_ComputeFilterKeys);
-
-void BM_SkewedIndexQuery(benchmark::State& state) {
-  Fixture& f = Fixture::Get();
-  Rng rng(3);
-  SparseVector q =
-      f.sampler.SampleCorrelated(f.data.Get(17), &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.index.Query(q.span()));
-  }
-}
-BENCHMARK(BM_SkewedIndexQuery);
-
-void BM_SkewedIndexBuild(benchmark::State& state) {
-  auto dist = TwoBlockProbabilities(100, 0.25, 4000, 0.005).value();
-  Rng rng(4);
-  Dataset data = GenerateDataset(dist, static_cast<size_t>(state.range(0)),
-                                 &rng);
-  for (auto _ : state) {
-    SkewedPathIndex index;
-    SkewedIndexOptions options;
-    options.mode = IndexMode::kCorrelated;
-    options.alpha = 0.7;
-    options.repetitions = 4;
-    options.delta = 0.1;
-    benchmark::DoNotOptimize(index.Build(&data, &dist, options));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SkewedIndexBuild)->Arg(256)->Arg(1024)->Unit(
-    benchmark::kMillisecond);
-
-void BM_PrefixFilterQuery(benchmark::State& state) {
-  Fixture& f = Fixture::Get();
-  PrefixFilterIndex prefix;
-  PrefixFilterOptions options;
-  options.b1 = 0.5;
-  if (!prefix.Build(&f.data, options).ok()) {
-    state.SkipWithError("build failed");
-    return;
-  }
-  Rng rng(5);
-  SparseVector q = f.sampler.SampleCorrelated(f.data.Get(17), &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(prefix.Query(q.span()));
-  }
-}
-BENCHMARK(BM_PrefixFilterQuery);
-
-void BM_ChosenPathQuery(benchmark::State& state) {
-  Fixture& f = Fixture::Get();
-  ChosenPathIndex cp;
-  ChosenPathOptions options;
-  options.b1 = 0.6;
-  options.b2 = 0.15;
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
   options.repetitions = 8;
-  options.verify_threshold = 0.5;
-  if (!cp.Build(&f.data, &f.dist, options).ok()) {
-    state.SkipWithError("build failed");
-    return;
+  options.delta = 0.1;
+  if (!index.Build(&data, &dist, options).ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
   }
-  Rng rng(6);
-  SparseVector q = f.sampler.SampleCorrelated(f.data.Get(17), &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cp.Query(q.span()));
-  }
-}
-BENCHMARK(BM_ChosenPathQuery);
 
-void BM_DistributionSample(benchmark::State& state) {
-  Fixture& f = Fixture::Get();
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.dist.Sample(&rng));
+  bench::Table table({"operation", "ns/op"});
+
+  Rng key_rng(2);
+  SparseVector x = dist.Sample(&key_rng);
+  const double keys_ns = bench::NsPerOp(
+      [&] { bench::DoNotOptimize(index.ComputeFilterKeys(x.span())); }, 5,
+      0.02);
+  table.AddRow({"ComputeFilterKeys", bench::Fmt(keys_ns, 1)});
+  reporter.Metric("compute_filter_keys_ns", keys_ns, /*stable=*/false, "ns");
+  reporter.Metric("filter_keys_per_vector",
+                  static_cast<double>(index.ComputeFilterKeys(x.span()).size()),
+                  /*stable=*/true, "keys");
+
+  Rng query_rng(3);
+  SparseVector q = sampler.SampleCorrelated(data.Get(17), &query_rng);
+  const double query_ns = bench::NsPerOp(
+      [&] { bench::DoNotOptimize(index.Query(q.span())); }, 5, 0.02);
+  table.AddRow({"SkewedPathIndex::Query", bench::Fmt(query_ns, 1)});
+  reporter.Metric("query_ns", query_ns, /*stable=*/false, "ns");
+
+  {
+    auto small_dist = TwoBlockProbabilities(100, 0.25, 4000, 0.005).value();
+    Rng build_rng(4);
+    Dataset small = GenerateDataset(small_dist, 1024, &build_rng);
+    SkewedIndexOptions build_options;
+    build_options.mode = IndexMode::kCorrelated;
+    build_options.alpha = 0.7;
+    build_options.repetitions = 4;
+    build_options.delta = 0.1;
+    const double build_ns = bench::NsPerOp(
+        [&] {
+          SkewedPathIndex fresh;
+          bench::DoNotOptimize(fresh.Build(&small, &small_dist,
+                                           build_options));
+        },
+        3, 0.05);
+    table.AddRow({"Build(n=1024)", bench::Fmt(build_ns, 0)});
+    reporter.Metric("build_1024_ns", build_ns, /*stable=*/false, "ns");
   }
+
+  {
+    PrefixFilterIndex prefix;
+    PrefixFilterOptions prefix_options;
+    prefix_options.b1 = 0.5;
+    if (prefix.Build(&data, prefix_options).ok()) {
+      Rng prefix_rng(5);
+      SparseVector pq = sampler.SampleCorrelated(data.Get(17), &prefix_rng);
+      const double prefix_ns = bench::NsPerOp(
+          [&] { bench::DoNotOptimize(prefix.Query(pq.span())); }, 5, 0.02);
+      table.AddRow({"PrefixFilter::Query", bench::Fmt(prefix_ns, 1)});
+      reporter.Metric("prefix_query_ns", prefix_ns, /*stable=*/false, "ns");
+    }
+  }
+
+  {
+    ChosenPathIndex cp;
+    ChosenPathOptions cp_options;
+    cp_options.b1 = 0.6;
+    cp_options.b2 = 0.15;
+    cp_options.repetitions = 8;
+    cp_options.verify_threshold = 0.5;
+    if (cp.Build(&data, &dist, cp_options).ok()) {
+      Rng cp_rng(6);
+      SparseVector cq = sampler.SampleCorrelated(data.Get(17), &cp_rng);
+      const double cp_ns = bench::NsPerOp(
+          [&] { bench::DoNotOptimize(cp.Query(cq.span())); }, 5, 0.02);
+      table.AddRow({"ChosenPath::Query", bench::Fmt(cp_ns, 1)});
+      reporter.Metric("chosen_path_query_ns", cp_ns, /*stable=*/false, "ns");
+    }
+  }
+
+  Rng sample_rng(7);
+  const double sample_ns = bench::NsPerOp(
+      [&] { bench::DoNotOptimize(dist.Sample(&sample_rng)); }, 5, 0.02);
+  table.AddRow({"ProductDistribution::Sample", bench::Fmt(sample_ns, 1)});
+  table.Print();
+
+  return reporter.WriteIfRequested(argc, argv) ? 0 : 1;
 }
-BENCHMARK(BM_DistributionSample);
 
 }  // namespace
 }  // namespace skewsearch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return skewsearch::Run(argc, argv); }

@@ -1,12 +1,29 @@
-// Microbenchmarks: intersection kernels and similarity measures.
+// Copyright 2026 The skewsearch Authors.
+// Microbenchmark: sorted-set intersection kernels (the verification
+// inner loop of every query and join).
+//
+// Times the scalar merge reference against the runtime-selected SIMD
+// kernel (core/intersect.h) and the galloping path across size and
+// overlap regimes, asserts the kernels agree with the reference on
+// every timed input, and (with --require-speedup X) fails unless the
+// SIMD kernel beats the scalar reference by at least X on the balanced
+// regimes — the CI Release leg passes 1.5.
+//
+// Flags: --json FILE            write metrics JSON (see bench_util.h)
+//        --require-speedup X    exit nonzero unless min balanced
+//                               speedup >= X
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
+#include "core/intersect.h"
 #include "data/sparse_vector.h"
 #include "sim/intersect.h"
-#include "sim/measures.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -23,45 +40,97 @@ std::vector<ItemId> MakeSorted(size_t count, ItemId universe, uint64_t seed) {
   return v.ids();
 }
 
-void BM_IntersectMerge(benchmark::State& state) {
-  auto a = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 1);
-  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(IntersectSizeMerge(a, b));
+int Run(int argc, char** argv) {
+  double require_speedup = 0.0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--require-speedup") == 0) {
+      require_speedup = std::atof(argv[i + 1]);
+    }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(a.size() + b.size()));
-}
-BENCHMARK(BM_IntersectMerge)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_IntersectGallopingAsymmetric(benchmark::State& state) {
-  auto a = MakeSorted(32, 1 << 20, 1);
-  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(IntersectSizeGalloping(a, b));
-  }
-}
-BENCHMARK(BM_IntersectGallopingAsymmetric)->Arg(1024)->Arg(16384);
+  bench::Banner("Sorted-set intersection kernels");
+  bench::Note(std::string("active kernel: ") +
+              IntersectKernelName(ActiveIntersectKernel()));
+  bench::JsonReporter reporter("micro_intersect");
 
-void BM_IntersectAutoAsymmetric(benchmark::State& state) {
-  auto a = MakeSorted(32, 1 << 20, 1);
-  auto b = MakeSorted(static_cast<size_t>(state.range(0)), 1 << 20, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(IntersectSize(a, b));
+  // Balanced regimes: equal-size lists at a universe giving ~6%
+  // overlap. These route to the block kernels, the case the SIMD path
+  // exists for.
+  bench::Table table({"size", "overlap", "scalar_ns", "kernel_ns", "speedup",
+                      "galloping_ns"});
+  double min_balanced_speedup = 0.0;
+  bool first = true;
+  bool all_agree = true;
+  for (size_t size : {256u, 1024u, 4096u, 16384u}) {
+    auto a = MakeSorted(size, static_cast<ItemId>(size * 16), 2 * size + 1);
+    auto b = MakeSorted(size, static_cast<ItemId>(size * 16), 2 * size + 2);
+    const size_t expect = IntersectSizeScalar(a, b);
+    all_agree = all_agree && IntersectSizeKernel(a, b) == expect &&
+                IntersectSizeGalloping(a, b) == expect;
+    const double scalar_ns =
+        bench::NsPerOp([&] { bench::DoNotOptimize(IntersectSizeScalar(a, b)); });
+    const double kernel_ns =
+        bench::NsPerOp([&] { bench::DoNotOptimize(IntersectSizeKernel(a, b)); });
+    const double gallop_ns = bench::NsPerOp(
+        [&] { bench::DoNotOptimize(IntersectSizeGalloping(a, b)); });
+    const double speedup = scalar_ns / kernel_ns;
+    min_balanced_speedup =
+        first ? speedup : std::min(min_balanced_speedup, speedup);
+    first = false;
+    table.AddRow({bench::Fmt(size), bench::Fmt(expect), bench::Fmt(scalar_ns, 1),
+                  bench::Fmt(kernel_ns, 1), bench::Fmt(speedup, 2),
+                  bench::Fmt(gallop_ns, 1)});
+    const std::string tag = std::to_string(size);
+    reporter.Metric("intersect_size_" + tag, static_cast<double>(expect),
+                    /*stable=*/true, "elements");
+    reporter.Metric("scalar_ns_" + tag, scalar_ns, /*stable=*/false, "ns");
+    reporter.Metric("kernel_ns_" + tag, kernel_ns, /*stable=*/false, "ns");
+    reporter.Metric("speedup_" + tag, speedup, /*stable=*/false, "x");
   }
-}
-BENCHMARK(BM_IntersectAutoAsymmetric)->Arg(1024)->Arg(16384);
+  table.Print();
 
-void BM_BraunBlanquet(benchmark::State& state) {
-  auto a = MakeSorted(256, 1 << 16, 3);
-  auto b = MakeSorted(256, 1 << 16, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BraunBlanquet(a, b));
+  // Asymmetric regime: tiny probe against a large posting list — the
+  // galloping route IntersectSizeKernel takes on skewed inputs.
+  bench::Table asym({"small", "large", "kernel_ns", "galloping_ns"});
+  for (size_t large : {4096u, 65536u}) {
+    auto a = MakeSorted(32, static_cast<ItemId>(large * 4), 7);
+    auto b = MakeSorted(large, static_cast<ItemId>(large * 4), 8);
+    all_agree =
+        all_agree && IntersectSizeKernel(a, b) == IntersectSizeScalar(a, b);
+    const double kernel_ns =
+        bench::NsPerOp([&] { bench::DoNotOptimize(IntersectSizeKernel(a, b)); });
+    const double gallop_ns = bench::NsPerOp(
+        [&] { bench::DoNotOptimize(IntersectSizeGalloping(a, b)); });
+    asym.AddRow({bench::Fmt(size_t{32}), bench::Fmt(large),
+                 bench::Fmt(kernel_ns, 1),
+                 bench::Fmt(gallop_ns, 1)});
+    reporter.Metric("asym_kernel_ns_" + std::to_string(large), kernel_ns,
+                    /*stable=*/false, "ns");
   }
+  asym.Print();
+
+  reporter.Metric("kernels_agree", all_agree ? 1.0 : 0.0, /*stable=*/true,
+                  "bool");
+  reporter.Metric("min_balanced_speedup", min_balanced_speedup,
+                  /*stable=*/false, "x");
+  bench::Note("kernels agree with scalar reference: " +
+              std::string(all_agree ? "yes" : "NO"));
+  bench::Note("min balanced speedup: " + bench::Fmt(min_balanced_speedup, 2));
+
+  if (!reporter.WriteIfRequested(argc, argv)) return 1;
+  if (!all_agree) {
+    std::fprintf(stderr, "kernel/scalar mismatch\n");
+    return 1;
+  }
+  if (require_speedup > 0.0 && min_balanced_speedup < require_speedup) {
+    std::fprintf(stderr, "speedup %.2f below required %.2f\n",
+                 min_balanced_speedup, require_speedup);
+    return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_BraunBlanquet);
 
 }  // namespace
 }  // namespace skewsearch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return skewsearch::Run(argc, argv); }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+// std::unordered_set stays here on purpose: baselines are comparison
+// yardsticks, not hot paths, so they keep the std containers rather
+// than the util/containers.h posting-path aliases.
 #include <unordered_set>
 
 #include "sim/measures.h"

@@ -397,15 +397,14 @@ int CmdQueryBench(const Flags& flags) {
     Status s = index.Build(&*data, &*dist, options);
     if (!s.ok()) return Fail(s);
   }
-  const IndexBuildStats& build_stats =
-      use_shards ? sharded.build_stats() : index.build_stats();
+  const IndexView& view = use_shards ? static_cast<const IndexView&>(sharded)
+                                     : static_cast<const IndexView&>(index);
+  const IndexBuildStats& build_stats = view.build_stats();
   std::printf("index: %d shard(s), %d repetitions, %.1f filters/element, "
               "%.1f MB, built in %.2fs\n",
               use_shards ? shards : 1, build_stats.repetitions,
               build_stats.avg_filters_per_element,
-              static_cast<double>(use_shards ? sharded.MemoryBytes()
-                                             : index.MemoryBytes()) /
-                  1e6,
+              static_cast<double>(view.MemoryBytes()) / 1e6,
               build_stats.build_seconds);
 
   CorrelatedQuerySampler sampler(&*dist, alpha);

@@ -63,11 +63,10 @@ struct DynamicIndex::ShardState {
 
   static constexpr size_t kInsertedBuckets = 64;
   using InsertedMap =
-      std::unordered_map<VectorId, std::shared_ptr<const InsertedVector>>;
+      PostingMap<VectorId, std::shared_ptr<const InsertedVector>>;
   static constexpr size_t kDeltaBuckets = 256;
   using DeltaMap =
-      std::unordered_map<uint64_t,
-                         std::shared_ptr<const std::vector<VectorId>>>;
+      PostingMap<uint64_t, std::shared_ptr<const std::vector<VectorId>>>;
 
   std::shared_ptr<const Edition> edition;
 
@@ -77,7 +76,7 @@ struct DynamicIndex::ShardState {
   /// Posting-entry count each base vector of this shard contributed
   /// under `edition` (ids absent from the map contributed 0). Replaced
   /// only by a rebuild; shared across clones otherwise.
-  std::shared_ptr<const std::unordered_map<VectorId, uint32_t>> base_counts;
+  std::shared_ptr<const PostingMap<VectorId, uint32_t>> base_counts;
 
   /// Postings of vectors inserted since the last compaction, keyed like
   /// the base table, bucketized for cheap COW like `inserted` (the delta
@@ -85,8 +84,8 @@ struct DynamicIndex::ShardState {
   /// empty; posting lists are immutable once published.
   std::array<std::shared_ptr<const DeltaMap>, kDeltaBuckets> delta;
 
-  using TombstoneMap = std::unordered_map<VectorId, uint32_t>;
-  using RemovedSet = std::unordered_set<VectorId>;
+  using TombstoneMap = PostingMap<VectorId, uint32_t>;
+  using RemovedSet = PostingSet<VectorId>;
 
   /// Removed ids whose postings are still physically present, mapped to
   /// the entry count they occupy. Compaction drops the covered ids
@@ -386,7 +385,7 @@ Status DynamicIndex::Build(const Dataset* data,
   // Split the flat per-vector entry counts into per-shard maps (the
   // shard states hold them so a rebuild can swap in counts for its new
   // edition shard by shard).
-  std::vector<std::unordered_map<VectorId, uint32_t>> counts(tables.size());
+  std::vector<PostingMap<VectorId, uint32_t>> counts(tables.size());
   for (VectorId id = 0; id < data->size(); ++id) {
     if (entry_counts[id] == 0) continue;
     counts[static_cast<size_t>(
@@ -401,7 +400,7 @@ Status DynamicIndex::Build(const Dataset* data,
     state->edition = edition;
     state->base = std::make_shared<FilterTable>(std::move(tables[s]));
     state->base_counts =
-        std::make_shared<const std::unordered_map<VectorId, uint32_t>>(
+        std::make_shared<const PostingMap<VectorId, uint32_t>>(
             std::move(counts[s]));
     state->live_entries = state->base->num_pairs();
     auto shard = std::make_unique<Shard>();
@@ -462,12 +461,10 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
     edition = shard.state.load(std::memory_order_seq_cst)->edition.get();
   }
   std::vector<uint64_t> keys;
+  std::vector<size_t> key_offsets;
   auto compute = [&](const Edition& ed) {
-    keys.clear();
-    for (int rep = 0; rep < ed.family.repetitions(); ++rep) {
-      ed.family.ComputeFilters(items, static_cast<uint32_t>(rep), &keys,
-                               nullptr);
-    }
+    // Fused all-repetitions pass; identical to per-rep concatenation.
+    ed.family.ComputeAllFilters(items, &keys, &key_offsets);
   };
   compute(*edition);
 
@@ -660,16 +657,13 @@ Status DynamicIndex::RebuildShardLocked(
   // Phase 1 (no locks held): replay the path engine under the new
   // edition for every vector that was live in the snapshot.
   FilterTable fresh;
-  auto base_counts =
-      std::make_shared<std::unordered_map<VectorId, uint32_t>>();
-  std::unordered_map<VectorId, uint32_t> replayed;  // live inserted ids
+  auto base_counts = std::make_shared<PostingMap<VectorId, uint32_t>>();
+  PostingMap<VectorId, uint32_t> replayed;  // live inserted ids
   std::vector<uint64_t> keys;
+  std::vector<size_t> key_offsets;
   auto replay = [&](std::span<const ItemId> items, VectorId id) {
-    keys.clear();
-    for (int rep = 0; rep < family.repetitions(); ++rep) {
-      family.ComputeFilters(items, static_cast<uint32_t>(rep), &keys,
-                            nullptr);
-    }
+    // Fused all-repetitions pass; identical to per-rep concatenation.
+    family.ComputeAllFilters(items, &keys, &key_offsets);
     for (uint64_t key : keys) fresh.Add(key, id);
     return static_cast<uint32_t>(keys.size());
   };
@@ -687,8 +681,7 @@ Status DynamicIndex::RebuildShardLocked(
   // New-edition records for every vector inserted as of the snapshot are
   // also built here, off-lock — the merge below must not pay O(shard)
   // item copies while holding the writer mutex.
-  std::unordered_map<VectorId,
-                     std::shared_ptr<const ShardState::InsertedVector>>
+  PostingMap<VectorId, std::shared_ptr<const ShardState::InsertedVector>>
       prebuilt;
   prebuilt.reserve(inserted_ids.size());
   for (VectorId id : inserted_ids) {
@@ -715,7 +708,7 @@ Status DynamicIndex::RebuildShardLocked(
   next->base_counts = base_counts;
   next->removed_base = s1.removed_base;
   size_t delta_entries = 0;
-  std::unordered_map<uint64_t, std::vector<VectorId>> delta;
+  PostingMap<uint64_t, std::vector<VectorId>> delta;
   std::array<ShardState::InsertedMap, ShardState::kInsertedBuckets>
       fresh_buckets;
   s1.ForEachInserted([&](VectorId id, const auto& record) {
@@ -729,11 +722,8 @@ Status DynamicIndex::RebuildShardLocked(
     }
     // Inserted while we were replaying: generate its postings under
     // the new edition now (bounded by the churn, not the shard size).
-    keys.clear();
-    for (int rep = 0; rep < family.repetitions(); ++rep) {
-      family.ComputeFilters({record->items.data(), record->items.size()},
-                            static_cast<uint32_t>(rep), &keys, nullptr);
-    }
+    family.ComputeAllFilters({record->items.data(), record->items.size()},
+                             &keys, &key_offsets);
     for (uint64_t key : keys) delta[key].push_back(id);
     delta_entries += keys.size();
     auto fresh_record = std::make_shared<ShardState::InsertedVector>();
@@ -822,7 +812,7 @@ struct DynamicIndex::QueryScratch {
     std::vector<uint64_t> keys;
   };
   std::vector<EditionKeys> editions;
-  std::vector<std::unordered_set<VectorId>> seen;
+  std::vector<PostingSet<VectorId>> seen;
   PathGenStats path_gen;
 
   EditionKeys& KeysFor(const Edition* edition) {
@@ -836,7 +826,7 @@ struct DynamicIndex::QueryScratch {
 
 DynamicIndex::RepHit DynamicIndex::ScanShardRep(
     const ShardState& state, std::span<const ItemId> query,
-    const std::vector<uint64_t>& keys, std::unordered_set<VectorId>* seen,
+    const std::vector<uint64_t>& keys, PostingSet<VectorId>* seen,
     QueryStats* stats) const {
   RepHit hit;
   const double threshold = state.edition->family.verify_threshold();
@@ -949,10 +939,9 @@ std::vector<Match> DynamicIndex::QueryAllImpl(
       }
       keys.emplace_back(edition, std::vector<uint64_t>());
       std::vector<uint64_t>& fresh = keys.back().second;
-      for (int rep = 0; rep < edition->family.repetitions(); ++rep) {
-        edition->family.ComputeFilters(query, static_cast<uint32_t>(rep),
-                                       &fresh, nullptr);
-      }
+      // All repetitions probed (no early exit): one fused pass.
+      std::vector<size_t> offsets;
+      edition->family.ComputeAllFilters(query, &fresh, &offsets);
       local.filters += fresh.size();
       return fresh;
     };
@@ -960,7 +949,7 @@ std::vector<Match> DynamicIndex::QueryAllImpl(
       const auto* state = static_cast<const ShardState*>(raw);
       const std::vector<uint64_t>& shard_keys =
           keys_for(state->edition.get());
-      std::unordered_set<VectorId> seen;
+      PostingSet<VectorId> seen;
       auto consider = [&](VectorId id) {
         if (!seen.insert(id).second) return;
         if (state->IsTombstoned(id)) return;
@@ -1513,7 +1502,7 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
       return Status::InvalidArgument("corrupt inserted block in '" + path +
                                      "'");
     }
-    std::unordered_map<VectorId, ShardState::InsertedVector> inserted;
+    PostingMap<VectorId, ShardState::InsertedVector> inserted;
     for (uint64_t k = 0; k < inserted_count; ++k) {
       VectorId id = 0;
       std::vector<ItemId> items;
@@ -1556,8 +1545,7 @@ Status DynamicIndex::Load(const std::string& path, const Dataset* data,
     // postings once: base ids into the shard's count map, inserted ids
     // into their records. Tombstoned ids may still appear in postings;
     // their counts are charged but never read again.
-    auto base_counts =
-        std::make_shared<std::unordered_map<VectorId, uint32_t>>();
+    auto base_counts = std::make_shared<PostingMap<VectorId, uint32_t>>();
     auto charge = [&](VectorId id) {
       if (id < base_n) {
         (*base_counts)[id]++;

@@ -49,11 +49,10 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/index_view.h"
 #include "core/inverted_index.h"
 #include "core/query_stats.h"
 #include "core/sharded_index.h"
@@ -118,10 +117,10 @@ struct ShardHealth {
 /// Remove/CompactShard/RebuildForSize from any number of threads. Not
 /// movable (shard slots and epoch slots pin addresses). Destruction
 /// requires quiescence: no reader, writer or snapshot may be in flight.
-class DynamicIndex {
+class DynamicIndex : public IndexView {
  public:
   DynamicIndex();
-  ~DynamicIndex();
+  ~DynamicIndex() override;
   DynamicIndex(const DynamicIndex&) = delete;
   DynamicIndex& operator=(const DynamicIndex&) = delete;
 
@@ -268,7 +267,7 @@ class DynamicIndex {
               const ProductDistribution* dist);
 
   /// True after a successful Build()/Load().
-  bool built() const { return !shards_.empty(); }
+  bool built() const override { return !shards_.empty(); }
 
   /// True iff \p id currently exists and is not tombstoned. Thread-safe.
   bool IsLive(VectorId id) const;
@@ -305,17 +304,19 @@ class DynamicIndex {
   /// edition; queries handle that internally. The family reference stays
   /// valid for the index's lifetime (editions are never destroyed).
   /// Before Build()/Load() these return graceful defaults (0 / 0.0 / an
-  /// empty family).
-  int repetitions() const;
-  double verify_threshold() const;
-  const FilterFamily& family() const;
+  /// empty family). Part of the shared core/index_view.h surface.
+  int repetitions() const override;
+  double verify_threshold() const override;
+  const FilterFamily& family() const override;
+  const IndexBuildStats& build_stats() const override {
+    return build_stats_;
+  }
 
   const DynamicIndexOptions& options() const { return options_; }
-  const IndexBuildStats& build_stats() const { return build_stats_; }
 
   /// Approximate heap usage (base tables + deltas + inserted vectors).
   /// Thread-safe.
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const override;
 
  private:
   struct Edition;       // parameter edition (filter family + derivation)
@@ -342,7 +343,7 @@ class DynamicIndex {
                                   double threshold, QueryStats* stats) const;
   RepHit ScanShardRep(const ShardState& state, std::span<const ItemId> query,
                       const std::vector<uint64_t>& keys,
-                      std::unordered_set<VectorId>* seen,
+                      PostingSet<VectorId>* seen,
                       QueryStats* stats) const;
   std::span<const ItemId> ItemsOf(const ShardState& state, VectorId id) const;
 

@@ -1,0 +1,65 @@
+// Copyright 2026 The skewsearch Authors.
+// Vectorized set-intersection kernels for candidate verification.
+//
+// |x n q| over sorted duplicate-free id lists is the inner loop of every
+// query and join (sim/measures.h reduces each similarity measure to it).
+// This header hosts the branch-lean SIMD kernels — SSE2 (baseline on
+// x86-64) and AVX2 (runtime-detected) block compares with scalar
+// galloping for heavily asymmetric inputs — behind one dispatch function.
+// Every kernel returns a byte-identical count to the scalar reference in
+// sim/intersect.h; tests assert this over randomized size / overlap /
+// alignment regimes, and sim/intersect.h's IntersectSize routes through
+// the dispatcher so all existing call sites inherit the speedup.
+
+#ifndef SKEWSEARCH_CORE_INTERSECT_H_
+#define SKEWSEARCH_CORE_INTERSECT_H_
+
+#include <cstddef>
+#include <span>
+
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+/// The intersection kernel implementations available at runtime.
+enum class IntersectKernel {
+  kScalar,  ///< merge / galloping reference (sim/intersect.h)
+  kSse2,    ///< 4-wide block compares; baseline on every x86-64 CPU
+  kAvx2,    ///< 8-wide block compares; requires AVX2 (runtime-detected)
+};
+
+/// Human-readable kernel name ("scalar", "sse2", "avx2").
+const char* IntersectKernelName(IntersectKernel kernel);
+
+/// The best kernel supported by the running CPU (what the dispatch uses
+/// unless overridden).
+IntersectKernel DetectIntersectKernel();
+
+/// The kernel the dispatch currently routes to.
+IntersectKernel ActiveIntersectKernel();
+
+/// Overrides the dispatch (kernel comparisons in tests and benches).
+/// Requesting an unsupported kernel clamps to the best supported one and
+/// returns the kernel actually installed. Not thread-safe: call before
+/// spawning query threads.
+IntersectKernel SetIntersectKernel(IntersectKernel kernel);
+
+/// Intersection count via the active kernel. Inputs must be sorted and
+/// duplicate-free (the SparseVector invariant). Byte-identical to
+/// IntersectSizeMerge / IntersectSizeGalloping for every input.
+size_t IntersectSizeKernel(std::span<const ItemId> a,
+                           std::span<const ItemId> b);
+
+/// \name Forced-kernel entry points (differential tests / benches).
+/// Sse2/Avx2 fall back to the scalar path on hardware without the
+/// instruction set — guard with DetectIntersectKernel() when measuring.
+/// @{
+size_t IntersectSizeScalar(std::span<const ItemId> a,
+                           std::span<const ItemId> b);
+size_t IntersectSizeSse2(std::span<const ItemId> a, std::span<const ItemId> b);
+size_t IntersectSizeAvx2(std::span<const ItemId> a, std::span<const ItemId> b);
+/// @}
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_INTERSECT_H_

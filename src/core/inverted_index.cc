@@ -23,44 +23,26 @@ bool ReadVector(std::istream* in, std::vector<T>* values) {
 }  // namespace
 
 void FilterTable::Reserve(size_t expected_pairs) {
-  pairs_.reserve(expected_pairs);
+  arena_.Reserve(expected_pairs);
 }
 
-void FilterTable::Add(uint64_t key, VectorId id) {
-  pairs_.push_back({key, id});
-}
+void FilterTable::Add(uint64_t key, VectorId id) { arena_.Add(key, id); }
 
 void FilterTable::Freeze() {
-  std::sort(pairs_.begin(), pairs_.end(),
-            [](const Pair& a, const Pair& b) {
-              if (a.key != b.key) return a.key < b.key;
-              return a.id < b.id;
-            });
-  keys_.clear();
-  offsets_.clear();
-  ids_.clear();
-  ids_.reserve(pairs_.size());
-  for (size_t i = 0; i < pairs_.size(); ++i) {
-    if (i == 0 || pairs_[i].key != pairs_[i - 1].key) {
-      keys_.push_back(pairs_[i].key);
-      offsets_.push_back(static_cast<uint32_t>(ids_.size()));
-    }
-    ids_.push_back(pairs_[i].id);
-  }
-  offsets_.push_back(static_cast<uint32_t>(ids_.size()));
-  pairs_.clear();
-  pairs_.shrink_to_fit();
+  arena_.Freeze(&keys_, &offsets_, &ids_);
   // Drop growth slack so MemoryBytes() reports the same frozen footprint
   // as a ReadFrom() of this table (which allocates exactly).
   keys_.shrink_to_fit();
   offsets_.shrink_to_fit();
+  ids_.shrink_to_fit();
+  key_index_ = BuildPostingKeyIndex(keys_);
   frozen_ = true;
 }
 
 std::span<const VectorId> FilterTable::Lookup(uint64_t key) const {
-  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
-  if (it == keys_.end() || *it != key) return {};
-  size_t idx = static_cast<size_t>(it - keys_.begin());
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return {};
+  size_t idx = it->second;
   return {ids_.data() + offsets_[idx],
           static_cast<size_t>(offsets_[idx + 1] - offsets_[idx])};
 }
@@ -99,16 +81,16 @@ Status FilterTable::ReadFrom(std::istream* in) {
       return Status::InvalidArgument("filter table offsets not monotone");
     }
   }
+  fresh.key_index_ = BuildPostingKeyIndex(fresh.keys_);
   fresh.frozen_ = true;
   *this = std::move(fresh);
   return Status::OK();
 }
 
 size_t FilterTable::MemoryBytes() const {
-  return pairs_.capacity() * sizeof(Pair) +
-         keys_.capacity() * sizeof(uint64_t) +
+  return arena_.MemoryBytes() + keys_.capacity() * sizeof(uint64_t) +
          offsets_.capacity() * sizeof(uint32_t) +
-         ids_.capacity() * sizeof(VectorId);
+         ids_.capacity() * sizeof(VectorId) + key_index_.MemoryBytes();
 }
 
 }  // namespace skewsearch

@@ -3,10 +3,11 @@
 // vector ids ("for each filter f we can look up {x in S : f in F(x)}",
 // Section 3). Shared by the paper's index and the Chosen Path baseline.
 //
-// Built as a flat (key, id) pair list that is sorted once and then frozen
-// into unique keys + offsets + ids. Compared to a hash map this halves
-// memory, is cache-friendly to build, and makes lookups a binary search
-// over the (typically few million) distinct keys.
+// Built by staging (key, id) pairs into a PostingArena (grouped by key as
+// they arrive) and freezing into unique keys + offsets + ids. Compared to
+// a per-key hash map of vectors this halves memory and is cache-friendly
+// to build; lookups are one O(1) probe of a flat key -> position index
+// (core/posting_table.h) over the (typically few million) distinct keys.
 
 #ifndef SKEWSEARCH_CORE_INVERTED_INDEX_H_
 #define SKEWSEARCH_CORE_INVERTED_INDEX_H_
@@ -16,7 +17,9 @@
 #include <span>
 #include <vector>
 
+#include "core/posting_table.h"
 #include "data/dataset.h"
+#include "util/containers.h"
 #include "util/status.h"
 
 namespace skewsearch {
@@ -50,9 +53,11 @@ class FilterTable {
   /// @}
 
   /// Number of stored (key, id) pairs. Counts the same pairs before and
-  /// after Freeze(): the staging list while building, the frozen posting
+  /// after Freeze(): the staging arena while building, the frozen posting
   /// lists afterwards (Freeze neither adds nor drops pairs).
-  size_t num_pairs() const { return frozen_ ? ids_.size() : pairs_.size(); }
+  size_t num_pairs() const {
+    return frozen_ ? ids_.size() : arena_.num_pairs();
+  }
 
   /// Number of distinct keys (0 before Freeze()).
   size_t num_keys() const { return keys_.size(); }
@@ -71,14 +76,12 @@ class FilterTable {
   Status ReadFrom(std::istream* in);
 
  private:
-  struct Pair {
-    uint64_t key;
-    VectorId id;
-  };
-  std::vector<Pair> pairs_;       // staging; cleared by Freeze()
+  PostingArena arena_;            // staging; drained by Freeze()
   std::vector<uint64_t> keys_;    // sorted distinct keys
   std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into ids_
   std::vector<VectorId> ids_;
+  // O(1) key -> position probe index; rebuilt by Freeze()/ReadFrom().
+  PostingMap<uint64_t, uint32_t> key_index_;
   bool frozen_ = false;
 };
 

@@ -26,6 +26,26 @@ bool PathContains(const std::vector<Node>& arena, int32_t node, ItemId item) {
   return false;
 }
 
+// Node of the fused all-repetitions forest: same layout plus the owning
+// repetition, so one arena can interleave all L recursion trees.
+struct FusedNode {
+  uint64_t key;
+  double log_inv_prod;
+  int32_t parent;
+  ItemId item;
+  int32_t depth;
+  uint32_t rep;
+};
+
+bool FusedPathContains(const std::vector<FusedNode>& arena, int32_t node,
+                       ItemId item) {
+  while (node >= 0 && arena[static_cast<size_t>(node)].depth > 0) {
+    if (arena[static_cast<size_t>(node)].item == item) return true;
+    node = arena[static_cast<size_t>(node)].parent;
+  }
+  return false;
+}
+
 }  // namespace
 
 PathEngine::PathEngine(const ProductDistribution* dist,
@@ -101,6 +121,116 @@ void PathEngine::ComputeFilters(std::span<const ItemId> x, uint32_t rep,
     }
   }
   if (stats != nullptr) *stats = local;
+}
+
+void PathEngine::ComputeFiltersAllReps(std::span<const ItemId> x,
+                                       uint32_t reps,
+                                       std::vector<uint64_t>* keys,
+                                       std::vector<size_t>* offsets,
+                                       PathGenStats* stats,
+                                       size_t* capped_reps) const {
+  PathGenStats total;
+  size_t capped = 0;
+  keys->clear();
+  offsets->assign(static_cast<size_t>(reps) + 1, 0);
+  if (!x.empty() && reps > 0) {
+    // (rep, key) in emission order; scattered into per-rep groups below.
+    std::vector<std::pair<uint32_t, uint64_t>> emitted;
+    std::vector<FusedNode> arena;
+    arena.reserve(static_cast<size_t>(reps) * 2);
+    std::vector<int32_t> frontier;
+    std::vector<int32_t> next;
+    // Per-repetition cap accounting mirroring the single-rep run, where
+    // the budget is arena-nodes-of-this-rep (root included) + emissions.
+    std::vector<size_t> live(reps, 1);
+    std::vector<size_t> emitted_count(reps, 0);
+    std::vector<uint8_t> done(reps, 0);
+
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      arena.push_back(
+          FusedNode{hasher_->RootKey(rep), 0.0, -1, 0, 0, rep});
+      frontier.push_back(static_cast<int32_t>(rep));
+    }
+
+    const size_t vec_size = x.size();
+    // Thresholds and ln(1/p) depend on (|x|, depth, item) but not on the
+    // repetition: computing them once per level is the L-fold saving.
+    std::vector<double> log_inv_p(vec_size);
+    for (size_t k = 0; k < vec_size; ++k) {
+      log_inv_p[k] = dist_->LogInvP(x[k]);
+    }
+    std::vector<double> thresholds(vec_size);
+
+    int depth = 0;
+    while (!frontier.empty()) {
+      // Level-synchronous: every frontier node sits at the same depth.
+      if (depth >= options_.max_depth) break;
+      for (size_t k = 0; k < vec_size; ++k) {
+        thresholds[k] = policy_->Threshold(vec_size, depth, x[k]);
+      }
+      const int level = depth + 1;
+      next.clear();
+      for (int32_t node_idx : frontier) {
+        const FusedNode node = arena[static_cast<size_t>(node_idx)];
+        const uint32_t rep = node.rep;
+        if (done[rep]) continue;
+        total.nodes_expanded++;
+        for (size_t k = 0; k < vec_size; ++k) {
+          const ItemId item = x[k];
+          if (options_.without_replacement &&
+              FusedPathContains(arena, node_idx, item)) {
+            continue;
+          }
+          total.draws++;
+          const double threshold = thresholds[k];
+          if (threshold < 1.0 &&
+              hasher_->LevelDraw(level, node.key, item) >= threshold) {
+            continue;
+          }
+          FusedNode child;
+          child.key = hasher_->ExtendKey(node.key, item);
+          child.log_inv_prod = node.log_inv_prod + log_inv_p[k];
+          child.parent = node_idx;
+          child.item = item;
+          child.depth = level;
+          child.rep = rep;
+
+          const bool is_filter =
+              options_.stop_rule == StopRule::kProbability
+                  ? child.log_inv_prod >= options_.log_n
+                  : child.depth >= options_.fixed_depth;
+          if (is_filter) {
+            emitted.push_back({rep, child.key});
+            emitted_count[rep]++;
+            total.filters_emitted++;
+          } else {
+            arena.push_back(child);
+            next.push_back(static_cast<int32_t>(arena.size() - 1));
+            live[rep]++;
+          }
+          if (live[rep] + emitted_count[rep] >= options_.max_paths) {
+            total.cap_hit = true;
+            done[rep] = 1;
+            capped++;
+            break;
+          }
+        }
+      }
+      frontier.swap(next);
+      ++depth;
+    }
+
+    // Stable counting scatter: emissions are level-major; within a
+    // repetition their relative order equals the single-rep run's, so
+    // each group comes out byte-identical to ComputeFilters(x, rep).
+    for (const auto& [rep, key] : emitted) (*offsets)[rep + 1]++;
+    for (size_t r = 1; r <= reps; ++r) (*offsets)[r] += (*offsets)[r - 1];
+    keys->resize(emitted.size());
+    std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+    for (const auto& [rep, key] : emitted) (*keys)[cursor[rep]++] = key;
+  }
+  if (stats != nullptr) *stats = total;
+  if (capped_reps != nullptr) *capped_reps = capped;
 }
 
 }  // namespace skewsearch

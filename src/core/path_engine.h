@@ -73,6 +73,28 @@ class PathEngine {
   void ComputeFilters(std::span<const ItemId> x, uint32_t rep,
                       std::vector<uint64_t>* out, PathGenStats* stats) const;
 
+  /// Computes F_r(x) for every repetition r in [0, reps) in ONE fused
+  /// level-synchronous pass (the fast-similarity-sketching idea applied
+  /// to the chosen-path recursion: all repetitions' coordinates in one
+  /// walk). All L recursion trees advance through one shared arena, so
+  /// the per-level policy thresholds and ln(1/p) terms — which depend on
+  /// (|x|, depth, item) but NOT on the repetition — are computed once per
+  /// level instead of L times, and the arena/frontier allocations are
+  /// shared.
+  ///
+  /// \p keys receives repetition 0's filter keys, then repetition 1's,
+  /// ...; \p offsets receives reps + 1 entries bracketing each
+  /// repetition's group. Each group is byte-identical to what
+  /// ComputeFilters(x, r, ...) appends (asserted by tests). \p stats
+  /// (may be null) receives counters summed over repetitions with
+  /// cap_hit = "any repetition truncated"; \p capped_reps (may be null)
+  /// receives the number of truncated repetitions.
+  void ComputeFiltersAllReps(std::span<const ItemId> x, uint32_t reps,
+                             std::vector<uint64_t>* keys,
+                             std::vector<size_t>* offsets,
+                             PathGenStats* stats,
+                             size_t* capped_reps = nullptr) const;
+
   const PathEngineOptions& options() const { return options_; }
 
  private:

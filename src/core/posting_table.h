@@ -1,0 +1,82 @@
+// Copyright 2026 The skewsearch Authors.
+// PostingArena: arena-allocated staging for (filter key, vector id)
+// posting pairs, the build-side half of the flat posting-table seam.
+//
+// The old FilterTable staged into one std::vector<Pair> and paid a global
+// O(P log P) sort at Freeze(). The arena instead groups pairs by key as
+// they arrive — a PostingMap probe to find the key's chain head plus one
+// append into a contiguous node pool — so Freeze() only sorts the K
+// distinct keys and each (typically short) per-key id list:
+// O(K log K + sum |list| log |list|) instead of O(P log P), with no
+// per-pair allocation anywhere. The frozen CSR output (sorted distinct
+// keys, offsets, per-key ascending ids with duplicate pairs preserved) is
+// byte-identical to the old sort-based Freeze, which tests assert.
+
+#ifndef SKEWSEARCH_CORE_POSTING_TABLE_H_
+#define SKEWSEARCH_CORE_POSTING_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/containers.h"
+
+namespace skewsearch {
+
+/// \brief Append-only arena of (key, id) posting pairs grouped by key.
+///
+/// Holds at most 2^32 - 1 pairs (node links and the frozen offsets are
+/// 32-bit — the same bound the on-disk FilterTable format already has).
+class PostingArena {
+ public:
+  /// Pre-allocates the node pool for \p expected_pairs pairs.
+  void Reserve(size_t expected_pairs);
+
+  /// Appends one (key, id) pair to the key's chain. Amortized O(1).
+  void Add(uint64_t key, VectorId id);
+
+  /// Number of staged pairs.
+  size_t num_pairs() const { return nodes_.size(); }
+
+  /// Number of distinct keys staged so far.
+  size_t num_keys() const { return slots_.size(); }
+
+  /// Approximate heap usage in bytes.
+  size_t MemoryBytes() const;
+
+  /// Drains the arena into frozen CSR form: \p keys gets the sorted
+  /// distinct keys, \p offsets the keys->size()+1 offsets into \p ids,
+  /// and \p ids each key's ids in ascending order (duplicate pairs
+  /// preserved). The arena is left empty with its allocations released.
+  void Freeze(std::vector<uint64_t>* keys, std::vector<uint32_t>* offsets,
+              std::vector<VectorId>* ids);
+
+  /// Drops all staged pairs and releases the allocations.
+  void Clear();
+
+ private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    VectorId id;
+    uint32_t next;  // previous node of the same key's chain, or kNil
+  };
+  struct KeySlot {
+    uint64_t key;
+    uint32_t head;  // most recent node of this key's chain
+  };
+
+  PostingMap<uint64_t, uint32_t> index_;  // key -> position in slots_
+  std::vector<KeySlot> slots_;
+  std::vector<Node> nodes_;
+};
+
+/// Builds an O(1) probe index over the \p keys of a frozen posting table:
+/// key -> position, usable with FilterTable-style positional accessors.
+/// Keys must be distinct (the frozen-table invariant).
+PostingMap<uint64_t, uint32_t> BuildPostingKeyIndex(
+    const std::vector<uint64_t>& keys);
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_CORE_POSTING_TABLE_H_

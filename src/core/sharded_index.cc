@@ -82,26 +82,28 @@ Status BuildShardTables(const Dataset& data, const FilterFamily& family,
   };
 
   if (build_threads <= 1) {
+    // Fused all-repetitions pass (see FilterFamily::ComputeAllFilters):
+    // per-rep key groups are byte-identical to per-rep calls.
     std::vector<uint64_t> keys;
+    std::vector<size_t> offsets;
     for (VectorId id = 0; id < n; ++id) {
       auto x = data.Get(id);
-      for (int rep = 0; rep < reps; ++rep) {
-        keys.clear();
-        PathGenStats gen;
-        family.ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
-        stats->nodes_expanded += gen.nodes_expanded;
-        if (gen.cap_hit) stats->cap_hits++;
-        for (uint64_t key : keys) emit(key, id);
-        stats->total_filters += keys.size();
-        if (entry_counts != nullptr) {
-          (*entry_counts)[id] += static_cast<uint32_t>(keys.size());
-        }
+      PathGenStats gen;
+      size_t capped = 0;
+      family.ComputeAllFilters(x, &keys, &offsets, &gen, &capped);
+      stats->nodes_expanded += gen.nodes_expanded;
+      stats->cap_hits += capped;
+      for (uint64_t key : keys) emit(key, id);
+      stats->total_filters += keys.size();
+      if (entry_counts != nullptr) {
+        (*entry_counts)[id] += static_cast<uint32_t>(keys.size());
       }
     }
   } else {
     struct Slot {
       std::vector<std::pair<uint64_t, VectorId>> pairs;
       std::vector<uint64_t> keys;
+      std::vector<size_t> offsets;
       size_t nodes_expanded = 0;
       size_t cap_hits = 0;
     };
@@ -112,19 +114,17 @@ Status BuildShardTables(const Dataset& data, const FilterFamily& family,
       Slot& slot = slots[static_cast<size_t>(slot_id)];
       for (size_t id = begin; id < end; ++id) {
         auto x = data.Get(static_cast<VectorId>(id));
-        for (int rep = 0; rep < reps; ++rep) {
-          slot.keys.clear();
-          PathGenStats gen;
-          family.ComputeFilters(x, static_cast<uint32_t>(rep), &slot.keys,
-                                &gen);
-          slot.nodes_expanded += gen.nodes_expanded;
-          if (gen.cap_hit) slot.cap_hits++;
-          for (uint64_t key : slot.keys) {
-            slot.pairs.push_back({key, static_cast<VectorId>(id)});
-          }
-          if (entry_counts != nullptr) {
-            (*entry_counts)[id] += static_cast<uint32_t>(slot.keys.size());
-          }
+        PathGenStats gen;
+        size_t capped = 0;
+        family.ComputeAllFilters(x, &slot.keys, &slot.offsets, &gen,
+                                 &capped);
+        slot.nodes_expanded += gen.nodes_expanded;
+        slot.cap_hits += capped;
+        for (uint64_t key : slot.keys) {
+          slot.pairs.push_back({key, static_cast<VectorId>(id)});
+        }
+        if (entry_counts != nullptr) {
+          (*entry_counts)[id] += static_cast<uint32_t>(slot.keys.size());
         }
       }
     });
@@ -152,7 +152,7 @@ Status BuildShardTables(const Dataset& data, const FilterFamily& family,
 // counters for batch aggregation.
 struct ShardedIndex::QueryScratch {
   std::vector<uint64_t> keys;
-  std::vector<std::unordered_set<VectorId>> seen;
+  std::vector<PostingSet<VectorId>> seen;
   std::vector<RepHit> hits;
   std::vector<QueryStats> shard_stats;
   PathGenStats path_gen;
@@ -160,7 +160,7 @@ struct ShardedIndex::QueryScratch {
 
 ShardedIndex::RepHit ShardedIndex::ScanShardRep(
     const FilterTable& table, std::span<const ItemId> query,
-    const std::vector<uint64_t>& keys, std::unordered_set<VectorId>* seen,
+    const std::vector<uint64_t>& keys, PostingSet<VectorId>* seen,
     QueryStats* stats) const {
   RepHit hit;
   const double threshold = family_.verify_threshold();
@@ -265,19 +265,17 @@ std::vector<Match> ShardedIndex::QueryAll(std::span<const ItemId> query,
   std::vector<Match> out;
   if (built() && !query.empty()) {
     // QueryAll exhausts every repetition, so all keys can be computed up
-    // front and each shard scanned exactly once.
+    // front (one fused pass) and each shard scanned exactly once.
     std::vector<uint64_t> keys;
-    for (int rep = 0; rep < family_.repetitions(); ++rep) {
-      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                             nullptr);
-    }
+    std::vector<size_t> offsets;
+    family_.ComputeAllFilters(query, &keys, &offsets);
     local.filters = keys.size();
     const size_t num = shards_.size();
     std::vector<std::vector<Match>> matches(num);
     std::vector<QueryStats> shard_stats(num);
     std::vector<size_t> distinct(num, 0);
     auto scan_shard = [&](size_t s) {
-      std::unordered_set<VectorId> seen;
+      PostingSet<VectorId> seen;
       for (uint64_t key : keys) {
         auto postings = shards_[s].Lookup(key);
         shard_stats[s].candidates += postings.size();
@@ -344,9 +342,10 @@ std::vector<uint64_t> ShardedIndex::ComputeFilterKeys(
     std::span<const ItemId> query) const {
   std::vector<uint64_t> keys;
   if (!built()) return keys;
-  for (int rep = 0; rep < family_.repetitions(); ++rep) {
-    family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, nullptr);
-  }
+  // Fused pass; groups are in repetition order, matching the per-rep
+  // concatenation exactly.
+  std::vector<size_t> offsets;
+  family_.ComputeAllFilters(query, &keys, &offsets);
   return keys;
 }
 

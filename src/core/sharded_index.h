@@ -24,9 +24,9 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "core/index_view.h"
 #include "core/inverted_index.h"
 #include "core/query_stats.h"
 #include "core/skewed_index.h"
@@ -53,7 +53,7 @@ struct ShardedIndexOptions {
 ///
 /// The dataset and distribution are borrowed and must outlive the index.
 /// Queries are const and safe to issue from multiple threads.
-class ShardedIndex {
+class ShardedIndex : public IndexView {
  public:
   ShardedIndex() = default;
 
@@ -108,18 +108,21 @@ class ShardedIndex {
   /// The filter keys the index probes for \p query (diagnostics/tests).
   std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
 
-  /// True after a successful Build()/Load().
-  bool built() const { return family_.valid(); }
+  // Shared read-only surface (documented on core/index_view.h). Note:
+  // build_stats().distinct_keys counts distinct (shard, key) pairs — a
+  // key shared by two shards counts twice.
+  bool built() const override { return family_.valid(); }
+  int repetitions() const override { return family_.repetitions(); }
+  double verify_threshold() const override {
+    return family_.verify_threshold();
+  }
+  const FilterFamily& family() const override { return family_; }
+  const IndexBuildStats& build_stats() const override {
+    return build_stats_;
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  int repetitions() const { return family_.repetitions(); }
-  double verify_threshold() const { return family_.verify_threshold(); }
-  const FilterFamily& family() const { return family_; }
   const ShardedIndexOptions& options() const { return options_; }
-
-  /// Aggregate build counters. distinct_keys counts distinct
-  /// (shard, key) pairs — a key shared by two shards counts twice.
-  const IndexBuildStats& build_stats() const { return build_stats_; }
 
   /// Posting entries stored in shard \p s (balance diagnostics).
   size_t shard_entries(int s) const {
@@ -133,7 +136,7 @@ class ShardedIndex {
   }
 
   /// Approximate heap usage of all shard tables.
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const override;
 
  private:
   struct QueryScratch;  // defined in sharded_index.cc
@@ -149,8 +152,7 @@ class ShardedIndex {
 
   RepHit ScanShardRep(const FilterTable& table, std::span<const ItemId> query,
                       const std::vector<uint64_t>& keys,
-                      std::unordered_set<VectorId>* seen,
-                      QueryStats* stats) const;
+                      PostingSet<VectorId>* seen, QueryStats* stats) const;
 
   std::optional<Match> QueryImpl(std::span<const ItemId> query,
                                  ThreadPool* pool, QueryStats* stats,

@@ -164,6 +164,11 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
   }
   local.build_seconds = build_timer.ElapsedSeconds();
 
+  // The flavours share their read-only parameter surface (IndexView);
+  // only the QueryAll dispatch still needs to know the concrete type.
+  const IndexView& view = use_online ? static_cast<const IndexView&>(dynamic)
+                          : use_shards ? static_cast<const IndexView&>(sharded)
+                                       : static_cast<const IndexView&>(index);
   auto query_all = [&](std::span<const ItemId> query, double thresh,
                        QueryStats* query_stats) {
     if (use_online) return dynamic.QueryAll(query, thresh, query_stats);
@@ -171,9 +176,7 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                       : index.QueryAll(query, thresh, query_stats);
   };
   double threshold = options.threshold >= 0.0 ? options.threshold
-                     : use_online             ? dynamic.verify_threshold()
-                     : use_shards             ? sharded.verify_threshold()
-                                              : index.verify_threshold();
+                                              : view.verify_threshold();
 
   Timer probe_timer;
   std::vector<JoinPair> out;

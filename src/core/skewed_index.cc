@@ -4,8 +4,6 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <set>
-#include <unordered_set>
 
 #include "core/batch.h"
 #include "core/index_io.h"
@@ -160,6 +158,15 @@ void FilterFamily::ComputeFilters(std::span<const ItemId> x, uint32_t rep,
   engine_->ComputeFilters(x, rep, keys, stats);
 }
 
+void FilterFamily::ComputeAllFilters(std::span<const ItemId> x,
+                                     std::vector<uint64_t>* keys,
+                                     std::vector<size_t>* offsets,
+                                     PathGenStats* stats,
+                                     size_t* capped_reps) const {
+  engine_->ComputeFiltersAllReps(x, static_cast<uint32_t>(repetitions_),
+                                 keys, offsets, stats, capped_reps);
+}
+
 Status SkewedPathIndex::Build(const Dataset* data,
                               const ProductDistribution* dist,
                               const SkewedIndexOptions& options) {
@@ -194,18 +201,20 @@ Status SkewedPathIndex::Build(const Dataset* data,
 
   int threads = options.build_threads;
   if (threads <= 1) {
+    // The fused all-repetitions pass amortizes the per-level policy
+    // thresholds across repetitions; its per-rep key groups are
+    // byte-identical to per-rep ComputeFilters calls.
     std::vector<uint64_t> keys;
+    std::vector<size_t> offsets;
     for (VectorId id = 0; id < n; ++id) {
       auto x = data->Get(id);
-      for (int rep = 0; rep < reps; ++rep) {
-        keys.clear();
-        PathGenStats gen;
-        family_.ComputeFilters(x, static_cast<uint32_t>(rep), &keys, &gen);
-        build_stats_.nodes_expanded += gen.nodes_expanded;
-        if (gen.cap_hit) build_stats_.cap_hits++;
-        for (uint64_t key : keys) table_.Add(key, id);
-        build_stats_.total_filters += keys.size();
-      }
+      PathGenStats gen;
+      size_t capped = 0;
+      family_.ComputeAllFilters(x, &keys, &offsets, &gen, &capped);
+      build_stats_.nodes_expanded += gen.nodes_expanded;
+      build_stats_.cap_hits += capped;
+      for (uint64_t key : keys) table_.Add(key, id);
+      build_stats_.total_filters += keys.size();
     }
   } else {
     // Filter keys are deterministic given (seed, rep, x) and Freeze()
@@ -214,7 +223,8 @@ Status SkewedPathIndex::Build(const Dataset* data,
     // serial build's.
     struct Shard {
       std::vector<std::pair<uint64_t, VectorId>> pairs;
-      std::vector<uint64_t> keys;  // reused across this slot's vectors
+      std::vector<uint64_t> keys;     // reused across this slot's vectors
+      std::vector<size_t> offsets;    // likewise
       size_t nodes_expanded = 0;
       size_t cap_hits = 0;
     };
@@ -225,16 +235,14 @@ Status SkewedPathIndex::Build(const Dataset* data,
       Shard& shard = shards[static_cast<size_t>(slot)];
       for (size_t id = begin; id < end; ++id) {
         auto x = data->Get(static_cast<VectorId>(id));
-        for (int rep = 0; rep < reps; ++rep) {
-          shard.keys.clear();
-          PathGenStats gen;
-          family_.ComputeFilters(x, static_cast<uint32_t>(rep),
-                                 &shard.keys, &gen);
-          shard.nodes_expanded += gen.nodes_expanded;
-          if (gen.cap_hit) shard.cap_hits++;
-          for (uint64_t key : shard.keys) {
-            shard.pairs.push_back({key, static_cast<VectorId>(id)});
-          }
+        PathGenStats gen;
+        size_t capped = 0;
+        family_.ComputeAllFilters(x, &shard.keys, &shard.offsets, &gen,
+                                  &capped);
+        shard.nodes_expanded += gen.nodes_expanded;
+        shard.cap_hits += capped;
+        for (uint64_t key : shard.keys) {
+          shard.pairs.push_back({key, static_cast<VectorId>(id)});
         }
       }
     });
@@ -267,9 +275,10 @@ std::vector<uint64_t> SkewedPathIndex::ComputeFilterKeys(
     std::span<const ItemId> query) const {
   std::vector<uint64_t> keys;
   if (!family_.valid()) return keys;
-  for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
-    family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, nullptr);
-  }
+  // Fused pass; groups are already in repetition order, matching the
+  // per-rep concatenation exactly.
+  std::vector<size_t> offsets;
+  family_.ComputeAllFilters(query, &keys, &offsets);
   return keys;
 }
 
@@ -279,7 +288,7 @@ std::vector<uint64_t> SkewedPathIndex::ComputeFilterKeys(
 // batch can report them without touching shared state.
 struct SkewedPathIndex::QueryScratch {
   std::vector<uint64_t> keys;
-  std::unordered_set<VectorId> seen;
+  PostingSet<VectorId> seen;
   PathGenStats path_gen;
 };
 
@@ -298,7 +307,7 @@ std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
   if (family_.valid() && !query.empty()) {
     const double threshold = family_.verify_threshold();
     std::vector<uint64_t>& keys = scratch->keys;
-    std::unordered_set<VectorId>& seen = scratch->seen;
+    PostingSet<VectorId>& seen = scratch->seen;
     seen.clear();
     for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
       keys.clear();
@@ -336,23 +345,22 @@ std::vector<Match> SkewedPathIndex::QueryAll(std::span<const ItemId> query,
   QueryStats local;
   std::vector<Match> out;
   if (family_.valid() && !query.empty()) {
+    // QueryAll exhausts every repetition (no early exit), so the fused
+    // all-repetitions pass applies; key order matches the per-rep loop.
     std::vector<uint64_t> keys;
-    std::unordered_set<VectorId> seen;
-    for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
-      keys.clear();
-      family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys,
-                             nullptr);
-      local.filters += keys.size();
-      for (uint64_t key : keys) {
-        auto postings = table_.Lookup(key);
-        local.candidates += postings.size();
-        for (VectorId id : postings) {
-          if (!seen.insert(id).second) continue;
-          local.verifications++;
-          double sim =
-              Similarity(options_.verify_measure, query, data_->Get(id));
-          if (sim >= threshold) out.push_back({id, sim});
-        }
+    std::vector<size_t> offsets;
+    family_.ComputeAllFilters(query, &keys, &offsets);
+    local.filters += keys.size();
+    PostingSet<VectorId> seen;
+    for (uint64_t key : keys) {
+      auto postings = table_.Lookup(key);
+      local.candidates += postings.size();
+      for (VectorId id : postings) {
+        if (!seen.insert(id).second) continue;
+        local.verifications++;
+        double sim =
+            Similarity(options_.verify_measure, query, data_->Get(id));
+        if (sim >= threshold) out.push_back({id, sim});
       }
     }
     local.distinct_candidates = seen.size();
@@ -400,17 +408,23 @@ std::vector<std::optional<Match>> SkewedPathIndex::BatchQuery(
 double SkewedPathIndex::EstimateCollisionRate(
     std::span<const ItemId> a, std::span<const ItemId> b) const {
   if (!family_.valid() || build_stats_.repetitions == 0) return 0.0;
-  int collisions = 0;
+  // One fused pass per vector; repetition r's keys are the
+  // offsets[r]..offsets[r+1] slice of each buffer.
   std::vector<uint64_t> keys_a, keys_b;
+  std::vector<size_t> offs_a, offs_b;
+  family_.ComputeAllFilters(a, &keys_a, &offs_a);
+  family_.ComputeAllFilters(b, &keys_b, &offs_b);
+  int collisions = 0;
+  PostingSet<uint64_t> set_a;
   for (int rep = 0; rep < build_stats_.repetitions; ++rep) {
-    keys_a.clear();
-    keys_b.clear();
-    family_.ComputeFilters(a, static_cast<uint32_t>(rep), &keys_a, nullptr);
-    family_.ComputeFilters(b, static_cast<uint32_t>(rep), &keys_b, nullptr);
-    std::set<uint64_t> set_a(keys_a.begin(), keys_a.end());
+    const size_t r = static_cast<size_t>(rep);
+    set_a.clear();
+    for (size_t i = offs_a[r]; i < offs_a[r + 1]; ++i) {
+      set_a.insert(keys_a[i]);
+    }
     bool hit = false;
-    for (uint64_t key : keys_b) {
-      if (set_a.count(key)) {
+    for (size_t i = offs_b[r]; i < offs_b[r + 1]; ++i) {
+      if (set_a.contains(keys_b[i])) {
         hit = true;
         break;
       }

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/index_view.h"
 #include "core/inverted_index.h"
 #include "core/path_engine.h"
 #include "core/path_policy.h"
@@ -151,6 +152,20 @@ class FilterFamily {
                       std::vector<uint64_t>* keys,
                       PathGenStats* stats = nullptr) const;
 
+  /// Computes F_r(\p x) for ALL repetitions in one fused pass (the
+  /// fast-similarity-sketching idea: per-level thresholds are shared
+  /// across repetitions, so one walk replaces repetitions() independent
+  /// ones). \p keys holds repetition 0's keys, then repetition 1's, ...;
+  /// \p offsets gets repetitions() + 1 group boundaries. Each group is
+  /// byte-identical to the corresponding ComputeFilters(x, rep) output.
+  /// \p stats sums counters over repetitions; \p capped_reps (may be
+  /// null) counts truncated repetitions. Safe to call concurrently.
+  void ComputeAllFilters(std::span<const ItemId> x,
+                         std::vector<uint64_t>* keys,
+                         std::vector<size_t>* offsets,
+                         PathGenStats* stats = nullptr,
+                         size_t* capped_reps = nullptr) const;
+
   /// True once Create()/Restore() succeeded.
   bool valid() const { return engine_ != nullptr; }
 
@@ -186,7 +201,7 @@ class FilterFamily {
 ///
 /// The dataset and distribution are borrowed and must outlive the index.
 /// Queries are const and safe to issue from multiple threads.
-class SkewedPathIndex {
+class SkewedPathIndex : public IndexView {
  public:
   SkewedPathIndex() = default;
 
@@ -247,27 +262,20 @@ class SkewedPathIndex {
   /// (diagnostics / tests).
   std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
 
-  /// True after a successful Build().
-  bool built() const { return family_.valid(); }
+  // Shared read-only surface (documented on core/index_view.h).
+  bool built() const override { return family_.valid(); }
+  const IndexBuildStats& build_stats() const override { return build_stats_; }
+  const FilterFamily& family() const override { return family_; }
+  double verify_threshold() const override {
+    return family_.verify_threshold();
+  }
+  int repetitions() const override { return build_stats_.repetitions; }
+  size_t MemoryBytes() const override { return table_.MemoryBytes(); }
 
-  const IndexBuildStats& build_stats() const { return build_stats_; }
   const SkewedIndexOptions& options() const { return options_; }
-
-  /// The filter family driving this index (hook for the sharded/dynamic
-  /// layers and for tests; only meaningful after Build()/Load()).
-  const FilterFamily& family() const { return family_; }
 
   /// The frozen posting lists (diagnostics/tests).
   const FilterTable& filter_table() const { return table_; }
-
-  /// The similarity a returned match is guaranteed to have.
-  double verify_threshold() const { return family_.verify_threshold(); }
-
-  /// Number of repetitions actually used.
-  int repetitions() const { return build_stats_.repetitions; }
-
-  /// Approximate heap usage of the inverted index.
-  size_t MemoryBytes() const { return table_.MemoryBytes(); }
 
   /// Persists the built index (configuration + inverted filter table +
   /// a fingerprint of the dataset) so it can be reloaded without paying

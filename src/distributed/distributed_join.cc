@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <iterator>
 #include <optional>
-#include <unordered_set>
 #include <utility>
 
 #include "core/sharded_index.h"
@@ -217,7 +216,6 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   Timer probe_timer;
   const int num_workers = this->num_workers();
   const size_t worker_count = static_cast<size_t>(num_workers);
-  const int reps = family_.repetitions();
 
   // Phase 1 — route: compute each probe's filter keys once, split them
   // by owner, and enqueue one ProbeRequest per touched worker. Routing
@@ -226,6 +224,7 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   struct RouteSlot {
     std::vector<std::vector<ProbeRequest>> queues;
     std::vector<uint64_t> keys;
+    std::vector<size_t> key_offsets;
     std::vector<std::vector<uint64_t>> worker_keys;
     std::vector<int> owners;
     size_t fanout_sum = 0;
@@ -247,11 +246,8 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
       auto query = left.Get(lid);
       if (query.empty()) continue;  // QueryAll answers empty probes empty
       slot.routed_probes++;
-      slot.keys.clear();
-      for (int rep = 0; rep < reps; ++rep) {
-        family_.ComputeFilters(query, static_cast<uint32_t>(rep),
-                               &slot.keys, nullptr);
-      }
+      // Fused all-repetitions pass; key order matches per-rep calls.
+      family_.ComputeAllFilters(query, &slot.keys, &slot.key_offsets);
       for (auto& keys : slot.worker_keys) keys.clear();
       for (uint64_t key : slot.keys) {
         slot.owners.clear();
@@ -363,7 +359,7 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   // workers), then sort into the canonical (left, right) order the
   // single-process join uses.
   std::vector<JoinPair> out;
-  std::unordered_set<uint64_t> emitted;
+  PostingSet<uint64_t> emitted;
   DistributedJoinStats local;
   local.workers.resize(worker_count);
   for (size_t w = 0; w < worker_count; ++w) {

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <queue>
-#include <unordered_map>
 
 #include "hashing/mix.h"
 
@@ -150,8 +149,9 @@ Result<PartitionPlan> PartitionPlanner::PlanFromData(
           : static_cast<uint64_t>(
                 options.sample_fraction *
                 static_cast<double>(std::numeric_limits<uint64_t>::max()));
-  std::unordered_map<uint64_t, size_t> sampled_counts;
+  PostingMap<uint64_t, size_t> sampled_counts;
   std::vector<uint64_t> keys;
+  std::vector<size_t> offsets;
   size_t sampled_vectors = 0;
   for (VectorId id = 0; id < data.size(); ++id) {
     if (!sample_all && Mix64(options.sample_seed ^ id) > cutoff) {
@@ -159,11 +159,10 @@ Result<PartitionPlan> PartitionPlanner::PlanFromData(
     }
     ++sampled_vectors;
     auto x = data.Get(id);
-    for (int rep = 0; rep < family.repetitions(); ++rep) {
-      keys.clear();
-      family.ComputeFilters(x, static_cast<uint32_t>(rep), &keys, nullptr);
-      for (uint64_t key : keys) sampled_counts[key]++;
-    }
+    // Fused all-repetitions pass (classification sorts by key below, so
+    // only the multiset of keys matters).
+    family.ComputeAllFilters(x, &keys, &offsets);
+    for (uint64_t key : keys) sampled_counts[key]++;
   }
 
   // Scale the sampled counts to the full dataset with the Laplace

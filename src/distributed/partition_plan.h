@@ -39,7 +39,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/inverted_index.h"
@@ -92,8 +91,9 @@ struct PartitionPlan {
 
   /// Heavy keys mapped to their ordered slice owners. Slice j of the
   /// key's posting list (contiguous, near-equal split) belongs to
-  /// owners[j]. Always non-empty lists of distinct workers.
-  std::unordered_map<uint64_t, std::vector<int>> heavy;
+  /// owners[j]. Always non-empty lists of distinct workers. Probed once
+  /// per routed key, hence the flat posting-path map.
+  PostingMap<uint64_t, std::vector<int>> heavy;
 
   /// Estimated posting entries per worker (diagnostics; light keys
   /// accrue to their hash home, heavy slices to their owners).

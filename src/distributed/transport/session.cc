@@ -1,7 +1,6 @@
 #include "distributed/transport/session.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "data/dataset.h"
@@ -202,7 +201,7 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats) {
   }
 
   Dataset data;
-  std::unordered_map<VectorId, VectorId> dense_positions;
+  PostingMap<VectorId, VectorId> dense_positions;
   dense_positions.reserve(assignment.vectors.size());
   for (const auto& [id, items] : assignment.vectors) {
     dense_positions.emplace(id, data.Add(std::span<const ItemId>(items)));

@@ -7,14 +7,14 @@ namespace skewsearch {
 JoinWorker::JoinWorker(
     int worker_id, FilterTable table, const Dataset* build_data,
     double threshold, Measure measure,
-    const std::unordered_map<VectorId, VectorId>* dense_positions)
+    const PostingMap<VectorId, VectorId>* dense_positions)
     : worker_id_(worker_id),
       table_(std::move(table)),
       build_data_(build_data),
       threshold_(threshold),
       measure_(measure),
       dense_positions_(dense_positions) {
-  std::unordered_set<VectorId> distinct;
+  PostingSet<VectorId> distinct;
   for (size_t k = 0; k < table_.num_keys(); ++k) {
     for (VectorId id : table_.postings_at(k)) distinct.insert(id);
   }
@@ -31,7 +31,7 @@ ProbeResponse JoinWorker::Probe(const ProbeRequest& request) const {
   // exclusion runs before verification — the single-process join filters
   // after, so its verification counter is higher, but the emitted pairs
   // are the same.
-  std::unordered_set<VectorId> seen;
+  PostingSet<VectorId> seen;
   for (uint64_t key : request.keys) {
     auto postings = table_.Lookup(key);
     response.candidates += postings.size();
@@ -42,7 +42,7 @@ ProbeResponse JoinWorker::Probe(const ProbeRequest& request) const {
       // Reconstructed (remote) workers store only the shipped vectors,
       // densely; the session layer guarantees every table id is mapped.
       const VectorId stored =
-          dense_positions_ == nullptr ? id : dense_positions_->at(id);
+          dense_positions_ == nullptr ? id : dense_positions_->find(id)->second;
       double sim = Similarity(measure_, query, build_data_->Get(stored));
       if (sim >= threshold_) response.matches.push_back({id, sim});
     }

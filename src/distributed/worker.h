@@ -16,8 +16,6 @@
 #define SKEWSEARCH_DISTRIBUTED_WORKER_H_
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "core/inverted_index.h"
 #include "data/dataset.h"
@@ -49,8 +47,7 @@ class JoinWorker {
   ///   map is borrowed and must outlive the worker.
   JoinWorker(int worker_id, FilterTable table, const Dataset* build_data,
              double threshold, Measure measure,
-             const std::unordered_map<VectorId, VectorId>* dense_positions =
-                 nullptr);
+             const PostingMap<VectorId, VectorId>* dense_positions = nullptr);
 
   /// Answers one probe: looks up every key, dedups candidate ids,
   /// verifies each against the probe vector, and returns the matches
@@ -80,7 +77,7 @@ class JoinWorker {
   const Dataset* build_data_;
   double threshold_;
   Measure measure_;
-  const std::unordered_map<VectorId, VectorId>* dense_positions_;
+  const PostingMap<VectorId, VectorId>* dense_positions_;
   size_t distinct_vectors_ = 0;
 };
 

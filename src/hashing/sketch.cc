@@ -1,0 +1,121 @@
+#include "hashing/sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "hashing/mix.h"
+
+namespace skewsearch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Domain-separation salts: the value stream, the permutation stream and
+/// the classic-MinHash stream must be mutually independent.
+constexpr uint64_t kElementSalt = 0x5851f42d4c957f2dULL;
+constexpr uint64_t kPermSalt = 0x14057b7ef767814fULL;
+constexpr uint64_t kClassicSalt = 0x27d4eb2f165667c5ULL;
+
+}  // namespace
+
+FastSketcher::FastSketcher(uint32_t length, uint64_t seed)
+    : length_(std::max<uint32_t>(1, length)), seed_(seed) {}
+
+void FastSketcher::SketchImpl(std::span<const ItemId> items, bool prune,
+                              std::vector<double>* out) const {
+  const uint32_t t = length_;
+  out->assign(t, kInf);
+  if (items.empty()) return;
+
+  // Lazy Fisher-Yates scratch, epoch-stamped so each element's
+  // permutation starts from the identity without an O(t) reset.
+  std::vector<uint32_t> perm_val(t, 0);
+  std::vector<uint32_t> perm_epoch(t, 0);
+  uint32_t epoch = 0;
+  auto perm_get = [&](uint32_t j) {
+    return perm_epoch[j] == epoch ? perm_val[j] : j;
+  };
+  auto perm_set = [&](uint32_t j, uint32_t v) {
+    perm_val[j] = v;
+    perm_epoch[j] = epoch;
+  };
+
+  const double inv_t = 1.0 / static_cast<double>(t);
+  uint32_t filled = 0;
+  // Upper bound on max(out) once every coordinate is finite; +inf until
+  // then, so the pruning test below cannot fire early. Coordinates only
+  // decrease, so a stale bound stays sound (pruned rounds have value
+  // >= i/t >= bound >= every coordinate); the O(t) rescan is amortized
+  // by only refreshing after t/8 coordinate decreases, since the bound
+  // cannot have improved without any.
+  double bound = kInf;
+  uint32_t decreases = 0;
+
+  for (ItemId item : items) {
+    if (filled == t && (bound == kInf || decreases * 8 >= t)) {
+      bound = *std::max_element(out->begin(), out->end());
+      decreases = 0;
+    }
+    const uint64_t elem_key = Mix64(seed_ ^ kElementSalt ^
+                                    static_cast<uint64_t>(item));
+    ++epoch;
+    for (uint32_t i = 0; i < t; ++i) {
+      if (prune && static_cast<double>(i) * inv_t >= bound) break;
+      const uint64_t bits = MixPair(elem_key, static_cast<uint64_t>(i));
+      // i-th entry of this element's random permutation of [t].
+      const uint32_t r =
+          i + static_cast<uint32_t>(Mix64(bits ^ kPermSalt) %
+                                    static_cast<uint64_t>(t - i));
+      const uint32_t bucket = perm_get(r);
+      perm_set(r, perm_get(i));
+      const double value =
+          (static_cast<double>(i) + ToUnitInterval(bits)) * inv_t;
+      double& slot = (*out)[static_cast<size_t>(bucket)];
+      if (value < slot) {
+        if (slot == kInf) ++filled;
+        slot = value;
+        ++decreases;
+      }
+    }
+  }
+}
+
+void FastSketcher::Sketch(std::span<const ItemId> items,
+                          std::vector<double>* out) const {
+  SketchImpl(items, /*prune=*/true, out);
+}
+
+void FastSketcher::SketchReference(std::span<const ItemId> items,
+                                   std::vector<double>* out) const {
+  SketchImpl(items, /*prune=*/false, out);
+}
+
+void FastSketcher::SketchClassic(std::span<const ItemId> items,
+                                 std::vector<double>* out) const {
+  const uint32_t t = length_;
+  out->assign(t, kInf);
+  for (ItemId item : items) {
+    const uint64_t elem_key = Mix64(seed_ ^ kClassicSalt ^
+                                    static_cast<uint64_t>(item));
+    for (uint32_t k = 0; k < t; ++k) {
+      const double value =
+          ToUnitInterval(MixPair(elem_key, static_cast<uint64_t>(k)));
+      double& slot = (*out)[k];
+      if (value < slot) slot = value;
+    }
+  }
+}
+
+double FastSketcher::EstimateSimilarity(std::span<const double> a,
+                                        std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,95 @@
+// Copyright 2026 The skewsearch Authors.
+// FastSketcher: all t similarity-sketch coordinates in one data pass.
+//
+// The classic MinHash sketch runs t independent passes over the input
+// set — t hash evaluations per element. "Fast Similarity Sketching"
+// (Dahlgaard, Knudsen, Thorup, FOCS 2017; see PAPERS.md) computes an
+// equally concentrated t-coordinate sketch in a *single* element-major
+// pass:
+//
+//   For element x, round i = 0, 1, ..., t-1 draws
+//     value_i(x)  = (i + u_i(x)) / t       with u_i(x) uniform in [0,1)
+//     bucket_i(x) = P_x(i)                 the i-th entry of a per-element
+//                                          random permutation of [t]
+//   and coordinate b of the sketch is the minimum value ever assigned
+//   to bucket b. The permutation guarantees every element touches every
+//   bucket exactly once, so all coordinates are filled after any single
+//   element's t rounds; the strictly increasing value envelope
+//   (value_i >= i / t) lets an element STOP as soon as i / t clears the
+//   current maximum coordinate — none of its remaining rounds can win a
+//   minimum. Later elements therefore run only O(log t) expected rounds
+//   once the sketch is warm, for O(t log t + n) expected hash work total
+//   versus the classic O(t * n).
+//
+// Two sketches estimate the Jaccard similarity of their sets by the
+// fraction of coordinates on which they agree exactly (the minimizing
+// (element, round) pair is shared with probability ~J per coordinate;
+// the coordinates are not independent, but the paper proves the mean
+// concentrates like an independent sum).
+//
+// The early exit is a pure pruning rule: SketchReference() runs every
+// element for all t rounds and is *bit-identical* to Sketch() — the
+// differential test in hashing_sketch_test.cc holds them equal.
+
+#ifndef SKEWSEARCH_HASHING_SKETCH_H_
+#define SKEWSEARCH_HASHING_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/sparse_vector.h"
+
+namespace skewsearch {
+
+/// \brief One-pass t-coordinate similarity sketcher.
+///
+/// Deterministic: a sketch is a pure function of (length, seed, set).
+/// Instances are immutable after construction and safe to share across
+/// threads; Sketch() allocates its scratch locally.
+class FastSketcher {
+ public:
+  /// \param length number of sketch coordinates t (>= 1).
+  /// \param seed randomness seed shared by both sketch parties.
+  FastSketcher(uint32_t length, uint64_t seed);
+
+  /// Computes the t-coordinate sketch of \p items into \p out (resized
+  /// to length()). Duplicates in \p items are harmless (minima absorb
+  /// them). An empty set yields all coordinates == +infinity.
+  void Sketch(std::span<const ItemId> items, std::vector<double>* out) const;
+
+  /// The same sketch without the early-exit pruning: every element runs
+  /// all t rounds. Bit-identical to Sketch() by construction — exists as
+  /// the differential-test oracle and the honest cost baseline.
+  void SketchReference(std::span<const ItemId> items,
+                       std::vector<double>* out) const;
+
+  /// Classic t-independent-pass MinHash (coordinate k = min over
+  /// elements of the k-th hash). NOT the same sketch values as Sketch();
+  /// same estimator family, t hash evaluations per element. Kept as the
+  /// speed yardstick the fast path is measured against.
+  void SketchClassic(std::span<const ItemId> items,
+                     std::vector<double>* out) const;
+
+  /// Fraction of coordinates on which \p a and \p b agree exactly — the
+  /// Jaccard estimate when both are sketches from the same
+  /// (length, seed). Spans must be non-empty and equal length.
+  static double EstimateSimilarity(std::span<const double> a,
+                                   std::span<const double> b);
+
+  uint32_t length() const { return length_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  /// Shared round body: runs \p items through rounds [0, t) updating the
+  /// minima in \p out, pruning an element's tail rounds iff \p prune.
+  void SketchImpl(std::span<const ItemId> items, bool prune,
+                  std::vector<double>* out) const;
+
+  uint32_t length_;
+  uint64_t seed_;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_HASHING_SKETCH_H_

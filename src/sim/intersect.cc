@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/intersect.h"
+
 namespace skewsearch {
 
 size_t IntersectSizeMerge(std::span<const ItemId> a,
@@ -49,11 +51,10 @@ size_t IntersectSizeGalloping(std::span<const ItemId> a,
 }
 
 size_t IntersectSize(std::span<const ItemId> a, std::span<const ItemId> b) {
-  size_t small = std::min(a.size(), b.size());
-  size_t large = std::max(a.size(), b.size());
-  // Galloping wins once the lists differ by roughly an order of magnitude.
-  if (small * 16 < large) return IntersectSizeGalloping(a, b);
-  return IntersectSizeMerge(a, b);
+  // Routed through the runtime-selected kernel (core/intersect.h); every
+  // kernel is byte-identical to the merge/galloping reference above, so
+  // all call sites keep their exact counts while inheriting the speedup.
+  return IntersectSizeKernel(a, b);
 }
 
 size_t IntersectSizeAtLeast(std::span<const ItemId> a,

@@ -22,7 +22,9 @@ size_t IntersectSizeMerge(std::span<const ItemId> a,
 size_t IntersectSizeGalloping(std::span<const ItemId> a,
                               std::span<const ItemId> b);
 
-/// Dispatches to merge or galloping based on the size ratio.
+/// Dispatches based on the size ratio: galloping for heavily asymmetric
+/// pairs, otherwise the runtime-selected SIMD kernel (core/intersect.h).
+/// Byte-identical to IntersectSizeMerge for every input.
 size_t IntersectSize(std::span<const ItemId> a, std::span<const ItemId> b);
 
 /// Early-exit predicate kernel: the return value is >= bound if and only

@@ -272,5 +272,67 @@ TEST(PathEngineTest, SharedItemsYieldSharedFilters) {
   EXPECT_EQ(shared_xz, 0u);
 }
 
+TEST(PathEngineTest, FusedAllRepsMatchesPerRepByteForByte) {
+  // The fused level-synchronous pass must reproduce each repetition's
+  // key stream exactly — same keys, same order — and sum the stats.
+  auto dist = TwoBlockProbabilities(20, 0.3, 300, 0.01).value();
+  FixedPolicy policy(0.25);
+  PathHasher hasher(11, 32);
+  PathEngineOptions options;
+  options.log_n = std::log(2000.0);
+  PathEngine engine(&dist, &policy, &hasher, options);
+
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    SparseVector x = dist.Sample(&rng);
+    const uint32_t reps = 1 + static_cast<uint32_t>(trial % 7);
+
+    std::vector<uint64_t> fused;
+    std::vector<size_t> offsets;
+    PathGenStats fused_stats;
+    size_t capped = 0;
+    engine.ComputeFiltersAllReps(x.span(), reps, &fused, &offsets,
+                                 &fused_stats, &capped);
+    ASSERT_EQ(offsets.size(), reps + 1);
+    ASSERT_EQ(offsets.front(), 0u);
+    ASSERT_EQ(offsets.back(), fused.size());
+    EXPECT_EQ(capped, 0u);
+
+    size_t emitted = 0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      std::vector<uint64_t> single;
+      PathGenStats stats;
+      engine.ComputeFilters(x.span(), rep, &single, &stats);
+      emitted += stats.filters_emitted;
+      ASSERT_EQ(offsets[rep + 1] - offsets[rep], single.size()) << rep;
+      for (size_t i = 0; i < single.size(); ++i) {
+        ASSERT_EQ(fused[offsets[rep] + i], single[i])
+            << "rep " << rep << " pos " << i;
+      }
+    }
+    EXPECT_EQ(fused_stats.filters_emitted, emitted);
+  }
+}
+
+TEST(PathEngineTest, FusedAllRepsHandlesEmptyVectorAndZeroReps) {
+  auto dist = UniformProbabilities(10, 0.3).value();
+  FixedPolicy policy(1.0);
+  PathHasher hasher(1, 8);
+  PathEngineOptions options;
+  options.log_n = std::log(100.0);
+  PathEngine engine(&dist, &policy, &hasher, options);
+
+  std::vector<uint64_t> keys;
+  std::vector<size_t> offsets;
+  engine.ComputeFiltersAllReps({}, 4, &keys, &offsets, nullptr);
+  EXPECT_TRUE(keys.empty());
+  ASSERT_EQ(offsets.size(), 5u);
+
+  SparseVector x = SparseVector::Of({1, 3, 5});
+  engine.ComputeFiltersAllReps(x.span(), 0, &keys, &offsets, nullptr);
+  EXPECT_TRUE(keys.empty());
+  ASSERT_EQ(offsets.size(), 1u);
+}
+
 }  // namespace
 }  // namespace skewsearch

@@ -1,0 +1,137 @@
+// Copyright 2026 The skewsearch Authors.
+// FastSketcher: the early-exit pass must be bit-identical to the
+// unpruned reference, and the agreement estimator must track Jaccard.
+
+#include "hashing/sketch.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skewsearch {
+namespace {
+
+std::vector<ItemId> RandomSet(std::mt19937_64* rng, size_t size,
+                              uint32_t universe) {
+  std::uniform_int_distribution<uint32_t> pick(0, universe - 1);
+  std::vector<ItemId> items;
+  items.reserve(size);
+  for (size_t i = 0; i < size; ++i) items.push_back(pick(*rng));
+  return items;
+}
+
+TEST(FastSketcher, EmptySetIsAllInfinite) {
+  FastSketcher sketcher(16, 7);
+  std::vector<double> sketch;
+  sketcher.Sketch({}, &sketch);
+  ASSERT_EQ(sketch.size(), 16u);
+  for (double v : sketch) {
+    EXPECT_EQ(v, std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(FastSketcher, SingleElementFillsEveryCoordinate) {
+  FastSketcher sketcher(64, 123);
+  std::vector<ItemId> one = {42};
+  std::vector<double> sketch;
+  sketcher.Sketch(one, &sketch);
+  ASSERT_EQ(sketch.size(), 64u);
+  for (double v : sketch) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// The load-bearing test: the pruning rule is a pure no-op on the output.
+TEST(FastSketcher, PrunedMatchesReferenceBitForBit) {
+  std::mt19937_64 rng(0xfeedULL);
+  for (uint32_t t : {1u, 4u, 16u, 64u, 128u}) {
+    for (size_t size : {1u, 2u, 7u, 50u, 500u}) {
+      FastSketcher sketcher(t, rng());
+      auto items = RandomSet(&rng, size, 1u << 20);
+      std::vector<double> fast, reference;
+      sketcher.Sketch(items, &fast);
+      sketcher.SketchReference(items, &reference);
+      ASSERT_EQ(fast, reference) << "t=" << t << " size=" << size;
+    }
+  }
+}
+
+TEST(FastSketcher, DeterministicAndSeedSensitive) {
+  std::mt19937_64 rng(99);
+  auto items = RandomSet(&rng, 100, 1u << 16);
+  FastSketcher a(32, 1), b(32, 1), c(32, 2);
+  std::vector<double> sa, sb, sc;
+  a.Sketch(items, &sa);
+  b.Sketch(items, &sb);
+  c.Sketch(items, &sc);
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+TEST(FastSketcher, DuplicatesDoNotChangeTheSketch) {
+  FastSketcher sketcher(32, 5);
+  std::vector<ItemId> once = {3, 8, 21};
+  std::vector<ItemId> twice = {3, 8, 21, 3, 8, 21};
+  std::vector<double> a, b;
+  sketcher.Sketch(once, &a);
+  sketcher.Sketch(twice, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FastSketcher, IdenticalSetsEstimateOne) {
+  std::mt19937_64 rng(4);
+  auto items = RandomSet(&rng, 200, 1u << 18);
+  FastSketcher sketcher(128, 11);
+  std::vector<double> a, b;
+  sketcher.Sketch(items, &a);
+  sketcher.Sketch(items, &b);
+  EXPECT_EQ(FastSketcher::EstimateSimilarity(a, b), 1.0);
+}
+
+TEST(FastSketcher, DisjointSetsEstimateNearZero) {
+  FastSketcher sketcher(512, 21);
+  std::vector<ItemId> a_items, b_items;
+  for (ItemId i = 0; i < 300; ++i) a_items.push_back(i);
+  for (ItemId i = 1000; i < 1300; ++i) b_items.push_back(i);
+  std::vector<double> a, b;
+  sketcher.Sketch(a_items, &a);
+  sketcher.Sketch(b_items, &b);
+  EXPECT_LT(FastSketcher::EstimateSimilarity(a, b), 0.05);
+}
+
+TEST(FastSketcher, EstimateTracksJaccard) {
+  // |A| = |B| = 100 with 50 shared: J = 50 / 150 = 1/3. Averaged over
+  // seeds so the tolerance reflects the estimator's concentration, not
+  // one draw's luck.
+  std::vector<ItemId> a_items, b_items;
+  for (ItemId i = 0; i < 100; ++i) a_items.push_back(i);
+  for (ItemId i = 50; i < 150; ++i) b_items.push_back(i);
+  double sum = 0.0;
+  const int trials = 8;
+  for (int trial = 0; trial < trials; ++trial) {
+    FastSketcher sketcher(1024, 1000 + static_cast<uint64_t>(trial));
+    std::vector<double> a, b;
+    sketcher.Sketch(a_items, &a);
+    sketcher.Sketch(b_items, &b);
+    sum += FastSketcher::EstimateSimilarity(a, b);
+  }
+  EXPECT_NEAR(sum / trials, 1.0 / 3.0, 0.05);
+}
+
+TEST(FastSketcher, ClassicMinHashTracksJaccardToo) {
+  std::vector<ItemId> a_items, b_items;
+  for (ItemId i = 0; i < 100; ++i) a_items.push_back(i);
+  for (ItemId i = 50; i < 150; ++i) b_items.push_back(i);
+  FastSketcher sketcher(2048, 77);
+  std::vector<double> a, b;
+  sketcher.SketchClassic(a_items, &a);
+  sketcher.SketchClassic(b_items, &b);
+  EXPECT_NEAR(FastSketcher::EstimateSimilarity(a, b), 1.0 / 3.0, 0.06);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -16,13 +16,22 @@
 // With --transport loopback|tcp, part 1 serves the workers over the
 // real transport seam (thread-hosted ServeConnection sessions; tcp uses
 // actual localhost sockets) and reports bytes-on-wire plus the round
-// trips taken with batched probes (the default ProbeBatch frames)
-// versus unbatched (--probe-batch 1, one round trip per probe) —
-// identity against the single-process baseline is verified either way.
+// trips taken three ways: pipelined batches (--pipeline frames in
+// flight per worker, the default), strict batches (pipeline 1, wait for
+// each response before the next send), and unbatched (one probe per
+// frame) — identity against the single-process baseline is verified in
+// every variant. The exposed-round-trip column is the pipelining win:
+// same frames, fewer synchronous waits.
+//
+// With --json FILE the headline counts (pairs, exposed trips per
+// variant, bytes shipped/on-wire) are written as a bench JSON document
+// for tools/bench_compare.py; they are deterministic for a fixed seed,
+// so CI gates them against BENCH_baseline.json.
 //
 // Flags: --n <dataset> --b1 <threshold> --workers <list> --threads <T>
 //        --seed <S> --rounds <timed repetitions>
 //        --transport inprocess|loopback|tcp --probe-batch <N>
+//        --pipeline <W> --json <file>
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +64,7 @@ struct Config {
   std::vector<int> workers = {1, 2, 4, 8};
   std::string transport = "inprocess";  // inprocess | loopback | tcp
   size_t probe_batch = 256;
+  size_t pipeline = 2;
 };
 
 std::vector<int> ParseIntList(const char* text) {
@@ -91,6 +101,9 @@ Config ParseArgs(int argc, char** argv) {
       config.transport = argv[i + 1];
     } else if (std::strcmp(argv[i], "--probe-batch") == 0) {
       config.probe_batch = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      config.pipeline =
+          std::max<size_t>(1, static_cast<size_t>(std::atoll(argv[i + 1])));
     }
   }
   return config;
@@ -236,6 +249,7 @@ int Run(int argc, char** argv) {
   using bench::Note;
   using bench::Table;
 
+  bench::JsonReporter reporter("distributed_scaling");
   const bool remote_transport = config.transport != "inprocess";
   if (remote_transport && config.transport != "loopback" &&
       config.transport != "tcp") {
@@ -322,34 +336,42 @@ int Run(int argc, char** argv) {
          "anywhere");
   } else {
     // Remote serving over the chosen transport: each worker count runs
-    // twice — batched ProbeBatch frames (--probe-batch, default 256
-    // probes per frame) and unbatched (1 probe per frame) — so the
-    // round-trip and bytes-on-wire columns show exactly what the
-    // batching buys. "wire KB" counts probe-phase frame bytes both
-    // directions; "ship KB" is the one-time handshake + assignment
+    // three variants — pipelined batches (--pipeline ProbeBatch frames
+    // in flight per worker), strict batches (pipeline 1: wait for every
+    // response before the next send), and unbatched (1 probe per frame,
+    // strict) — so the round-trip columns separate what batching buys
+    // (fewer frames) from what pipelining buys (fewer synchronous waits
+    // over the same frames). "wire KB" counts probe-phase frame bytes
+    // both directions; "ship KB" is the one-time handshake + assignment
     // traffic (the duplication factor in bytes).
-    Banner("transport = " + config.transport + " (probe batch " +
-           Fmt(config.probe_batch) + " vs 1)");
+    Banner("transport = " + config.transport + " (batch " +
+           Fmt(config.probe_batch) + " pipelined x" + Fmt(config.pipeline) +
+           " vs strict vs unbatched)");
     Table scaling({"workers", "pairs", "pairs/sec", "ship KB", "wire KB",
-                   "trips", "wire KB (b=1)", "trips (b=1)", "identical"});
+                   "batches", "trips (pipe)", "trips (strict)",
+                   "trips (b=1)", "identical"});
+    struct RemoteRun {
+      uint64_t wire_kb = 0;
+      size_t round_trips = 0;
+      size_t batches_sent = 0;
+      uint64_t ship_kb = 0;
+      double best_seconds = 1e9;
+      size_t pairs = 0;
+      bool identical = false;
+    };
+    RemoteRun last[3];  // the final worker count's runs, for the JSON
     for (int workers : config.workers) {
-      struct RemoteRun {
-        uint64_t wire_kb = 0;
-        size_t round_trips = 0;
-        uint64_t ship_kb = 0;
-        double best_seconds = 1e9;
-        size_t pairs = 0;
-        bool identical = false;
-      };
-      RemoteRun runs[2];
-      const size_t batches[2] = {config.probe_batch, 1};
-      for (int variant = 0; variant < 2; ++variant) {
+      RemoteRun runs[3];
+      const size_t batches[3] = {config.probe_batch, config.probe_batch, 1};
+      const size_t windows[3] = {config.pipeline, 1, 1};
+      for (int variant = 0; variant < 3; ++variant) {
         DistributedJoinOptions options;
         options.index = join_options.index;
         options.threshold = config.b1;
         options.workers = workers;
         options.threads = config.threads;
         options.probe_batch = batches[variant];
+        options.pipeline = windows[variant];
         // hosts must outlive join: join's destructor shuts the remote
         // sessions down, which is what lets the hosts' destructors
         // join their serving threads on early-error returns.
@@ -377,24 +399,57 @@ int Run(int argc, char** argv) {
           run.wire_kb =
               (stats.wire_bytes_sent + stats.wire_bytes_received) / 1000;
           run.round_trips = stats.probe_round_trips;
+          run.batches_sent = stats.probe_batches_sent;
           run.pairs = pairs->size();
           run.identical = SamePairs(*baseline, *pairs);
         }
         if (!DetachHosted(&join, &hosts)) return 1;
         all_identical = all_identical && run.identical;
       }
-      scaling.AddRow({Fmt(workers), Fmt(runs[0].pairs),
-                      Fmt(runs[0].pairs /
-                              std::max(1e-9, runs[0].best_seconds),
-                          0),
-                      Fmt(runs[0].ship_kb), Fmt(runs[0].wire_kb),
-                      Fmt(runs[0].round_trips), Fmt(runs[1].wire_kb),
-                      Fmt(runs[1].round_trips),
-                      runs[0].identical && runs[1].identical ? "yes" : "NO"});
+      scaling.AddRow(
+          {Fmt(workers), Fmt(runs[0].pairs),
+           Fmt(runs[0].pairs / std::max(1e-9, runs[0].best_seconds), 0),
+           Fmt(runs[0].ship_kb), Fmt(runs[0].wire_kb),
+           Fmt(runs[0].batches_sent), Fmt(runs[0].round_trips),
+           Fmt(runs[1].round_trips), Fmt(runs[2].round_trips),
+           runs[0].identical && runs[1].identical && runs[2].identical
+               ? "yes"
+               : "NO"});
+      for (int variant = 0; variant < 3; ++variant) {
+        last[variant] = runs[variant];
+      }
     }
     scaling.Print();
-    Note("batched frames amortize per-message overhead: same pairs, far "
-         "fewer round trips than one frame per probe");
+    Note("batching amortizes per-frame overhead; pipelining overlaps the "
+         "next batch with the worker's current one — same frames, fewer "
+         "exposed round trips");
+    // All counts here are deterministic for a fixed seed (the send/
+    // receive order is driven purely by the coordinator loop), so CI
+    // gates them as stable metrics.
+    reporter.Metric("pairs", static_cast<double>(last[0].pairs),
+                    /*stable=*/true, "pairs");
+    reporter.Metric("probe_batches_sent",
+                    static_cast<double>(last[0].batches_sent),
+                    /*stable=*/true, "frames");
+    reporter.Metric("trips_pipelined",
+                    static_cast<double>(last[0].round_trips),
+                    /*stable=*/true, "round trips");
+    reporter.Metric("trips_strict", static_cast<double>(last[1].round_trips),
+                    /*stable=*/true, "round trips");
+    reporter.Metric("trips_unbatched",
+                    static_cast<double>(last[2].round_trips),
+                    /*stable=*/true, "round trips");
+    reporter.Metric("pipelining_reduces_trips",
+                    last[0].round_trips < last[1].round_trips ? 1 : 0,
+                    /*stable=*/true, "bool");
+    reporter.Metric("ship_kb", static_cast<double>(last[0].ship_kb),
+                    /*stable=*/true, "KB");
+    reporter.Metric("wire_kb", static_cast<double>(last[0].wire_kb),
+                    /*stable=*/true, "KB");
+    reporter.Metric("pairs_per_sec_pipelined",
+                    static_cast<double>(last[0].pairs) /
+                        std::max(1e-9, last[0].best_seconds),
+                    /*stable=*/false, "pairs/s");
   }
 
   // Part 2: duplication factor vs skew ----------------------------------
@@ -461,6 +516,8 @@ int Run(int argc, char** argv) {
   }
   Note("every worker count produced output identical to the "
        "single-process join");
+  reporter.Metric("results_identical", 1, /*stable=*/true, "bool");
+  if (!reporter.WriteIfRequested(argc, argv)) return 1;
   return 0;
 }
 

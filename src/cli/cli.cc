@@ -1,6 +1,8 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -11,6 +13,7 @@
 #include "core/sharded_index.h"
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
+#include "distributed/server.h"
 #include "distributed/transport/session.h"
 #include "distributed/transport/tcp_transport.h"
 #include "maintenance/service.h"
@@ -43,9 +46,14 @@ Commands:
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
            [--churn N] [--workers W] [--heavy-threshold T]
-           [--connect HOST:PORT,...] [--probe-batch N]
+           [--connect HOST:PORT,...] [--probe-batch N] [--pipeline N]
            [--dump-pairs FILE] [--binary]
-  join-worker [--listen PORT]
+  join     --left FILE --right FILE --b1 X [--seed S] [--workers W]
+           [--heavy-threshold T] [--connect HOST:PORT,...]
+           [--probe-batch N] [--pipeline N] [--dump-pairs FILE]
+           [--binary]
+  join-worker [--listen PORT] [--max-sessions N] [--idle-timeout MS]
+           [--die-after-batches N]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
@@ -58,18 +66,34 @@ split point, default auto), and the coordinator merges the per-worker
 pair streams. The pair output is identical to the single-process join.
 Incompatible with --online.
 
---connect HOST:PORT,... (selfjoin) serves the distributed backend from
-remote join-worker processes instead of in-process workers: one
-endpoint per worker (--workers, if given, must match the endpoint
-count). The coordinator ships each worker its posting-slice assignment
-over the TCP transport, streams probe batches of --probe-batch N
-requests per frame (default 256, 0 = one frame per worker), and merges
-— the pair output is still identical. See docs/WIRE_PROTOCOL.md for
-the wire format and the README for a walkthrough.
+join runs the R-S join: --right is indexed, every --left vector
+probes it, and pairs are (left id, right id, similarity). It shares
+every distributed/remote flag with selfjoin; the estimated item
+universe is widened to cover both files.
 
-join-worker hosts one worker of a distributed join: it listens on
---listen PORT (default 0 = any free port, printed on stdout), serves
-exactly one coordinator session, and exits 0 on an orderly shutdown.
+--connect HOST:PORT,... (selfjoin, join) serves the distributed
+backend from remote join-worker processes instead of in-process
+workers: one endpoint per worker (--workers, if given, must match the
+endpoint count). The coordinator ships each worker its posting-slice
+assignment over the TCP transport, streams probe batches of
+--probe-batch N requests per frame (default 256, 0 = one frame per
+worker) with up to --pipeline N frames in flight per worker (default
+2, 1 = send-then-wait), and merges — the pair output is still
+identical. If a worker dies mid-join the coordinator re-ships its
+slices to a survivor, replays the unacknowledged batches, and reports
+the recovery. See docs/WIRE_PROTOCOL.md for the wire format and the
+README for a walkthrough.
+
+join-worker hosts workers of distributed joins: it listens on
+--listen PORT (default 0 = any free port, printed on stdout) and
+serves every coordinator session that connects, each on its own
+thread, until SIGTERM/SIGINT asks it to drain (live sessions finish,
+then it exits 0). --max-sessions N caps the concurrent sessions
+(default unlimited); --idle-timeout MS exits once no coordinator has
+connected for that long and nothing is being served (default: wait
+forever); --die-after-batches N makes the process vanish mid-stream
+after answering N probe batches in a session — the fault-injection
+hook the kill-recovery smoke test uses.
 
 --dump-pairs FILE (selfjoin) writes every emitted pair as one
 "left right similarity" line — what the multi-process smoke test
@@ -430,6 +454,89 @@ int CmdQueryBench(const Flags& flags) {
   return 0;
 }
 
+/// The flags selfjoin and join share for the distributed/remote
+/// backend. Returns false (after printing) on a malformed --connect.
+bool ApplyJoinBackendFlags(const Flags& flags, JoinOptions* options) {
+  options->workers = static_cast<int>(flags.GetUint("workers", 0));
+  options->heavy_threshold = flags.GetUint("heavy-threshold", 0);
+  options->probe_batch =
+      static_cast<size_t>(flags.GetUint("probe-batch", 256));
+  options->pipeline = static_cast<size_t>(flags.GetUint("pipeline", 2));
+  if (flags.Has("connect")) {
+    const std::string endpoints = flags.Get("connect", "");
+    std::string token;
+    for (size_t i = 0; i <= endpoints.size(); ++i) {
+      if (i == endpoints.size() || endpoints[i] == ',') {
+        if (!token.empty()) options->remote_workers.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(endpoints[i]);
+      }
+    }
+    if (options->remote_workers.empty()) {
+      std::fprintf(stderr, "--connect needs at least one host:port\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The report lines selfjoin and join share: distributed/wire/recovery
+/// counters, the first pairs, and the --dump-pairs file.
+int ReportJoinOutput(const Flags& flags, const JoinOptions& options,
+                     const JoinStats& stats,
+                     const std::vector<JoinPair>& pairs) {
+  if (options.workers > 1 || !options.remote_workers.empty()) {
+    const int workers = options.remote_workers.empty()
+                            ? options.workers
+                            : static_cast<int>(options.remote_workers.size());
+    std::printf("distributed backend: %d workers%s, duplication factor "
+                "%.2f, probe fan-out %.2f\n",
+                workers, options.remote_workers.empty() ? "" : " (remote)",
+                stats.duplication_factor, stats.probe_fanout);
+  }
+  if (!options.remote_workers.empty()) {
+    std::printf("wire: %.1f KB sent, %.1f KB received, %zu batches in "
+                "%zu exposed round trips (pipeline %zu)\n",
+                static_cast<double>(stats.wire_bytes_sent) / 1e3,
+                static_cast<double>(stats.wire_bytes_received) / 1e3,
+                stats.probe_batches_sent, stats.probe_round_trips,
+                options.pipeline);
+    if (stats.worker_recoveries > 0) {
+      // The smoke test greps for this line after killing a worker.
+      std::printf("recovered %zu worker(s), replayed %zu batch(es)\n",
+                  stats.worker_recoveries, stats.replayed_batches);
+    }
+  }
+  if (options.online) {
+    std::printf("online build side: maintenance thread %s, %zu "
+                "compactions, %zu rebuilds\n",
+                options.maintenance_thread ? "on" : "off",
+                stats.compactions, stats.rebuilds);
+  }
+  for (size_t k = 0; k < std::min<size_t>(10, pairs.size()); ++k) {
+    const JoinPair& pr = pairs[k];
+    std::printf("  %u ~ %u  (%.3f)\n", pr.left, pr.right, pr.similarity);
+  }
+  if (flags.Has("dump-pairs")) {
+    const std::string path = flags.Get("dump-pairs", "");
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   path.c_str());
+      return 1;
+    }
+    // %.17g round-trips every double exactly, so two dumps are equal
+    // iff the pair lists are byte-identical.
+    for (const JoinPair& pr : pairs) {
+      std::fprintf(out, "%u %u %.17g\n", pr.left, pr.right, pr.similarity);
+    }
+    std::fclose(out);
+    std::printf("wrote %zu pairs to %s\n", pairs.size(), path.c_str());
+  }
+  return 0;
+}
+
 int CmdSelfJoin(const Flags& flags) {
   auto data = LoadDataset(flags);
   if (!data.ok()) return Fail(data.status());
@@ -443,26 +550,7 @@ int CmdSelfJoin(const Flags& flags) {
   options.index.seed = flags.GetUint("seed", 1);
   options.threshold = b1;
   options.num_shards = static_cast<int>(flags.GetUint("shards", 1));
-  options.workers = static_cast<int>(flags.GetUint("workers", 0));
-  options.heavy_threshold = flags.GetUint("heavy-threshold", 0);
-  options.probe_batch =
-      static_cast<size_t>(flags.GetUint("probe-batch", 256));
-  if (flags.Has("connect")) {
-    const std::string endpoints = flags.Get("connect", "");
-    std::string token;
-    for (size_t i = 0; i <= endpoints.size(); ++i) {
-      if (i == endpoints.size() || endpoints[i] == ',') {
-        if (!token.empty()) options.remote_workers.push_back(token);
-        token.clear();
-      } else {
-        token.push_back(endpoints[i]);
-      }
-    }
-    if (options.remote_workers.empty()) {
-      std::fprintf(stderr, "--connect needs at least one host:port\n");
-      return 1;
-    }
-  }
+  if (!ApplyJoinBackendFlags(flags, &options)) return 1;
   if (WantsOnline(flags)) {
     options.online = true;
     options.maintenance = MaintenanceFromFlags(flags);
@@ -476,49 +564,58 @@ int CmdSelfJoin(const Flags& flags) {
               "%.2fs, %zu candidates)\n",
               b1, pairs->size(), stats.build_seconds, stats.probe_seconds,
               stats.candidates);
-  if (options.workers > 1 || !options.remote_workers.empty()) {
-    const int workers = options.remote_workers.empty()
-                            ? options.workers
-                            : static_cast<int>(options.remote_workers.size());
-    std::printf("distributed backend: %d workers%s, duplication factor "
-                "%.2f, probe fan-out %.2f\n",
-                workers, options.remote_workers.empty() ? "" : " (remote)",
-                stats.duplication_factor, stats.probe_fanout);
+  return ReportJoinOutput(flags, options, stats, *pairs);
+}
+
+int CmdJoin(const Flags& flags) {
+  const std::string left_path = flags.Get("left", "");
+  const std::string right_path = flags.Get("right", "");
+  if (left_path.empty() || right_path.empty()) {
+    std::fprintf(stderr, "join needs --left FILE and --right FILE\n");
+    return 1;
   }
-  if (!options.remote_workers.empty()) {
-    std::printf("wire: %.1f KB sent, %.1f KB received, %zu probe round "
-                "trips\n",
-                static_cast<double>(stats.wire_bytes_sent) / 1e3,
-                static_cast<double>(stats.wire_bytes_received) / 1e3,
-                stats.probe_round_trips);
+  auto load = [&](const std::string& path) {
+    return flags.Has("binary") ? ReadBinary(path) : ReadTransactions(path);
+  };
+  auto left = load(left_path);
+  if (!left.ok()) return Fail(left.status());
+  auto right = load(right_path);
+  if (!right.ok()) return Fail(right.status());
+  double b1 = flags.GetDouble("b1", 0.7);
+  // The index (and the skew plan) is derived from the build side, but
+  // its estimated universe must also cover every probe-side item:
+  // widen it before estimating, so left-only items get the smoothed
+  // unseen-item probability instead of being out of range.
+  if (left->dimension() > right->dimension()) {
+    Status widened = right->SetDimension(left->dimension());
+    if (!widened.ok()) return Fail(widened);
   }
-  if (options.online) {
-    std::printf("online build side: maintenance thread %s, %zu "
-                "compactions, %zu rebuilds\n",
-                options.maintenance_thread ? "on" : "off",
-                stats.compactions, stats.rebuilds);
-  }
-  for (size_t k = 0; k < std::min<size_t>(10, pairs->size()); ++k) {
-    const JoinPair& pr = (*pairs)[k];
-    std::printf("  %u ~ %u  (%.3f)\n", pr.left, pr.right, pr.similarity);
-  }
-  if (flags.Has("dump-pairs")) {
-    const std::string path = flags.Get("dump-pairs", "");
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                   path.c_str());
-      return 1;
-    }
-    // %.17g round-trips every double exactly, so two dumps are equal
-    // iff the pair lists are byte-identical.
-    for (const JoinPair& pr : *pairs) {
-      std::fprintf(out, "%u %u %.17g\n", pr.left, pr.right, pr.similarity);
-    }
-    std::fclose(out);
-    std::printf("wrote %zu pairs to %s\n", pairs->size(), path.c_str());
-  }
-  return 0;
+  auto dist = EstimateFrequencies(*right);
+  if (!dist.ok()) return Fail(dist.status());
+
+  JoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = b1;
+  options.index.seed = flags.GetUint("seed", 1);
+  options.threshold = b1;
+  if (!ApplyJoinBackendFlags(flags, &options)) return 1;
+  JoinStats stats;
+  auto pairs = SimilarityJoin(*left, *right, *dist, options, &stats);
+  if (!pairs.ok()) return Fail(pairs.status());
+  std::printf("R-S join at B >= %.2f: %zu probes x %zu indexed -> %zu "
+              "pairs (build %.2fs, probe %.2fs, %zu candidates)\n",
+              b1, left->size(), right->size(), pairs->size(),
+              stats.build_seconds, stats.probe_seconds, stats.candidates);
+  return ReportJoinOutput(flags, options, stats, *pairs);
+}
+
+/// The server the drain signals land on. Set for the lifetime of
+/// CmdJoinWorker's Serve(); RequestDrain is async-signal-safe.
+std::atomic<WorkerServer*> g_drain_target{nullptr};
+
+extern "C" void HandleDrainSignal(int /*signum*/) {
+  WorkerServer* server = g_drain_target.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();
 }
 
 int CmdJoinWorker(const Flags& flags) {
@@ -531,26 +628,63 @@ int CmdJoinWorker(const Flags& flags) {
   const uint16_t port = static_cast<uint16_t>(requested);
   auto listener = TcpListener::Listen(port);
   if (!listener.ok()) return Fail(listener.status());
+
+  WorkerServerOptions options;
+  options.max_sessions =
+      static_cast<uint32_t>(flags.GetUint("max-sessions", 0));
+  options.idle_timeout_ms =
+      static_cast<uint32_t>(flags.GetUint("idle-timeout", 0));
+  options.serve.fail_after_batches = flags.GetUint("die-after-batches", 0);
+  const bool die_on_trip = options.serve.fail_after_batches > 0;
+  options.on_session_done = [die_on_trip](uint64_t session_id,
+                                          const WorkerServeStats& stats,
+                                          const Status& status) {
+    if (status.ok()) {
+      std::printf("session %llu: worker %u served %llu probes in %llu "
+                  "batches, %llu matches, %llu reassignment(s) "
+                  "(%.1f KB in, %.1f KB out)\n",
+                  static_cast<unsigned long long>(session_id),
+                  stats.worker_id,
+                  static_cast<unsigned long long>(stats.probes),
+                  static_cast<unsigned long long>(stats.batches),
+                  static_cast<unsigned long long>(stats.matches),
+                  static_cast<unsigned long long>(stats.reassignments),
+                  static_cast<double>(stats.wire.bytes_received) / 1e3,
+                  static_cast<double>(stats.wire.bytes_sent) / 1e3);
+    } else {
+      std::printf("session %llu: worker %u ended after %llu batches: %s\n",
+                  static_cast<unsigned long long>(session_id),
+                  stats.worker_id,
+                  static_cast<unsigned long long>(stats.batches),
+                  status.ToString().c_str());
+    }
+    std::fflush(stdout);
+    if (die_on_trip && status.IsAborted()) {
+      // --die-after-batches: the whole point is a process that
+      // vanishes mid-stream, so no drain, no cleanup, no exit hooks.
+      std::_Exit(3);
+    }
+  };
+
+  WorkerServer server(std::move(listener).value(), std::move(options));
+  g_drain_target.store(&server, std::memory_order_release);
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
   // The smoke script and any process manager parse this line (and port
   // 0 resolves to the kernel's pick), so flush it before blocking.
   std::printf("join-worker listening on port %u\n",
-              static_cast<unsigned>(listener->port()));
+              static_cast<unsigned>(server.port()));
   std::fflush(stdout);
-  auto connection = listener->Accept();
-  if (!connection.ok()) return Fail(connection.status());
-  WorkerServeStats stats;
-  Status served = ServeConnection(connection->get(), &stats);
+  Status served = server.Serve();
+  g_drain_target.store(nullptr, std::memory_order_release);
   if (!served.ok()) return Fail(served);
-  std::printf("worker %u served %llu probes in %llu batches: %llu "
-              "matches from %llu posting entries (%.1f KB in, %.1f KB "
-              "out)\n",
-              stats.worker_id,
-              static_cast<unsigned long long>(stats.probes),
-              static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.matches),
-              static_cast<unsigned long long>(stats.posting_entries),
-              static_cast<double>(stats.wire.bytes_received) / 1e3,
-              static_cast<double>(stats.wire.bytes_sent) / 1e3);
+  const WorkerServerStats totals = server.stats();
+  std::printf("join-worker drained%s: %llu session(s) accepted, %llu ok, "
+              "%llu failed\n",
+              totals.idle_timeout_hit ? " (idle timeout)" : "",
+              static_cast<unsigned long long>(totals.sessions_accepted),
+              static_cast<unsigned long long>(totals.sessions_ok),
+              static_cast<unsigned long long>(totals.sessions_failed));
   return 0;
 }
 
@@ -570,6 +704,7 @@ int RunCli(const std::vector<std::string>& args) {
   if (command == "independence") return CmdIndependence(*flags);
   if (command == "query-bench") return CmdQueryBench(*flags);
   if (command == "selfjoin") return CmdSelfJoin(*flags);
+  if (command == "join") return CmdJoin(*flags);
   if (command == "join-worker") return CmdJoinWorker(*flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 1;

@@ -69,6 +69,7 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
   distributed.heavy_threshold = options.heavy_threshold;
   distributed.threads = options.probe_threads;
   distributed.probe_batch = options.probe_batch;
+  distributed.pipeline = options.pipeline;
   DistributedJoin join;
   SKEWSEARCH_RETURN_NOT_OK(join.Build(&right, &dist, distributed));
   if (!options.remote_workers.empty()) {
@@ -100,6 +101,9 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
     local.wire_bytes_sent = distributed_stats.wire_bytes_sent;
     local.wire_bytes_received = distributed_stats.wire_bytes_received;
     local.probe_round_trips = distributed_stats.probe_round_trips;
+    local.probe_batches_sent = distributed_stats.probe_batches_sent;
+    local.worker_recoveries = distributed_stats.worker_recoveries;
+    local.replayed_batches = distributed_stats.replayed_batches;
     *stats = local;
   }
   return pairs;

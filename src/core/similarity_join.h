@@ -89,6 +89,11 @@ struct JoinOptions {
   /// each worker's whole queue in one frame). Batch size never changes
   /// the output, only the number of round trips.
   size_t probe_batch = 256;
+  /// Remote workers only: ProbeBatch frames kept in flight per worker
+  /// (default 2 hides each batch's round trip behind the previous
+  /// batch's service time; 1 = strict send-then-wait). Never changes
+  /// the output.
+  size_t pipeline = 2;
 };
 
 /// \brief Join counters.
@@ -105,10 +110,18 @@ struct JoinStats {
   double duplication_factor = 1.0;
   double probe_fanout = 0.0;
   /// Remote workers only (zero otherwise): probe-phase frame bytes on
-  /// the wire and ProbeBatch round trips taken.
+  /// the wire, ProbeBatch frames shipped, and the *exposed* round trips
+  /// — receives no pipelined batch was hiding (see
+  /// DistributedJoinStats::probe_round_trips).
   uint64_t wire_bytes_sent = 0;
   uint64_t wire_bytes_received = 0;
   size_t probe_round_trips = 0;
+  size_t probe_batches_sent = 0;
+  /// Remote workers only: workers whose slices were re-shipped to a
+  /// survivor after their session died mid-join, and the ProbeBatch
+  /// frames replayed to finish their queues.
+  size_t worker_recoveries = 0;
+  size_t replayed_batches = 0;
 };
 
 /// R-S join: returns all (r, s) with B(r, s) >= threshold found by probing

@@ -84,12 +84,17 @@ Status DistributedJoin::AttachRemote(
     sessions.push_back(std::move(session).value());
   }
   sessions_ = std::move(sessions);
+  session_of_worker_.resize(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) session_of_worker_[w] = w;
+  session_alive_.assign(sessions_.size(), true);
   return Status::OK();
 }
 
 void DistributedJoin::DetachRemote() {
   for (auto& session : sessions_) (void)session.Shutdown();
   sessions_.clear();
+  session_of_worker_.clear();
+  session_alive_.clear();
 }
 
 WireStats DistributedJoin::RemoteWireTotals() const {
@@ -297,61 +302,198 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   // Phase 2 — serve: each worker drains its queue independently; the
   // fan-out over the pool is the in-process stand-in for W machines.
   // With remote sessions attached the same queues ship as ProbeBatch
-  // frames instead (at most probe_batch requests per frame, one
-  // request/response round trip per frame), so batch boundaries and the
-  // transport never influence which responses come back — only how many
-  // frames it took.
+  // frames instead (at most probe_batch requests per frame, up to
+  // `pipeline` frames in flight per worker), so batch boundaries, the
+  // window and the transport never influence which responses come back
+  // — only how many frames it took and how much latency was exposed.
+  // The fan-out parallelizes over *sessions*, not workers: after a
+  // recovery one session can hold several workers' slices, and a
+  // FrameConnection takes exactly one driver thread.
   const bool serve_remote = !sessions_.empty();
+  const size_t num_sessions = sessions_.size();
   std::vector<std::vector<ProbeResponse>> responses(worker_count);
   std::vector<double> worker_seconds(worker_count, 0.0);
   std::vector<Status> worker_status(worker_count);
-  std::vector<size_t> worker_round_trips(worker_count, 0);
-  std::vector<WireStats> wire_before(worker_count);
+  std::vector<Status> session_status(num_sessions);
+  std::vector<size_t> exposed_trips(worker_count, 0);
+  std::vector<size_t> batches_sent(worker_count, 0);
+  std::vector<WireStats> wire_before(num_sessions);
+  std::vector<std::vector<size_t>> session_workers(num_sessions);
   if (serve_remote) {
+    for (size_t s = 0; s < num_sessions; ++s) {
+      wire_before[s] = sessions_[s].stats();
+    }
     for (size_t w = 0; w < worker_count; ++w) {
-      wire_before[w] = sessions_[w].stats();
+      session_workers[session_of_worker_[w]].push_back(w);
     }
   }
-  auto serve_worker = [&](size_t w) {
+  const size_t window = std::max<size_t>(1, options_.pipeline);
+  // Ships worker w's queue over `session`, keeping up to `window`
+  // batches in flight. ReceiveResponses validates arrival order, so
+  // responses[w] is always the answered prefix of queues[w] — exactly
+  // what recovery needs to know where a replay must resume.
+  auto serve_worker_queue = [&](RemoteWorkerSession& session,
+                                size_t w) -> Status {
     Timer timer;
     auto& out = responses[w];
     const auto& queue = queues[w];
     out.reserve(queue.size());
-    if (serve_remote) {
-      RemoteWorkerSession& session = sessions_[w];
-      const size_t batch =
-          options_.probe_batch == 0 ? queue.size() : options_.probe_batch;
-      for (size_t begin = 0; begin < queue.size(); begin += batch) {
-        const size_t count = std::min(batch, queue.size() - begin);
-        Result<std::vector<ProbeResponse>> answered = session.Probe(
-            std::span<const ProbeRequest>(queue.data() + begin, count));
-        if (!answered.ok()) {
-          worker_status[w] = answered.status();
-          return;
-        }
-        worker_round_trips[w]++;
-        for (ProbeResponse& response : *answered) {
-          out.push_back(std::move(response));
-        }
+    const size_t batch =
+        options_.probe_batch == 0 ? std::max<size_t>(queue.size(), 1)
+                                  : options_.probe_batch;
+    size_t next = 0;
+    while (next < queue.size() || session.in_flight() > 0) {
+      while (session.in_flight() < window && next < queue.size()) {
+        const size_t count = std::min(batch, queue.size() - next);
+        SKEWSEARCH_RETURN_NOT_OK(session.SendProbeBatch(
+            std::span<const ProbeRequest>(queue.data() + next, count)));
+        next += count;
+        batches_sent[w]++;
       }
-    } else {
-      const JoinWorker& worker = workers_[w];
-      for (const ProbeRequest& request : queue) {
-        out.push_back(worker.Probe(request));
+      // A receive with nothing queued up behind it exposes the full
+      // round trip; every other receive hides behind the batch the
+      // worker is already computing.
+      if (session.in_flight() == 1) exposed_trips[w]++;
+      Result<std::vector<ProbeResponse>> answered =
+          session.ReceiveResponses();
+      if (!answered.ok()) return answered.status();
+      for (ProbeResponse& response : *answered) {
+        out.push_back(std::move(response));
       }
     }
     worker_seconds[w] = timer.ElapsedSeconds();
+    return Status::OK();
+  };
+  auto serve_session = [&](size_t s) {
+    if (!session_alive_[s]) {
+      if (!session_workers[s].empty()) {
+        session_status[s] =
+            Status::IOError("session died in an earlier join");
+      }
+      return;
+    }
+    for (size_t w : session_workers[s]) {
+      Status served = serve_worker_queue(sessions_[s], w);
+      if (!served.ok()) {
+        session_status[s] = served;
+        return;
+      }
+    }
+  };
+  auto serve_local = [&](size_t w) {
+    Timer timer;
+    auto& out = responses[w];
+    const auto& queue = queues[w];
+    out.reserve(queue.size());
+    const JoinWorker& worker = workers_[w];
+    for (const ProbeRequest& request : queue) {
+      out.push_back(worker.Probe(request));
+    }
+    worker_seconds[w] = timer.ElapsedSeconds();
+  };
+  const size_t fanout_units = serve_remote ? num_sessions : worker_count;
+  auto serve_unit = [&](size_t u) {
+    if (serve_remote) {
+      serve_session(u);
+    } else {
+      serve_local(u);
+    }
   };
   if (!pool) {
-    for (size_t w = 0; w < worker_count; ++w) serve_worker(w);
+    for (size_t u = 0; u < fanout_units; ++u) serve_unit(u);
   } else {
-    pool->ParallelFor(worker_count, /*grain=*/1,
+    pool->ParallelFor(fanout_units, /*grain=*/1,
                       [&](size_t begin, size_t end, int /*slot*/) {
-                        for (size_t w = begin; w < end; ++w) serve_worker(w);
+                        for (size_t u = begin; u < end; ++u) serve_unit(u);
                       });
   }
   for (const Status& status : worker_status) {
     SKEWSEARCH_RETURN_NOT_OK(status);
+  }
+
+  // Phase 2b — recovery (remote only). A failed session means its
+  // worker died mid-join: close it out, re-derive every slice it held
+  // (BuildAssignment is a pure function of the deterministic plan and
+  // the build-side data — nothing about the dead worker is needed),
+  // re-ship them to the lowest-id surviving version >= 2 session, and
+  // replay each transferred queue's unanswered suffix. The merge's
+  // global dedup + canonical sort make replayed and merged-table
+  // responses invisible in the output, so a recovered join stays
+  // byte-identical. Runs strictly after the fan-out: a session is
+  // driven by one thread at a time.
+  size_t worker_recoveries = 0;
+  size_t replayed_batches = 0;
+  if (serve_remote) {
+    Status first_failure;
+    std::vector<size_t> orphaned;  // workers whose session died
+    for (size_t s = 0; s < num_sessions; ++s) {
+      if (session_status[s].ok()) continue;
+      if (first_failure.ok()) first_failure = session_status[s];
+      session_alive_[s] = false;
+      (void)sessions_[s].Shutdown();
+      orphaned.insert(orphaned.end(), session_workers[s].begin(),
+                      session_workers[s].end());
+    }
+    std::sort(orphaned.begin(), orphaned.end());
+    while (!orphaned.empty()) {
+      size_t survivor = num_sessions;
+      for (size_t s = 0; s < num_sessions; ++s) {
+        if (session_alive_[s] && sessions_[s].negotiated_version() >= 2) {
+          survivor = s;
+          break;
+        }
+      }
+      if (survivor == num_sessions) {
+        return Status::IOError(
+            "distributed join: " + std::to_string(orphaned.size()) +
+            " worker(s) lost and no surviving version >= 2 session can "
+            "take their slices (first failure: " +
+            first_failure.ToString() + ")");
+      }
+      RemoteWorkerSession& session = sessions_[survivor];
+      bool survivor_alive = true;
+      while (!orphaned.empty() && survivor_alive) {
+        const size_t w = orphaned.front();
+        Status reassigned =
+            session.Reassign(BuildAssignment(static_cast<int>(w)));
+        if (!reassigned.ok()) {
+          session_alive_[survivor] = false;
+          (void)session.Shutdown();
+          survivor_alive = false;
+          break;
+        }
+        session_of_worker_[w] = survivor;
+        const auto& queue = queues[w];
+        auto& out = responses[w];
+        const size_t batch =
+            options_.probe_batch == 0 ? std::max<size_t>(queue.size(), 1)
+                                      : options_.probe_batch;
+        // Resume exactly where the dead session's acknowledged prefix
+        // ends. If this survivor dies too, the worker stays orphaned
+        // and the next survivor continues from the new prefix.
+        bool replay_failed = false;
+        while (out.size() < queue.size()) {
+          const size_t begin = out.size();
+          const size_t count = std::min(batch, queue.size() - begin);
+          Result<std::vector<ProbeResponse>> answered = session.Probe(
+              std::span<const ProbeRequest>(queue.data() + begin, count));
+          if (!answered.ok()) {
+            session_alive_[survivor] = false;
+            (void)session.Shutdown();
+            survivor_alive = false;
+            replay_failed = true;
+            break;
+          }
+          replayed_batches++;
+          for (ProbeResponse& response : *answered) {
+            out.push_back(std::move(response));
+          }
+        }
+        if (replay_failed) break;
+        worker_recoveries++;
+        orphaned.erase(orphaned.begin());
+      }
+    }
   }
 
   // Phase 3 — merge: drop pairs that surfaced on more than one worker
@@ -391,13 +533,22 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   });
 
   if (serve_remote) {
-    for (size_t w = 0; w < worker_count; ++w) {
-      const WireStats& after = sessions_[w].stats();
-      local.wire_bytes_sent += after.bytes_sent - wire_before[w].bytes_sent;
+    for (size_t s = 0; s < num_sessions; ++s) {
+      const WireStats& after = sessions_[s].stats();
+      local.wire_bytes_sent += after.bytes_sent - wire_before[s].bytes_sent;
       local.wire_bytes_received +=
-          after.bytes_received - wire_before[w].bytes_received;
-      local.probe_round_trips += worker_round_trips[w];
+          after.bytes_received - wire_before[s].bytes_received;
     }
+    for (size_t w = 0; w < worker_count; ++w) {
+      local.probe_round_trips += exposed_trips[w];
+      local.probe_batches_sent += batches_sent[w];
+    }
+    // A replay is a synchronous Probe: one more frame, one more
+    // exposed trip.
+    local.probe_round_trips += replayed_batches;
+    local.probe_batches_sent += replayed_batches;
+    local.worker_recoveries = worker_recoveries;
+    local.replayed_batches = replayed_batches;
   }
   local.pairs = out.size();
   local.heavy_keys = plan_.num_heavy_keys();

@@ -74,6 +74,14 @@ struct DistributedJoinOptions {
   /// without affecting results (a worker answers probes independently,
   /// so the batch boundaries are invisible in the output).
   size_t probe_batch = 256;
+
+  /// Remote serving only: maximum ProbeBatch frames in flight per
+  /// worker. At the default 2 the coordinator ships the next batch
+  /// while the worker still computes the previous one, hiding the
+  /// round trip behind service time; 1 restores strict send-then-wait
+  /// serving. Responses always arrive in send order, so the window
+  /// size is invisible in the output.
+  size_t pipeline = 2;
 };
 
 /// \brief Per-worker load/work report.
@@ -106,11 +114,24 @@ struct DistributedJoinStats {
   double plan_seconds = 0.0;   ///< planner + worker table partitioning
   double probe_seconds = 0.0;  ///< route + serve + merge
   /// Remote serving only (zero when the join ran in-process): frame
-  /// bytes this join put on / read off the wire, and the number of
-  /// ProbeBatch round trips it took.
+  /// bytes this join put on / read off the wire (including any
+  /// recovery re-shipping and replays).
   uint64_t wire_bytes_sent = 0;
   uint64_t wire_bytes_received = 0;
+  /// Remote serving only: *exposed* round trips — receives that had no
+  /// other batch in flight behind them, i.e. waits whose latency the
+  /// pipeline could not hide. With pipeline = 1 every batch is exposed
+  /// (this equals probe_batches_sent); with a window of 2 only each
+  /// worker's final drain is.
   size_t probe_round_trips = 0;
+  /// Remote serving only: ProbeBatch frames shipped, replays included.
+  size_t probe_batches_sent = 0;
+  /// Workers whose posting slices were re-shipped to a survivor after
+  /// their session died mid-join (0 on a clean join).
+  size_t worker_recoveries = 0;
+  /// ProbeBatch frames re-sent to a survivor because the original
+  /// session died before acknowledging them.
+  size_t replayed_batches = 0;
   std::vector<WorkerLoad> workers;
 };
 
@@ -153,8 +174,13 @@ class DistributedJoin {
   /// Requires a successful Build(); on any failure every already-started
   /// session is shut down and the coordinator stays in-process. The
   /// probe phase then ships batches of at most `probe_batch` requests
-  /// per frame and merges exactly as in-process serving does — the
-  /// output stays byte-identical across transports.
+  /// per frame, up to `pipeline` of them in flight per worker, and
+  /// merges exactly as in-process serving does — the output stays
+  /// byte-identical across transports. If a session dies mid-join the
+  /// coordinator re-derives the lost worker's slices (BuildAssignment
+  /// is a pure function of the deterministic plan), re-ships them to a
+  /// surviving version >= 2 session, replays the unacknowledged
+  /// batches, and still completes with byte-identical output.
   Status AttachRemote(
       std::vector<std::unique_ptr<FrameConnection>> connections);
 
@@ -201,6 +227,14 @@ class DistributedJoin {
   /// serving a (logically const) join drives the connection state; each
   /// session is driven by exactly one thread of the probe fan-out.
   mutable std::vector<RemoteWorkerSession> sessions_;
+  /// sessions_ index currently holding worker w's slices. Starts as the
+  /// identity; recovery remaps every worker of a dead session onto a
+  /// survivor (which then serves several queues back to back), and the
+  /// remap persists so later joins keep working on the reduced pool.
+  mutable std::vector<size_t> session_of_worker_;
+  /// False once a session died (its fd is closed, its slices
+  /// re-shipped); dead sessions are skipped by every later join.
+  mutable std::vector<bool> session_alive_;
   double threshold_ = 0.0;
   double build_seconds_ = 0.0;
   double plan_seconds_ = 0.0;

@@ -1,0 +1,140 @@
+#include "distributed/server.h"
+
+#include <chrono>
+#include <utility>
+
+namespace skewsearch {
+
+namespace {
+
+/// Consecutive Accept failures (excluding the drain wake-up and the
+/// idle timeout) before the listener is declared broken. The resilient
+/// Accept already swallows the per-connection transients (EINTR,
+/// ECONNABORTED, ...), so reaching this cap means the socket itself is
+/// failing repeatedly — EMFILE, ENOMEM, a closed fd.
+constexpr int kMaxConsecutiveAcceptFailures = 16;
+
+/// Backoff between consecutive Accept failures so an fd-exhausted
+/// process does not spin at 100% CPU while the condition clears.
+constexpr auto kAcceptFailureBackoff = std::chrono::milliseconds(50);
+
+/// The max-sessions / drain condition wait granularity. RequestDrain
+/// is async-signal-safe and therefore cannot notify the condition
+/// variable, so waits are bounded and re-check the drain flag.
+constexpr auto kDrainPollInterval = std::chrono::milliseconds(100);
+
+}  // namespace
+
+WorkerServer::WorkerServer(TcpListener listener, WorkerServerOptions options)
+    : listener_(std::move(listener)), options_(std::move(options)) {}
+
+WorkerServer::~WorkerServer() {
+  RequestDrain();
+  Reap(/*all=*/true);
+  listener_.Close();
+}
+
+void WorkerServer::RequestDrain() {
+  drain_.store(true, std::memory_order_release);
+  // Wakes a blocked Accept; Serve() then sees the flag. Everything on
+  // this path is async-signal-safe: one atomic store, one shutdown(2).
+  listener_.Shutdown();
+}
+
+WorkerServerStats WorkerServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkerServer::Reap(bool all) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (all || it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status WorkerServer::Serve() {
+  int consecutive_failures = 0;
+  uint64_t next_session_id = 0;
+  while (!drain_.load(std::memory_order_acquire)) {
+    Reap(/*all=*/false);
+
+    if (options_.max_sessions > 0) {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (active_ >= options_.max_sessions &&
+             !drain_.load(std::memory_order_acquire)) {
+        session_done_cv_.wait_for(lock, kDrainPollInterval);
+      }
+      if (drain_.load(std::memory_order_acquire)) break;
+    }
+
+    bool timed_out = false;
+    auto connection = listener_.Accept(options_.idle_timeout_ms, &timed_out);
+    if (drain_.load(std::memory_order_acquire)) break;
+    if (!connection.ok()) {
+      if (timed_out) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (active_ == 0) {
+          // Idle with nothing running: the guard fires and the server
+          // retires itself.
+          stats_.idle_timeout_hit = true;
+          break;
+        }
+        // A session is still live — the coordinator is probing, just
+        // not opening new sessions. Keep serving.
+        continue;
+      }
+      if (++consecutive_failures >= kMaxConsecutiveAcceptFailures) {
+        Reap(/*all=*/true);
+        return Status::IOError(
+            "server: listener failed " +
+            std::to_string(consecutive_failures) +
+            " times in a row (last: " + connection.status().ToString() + ")");
+      }
+      std::this_thread::sleep_for(kAcceptFailureBackoff);
+      continue;
+    }
+    consecutive_failures = 0;
+
+    const uint64_t session_id = next_session_id++;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_++;
+      stats_.sessions_accepted++;
+    }
+    std::thread thread(
+        [this, session_id, done,
+         conn = std::move(*connection)]() mutable {
+          WorkerServeStats session_stats;
+          Status served =
+              ServeConnection(conn.get(), &session_stats, options_.serve);
+          if (options_.on_session_done) {
+            options_.on_session_done(session_id, session_stats, served);
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            active_--;
+            if (served.ok()) {
+              stats_.sessions_ok++;
+            } else {
+              stats_.sessions_failed++;
+            }
+          }
+          done->store(true, std::memory_order_release);
+          session_done_cv_.notify_all();
+        });
+    sessions_.push_back({std::move(thread), std::move(done)});
+  }
+
+  // Drain (or idle retirement): let every live session run to
+  // completion, then report.
+  Reap(/*all=*/true);
+  return Status::OK();
+}
+
+}  // namespace skewsearch

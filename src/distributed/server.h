@@ -1,0 +1,124 @@
+// Copyright 2026 The skewsearch Authors.
+// The always-on worker server: many coordinator sessions over one
+// listening socket, thread-per-connection, orderly drain.
+//
+// PR 5's `join-worker` served exactly one session and exited; this
+// turns it into a service. Each accepted connection runs
+// ServeConnection (distributed/transport/session.h) on its own thread,
+// so independent coordinators — or the same coordinator running joins
+// back to back — never queue behind each other. Sessions share no
+// mutable state: every session reconstructs its own posting slices and
+// JoinWorker from its own Assignment frame, which is what makes
+// serving them concurrently trivially safe.
+
+#ifndef SKEWSEARCH_DISTRIBUTED_SERVER_H_
+#define SKEWSEARCH_DISTRIBUTED_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "distributed/transport/session.h"
+#include "distributed/transport/tcp_transport.h"
+#include "util/result.h"
+
+namespace skewsearch {
+
+/// \brief Serving knobs for one WorkerServer.
+struct WorkerServerOptions {
+  /// Concurrent-session cap; the accept loop stops pulling new
+  /// connections while this many sessions are live (the kernel's
+  /// listen backlog queues them meanwhile). 0 = unlimited.
+  uint32_t max_sessions = 0;
+
+  /// When no coordinator connects for this long *and* no session is
+  /// live, Serve() returns OK — the guard that keeps an orphaned
+  /// worker from lingering forever after its coordinator vanished
+  /// without a Shutdown frame. 0 = wait forever.
+  uint32_t idle_timeout_ms = 0;
+
+  /// Per-session serving knobs (fault-injection hooks) passed through
+  /// to every ServeConnection call.
+  ServeOptions serve;
+
+  /// Called on the session's own thread when it finishes, with a
+  /// server-unique session id, the session's counters and its final
+  /// status. Used by the CLI for per-session log lines; may be empty.
+  std::function<void(uint64_t session_id, const WorkerServeStats& stats,
+                     const Status& status)>
+      on_session_done;
+};
+
+/// \brief Aggregate counters across every session the server ran.
+struct WorkerServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_ok = 0;      ///< ended with an orderly Shutdown frame
+  uint64_t sessions_failed = 0;  ///< ended with an error (or vanished peer)
+  bool idle_timeout_hit = false;  ///< Serve() returned because of the guard
+};
+
+/// \brief Accept loop + per-connection session threads over a
+/// TcpListener.
+///
+/// Single-owner object: construct, call Serve() from the owning thread
+/// (it blocks until drain or idle timeout), and call RequestDrain()
+/// from anywhere — including a signal handler — to stop it. Serve()
+/// joins every session thread before returning, so after it returns no
+/// server activity remains.
+class WorkerServer {
+ public:
+  WorkerServer(TcpListener listener, WorkerServerOptions options);
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+  ~WorkerServer();
+
+  /// Runs the accept loop: accepts coordinator connections (surviving
+  /// transient accept failures; a persistently broken listener is an
+  /// error), serves each on its own thread, and returns OK once
+  /// RequestDrain() was called or the idle-timeout guard fired — in
+  /// both cases only after every live session finished and was joined.
+  Status Serve();
+
+  /// Asks Serve() to stop accepting and drain: live sessions run to
+  /// completion, then Serve() returns. Async-signal-safe (an atomic
+  /// store plus a shutdown(2) on the listening socket), so a SIGTERM
+  /// handler may call it directly.
+  void RequestDrain();
+
+  /// The listening port (resolves a requested port of 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Aggregate counters; call after Serve() returns for final totals.
+  WorkerServerStats stats() const;
+
+ private:
+  /// Joins finished session threads (all of them when \p all, only the
+  /// ones already done otherwise, so the accept loop never blocks on a
+  /// session mid-probe).
+  void Reap(bool all);
+
+  struct SessionThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  TcpListener listener_;
+  WorkerServerOptions options_;
+  std::atomic<bool> drain_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable session_done_cv_;
+  std::vector<SessionThread> sessions_;  // owner-thread only
+  uint32_t active_ = 0;                  // guarded by mu_
+  WorkerServerStats stats_;              // guarded by mu_
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DISTRIBUTED_SERVER_H_

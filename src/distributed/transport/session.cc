@@ -1,6 +1,7 @@
 #include "distributed/transport/session.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "data/dataset.h"
@@ -28,6 +29,96 @@ Status FailSession(FrameConnection* connection, const Status& status) {
   connection->Close();
   return status;
 }
+
+/// Counters of one (re)assignment as shipped — what both ack frames
+/// carry and the coordinator cross-checks against what it serialized.
+wire::AssignmentAckFrame SliceCounters(
+    const wire::WorkerAssignment& assignment) {
+  wire::AssignmentAckFrame ack;
+  ack.num_keys = assignment.postings.size();
+  for (const auto& [key, ids] : assignment.postings) {
+    ack.num_entries += ids.size();
+  }
+  ack.distinct_vectors = assignment.vectors.size();
+  return ack;
+}
+
+/// \brief The worker's live serving state: the shipped vectors stored
+/// densely, the id map, and the JoinWorker answering probes.
+///
+/// Apply() is used for both the initial assignment and every later
+/// reassignment: it validates the shipped slice, adds vectors the
+/// worker does not hold yet, and rebuilds the JoinWorker over the
+/// union of every applied slice. Rebuilt rather than patched so the
+/// "each id appears at most once per response" invariant of the frozen
+/// table keeps holding after a merge.
+struct WorkerState {
+  int worker_id = 0;
+  Dataset data;
+  PostingMap<VectorId, VectorId> positions;
+  std::optional<JoinWorker> worker;
+
+  Status Apply(const wire::WorkerAssignment& assignment) {
+    // Every posting id must have a shipped vector and every shipped
+    // vector must be referenced — an assignment violating either is
+    // rejected, so the probe loop can trust the map completely. The
+    // check is per-slice: a reassignment re-ships vectors this worker
+    // may already hold (they are skipped below), but must itself be
+    // internally consistent.
+    std::vector<VectorId> referenced;
+    uint64_t entries = 0;
+    for (const auto& [key, ids] : assignment.postings) {
+      referenced.insert(referenced.end(), ids.begin(), ids.end());
+      entries += ids.size();
+    }
+    std::sort(referenced.begin(), referenced.end());
+    referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                     referenced.end());
+    if (referenced.size() != assignment.vectors.size()) {
+      return Status::InvalidArgument(
+          "session: assignment ships " +
+          std::to_string(assignment.vectors.size()) + " vectors but the "
+          "postings reference " + std::to_string(referenced.size()));
+    }
+    for (size_t i = 0; i < referenced.size(); ++i) {
+      if (assignment.vectors[i].first != referenced[i]) {
+        return Status::InvalidArgument(
+            "session: shipped vectors do not match the posting ids");
+      }
+    }
+
+    // Vectors are stored densely (memory proportional to what was
+    // shipped, never to the coordinator's id space); a re-shipped
+    // vector this worker already holds is skipped — the bytes are
+    // identical by construction (both ships serialize the same
+    // build-side dataset), so verification results cannot change.
+    for (const auto& [id, items] : assignment.vectors) {
+      if (positions.find(id) != positions.end()) continue;
+      positions.emplace(id, data.Add(std::span<const ItemId>(items)));
+    }
+
+    // The merged table: every slice applied so far, frozen anew. The
+    // old worker's frozen table iterates in ascending key order, so
+    // rebuilding from it plus the new slice is deterministic.
+    FilterTable table;
+    uint64_t existing = worker ? worker->num_entries() : 0;
+    table.Reserve(existing + entries);
+    if (worker) {
+      const FilterTable& old_table = worker->table();
+      for (size_t k = 0; k < old_table.num_keys(); ++k) {
+        const uint64_t key = old_table.key_at(k);
+        for (VectorId id : old_table.postings_at(k)) table.Add(key, id);
+      }
+    }
+    for (const auto& [key, ids] : assignment.postings) {
+      for (VectorId id : ids) table.Add(key, id);
+    }
+    table.Freeze();
+    worker.emplace(worker_id, std::move(table), &data,
+                   assignment.threshold, assignment.measure, &positions);
+    return Status::OK();
+  }
+};
 
 }  // namespace
 
@@ -84,44 +175,117 @@ Result<RemoteWorkerSession> RemoteWorkerSession::Start(
     connection->Close();
     return decoded;
   }
-  uint64_t shipped_entries = 0;
-  for (const auto& [key, ids] : assignment.postings) {
-    shipped_entries += ids.size();
-  }
-  if (assignment_ack.num_keys != assignment.postings.size() ||
-      assignment_ack.num_entries != shipped_entries ||
-      assignment_ack.distinct_vectors != assignment.vectors.size()) {
+  const wire::AssignmentAckFrame shipped = SliceCounters(assignment);
+  if (assignment_ack.num_keys != shipped.num_keys ||
+      assignment_ack.num_entries != shipped.num_entries ||
+      assignment_ack.distinct_vectors != shipped.distinct_vectors) {
     connection->Close();
     return Status::Internal(
         "session: worker reconstructed a different slice than was "
         "shipped (keys " +
         std::to_string(assignment_ack.num_keys) + "/" +
-        std::to_string(assignment.postings.size()) + ", entries " +
+        std::to_string(shipped.num_keys) + ", entries " +
         std::to_string(assignment_ack.num_entries) + "/" +
-        std::to_string(shipped_entries) + ")");
+        std::to_string(shipped.num_entries) + ")");
   }
   return RemoteWorkerSession(std::move(connection), worker_id, ack.version);
 }
 
-Result<std::vector<ProbeResponse>> RemoteWorkerSession::Probe(
+Status RemoteWorkerSession::SendProbeBatch(
     std::span<const ProbeRequest> batch) {
   if (shut_down_) return Status::InvalidArgument("session: already shut down");
-  SKEWSEARCH_RETURN_NOT_OK(connection_->Send(wire::EncodeProbeBatch(batch)));
+  InFlightBatch record;
+  record.seq = next_seq_;
+  record.lefts.reserve(batch.size());
+  for (const ProbeRequest& request : batch) {
+    record.lefts.push_back(request.left);
+  }
+  SKEWSEARCH_RETURN_NOT_OK(connection_->Send(
+      wire::EncodeProbeBatch(batch, version_, epoch_, next_seq_)));
+  next_seq_++;
+  in_flight_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Result<std::vector<ProbeResponse>> RemoteWorkerSession::ReceiveResponses() {
+  if (shut_down_) return Status::InvalidArgument("session: already shut down");
+  if (in_flight_.empty()) {
+    return Status::InvalidArgument("session: no probe batch in flight");
+  }
+  const InFlightBatch& oldest = in_flight_.front();
   wire::Frame frame;
   SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection_.get(), &frame));
   wire::ResponseBatch responses;
   SKEWSEARCH_RETURN_NOT_OK(wire::DecodeResponseBatch(frame, &responses));
-  if (responses.responses.size() != batch.size()) {
+  if (version_ >= 2 &&
+      (responses.epoch != epoch_ || responses.seq != oldest.seq)) {
+    return Status::IOError(
+        "session: response echoes (epoch " + std::to_string(responses.epoch) +
+        ", seq " + std::to_string(responses.seq) + ") but batch (epoch " +
+        std::to_string(epoch_) + ", seq " + std::to_string(oldest.seq) +
+        ") is the oldest in flight");
+  }
+  if (responses.responses.size() != oldest.lefts.size()) {
     return Status::IOError("session: response count does not match the "
                            "batch");
   }
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (responses.responses[i].left != batch[i].left) {
+  for (size_t i = 0; i < oldest.lefts.size(); ++i) {
+    if (responses.responses[i].left != oldest.lefts[i]) {
       return Status::IOError("session: response order does not match the "
                              "batch");
     }
   }
+  in_flight_.pop_front();
   return std::move(responses.responses);
+}
+
+Result<std::vector<ProbeResponse>> RemoteWorkerSession::Probe(
+    std::span<const ProbeRequest> batch) {
+  if (!in_flight_.empty()) {
+    return Status::InvalidArgument(
+        "session: Probe requires no pipelined batch in flight");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(SendProbeBatch(batch));
+  return ReceiveResponses();
+}
+
+Status RemoteWorkerSession::Reassign(
+    const wire::WorkerAssignment& assignment) {
+  if (shut_down_) return Status::InvalidArgument("session: already shut down");
+  if (version_ < 2) {
+    return Status::NotSupported(
+        "session: reassignment needs protocol version 2, negotiated " +
+        std::to_string(version_));
+  }
+  if (!in_flight_.empty()) {
+    return Status::InvalidArgument(
+        "session: reassignment requires no batch in flight");
+  }
+  wire::ReassignmentFrame reassignment;
+  reassignment.epoch = epoch_ + 1;
+  reassignment.assignment = assignment;
+  SKEWSEARCH_RETURN_NOT_OK(
+      connection_->Send(wire::EncodeReassignment(reassignment)));
+  wire::Frame frame;
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection_.get(), &frame));
+  wire::ReassignmentAckFrame ack;
+  SKEWSEARCH_RETURN_NOT_OK(wire::DecodeReassignmentAck(frame, &ack));
+  const wire::AssignmentAckFrame shipped = SliceCounters(assignment);
+  if (ack.epoch != reassignment.epoch ||
+      ack.counters.num_keys != shipped.num_keys ||
+      ack.counters.num_entries != shipped.num_entries ||
+      ack.counters.distinct_vectors != shipped.distinct_vectors) {
+    return Status::Internal(
+        "session: worker applied a different reassignment than was "
+        "shipped (epoch " + std::to_string(ack.epoch) + "/" +
+        std::to_string(reassignment.epoch) + ", keys " +
+        std::to_string(ack.counters.num_keys) + "/" +
+        std::to_string(shipped.num_keys) + ", entries " +
+        std::to_string(ack.counters.num_entries) + "/" +
+        std::to_string(shipped.num_entries) + ")");
+  }
+  epoch_ = reassignment.epoch;
+  return Status::OK();
 }
 
 Status RemoteWorkerSession::Shutdown() {
@@ -132,7 +296,8 @@ Status RemoteWorkerSession::Shutdown() {
   return sent;
 }
 
-Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats) {
+Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
+                       const ServeOptions& options) {
   WorkerServeStats local;
 
   // Phase 1 — handshake: pick the highest mutually supported version.
@@ -168,80 +333,84 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats) {
   decoded = wire::DecodeAssignment(frame, &assignment);
   if (!decoded.ok()) return FailSession(connection, decoded);
 
-  // The shipped vectors are stored densely (memory proportional to what
-  // was shipped, never to the coordinator's id space) with an id map
-  // for verification; ids on the wire stay the original VectorIds.
-  // Every posting id must have a shipped vector and every shipped
-  // vector must be referenced — an assignment violating either is
-  // rejected here, so the probe loop can trust the map completely.
-  std::vector<VectorId> referenced;
-  uint64_t entries = 0;
-  for (const auto& [key, ids] : assignment.postings) {
-    referenced.insert(referenced.end(), ids.begin(), ids.end());
-    entries += ids.size();
-  }
-  std::sort(referenced.begin(), referenced.end());
-  referenced.erase(std::unique(referenced.begin(), referenced.end()),
-                   referenced.end());
-  if (referenced.size() != assignment.vectors.size()) {
-    return FailSession(
-        connection,
-        Status::InvalidArgument(
-            "session: assignment ships " +
-            std::to_string(assignment.vectors.size()) + " vectors but the "
-            "postings reference " + std::to_string(referenced.size())));
-  }
-  for (size_t i = 0; i < referenced.size(); ++i) {
-    if (assignment.vectors[i].first != referenced[i]) {
-      return FailSession(connection,
-                         Status::InvalidArgument(
-                             "session: shipped vectors do not match the "
-                             "posting ids"));
-    }
-  }
-
-  Dataset data;
-  PostingMap<VectorId, VectorId> dense_positions;
-  dense_positions.reserve(assignment.vectors.size());
-  for (const auto& [id, items] : assignment.vectors) {
-    dense_positions.emplace(id, data.Add(std::span<const ItemId>(items)));
-  }
-  FilterTable table;
-  table.Reserve(entries);
-  for (const auto& [key, ids] : assignment.postings) {
-    for (VectorId id : ids) table.Add(key, id);
-  }
-  table.Freeze();
-  local.posting_entries = table.num_pairs();
-
-  JoinWorker worker(static_cast<int>(hello.worker_id), std::move(table),
-                    &data, assignment.threshold, assignment.measure,
-                    &dense_positions);
-  wire::AssignmentAckFrame assignment_ack;
-  assignment_ack.num_keys = worker.num_keys();
-  assignment_ack.num_entries = worker.num_entries();
-  assignment_ack.distinct_vectors = worker.distinct_vectors();
+  WorkerState state;
+  state.worker_id = static_cast<int>(hello.worker_id);
+  const wire::AssignmentAckFrame assignment_ack = SliceCounters(assignment);
+  Status applied = state.Apply(assignment);
+  if (!applied.ok()) return FailSession(connection, applied);
+  local.posting_entries = state.worker->num_entries();
   SKEWSEARCH_RETURN_NOT_OK(
       connection->Send(wire::EncodeAssignmentAck(assignment_ack)));
 
-  // Phase 3 — probe loop until Shutdown.
+  // Phase 3 — probe loop until Shutdown. Responses are computed and
+  // sent strictly in frame-arrival order, which is what lets the
+  // coordinator pipeline batches: the k-th response always answers the
+  // k-th outstanding batch. A replayed (duplicate-delivered) batch is
+  // recomputed from scratch against read-only state, so its response
+  // is identical — answering is idempotent by construction.
+  uint32_t epoch = 0;
   std::vector<ProbeResponse> responses;
   for (;;) {
     SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
     if (frame.type == wire::FrameType::kShutdown) break;
+    if (frame.type == wire::FrameType::kReassignment) {
+      if (ack.version < 2) {
+        return FailSession(connection,
+                           Status::NotSupported(
+                               "session: Reassignment frame on a version " +
+                               std::to_string(ack.version) + " session"));
+      }
+      wire::ReassignmentFrame reassignment;
+      decoded = wire::DecodeReassignment(frame, &reassignment);
+      if (!decoded.ok()) return FailSession(connection, decoded);
+      if (reassignment.epoch != epoch + 1) {
+        return FailSession(
+            connection,
+            Status::InvalidArgument(
+                "session: reassignment to epoch " +
+                std::to_string(reassignment.epoch) + " but this worker is "
+                "at epoch " + std::to_string(epoch)));
+      }
+      wire::ReassignmentAckFrame reassignment_ack;
+      reassignment_ack.epoch = reassignment.epoch;
+      reassignment_ack.counters = SliceCounters(reassignment.assignment);
+      applied = state.Apply(reassignment.assignment);
+      if (!applied.ok()) return FailSession(connection, applied);
+      epoch = reassignment.epoch;
+      local.reassignments++;
+      local.posting_entries = state.worker->num_entries();
+      SKEWSEARCH_RETURN_NOT_OK(
+          connection->Send(wire::EncodeReassignmentAck(reassignment_ack)));
+      continue;
+    }
     wire::ProbeBatch batch;
     decoded = wire::DecodeProbeBatch(frame, &batch);
     if (!decoded.ok()) return FailSession(connection, decoded);
+    if (ack.version >= 2 && batch.epoch != epoch) {
+      return FailSession(
+          connection,
+          Status::InvalidArgument(
+              "session: probe batch stamped epoch " +
+              std::to_string(batch.epoch) + " but this worker is at epoch " +
+              std::to_string(epoch)));
+    }
     responses.clear();
     responses.reserve(batch.probes.size());
     for (const wire::OwnedProbe& probe : batch.probes) {
-      responses.push_back(worker.Probe(probe.View()));
+      responses.push_back(state.worker->Probe(probe.View()));
       local.matches += responses.back().matches.size();
     }
     local.batches++;
     local.probes += batch.probes.size();
-    SKEWSEARCH_RETURN_NOT_OK(
-        connection->Send(wire::EncodeResponseBatch(responses)));
+    SKEWSEARCH_RETURN_NOT_OK(connection->Send(wire::EncodeResponseBatch(
+        responses, ack.version, batch.epoch, batch.seq)));
+    if (options.fail_after_batches > 0 &&
+        local.batches >= options.fail_after_batches) {
+      // Simulated crash: vanish mid-stream without Error or Shutdown.
+      connection->Close();
+      if (stats != nullptr) *stats = local;
+      return Status::Aborted("session: dropped by fail_after_batches");
+    }
   }
   local.wire = connection->stats();
   if (stats != nullptr) *stats = local;

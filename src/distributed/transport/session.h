@@ -16,7 +16,13 @@
 //      silently dropping pairs.
 //   3. Probe loop — ProbeBatch frames answered by ResponseBatch frames
 //      (responses in request order, one per request), until Shutdown
-//      ends the session in an orderly way.
+//      ends the session in an orderly way. Under protocol version >= 2
+//      the probe stream is pipelined: the coordinator may have several
+//      batches in flight (SendProbeBatch / ReceiveResponses below),
+//      each stamped with the session epoch and a sequence number the
+//      worker echoes, and the coordinator may interpose a Reassignment
+//      frame (when no batch is in flight) that merges a lost worker's
+//      slices into this worker's table and bumps the epoch.
 //
 // Either side may send Error at any point and close; the other side
 // surfaces it as the carried Status. The worker's answers are computed
@@ -27,6 +33,7 @@
 #define SKEWSEARCH_DISTRIBUTED_TRANSPORT_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -40,8 +47,11 @@ namespace skewsearch {
 /// \brief Coordinator-side handle on one remote worker.
 ///
 /// Created by Start(), which runs the handshake and ships the
-/// assignment; afterwards Probe() drives the probe loop. One driver
-/// thread per session (matching FrameConnection's contract).
+/// assignment; afterwards the probe loop is driven either synchronously
+/// (Probe()) or pipelined (SendProbeBatch() / ReceiveResponses(), up to
+/// a caller-chosen window of batches in flight so the round trip of one
+/// batch is hidden behind the service time of the previous one). One
+/// driver thread per session (matching FrameConnection's contract).
 class RemoteWorkerSession {
  public:
   /// Runs phases 1 and 2: handshake as worker \p worker_id of
@@ -55,9 +65,31 @@ class RemoteWorkerSession {
   RemoteWorkerSession& operator=(RemoteWorkerSession&&) = default;
 
   /// Ships one ProbeBatch and blocks for the ResponseBatch; responses
-  /// come back in request order, one per request (validated).
+  /// come back in request order, one per request (validated). Requires
+  /// no pipelined batch in flight.
   Result<std::vector<ProbeResponse>> Probe(
       std::span<const ProbeRequest> batch);
+
+  /// Pipelined send half: ships one ProbeBatch stamped with the current
+  /// epoch and the next sequence number without waiting for its
+  /// response. The caller bounds how many are outstanding.
+  Status SendProbeBatch(std::span<const ProbeRequest> batch);
+
+  /// Pipelined receive half: blocks for the response of the *oldest*
+  /// in-flight batch (responses arrive in send order) and validates the
+  /// count, per-response probe echo and — under version >= 2 — the
+  /// epoch/sequence echo.
+  Result<std::vector<ProbeResponse>> ReceiveResponses();
+
+  /// ProbeBatches sent whose responses have not been received yet.
+  size_t in_flight() const { return in_flight_.size(); }
+
+  /// Re-ships a lost worker's slices to this (surviving) worker:
+  /// sends a Reassignment frame carrying \p assignment under the next
+  /// epoch, waits for the ReassignmentAck and cross-checks its
+  /// counters. Requires a version >= 2 session and no batch in flight.
+  /// After success every later batch is stamped with the new epoch.
+  Status Reassign(const wire::WorkerAssignment& assignment);
 
   /// Sends Shutdown and closes; idempotent. The session is unusable
   /// afterwards.
@@ -71,6 +103,9 @@ class RemoteWorkerSession {
   /// The protocol version the handshake negotiated.
   uint8_t negotiated_version() const { return version_; }
 
+  /// The current session epoch (0 until the first Reassign succeeds).
+  uint32_t epoch() const { return epoch_; }
+
  private:
   RemoteWorkerSession(std::unique_ptr<FrameConnection> connection,
                       uint32_t worker_id, uint8_t version)
@@ -78,9 +113,18 @@ class RemoteWorkerSession {
         worker_id_(worker_id),
         version_(version) {}
 
+  /// What ReceiveResponses needs to validate one outstanding batch.
+  struct InFlightBatch {
+    uint64_t seq = 0;
+    std::vector<VectorId> lefts;
+  };
+
   std::unique_ptr<FrameConnection> connection_;
   uint32_t worker_id_ = 0;
   uint8_t version_ = 0;
+  uint32_t epoch_ = 0;
+  uint64_t next_seq_ = 0;
+  std::deque<InFlightBatch> in_flight_;
   bool shut_down_ = false;
 };
 
@@ -91,17 +135,31 @@ struct WorkerServeStats {
   uint64_t probes = 0;           ///< individual probes answered
   uint64_t matches = 0;          ///< verified pairs returned
   uint64_t posting_entries = 0;  ///< entries in the reconstructed table
+  uint64_t reassignments = 0;    ///< Reassignment frames applied
   WireStats wire;                ///< connection traffic totals
+};
+
+/// \brief Worker-side serving knobs (all test/ops hooks; zero = off).
+struct ServeOptions {
+  /// Fault-injection hook for the kill-recovery smoke and tests: after
+  /// answering this many ProbeBatch frames the worker drops the
+  /// connection mid-stream (no Error frame, no Shutdown — exactly what
+  /// a crashed process looks like to the coordinator) and returns
+  /// Aborted. 0 disables.
+  uint64_t fail_after_batches = 0;
 };
 
 /// Serves one coordinator session on \p connection: accepts the
 /// handshake, reconstructs the assigned posting slices and shipped
-/// vectors into a local JoinWorker, then answers probe batches until a
-/// Shutdown frame arrives (returns OK) or the session fails (returns
-/// the error after sending a best-effort Error frame). This is the
-/// whole body of the `join-worker` CLI process.
+/// vectors into a local JoinWorker, then answers probe batches — and,
+/// under version >= 2, applies Reassignment frames by merging the
+/// re-shipped slices into its live table — until a Shutdown frame
+/// arrives (returns OK) or the session fails (returns the error after
+/// sending a best-effort Error frame). This is the per-connection body
+/// of the `join-worker` server (distributed/server.h).
 Status ServeConnection(FrameConnection* connection,
-                       WorkerServeStats* stats = nullptr);
+                       WorkerServeStats* stats = nullptr,
+                       const ServeOptions& options = {});
 
 }  // namespace skewsearch
 

@@ -3,12 +3,15 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -16,8 +19,45 @@ namespace skewsearch {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 Status Errno(const std::string& what) {
   return Status::IOError("tcp: " + what + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left until \p deadline, clamped at zero.
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return left.count() <= 0
+             ? 0
+             : static_cast<int>(
+                   std::min<long long>(left.count(), 1000LL * 60 * 60 * 24));
+}
+
+/// Blocks until \p fd is ready for \p events or \p deadline passes.
+/// EINTR restarts the wait with the *remaining* time (never the full
+/// budget again — a signal storm cannot extend the total wait), which
+/// is the whole point of polling against a deadline instead of leaning
+/// on SO_RCVTIMEO/SO_SNDTIMEO restarts.
+Status WaitReady(int fd, short events, SteadyClock::time_point deadline,
+                 const char* op) {
+  for (;;) {
+    const int remaining = RemainingMs(deadline);
+    if (remaining <= 0) {
+      return Status::IOError(std::string("tcp: ") + op + " timed out");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready > 0) return Status::OK();
+    if (ready == 0) {
+      return Status::IOError(std::string("tcp: ") + op + " timed out");
+    }
+    if (errno == EINTR) continue;  // recomputes the remaining time above
+    return Errno(std::string("poll (") + op + ")");
+  }
 }
 
 Status ApplySocketOptions(int fd, const TcpOptions& options) {
@@ -39,12 +79,14 @@ Status ApplySocketOptions(int fd, const TcpOptions& options) {
 
 class TcpConnection : public FrameConnection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {}
+  TcpConnection(int fd, const TcpOptions& options)
+      : fd_(fd), io_timeout_ms_(options.io_timeout_ms) {}
 
   ~TcpConnection() override { Close(); }
 
   Status Send(const wire::Frame& frame) override {
     if (fd_ < 0) return Status::IOError("tcp: connection closed");
+    if (poisoned_) return PoisonedStatus();
     std::vector<uint8_t> header;
     header.reserve(wire::kFrameHeaderBytes);
     wire::AppendFrameHeader(frame.type,
@@ -59,18 +101,37 @@ class TcpConnection : public FrameConnection {
     iov[1].iov_len = frame.payload.size();
     size_t active = frame.payload.empty() ? 1 : 2;
     iovec* cursor = iov;
+    const auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(io_timeout_ms_);
+    bool wrote_any = false;
+    // A failure after any byte of this frame went out leaves the peer's
+    // stream cut mid-frame: poison so no later Send can interleave a
+    // fresh header into the torn frame.
+    auto fail = [&](Status status) {
+      if (wrote_any) poisoned_ = true;
+      return status;
+    };
     while (active > 0) {
+      if (io_timeout_ms_ > 0) {
+        Status ready = WaitReady(fd_, POLLOUT, deadline, "send");
+        if (!ready.ok()) return fail(std::move(ready));
+      }
       msghdr msg{};
       msg.msg_iov = cursor;
       msg.msg_iovlen = active;
       ssize_t sent = sendmsg(fd_, &msg, MSG_NOSIGNAL);
       if (sent < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          return Status::IOError("tcp: send timed out");
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          // No timeout configured: plain blocking retry. With one, the
+          // WaitReady above re-enters with the remaining budget only.
+          if (io_timeout_ms_ == 0 && errno != EINTR) {
+            return fail(Status::IOError("tcp: send timed out"));
+          }
+          continue;
         }
-        return Errno("sendmsg");
+        return fail(Errno("sendmsg"));
       }
+      if (sent > 0) wrote_any = true;
       size_t progress = static_cast<size_t>(sent);
       while (active > 0 && progress >= cursor->iov_len) {
         progress -= cursor->iov_len;
@@ -89,16 +150,36 @@ class TcpConnection : public FrameConnection {
 
   Status Receive(wire::Frame* frame) override {
     if (fd_ < 0) return Status::IOError("tcp: connection closed");
+    if (poisoned_) return PoisonedStatus();
     uint8_t header[wire::kFrameHeaderBytes];
-    SKEWSEARCH_RETURN_NOT_OK(ReadExactly(header, sizeof(header)));
+    bool consumed_any = false;
+    Status read = ReadExactly(header, sizeof(header), &consumed_any);
+    if (!read.ok()) {
+      // A timeout (or any failure) after part of a header was consumed
+      // leaves the stream desynchronized: the next read would decode
+      // mid-frame bytes as a header. Between frames (nothing consumed)
+      // the stream is still aligned and the error is returned as-is.
+      if (consumed_any) poisoned_ = true;
+      return read;
+    }
     wire::FrameHeader decoded;
-    SKEWSEARCH_RETURN_NOT_OK(wire::DecodeFrameHeader(
-        std::span<const uint8_t>(header, sizeof(header)), &decoded));
+    Status header_ok = wire::DecodeFrameHeader(
+        std::span<const uint8_t>(header, sizeof(header)), &decoded);
+    if (!header_ok.ok()) {
+      poisoned_ = true;  // 12 bytes of garbage consumed: no resync point
+      return header_ok;
+    }
     frame->type = decoded.type;
+    frame->version = decoded.version;
     frame->payload.resize(decoded.payload_length);
     if (decoded.payload_length > 0) {
-      SKEWSEARCH_RETURN_NOT_OK(
-          ReadExactly(frame->payload.data(), decoded.payload_length));
+      consumed_any = false;
+      read = ReadExactly(frame->payload.data(), decoded.payload_length,
+                         &consumed_any);
+      if (!read.ok()) {
+        poisoned_ = true;  // header consumed, payload cut short
+        return read;
+      }
     }
     stats_.frames_received++;
     stats_.bytes_received += wire::kFrameHeaderBytes + decoded.payload_length;
@@ -114,14 +195,29 @@ class TcpConnection : public FrameConnection {
   }
 
  private:
-  Status ReadExactly(uint8_t* out, size_t count) {
+  static Status PoisonedStatus() {
+    return Status::Aborted(
+        "tcp: connection poisoned: an earlier failure mid-frame left the "
+        "stream desynchronized; close and reconnect");
+  }
+
+  Status ReadExactly(uint8_t* out, size_t count, bool* consumed_any) {
     size_t done = 0;
+    const auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(io_timeout_ms_);
     while (done < count) {
+      if (io_timeout_ms_ > 0) {
+        SKEWSEARCH_RETURN_NOT_OK(
+            WaitReady(fd_, POLLIN, deadline, "receive"));
+      }
       ssize_t got = recv(fd_, out + done, count - done, 0);
       if (got < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR) continue;  // deadline enforced by WaitReady
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          return Status::IOError("tcp: receive timed out");
+          if (io_timeout_ms_ == 0) {
+            return Status::IOError("tcp: receive timed out");
+          }
+          continue;
         }
         return Errno("recv");
       }
@@ -129,11 +225,18 @@ class TcpConnection : public FrameConnection {
         return Status::IOError("tcp: connection closed by peer");
       }
       done += static_cast<size_t>(got);
+      *consumed_any = true;
     }
     return Status::OK();
   }
 
   int fd_;
+  uint32_t io_timeout_ms_;
+  /// Set once a frame boundary has been lost (short read/write inside a
+  /// frame, or garbage where a header should be); every later Send and
+  /// Receive fails with a distinct Aborted status instead of decoding
+  /// garbage.
+  bool poisoned_ = false;
 };
 
 }  // namespace
@@ -170,7 +273,7 @@ Result<std::unique_ptr<FrameConnection>> TcpConnect(
     }
     freeaddrinfo(resolved);
     return std::unique_ptr<FrameConnection>(
-        std::make_unique<TcpConnection>(fd));
+        std::make_unique<TcpConnection>(fd, options));
   }
   freeaddrinfo(resolved);
   return last;
@@ -228,20 +331,44 @@ Result<TcpListener> TcpListener::Listen(uint16_t port,
 }
 
 Result<std::unique_ptr<FrameConnection>> TcpListener::Accept() {
+  bool timed_out = false;
+  return Accept(/*timeout_ms=*/0, &timed_out);
+}
+
+Result<std::unique_ptr<FrameConnection>> TcpListener::Accept(
+    uint32_t timeout_ms, bool* timed_out) {
+  *timed_out = false;
   if (fd_ < 0) return Status::IOError("tcp: listener closed");
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
+    if (timeout_ms > 0) {
+      Status ready = WaitReady(fd_, POLLIN, deadline, "accept");
+      if (!ready.ok()) {
+        *timed_out = true;
+        return ready;
+      }
+    }
     int fd = accept(fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // Transient per-connection conditions: the connection that was
+      // pending aborted (or tripped a protocol error) before we got to
+      // it. The listener itself is fine — keep accepting, a server's
+      // accept loop must outlive any one bad client.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
       return Errno("accept");
     }
     Status configured = ApplySocketOptions(fd, options_);
     if (!configured.ok()) {
+      // A client socket we cannot configure is that client's problem,
+      // not the listener's: drop it and keep serving.
       ::close(fd);
-      return configured;
+      continue;
     }
     return std::unique_ptr<FrameConnection>(
-        std::make_unique<TcpConnection>(fd));
+        std::make_unique<TcpConnection>(fd, options_));
   }
 }
 

@@ -55,8 +55,19 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
   ~TcpListener();
 
-  /// Blocks until a coordinator connects; returns the connection.
+  /// Blocks until a coordinator connects; returns the connection. The
+  /// accept loop survives transient per-connection failures (EINTR,
+  /// ECONNABORTED, EPROTO, an unconfigurable client socket) — only a
+  /// broken listener surfaces as an error.
   Result<std::unique_ptr<FrameConnection>> Accept();
+
+  /// Accept with a bound: waits at most \p timeout_ms (against a
+  /// deadline, so EINTR cannot extend the total wait) and sets
+  /// \p *timed_out when the bound — not the listener — ended the wait.
+  /// 0 waits forever, exactly like Accept(). The multi-session worker
+  /// server's idle-timeout guard is built on this.
+  Result<std::unique_ptr<FrameConnection>> Accept(uint32_t timeout_ms,
+                                                 bool* timed_out);
 
   /// The bound port (resolves a requested port of 0).
   uint16_t port() const { return port_; }

@@ -52,7 +52,7 @@ Status BoundedCount(PayloadReader* reader, size_t min_element_bytes,
 
 bool IsValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kReassignmentAck);
 }
 
 void AppendFrameHeader(FrameType type, uint32_t payload_length,
@@ -144,7 +144,7 @@ Frame EncodeHello(const HelloFrame& hello) {
   writer.U8(hello.max_version);
   writer.U32(hello.worker_id);
   writer.U32(hello.num_workers);
-  return {FrameType::kHello, std::move(writer).Take()};
+  return {FrameType::kHello, kVersionMin, std::move(writer).Take()};
 }
 
 Status DecodeHello(const Frame& frame, HelloFrame* out) {
@@ -170,7 +170,7 @@ Frame EncodeHelloAck(const HelloAckFrame& ack) {
   PayloadWriter writer;
   writer.U8(ack.version);
   writer.U32(ack.worker_id);
-  return {FrameType::kHelloAck, std::move(writer).Take()};
+  return {FrameType::kHelloAck, kVersionMin, std::move(writer).Take()};
 }
 
 Status DecodeHelloAck(const Frame& frame, HelloAckFrame* out) {
@@ -186,29 +186,50 @@ Status DecodeHelloAck(const Frame& frame, HelloAckFrame* out) {
   return Status::OK();
 }
 
+namespace {
+
+/// The assignment body shared by kAssignment and kReassignment:
+/// threshold, measure, postings, vectors.
+void AppendAssignmentBody(const WorkerAssignment& assignment,
+                          PayloadWriter* writer) {
+  writer->F64(assignment.threshold);
+  writer->U8(static_cast<uint8_t>(assignment.measure));
+  writer->U32(static_cast<uint32_t>(assignment.postings.size()));
+  for (const auto& [key, ids] : assignment.postings) {
+    writer->U64(key);
+    writer->U32(static_cast<uint32_t>(ids.size()));
+    writer->Bytes(ids.data(), ids.size() * sizeof(VectorId));
+  }
+  writer->U32(static_cast<uint32_t>(assignment.vectors.size()));
+  for (const auto& [id, items] : assignment.vectors) {
+    writer->U32(id);
+    writer->U32(static_cast<uint32_t>(items.size()));
+    writer->Bytes(items.data(), items.size() * sizeof(ItemId));
+  }
+}
+
+Status ReadAssignmentBody(PayloadReader* in, WorkerAssignment* out);
+
+}  // namespace
+
 Frame EncodeAssignment(const WorkerAssignment& assignment) {
   PayloadWriter writer;
-  writer.F64(assignment.threshold);
-  writer.U8(static_cast<uint8_t>(assignment.measure));
-  writer.U32(static_cast<uint32_t>(assignment.postings.size()));
-  for (const auto& [key, ids] : assignment.postings) {
-    writer.U64(key);
-    writer.U32(static_cast<uint32_t>(ids.size()));
-    writer.Bytes(ids.data(), ids.size() * sizeof(VectorId));
-  }
-  writer.U32(static_cast<uint32_t>(assignment.vectors.size()));
-  for (const auto& [id, items] : assignment.vectors) {
-    writer.U32(id);
-    writer.U32(static_cast<uint32_t>(items.size()));
-    writer.Bytes(items.data(), items.size() * sizeof(ItemId));
-  }
-  return {FrameType::kAssignment, std::move(writer).Take()};
+  AppendAssignmentBody(assignment, &writer);
+  return {FrameType::kAssignment, kVersionMin, std::move(writer).Take()};
 }
 
 Status DecodeAssignment(const Frame& frame, WorkerAssignment* out) {
   SKEWSEARCH_RETURN_NOT_OK(
       ExpectType(frame, FrameType::kAssignment, "Assignment"));
   PayloadReader reader(frame.payload);
+  SKEWSEARCH_RETURN_NOT_OK(ReadAssignmentBody(&reader, out));
+  return ExpectConsumed(reader, "Assignment");
+}
+
+namespace {
+
+Status ReadAssignmentBody(PayloadReader* in, WorkerAssignment* out) {
+  PayloadReader& reader = *in;
   WorkerAssignment assignment;
   SKEWSEARCH_RETURN_NOT_OK(reader.F64(&assignment.threshold));
   if (!std::isfinite(assignment.threshold)) {
@@ -271,17 +292,18 @@ Status DecodeAssignment(const Frame& frame, WorkerAssignment* out) {
     }
     assignment.vectors.emplace_back(id, std::move(items));
   }
-  SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "Assignment"));
   *out = std::move(assignment);
   return Status::OK();
 }
+
+}  // namespace
 
 Frame EncodeAssignmentAck(const AssignmentAckFrame& ack) {
   PayloadWriter writer;
   writer.U64(ack.num_keys);
   writer.U64(ack.num_entries);
   writer.U64(ack.distinct_vectors);
-  return {FrameType::kAssignmentAck, std::move(writer).Take()};
+  return {FrameType::kAssignmentAck, kVersionMin, std::move(writer).Take()};
 }
 
 Status DecodeAssignmentAck(const Frame& frame, AssignmentAckFrame* out) {
@@ -297,8 +319,13 @@ Status DecodeAssignmentAck(const Frame& frame, AssignmentAckFrame* out) {
   return Status::OK();
 }
 
-Frame EncodeProbeBatch(std::span<const ProbeRequest> batch) {
+Frame EncodeProbeBatch(std::span<const ProbeRequest> batch, uint8_t version,
+                       uint32_t epoch, uint64_t seq) {
   PayloadWriter writer;
+  if (version >= 2) {
+    writer.U32(epoch);
+    writer.U64(seq);
+  }
   writer.U32(static_cast<uint32_t>(batch.size()));
   for (const ProbeRequest& request : batch) {
     writer.U32(request.left);
@@ -308,17 +335,21 @@ Frame EncodeProbeBatch(std::span<const ProbeRequest> batch) {
     writer.U32(static_cast<uint32_t>(request.keys.size()));
     writer.Bytes(request.keys.data(), request.keys.size() * sizeof(uint64_t));
   }
-  return {FrameType::kProbeBatch, std::move(writer).Take()};
+  return {FrameType::kProbeBatch, version, std::move(writer).Take()};
 }
 
 Status DecodeProbeBatch(const Frame& frame, ProbeBatch* out) {
   SKEWSEARCH_RETURN_NOT_OK(
       ExpectType(frame, FrameType::kProbeBatch, "ProbeBatch"));
   PayloadReader reader(frame.payload);
+  ProbeBatch batch;
+  if (frame.version >= 2) {
+    SKEWSEARCH_RETURN_NOT_OK(reader.U32(&batch.epoch));
+    SKEWSEARCH_RETURN_NOT_OK(reader.U64(&batch.seq));
+  }
   uint32_t count = 0;
   SKEWSEARCH_RETURN_NOT_OK(
       BoundedCount(&reader, kMinProbeBytes, "ProbeBatch probe", &count));
-  ProbeBatch batch;
   batch.probes.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     OwnedProbe probe;
@@ -350,8 +381,13 @@ Status DecodeProbeBatch(const Frame& frame, ProbeBatch* out) {
   return Status::OK();
 }
 
-Frame EncodeResponseBatch(std::span<const ProbeResponse> batch) {
+Frame EncodeResponseBatch(std::span<const ProbeResponse> batch,
+                          uint8_t version, uint32_t epoch, uint64_t seq) {
   PayloadWriter writer;
+  if (version >= 2) {
+    writer.U32(epoch);
+    writer.U64(seq);
+  }
   writer.U32(static_cast<uint32_t>(batch.size()));
   for (const ProbeResponse& response : batch) {
     writer.U32(response.left);
@@ -363,17 +399,21 @@ Frame EncodeResponseBatch(std::span<const ProbeResponse> batch) {
       writer.F64(match.similarity);
     }
   }
-  return {FrameType::kResponseBatch, std::move(writer).Take()};
+  return {FrameType::kResponseBatch, version, std::move(writer).Take()};
 }
 
 Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out) {
   SKEWSEARCH_RETURN_NOT_OK(
       ExpectType(frame, FrameType::kResponseBatch, "ResponseBatch"));
   PayloadReader reader(frame.payload);
+  ResponseBatch batch;
+  if (frame.version >= 2) {
+    SKEWSEARCH_RETURN_NOT_OK(reader.U32(&batch.epoch));
+    SKEWSEARCH_RETURN_NOT_OK(reader.U64(&batch.seq));
+  }
   uint32_t count = 0;
   SKEWSEARCH_RETURN_NOT_OK(BoundedCount(&reader, kMinResponseBytes,
                                         "ResponseBatch response", &count));
-  ResponseBatch batch;
   batch.responses.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     ProbeResponse response;
@@ -399,7 +439,54 @@ Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out) {
   return Status::OK();
 }
 
-Frame EncodeShutdown() { return {FrameType::kShutdown, {}}; }
+Frame EncodeReassignment(const ReassignmentFrame& reassignment) {
+  PayloadWriter writer;
+  writer.U32(reassignment.epoch);
+  AppendAssignmentBody(reassignment.assignment, &writer);
+  return {FrameType::kReassignment, /*version=*/2, std::move(writer).Take()};
+}
+
+Status DecodeReassignment(const Frame& frame, ReassignmentFrame* out) {
+  SKEWSEARCH_RETURN_NOT_OK(
+      ExpectType(frame, FrameType::kReassignment, "Reassignment"));
+  PayloadReader reader(frame.payload);
+  ReassignmentFrame reassignment;
+  SKEWSEARCH_RETURN_NOT_OK(reader.U32(&reassignment.epoch));
+  if (reassignment.epoch == 0) {
+    return Corrupt("Reassignment epoch 0 (epochs start at 1)");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(
+      ReadAssignmentBody(&reader, &reassignment.assignment));
+  SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "Reassignment"));
+  *out = std::move(reassignment);
+  return Status::OK();
+}
+
+Frame EncodeReassignmentAck(const ReassignmentAckFrame& ack) {
+  PayloadWriter writer;
+  writer.U32(ack.epoch);
+  writer.U64(ack.counters.num_keys);
+  writer.U64(ack.counters.num_entries);
+  writer.U64(ack.counters.distinct_vectors);
+  return {FrameType::kReassignmentAck, /*version=*/2,
+          std::move(writer).Take()};
+}
+
+Status DecodeReassignmentAck(const Frame& frame, ReassignmentAckFrame* out) {
+  SKEWSEARCH_RETURN_NOT_OK(
+      ExpectType(frame, FrameType::kReassignmentAck, "ReassignmentAck"));
+  PayloadReader reader(frame.payload);
+  ReassignmentAckFrame ack;
+  SKEWSEARCH_RETURN_NOT_OK(reader.U32(&ack.epoch));
+  SKEWSEARCH_RETURN_NOT_OK(reader.U64(&ack.counters.num_keys));
+  SKEWSEARCH_RETURN_NOT_OK(reader.U64(&ack.counters.num_entries));
+  SKEWSEARCH_RETURN_NOT_OK(reader.U64(&ack.counters.distinct_vectors));
+  SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "ReassignmentAck"));
+  *out = ack;
+  return Status::OK();
+}
+
+Frame EncodeShutdown() { return {FrameType::kShutdown, kVersionMin, {}}; }
 
 Frame EncodeError(const Status& status) {
   PayloadWriter writer;
@@ -408,7 +495,7 @@ Frame EncodeError(const Status& status) {
   const std::string& message = status.message();
   writer.U32(static_cast<uint32_t>(message.size()));
   writer.Bytes(message.data(), message.size());
-  return {FrameType::kError, std::move(writer).Take()};
+  return {FrameType::kError, kVersionMin, std::move(writer).Take()};
 }
 
 Status DecodeError(const Frame& frame, ErrorFrame* out) {

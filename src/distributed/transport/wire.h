@@ -52,9 +52,15 @@ inline constexpr uint32_t kMagic = 0x4A574B53u;
 /// The Hello frame carries the coordinator's [min, max] range; the
 /// worker's HelloAck picks the highest version both sides support (see
 /// docs/WIRE_PROTOCOL.md, "Version negotiation").
+///
+/// Version 2 adds the recovery surface: a session epoch + batch
+/// sequence number on every ProbeBatch/ResponseBatch (the response
+/// echo is the coordinator's acknowledgement) and the Reassignment/
+/// ReassignmentAck frames that re-ship a lost worker's slices to a
+/// survivor mid-session.
 /// @{
 inline constexpr uint8_t kVersionMin = 1;
-inline constexpr uint8_t kVersionMax = 1;
+inline constexpr uint8_t kVersionMax = 2;
 /// @}
 
 /// Hard cap on a frame's payload length. A header announcing more is
@@ -75,14 +81,26 @@ enum class FrameType : uint8_t {
   kResponseBatch = 6,  ///< worker -> coordinator: batched ProbeResponses
   kShutdown = 7,       ///< coordinator -> worker: orderly end of session
   kError = 8,          ///< either direction: fatal error, then close
+  /// \name Version >= 2 only (sent strictly after a >= 2 handshake).
+  /// @{
+  kReassignment = 9,     ///< coordinator -> worker: adopt a lost
+                         ///< worker's slices, bump the session epoch
+  kReassignmentAck = 10, ///< worker -> coordinator: epoch + counters
+  /// @}
 };
 
 /// True iff \p type is one of the FrameType enumerators.
 bool IsValidFrameType(uint8_t type);
 
 /// \brief One decoded frame: its type plus the raw payload bytes.
+///
+/// `version` is the protocol version the payload is laid out under:
+/// transports fill it from the frame header on Receive, and encoders
+/// stamp the version they were asked to encode for, so decoders always
+/// know which layout to read without consulting connection state.
 struct Frame {
   FrameType type = FrameType::kError;
+  uint8_t version = kVersionMin;
   std::vector<uint8_t> payload;
 };
 
@@ -204,13 +222,46 @@ struct OwnedProbe {
 };
 
 /// \brief A decoded ProbeBatch frame.
+///
+/// Under version >= 2 every batch carries the coordinator's current
+/// session epoch and a per-session strictly increasing sequence number;
+/// the worker rejects an epoch it has not reached (a stale coordinator
+/// after a reassignment) and echoes both on the ResponseBatch — that
+/// echo is the acknowledgement the coordinator's recovery replays
+/// against. Version 1 peers carry neither (both decode as zero).
 struct ProbeBatch {
+  uint32_t epoch = 0;
+  uint64_t seq = 0;
   std::vector<OwnedProbe> probes;
 };
 
 /// \brief A decoded ResponseBatch frame.
 struct ResponseBatch {
+  uint32_t epoch = 0;  ///< echo of the answered ProbeBatch (v2)
+  uint64_t seq = 0;    ///< echo of the answered ProbeBatch (v2)
   std::vector<ProbeResponse> responses;
+};
+
+/// \brief Reassignment (v2): a survivor adopts a lost worker's slices.
+///
+/// The assignment body is exactly what the dead worker was shipped at
+/// attach time — the partition plan is a pure function of its inputs,
+/// so the coordinator re-derives it deterministically. Applying it
+/// merges the postings/vectors into the worker's live table and bumps
+/// the session epoch to \p epoch.
+struct ReassignmentFrame {
+  uint32_t epoch = 0;  ///< the session epoch after applying (old + 1)
+  WorkerAssignment assignment;
+};
+
+/// \brief ReassignmentAck (v2): counters of the decoded reassignment.
+///
+/// The counters describe the re-shipped slice itself (not the merged
+/// table), so the coordinator cross-checks transmission integrity the
+/// same way AssignmentAck does at attach time.
+struct ReassignmentAckFrame {
+  uint32_t epoch = 0;  ///< echo of ReassignmentFrame::epoch
+  AssignmentAckFrame counters;
 };
 
 /// \brief Error frame: a Status crossing the wire.
@@ -220,19 +271,29 @@ struct ErrorFrame {
 };
 
 /// \name Frame encoders. Each returns a complete Frame (type + payload).
+/// The probe/response encoders take the negotiated \p version: under
+/// version >= 2 the epoch/seq prefix is written, under version 1 the
+/// layout is byte-identical to what this codec has always produced.
 /// @{
 Frame EncodeHello(const HelloFrame& hello);
 Frame EncodeHelloAck(const HelloAckFrame& ack);
 Frame EncodeAssignment(const WorkerAssignment& assignment);
 Frame EncodeAssignmentAck(const AssignmentAckFrame& ack);
-Frame EncodeProbeBatch(std::span<const ProbeRequest> batch);
-Frame EncodeResponseBatch(std::span<const ProbeResponse> batch);
+Frame EncodeProbeBatch(std::span<const ProbeRequest> batch,
+                       uint8_t version = kVersionMin, uint32_t epoch = 0,
+                       uint64_t seq = 0);
+Frame EncodeResponseBatch(std::span<const ProbeResponse> batch,
+                          uint8_t version = kVersionMin, uint32_t epoch = 0,
+                          uint64_t seq = 0);
+Frame EncodeReassignment(const ReassignmentFrame& reassignment);
+Frame EncodeReassignmentAck(const ReassignmentAckFrame& ack);
 Frame EncodeShutdown();
 Frame EncodeError(const Status& status);
 /// @}
 
 /// \name Frame decoders. Each checks the frame type, every field range
-/// and bound, and that the payload is consumed exactly.
+/// and bound, and that the payload is consumed exactly. The probe and
+/// response decoders read the layout Frame::version announces.
 /// @{
 Status DecodeHello(const Frame& frame, HelloFrame* out);
 Status DecodeHelloAck(const Frame& frame, HelloAckFrame* out);
@@ -240,6 +301,8 @@ Status DecodeAssignment(const Frame& frame, WorkerAssignment* out);
 Status DecodeAssignmentAck(const Frame& frame, AssignmentAckFrame* out);
 Status DecodeProbeBatch(const Frame& frame, ProbeBatch* out);
 Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out);
+Status DecodeReassignment(const Frame& frame, ReassignmentFrame* out);
+Status DecodeReassignmentAck(const Frame& frame, ReassignmentAckFrame* out);
 Status DecodeError(const Frame& frame, ErrorFrame* out);
 /// @}
 

@@ -8,6 +8,7 @@
 // selects suites by that prefix. The CI smoke job covers the same
 // topology with the real `join-worker` binary.)
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -169,6 +170,68 @@ TEST(MultiProcessJoinTest, WorkerProcessSurvivesCoordinatorRestart) {
     join.DetachRemote();
     for (pid_t pid : children) EXPECT_EQ(WaitForExit(pid), 0);
   }
+}
+
+TEST(MultiProcessJoinTest, WorkerKilledMidJoinRecoversByteIdentical) {
+  // The PR's acceptance criterion: SIGKILL one worker process with the
+  // probe stream pending, and the coordinator must re-derive the lost
+  // posting slices from the deterministic plan, re-ship them to a
+  // surviving process, replay the unacknowledged batches, and complete
+  // with byte-identical output.
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(107, 150, &dist);
+  DistributedJoinOptions distributed;
+  distributed.index.mode = IndexMode::kAdversarial;
+  distributed.index.b1 = 0.8;
+  distributed.index.repetition_boost = 3.0;
+  distributed.index.seed = 107;
+  distributed.workers = 3;
+  distributed.probe_batch = 16;
+  DistributedJoin join;
+  ASSERT_TRUE(join.Build(&data, &dist, distributed).ok());
+  auto expected = join.SelfJoin();
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->size(), 0u) << "identity needs a non-trivial output";
+
+  std::vector<pid_t> children;
+  std::vector<std::unique_ptr<FrameConnection>> connections;
+  for (int w = 0; w < 3; ++w) {
+    auto listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    const uint16_t port = listener->port();
+    pid_t pid = ForkWorkerProcess(&listener.value());
+    ASSERT_NE(pid, -1);
+    children.push_back(pid);
+    auto connection = TcpConnect("127.0.0.1", port);
+    ASSERT_TRUE(connection.ok());
+    connections.push_back(std::move(connection).value());
+  }
+  ASSERT_TRUE(join.AttachRemote(std::move(connections)).ok());
+
+  // The victim dies *after* the attach (its slices are shipped and its
+  // session live) and is reaped before the probe phase, so every one of
+  // its batches fails and must be replayed elsewhere.
+  ASSERT_EQ(kill(children[1], SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(children[1], &status, 0), children[1]);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  DistributedJoinStats stats;
+  auto got = join.SelfJoin(&stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(expected->size(), got->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*expected)[i].left, (*got)[i].left) << "pair " << i;
+    EXPECT_EQ((*expected)[i].right, (*got)[i].right) << "pair " << i;
+    EXPECT_DOUBLE_EQ((*expected)[i].similarity, (*got)[i].similarity)
+        << "pair " << i;
+  }
+  EXPECT_EQ(stats.worker_recoveries, 1u);
+  EXPECT_GE(stats.replayed_batches, 1u);
+
+  join.DetachRemote();  // the survivors still exit 0
+  EXPECT_EQ(WaitForExit(children[0]), 0);
+  EXPECT_EQ(WaitForExit(children[2]), 0);
 }
 
 }  // namespace

@@ -1,0 +1,288 @@
+// Copyright 2026 The skewsearch Authors.
+// Worker-loss recovery and replay idempotence: a session that dies
+// mid-probe-stream must not change the join output — the coordinator
+// re-derives the dead worker's slices from the deterministic plan,
+// re-ships them to a survivor, replays the unacknowledged batches, and
+// the merge's dedup absorbs everything. Also the transport-poisoning
+// satellite: a TCP stream desynchronized mid-frame must refuse further
+// use with a distinct status instead of decoding garbage.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/generators.h"
+#include "distributed/distributed_join.h"
+#include "distributed/transport/session.h"
+#include "distributed/transport/tcp_transport.h"
+#include "distributed/transport/transport.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+Dataset ZipfDataWithDuplicates(uint64_t seed, size_t n,
+                               ProductDistribution* dist_out) {
+  auto dist = ZipfProbabilities(2000, 1.0, 0.4).value();
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) data.Add(dist.Sample(&rng));
+  for (size_t i = 0; i < n / 10; ++i) {
+    data.Add(data.GetVector(static_cast<VectorId>(i * 3)));
+  }
+  EXPECT_TRUE(data.SetDimension(2000).ok());
+  *dist_out = std::move(dist);
+  return data;
+}
+
+void ExpectIdentical(const std::vector<JoinPair>& expected,
+                     const std::vector<JoinPair>& got) {
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].left, got[i].left) << "pair " << i;
+    EXPECT_EQ(expected[i].right, got[i].right) << "pair " << i;
+    EXPECT_DOUBLE_EQ(expected[i].similarity, got[i].similarity)
+        << "pair " << i;
+  }
+}
+
+/// One hosted loopback worker: ServeConnection on its own thread, with
+/// optional fault injection.
+struct HostedWorker {
+  std::thread thread;
+  WorkerServeStats stats;
+  Status status;
+
+  void Join() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(DistributedRecoveryTest, WorkerDeathMidJoinRecoversByteIdentical) {
+  ProductDistribution dist;
+  Dataset data = ZipfDataWithDuplicates(71, 140, &dist);
+  DistributedJoinOptions options;
+  options.index.mode = IndexMode::kAdversarial;
+  options.index.b1 = 0.8;
+  options.index.repetition_boost = 3.0;
+  options.index.seed = 71;
+  options.workers = 3;
+  options.probe_batch = 8;  // enough batches per worker to die mid-stream
+  DistributedJoin join;
+  ASSERT_TRUE(join.Build(&data, &dist, options).ok());
+  auto expected = join.SelfJoin();
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->size(), 0u) << "identity needs a non-trivial output";
+
+  // Worker 1's server drops the connection after two answered batches —
+  // no Error frame, no Shutdown, exactly what a SIGKILLed process looks
+  // like from the coordinator's side of the socket.
+  std::vector<std::unique_ptr<HostedWorker>> hosts;
+  std::vector<std::unique_ptr<FrameConnection>> connections;
+  for (int w = 0; w < 3; ++w) {
+    auto [client, server] = LoopbackPair();
+    auto host = std::make_unique<HostedWorker>();
+    ServeOptions serve;
+    if (w == 1) serve.fail_after_batches = 2;
+    host->thread = std::thread(
+        [host = host.get(), serve, conn = std::move(server)]() mutable {
+          host->status = ServeConnection(conn.get(), &host->stats, serve);
+        });
+    hosts.push_back(std::move(host));
+    connections.push_back(std::move(client));
+  }
+  ASSERT_TRUE(join.AttachRemote(std::move(connections)).ok());
+
+  DistributedJoinStats stats;
+  auto got = join.SelfJoin(&stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectIdentical(*expected, *got);
+  EXPECT_EQ(stats.worker_recoveries, 1u);
+  EXPECT_GE(stats.replayed_batches, 1u);
+
+  // The remap persists: the next join on the reduced pool (worker 1's
+  // slices now merged into a survivor) is still byte-identical, with
+  // nothing left to recover.
+  DistributedJoinStats again;
+  auto second = join.SelfJoin(&again);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectIdentical(*expected, *second);
+  EXPECT_EQ(again.worker_recoveries, 0u);
+  EXPECT_EQ(again.replayed_batches, 0u);
+
+  join.DetachRemote();
+  size_t reassignments = 0;
+  for (int w = 0; w < 3; ++w) {
+    hosts[static_cast<size_t>(w)]->Join();
+    const HostedWorker& host = *hosts[static_cast<size_t>(w)];
+    if (w == 1) {
+      EXPECT_TRUE(host.status.IsAborted()) << host.status.ToString();
+    } else {
+      EXPECT_TRUE(host.status.ok()) << host.status.ToString();
+      reassignments += host.stats.reassignments;
+    }
+  }
+  // Exactly one survivor absorbed the dead worker's slices.
+  EXPECT_EQ(reassignments, 1u);
+}
+
+TEST(DistributedRecoveryTest, DuplicateProbeBatchIsIdempotent) {
+  // A replayed (duplicate-delivered) batch must produce an identical
+  // response: the worker recomputes against read-only state. Driven at
+  // the session layer, where the pipelined API allows two identical
+  // batches in flight.
+  wire::WorkerAssignment assignment;
+  assignment.threshold = 0.4;
+  assignment.measure = Measure::kBraunBlanquet;
+  assignment.postings.emplace_back(7u, std::vector<VectorId>{0, 1});
+  assignment.vectors.emplace_back(0u, std::vector<ItemId>{1, 2, 3});
+  assignment.vectors.emplace_back(1u, std::vector<ItemId>{2, 3, 4});
+
+  auto [client, server] = LoopbackPair();
+  HostedWorker host;
+  host.thread = std::thread([&host, conn = std::move(server)]() mutable {
+    host.status = ServeConnection(conn.get(), &host.stats);
+  });
+  auto session =
+      RemoteWorkerSession::Start(std::move(client), /*worker_id=*/0,
+                                 /*num_workers=*/1, assignment);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->negotiated_version(), wire::kVersionMax);
+
+  const std::vector<ItemId> items = {2, 3, 4};
+  ProbeRequest probe;
+  probe.left = 9;
+  probe.items = std::span<const ItemId>(items);
+  probe.keys = {7};
+  std::span<const ProbeRequest> batch(&probe, 1);
+  ASSERT_TRUE(session->SendProbeBatch(batch).ok());
+  ASSERT_TRUE(session->SendProbeBatch(batch).ok());
+  EXPECT_EQ(session->in_flight(), 2u);
+  auto first = session->ReceiveResponses();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = session->ReceiveResponses();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(first->size(), 1u);
+  ASSERT_EQ(second->size(), 1u);
+  const ProbeResponse& a = (*first)[0];
+  const ProbeResponse& b = (*second)[0];
+  EXPECT_EQ(a.left, b.left);
+  ASSERT_GT(a.matches.size(), 0u) << "idempotence needs real matches";
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].id, b.matches[i].id);
+    EXPECT_DOUBLE_EQ(a.matches[i].similarity, b.matches[i].similarity);
+  }
+  EXPECT_TRUE(session->Shutdown().ok());
+  host.Join();
+  EXPECT_TRUE(host.status.ok()) << host.status.ToString();
+  EXPECT_EQ(host.stats.batches, 2u);
+}
+
+/// Connects a raw (non-frame) TCP client to \p port and returns the fd.
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+TEST(DistributedPoisonTest, GarbageHeaderPoisonsTcpConnection) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const int fd = RawConnect(listener->port());
+  auto connection = listener->Accept();
+  ASSERT_TRUE(connection.ok());
+
+  // A full 12-byte header of garbage: the magic check fails only after
+  // the bytes are consumed, so there is no resync point.
+  const uint8_t garbage[12] = {0xde, 0xad, 0xbe, 0xef, 1, 2,
+                               3,    4,    5,    6,    7, 8};
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+  wire::Frame frame;
+  Status first = (*connection)->Receive(&frame);
+  EXPECT_FALSE(first.ok());
+  Status second = (*connection)->Receive(&frame);
+  EXPECT_TRUE(second.IsAborted()) << second.ToString();
+  EXPECT_NE(second.ToString().find("poisoned"), std::string::npos)
+      << second.ToString();
+  // The poison covers sends too: the stream position is unknown.
+  Status sent = (*connection)->Send(wire::EncodeShutdown());
+  EXPECT_TRUE(sent.IsAborted()) << sent.ToString();
+  ::close(fd);
+}
+
+TEST(DistributedPoisonTest, MidFrameTimeoutPoisonsTcpConnection) {
+  TcpOptions options;
+  options.io_timeout_ms = 200;
+  auto listener = TcpListener::Listen(0, options);
+  ASSERT_TRUE(listener.ok());
+  const int fd = RawConnect(listener->port());
+  auto connection = listener->Accept();
+  ASSERT_TRUE(connection.ok());
+
+  // Five header bytes, then silence: the receiver times out mid-frame
+  // with the stream desynchronized — the connection must refuse any
+  // further use rather than treat later bytes as a fresh header.
+  const uint8_t partial[5] = {'S', 'K', 'W', 'J', 1};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  wire::Frame frame;
+  Status first = (*connection)->Receive(&frame);
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE(first.IsAborted()) << "first failure is the timeout itself: "
+                                  << first.ToString();
+  Status second = (*connection)->Receive(&frame);
+  EXPECT_TRUE(second.IsAborted()) << second.ToString();
+  EXPECT_NE(second.ToString().find("poisoned"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(DistributedPoisonTest, CleanTimeoutBetweenFramesDoesNotPoison) {
+  TcpOptions options;
+  options.io_timeout_ms = 150;
+  auto listener = TcpListener::Listen(0, options);
+  ASSERT_TRUE(listener.ok());
+  const int fd = RawConnect(listener->port());
+  auto connection = listener->Accept();
+  ASSERT_TRUE(connection.ok());
+
+  // No bytes at all: the wait times out before any of the frame was
+  // consumed, so the stream is still aligned and stays usable.
+  wire::Frame frame;
+  Status first = (*connection)->Receive(&frame);
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE(first.IsAborted()) << first.ToString();
+
+  // A whole valid frame sent afterwards is received normally.
+  const wire::Frame shutdown = wire::EncodeShutdown();
+  std::vector<uint8_t> bytes;
+  wire::AppendFrameHeader(shutdown.type,
+                          static_cast<uint32_t>(shutdown.payload.size()),
+                          shutdown.version, &bytes);
+  bytes.insert(bytes.end(), shutdown.payload.begin(),
+               shutdown.payload.end());
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  Status second = (*connection)->Receive(&frame);
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(frame.type, wire::FrameType::kShutdown);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace skewsearch

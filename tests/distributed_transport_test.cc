@@ -294,11 +294,16 @@ void RunRemoteIdentity(Transport transport, size_t probe_batch) {
   EXPECT_GT(stats.wire_bytes_received, 0u);
   EXPECT_GE(stats.probe_round_trips, 1u);
   if (probe_batch == 1) {
-    // Unbatched: one round trip per routed request.
+    // Unbatched: one ProbeBatch frame per routed request, and with the
+    // default pipeline window the exposed round trips collapse to the
+    // per-worker drains instead of one per frame.
     size_t requests = 0;
     for (const WorkerLoad& load : stats.workers) requests += load.probes;
-    EXPECT_EQ(stats.probe_round_trips, requests);
+    EXPECT_EQ(stats.probe_batches_sent, requests);
+    EXPECT_LT(stats.probe_round_trips, requests);
   }
+  EXPECT_EQ(stats.worker_recoveries, 0u);
+  EXPECT_EQ(stats.replayed_batches, 0u);
   const WireStats totals = join.RemoteWireTotals();
   EXPECT_GE(totals.bytes_sent, stats.wire_bytes_sent);
 

@@ -248,7 +248,7 @@ TEST(DistributedWireTest, OversizedCountsFailBeforeAllocating) {
     writer.F64(0.5);
     writer.U8(0);
     writer.U32(0xFFFFFFFFu);  // posting-key count
-    Frame frame{FrameType::kAssignment, std::move(writer).Take()};
+    Frame frame{FrameType::kAssignment, kVersionMin, std::move(writer).Take()};
     WorkerAssignment decoded;
     EXPECT_FALSE(DecodeAssignment(frame, &decoded).ok());
   }
@@ -259,14 +259,14 @@ TEST(DistributedWireTest, OversizedCountsFailBeforeAllocating) {
     writer.U32(1);            // one key...
     writer.U64(7);            // key
     writer.U32(0xFFFFFFFFu);  // ...claiming 4G posting ids
-    Frame frame{FrameType::kAssignment, std::move(writer).Take()};
+    Frame frame{FrameType::kAssignment, kVersionMin, std::move(writer).Take()};
     WorkerAssignment decoded;
     EXPECT_FALSE(DecodeAssignment(frame, &decoded).ok());
   }
   {
     PayloadWriter writer;
     writer.U32(0xFFFFFFFFu);  // probe count
-    Frame frame{FrameType::kProbeBatch, std::move(writer).Take()};
+    Frame frame{FrameType::kProbeBatch, kVersionMin, std::move(writer).Take()};
     ProbeBatch decoded;
     EXPECT_FALSE(DecodeProbeBatch(frame, &decoded).ok());
   }
@@ -276,14 +276,14 @@ TEST(DistributedWireTest, OversizedCountsFailBeforeAllocating) {
     writer.U32(3);            // left
     writer.U8(0);             // flags
     writer.U32(0xFFFFFFFFu);  // ...claiming 4G items
-    Frame frame{FrameType::kProbeBatch, std::move(writer).Take()};
+    Frame frame{FrameType::kProbeBatch, kVersionMin, std::move(writer).Take()};
     ProbeBatch decoded;
     EXPECT_FALSE(DecodeProbeBatch(frame, &decoded).ok());
   }
   {
     PayloadWriter writer;
     writer.U32(0xFFFFFFFFu);  // response count
-    Frame frame{FrameType::kResponseBatch, std::move(writer).Take()};
+    Frame frame{FrameType::kResponseBatch, kVersionMin, std::move(writer).Take()};
     ResponseBatch decoded;
     EXPECT_FALSE(DecodeResponseBatch(frame, &decoded).ok());
   }
@@ -294,7 +294,7 @@ TEST(DistributedWireTest, OversizedCountsFailBeforeAllocating) {
     writer.U64(0);            // candidates
     writer.U64(0);            // verifications
     writer.U32(0xFFFFFFFFu);  // ...claiming 4G matches
-    Frame frame{FrameType::kResponseBatch, std::move(writer).Take()};
+    Frame frame{FrameType::kResponseBatch, kVersionMin, std::move(writer).Take()};
     ResponseBatch decoded;
     EXPECT_FALSE(DecodeResponseBatch(frame, &decoded).ok());
   }
@@ -428,6 +428,126 @@ TEST(DistributedWireTest, ShutdownHasEmptyPayload) {
   Frame frame = EncodeShutdown();
   EXPECT_EQ(frame.type, FrameType::kShutdown);
   EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(DistributedWireTest, ProbeBatchV2CarriesEpochAndSeq) {
+  ProbeRequest request;
+  request.left = 42;
+  request.keys = {11, 12};
+  const std::span<const ProbeRequest> batch(&request, 1);
+
+  Frame v2 = EncodeProbeBatch(batch, /*version=*/2, /*epoch=*/3, /*seq=*/9);
+  EXPECT_EQ(v2.version, 2);
+  ProbeBatch decoded;
+  ASSERT_TRUE(DecodeProbeBatch(v2, &decoded).ok());
+  EXPECT_EQ(decoded.epoch, 3u);
+  EXPECT_EQ(decoded.seq, 9u);
+  ASSERT_EQ(decoded.probes.size(), 1u);
+  EXPECT_EQ(decoded.probes[0].left, 42u);
+
+  // A v1 frame has no epoch/seq prefix; the decoder must leave the
+  // defaults and read the same body.
+  Frame v1 = EncodeProbeBatch(batch);
+  EXPECT_EQ(v1.version, kVersionMin);
+  EXPECT_EQ(v1.payload.size() + 12, v2.payload.size());
+  ProbeBatch old;
+  ASSERT_TRUE(DecodeProbeBatch(v1, &old).ok());
+  EXPECT_EQ(old.epoch, 0u);
+  EXPECT_EQ(old.seq, 0u);
+  ASSERT_EQ(old.probes.size(), 1u);
+  EXPECT_EQ(old.probes[0].keys, request.keys);
+}
+
+TEST(DistributedWireTest, ResponseBatchV2CarriesEpochAndSeq) {
+  ProbeResponse response;
+  response.left = 7;
+  response.matches.push_back({3, 0.9});
+  response.candidates = 5;
+  response.verifications = 2;
+  const std::span<const ProbeResponse> batch(&response, 1);
+
+  Frame v2 =
+      EncodeResponseBatch(batch, /*version=*/2, /*epoch=*/1, /*seq=*/4);
+  EXPECT_EQ(v2.version, 2);
+  ResponseBatch decoded;
+  ASSERT_TRUE(DecodeResponseBatch(v2, &decoded).ok());
+  EXPECT_EQ(decoded.epoch, 1u);
+  EXPECT_EQ(decoded.seq, 4u);
+  ASSERT_EQ(decoded.responses.size(), 1u);
+  EXPECT_EQ(decoded.responses[0].left, 7u);
+  ASSERT_EQ(decoded.responses[0].matches.size(), 1u);
+  EXPECT_EQ(decoded.responses[0].matches[0].id, 3u);
+
+  Frame v1 = EncodeResponseBatch(batch);
+  ResponseBatch old;
+  ASSERT_TRUE(DecodeResponseBatch(v1, &old).ok());
+  EXPECT_EQ(old.epoch, 0u);
+  EXPECT_EQ(old.seq, 0u);
+}
+
+TEST(DistributedWireTest, ReassignmentRandomizedRoundTrip) {
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    Rng rng(seed);
+    ReassignmentFrame reassignment;
+    reassignment.epoch = 1 + static_cast<uint32_t>(rng.NextBounded(100));
+    reassignment.assignment = RandomAssignment(&rng);
+    Frame frame = EncodeReassignment(reassignment);
+    EXPECT_EQ(frame.type, FrameType::kReassignment);
+    EXPECT_EQ(frame.version, 2);
+    ReassignmentFrame decoded;
+    ASSERT_TRUE(DecodeReassignment(frame, &decoded).ok());
+    EXPECT_EQ(decoded.epoch, reassignment.epoch);
+    EXPECT_EQ(decoded.assignment.threshold,
+              reassignment.assignment.threshold);
+    ASSERT_EQ(decoded.assignment.postings.size(),
+              reassignment.assignment.postings.size());
+    for (size_t k = 0; k < decoded.assignment.postings.size(); ++k) {
+      EXPECT_EQ(decoded.assignment.postings[k],
+                reassignment.assignment.postings[k]);
+    }
+    ASSERT_EQ(decoded.assignment.vectors.size(),
+              reassignment.assignment.vectors.size());
+  }
+}
+
+TEST(DistributedWireTest, ReassignmentRejectsEpochZero) {
+  Rng rng(31);
+  ReassignmentFrame reassignment;
+  reassignment.epoch = 1;
+  reassignment.assignment = RandomAssignment(&rng);
+  Frame frame = EncodeReassignment(reassignment);
+  // Overwrite the little-endian epoch prefix with 0: epochs start at 1
+  // (0 is the pre-recovery state), so the decoder must reject it.
+  frame.payload[0] = frame.payload[1] = frame.payload[2] =
+      frame.payload[3] = 0;
+  ReassignmentFrame decoded;
+  Status status = DecodeReassignment(frame, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("epoch"), std::string::npos);
+}
+
+TEST(DistributedWireTest, ReassignmentAckRoundTripAndTruncation) {
+  ReassignmentAckFrame ack;
+  ack.epoch = 6;
+  ack.counters.num_keys = 10;
+  ack.counters.num_entries = 55;
+  ack.counters.distinct_vectors = 17;
+  Frame frame = EncodeReassignmentAck(ack);
+  EXPECT_EQ(frame.type, FrameType::kReassignmentAck);
+  ReassignmentAckFrame decoded;
+  ASSERT_TRUE(DecodeReassignmentAck(frame, &decoded).ok());
+  EXPECT_EQ(decoded.epoch, 6u);
+  EXPECT_EQ(decoded.counters.num_keys, 10u);
+  EXPECT_EQ(decoded.counters.num_entries, 55u);
+  EXPECT_EQ(decoded.counters.distinct_vectors, 17u);
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    Frame truncated = frame;
+    truncated.payload.resize(cut);
+    ReassignmentAckFrame out;
+    EXPECT_FALSE(DecodeReassignmentAck(truncated, &out).ok())
+        << "prefix " << cut;
+  }
 }
 
 }  // namespace

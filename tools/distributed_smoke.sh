@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Multi-process smoke test of the distributed join's TCP transport:
-# launches two real `join-worker` OS processes, runs a coordinator
-# `selfjoin --connect` against them, and asserts the dumped pair list is
-# byte-identical to the single-process join — the acceptance criterion
-# of the transport layer, checked end to end through the CLI (CI runs
-# this; see docs/WIRE_PROTOCOL.md for what crosses the wire).
+# Multi-process smoke test of the distributed join service: one pool of
+# real `join-worker` OS processes serves (a) two concurrent coordinator
+# sessions whose dumped pair lists must both be byte-identical to the
+# single-process join, and (b) a kill-recovery round where one worker
+# deliberately dies mid-probe-stream (--die-after-batches) and the
+# coordinator must report the recovery and still produce byte-identical
+# output — the acceptance criteria of the transport layer, checked end
+# to end through the CLI (CI runs this; see docs/WIRE_PROTOCOL.md for
+# what crosses the wire).
 #
 # Usage: tools/distributed_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -20,21 +23,65 @@ fi
 
 TMP="$(mktemp -d)"
 WORKER_PIDS=()
+
+# Last-resort cleanup: SIGTERM each surviving worker, give it a bounded
+# 5s to drain, then SIGKILL — and fail the script loudly if the
+# escalation was ever needed, because a worker that ignores SIGTERM is
+# itself a bug.
 cleanup() {
+  local escalated=0
   for pid in "${WORKER_PIDS[@]:-}"; do
-    kill "$pid" 2> /dev/null || true
+    if kill -0 "$pid" 2> /dev/null; then
+      kill "$pid" 2> /dev/null || true
+      for _ in $(seq 1 50); do
+        kill -0 "$pid" 2> /dev/null || break
+        sleep 0.1
+      done
+      if kill -0 "$pid" 2> /dev/null; then
+        echo "error: worker $pid ignored SIGTERM for 5s; sending SIGKILL" >&2
+        kill -9 "$pid" 2> /dev/null || true
+        escalated=1
+      fi
+    fi
   done
   rm -rf "$TMP"
+  if [ "$escalated" -ne 0 ]; then
+    echo "FAIL: leaked worker process(es) had to be SIGKILLed" >&2
+    exit 1
+  fi
 }
 trap cleanup EXIT
+
+# Orderly shutdown used on the success path: SIGTERM, bounded wait,
+# assert the worker drained and exited 0 on its own.
+stop_worker() {
+  local pid="$1"
+  kill "$pid" 2> /dev/null || true
+  for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2> /dev/null; then
+      local status=0
+      wait "$pid" || status=$?
+      if [ "$status" -ne 0 ]; then
+        echo "error: worker $pid exited $status after SIGTERM drain" >&2
+        return 1
+      fi
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: worker $pid did not drain within 5s of SIGTERM" >&2
+  return 1
+}
 
 # A dataset dense enough that the self-join has a non-trivial output
 # (the identity check would be vacuous on zero pairs).
 "$CLI" generate --kind zipf --n 600 --d 300 --p 0.9 --exp 1.2 --avg 8 \
   --seed 7 --out "$TMP/data.txt"
 
-echo "--- single-process baseline"
+echo "--- single-process baselines (selfjoin + R-S join)"
 "$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 --dump-pairs "$TMP/single.txt"
+"$CLI" join --left "$TMP/data.txt" --right "$TMP/data.txt" --b1 0.6 \
+  --dump-pairs "$TMP/rs_single.txt"
 
 pair_count="$(wc -l < "$TMP/single.txt")"
 if [ "$pair_count" -eq 0 ]; then
@@ -42,12 +89,15 @@ if [ "$pair_count" -eq 0 ]; then
   exit 2
 fi
 
-# Two worker processes on kernel-chosen ports (parsed from their
-# "listening on port N" line; each serves one session and exits 0 on an
-# orderly shutdown).
+# One pool of three worker processes on kernel-chosen ports (parsed
+# from their "listening on port N" line). Workers 1 and 2 are healthy
+# long-running servers; worker 3 is rigged to drop its connection after
+# 2 answered batches and exit nonzero — the crash the recovery round
+# must absorb.
 start_worker() {
   local log="$1"
-  "$CLI" join-worker > "$log" &
+  shift
+  "$CLI" join-worker "$@" > "$log" &
   WORKER_PIDS+=("$!")
   for _ in $(seq 1 100); do
     if grep -q 'listening on port' "$log"; then return 0; fi
@@ -57,32 +107,74 @@ start_worker() {
   return 2
 }
 
-echo "--- starting 2 join-worker processes"
+echo "--- starting a pool of 3 join-worker processes"
 start_worker "$TMP/worker1.log"
 start_worker "$TMP/worker2.log"
+start_worker "$TMP/worker3.log" --die-after-batches 2
 PORT1="$(grep -o 'port [0-9]*' "$TMP/worker1.log" | cut -d' ' -f2)"
 PORT2="$(grep -o 'port [0-9]*' "$TMP/worker2.log" | cut -d' ' -f2)"
-echo "workers listening on ports $PORT1 and $PORT2"
+PORT3="$(grep -o 'port [0-9]*' "$TMP/worker3.log" | cut -d' ' -f2)"
+echo "workers listening on ports $PORT1, $PORT2, $PORT3 (worker 3 rigged to die)"
 
-echo "--- coordinator over TCP"
-"$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 \
+echo "--- round 1: two concurrent coordinators against the same pool"
+"$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 --probe-batch 32 \
   --connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
-  --dump-pairs "$TMP/tcp.txt"
-
-# Orderly shutdown: both worker processes must exit 0 on their own.
-for pid in "${WORKER_PIDS[@]}"; do
-  if ! wait "$pid"; then
-    echo "error: worker process $pid exited non-zero" >&2
-    cat "$TMP"/worker*.log >&2
+  --dump-pairs "$TMP/tcp_a.txt" > "$TMP/coord_a.log" 2>&1 &
+COORD_A=$!
+"$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 --probe-batch 32 \
+  --connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
+  --dump-pairs "$TMP/tcp_b.txt" > "$TMP/coord_b.log" 2>&1 &
+COORD_B=$!
+for coord in "$COORD_A" "$COORD_B"; do
+  if ! wait "$coord"; then
+    echo "error: coordinator $coord failed" >&2
+    cat "$TMP"/coord_*.log "$TMP"/worker*.log >&2
     exit 1
   fi
 done
-WORKER_PIDS=()
-cat "$TMP/worker1.log" "$TMP/worker2.log"
+for dump in tcp_a tcp_b; do
+  if ! diff -u "$TMP/single.txt" "$TMP/$dump.txt"; then
+    echo "FAIL: concurrent coordinator '$dump' diverged from the baseline" >&2
+    exit 1
+  fi
+done
+echo "both concurrent coordinators byte-identical ($pair_count pairs each)"
 
-echo "--- comparing pair dumps"
-if ! diff -u "$TMP/single.txt" "$TMP/tcp.txt"; then
-  echo "FAIL: distributed output differs from the single-process join" >&2
+echo "--- round 2: R-S join with a worker dying mid-stream"
+if ! "$CLI" join --left "$TMP/data.txt" --right "$TMP/data.txt" --b1 0.6 \
+  --probe-batch 16 \
+  --connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2,127.0.0.1:$PORT3" \
+  --dump-pairs "$TMP/rs_tcp.txt" | tee "$TMP/coord_recovery.log"; then
+  echo "error: recovery coordinator failed" >&2
+  cat "$TMP"/worker*.log >&2
   exit 1
 fi
-echo "PASS: $pair_count pairs byte-identical across 2 worker processes"
+if ! grep -q 'recovered 1 worker(s)' "$TMP/coord_recovery.log"; then
+  echo "FAIL: coordinator did not report the worker recovery" >&2
+  cat "$TMP/coord_recovery.log" "$TMP/worker3.log" >&2
+  exit 1
+fi
+if ! diff -u "$TMP/rs_single.txt" "$TMP/rs_tcp.txt"; then
+  echo "FAIL: recovered R-S join diverged from the single-process join" >&2
+  exit 1
+fi
+
+# The rigged worker must be gone on its own, with the distinct
+# die-after-batches exit code (3) — not killed by our cleanup.
+W3_PID="${WORKER_PIDS[2]}"
+w3_status=0
+wait "$W3_PID" || w3_status=$?
+if [ "$w3_status" -ne 3 ]; then
+  echo "error: rigged worker exited $w3_status, expected 3" >&2
+  cat "$TMP/worker3.log" >&2
+  exit 1
+fi
+
+echo "--- draining the surviving workers (SIGTERM)"
+stop_worker "${WORKER_PIDS[0]}"
+stop_worker "${WORKER_PIDS[1]}"
+WORKER_PIDS=()
+cat "$TMP/worker1.log" "$TMP/worker2.log" "$TMP/worker3.log"
+
+echo "PASS: 2 concurrent coordinators byte-identical ($pair_count pairs)," \
+  "and the R-S join recovered a killed worker with byte-identical output"

@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace skewsearch::bench {
 
 /// Prints a "== title ==" banner.
@@ -227,6 +229,38 @@ class JsonReporter {
   std::string bench_name_;
   std::vector<Entry> metrics_;
 };
+
+/// Appends the global metrics registry snapshot to \p reporter as
+/// "obs.<name>" metrics — the bench-side view of what the
+/// observability layer recorded during the run (docs/OBSERVABILITY.md
+/// has the catalog). Everything is advisory: registries are
+/// process-cumulative and some recorders run on racing threads, so the
+/// values are for the log, not the regression gate.
+inline void ReportRegistrySnapshot(JsonReporter* reporter) {
+  for (const obs::MetricSnapshot& m :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        reporter->Metric("obs." + m.name,
+                         static_cast<double>(m.counter_value),
+                         /*stable=*/false);
+        break;
+      case obs::MetricKind::kGauge:
+        reporter->Metric("obs." + m.name,
+                         static_cast<double>(m.gauge_value),
+                         /*stable=*/false);
+        break;
+      case obs::MetricKind::kHistogram:
+        reporter->Metric("obs." + m.name + ".count",
+                         static_cast<double>(m.histogram.count),
+                         /*stable=*/false);
+        reporter->Metric("obs." + m.name + ".p99",
+                         static_cast<double>(m.histogram.Quantile(0.99)),
+                         /*stable=*/false, "ns");
+        break;
+    }
+  }
+}
 
 }  // namespace skewsearch::bench
 

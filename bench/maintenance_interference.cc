@@ -19,6 +19,7 @@
 //
 // Flags: --n <dataset> --queries <count> --alpha <corr> --shards <K>
 //        --churn <mutations per phase> --rounds <timed repetitions>
+//        --json <file>  (bench JSON contract, see bench_util.h)
 
 #include <algorithm>
 #include <atomic>
@@ -152,13 +153,22 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  bench::JsonReporter reporter("maintenance_interference");
+  reporter.Metric("queries_per_round",
+                  static_cast<double>(queries.size()),
+                  /*stable=*/true, "queries");
   bench::Table table({"phase", "p50_us", "p99_us", "max_us", "qps",
                       "compactions", "rebuilds"});
+  // Everything measured here is timing against racing housekeeping
+  // threads, so every per-phase metric is advisory.
   auto add_row = [&](const std::string& phase, const LatencyProfile& p) {
     table.AddRow({phase, bench::Fmt(p.p50_us, 1), bench::Fmt(p.p99_us, 1),
                   bench::Fmt(p.max_us, 1), bench::Fmt(p.qps, 0),
                   bench::Fmt(index.num_compactions()),
                   bench::Fmt(index.num_rebuilds())});
+    reporter.Metric(phase + "_p50_us", p.p50_us, /*stable=*/false, "us");
+    reporter.Metric(phase + "_p99_us", p.p99_us, /*stable=*/false, "us");
+    reporter.Metric(phase + "_qps", p.qps, /*stable=*/false, "qps");
   };
 
   // Phase 1: idle.
@@ -223,6 +233,12 @@ int Run(int argc, char** argv) {
   bench::Note("NOTE: single-CPU containers timeshare the maintenance "
               "thread with the reader; interpret interference numbers on "
               "multicore hardware.");
+  reporter.Metric("compactions", static_cast<double>(index.num_compactions()),
+                  /*stable=*/false, "compactions");
+  reporter.Metric("rebuilds", static_cast<double>(index.num_rebuilds()),
+                  /*stable=*/false, "rebuilds");
+  bench::ReportRegistrySnapshot(&reporter);
+  if (!reporter.WriteIfRequested(argc, argv)) return 1;
   return 0;
 }
 

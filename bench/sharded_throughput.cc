@@ -12,6 +12,7 @@
 //
 // Flags: --n <dataset> --queries <batch> --inserts <count> --alpha <corr>
 //        --shards <list> --threads <list> --rounds <timed repetitions>
+//        --json <file>  (bench JSON contract, see bench_util.h)
 
 #include <algorithm>
 #include <atomic>
@@ -131,6 +132,11 @@ int Run(int argc, char** argv) {
   const auto baseline = baseline_index.BatchQuery(queries, 1);
 
   bool all_identical = true;
+  bench::JsonReporter reporter("sharded_throughput");
+  size_t baseline_matches = 0;
+  for (const auto& match : baseline) baseline_matches += match.has_value();
+  reporter.Metric("baseline_matches", static_cast<double>(baseline_matches),
+                  /*stable=*/true, "matches");
   bench::Table table({"shards", "threads", "qps", "wall_s", "build_s",
                       "max/min shard", "identical"});
   for (int num_shards : config.shards) {
@@ -149,6 +155,13 @@ int Run(int argc, char** argv) {
       min_entries = std::min(min_entries, index.shard_entries(s));
       max_entries = std::max(max_entries, index.shard_entries(s));
     }
+    // Shard assignment is a pure hash of the build input, so the
+    // balance ratio is deterministic — a stable gate metric.
+    reporter.Metric("shard_balance_s" + std::to_string(num_shards),
+                    min_entries > 0 ? static_cast<double>(max_entries) /
+                                          static_cast<double>(min_entries)
+                                    : 0.0,
+                    /*stable=*/true, "x");
     for (int threads : config.threads) {
       ThreadPool pool(threads);
       std::vector<std::optional<Match>> results =
@@ -167,6 +180,9 @@ int Run(int argc, char** argv) {
           best_seconds > 0.0
               ? static_cast<double>(queries.size()) / best_seconds
               : 0.0;
+      reporter.Metric("qps_s" + std::to_string(num_shards) + "_t" +
+                          std::to_string(threads),
+                      qps, /*stable=*/false, "qps");
       table.AddRow({bench::Fmt(num_shards), bench::Fmt(threads),
                     bench::Fmt(qps, 0), bench::Fmt(best_seconds, 4),
                     bench::Fmt(index.build_stats().build_seconds, 2),
@@ -240,6 +256,11 @@ int Run(int argc, char** argv) {
     }
     const double remove_seconds = remove_timer.ElapsedSeconds();
     const double removes = static_cast<double>((inserted_ids.size() + 1) / 2);
+    reporter.Metric("inserts_per_s_w" + std::to_string(writers),
+                    insert_seconds > 0.0
+                        ? static_cast<double>(fresh.size()) / insert_seconds
+                        : 0.0,
+                    /*stable=*/false, "inserts/s");
     insert_table.AddRow(
         {bench::Fmt(writers),
          bench::Fmt(insert_seconds > 0.0
@@ -251,6 +272,10 @@ int Run(int argc, char** argv) {
                     0)});
   }
   insert_table.Print();
+  reporter.Metric("results_identical", all_identical ? 1.0 : 0.0,
+                  /*stable=*/true, "bool");
+  bench::ReportRegistrySnapshot(&reporter);
+  if (!reporter.WriteIfRequested(argc, argv)) return 1;
   return all_identical ? 0 : 2;
 }
 

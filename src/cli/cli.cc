@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <thread>
 
 #include "core/cost_model.h"
 #include "core/dynamic_index.h"
@@ -22,8 +24,11 @@
 #include "data/generators.h"
 #include "data/io.h"
 #include "data/mann_profiles.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "stats/independence.h"
 #include "stats/skew_profile.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -42,7 +47,7 @@ Commands:
   independence --in FILE [--binary]
   query-bench --in FILE --alpha A [--queries N] [--seed S] [--shards K]
            [--online] [--maintenance 0|1] [--drift-factor F]
-           [--dead-ratio R] [--churn N] [--binary]
+           [--dead-ratio R] [--churn N] [--trace] [--binary]
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
            [--churn N] [--workers W] [--heavy-threshold T]
@@ -53,7 +58,9 @@ Commands:
            [--probe-batch N] [--pipeline N] [--dump-pairs FILE]
            [--binary]
   join-worker [--listen PORT] [--max-sessions N] [--idle-timeout MS]
-           [--die-after-batches N]
+           [--die-after-batches N] [--metrics-dump FILE]
+           [--summary-interval SEC]
+  join-stats --connect HOST:PORT [--json]
   help
 
 --shards K > 1 builds the hash-sharded index instead of the monolithic
@@ -93,7 +100,22 @@ then it exits 0). --max-sessions N caps the concurrent sessions
 connected for that long and nothing is being served (default: wait
 forever); --die-after-batches N makes the process vanish mid-stream
 after answering N probe batches in a session — the fault-injection
-hook the kill-recovery smoke test uses.
+hook the kill-recovery smoke test uses. Session completions are logged
+one line each; --summary-interval SEC additionally logs a one-line
+served-work summary every SEC seconds, and --metrics-dump FILE writes
+the full metrics registry as JSON to FILE on exit and again whenever
+the process receives SIGUSR1.
+
+join-stats scrapes a live join-worker's metrics registry over the wire
+(a protocol-v2 scrape-only session: Hello, StatsRequest, Shutdown) and
+prints every counter, gauge, and latency histogram as text — or as
+JSON with --json. It works mid-join: batch and byte counters advance
+while probe streams are being served. docs/OBSERVABILITY.md has the
+metric catalog.
+
+query-bench --trace runs one extra query after the bench inside a
+trace and prints the per-phase span timings (filters, verify, total)
+the observability layer recorded for that query.
 
 --dump-pairs FILE (selfjoin) writes every emitted pair as one
 "left right similarity" line — what the multi-process smoke test
@@ -122,7 +144,8 @@ class Flags {
         return std::nullopt;
       }
       std::string key = arg.substr(2);
-      if (key == "binary" || key == "online") {  // boolean flags
+      if (key == "binary" || key == "online" || key == "json" ||
+          key == "trace") {  // boolean flags
         static const std::string kTrue = "1";
         flags.values_.insert_or_assign(key, kTrue);
         continue;
@@ -291,6 +314,20 @@ MaintenanceOptions MaintenanceFromFlags(const Flags& flags) {
   return options;
 }
 
+/// --trace: runs one extra query inside a ScopedTrace and prints the
+/// spans the observability layer recorded for it, innermost first.
+template <typename QueryFn>
+void PrintQueryTrace(QueryFn&& run_query) {
+  obs::ScopedTrace trace;
+  run_query();
+  std::printf("trace of one query (%zu span(s)):\n", trace.entries().size());
+  for (const obs::TraceEntry& entry : trace.entries()) {
+    std::printf("  %-24.*s %12.1f us\n",
+                static_cast<int>(entry.name.size()), entry.name.data(),
+                static_cast<double>(entry.nanos) / 1e3);
+  }
+}
+
 /// The online serving path: DynamicIndex + MaintenanceService, churned
 /// so compaction (and, with a low --drift-factor, a live rebuild)
 /// actually runs, then benched like the static path.
@@ -390,6 +427,16 @@ int CmdQueryBenchOnline(const Flags& flags, const Dataset& data,
               queries, static_cast<double>(found) / queries,
               static_cast<double>(candidates) / queries,
               1e6 * seconds / queries);
+  if (flags.Has("trace")) {
+    PrintQueryTrace([&] {
+      VectorId target = live_targets[static_cast<size_t>(
+          rng.NextBounded(live_targets.size()))];
+      SparseVector q = sampler.SampleCorrelated(data.Get(target), &rng);
+      QueryStats stats;
+      auto hit = index.Query(q.span(), &stats);
+      (void)hit;
+    });
+  }
   return 0;
 }
 
@@ -451,6 +498,16 @@ int CmdQueryBench(const Flags& flags) {
               queries, static_cast<double>(found) / queries,
               static_cast<double>(candidates) / queries,
               1e6 * seconds / queries);
+  if (flags.Has("trace")) {
+    PrintQueryTrace([&] {
+      VectorId target = static_cast<VectorId>(rng.NextBounded(data->size()));
+      SparseVector q = sampler.SampleCorrelated(data->Get(target), &rng);
+      QueryStats stats;
+      auto hit = use_shards ? sharded.Query(q.span(), &stats)
+                            : index.Query(q.span(), &stats);
+      (void)hit;
+    });
+  }
   return 0;
 }
 
@@ -618,6 +675,46 @@ extern "C" void HandleDrainSignal(int /*signum*/) {
   if (server != nullptr) server->RequestDrain();
 }
 
+/// Set by SIGUSR1; the watcher thread turns it into a --metrics-dump
+/// write (registry serialization is not async-signal-safe, so the
+/// handler only raises the flag).
+std::atomic<bool> g_dump_requested{false};
+
+extern "C" void HandleDumpSignal(int /*signum*/) {
+  g_dump_requested.store(true, std::memory_order_release);
+}
+
+/// Writes the global registry's JSON exposition to \p path (the
+/// --metrics-dump format, same as the benches' "obs" block).
+bool WriteMetricsDump(const std::string& path) {
+  const std::string json = obs::MetricsRegistry::Global().JsonExposition();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for metrics dump\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+/// The --summary-interval one-liner: cumulative served work from the
+/// global registry, cheap enough to log every few seconds.
+void LogWorkerSummary() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  SKEWSEARCH_LOG(kInfo)
+      << "served " << registry.GetCounter("worker.batches")->Value()
+      << " batches / " << registry.GetCounter("worker.probes")->Value()
+      << " probes, " << registry.GetCounter("worker.matches")->Value()
+      << " matches, "
+      << registry.GetGauge("worker.sessions.active")->Value()
+      << " active session(s), "
+      << registry.GetCounter("worker.wire.bytes_received")->Value()
+      << " B in / "
+      << registry.GetCounter("worker.wire.bytes_sent")->Value() << " B out";
+}
+
 int CmdJoinWorker(const Flags& flags) {
   const uint64_t requested = flags.GetUint("listen", 0);
   if (requested > 65535) {
@@ -636,29 +733,35 @@ int CmdJoinWorker(const Flags& flags) {
       static_cast<uint32_t>(flags.GetUint("idle-timeout", 0));
   options.serve.fail_after_batches = flags.GetUint("die-after-batches", 0);
   const bool die_on_trip = options.serve.fail_after_batches > 0;
+  // Session completions go through the logger, pre-formatted so each
+  // line is a single write — concurrent session threads never
+  // interleave mid-line.
   options.on_session_done = [die_on_trip](uint64_t session_id,
                                           const WorkerServeStats& stats,
                                           const Status& status) {
+    char line[512];
     if (status.ok()) {
-      std::printf("session %llu: worker %u served %llu probes in %llu "
-                  "batches, %llu matches, %llu reassignment(s) "
-                  "(%.1f KB in, %.1f KB out)\n",
-                  static_cast<unsigned long long>(session_id),
-                  stats.worker_id,
-                  static_cast<unsigned long long>(stats.probes),
-                  static_cast<unsigned long long>(stats.batches),
-                  static_cast<unsigned long long>(stats.matches),
-                  static_cast<unsigned long long>(stats.reassignments),
-                  static_cast<double>(stats.wire.bytes_received) / 1e3,
-                  static_cast<double>(stats.wire.bytes_sent) / 1e3);
+      std::snprintf(line, sizeof(line),
+                    "session %llu: worker %u served %llu probes in %llu "
+                    "batches, %llu matches, %llu reassignment(s) "
+                    "(%.1f KB in, %.1f KB out)",
+                    static_cast<unsigned long long>(session_id),
+                    stats.worker_id,
+                    static_cast<unsigned long long>(stats.probes),
+                    static_cast<unsigned long long>(stats.batches),
+                    static_cast<unsigned long long>(stats.matches),
+                    static_cast<unsigned long long>(stats.reassignments),
+                    static_cast<double>(stats.wire.bytes_received) / 1e3,
+                    static_cast<double>(stats.wire.bytes_sent) / 1e3);
     } else {
-      std::printf("session %llu: worker %u ended after %llu batches: %s\n",
-                  static_cast<unsigned long long>(session_id),
-                  stats.worker_id,
-                  static_cast<unsigned long long>(stats.batches),
-                  status.ToString().c_str());
+      std::snprintf(line, sizeof(line),
+                    "session %llu: worker %u ended after %llu batches: %s",
+                    static_cast<unsigned long long>(session_id),
+                    stats.worker_id,
+                    static_cast<unsigned long long>(stats.batches),
+                    status.ToString().c_str());
     }
-    std::fflush(stdout);
+    SKEWSEARCH_LOG(kInfo) << line;
     if (die_on_trip && status.IsAborted()) {
       // --die-after-batches: the whole point is a process that
       // vanishes mid-stream, so no drain, no cleanup, no exit hooks.
@@ -666,10 +769,42 @@ int CmdJoinWorker(const Flags& flags) {
     }
   };
 
+  // Session lines and summaries are kInfo; a worker process exists to
+  // be observed, so raise the default kWarning filter.
+  SetLogLevel(LogLevel::kInfo);
+  const std::string dump_path = flags.Get("metrics-dump", "");
+  const uint64_t summary_interval = flags.GetUint("summary-interval", 0);
+
   WorkerServer server(std::move(listener).value(), std::move(options));
   g_drain_target.store(&server, std::memory_order_release);
   std::signal(SIGTERM, HandleDrainSignal);
   std::signal(SIGINT, HandleDrainSignal);
+  if (!dump_path.empty()) std::signal(SIGUSR1, HandleDumpSignal);
+
+  // The watcher turns SIGUSR1 flags into dump files and emits the
+  // periodic summaries; polling (not signaling) keeps every
+  // registry access off the signal handler.
+  std::atomic<bool> stop_watcher{false};
+  std::thread watcher;
+  if (!dump_path.empty() || summary_interval > 0) {
+    watcher = std::thread([&stop_watcher, &dump_path, summary_interval] {
+      auto last_summary = std::chrono::steady_clock::now();
+      while (!stop_watcher.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (g_dump_requested.exchange(false, std::memory_order_acq_rel) &&
+            !dump_path.empty() && WriteMetricsDump(dump_path)) {
+          SKEWSEARCH_LOG(kInfo) << "metrics dumped to " << dump_path;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (summary_interval > 0 &&
+            now - last_summary >= std::chrono::seconds(summary_interval)) {
+          last_summary = now;
+          LogWorkerSummary();
+        }
+      }
+    });
+  }
+
   // The smoke script and any process manager parse this line (and port
   // 0 resolves to the kernel's pick), so flush it before blocking.
   std::printf("join-worker listening on port %u\n",
@@ -677,6 +812,9 @@ int CmdJoinWorker(const Flags& flags) {
   std::fflush(stdout);
   Status served = server.Serve();
   g_drain_target.store(nullptr, std::memory_order_release);
+  stop_watcher.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
+  if (!dump_path.empty()) WriteMetricsDump(dump_path);
   if (!served.ok()) return Fail(served);
   const WorkerServerStats totals = server.stats();
   std::printf("join-worker drained%s: %llu session(s) accepted, %llu ok, "
@@ -685,6 +823,39 @@ int CmdJoinWorker(const Flags& flags) {
               static_cast<unsigned long long>(totals.sessions_accepted),
               static_cast<unsigned long long>(totals.sessions_ok),
               static_cast<unsigned long long>(totals.sessions_failed));
+  return 0;
+}
+
+int CmdJoinStats(const Flags& flags) {
+  const std::string endpoint = flags.Get("connect", "");
+  if (endpoint.empty()) {
+    std::fprintf(stderr, "join-stats needs --connect HOST:PORT\n");
+    return 1;
+  }
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "--connect '%s' is not HOST:PORT\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  char* end = nullptr;
+  const unsigned long port =
+      std::strtoul(endpoint.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    std::fprintf(stderr, "--connect '%s' has an invalid port\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  auto connection =
+      TcpConnect(endpoint.substr(0, colon), static_cast<uint16_t>(port));
+  if (!connection.ok()) return Fail(connection.status());
+  auto stats = ScrapeWorkerStats(connection->get());
+  if (!stats.ok()) return Fail(stats.status());
+  const std::string rendered = flags.Has("json")
+                                   ? obs::RenderJson(stats->metrics)
+                                   : obs::RenderText(stats->metrics);
+  std::fputs(rendered.c_str(), stdout);
   return 0;
 }
 
@@ -706,6 +877,7 @@ int RunCli(const std::vector<std::string>& args) {
   if (command == "selfjoin") return CmdSelfJoin(*flags);
   if (command == "join") return CmdJoin(*flags);
   if (command == "join-worker") return CmdJoinWorker(*flags);
+  if (command == "join-stats") return CmdJoinStats(*flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 1;
 }

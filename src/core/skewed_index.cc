@@ -8,6 +8,8 @@
 #include "core/batch.h"
 #include "core/index_io.h"
 #include "core/rho.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/measures.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -301,20 +303,52 @@ std::optional<Match> SkewedPathIndex::Query(std::span<const ItemId> query,
 std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
                                                 QueryStats* stats,
                                                 QueryScratch* scratch) const {
+  // The query path's metrics (docs/OBSERVABILITY.md, "query.*").
+  // Function-local statics so the registry mutex is taken once per
+  // process; per query this adds a handful of relaxed atomic adds and
+  // two clock reads per repetition (the filter/verify phase split).
+  static obs::Counter* const queries_metric =
+      obs::MetricsRegistry::Global().GetCounter("query.count");
+  static obs::Counter* const hits_metric =
+      obs::MetricsRegistry::Global().GetCounter("query.hits");
+  static obs::Counter* const candidates_metric =
+      obs::MetricsRegistry::Global().GetCounter("query.candidates");
+  static obs::Counter* const verifications_metric =
+      obs::MetricsRegistry::Global().GetCounter("query.verifications");
+  static obs::Histogram* const latency_metric =
+      obs::MetricsRegistry::Global().GetHistogram("query.latency_ns");
+  static obs::Histogram* const repetitions_metric =
+      obs::MetricsRegistry::Global().GetHistogram("query.repetitions_probed");
+  static obs::Histogram* const fanout_metric =
+      obs::MetricsRegistry::Global().GetHistogram("query.rep_fanout");
+  static obs::Histogram* const filters_span_metric =
+      obs::MetricsRegistry::Global().GetHistogram("span.query.filters");
+  static obs::Histogram* const verify_span_metric =
+      obs::MetricsRegistry::Global().GetHistogram("span.query.verify");
+
   Timer timer;
   QueryStats local;
   std::optional<Match> found;
+  uint64_t reps_probed = 0;
+  int64_t filter_ns = 0;
+  int64_t phase_mark = 0;
   if (family_.valid() && !query.empty()) {
     const double threshold = family_.verify_threshold();
     std::vector<uint64_t>& keys = scratch->keys;
     PostingSet<VectorId>& seen = scratch->seen;
     seen.clear();
     for (int rep = 0; rep < build_stats_.repetitions && !found; ++rep) {
+      reps_probed++;
+      const uint64_t rep_candidates_before = local.candidates;
       keys.clear();
       PathGenStats gen;
       family_.ComputeFilters(query, static_cast<uint32_t>(rep), &keys, &gen);
       AddPathGenStats(&scratch->path_gen, gen);
       local.filters += keys.size();
+      // Everything between phase_mark and here was filter generation;
+      // the rest of the repetition is lookup + verification.
+      const int64_t after_filters = timer.ElapsedNanos();
+      filter_ns += after_filters - phase_mark;
       for (uint64_t key : keys) {
         auto postings = table_.Lookup(key);
         local.candidates += postings.size();
@@ -330,10 +364,27 @@ std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
         }
         if (found) break;
       }
+      phase_mark = timer.ElapsedNanos();
+      fanout_metric->Record(local.candidates - rep_candidates_before);
     }
     local.distinct_candidates = seen.size();
   }
-  local.seconds = timer.ElapsedSeconds();
+  const int64_t total_ns = timer.ElapsedNanos();
+  const int64_t verify_ns = phase_mark - filter_ns;
+  local.seconds = static_cast<double>(total_ns) * 1e-9;
+  queries_metric->Increment();
+  if (found) hits_metric->Increment();
+  candidates_metric->Increment(local.candidates);
+  verifications_metric->Increment(local.verifications);
+  latency_metric->Record(static_cast<uint64_t>(total_ns));
+  repetitions_metric->Record(reps_probed);
+  filters_span_metric->Record(static_cast<uint64_t>(filter_ns));
+  verify_span_metric->Record(static_cast<uint64_t>(verify_ns));
+  if (obs::ScopedTrace* trace = obs::ScopedTrace::Current()) {
+    trace->Add("span.query.filters", static_cast<uint64_t>(filter_ns));
+    trace->Add("span.query.verify", static_cast<uint64_t>(verify_ns));
+    trace->Add("query.latency_ns", static_cast<uint64_t>(total_ns));
+  }
   if (stats != nullptr) *stats = local;
   return found;
 }
@@ -341,6 +392,7 @@ std::optional<Match> SkewedPathIndex::QueryImpl(std::span<const ItemId> query,
 std::vector<Match> SkewedPathIndex::QueryAll(std::span<const ItemId> query,
                                              double threshold,
                                              QueryStats* stats) const {
+  SKEWSEARCH_SPAN("query.all");
   Timer timer;
   QueryStats local;
   std::vector<Match> out;

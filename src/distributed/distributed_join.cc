@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/sharded_index.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -298,6 +300,7 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
                 return a.left < b.left;
               });
   }
+  const int64_t route_mark = probe_timer.ElapsedNanos();
 
   // Phase 2 — serve: each worker drains its queue independently; the
   // fan-out over the pool is the in-process stand-in for W machines.
@@ -496,6 +499,8 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
     }
   }
 
+  const int64_t serve_mark = probe_timer.ElapsedNanos();
+
   // Phase 3 — merge: drop pairs that surfaced on more than one worker
   // (the same build vector can sit behind different keys on different
   // workers), then sort into the canonical (left, right) order the
@@ -561,6 +566,79 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
   local.build_seconds = build_seconds_;
   local.plan_seconds = plan_seconds_;
   local.probe_seconds = probe_timer.ElapsedSeconds();
+
+  // `join.*` metrics (docs/OBSERVABILITY.md): per-join recording — a
+  // join is a macro operation, so none of this touches the per-probe
+  // hot path. The phase spans reuse the marks taken above and feed any
+  // active ScopedTrace the same way SKEWSEARCH_SPAN would.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const joins_metric = registry.GetCounter("join.count");
+  static obs::Counter* const pairs_metric = registry.GetCounter("join.pairs");
+  static obs::Counter* const candidates_metric =
+      registry.GetCounter("join.candidates");
+  static obs::Counter* const batches_metric =
+      registry.GetCounter("join.probe_batches");
+  static obs::Counter* const trips_metric =
+      registry.GetCounter("join.round_trips");
+  static obs::Counter* const recoveries_metric =
+      registry.GetCounter("join.recoveries");
+  static obs::Counter* const replayed_metric =
+      registry.GetCounter("join.replayed_batches");
+  static obs::Counter* const bytes_sent_metric =
+      registry.GetCounter("join.wire.bytes_sent");
+  static obs::Counter* const bytes_received_metric =
+      registry.GetCounter("join.wire.bytes_received");
+  static obs::Histogram* const worker_probes_metric =
+      registry.GetHistogram("join.worker_probes");
+  static obs::Histogram* const worker_time_metric =
+      registry.GetHistogram("join.worker_probe_ns");
+  static obs::Gauge* const imbalance_metric =
+      registry.GetGauge("join.worker_imbalance_x100");
+  static obs::Histogram* const route_span_metric =
+      registry.GetHistogram("span.join.route");
+  static obs::Histogram* const serve_span_metric =
+      registry.GetHistogram("span.join.serve");
+  static obs::Histogram* const merge_span_metric =
+      registry.GetHistogram("span.join.merge");
+  joins_metric->Increment();
+  pairs_metric->Increment(local.pairs);
+  candidates_metric->Increment(local.candidates);
+  batches_metric->Increment(local.probe_batches_sent);
+  trips_metric->Increment(local.probe_round_trips);
+  recoveries_metric->Increment(local.worker_recoveries);
+  replayed_metric->Increment(local.replayed_batches);
+  bytes_sent_metric->Increment(local.wire_bytes_sent);
+  bytes_received_metric->Increment(local.wire_bytes_received);
+  uint64_t max_probes = 0;
+  uint64_t sum_probes = 0;
+  for (const WorkerLoad& load : local.workers) {
+    worker_probes_metric->Record(load.probes);
+    worker_time_metric->Record(
+        static_cast<uint64_t>(load.probe_seconds * 1e9));
+    max_probes = std::max<uint64_t>(max_probes, load.probes);
+    sum_probes += load.probes;
+  }
+  if (sum_probes > 0 && !local.workers.empty()) {
+    // 100 = perfectly balanced; 2 workers at 300 means the hottest
+    // worker saw 3x its fair share of probes.
+    const double mean = static_cast<double>(sum_probes) /
+                        static_cast<double>(local.workers.size());
+    imbalance_metric->Set(
+        static_cast<int64_t>(100.0 * static_cast<double>(max_probes) / mean));
+  }
+  const int64_t merge_mark = probe_timer.ElapsedNanos();
+  const auto route_ns = static_cast<uint64_t>(route_mark);
+  const auto serve_ns = static_cast<uint64_t>(serve_mark - route_mark);
+  const auto merge_ns = static_cast<uint64_t>(merge_mark - serve_mark);
+  route_span_metric->Record(route_ns);
+  serve_span_metric->Record(serve_ns);
+  merge_span_metric->Record(merge_ns);
+  if (obs::ScopedTrace* trace = obs::ScopedTrace::Current()) {
+    trace->Add("span.join.route", route_ns);
+    trace->Add("span.join.serve", serve_ns);
+    trace->Add("span.join.merge", merge_ns);
+  }
+
   if (stats != nullptr) *stats = std::move(local);
   return out;
 }

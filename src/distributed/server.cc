@@ -58,6 +58,17 @@ void WorkerServer::Reap(bool all) {
 }
 
 Status WorkerServer::Serve() {
+  // Session-lifecycle metrics live next to the per-session `worker.*`
+  // counters ServeConnection records (same registry override).
+  obs::MetricsRegistry& registry = options_.serve.metrics != nullptr
+                                       ? *options_.serve.metrics
+                                       : obs::MetricsRegistry::Global();
+  obs::Counter* accepted_metric =
+      registry.GetCounter("worker.sessions.accepted");
+  obs::Counter* ok_metric = registry.GetCounter("worker.sessions.ok");
+  obs::Counter* failed_metric = registry.GetCounter("worker.sessions.failed");
+  obs::Gauge* active_metric = registry.GetGauge("worker.sessions.active");
+
   int consecutive_failures = 0;
   uint64_t next_session_id = 0;
   while (!drain_.load(std::memory_order_acquire)) {
@@ -107,8 +118,10 @@ Status WorkerServer::Serve() {
       active_++;
       stats_.sessions_accepted++;
     }
+    accepted_metric->Increment();
+    active_metric->Add(1);
     std::thread thread(
-        [this, session_id, done,
+        [this, session_id, done, ok_metric, failed_metric, active_metric,
          conn = std::move(*connection)]() mutable {
           WorkerServeStats session_stats;
           Status served =
@@ -125,6 +138,8 @@ Status WorkerServer::Serve() {
               stats_.sessions_failed++;
             }
           }
+          (served.ok() ? ok_metric : failed_metric)->Increment();
+          active_metric->Add(-1);
           done->store(true, std::memory_order_release);
           session_done_cv_.notify_all();
         });

@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "distributed/worker.h"
+#include "util/timer.h"
 
 namespace skewsearch {
 
@@ -249,6 +250,25 @@ Result<std::vector<ProbeResponse>> RemoteWorkerSession::Probe(
   return ReceiveResponses();
 }
 
+Result<wire::StatsFrame> RemoteWorkerSession::QueryStats() {
+  if (shut_down_) return Status::InvalidArgument("session: already shut down");
+  if (version_ < 2) {
+    return Status::NotSupported(
+        "session: stats scrape needs protocol version 2, negotiated " +
+        std::to_string(version_));
+  }
+  if (!in_flight_.empty()) {
+    return Status::InvalidArgument(
+        "session: stats scrape requires no batch in flight");
+  }
+  SKEWSEARCH_RETURN_NOT_OK(connection_->Send(wire::EncodeStatsRequest()));
+  wire::Frame frame;
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection_.get(), &frame));
+  wire::StatsFrame stats;
+  SKEWSEARCH_RETURN_NOT_OK(wire::DecodeStatsResponse(frame, &stats));
+  return stats;
+}
+
 Status RemoteWorkerSession::Reassign(
     const wire::WorkerAssignment& assignment) {
   if (shut_down_) return Status::InvalidArgument("session: already shut down");
@@ -300,6 +320,54 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
                        const ServeOptions& options) {
   WorkerServeStats local;
 
+  // The session's `worker.*` metrics (docs/OBSERVABILITY.md). Pointers
+  // are looked up once per session; everything recorded in the probe
+  // loop below is a relaxed atomic add, so serving stays wait-free.
+  obs::MetricsRegistry& registry = options.metrics != nullptr
+                                       ? *options.metrics
+                                       : obs::MetricsRegistry::Global();
+  obs::Counter* batches_metric = registry.GetCounter("worker.batches");
+  obs::Counter* probes_metric = registry.GetCounter("worker.probes");
+  obs::Counter* matches_metric = registry.GetCounter("worker.matches");
+  obs::Counter* reassignments_metric =
+      registry.GetCounter("worker.reassignments");
+  obs::Counter* scrapes_metric = registry.GetCounter("worker.stats_scrapes");
+  obs::Counter* bytes_sent_metric =
+      registry.GetCounter("worker.wire.bytes_sent");
+  obs::Counter* bytes_received_metric =
+      registry.GetCounter("worker.wire.bytes_received");
+  obs::Histogram* batch_time_metric = registry.GetHistogram("worker.batch_ns");
+  obs::Histogram* session_time_metric =
+      registry.GetHistogram("worker.session_ns");
+  Timer session_timer;
+  // Connection traffic already folded into the byte counters; the
+  // counters advance by deltas so a live scrape sees bytes as they
+  // flow, not only at session end.
+  WireStats reported;
+  auto flush_wire = [&] {
+    const WireStats now = connection->stats();
+    bytes_sent_metric->Increment(now.bytes_sent - reported.bytes_sent);
+    bytes_received_metric->Increment(now.bytes_received -
+                                     reported.bytes_received);
+    reported = now;
+  };
+  auto answer_stats_request = [&]() -> Status {
+    scrapes_metric->Increment();
+    wire::StatsFrame snapshot;
+    snapshot.metrics = registry.Snapshot();
+    Status sent = connection->Send(wire::EncodeStatsResponse(snapshot));
+    flush_wire();
+    return sent;
+  };
+  auto end_session = [&]() -> Status {
+    session_time_metric->Record(
+        static_cast<uint64_t>(session_timer.ElapsedNanos()));
+    flush_wire();
+    local.wire = connection->stats();
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  };
+
   // Phase 1 — handshake: pick the highest mutually supported version.
   wire::Frame frame;
   SKEWSEARCH_RETURN_NOT_OK(connection->Receive(&frame));
@@ -328,8 +396,25 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
 
   // Phase 2 — assignment: reconstruct the posting slices and the
   // shipped vectors into exactly what the in-process JoinWorker holds.
-  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+  // Under version >= 2 the peer may instead be a scraper: StatsRequest
+  // frames are answered in place, and a Shutdown before any Assignment
+  // ends the (scrape-only) session cleanly.
   wire::WorkerAssignment assignment;
+  for (;;) {
+    SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+    if (frame.type == wire::FrameType::kStatsRequest) {
+      if (ack.version < 2) {
+        return FailSession(connection,
+                           Status::NotSupported(
+                               "session: StatsRequest frame on a version " +
+                               std::to_string(ack.version) + " session"));
+      }
+      SKEWSEARCH_RETURN_NOT_OK(answer_stats_request());
+      continue;
+    }
+    if (frame.type == wire::FrameType::kShutdown) return end_session();
+    break;
+  }
   decoded = wire::DecodeAssignment(frame, &assignment);
   if (!decoded.ok()) return FailSession(connection, decoded);
 
@@ -353,6 +438,16 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
   for (;;) {
     SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
     if (frame.type == wire::FrameType::kShutdown) break;
+    if (frame.type == wire::FrameType::kStatsRequest) {
+      if (ack.version < 2) {
+        return FailSession(connection,
+                           Status::NotSupported(
+                               "session: StatsRequest frame on a version " +
+                               std::to_string(ack.version) + " session"));
+      }
+      SKEWSEARCH_RETURN_NOT_OK(answer_stats_request());
+      continue;
+    }
     if (frame.type == wire::FrameType::kReassignment) {
       if (ack.version < 2) {
         return FailSession(connection,
@@ -378,9 +473,11 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
       if (!applied.ok()) return FailSession(connection, applied);
       epoch = reassignment.epoch;
       local.reassignments++;
+      reassignments_metric->Increment();
       local.posting_entries = state.worker->num_entries();
       SKEWSEARCH_RETURN_NOT_OK(
           connection->Send(wire::EncodeReassignmentAck(reassignment_ack)));
+      flush_wire();
       continue;
     }
     wire::ProbeBatch batch;
@@ -394,16 +491,25 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
               std::to_string(batch.epoch) + " but this worker is at epoch " +
               std::to_string(epoch)));
     }
+    Timer batch_timer;
+    uint64_t batch_matches = 0;
     responses.clear();
     responses.reserve(batch.probes.size());
     for (const wire::OwnedProbe& probe : batch.probes) {
       responses.push_back(state.worker->Probe(probe.View()));
-      local.matches += responses.back().matches.size();
+      batch_matches += responses.back().matches.size();
     }
+    local.matches += batch_matches;
     local.batches++;
     local.probes += batch.probes.size();
     SKEWSEARCH_RETURN_NOT_OK(connection->Send(wire::EncodeResponseBatch(
         responses, ack.version, batch.epoch, batch.seq)));
+    batch_time_metric->Record(
+        static_cast<uint64_t>(batch_timer.ElapsedNanos()));
+    batches_metric->Increment();
+    probes_metric->Increment(batch.probes.size());
+    matches_metric->Increment(batch_matches);
+    flush_wire();
     if (options.fail_after_batches > 0 &&
         local.batches >= options.fail_after_batches) {
       // Simulated crash: vanish mid-stream without Error or Shutdown.
@@ -412,9 +518,36 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
       return Status::Aborted("session: dropped by fail_after_batches");
     }
   }
-  local.wire = connection->stats();
-  if (stats != nullptr) *stats = local;
-  return Status::OK();
+  return end_session();
+}
+
+Result<wire::StatsFrame> ScrapeWorkerStats(FrameConnection* connection) {
+  // Scrape-only sessions identify as worker 0 of 1 — the slot is never
+  // used because no Assignment follows.
+  wire::HelloFrame hello;
+  hello.min_version = wire::kVersionMin;
+  hello.max_version = wire::kVersionMax;
+  hello.worker_id = 0;
+  hello.num_workers = 1;
+  SKEWSEARCH_RETURN_NOT_OK(connection->Send(wire::EncodeHello(hello)));
+  wire::Frame frame;
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+  wire::HelloAckFrame ack;
+  SKEWSEARCH_RETURN_NOT_OK(wire::DecodeHelloAck(frame, &ack));
+  if (ack.version < 2) {
+    connection->Close();
+    return Status::NotSupported(
+        "session: stats scrape needs protocol version 2, worker chose " +
+        std::to_string(ack.version));
+  }
+  connection->set_frame_version(ack.version);
+  SKEWSEARCH_RETURN_NOT_OK(connection->Send(wire::EncodeStatsRequest()));
+  SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
+  wire::StatsFrame stats;
+  SKEWSEARCH_RETURN_NOT_OK(wire::DecodeStatsResponse(frame, &stats));
+  (void)connection->Send(wire::EncodeShutdown());
+  connection->Close();
+  return stats;
 }
 
 }  // namespace skewsearch

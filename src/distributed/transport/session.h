@@ -24,6 +24,12 @@
 //      frame (when no batch is in flight) that merges a lost worker's
 //      slices into this worker's table and bumps the epoch.
 //
+// Under version >= 2 a StatsRequest frame may additionally arrive in
+// place of the Assignment (a scrape-only session — what `join-stats`
+// opens via ScrapeWorkerStats below) or interleaved with probe batches;
+// the worker answers with a StatsResponse carrying its metrics-registry
+// snapshot and the session continues.
+//
 // Either side may send Error at any point and close; the other side
 // surfaces it as the carried Status. The worker's answers are computed
 // by the same JoinWorker used in-process, which is what keeps remote
@@ -40,6 +46,7 @@
 
 #include "distributed/messages.h"
 #include "distributed/transport/transport.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace skewsearch {
@@ -83,6 +90,12 @@ class RemoteWorkerSession {
 
   /// ProbeBatches sent whose responses have not been received yet.
   size_t in_flight() const { return in_flight_.size(); }
+
+  /// Scrapes the worker's metrics registry: sends a StatsRequest and
+  /// blocks for the StatsResponse. Requires a version >= 2 session and
+  /// no batch in flight (the response would be mistaken for a batch
+  /// answer otherwise).
+  Result<wire::StatsFrame> QueryStats();
 
   /// Re-ships a lost worker's slices to this (surviving) worker:
   /// sends a Reassignment frame carrying \p assignment under the next
@@ -147,6 +160,12 @@ struct ServeOptions {
   /// a crashed process looks like to the coordinator) and returns
   /// Aborted. 0 disables.
   uint64_t fail_after_batches = 0;
+
+  /// The registry this session records `worker.*` metrics into and
+  /// answers StatsRequest frames from. Null means the process-wide
+  /// MetricsRegistry::Global() — the production configuration; tests
+  /// point it at a private registry to assert exact counts.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Serves one coordinator session on \p connection: accepts the
@@ -160,6 +179,15 @@ struct ServeOptions {
 Status ServeConnection(FrameConnection* connection,
                        WorkerServeStats* stats = nullptr,
                        const ServeOptions& options = {});
+
+/// Opens a scrape-only session on \p connection and returns the
+/// worker's metrics snapshot: Hello handshake (requiring a negotiated
+/// version >= 2 — a v1-only worker fails with NotSupported), one
+/// StatsRequest/StatsResponse exchange, then Shutdown. This is what
+/// the `join-stats` CLI command runs against a live `join-worker`; the
+/// worker serves it as just another session, concurrently with any
+/// joins in flight.
+Result<wire::StatsFrame> ScrapeWorkerStats(FrameConnection* connection);
 
 }  // namespace skewsearch
 

@@ -15,6 +15,8 @@ constexpr size_t kMinVectorBytes = 8;     // u32 id + u32 count
 constexpr size_t kMinProbeBytes = 13;     // u32 + u8 + u32 + u32
 constexpr size_t kMinResponseBytes = 24;  // u32 + u64 + u64 + u32
 constexpr size_t kMatchBytes = 12;        // u32 id + f64 similarity
+constexpr size_t kMinMetricBytes = 12;    // u16 len + 1 name + u8 + u64
+constexpr size_t kMetricBucketBytes = 9;  // u8 index + u64 count
 
 Status Corrupt(const char* what) {
   return Status::IOError(std::string("wire: ") + what);
@@ -52,7 +54,7 @@ Status BoundedCount(PayloadReader* reader, size_t min_element_bytes,
 
 bool IsValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kReassignmentAck);
+         type <= static_cast<uint8_t>(FrameType::kStatsResponse);
 }
 
 void AppendFrameHeader(FrameType type, uint32_t payload_length,
@@ -483,6 +485,121 @@ Status DecodeReassignmentAck(const Frame& frame, ReassignmentAckFrame* out) {
   SKEWSEARCH_RETURN_NOT_OK(reader.U64(&ack.counters.distinct_vectors));
   SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "ReassignmentAck"));
   *out = ack;
+  return Status::OK();
+}
+
+Frame EncodeStatsRequest() {
+  return {FrameType::kStatsRequest, /*version=*/2, {}};
+}
+
+Frame EncodeStatsResponse(const StatsFrame& stats) {
+  PayloadWriter writer;
+  writer.U32(static_cast<uint32_t>(stats.metrics.size()));
+  for (const obs::MetricSnapshot& metric : stats.metrics) {
+    writer.U16(static_cast<uint16_t>(metric.name.size()));
+    writer.Bytes(metric.name.data(), metric.name.size());
+    writer.U8(static_cast<uint8_t>(metric.kind));
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+        writer.U64(metric.counter_value);
+        break;
+      case obs::MetricKind::kGauge:
+        writer.U64(static_cast<uint64_t>(metric.gauge_value));
+        break;
+      case obs::MetricKind::kHistogram: {
+        const obs::HistogramData& h = metric.histogram;
+        writer.U64(h.count);
+        writer.U64(h.sum);
+        writer.U64(h.max);
+        writer.U8(static_cast<uint8_t>(h.buckets.size()));
+        for (const auto& [index, bucket_count] : h.buckets) {
+          writer.U8(index);
+          writer.U64(bucket_count);
+        }
+        break;
+      }
+    }
+  }
+  return {FrameType::kStatsResponse, /*version=*/2, std::move(writer).Take()};
+}
+
+Status DecodeStatsResponse(const Frame& frame, StatsFrame* out) {
+  SKEWSEARCH_RETURN_NOT_OK(
+      ExpectType(frame, FrameType::kStatsResponse, "StatsResponse"));
+  PayloadReader reader(frame.payload);
+  StatsFrame stats;
+  uint32_t count = 0;
+  SKEWSEARCH_RETURN_NOT_OK(
+      BoundedCount(&reader, kMinMetricBytes, "StatsResponse metric", &count));
+  stats.metrics.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::MetricSnapshot metric;
+    uint16_t name_length = 0;
+    SKEWSEARCH_RETURN_NOT_OK(reader.U16(&name_length));
+    if (name_length == 0) {
+      return Corrupt("StatsResponse metric name is empty");
+    }
+    if (name_length > reader.remaining()) {
+      return Corrupt("StatsResponse metric name exceeds the payload");
+    }
+    metric.name.resize(name_length);
+    SKEWSEARCH_RETURN_NOT_OK(reader.Bytes(metric.name.data(), name_length));
+    if (i > 0 && metric.name <= stats.metrics.back().name) {
+      return Corrupt("StatsResponse metrics are not strictly increasing "
+                     "by name");
+    }
+    uint8_t kind = 0;
+    SKEWSEARCH_RETURN_NOT_OK(reader.U8(&kind));
+    if (kind > static_cast<uint8_t>(obs::MetricKind::kHistogram)) {
+      return Corrupt("StatsResponse metric kind out of range");
+    }
+    metric.kind = static_cast<obs::MetricKind>(kind);
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+        SKEWSEARCH_RETURN_NOT_OK(reader.U64(&metric.counter_value));
+        break;
+      case obs::MetricKind::kGauge: {
+        uint64_t raw = 0;
+        SKEWSEARCH_RETURN_NOT_OK(reader.U64(&raw));
+        metric.gauge_value = static_cast<int64_t>(raw);
+        break;
+      }
+      case obs::MetricKind::kHistogram: {
+        obs::HistogramData& h = metric.histogram;
+        SKEWSEARCH_RETURN_NOT_OK(reader.U64(&h.count));
+        SKEWSEARCH_RETURN_NOT_OK(reader.U64(&h.sum));
+        SKEWSEARCH_RETURN_NOT_OK(reader.U64(&h.max));
+        uint8_t num_buckets = 0;
+        SKEWSEARCH_RETURN_NOT_OK(reader.U8(&num_buckets));
+        if (num_buckets > obs::Histogram::kNumBuckets ||
+            num_buckets > reader.remaining() / kMetricBucketBytes) {
+          return Corrupt("StatsResponse bucket count exceeds the payload");
+        }
+        h.buckets.reserve(num_buckets);
+        for (uint8_t b = 0; b < num_buckets; ++b) {
+          uint8_t index = 0;
+          uint64_t bucket_count = 0;
+          SKEWSEARCH_RETURN_NOT_OK(reader.U8(&index));
+          if (index >= obs::Histogram::kNumBuckets) {
+            return Corrupt("StatsResponse bucket index out of range");
+          }
+          if (b > 0 && index <= h.buckets.back().first) {
+            return Corrupt("StatsResponse bucket indexes are not strictly "
+                           "increasing");
+          }
+          SKEWSEARCH_RETURN_NOT_OK(reader.U64(&bucket_count));
+          if (bucket_count == 0) {
+            return Corrupt("StatsResponse bucket has a zero count");
+          }
+          h.buckets.emplace_back(index, bucket_count);
+        }
+        break;
+      }
+    }
+    stats.metrics.push_back(std::move(metric));
+  }
+  SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "StatsResponse"));
+  *out = std::move(stats);
   return Status::OK();
 }
 

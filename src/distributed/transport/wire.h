@@ -30,6 +30,7 @@
 
 #include "data/dataset.h"
 #include "distributed/messages.h"
+#include "obs/metrics.h"
 #include "sim/measures.h"
 #include "util/result.h"
 
@@ -86,6 +87,9 @@ enum class FrameType : uint8_t {
   kReassignment = 9,     ///< coordinator -> worker: adopt a lost
                          ///< worker's slices, bump the session epoch
   kReassignmentAck = 10, ///< worker -> coordinator: epoch + counters
+  kStatsRequest = 11,    ///< scraper -> worker: ask for a metrics
+                         ///< snapshot (empty payload)
+  kStatsResponse = 12,   ///< worker -> scraper: the registry snapshot
   /// @}
 };
 
@@ -264,6 +268,20 @@ struct ReassignmentAckFrame {
   AssignmentAckFrame counters;
 };
 
+/// \brief StatsResponse (v2): a worker's metrics-registry snapshot.
+///
+/// The request (kStatsRequest, empty payload) may arrive in place of an
+/// Assignment — a scrape-only session, what `join-stats` opens — or
+/// interleaved with ProbeBatches on a serving session; either way the
+/// worker answers with its whole obs registry and the session
+/// continues. Both frames require a negotiated version >= 2: a v1
+/// session sending one is rejected with NotSupported.
+struct StatsFrame {
+  /// The scraped registry, sorted by metric name (the order
+  /// MetricsRegistry::Snapshot() produces; the decoder enforces it).
+  std::vector<obs::MetricSnapshot> metrics;
+};
+
 /// \brief Error frame: a Status crossing the wire.
 struct ErrorFrame {
   uint16_t code = 0;     ///< Status::Code numeric value
@@ -287,6 +305,8 @@ Frame EncodeResponseBatch(std::span<const ProbeResponse> batch,
                           uint64_t seq = 0);
 Frame EncodeReassignment(const ReassignmentFrame& reassignment);
 Frame EncodeReassignmentAck(const ReassignmentAckFrame& ack);
+Frame EncodeStatsRequest();
+Frame EncodeStatsResponse(const StatsFrame& stats);
 Frame EncodeShutdown();
 Frame EncodeError(const Status& status);
 /// @}
@@ -303,6 +323,7 @@ Status DecodeProbeBatch(const Frame& frame, ProbeBatch* out);
 Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out);
 Status DecodeReassignment(const Frame& frame, ReassignmentFrame* out);
 Status DecodeReassignmentAck(const Frame& frame, ReassignmentAckFrame* out);
+Status DecodeStatsResponse(const Frame& frame, StatsFrame* out);
 Status DecodeError(const Frame& frame, ErrorFrame* out);
 /// @}
 

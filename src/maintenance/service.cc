@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace skewsearch {
 
 MaintenanceService::~MaintenanceService() { Detach(); }
@@ -64,6 +67,26 @@ void MaintenanceService::OnShardDirty(int /*shard*/) {
 }
 
 Status MaintenanceService::RunOnce() {
+  // Maintenance metrics (docs/OBSERVABILITY.md, "maintenance.*") —
+  // compaction/rebuild counters plus duration histograms, and the epoch
+  // backlog gauge a stuck reader would show up in.
+  static obs::Counter* const scans_metric =
+      obs::MetricsRegistry::Global().GetCounter("maintenance.scans");
+  static obs::Counter* const compactions_metric =
+      obs::MetricsRegistry::Global().GetCounter("maintenance.compactions");
+  static obs::Counter* const rebuilds_metric =
+      obs::MetricsRegistry::Global().GetCounter("maintenance.rebuilds");
+  static obs::Counter* const reclaimed_metric =
+      obs::MetricsRegistry::Global().GetCounter("maintenance.reclaimed");
+  static obs::Histogram* const compact_span_metric =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "span.maintenance.compact");
+  static obs::Histogram* const rebuild_span_metric =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "span.maintenance.rebuild");
+  static obs::Gauge* const backlog_metric =
+      obs::MetricsRegistry::Global().GetGauge("maintenance.epoch_backlog");
+
   DynamicIndex* index = index_;
   if (index == nullptr) {
     return Status::InvalidArgument("no index attached");
@@ -86,8 +109,14 @@ Status MaintenanceService::RunOnce() {
         (options_.max_delta_entries > 0 &&
          health.delta_entries > options_.max_delta_entries);
     if (dead_pressure || delta_pressure) {
+      Timer compact_timer;
       status = index->CompactShard(s);
-      if (status.ok()) ++compactions;
+      if (status.ok()) {
+        ++compactions;
+        compactions_metric->Increment();
+        compact_span_metric->Record(
+            static_cast<uint64_t>(compact_timer.ElapsedNanos()));
+      }
     }
   }
   size_t rebuilds = 0;
@@ -100,11 +129,20 @@ Status MaintenanceService::RunOnce() {
         (static_cast<double>(live) > factor * static_cast<double>(derived) ||
          static_cast<double>(live) * factor < static_cast<double>(derived));
     if (drifted) {
+      Timer rebuild_timer;
       status = index->RebuildForSize(live);
-      if (status.ok()) ++rebuilds;
+      if (status.ok()) {
+        ++rebuilds;
+        rebuilds_metric->Increment();
+        rebuild_span_metric->Record(
+            static_cast<uint64_t>(rebuild_timer.ElapsedNanos()));
+      }
     }
   }
   const size_t reclaimed = index->epochs().Collect();
+  scans_metric->Increment();
+  reclaimed_metric->Increment(reclaimed);
+  backlog_metric->Set(static_cast<int64_t>(index->epochs().limbo_size()));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.scans++;

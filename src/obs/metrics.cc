@@ -1,0 +1,202 @@
+// Copyright 2026 The skewsearch Authors.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace skewsearch::obs {
+
+namespace {
+
+// Appends `printf`-formatted text to *out (exposition is cold path).
+void AppendF(std::string* out, const char* fmt, auto... args) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+uint64_t HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    seen += bucket_count;
+    if (seen >= rank) {
+      return std::min(Histogram::BucketUpperBound(index), max);
+    }
+  }
+  return max;  // Racy snapshot undercounted the buckets; max still holds.
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.count = count_.value.load(std::memory_order_relaxed);
+  data.sum = sum_.value.load(std::memory_order_relaxed);
+  data.max = max_.value.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (n != 0) data.buckets.emplace_back(static_cast<uint8_t>(i), n);
+  }
+  return data;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Immortal.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name),
+                             std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::kCounter;
+      snap.counter_value = counter->Value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::kGauge;
+      snap.gauge_value = gauge->Value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::kHistogram;
+      snap.histogram = histogram->Snapshot();
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string RenderText(const std::vector<MetricSnapshot>& metrics) {
+  std::string out;
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendF(&out, "counter %s %llu\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.counter_value));
+        break;
+      case MetricKind::kGauge:
+        AppendF(&out, "gauge %s %lld\n", m.name.c_str(),
+                static_cast<long long>(m.gauge_value));
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        AppendF(&out,
+                "histogram %s count=%llu sum=%llu p50=%llu p90=%llu "
+                "p99=%llu max=%llu\n",
+                m.name.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.sum),
+                static_cast<unsigned long long>(h.Quantile(0.50)),
+                static_cast<unsigned long long>(h.Quantile(0.90)),
+                static_cast<unsigned long long>(h.Quantile(0.99)),
+                static_cast<unsigned long long>(h.max));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics) {
+  std::string out = "{\n  \"metrics\": {";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    AppendF(&out, "    \"%s\": {", m.name.c_str());
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendF(&out, "\"type\": \"counter\", \"value\": %llu",
+                static_cast<unsigned long long>(m.counter_value));
+        break;
+      case MetricKind::kGauge:
+        AppendF(&out, "\"type\": \"gauge\", \"value\": %lld",
+                static_cast<long long>(m.gauge_value));
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = m.histogram;
+        AppendF(&out,
+                "\"type\": \"histogram\", \"count\": %llu, \"sum\": %llu, "
+                "\"max\": %llu, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+                "\"buckets\": [",
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.sum),
+                static_cast<unsigned long long>(h.max),
+                static_cast<unsigned long long>(h.Quantile(0.50)),
+                static_cast<unsigned long long>(h.Quantile(0.90)),
+                static_cast<unsigned long long>(h.Quantile(0.99)));
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          AppendF(&out, "%s[%d, %llu]", i == 0 ? "" : ", ",
+                  static_cast<int>(h.buckets[i].first),
+                  static_cast<unsigned long long>(h.buckets[i].second));
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  return RenderText(Snapshot());
+}
+
+std::string MetricsRegistry::JsonExposition() const {
+  return RenderJson(Snapshot());
+}
+
+}  // namespace skewsearch::obs

@@ -1,0 +1,281 @@
+// Copyright 2026 The skewsearch Authors.
+// Process-wide metrics registry: named counters, gauges and
+// log-bucketed latency histograms with text/JSON exposition.
+//
+// Every layer of the system records into one shared registry
+// (MetricsRegistry::Global()) through stable metric pointers that call
+// sites look up once and cache — typically via a function-local static,
+// which is what the SKEWSEARCH_SPAN macro (obs/span.h) does. The hot
+// path is a single relaxed atomic add on a cache-line-padded cell
+// (util/sync.h), so instrumented readers stay wait-free and
+// instrumentation never introduces a lock into a query. Registration
+// (the first lookup of a name) takes a mutex; after that the pointer is
+// immortal — the registry never deletes a metric.
+//
+// The same snapshot feeds four consumers: the text exposition scraped
+// by `join-stats`, the JSON exposition behind `--metrics-dump`, the
+// StatsResponse wire frame (transport/wire.h), and the bench harness's
+// registry dump. docs/OBSERVABILITY.md catalogs the metric names.
+
+#ifndef SKEWSEARCH_OBS_METRICS_H_
+#define SKEWSEARCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace skewsearch::obs {
+
+/// \brief Monotonic event count (queries served, bytes shipped, ...).
+///
+/// Increment() is one relaxed fetch_add on a padded atomic — wait-free
+/// and safe from any thread. Readers see a value that is never exact
+/// "now" but is always some value the counter actually held.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds \p delta (default 1) to the count.
+  void Increment(uint64_t delta = 1) {
+    cell_.value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Current count.
+  uint64_t Value() const {
+    return cell_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Registered metric name.
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  PaddedAtomicU64 cell_;
+};
+
+/// \brief Instantaneous signed level (active sessions, epoch backlog).
+///
+/// Stored as a two's-complement uint64 in a padded atomic so Add() of a
+/// negative delta is a plain wrapping fetch_add — still one wait-free
+/// relaxed RMW on the hot path.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  /// Overwrites the level.
+  void Set(int64_t value) {
+    cell_.value.store(static_cast<uint64_t>(value),
+                      std::memory_order_relaxed);
+  }
+
+  /// Adjusts the level by \p delta (may be negative).
+  void Add(int64_t delta) {
+    cell_.value.fetch_add(static_cast<uint64_t>(delta),
+                          std::memory_order_relaxed);
+  }
+
+  /// Current level.
+  int64_t Value() const {
+    return static_cast<int64_t>(
+        cell_.value.load(std::memory_order_relaxed));
+  }
+
+  /// Registered metric name.
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  PaddedAtomicU64 cell_;
+};
+
+/// \brief A read-only copy of one histogram's state.
+///
+/// `buckets` holds only the nonzero buckets as (index, count) pairs in
+/// ascending index order — the form the JSON exposition and the
+/// StatsResponse wire frame serialize directly.
+struct HistogramData {
+  /// Total number of recorded samples.
+  uint64_t count = 0;
+
+  /// Sum of all recorded values.
+  uint64_t sum = 0;
+
+  /// Largest recorded value (exact, not a bucket bound).
+  uint64_t max = 0;
+
+  /// Nonzero (bucket index, sample count) pairs, ascending by index.
+  std::vector<std::pair<uint8_t, uint64_t>> buckets;
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]): the inclusive
+  /// upper bound of the bucket holding the rank-⌈q·count⌉ sample,
+  /// clamped to `max`. Returns 0 when the histogram is empty.
+  uint64_t Quantile(double q) const;
+};
+
+/// \brief Log-bucketed latency histogram (nanosecond samples).
+///
+/// Bucket b >= 1 covers values of bit-width b, i.e. [2^(b-1), 2^b - 1];
+/// bucket 0 holds exact zeros. 65 buckets cover the full uint64 range,
+/// so Record() is branch-light: one bit_width, three relaxed adds and a
+/// CAS-max. Quantiles are bucket-resolution estimates (within 2x),
+/// `max` is exact.
+class Histogram {
+ public:
+  /// Bucket count: index 0 (zeros) plus one bucket per bit width 1..64.
+  static constexpr int kNumBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index holding \p value: 0 for 0, else bit_width(value).
+  static int BucketIndex(uint64_t value) {
+    return value == 0 ? 0 : std::bit_width(value);
+  }
+
+  /// Inclusive upper bound of bucket \p index.
+  static uint64_t BucketUpperBound(int index) {
+    if (index <= 0) return 0;
+    if (index >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << index) - 1;
+  }
+
+  /// Records one sample. Wait-free apart from the max update, whose CAS
+  /// loop retries only while other threads are raising the max past
+  /// \p value.
+  void Record(uint64_t value) {
+    buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.value.fetch_add(1, std::memory_order_relaxed);
+    sum_.value.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.value.load(std::memory_order_relaxed);
+    while (prev < value && !max_.value.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Total number of recorded samples.
+  uint64_t Count() const {
+    return count_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the current state. Concurrent Record() calls may be torn
+  /// across fields (count/sum/buckets are read independently), which is
+  /// fine for monitoring; tests quiesce writers before snapshotting.
+  HistogramData Snapshot() const;
+
+  /// Registered metric name.
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  PaddedAtomicU64 count_;
+  PaddedAtomicU64 sum_;
+  PaddedAtomicU64 max_;
+};
+
+/// Discriminates the three metric kinds in snapshots and on the wire
+/// (the values are the wire encoding — see docs/WIRE_PROTOCOL.md).
+enum class MetricKind : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// \brief One metric's name, kind and value, decoupled from the live
+/// atomics — the unit of exposition and of the StatsResponse frame.
+struct MetricSnapshot {
+  /// Registered metric name.
+  std::string name;
+
+  /// Which of the value fields below is meaningful.
+  MetricKind kind = MetricKind::kCounter;
+
+  /// Counter value (kind == kCounter).
+  uint64_t counter_value = 0;
+
+  /// Gauge level (kind == kGauge).
+  int64_t gauge_value = 0;
+
+  /// Histogram state (kind == kHistogram).
+  HistogramData histogram;
+};
+
+/// \brief Named registry of counters, gauges and histograms.
+///
+/// Get*() registers on first use and afterwards returns the same
+/// pointer, which stays valid for the registry's lifetime — call sites
+/// cache it (function-local static) so steady state never touches the
+/// registration mutex. Instances are independent (tests build their
+/// own); production code records into Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumented layer records into.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under \p name, creating it on
+  /// first use. The pointer is stable until the registry is destroyed.
+  Counter* GetCounter(std::string_view name);
+
+  /// Returns the gauge registered under \p name, creating it on first
+  /// use. The pointer is stable until the registry is destroyed.
+  Gauge* GetGauge(std::string_view name);
+
+  /// Returns the histogram registered under \p name, creating it on
+  /// first use. The pointer is stable until the registry is destroyed.
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Copies every registered metric, sorted by name (kinds interleaved;
+  /// by convention names are unique across kinds).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Human-readable exposition, one metric per line:
+  /// `counter <name> <value>`, `gauge <name> <value>`, or
+  /// `histogram <name> count=<n> sum=<s> p50=<..> p90=<..> p99=<..>
+  /// max=<m>`. Sorted by name; the format `join-stats` prints.
+  std::string TextExposition() const;
+
+  /// JSON exposition: `{"metrics": {<name>: {...}, ...}}` with
+  /// per-kind value objects (see docs/OBSERVABILITY.md). Sorted by
+  /// name, deterministic for golden tests; the `--metrics-dump` format.
+  std::string JsonExposition() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// Renders a snapshot in the TextExposition() line format — shared by
+/// the registry itself and by `join-stats`, which prints a snapshot
+/// decoded from a StatsResponse frame rather than a live registry.
+std::string RenderText(const std::vector<MetricSnapshot>& metrics);
+
+/// Renders a snapshot in the JsonExposition() format (same sharing
+/// rationale as RenderText()).
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics);
+
+}  // namespace skewsearch::obs
+
+#endif  // SKEWSEARCH_OBS_METRICS_H_

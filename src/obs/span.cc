@@ -1,0 +1,24 @@
+// Copyright 2026 The skewsearch Authors.
+
+#include "obs/span.h"
+
+namespace skewsearch::obs {
+
+namespace internal {
+
+ScopedTrace*& ActiveTrace() {
+  thread_local ScopedTrace* active = nullptr;
+  return active;
+}
+
+}  // namespace internal
+
+ScopedTrace::ScopedTrace() : prev_(internal::ActiveTrace()) {
+  internal::ActiveTrace() = this;
+}
+
+ScopedTrace::~ScopedTrace() { internal::ActiveTrace() = prev_; }
+
+ScopedTrace* ScopedTrace::Current() { return internal::ActiveTrace(); }
+
+}  // namespace skewsearch::obs

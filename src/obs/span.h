@@ -1,0 +1,120 @@
+// Copyright 2026 The skewsearch Authors.
+// Trace spans: per-phase wall time recorded into the metrics registry.
+//
+// `SKEWSEARCH_SPAN("probe.verify");` times the enclosing scope into the
+// global histogram `span.probe.verify` — the histogram pointer is
+// looked up once per call site (function-local static) and each pass
+// costs two clock reads plus one Histogram::Record(), so spans are
+// cheap enough for per-query phases. When a ScopedTrace is live on the
+// current thread, every span additionally appends a (name, nanos)
+// entry to it — the per-query trace dump behind the CLI's `--trace`.
+// Span naming conventions live in docs/OBSERVABILITY.md.
+
+#ifndef SKEWSEARCH_OBS_SPAN_H_
+#define SKEWSEARCH_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace skewsearch::obs {
+
+/// \brief One completed span observed by a ScopedTrace.
+struct TraceEntry {
+  /// The span's metric name (a string literal; `span.`-prefixed).
+  std::string_view name;
+
+  /// The span's measured wall time in nanoseconds.
+  uint64_t nanos = 0;
+};
+
+/// \brief Collects every span that completes on this thread while the
+/// ScopedTrace is alive — the per-query trace dump.
+///
+/// Installation is thread-local and nests: an inner ScopedTrace
+/// shadows the outer one until it is destroyed. Not thread-safe; a
+/// trace observes its own thread only.
+class ScopedTrace {
+ public:
+  ScopedTrace();
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  /// Spans completed so far, in completion order (inner spans first).
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// The calling thread's innermost live trace, or nullptr. Code that
+  /// measures a phase by hand (without a SpanTimer) uses this to feed
+  /// the same trace dump: `if (auto* t = ScopedTrace::Current())
+  /// t->Add(...)`.
+  static ScopedTrace* Current();
+
+  /// Appends one completed span. \p name must outlive the trace (span
+  /// names are string literals).
+  void Add(std::string_view name, uint64_t nanos) {
+    entries_.push_back(TraceEntry{name, nanos});
+  }
+
+ private:
+  ScopedTrace* prev_;
+  std::vector<TraceEntry> entries_;
+};
+
+namespace internal {
+
+/// The thread's innermost live ScopedTrace, or nullptr.
+ScopedTrace*& ActiveTrace();
+
+}  // namespace internal
+
+/// \brief RAII body of SKEWSEARCH_SPAN: starts a Timer on construction
+/// and records ElapsedNanos() into the histogram (and the thread's
+/// active trace, if any) on destruction.
+class SpanTimer {
+ public:
+  /// \p histogram may be null (record to trace only); \p name must
+  /// outlive the timer — the macro passes a string literal.
+  SpanTimer(Histogram* histogram, std::string_view name)
+      : histogram_(histogram), name_(name) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() {
+    auto nanos = static_cast<uint64_t>(timer_.ElapsedNanos());
+    if (histogram_ != nullptr) histogram_->Record(nanos);
+    if (ScopedTrace* trace = internal::ActiveTrace()) {
+      trace->Add(name_, nanos);
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::string_view name_;
+  Timer timer_;
+};
+
+}  // namespace skewsearch::obs
+
+// Two-step paste so __LINE__ expands before concatenation.
+#define SKEWSEARCH_OBS_CONCAT_INNER_(a, b) a##b
+#define SKEWSEARCH_OBS_CONCAT_(a, b) SKEWSEARCH_OBS_CONCAT_INNER_(a, b)
+
+/// Times the enclosing scope into the global histogram `span.<name>`.
+/// \p name must be a string literal, dot-separated layer.phase (see
+/// docs/OBSERVABILITY.md).
+#define SKEWSEARCH_SPAN(name)                                        \
+  static ::skewsearch::obs::Histogram* const SKEWSEARCH_OBS_CONCAT_( \
+      skewsearch_span_hist_, __LINE__) =                             \
+      ::skewsearch::obs::MetricsRegistry::Global().GetHistogram(     \
+          "span." name);                                             \
+  ::skewsearch::obs::SpanTimer SKEWSEARCH_OBS_CONCAT_(               \
+      skewsearch_span_timer_, __LINE__)(                             \
+      SKEWSEARCH_OBS_CONCAT_(skewsearch_span_hist_, __LINE__),       \
+      "span." name)
+
+#endif  // SKEWSEARCH_OBS_SPAN_H_

@@ -5,6 +5,7 @@
 #define SKEWSEARCH_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace skewsearch {
 
@@ -25,6 +26,16 @@ class Timer {
 
   /// Elapsed microseconds since construction or last Restart().
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed nanoseconds since construction or last Restart(), as an
+  /// integer tick count. Histogram recording uses this instead of the
+  /// double-valued accessors so sub-microsecond spans keep their low
+  /// bits instead of rounding toward zero.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

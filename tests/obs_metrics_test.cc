@@ -1,0 +1,261 @@
+// Metrics-registry tests: counter/gauge/histogram semantics, the
+// log-bucket boundaries, quantile estimation, the text/JSON exposition
+// goldens that `join-stats` and `--metrics-dump` depend on, and an
+// exact-count concurrency stress. The stress suite's name contains
+// "Concurrency" so CI's TSan matrix picks it up.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace skewsearch::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterCountsAndNames) {
+  Counter counter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  EXPECT_EQ(counter.name(), "test.counter");
+}
+
+TEST(ObsMetricsTest, GaugeGoesNegative) {
+  Gauge gauge("test.gauge");
+  gauge.Set(5);
+  gauge.Add(-8);
+  EXPECT_EQ(gauge.Value(), -3);
+  gauge.Add(3);
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  EXPECT_EQ(a, registry.GetCounter("x"));
+  EXPECT_NE(a, registry.GetCounter("y"));
+  // The same name registers independently per kind (by convention
+  // names are unique across kinds; the registry does not enforce it).
+  Gauge* g = registry.GetGauge("x");
+  Histogram* h = registry.GetHistogram("x");
+  EXPECT_EQ(g, registry.GetGauge("x"));
+  EXPECT_EQ(h, registry.GetHistogram("x"));
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds exact zeros; bucket b >= 1 holds the values of bit
+  // width b, i.e. [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            64);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64),
+            std::numeric_limits<uint64_t>::max());
+
+  Histogram histogram("test.hist");
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(2);
+  histogram.Record(3);
+  histogram.Record(4);
+  HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_EQ(data.sum, 10u);
+  EXPECT_EQ(data.max, 4u);
+  ASSERT_EQ(data.buckets.size(), 4u);  // indices 0, 1, 2, 3
+  EXPECT_EQ(data.buckets[0], (std::pair<uint8_t, uint64_t>{0, 1}));
+  EXPECT_EQ(data.buckets[1], (std::pair<uint8_t, uint64_t>{1, 1}));
+  EXPECT_EQ(data.buckets[2], (std::pair<uint8_t, uint64_t>{2, 2}));
+  EXPECT_EQ(data.buckets[3], (std::pair<uint8_t, uint64_t>{3, 1}));
+}
+
+TEST(ObsMetricsTest, HistogramQuantilesClampToMax) {
+  Histogram histogram("test.hist");
+  histogram.Record(0);
+  histogram.Record(5);
+  histogram.Record(5);
+  histogram.Record(1000);
+  HistogramData data = histogram.Snapshot();
+  // Rank-2 sample sits in bucket 3 (values 4..7) -> upper bound 7.
+  EXPECT_EQ(data.Quantile(0.50), 7u);
+  // Rank-4 sample sits in bucket 10 (upper bound 1023), clamped to the
+  // exact max.
+  EXPECT_EQ(data.Quantile(0.90), 1000u);
+  EXPECT_EQ(data.Quantile(0.99), 1000u);
+  EXPECT_EQ(data.Quantile(0.0), 0u);  // rank floor is 1 -> bucket 0
+
+  HistogramData empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+}
+
+MetricsRegistry* GoldenRegistry() {
+  auto* registry = new MetricsRegistry();
+  registry->GetCounter("worker.batches")->Increment(3);
+  registry->GetGauge("epoch.backlog")->Set(-2);
+  Histogram* h = registry->GetHistogram("query.lat");
+  h->Record(0);
+  h->Record(5);
+  h->Record(5);
+  h->Record(1000);
+  return registry;
+}
+
+TEST(ObsMetricsTest, TextExpositionGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  EXPECT_EQ(registry->TextExposition(),
+            "gauge epoch.backlog -2\n"
+            "histogram query.lat count=4 sum=1010 p50=7 p90=1000 "
+            "p99=1000 max=1000\n"
+            "counter worker.batches 3\n");
+}
+
+TEST(ObsMetricsTest, JsonExpositionGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  EXPECT_EQ(registry->JsonExposition(),
+            "{\n"
+            "  \"metrics\": {\n"
+            "    \"epoch.backlog\": {\"type\": \"gauge\", \"value\": -2},\n"
+            "    \"query.lat\": {\"type\": \"histogram\", \"count\": 4, "
+            "\"sum\": 1010, \"max\": 1000, \"p50\": 7, \"p90\": 1000, "
+            "\"p99\": 1000, \"buckets\": [[0, 1], [3, 2], [10, 1]]},\n"
+            "    \"worker.batches\": {\"type\": \"counter\", \"value\": 3}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ObsMetricsTest, SnapshotSortsByNameAcrossKinds) {
+  MetricsRegistry registry;
+  registry.GetHistogram("c");
+  registry.GetCounter("b");
+  registry.GetGauge("a");
+  registry.GetCounter("d");
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot[0].name, "a");
+  EXPECT_EQ(snapshot[1].name, "b");
+  EXPECT_EQ(snapshot[2].name, "c");
+  EXPECT_EQ(snapshot[3].name, "d");
+  EXPECT_EQ(snapshot[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snapshot[2].kind, MetricKind::kHistogram);
+}
+
+TEST(ObsMetricsTest, SpanRecordsIntoHistogramAndTrace) {
+  Histogram histogram("span.test");
+  {
+    ScopedTrace trace;
+    {
+      SpanTimer span(&histogram, "span.test");
+    }
+    ASSERT_EQ(trace.entries().size(), 1u);
+    EXPECT_EQ(trace.entries()[0].name, "span.test");
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  // With the trace gone, spans still record to the histogram only.
+  {
+    SpanTimer span(&histogram, "span.test");
+  }
+  EXPECT_EQ(histogram.Count(), 2u);
+  EXPECT_EQ(ScopedTrace::Current(), nullptr);
+}
+
+TEST(ObsMetricsTest, ScopedTraceNests) {
+  ScopedTrace outer;
+  EXPECT_EQ(ScopedTrace::Current(), &outer);
+  {
+    ScopedTrace inner;
+    EXPECT_EQ(ScopedTrace::Current(), &inner);
+    inner.Add("phase", 7);
+    EXPECT_EQ(inner.entries().size(), 1u);
+  }
+  EXPECT_EQ(ScopedTrace::Current(), &outer);
+  EXPECT_TRUE(outer.entries().empty());
+}
+
+TEST(ObsMetricsConcurrencyTest, RecordersCountExactly) {
+  // 8 threads hammer one counter, one gauge and one histogram through
+  // registry lookups (registration races included); after joining, all
+  // totals must be exact — the wait-free hot path loses no updates.
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("stress.counter");
+      Gauge* gauge = registry.GetGauge("stress.gauge");
+      Histogram* histogram = registry.GetHistogram("stress.hist");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1);
+        gauge->Add(-1);
+        histogram->Record(i % 4);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("stress.counter")->Value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetGauge("stress.gauge")->Value(), 0);
+  HistogramData data = registry.GetHistogram("stress.hist")->Snapshot();
+  EXPECT_EQ(data.count, kThreads * kPerThread);
+  // Per thread the values cycle 0,1,2,3 -> sum 6 per 4 records.
+  EXPECT_EQ(data.sum, kThreads * kPerThread / 4 * 6);
+  EXPECT_EQ(data.max, 3u);
+  ASSERT_EQ(data.buckets.size(), 3u);  // buckets 0 {0}, 1 {1}, 2 {2,3}
+  EXPECT_EQ(data.buckets[0].second, kThreads * kPerThread / 4);
+  EXPECT_EQ(data.buckets[1].second, kThreads * kPerThread / 4);
+  EXPECT_EQ(data.buckets[2].second, kThreads * kPerThread / 2);
+}
+
+TEST(ObsMetricsConcurrencyTest, SnapshotRacesWithRecorders) {
+  // Snapshots taken while writers run must stay internally safe (no
+  // torn strings, no crashes); value exactness is only asserted after
+  // the writers quiesce.
+  MetricsRegistry registry;
+  registry.GetHistogram("race.hist");  // nonempty from the first snapshot
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      Counter* counter =
+          registry.GetCounter("race." + std::to_string(t));
+      Histogram* histogram = registry.GetHistogram("race.hist");
+      while (!stop.load(std::memory_order_acquire)) {
+        counter->Increment();
+        histogram->Record(1);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+    EXPECT_LE(snapshot.size(), 5u);
+    std::string text = registry.TextExposition();
+    EXPECT_FALSE(text.empty());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(registry.Snapshot().size(), 5u);
+}
+
+}  // namespace
+}  // namespace skewsearch::obs

@@ -7,7 +7,11 @@
 # coordinator must report the recovery and still produce byte-identical
 # output — the acceptance criteria of the transport layer, checked end
 # to end through the CLI (CI runs this; see docs/WIRE_PROTOCOL.md for
-# what crosses the wire).
+# what crosses the wire). Along the way the workers are scraped live
+# with `join-stats` (the stats surface of docs/OBSERVABILITY.md):
+# mid-join while both coordinators are in flight, after round 1 to
+# assert nonzero batch counters, and after the kill round to assert a
+# survivor counted the reassignment.
 #
 # Usage: tools/distributed_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -73,6 +77,16 @@ stop_worker() {
   return 1
 }
 
+# Scrape one counter off a live worker over the wire protocol; prints
+# its value (0 if the worker has never touched it). A failed scrape
+# session fails the script via pipefail.
+scrape_counter() {
+  local endpoint="$1" name="$2"
+  "$CLI" join-stats --connect "$endpoint" \
+    | awk -v n="$name" '$1 == "counter" && $2 == n { print $3; found = 1 }
+                        END { if (!found) print 0 }'
+}
+
 # A dataset dense enough that the self-join has a non-trivial output
 # (the identity check would be vacuous on zero pairs).
 "$CLI" generate --kind zipf --n 600 --d 300 --p 0.9 --exp 1.2 --avg 8 \
@@ -125,6 +139,20 @@ COORD_A=$!
   --connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
   --dump-pairs "$TMP/tcp_b.txt" > "$TMP/coord_b.log" 2>&1 &
 COORD_B=$!
+
+# Scrape worker 1 while both coordinators are in flight: a stats-only
+# session must coexist with live probe sessions on the same process.
+# The counters may legitimately still be near zero this early, so the
+# assertion here is only that the scrape session itself succeeded (the
+# response always carries the scrape it is answering).
+"$CLI" join-stats --connect "127.0.0.1:$PORT1" > "$TMP/scrape_midjoin.txt"
+if ! grep -Eq '^counter worker\.stats_scrapes [1-9]' "$TMP/scrape_midjoin.txt"; then
+  echo "FAIL: mid-join scrape of worker 1 did not return a stats snapshot" >&2
+  cat "$TMP/scrape_midjoin.txt" >&2
+  exit 1
+fi
+echo "mid-join scrape of worker 1 answered alongside live sessions"
+
 for coord in "$COORD_A" "$COORD_B"; do
   if ! wait "$coord"; then
     echo "error: coordinator $coord failed" >&2
@@ -139,6 +167,17 @@ for dump in tcp_a tcp_b; do
   fi
 done
 echo "both concurrent coordinators byte-identical ($pair_count pairs each)"
+
+# With both sessions drained, the registry must show the work: two
+# coordinators' probe batches answered and real bytes on the wire.
+batches="$(scrape_counter "127.0.0.1:$PORT1" worker.batches)"
+bytes_in="$(scrape_counter "127.0.0.1:$PORT1" worker.wire.bytes_received)"
+if [ "$batches" -eq 0 ] || [ "$bytes_in" -eq 0 ]; then
+  echo "FAIL: worker 1 served two joins but scraped worker.batches=$batches" \
+    "worker.wire.bytes_received=$bytes_in" >&2
+  exit 1
+fi
+echo "worker 1 stats after round 1: $batches batches, $bytes_in bytes received"
 
 echo "--- round 2: R-S join with a worker dying mid-stream"
 if ! "$CLI" join --left "$TMP/data.txt" --right "$TMP/data.txt" --b1 0.6 \
@@ -158,6 +197,17 @@ if ! diff -u "$TMP/rs_single.txt" "$TMP/rs_tcp.txt"; then
   echo "FAIL: recovered R-S join diverged from the single-process join" >&2
   exit 1
 fi
+
+# The survivor that adopted the dead worker's slices must have counted
+# the reassignment — scrape both live workers and require it somewhere.
+reassign1="$(scrape_counter "127.0.0.1:$PORT1" worker.reassignments)"
+reassign2="$(scrape_counter "127.0.0.1:$PORT2" worker.reassignments)"
+if [ "$((reassign1 + reassign2))" -lt 1 ]; then
+  echo "FAIL: no surviving worker counted a reassignment after the kill" \
+    "round (worker1=$reassign1 worker2=$reassign2)" >&2
+  exit 1
+fi
+echo "reassignment visible in survivor stats (worker1=$reassign1 worker2=$reassign2)"
 
 # The rigged worker must be gone on its own, with the distinct
 # die-after-batches exit code (3) — not killed by our cleanup.

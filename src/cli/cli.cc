@@ -10,8 +10,12 @@
 #include <optional>
 #include <thread>
 
+#include <memory>
+
 #include "core/cost_model.h"
 #include "core/dynamic_index.h"
+#include "core/frozen_shard.h"
+#include "core/index_io.h"
 #include "core/sharded_index.h"
 #include "core/similarity_join.h"
 #include "core/skewed_index.h"
@@ -46,20 +50,23 @@ Commands:
   profile  --in FILE [--binary]
   independence --in FILE [--binary]
   query-bench --in FILE --alpha A [--queries N] [--seed S] [--shards K]
-           [--online] [--maintenance 0|1] [--drift-factor F]
-           [--dead-ratio R] [--churn N] [--trace] [--binary]
+           [--mmap] [--freeze FILE] [--online] [--maintenance 0|1]
+           [--drift-factor F] [--dead-ratio R] [--churn N] [--trace]
+           [--binary]
+  freeze   --in FILE --out FILE [--b1 X | --alpha A] [--seed S]
+           [--shards K] [--binary]
   selfjoin --in FILE --b1 X [--seed S] [--shards K] [--online]
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
            [--churn N] [--workers W] [--heavy-threshold T]
+           [--frozen FILE] [--connect HOST:PORT,...] [--probe-batch N]
+           [--pipeline N] [--dump-pairs FILE] [--binary]
+  join     --left FILE --right FILE --b1 X [--seed S] [--workers W]
+           [--heavy-threshold T] [--frozen FILE]
            [--connect HOST:PORT,...] [--probe-batch N] [--pipeline N]
            [--dump-pairs FILE] [--binary]
-  join     --left FILE --right FILE --b1 X [--seed S] [--workers W]
-           [--heavy-threshold T] [--connect HOST:PORT,...]
-           [--probe-batch N] [--pipeline N] [--dump-pairs FILE]
-           [--binary]
   join-worker [--listen PORT] [--max-sessions N] [--idle-timeout MS]
-           [--die-after-batches N] [--metrics-dump FILE]
-           [--summary-interval SEC]
+           [--shard-file FILE --data FILE] [--die-after-batches N]
+           [--metrics-dump FILE] [--summary-interval SEC] [--binary]
   join-stats --connect HOST:PORT [--json]
   help
 
@@ -113,6 +120,33 @@ JSON with --json. It works mid-join: batch and byte counters advance
 while probe streams are being served. docs/OBSERVABILITY.md has the
 metric catalog.
 
+freeze builds the index over --in and persists it as an SKF1
+frozen-shard file (docs/FILE_FORMATS.md): page-aligned, checksummed,
+and served zero-copy by mmap. --b1 X builds the adversarial-mode
+index the joins use (selfjoin's defaults); --alpha A (default) the
+correlated-mode one; --shards K > 1 partitions the id space into K
+shards inside the one file.
+
+--frozen FILE (selfjoin, join) serves the build side from a frozen
+file instead of rebuilding it: the coordinator maps FILE zero-copy
+and runs the distributed backend with one worker per stored shard
+(the file's parameters override --b1/--seed; FILE must have been
+frozen from the --in/--right dataset). With --connect, the remote
+join-worker processes must have pre-mapped the byte-identical file
+via --shard-file — the coordinator then ships only a tiny shard
+assignment per worker instead of O(index) posting slices. The pair
+output is byte-identical to every other backend.
+
+join-worker --shard-file FILE --data FILE pre-maps a frozen file (and
+loads the dataset it was frozen from) so protocol-v3 coordinators can
+open frozen-shard sessions against it; classic ship-everything
+sessions still work on the same worker.
+
+query-bench --mmap freezes the built index to --freeze FILE (default:
+the input path + ".skf"), re-opens it zero-copy through mmap, and
+serves the bench from the mapped index — same recall and candidate
+counts, O(1) start time. bench_mmap_load measures the gap.
+
 query-bench --trace runs one extra query after the bench inside a
 trace and prints the per-phase span timings (filters, verify, total)
 the observability layer recorded for that query.
@@ -145,7 +179,7 @@ class Flags {
       }
       std::string key = arg.substr(2);
       if (key == "binary" || key == "online" || key == "json" ||
-          key == "trace") {  // boolean flags
+          key == "trace" || key == "mmap") {  // boolean flags
         static const std::string kTrue = "1";
         flags.values_.insert_or_assign(key, kTrue);
         continue;
@@ -447,6 +481,11 @@ int CmdQueryBench(const Flags& flags) {
   auto dist = EstimateFrequencies(*data);
   if (!dist.ok()) return Fail(dist.status());
   if (WantsOnline(flags)) {
+    if (flags.Has("mmap")) {
+      std::fprintf(stderr,
+                   "--mmap serves the static frozen index; drop --online\n");
+      return 1;
+    }
     return CmdQueryBenchOnline(flags, *data, *dist, alpha);
   }
 
@@ -478,6 +517,34 @@ int CmdQueryBench(const Flags& flags) {
               static_cast<double>(view.MemoryBytes()) / 1e6,
               build_stats.build_seconds);
 
+  // --mmap: freeze the just-built index and serve the bench from a
+  // zero-copy mapping of the file instead. Queries are byte-identical
+  // (same recall/candidates); only the load path differs.
+  SkewedPathIndex mapped_index;
+  ShardedIndex mapped_sharded;
+  const bool use_mmap = flags.Has("mmap");
+  if (use_mmap) {
+    const std::string frozen_path =
+        flags.Get("freeze", flags.Get("in", "index") + ".skf");
+    Status frozen =
+        use_shards ? sharded.Freeze(frozen_path) : index.Freeze(frozen_path);
+    if (!frozen.ok()) return Fail(frozen);
+    const auto map_start = std::chrono::steady_clock::now();
+    Status mapped =
+        use_shards ? mapped_sharded.MapFrozen(frozen_path, &*data, &*dist)
+                   : mapped_index.MapFrozen(frozen_path, &*data, &*dist);
+    if (!mapped.ok()) return Fail(mapped);
+    const double map_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - map_start)
+            .count();
+    std::printf("mmap: froze to %s, mapped zero-copy in %.3f ms "
+                "(heap build took %.2fs)\n",
+                frozen_path.c_str(), map_ms, build_stats.build_seconds);
+  }
+  const SkewedPathIndex& query_index = use_mmap ? mapped_index : index;
+  const ShardedIndex& query_sharded = use_mmap ? mapped_sharded : sharded;
+
   CorrelatedQuerySampler sampler(&*dist, alpha);
   Rng rng(flags.GetUint("seed", 1) ^ 0xabcdef);
   const size_t queries = flags.GetUint("queries", 100);
@@ -487,8 +554,8 @@ int CmdQueryBench(const Flags& flags) {
     VectorId target = static_cast<VectorId>(rng.NextBounded(data->size()));
     SparseVector q = sampler.SampleCorrelated(data->Get(target), &rng);
     QueryStats stats;
-    auto hit = use_shards ? sharded.Query(q.span(), &stats)
-                          : index.Query(q.span(), &stats);
+    auto hit = use_shards ? query_sharded.Query(q.span(), &stats)
+                          : query_index.Query(q.span(), &stats);
     found += (hit && hit->id == target);
     candidates += stats.candidates;
     seconds += stats.seconds;
@@ -503,11 +570,52 @@ int CmdQueryBench(const Flags& flags) {
       VectorId target = static_cast<VectorId>(rng.NextBounded(data->size()));
       SparseVector q = sampler.SampleCorrelated(data->Get(target), &rng);
       QueryStats stats;
-      auto hit = use_shards ? sharded.Query(q.span(), &stats)
-                            : index.Query(q.span(), &stats);
+      auto hit = use_shards ? query_sharded.Query(q.span(), &stats)
+                            : query_index.Query(q.span(), &stats);
       (void)hit;
     });
   }
+  return 0;
+}
+
+int CmdFreeze(const Flags& flags) {
+  auto data = LoadDataset(flags);
+  if (!data.ok()) return Fail(data.status());
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "freeze needs --out FILE\n");
+    return 1;
+  }
+  auto dist = EstimateFrequencies(*data);
+  if (!dist.ok()) return Fail(dist.status());
+  SkewedIndexOptions options;
+  if (flags.Has("b1")) {
+    options.mode = IndexMode::kAdversarial;
+    options.b1 = flags.GetDouble("b1", 0.7);
+  } else {
+    options.mode = IndexMode::kCorrelated;
+    options.alpha = flags.GetDouble("alpha", 0.7);
+  }
+  options.seed = flags.GetUint("seed", 1);
+  const int shards = static_cast<int>(flags.GetUint("shards", 1));
+  Status frozen;
+  if (shards > 1) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.index = options;
+    sharded_options.num_shards = shards;
+    ShardedIndex index;
+    Status built = index.Build(&*data, &*dist, sharded_options);
+    if (!built.ok()) return Fail(built);
+    frozen = index.Freeze(out);
+  } else {
+    SkewedPathIndex index;
+    Status built = index.Build(&*data, &*dist, options);
+    if (!built.ok()) return Fail(built);
+    frozen = index.Freeze(out);
+  }
+  if (!frozen.ok()) return Fail(frozen);
+  std::printf("froze %zu vectors into %d shard(s) at %s\n", data->size(),
+              std::max(shards, 1), out.c_str());
   return 0;
 }
 
@@ -519,6 +627,7 @@ bool ApplyJoinBackendFlags(const Flags& flags, JoinOptions* options) {
   options->probe_batch =
       static_cast<size_t>(flags.GetUint("probe-batch", 256));
   options->pipeline = static_cast<size_t>(flags.GetUint("pipeline", 2));
+  options->frozen_shards = flags.Get("frozen", "");
   if (flags.Has("connect")) {
     const std::string endpoints = flags.Get("connect", "");
     std::string token;
@@ -543,6 +652,12 @@ bool ApplyJoinBackendFlags(const Flags& flags, JoinOptions* options) {
 int ReportJoinOutput(const Flags& flags, const JoinOptions& options,
                      const JoinStats& stats,
                      const std::vector<JoinPair>& pairs) {
+  if (!options.frozen_shards.empty()) {
+    std::printf("frozen shards: build side served zero-copy from %s%s\n",
+                options.frozen_shards.c_str(),
+                options.remote_workers.empty() ? ""
+                                               : " (workers pre-mapped)");
+  }
   if (options.workers > 1 || !options.remote_workers.empty()) {
     const int workers = options.remote_workers.empty()
                             ? options.workers
@@ -769,6 +884,40 @@ int CmdJoinWorker(const Flags& flags) {
     }
   };
 
+  // --shard-file: pre-map a frozen SKF1 file (and load the dataset it
+  // was frozen from) so version >= 3 coordinators can open frozen-shard
+  // sessions with a tiny ShardAssignment instead of shipping slices.
+  // Both live here, above the server, for the whole Serve() lifetime.
+  std::shared_ptr<const FrozenShardFile> frozen_file;
+  Dataset frozen_data;
+  const std::string shard_file = flags.Get("shard-file", "");
+  if (!shard_file.empty()) {
+    const std::string data_path = flags.Get("data", "");
+    if (data_path.empty()) {
+      std::fprintf(stderr, "--shard-file needs --data FILE (the dataset "
+                           "the file was frozen from)\n");
+      return 1;
+    }
+    auto loaded = flags.Has("binary") ? ReadBinary(data_path)
+                                      : ReadTransactions(data_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    frozen_data = std::move(loaded).value();
+    auto mapped = FrozenShardFile::Map(shard_file);
+    if (!mapped.ok()) return Fail(mapped.status());
+    frozen_file = std::move(mapped).value();
+    if (frozen_file->fingerprint() !=
+        index_io_internal::Fingerprint(frozen_data)) {
+      return Fail(Status::InvalidArgument(
+          "--data does not match the dataset '" + shard_file +
+          "' was frozen from"));
+    }
+    options.serve.frozen_file = frozen_file.get();
+    options.serve.frozen_data = &frozen_data;
+    std::printf("mapped %d frozen shard(s) from %s (%zu vectors)\n",
+                frozen_file->num_shards(), shard_file.c_str(),
+                frozen_data.size());
+  }
+
   // Session lines and summaries are kInfo; a worker process exists to
   // be observed, so raise the default kWarning filter.
   SetLogLevel(LogLevel::kInfo);
@@ -874,6 +1023,7 @@ int RunCli(const std::vector<std::string>& args) {
   if (command == "profile") return CmdProfile(*flags);
   if (command == "independence") return CmdIndependence(*flags);
   if (command == "query-bench") return CmdQueryBench(*flags);
+  if (command == "freeze") return CmdFreeze(*flags);
   if (command == "selfjoin") return CmdSelfJoin(*flags);
   if (command == "join") return CmdJoin(*flags);
   if (command == "join-worker") return CmdJoinWorker(*flags);

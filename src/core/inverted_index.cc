@@ -20,6 +20,18 @@ bool ReadVector(std::istream* in, std::vector<T>* values) {
   return index_io_internal::ReadVector(*in, values);
 }
 
+// Span flavour of the vec<T> encoding (u64 count + raw elements), so a
+// view table serializes byte-identically to the owning table it mirrors.
+template <typename T>
+bool WriteSpan(std::ostream* out, std::span<const T> values) {
+  uint64_t count = values.size();
+  if (!index_io_internal::WritePod(*out, count)) return false;
+  if (count == 0) return true;
+  out->write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(count * sizeof(T)));
+  return out->good();
+}
+
 }  // namespace
 
 void FilterTable::Reserve(size_t expected_pairs) {
@@ -37,20 +49,74 @@ void FilterTable::Freeze() {
   ids_.shrink_to_fit();
   key_index_ = BuildPostingKeyIndex(keys_);
   frozen_ = true;
+  view_ = false;
+  RepointViewsAtOwned();
+}
+
+void FilterTable::RepointViewsAtOwned() {
+  keys_view_ = keys_;
+  offsets_view_ = offsets_;
+  ids_view_ = ids_;
+}
+
+void FilterTable::CopyFrom(const FilterTable& other) {
+  arena_ = other.arena_;
+  keys_ = other.keys_;
+  offsets_ = other.offsets_;
+  ids_ = other.ids_;
+  key_index_ = other.key_index_;
+  frozen_ = other.frozen_;
+  view_ = other.view_;
+  if (view_) {
+    // Both copies alias the same external memory.
+    keys_view_ = other.keys_view_;
+    offsets_view_ = other.offsets_view_;
+    ids_view_ = other.ids_view_;
+  } else {
+    RepointViewsAtOwned();
+  }
+}
+
+Status FilterTable::AdoptFrozenView(std::span<const uint64_t> keys,
+                                    std::span<const uint32_t> offsets,
+                                    std::span<const VectorId> ids) {
+  if (offsets.size() != keys.size() + 1) {
+    return Status::InvalidArgument("frozen view offset/key count mismatch");
+  }
+  if (offsets.front() != 0 || offsets.back() != ids.size()) {
+    return Status::InvalidArgument("frozen view offsets do not bracket ids");
+  }
+  FilterTable fresh;
+  fresh.keys_view_ = keys;
+  fresh.offsets_view_ = offsets;
+  fresh.ids_view_ = ids;
+  fresh.frozen_ = true;
+  fresh.view_ = true;
+  *this = std::move(fresh);
+  return Status::OK();
 }
 
 std::span<const VectorId> FilterTable::Lookup(uint64_t key) const {
-  auto it = key_index_.find(key);
-  if (it == key_index_.end()) return {};
-  size_t idx = it->second;
-  return {ids_.data() + offsets_[idx],
-          static_cast<size_t>(offsets_[idx + 1] - offsets_[idx])};
+  size_t idx;
+  if (view_) {
+    // Views have no probe index; the keys are sorted and distinct, so a
+    // binary search finds the position in O(log K) with zero heap.
+    auto it = std::lower_bound(keys_view_.begin(), keys_view_.end(), key);
+    if (it == keys_view_.end() || *it != key) return {};
+    idx = static_cast<size_t>(it - keys_view_.begin());
+  } else {
+    auto it = key_index_.find(key);
+    if (it == key_index_.end()) return {};
+    idx = it->second;
+  }
+  return {ids_view_.data() + offsets_view_[idx],
+          static_cast<size_t>(offsets_view_[idx + 1] - offsets_view_[idx])};
 }
 
 Status FilterTable::WriteTo(std::ostream* out) const {
   if (out == nullptr) return Status::InvalidArgument("null stream");
-  if (!WriteVector(out, keys_) || !WriteVector(out, offsets_) ||
-      !WriteVector(out, ids_)) {
+  if (!WriteSpan(out, keys_view_) || !WriteSpan(out, offsets_view_) ||
+      !WriteSpan(out, ids_view_)) {
     return Status::IOError("filter table write failed");
   }
   return Status::OK();
@@ -83,6 +149,7 @@ Status FilterTable::ReadFrom(std::istream* in) {
   }
   fresh.key_index_ = BuildPostingKeyIndex(fresh.keys_);
   fresh.frozen_ = true;
+  fresh.RepointViewsAtOwned();
   *this = std::move(fresh);
   return Status::OK();
 }

@@ -8,6 +8,12 @@
 // a per-key hash map of vectors this halves memory and is cache-friendly
 // to build; lookups are one O(1) probe of a flat key -> position index
 // (core/posting_table.h) over the (typically few million) distinct keys.
+//
+// A table can alternatively be a zero-copy *view* over externally owned
+// frozen CSR arrays (AdoptFrozenView) — the accessor seam the mmap'd
+// SKF1 shard files (core/frozen_shard.h) serve queries through. Views
+// skip the O(num_keys) probe-index build so mapping stays O(1) in the
+// index size; Lookup binary-searches the sorted key array instead.
 
 #ifndef SKEWSEARCH_CORE_INVERTED_INDEX_H_
 #define SKEWSEARCH_CORE_INVERTED_INDEX_H_
@@ -27,6 +33,20 @@ namespace skewsearch {
 /// \brief Frozen multimap from 64-bit filter keys to vector ids.
 class FilterTable {
  public:
+  FilterTable() = default;
+  /// Copies preserve semantics per mode: an owning table deep-copies its
+  /// arrays (and re-points the internal views at the copies); a view
+  /// table copies the spans, i.e. both alias the same external memory.
+  FilterTable(const FilterTable& other) { CopyFrom(other); }
+  FilterTable& operator=(const FilterTable& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  /// Moves are always safe: vector moves transfer their heap buffers, so
+  /// views into them stay valid.
+  FilterTable(FilterTable&&) = default;
+  FilterTable& operator=(FilterTable&&) = default;
+
   /// Pre-allocates for \p expected_pairs (optional).
   void Reserve(size_t expected_pairs);
 
@@ -37,6 +57,19 @@ class FilterTable {
   /// called exactly once, after which Add is illegal.
   void Freeze();
 
+  /// Replaces this table with a zero-copy view over externally owned
+  /// frozen CSR arrays — typically sections of an mmap'd SKF1 file. The
+  /// backing memory must stay valid and unchanged for the view's whole
+  /// lifetime (copies included). Validates only the O(1) bracketing
+  /// invariants (offsets.size() == keys.size() + 1, offsets[0] == 0,
+  /// offsets.back() == ids.size()); key sortedness and id ranges are the
+  /// caller's contract (the frozen-shard mapper checks them via its
+  /// metadata checksum and, on request, a full payload verification).
+  /// No probe index is built: Lookup binary-searches the keys.
+  Status AdoptFrozenView(std::span<const uint64_t> keys,
+                         std::span<const uint32_t> offsets,
+                         std::span<const VectorId> ids);
+
   /// Posting list for \p key (empty when absent). Only valid after
   /// Freeze().
   std::span<const VectorId> Lookup(uint64_t key) const;
@@ -45,10 +78,11 @@ class FilterTable {
   /// ascending key). Used by compaction, serialization and validation.
   /// Only valid after Freeze(); \p idx must be < num_keys().
   /// @{
-  uint64_t key_at(size_t idx) const { return keys_[idx]; }
+  uint64_t key_at(size_t idx) const { return keys_view_[idx]; }
   std::span<const VectorId> postings_at(size_t idx) const {
-    return {ids_.data() + offsets_[idx],
-            static_cast<size_t>(offsets_[idx + 1] - offsets_[idx])};
+    return {ids_view_.data() + offsets_view_[idx],
+            static_cast<size_t>(offsets_view_[idx + 1] -
+                                offsets_view_[idx])};
   }
   /// @}
 
@@ -56,14 +90,26 @@ class FilterTable {
   /// after Freeze(): the staging arena while building, the frozen posting
   /// lists afterwards (Freeze neither adds nor drops pairs).
   size_t num_pairs() const {
-    return frozen_ ? ids_.size() : arena_.num_pairs();
+    return frozen_ ? ids_view_.size() : arena_.num_pairs();
   }
 
   /// Number of distinct keys (0 before Freeze()).
-  size_t num_keys() const { return keys_.size(); }
+  size_t num_keys() const { return keys_view_.size(); }
 
-  /// True once Freeze() (or ReadFrom()) has produced posting lists.
+  /// True once Freeze() (or ReadFrom()/AdoptFrozenView()) has produced
+  /// posting lists.
   bool frozen() const { return frozen_; }
+
+  /// True when this table is a non-owning view over external memory.
+  bool is_view() const { return view_; }
+
+  /// \name Raw frozen CSR arrays (serialization / the frozen-shard
+  /// writer). Only valid after Freeze().
+  /// @{
+  std::span<const uint64_t> keys_span() const { return keys_view_; }
+  std::span<const uint32_t> offsets_span() const { return offsets_view_; }
+  std::span<const VectorId> ids_span() const { return ids_view_; }
+  /// @}
 
   /// Approximate heap usage in bytes.
   size_t MemoryBytes() const;
@@ -76,13 +122,28 @@ class FilterTable {
   Status ReadFrom(std::istream* in);
 
  private:
+  /// Deep-copies \p other; for owning tables the views are re-pointed at
+  /// this table's own arrays, for view tables the spans are aliased.
+  void CopyFrom(const FilterTable& other);
+
+  /// Points the view spans at the owning arrays (after Freeze/ReadFrom
+  /// or a deep copy mutated them).
+  void RepointViewsAtOwned();
+
   PostingArena arena_;            // staging; drained by Freeze()
-  std::vector<uint64_t> keys_;    // sorted distinct keys
+  std::vector<uint64_t> keys_;    // sorted distinct keys (empty in views)
   std::vector<uint32_t> offsets_; // keys_.size() + 1 offsets into ids_
   std::vector<VectorId> ids_;
+  // All frozen accessors read through these spans. Owning tables point
+  // them at keys_/offsets_/ids_; views point at external (mmap'd) memory.
+  std::span<const uint64_t> keys_view_;
+  std::span<const uint32_t> offsets_view_;
+  std::span<const VectorId> ids_view_;
   // O(1) key -> position probe index; rebuilt by Freeze()/ReadFrom().
+  // Left empty by AdoptFrozenView: views Lookup by binary search.
   PostingMap<uint64_t, uint32_t> key_index_;
   bool frozen_ = false;
+  bool view_ = false;
 };
 
 }  // namespace skewsearch

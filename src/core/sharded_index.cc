@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/batch.h"
+#include "core/frozen_shard.h"
 #include "core/index_io.h"
 #include "hashing/mix.h"
 #include "sim/measures.h"
@@ -53,6 +54,7 @@ Status ShardedIndex::Build(const Dataset* data,
   build_stats_ = IndexBuildStats{};
   build_stats_.repetitions = family_.repetitions();
   build_stats_.delta_used = family_.delta();
+  frozen_.reset();
   SKEWSEARCH_RETURN_NOT_OK(sharded_internal::BuildShardTables(
       *data, family_, options.num_shards, options.index.build_threads,
       &build_stats_, &shards_));
@@ -449,6 +451,97 @@ Status ShardedIndex::Load(const std::string& path, const Dataset* data,
   family_ = std::move(family).value();
   build_stats_ = header.stats;
   shards_ = std::move(shards);
+  frozen_.reset();
+  return Status::OK();
+}
+
+Status ShardedIndex::Freeze(const std::string& path) const {
+  namespace io = index_io_internal;
+  if (!built()) {
+    return Status::InvalidArgument("cannot freeze an unbuilt index");
+  }
+  std::vector<const FilterTable*> tables;
+  tables.reserve(shards_.size());
+  for (const FilterTable& shard : shards_) tables.push_back(&shard);
+  return WriteFrozenShards(path, options_.index,
+                           family_.verify_threshold(), build_stats_,
+                           io::Fingerprint(*data_), tables);
+}
+
+Status ShardedIndex::MapFrozen(const std::string& path, const Dataset* data,
+                               const ProductDistribution* dist) {
+  return MapFrozen(path, data, dist, FrozenMapOptions{});
+}
+
+Status ShardedIndex::MapFrozen(const std::string& path, const Dataset* data,
+                               const ProductDistribution* dist,
+                               const FrozenMapOptions& options) {
+  namespace io = index_io_internal;
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  Result<std::shared_ptr<const FrozenShardFile>> mapped =
+      FrozenShardFile::Map(path, options);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const FrozenShardFile> file = std::move(mapped).value();
+  if (file->fingerprint() != io::Fingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one this index was built from");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  const int num_shards = file->num_shards();
+  // The checksummed per-shard metadata bounds every posting id, so the
+  // beyond-the-dataset rejection needs no O(index) scan.
+  for (int s = 0; s < num_shards; ++s) {
+    const FrozenShardFile::ShardInfo& info = file->shard_info(s);
+    if (info.ids_count > 0 && info.max_id >= data->size()) {
+      return Status::InvalidArgument(
+          "shard table references vector ids beyond the dataset");
+    }
+  }
+
+  const index_io_internal::ParamHeader& header = file->params();
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index header in '" + path +
+                                   "': " + family.status().message());
+  }
+
+  std::vector<FilterTable> views(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    Result<FilterTable> view = file->MakeShardView(s);
+    if (!view.ok()) return view.status();
+    views[static_cast<size_t>(s)] = std::move(view).value();
+  }
+  if (options.verify_payload) {
+    // Mirror Load's placement validation: every posting must live in the
+    // shard its id hashes to. O(index), gated like the payload checksums.
+    for (int s = 0; s < num_shards; ++s) {
+      const FilterTable& table = views[static_cast<size_t>(s)];
+      for (size_t k = 0; k < table.num_keys(); ++k) {
+        for (VectorId id : table.postings_at(k)) {
+          if (ShardOf(id, num_shards) != s) {
+            return Status::InvalidArgument(
+                "shard table references out-of-place vector ids");
+          }
+        }
+      }
+    }
+  }
+
+  data_ = data;
+  dist_ = dist;
+  options_.index = header.options;
+  options_.num_shards = num_shards;
+  family_ = std::move(family).value();
+  build_stats_ = header.stats;
+  shards_ = std::move(views);
+  frozen_ = std::move(file);
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #ifndef SKEWSEARCH_CORE_SHARDED_INDEX_H_
 #define SKEWSEARCH_CORE_SHARDED_INDEX_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -105,6 +106,25 @@ class ShardedIndex : public IndexView {
   Status Load(const std::string& path, const Dataset* data,
               const ProductDistribution* dist);
 
+  /// Persists the built index as a K-shard SKF1 frozen file
+  /// (core/frozen_shard.h). Only valid after Build()/Load().
+  Status Freeze(const std::string& path) const;
+
+  /// Restores an index from a file written by Freeze(), serving every
+  /// shard table zero-copy out of the mapped bytes: start time is O(1)
+  /// in the index size and queries are byte-identical to a heap Load().
+  /// The shard count comes from the file. When the map options request
+  /// payload verification, shard placement is re-validated like Load
+  /// does (O(index)); the default trusts the checksummed metadata.
+  Status MapFrozen(const std::string& path, const Dataset* data,
+                   const ProductDistribution* dist);
+  Status MapFrozen(const std::string& path, const Dataset* data,
+                   const ProductDistribution* dist,
+                   const FrozenMapOptions& options);
+
+  /// The mapped frozen file backing this index, or null when heap-built.
+  const FrozenShardFile* frozen_file() const { return frozen_.get(); }
+
   /// The filter keys the index probes for \p query (diagnostics/tests).
   std::vector<uint64_t> ComputeFilterKeys(std::span<const ItemId> query) const;
 
@@ -162,8 +182,9 @@ class ShardedIndex : public IndexView {
   const ProductDistribution* dist_ = nullptr;
   ShardedIndexOptions options_;
   FilterFamily family_;
-  std::vector<FilterTable> shards_;
+  std::vector<FilterTable> shards_;  // zero-copy views when mapped
   IndexBuildStats build_stats_;
+  std::shared_ptr<const FrozenShardFile> frozen_;  // keeps views alive
 };
 
 namespace sharded_internal {

@@ -52,6 +52,7 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
     return Status::InvalidArgument(
         "workers > 1 is incompatible with the online build side");
   }
+  const bool frozen = !options.frozen_shards.empty();
   int workers = options.workers;
   if (!options.remote_workers.empty()) {
     const int endpoints = static_cast<int>(options.remote_workers.size());
@@ -71,7 +72,14 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
   distributed.probe_batch = options.probe_batch;
   distributed.pipeline = options.pipeline;
   DistributedJoin join;
-  SKEWSEARCH_RETURN_NOT_OK(join.Build(&right, &dist, distributed));
+  if (frozen) {
+    // The worker count is the file's shard count; endpoints (if any)
+    // must match it, which BuildFromFrozen + AttachRemoteFrozen check.
+    SKEWSEARCH_RETURN_NOT_OK(join.BuildFromFrozen(
+        &right, &dist, options.frozen_shards, distributed));
+  } else {
+    SKEWSEARCH_RETURN_NOT_OK(join.Build(&right, &dist, distributed));
+  }
   if (!options.remote_workers.empty()) {
     std::vector<std::unique_ptr<FrameConnection>> connections;
     connections.reserve(options.remote_workers.size());
@@ -81,7 +89,9 @@ Result<std::vector<JoinPair>> DistributedBackend(const Dataset& left,
       SKEWSEARCH_RETURN_NOT_OK(connection.status());
       connections.push_back(std::move(connection).value());
     }
-    SKEWSEARCH_RETURN_NOT_OK(join.AttachRemote(std::move(connections)));
+    SKEWSEARCH_RETURN_NOT_OK(
+        frozen ? join.AttachRemoteFrozen(std::move(connections))
+               : join.AttachRemote(std::move(connections)));
   }
   DistributedJoinStats distributed_stats;
   Result<std::vector<JoinPair>> pairs =
@@ -114,7 +124,8 @@ Result<std::vector<JoinPair>> JoinImpl(const Dataset& left,
                                        const ProductDistribution& dist,
                                        const JoinOptions& options,
                                        bool self_join, JoinStats* stats) {
-  if (options.workers > 1 || !options.remote_workers.empty()) {
+  if (options.workers > 1 || !options.remote_workers.empty() ||
+      !options.frozen_shards.empty()) {
     return DistributedBackend(left, right, dist, options, self_join, stats);
   }
   JoinStats local;

@@ -94,6 +94,18 @@ struct JoinOptions {
   /// batch's service time; 1 = strict send-then-wait). Never changes
   /// the output.
   size_t pipeline = 2;
+  /// When non-empty, the path of an SKF1 frozen-shard file
+  /// (core/frozen_shard.h) previously written by Freeze() over the
+  /// build-side dataset. Implies the distributed backend: instead of
+  /// rebuilding the posting table, the coordinator maps the file
+  /// zero-copy and serves one worker per stored shard
+  /// (DistributedJoin::BuildFromFrozen). `index`, `workers` and
+  /// `heavy_threshold` are ignored — the file's parameter block and
+  /// shard count govern. With `remote_workers` set (one endpoint per
+  /// stored shard) the workers must have pre-mapped the same file via
+  /// `join-worker --shard-file`. Output stays byte-identical to every
+  /// other backend. Incompatible with `online`.
+  std::string frozen_shards;
 };
 
 /// \brief Join counters.

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "core/batch.h"
+#include "core/frozen_shard.h"
 #include "core/index_io.h"
 #include "core/rho.h"
 #include "obs/metrics.h"
@@ -200,6 +201,7 @@ Status SkewedPathIndex::Build(const Dataset* data,
   build_stats_.repetitions = reps;
   build_stats_.delta_used = family_.delta();
   table_ = FilterTable();
+  frozen_.reset();
 
   int threads = options.build_threads;
   if (threads <= 1) {
@@ -594,6 +596,78 @@ Status SkewedPathIndex::Load(const std::string& path, const Dataset* data,
   family_ = std::move(family).value();
   build_stats_ = header.stats;
   table_ = std::move(table);
+  frozen_.reset();
+  return Status::OK();
+}
+
+Status SkewedPathIndex::Freeze(const std::string& path) const {
+  namespace io = index_io_internal;
+  if (!family_.valid()) {
+    return Status::InvalidArgument("cannot freeze an unbuilt index");
+  }
+  const FilterTable* shard = &table_;
+  return WriteFrozenShards(path, options_, family_.verify_threshold(),
+                           build_stats_, io::Fingerprint(*data_),
+                           std::span<const FilterTable* const>(&shard, 1));
+}
+
+Status SkewedPathIndex::MapFrozen(const std::string& path,
+                                  const Dataset* data,
+                                  const ProductDistribution* dist) {
+  return MapFrozen(path, data, dist, FrozenMapOptions{});
+}
+
+Status SkewedPathIndex::MapFrozen(const std::string& path,
+                                  const Dataset* data,
+                                  const ProductDistribution* dist,
+                                  const FrozenMapOptions& options) {
+  namespace io = index_io_internal;
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  Result<std::shared_ptr<const FrozenShardFile>> mapped =
+      FrozenShardFile::Map(path, options);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const FrozenShardFile> file = std::move(mapped).value();
+  if (file->num_shards() != 1) {
+    return Status::InvalidArgument(
+        "'" + path + "' holds " + std::to_string(file->num_shards()) +
+        " shards; expected an unsharded frozen index");
+  }
+  if (file->fingerprint() != io::Fingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one this index was built from");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+  // The checksummed metadata bounds every posting id, so rejecting ids
+  // beyond the dataset needs no O(index) scan (unlike Load).
+  const FrozenShardFile::ShardInfo& info = file->shard_info(0);
+  if (info.ids_count > 0 && info.max_id >= data->size()) {
+    return Status::InvalidArgument(
+        "filter table references vector ids beyond the dataset");
+  }
+
+  const index_io_internal::ParamHeader& header = file->params();
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index header in '" + path +
+                                   "': " + family.status().message());
+  }
+  Result<FilterTable> view = file->MakeShardView(0);
+  if (!view.ok()) return view.status();
+
+  data_ = data;
+  dist_ = dist;
+  options_ = header.options;
+  family_ = std::move(family).value();
+  build_stats_ = header.stats;
+  table_ = std::move(view).value();
+  frozen_ = std::move(file);
   return Status::OK();
 }
 

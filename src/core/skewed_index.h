@@ -40,7 +40,9 @@
 
 namespace skewsearch {
 
-class ThreadPool;  // util/thread_pool.h
+class ThreadPool;       // util/thread_pool.h
+class FrozenShardFile;  // core/frozen_shard.h
+struct FrozenMapOptions;
 
 /// Which of the paper's two analyses the index instantiates.
 enum class IndexMode {
@@ -290,6 +292,27 @@ class SkewedPathIndex : public IndexView {
   Status Load(const std::string& path, const Dataset* data,
               const ProductDistribution* dist);
 
+  /// Persists the built index as a single-shard SKF1 frozen file
+  /// (core/frozen_shard.h) — the layout MapFrozen() serves zero-copy.
+  /// Only valid after Build()/Load().
+  Status Freeze(const std::string& path) const;
+
+  /// Restores an index from a file written by Freeze(), serving the
+  /// posting table zero-copy out of the mapped bytes: start time is
+  /// O(1) in the index size (metadata validation only) and queries are
+  /// byte-identical to a heap Load() of the same index. The caller
+  /// re-supplies the same dataset and distribution (fingerprint-checked,
+  /// as in Load).
+  Status MapFrozen(const std::string& path, const Dataset* data,
+                   const ProductDistribution* dist);
+  Status MapFrozen(const std::string& path, const Dataset* data,
+                   const ProductDistribution* dist,
+                   const FrozenMapOptions& options);
+
+  /// The mapped frozen file backing this index, or null when heap-built
+  /// (diagnostics: `mapped()`, `file_bytes()`).
+  const FrozenShardFile* frozen_file() const { return frozen_.get(); }
+
  private:
   /// Per-thread reusable query workspace (defined in skewed_index.cc).
   struct QueryScratch;
@@ -304,8 +327,9 @@ class SkewedPathIndex : public IndexView {
   const ProductDistribution* dist_ = nullptr;
   SkewedIndexOptions options_;
   FilterFamily family_;
-  FilterTable table_;
+  FilterTable table_;  // a zero-copy view into frozen_ when mapped
   IndexBuildStats build_stats_;
+  std::shared_ptr<const FrozenShardFile> frozen_;  // keeps views alive
 };
 
 }  // namespace skewsearch

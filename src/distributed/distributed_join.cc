@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <iterator>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "core/frozen_shard.h"
+#include "core/index_io.h"
 #include "core/sharded_index.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -79,6 +82,60 @@ Status DistributedJoin::AttachRemote(
         std::move(connections[w]), static_cast<uint32_t>(w),
         static_cast<uint32_t>(workers_.size()),
         BuildAssignment(static_cast<int>(w)));
+    if (!session.ok()) {
+      for (auto& started : sessions) (void)started.Shutdown();
+      return session.status();
+    }
+    sessions.push_back(std::move(session).value());
+  }
+  sessions_ = std::move(sessions);
+  session_of_worker_.resize(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) session_of_worker_[w] = w;
+  session_alive_.assign(sessions_.size(), true);
+  return Status::OK();
+}
+
+Status DistributedJoin::AttachRemoteFrozen(
+    std::vector<std::unique_ptr<FrameConnection>> connections) {
+  if (!built() || frozen_ == nullptr) {
+    return Status::InvalidArgument(
+        "AttachRemoteFrozen requires a successful BuildFromFrozen");
+  }
+  if (remote()) {
+    return Status::InvalidArgument(
+        "remote workers already attached; DetachRemote first");
+  }
+  if (connections.size() != workers_.size()) {
+    return Status::InvalidArgument(
+        "AttachRemoteFrozen needs exactly one connection per shard (" +
+        std::to_string(workers_.size()) + " shards, " +
+        std::to_string(connections.size()) + " connections)");
+  }
+  std::vector<RemoteWorkerSession> sessions;
+  sessions.reserve(connections.size());
+  for (size_t w = 0; w < connections.size(); ++w) {
+    if (connections[w] == nullptr) {
+      for (auto& session : sessions) (void)session.Shutdown();
+      return Status::InvalidArgument(
+          "AttachRemoteFrozen got a null connection");
+    }
+    wire::ShardAssignmentFrame shard;
+    shard.num_shards = static_cast<uint32_t>(workers_.size());
+    shard.shard_index = static_cast<uint32_t>(w);
+    shard.fingerprint = frozen_->fingerprint();
+    shard.threshold = threshold_;
+    shard.measure = options_.index.verify_measure;
+    // The expected ack: what this coordinator's own mapping records for
+    // the shard. The worker mapped a byte-identical file or it fails.
+    const FrozenShardFile::ShardInfo& info =
+        frozen_->shard_info(static_cast<int>(w));
+    wire::AssignmentAckFrame expected;
+    expected.num_keys = info.keys_count;
+    expected.num_entries = info.ids_count;
+    expected.distinct_vectors = data_->size();
+    Result<RemoteWorkerSession> session = RemoteWorkerSession::StartFrozen(
+        std::move(connections[w]), static_cast<uint32_t>(w),
+        static_cast<uint32_t>(workers_.size()), shard, expected);
     if (!session.ok()) {
       for (auto& started : sessions) (void)started.Shutdown();
       return session.status();
@@ -200,8 +257,88 @@ Status DistributedJoin::Build(const Dataset* data,
   threshold_ = threshold;
   plan_ = std::move(plan).value();
   workers_ = std::move(workers);
+  frozen_.reset();  // the old views died with the old workers_ above
   build_seconds_ = build_seconds;
   plan_seconds_ = plan_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status DistributedJoin::BuildFromFrozen(const Dataset* data,
+                                        const ProductDistribution* dist,
+                                        const std::string& frozen_path,
+                                        const DistributedJoinOptions& options) {
+  namespace io = index_io_internal;
+  if (data == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("data and dist must be non-null");
+  }
+  if (data->size() < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 vectors");
+  }
+  if (data->dimension() > dist->dimension()) {
+    return Status::InvalidArgument(
+        "dataset items exceed the distribution's universe");
+  }
+
+  Timer build_timer;
+  Result<std::shared_ptr<const FrozenShardFile>> mapped =
+      FrozenShardFile::Map(frozen_path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const FrozenShardFile> file = std::move(mapped).value();
+  if (file->fingerprint() != io::Fingerprint(*data)) {
+    return Status::InvalidArgument(
+        "dataset does not match the one '" + frozen_path +
+        "' was frozen from");
+  }
+  const int num_shards = file->num_shards();
+  for (int s = 0; s < num_shards; ++s) {
+    const FrozenShardFile::ShardInfo& info = file->shard_info(s);
+    if (info.ids_count > 0 && info.max_id >= data->size()) {
+      return Status::InvalidArgument(
+          "'" + frozen_path + "' references vector ids beyond the dataset");
+    }
+  }
+
+  const io::ParamHeader& header = file->params();
+  Result<FilterFamily> family = FilterFamily::Restore(
+      dist, header.options, data->size(), header.stats.repetitions,
+      header.stats.delta_used, header.verify_threshold);
+  if (!family.ok()) {
+    return Status::InvalidArgument("corrupt index parameters in '" +
+                                   frozen_path + "': " +
+                                   family.status().message());
+  }
+  const double threshold = options.threshold >= 0.0
+                               ? options.threshold
+                               : family->verify_threshold();
+
+  // One JoinWorker per shard, each probing a zero-copy view into the
+  // mapping. The workers index the full (shared, borrowed) dataset —
+  // frozen shards reference original ids, so no dense remap is needed.
+  std::vector<JoinWorker> workers;
+  workers.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    Result<FilterTable> view = file->MakeShardView(s);
+    if (!view.ok()) return view.status();
+    workers.emplace_back(s, std::move(view).value(), data, threshold,
+                         header.options.verify_measure);
+  }
+
+  // Commit only after every fallible step, as in Build(). Old views (if
+  // any) must drop before their mapping: clear workers_ first.
+  DetachRemote();
+  data_ = data;
+  dist_ = dist;
+  options_ = options;
+  options_.workers = num_shards;
+  options_.index = header.options;
+  family_ = std::move(family).value();
+  threshold_ = threshold;
+  plan_ = PartitionPlan::Broadcast(num_shards);
+  workers_.clear();
+  workers_ = std::move(workers);
+  frozen_ = std::move(file);
+  build_seconds_ = build_timer.ElapsedSeconds();
+  plan_seconds_ = 0.0;  // broadcast needs no planner pass
   return Status::OK();
 }
 
@@ -438,6 +575,18 @@ Result<std::vector<JoinPair>> DistributedJoin::JoinImpl(
                       session_workers[s].end());
     }
     std::sort(orphaned.begin(), orphaned.end());
+    if (frozen_ != nullptr && !orphaned.empty()) {
+      // A frozen-shard session serves a pre-mapped file, not shipped
+      // state — there is nothing the coordinator can re-ship to a
+      // survivor (and the workers reject Reassignment in this mode).
+      // Fail the join cleanly instead of draining the survivor pool
+      // with doomed recovery attempts.
+      return Status::IOError(
+          "distributed join: " + std::to_string(orphaned.size()) +
+          " frozen-shard worker(s) lost and mapped shards cannot be "
+          "re-shipped (first failure: " +
+          first_failure.ToString() + ")");
+    }
     while (!orphaned.empty()) {
       size_t survivor = num_sessions;
       for (size_t s = 0; s < num_sessions; ++s) {

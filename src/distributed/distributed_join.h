@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/skewed_index.h"
@@ -154,6 +155,25 @@ class DistributedJoin {
   Status Build(const Dataset* data, const ProductDistribution* dist,
                const DistributedJoinOptions& options);
 
+  /// The zero-build alternative: maps an SKF1 frozen-shard file
+  /// (core/frozen_shard.h) previously written by Freeze() over \p data,
+  /// restores the filter family from its parameter block, and serves
+  /// each shard through a zero-copy JoinWorker view — no posting table
+  /// is ever rebuilt. Frozen shards partition the *id* space (ShardOf),
+  /// not the key space, so the routing plan broadcasts every probe's
+  /// keys to every worker; the per-shard candidate sets are disjoint
+  /// and their union is exactly the monolithic candidate set, which
+  /// keeps Join()/SelfJoin() byte-identical to the Build() path. The
+  /// worker count is the file's shard count (`options.workers` is
+  /// ignored); `options.index` is replaced by the file's parameters.
+  Status BuildFromFrozen(const Dataset* data,
+                         const ProductDistribution* dist,
+                         const std::string& frozen_path,
+                         const DistributedJoinOptions& options);
+
+  /// True when the coordinator serves a mapped frozen-shard file.
+  bool frozen() const { return frozen_ != nullptr; }
+
   /// R-S join: probes with every vector of \p left; pairs are (left id,
   /// build id, similarity), sorted by (left, right). Byte-identical to
   /// SimilarityJoin over the same options.
@@ -182,6 +202,18 @@ class DistributedJoin {
   /// surviving version >= 2 session, replays the unacknowledged
   /// batches, and still completes with byte-identical output.
   Status AttachRemote(
+      std::vector<std::unique_ptr<FrameConnection>> connections);
+
+  /// Remote serving for the frozen mode: one connection per shard, in
+  /// shard order. Instead of shipping slices, sends each worker a tiny
+  /// ShardAssignment frame naming the shard it serves — the workers
+  /// must have pre-mapped the byte-identical SKF1 file (`join-worker
+  /// --shard-file`) — and cross-checks the acked counters against this
+  /// coordinator's own mapping. Requires BuildFromFrozen and version
+  /// >= 3 workers. A mapped shard is not re-shippable state, so there
+  /// is no mid-join recovery in this mode: a died session fails the
+  /// join cleanly instead of degrading onto survivors.
+  Status AttachRemoteFrozen(
       std::vector<std::unique_ptr<FrameConnection>> connections);
 
   /// Sends Shutdown to every attached worker and returns to in-process
@@ -222,6 +254,10 @@ class DistributedJoin {
   DistributedJoinOptions options_;
   FilterFamily family_;
   PartitionPlan plan_;
+  /// The mapped SKF1 file when built by BuildFromFrozen (null after a
+  /// classic Build). Declared before workers_ so the mapping outlives
+  /// the zero-copy views the workers hold into it.
+  std::shared_ptr<const FrozenShardFile> frozen_;
   std::vector<JoinWorker> workers_;
   /// Remote sessions, one per worker when attached. Mutable because
   /// serving a (logically const) join drives the connection state; each

@@ -36,12 +36,25 @@ int PartitionPlan::HomeOf(uint64_t key) const {
 }
 
 void PartitionPlan::RouteKey(uint64_t key, std::vector<int>* out) const {
+  if (broadcast) {
+    for (int w = 0; w < workers; ++w) out->push_back(w);
+    return;
+  }
   auto it = heavy.find(key);
   if (it == heavy.end()) {
     out->push_back(HomeOf(key));
     return;
   }
   out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+PartitionPlan PartitionPlan::Broadcast(int workers) {
+  PartitionPlan plan;
+  plan.workers = workers;
+  plan.heavy_threshold = 0;
+  plan.broadcast = true;
+  plan.estimated_load.assign(static_cast<size_t>(workers), 0.0);
+  return plan;
 }
 
 size_t PartitionPlan::replicated_slices() const {

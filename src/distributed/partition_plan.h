@@ -99,8 +99,18 @@ struct PartitionPlan {
   /// accrue to their hash home, heavy slices to their owners).
   std::vector<double> estimated_load;
 
+  /// Broadcast routing: every key goes to every worker. This is the
+  /// plan of the frozen-shard serving mode, where workers partition the
+  /// *id* space (ShardOf over a mapped SKF1 file) instead of the key
+  /// space — a key's postings are spread across all shards, so every
+  /// probe must visit every worker. `heavy` is empty under broadcast.
+  bool broadcast = false;
+
   /// True once a planner produced this plan.
   bool valid() const { return workers > 0; }
+
+  /// The all-workers plan of the frozen-shard mode (see `broadcast`).
+  static PartitionPlan Broadcast(int workers);
 
   /// The hash home of a light (or never-estimated) key.
   int HomeOf(uint64_t key) const;

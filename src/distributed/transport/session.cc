@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/frozen_shard.h"
 #include "data/dataset.h"
 #include "distributed/worker.h"
 #include "util/timer.h"
@@ -188,6 +189,80 @@ Result<RemoteWorkerSession> RemoteWorkerSession::Start(
         std::to_string(shipped.num_keys) + ", entries " +
         std::to_string(assignment_ack.num_entries) + "/" +
         std::to_string(shipped.num_entries) + ")");
+  }
+  return RemoteWorkerSession(std::move(connection), worker_id, ack.version);
+}
+
+Result<RemoteWorkerSession> RemoteWorkerSession::StartFrozen(
+    std::unique_ptr<FrameConnection> connection, uint32_t worker_id,
+    uint32_t num_workers, const wire::ShardAssignmentFrame& shard,
+    const wire::AssignmentAckFrame& expected) {
+  wire::HelloFrame hello;
+  hello.min_version = wire::kVersionMin;
+  hello.max_version = wire::kVersionMax;
+  hello.worker_id = worker_id;
+  hello.num_workers = num_workers;
+  Status sent = connection->Send(wire::EncodeHello(hello));
+  if (!sent.ok()) {
+    connection->Close();
+    return sent;
+  }
+  wire::Frame frame;
+  Status received = ReceiveChecked(connection.get(), &frame);
+  if (!received.ok()) {
+    connection->Close();
+    return received;
+  }
+  wire::HelloAckFrame ack;
+  Status decoded = wire::DecodeHelloAck(frame, &ack);
+  if (!decoded.ok()) {
+    connection->Close();
+    return decoded;
+  }
+  if (ack.version < wire::kVersionMin || ack.version > wire::kVersionMax ||
+      ack.worker_id != worker_id) {
+    connection->Close();
+    return Status::IOError("session: handshake ack does not match (version " +
+                           std::to_string(ack.version) + ", worker " +
+                           std::to_string(ack.worker_id) + ")");
+  }
+  if (ack.version < 3) {
+    (void)connection->Send(wire::EncodeShutdown());
+    connection->Close();
+    return Status::NotSupported(
+        "session: frozen-shard serving needs protocol version 3, worker "
+        "chose " + std::to_string(ack.version));
+  }
+  connection->set_frame_version(ack.version);
+
+  sent = connection->Send(wire::EncodeShardAssignment(shard));
+  if (!sent.ok()) {
+    connection->Close();
+    return sent;
+  }
+  received = ReceiveChecked(connection.get(), &frame);
+  if (!received.ok()) {
+    connection->Close();
+    return received;
+  }
+  wire::AssignmentAckFrame shard_ack;
+  decoded = wire::DecodeAssignmentAck(frame, &shard_ack);
+  if (!decoded.ok()) {
+    connection->Close();
+    return decoded;
+  }
+  if (shard_ack.num_keys != expected.num_keys ||
+      shard_ack.num_entries != expected.num_entries ||
+      shard_ack.distinct_vectors != expected.distinct_vectors) {
+    connection->Close();
+    return Status::Internal(
+        "session: worker's mapped shard does not match the coordinator's "
+        "(keys " + std::to_string(shard_ack.num_keys) + "/" +
+        std::to_string(expected.num_keys) + ", entries " +
+        std::to_string(shard_ack.num_entries) + "/" +
+        std::to_string(expected.num_entries) + ", vectors " +
+        std::to_string(shard_ack.distinct_vectors) + "/" +
+        std::to_string(expected.distinct_vectors) + ")");
   }
   return RemoteWorkerSession(std::move(connection), worker_id, ack.version);
 }
@@ -398,7 +473,10 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
   // shipped vectors into exactly what the in-process JoinWorker holds.
   // Under version >= 2 the peer may instead be a scraper: StatsRequest
   // frames are answered in place, and a Shutdown before any Assignment
-  // ends the (scrape-only) session cleanly.
+  // ends the (scrape-only) session cleanly. Under version >= 3 a
+  // ShardAssignment may replace the Assignment when this worker
+  // pre-mapped a frozen shard file: the session then serves the named
+  // shard zero-copy out of the mapping instead of a shipped slice.
   wire::WorkerAssignment assignment;
   for (;;) {
     SKEWSEARCH_RETURN_NOT_OK(ReceiveChecked(connection, &frame));
@@ -415,17 +493,78 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
     if (frame.type == wire::FrameType::kShutdown) return end_session();
     break;
   }
-  decoded = wire::DecodeAssignment(frame, &assignment);
-  if (!decoded.ok()) return FailSession(connection, decoded);
 
   WorkerState state;
   state.worker_id = static_cast<int>(hello.worker_id);
-  const wire::AssignmentAckFrame assignment_ack = SliceCounters(assignment);
-  Status applied = state.Apply(assignment);
-  if (!applied.ok()) return FailSession(connection, applied);
-  local.posting_entries = state.worker->num_entries();
-  SKEWSEARCH_RETURN_NOT_OK(
-      connection->Send(wire::EncodeAssignmentAck(assignment_ack)));
+  bool shard_mode = false;
+  if (frame.type == wire::FrameType::kShardAssignment) {
+    if (ack.version < 3) {
+      return FailSession(connection,
+                         Status::NotSupported(
+                             "session: ShardAssignment frame on a version " +
+                             std::to_string(ack.version) + " session"));
+    }
+    if (options.frozen_file == nullptr || options.frozen_data == nullptr) {
+      return FailSession(
+          connection,
+          Status::InvalidArgument(
+              "session: ShardAssignment but this worker holds no mapped "
+              "shard file (start it with --shard-file/--data)"));
+    }
+    wire::ShardAssignmentFrame shard;
+    decoded = wire::DecodeShardAssignment(frame, &shard);
+    if (!decoded.ok()) return FailSession(connection, decoded);
+    const FrozenShardFile& file = *options.frozen_file;
+    if (shard.num_shards != static_cast<uint32_t>(file.num_shards())) {
+      return FailSession(
+          connection,
+          Status::InvalidArgument(
+              "session: ShardAssignment names " +
+              std::to_string(shard.num_shards) + " shard(s) but the mapped "
+              "file holds " + std::to_string(file.num_shards())));
+    }
+    if (shard.fingerprint != file.fingerprint()) {
+      return FailSession(
+          connection,
+          Status::InvalidArgument(
+              "session: ShardAssignment fingerprint does not match the "
+              "mapped shard file (different dataset or file)"));
+    }
+    const FrozenShardFile::ShardInfo& info =
+        file.shard_info(static_cast<int>(shard.shard_index));
+    if (info.ids_count > 0 && info.max_id >= options.frozen_data->size()) {
+      return FailSession(
+          connection,
+          Status::InvalidArgument(
+              "session: mapped shard references id " +
+              std::to_string(info.max_id) + " but the worker's dataset "
+              "holds " + std::to_string(options.frozen_data->size()) +
+              " vectors"));
+    }
+    Result<FilterTable> view =
+        file.MakeShardView(static_cast<int>(shard.shard_index));
+    if (!view.ok()) return FailSession(connection, view.status());
+    wire::AssignmentAckFrame shard_ack;
+    shard_ack.num_keys = view->num_keys();
+    shard_ack.num_entries = view->num_pairs();
+    shard_ack.distinct_vectors = options.frozen_data->size();
+    state.worker.emplace(static_cast<int>(shard.shard_index),
+                         std::move(view).value(), options.frozen_data,
+                         shard.threshold, shard.measure);
+    shard_mode = true;
+    local.posting_entries = state.worker->num_entries();
+    SKEWSEARCH_RETURN_NOT_OK(
+        connection->Send(wire::EncodeAssignmentAck(shard_ack)));
+  } else {
+    decoded = wire::DecodeAssignment(frame, &assignment);
+    if (!decoded.ok()) return FailSession(connection, decoded);
+    const wire::AssignmentAckFrame assignment_ack = SliceCounters(assignment);
+    Status applied = state.Apply(assignment);
+    if (!applied.ok()) return FailSession(connection, applied);
+    local.posting_entries = state.worker->num_entries();
+    SKEWSEARCH_RETURN_NOT_OK(
+        connection->Send(wire::EncodeAssignmentAck(assignment_ack)));
+  }
 
   // Phase 3 — probe loop until Shutdown. Responses are computed and
   // sent strictly in frame-arrival order, which is what lets the
@@ -455,6 +594,17 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
                                "session: Reassignment frame on a version " +
                                std::to_string(ack.version) + " session"));
       }
+      if (shard_mode) {
+        // A mapped shard is not re-shippable state: its postings live in
+        // the file, disjoint from every other shard's, so adopting a
+        // lost worker's slice has no representation here. The
+        // coordinator treats this as an unrecoverable worker loss.
+        return FailSession(
+            connection,
+            Status::NotSupported(
+                "session: a frozen-shard session cannot adopt reassigned "
+                "slices"));
+      }
       wire::ReassignmentFrame reassignment;
       decoded = wire::DecodeReassignment(frame, &reassignment);
       if (!decoded.ok()) return FailSession(connection, decoded);
@@ -469,7 +619,7 @@ Status ServeConnection(FrameConnection* connection, WorkerServeStats* stats,
       wire::ReassignmentAckFrame reassignment_ack;
       reassignment_ack.epoch = reassignment.epoch;
       reassignment_ack.counters = SliceCounters(reassignment.assignment);
-      applied = state.Apply(reassignment.assignment);
+      Status applied = state.Apply(reassignment.assignment);
       if (!applied.ok()) return FailSession(connection, applied);
       epoch = reassignment.epoch;
       local.reassignments++;

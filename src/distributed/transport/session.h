@@ -51,6 +51,8 @@
 
 namespace skewsearch {
 
+class FrozenShardFile;
+
 /// \brief Coordinator-side handle on one remote worker.
 ///
 /// Created by Start(), which runs the handshake and ships the
@@ -67,6 +69,18 @@ class RemoteWorkerSession {
   static Result<RemoteWorkerSession> Start(
       std::unique_ptr<FrameConnection> connection, uint32_t worker_id,
       uint32_t num_workers, const wire::WorkerAssignment& assignment);
+
+  /// The frozen-shard variant of Start (protocol version >= 3): instead
+  /// of shipping posting slices, sends a ShardAssignment naming the
+  /// shard of the worker's pre-mapped SKF1 file this session serves,
+  /// and cross-checks the worker's AssignmentAck counters against
+  /// \p expected — the keys/entries the coordinator's own mapping of
+  /// the same file records for that shard, plus the dataset size. Fails
+  /// with NotSupported when the worker cannot speak version 3.
+  static Result<RemoteWorkerSession> StartFrozen(
+      std::unique_ptr<FrameConnection> connection, uint32_t worker_id,
+      uint32_t num_workers, const wire::ShardAssignmentFrame& shard,
+      const wire::AssignmentAckFrame& expected);
 
   RemoteWorkerSession(RemoteWorkerSession&&) = default;
   RemoteWorkerSession& operator=(RemoteWorkerSession&&) = default;
@@ -166,6 +180,19 @@ struct ServeOptions {
   /// MetricsRegistry::Global() — the production configuration; tests
   /// point it at a private registry to assert exact counts.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// \name Frozen-shard serving (`join-worker --shard-file`).
+  /// When both are set, a version >= 3 session may open with a
+  /// ShardAssignment frame instead of an Assignment: the worker then
+  /// serves the named shard zero-copy out of `frozen_file` (an SKF1
+  /// mapping shared read-only by every session) and verifies candidates
+  /// against `frozen_data`, the full build-side dataset the file was
+  /// frozen from. Classic Assignment sessions still work on the same
+  /// worker. Both null = ship-everything serving only.
+  /// @{
+  const FrozenShardFile* frozen_file = nullptr;
+  const Dataset* frozen_data = nullptr;
+  /// @}
 };
 
 /// Serves one coordinator session on \p connection: accepts the

@@ -54,7 +54,7 @@ Status BoundedCount(PayloadReader* reader, size_t min_element_bytes,
 
 bool IsValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kStatsResponse);
+         type <= static_cast<uint8_t>(FrameType::kShardAssignment);
 }
 
 void AppendFrameHeader(FrameType type, uint32_t payload_length,
@@ -600,6 +600,43 @@ Status DecodeStatsResponse(const Frame& frame, StatsFrame* out) {
   }
   SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "StatsResponse"));
   *out = std::move(stats);
+  return Status::OK();
+}
+
+Frame EncodeShardAssignment(const ShardAssignmentFrame& shard) {
+  PayloadWriter writer;
+  writer.U32(shard.num_shards);
+  writer.U32(shard.shard_index);
+  writer.U64(shard.fingerprint);
+  writer.F64(shard.threshold);
+  writer.U8(static_cast<uint8_t>(shard.measure));
+  return {FrameType::kShardAssignment, /*version=*/3,
+          std::move(writer).Take()};
+}
+
+Status DecodeShardAssignment(const Frame& frame, ShardAssignmentFrame* out) {
+  SKEWSEARCH_RETURN_NOT_OK(
+      ExpectType(frame, FrameType::kShardAssignment, "ShardAssignment"));
+  PayloadReader reader(frame.payload);
+  ShardAssignmentFrame shard;
+  SKEWSEARCH_RETURN_NOT_OK(reader.U32(&shard.num_shards));
+  SKEWSEARCH_RETURN_NOT_OK(reader.U32(&shard.shard_index));
+  SKEWSEARCH_RETURN_NOT_OK(reader.U64(&shard.fingerprint));
+  SKEWSEARCH_RETURN_NOT_OK(reader.F64(&shard.threshold));
+  uint8_t measure = 0;
+  SKEWSEARCH_RETURN_NOT_OK(reader.U8(&measure));
+  SKEWSEARCH_RETURN_NOT_OK(ExpectConsumed(reader, "ShardAssignment"));
+  if (shard.num_shards == 0 || shard.shard_index >= shard.num_shards) {
+    return Corrupt("ShardAssignment shard index out of range");
+  }
+  if (!std::isfinite(shard.threshold)) {
+    return Corrupt("ShardAssignment threshold is not finite");
+  }
+  if (measure > static_cast<uint8_t>(Measure::kCosine)) {
+    return Corrupt("ShardAssignment measure out of range");
+  }
+  shard.measure = static_cast<Measure>(measure);
+  *out = shard;
   return Status::OK();
 }
 

@@ -59,9 +59,16 @@ inline constexpr uint32_t kMagic = 0x4A574B53u;
 /// echo is the coordinator's acknowledgement) and the Reassignment/
 /// ReassignmentAck frames that re-ship a lost worker's slices to a
 /// survivor mid-session.
+///
+/// Version 3 adds the frozen-shard serving mode: a tiny ShardAssignment
+/// frame that names a shard of a pre-mapped SKF1 file (core/
+/// frozen_shard.h) in place of the O(index) Assignment, for workers
+/// started with `--shard-file`. The worker serves the shard zero-copy
+/// from its own mapping; only the fingerprint, shard coordinates and
+/// verification parameters cross the wire.
 /// @{
 inline constexpr uint8_t kVersionMin = 1;
-inline constexpr uint8_t kVersionMax = 2;
+inline constexpr uint8_t kVersionMax = 3;
 /// @}
 
 /// Hard cap on a frame's payload length. A header announcing more is
@@ -90,6 +97,11 @@ enum class FrameType : uint8_t {
   kStatsRequest = 11,    ///< scraper -> worker: ask for a metrics
                          ///< snapshot (empty payload)
   kStatsResponse = 12,   ///< worker -> scraper: the registry snapshot
+  /// @}
+  /// \name Version >= 3 only.
+  /// @{
+  kShardAssignment = 13, ///< coordinator -> worker: serve a shard of
+                         ///< the worker's pre-mapped frozen file
   /// @}
 };
 
@@ -268,6 +280,26 @@ struct ReassignmentAckFrame {
   AssignmentAckFrame counters;
 };
 
+/// \brief ShardAssignment (v3): serve a shard of a pre-mapped file.
+///
+/// Replaces the Assignment for a worker that mapped an SKF1 frozen
+/// file (`join-worker --shard-file`): instead of shipping posting
+/// slices and vectors, the coordinator names the shard to serve and
+/// the verification parameters. The worker cross-checks num_shards and
+/// the dataset fingerprint against its own mapping — both sides must
+/// hold byte-identical files — and answers with an AssignmentAck whose
+/// counters (keys, entries, dataset size) the coordinator verifies
+/// against its copy's section table. Shard sessions reject
+/// Reassignment frames: a shard is not re-shippable state, the file
+/// holds it.
+struct ShardAssignmentFrame {
+  uint32_t num_shards = 0;   ///< must equal the file's shard count
+  uint32_t shard_index = 0;  ///< which shard this session serves
+  uint64_t fingerprint = 0;  ///< dataset fingerprint stored in the file
+  double threshold = 0.0;
+  Measure measure = Measure::kBraunBlanquet;
+};
+
 /// \brief StatsResponse (v2): a worker's metrics-registry snapshot.
 ///
 /// The request (kStatsRequest, empty payload) may arrive in place of an
@@ -307,6 +339,7 @@ Frame EncodeReassignment(const ReassignmentFrame& reassignment);
 Frame EncodeReassignmentAck(const ReassignmentAckFrame& ack);
 Frame EncodeStatsRequest();
 Frame EncodeStatsResponse(const StatsFrame& stats);
+Frame EncodeShardAssignment(const ShardAssignmentFrame& shard);
 Frame EncodeShutdown();
 Frame EncodeError(const Status& status);
 /// @}
@@ -324,6 +357,7 @@ Status DecodeResponseBatch(const Frame& frame, ResponseBatch* out);
 Status DecodeReassignment(const Frame& frame, ReassignmentFrame* out);
 Status DecodeReassignmentAck(const Frame& frame, ReassignmentAckFrame* out);
 Status DecodeStatsResponse(const Frame& frame, StatsFrame* out);
+Status DecodeShardAssignment(const Frame& frame, ShardAssignmentFrame* out);
 Status DecodeError(const Frame& frame, ErrorFrame* out);
 /// @}
 

@@ -1,0 +1,98 @@
+// Copyright 2026 The skewsearch Authors.
+// MappedFile: a read-only view of a whole file, preferably via mmap.
+//
+// The frozen-shard path (core/frozen_shard.h) wants a file's bytes
+// addressable without copying them onto the heap: mmap gives zero-copy
+// access, O(1) open time regardless of file size, and leaves residency
+// and eviction to the OS page cache. Not every environment can mmap
+// (exotic filesystems, locked-down containers, 32-bit address-space
+// pressure), so Open falls back to reading the file into one heap
+// buffer — the same span-shaped surface, just materialized — unless the
+// caller forbids it. Callers that need to know which path they got (the
+// mmap bench, the CLI's reporting) ask `mapped()`.
+
+#ifndef SKEWSEARCH_UTIL_MAPPED_FILE_H_
+#define SKEWSEARCH_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace skewsearch {
+
+/// \brief Read-only RAII mapping (or heap image) of one file.
+///
+/// Move-only; the destructor unmaps / frees. All accessors are const and
+/// the bytes never change, so a MappedFile may be shared across threads.
+class MappedFile {
+ public:
+  /// Access-pattern hints forwarded to madvise (no-ops on the heap
+  /// fallback, where the buffer is already resident).
+  enum class Advice {
+    kNormal,      ///< no hint
+    kRandom,      ///< expect point lookups (posting probes)
+    kSequential,  ///< expect a linear scan (payload verification)
+    kWillNeed,    ///< prefault soon (warm-up before a latency-sensitive run)
+  };
+
+  struct Options {
+    /// Skip mmap entirely and read the file onto the heap. What the
+    /// graceful-degradation tests force, and what callers on platforms
+    /// they do not trust to mmap can pin.
+    bool force_heap = false;
+
+    /// Refuse the heap fallback: if mmap fails, Open fails. For callers
+    /// whose whole point is the zero-copy mapping (the bench's mapped
+    /// legs).
+    bool require_map = false;
+
+    /// Initial madvise hint for the mapping.
+    Advice advice = Advice::kRandom;
+  };
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Opens \p path read-only and maps (or reads) its entire contents.
+  /// Empty files yield a valid zero-length mapping. Fails with IOError
+  /// when the file cannot be opened/stat'ed, when mmap fails and the
+  /// fallback is forbidden, or when require_map is set but mmap failed.
+  static Result<MappedFile> Open(const std::string& path);
+  static Result<MappedFile> Open(const std::string& path,
+                                 const Options& options);
+
+  /// The file's bytes. Valid until destruction/move-from.
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the bytes are an mmap'd view; false on the heap fallback
+  /// (or a default-constructed instance).
+  bool mapped() const { return mapped_; }
+
+  /// Applies an access-pattern hint to the mapping. Harmless no-op on
+  /// the heap fallback; a failing madvise is reported but never fatal
+  /// (hints are advisory by definition).
+  Status Advise(Advice advice) const;
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> heap_;  // owns the bytes on the fallback path
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_UTIL_MAPPED_FILE_H_

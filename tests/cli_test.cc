@@ -7,6 +7,7 @@
 #include <string>
 
 #include "data/io.h"
+#include "test_paths.h"
 
 namespace skewsearch {
 namespace {
@@ -14,9 +15,7 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/cli_test_" +
-            std::to_string(::getpid()) + "_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this));
+    path_ = test::TempPath("cli_test", this);
     text_ = path_ + ".txt";
     bin_ = path_ + ".bin";
   }

@@ -16,6 +16,7 @@
 #include "data/correlated.h"
 #include "data/generators.h"
 #include "maintenance/service.h"
+#include "test_paths.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -268,9 +269,7 @@ class DynamicIndexIoTest : public DynamicIndexTest {
  protected:
   void SetUp() override {
     DynamicIndexTest::SetUp();
-    path_ = ::testing::TempDir() + "/dynamic_io_" +
-            std::to_string(::getpid()) + "_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
+    path_ = test::TempPath("dynamic_io", this, ".skidx");
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

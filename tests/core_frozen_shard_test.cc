@@ -1,0 +1,385 @@
+// Differential identity suite for the SKF1 frozen-shard path: a mapped
+// index (MapFrozen) must answer every query byte-identically to the heap
+// index it was frozen from (and to a heap Load of the same build),
+// across dataset shapes, seeds, sharded and unsharded — plus committed
+// save -> freeze -> map round-trip goldens that pin the format bytes.
+// Regenerate goldens with SKEWSEARCH_REGEN_GOLDEN=1 after a deliberate
+// format change (and update docs/FILE_FORMATS.md accordingly).
+
+#include "core/frozen_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_index.h"
+#include "core/skewed_index.h"
+#include "data/generators.h"
+#include "data/mann_profiles.h"
+#include "test_paths.h"
+#include "util/random.h"
+
+namespace skewsearch {
+namespace {
+
+struct Shape {
+  const char* name;
+  ProductDistribution dist;
+  size_t n;
+};
+
+std::vector<Shape> AllShapes() {
+  std::vector<Shape> shapes;
+  shapes.push_back(
+      {"Zipf", ZipfProbabilities(4000, 0.8, 0.4).value(), 200});
+  shapes.push_back(
+      {"TwoBlock", TwoBlockProbabilities(150, 0.25, 6000, 0.005).value(),
+       200});
+  return shapes;
+}
+
+/// A small Mann-style stand-in (piecewise-Zipf head/tail), sized for
+/// test speed rather than fidelity.
+Shape MannShape(uint64_t seed) {
+  MannProfileSpec spec;
+  spec.name = "TEST";
+  spec.n = 180;
+  spec.d = 1500;
+  spec.avg_size = 10.0;
+  spec.zipf_exponent = 0.9;
+  spec.head_fraction = 0.15;
+  spec.head_exponent = 0.4;
+  spec.topic_strength = 0.0;
+  spec.topic_size = 0;
+  spec.heavy_tail = 0.0;
+  Rng rng(seed);
+  MannInstance inst = BuildMannInstance(spec, &rng).value();
+  return {"Mann", std::move(inst.distribution), inst.data.size()};
+}
+
+SkewedIndexOptions Options(uint64_t seed) {
+  SkewedIndexOptions options;
+  options.mode = IndexMode::kCorrelated;
+  options.alpha = 0.7;
+  options.repetitions = 6;
+  options.seed = seed * 1000003 + 17;
+  return options;
+}
+
+/// Exhaustive self-join sweep through QueryAll: the canonical pair list
+/// both index flavors must agree on byte-for-byte.
+std::vector<std::pair<VectorId, Match>> JoinSweep(const Dataset& data,
+                                                  const SkewedPathIndex& a) {
+  std::vector<std::pair<VectorId, Match>> pairs;
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (const Match& m :
+         a.QueryAll(data.Get(id), a.verify_threshold())) {
+      if (m.id != id) pairs.emplace_back(id, m);
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::pair<VectorId, Match>> JoinSweep(const Dataset& data,
+                                                  const ShardedIndex& a) {
+  std::vector<std::pair<VectorId, Match>> pairs;
+  for (VectorId id = 0; id < data.size(); ++id) {
+    for (const Match& m :
+         a.QueryAll(data.Get(id), a.verify_threshold())) {
+      if (m.id != id) pairs.emplace_back(id, m);
+    }
+  }
+  return pairs;
+}
+
+template <typename Index>
+void ExpectIdenticalQueries(const Dataset& data, const Index& heap,
+                            const Index& mapped) {
+  size_t hits = 0;
+  for (VectorId id = 0; id < data.size(); ++id) {
+    auto query = data.Get(id);
+    auto a = heap.Query(query);
+    auto b = mapped.Query(query);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "query " << id;
+    if (a) {
+      EXPECT_EQ(a->id, b->id) << "query " << id;
+      EXPECT_EQ(a->similarity, b->similarity) << "query " << id;
+      ++hits;
+    }
+    EXPECT_EQ(heap.QueryAll(query, heap.verify_threshold()),
+              mapped.QueryAll(query, mapped.verify_threshold()))
+        << "query " << id;
+  }
+  // Self-queries must find themselves, so the comparison is never
+  // vacuous.
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(JoinSweep(data, heap), JoinSweep(data, mapped));
+}
+
+class FrozenShardTest : public ::testing::Test {
+ protected:
+  std::string Tmp(const std::string& suffix) {
+    return test::TempPath("frozen_shard", this, suffix);
+  }
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+  std::string Track(std::string path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(FrozenShardTest, MapMatchesHeapLoadAcrossShapesAndSeeds) {
+  for (uint64_t seed : {7u, 21u}) {
+    std::vector<Shape> shapes = AllShapes();
+    shapes.push_back(MannShape(seed));
+    for (Shape& shape : shapes) {
+      SCOPED_TRACE(std::string(shape.name) + " seed " +
+                   std::to_string(seed));
+      Rng rng(seed);
+      Dataset data = GenerateDataset(shape.dist, shape.n, &rng);
+
+      SkewedPathIndex built;
+      ASSERT_TRUE(built.Build(&data, &shape.dist, Options(seed)).ok());
+      std::string saved = Track(Tmp(".skidx"));
+      std::string frozen = Track(Tmp(".skf"));
+      ASSERT_TRUE(built.Save(saved).ok());
+      ASSERT_TRUE(built.Freeze(frozen).ok());
+
+      SkewedPathIndex heap;
+      ASSERT_TRUE(heap.Load(saved, &data, &shape.dist).ok());
+      SkewedPathIndex mapped;
+      ASSERT_TRUE(mapped.MapFrozen(frozen, &data, &shape.dist).ok());
+      ASSERT_TRUE(mapped.built());
+      ASSERT_NE(mapped.frozen_file(), nullptr);
+      EXPECT_TRUE(mapped.filter_table().is_view());
+      // The view holds no posting heap of its own.
+      EXPECT_LT(mapped.MemoryBytes(), heap.MemoryBytes() / 4 + 1024);
+
+      ExpectIdenticalQueries(data, heap, mapped);
+      ExpectIdenticalQueries(data, built, mapped);
+    }
+  }
+}
+
+TEST_F(FrozenShardTest, ShardedMapMatchesHeapLoad) {
+  for (uint64_t seed : {3u, 13u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto dist = TwoBlockProbabilities(120, 0.22, 5000, 0.006).value();
+    Rng rng(seed);
+    Dataset data = GenerateDataset(dist, 220, &rng);
+
+    ShardedIndexOptions options;
+    options.index = Options(seed);
+    options.num_shards = 3;
+    ShardedIndex built;
+    ASSERT_TRUE(built.Build(&data, &dist, options).ok());
+    std::string saved = Track(Tmp(".skidx"));
+    std::string frozen = Track(Tmp(".skf"));
+    ASSERT_TRUE(built.Save(saved).ok());
+    ASSERT_TRUE(built.Freeze(frozen).ok());
+
+    ShardedIndex heap;
+    ASSERT_TRUE(heap.Load(saved, &data, &dist).ok());
+    ShardedIndex mapped;
+    ASSERT_TRUE(mapped.MapFrozen(frozen, &data, &dist).ok());
+    ASSERT_EQ(mapped.num_shards(), 3);
+    ASSERT_NE(mapped.frozen_file(), nullptr);
+
+    ExpectIdenticalQueries(data, heap, mapped);
+    ExpectIdenticalQueries(data, built, mapped);
+
+    // The full-validation map (payload checksums + shard placement) must
+    // accept a well-formed file and serve the same results.
+    FrozenMapOptions verify;
+    verify.verify_payload = true;
+    ShardedIndex verified;
+    ASSERT_TRUE(verified.MapFrozen(frozen, &data, &dist, verify).ok());
+    ExpectIdenticalQueries(data, heap, verified);
+  }
+}
+
+TEST_F(FrozenShardTest, HeapFallbackServesIdenticalResults) {
+  auto dist = TwoBlockProbabilities(100, 0.25, 4000, 0.008).value();
+  Rng rng(5);
+  Dataset data = GenerateDataset(dist, 180, &rng);
+  SkewedPathIndex built;
+  ASSERT_TRUE(built.Build(&data, &dist, Options(5)).ok());
+  std::string frozen = Track(Tmp(".skf"));
+  ASSERT_TRUE(built.Freeze(frozen).ok());
+
+  FrozenMapOptions heap_options;
+  heap_options.force_heap = true;
+  SkewedPathIndex mapped;
+  ASSERT_TRUE(mapped.MapFrozen(frozen, &data, &dist, heap_options).ok());
+  ASSERT_NE(mapped.frozen_file(), nullptr);
+  EXPECT_FALSE(mapped.frozen_file()->mapped());
+  ExpectIdenticalQueries(data, built, mapped);
+}
+
+TEST_F(FrozenShardTest, BatchQueriesMatchAcrossThreadCounts) {
+  auto dist = TwoBlockProbabilities(100, 0.25, 4000, 0.008).value();
+  Rng rng(9);
+  Dataset data = GenerateDataset(dist, 180, &rng);
+  SkewedPathIndex built;
+  ASSERT_TRUE(built.Build(&data, &dist, Options(9)).ok());
+  std::string frozen = Track(Tmp(".skf"));
+  ASSERT_TRUE(built.Freeze(frozen).ok());
+  SkewedPathIndex mapped;
+  ASSERT_TRUE(mapped.MapFrozen(frozen, &data, &dist).ok());
+
+  auto serial = built.BatchQuery(data, 0);
+  // Views are immutable shared state; concurrent probes must agree with
+  // the serial heap answers exactly.
+  auto parallel = mapped.BatchQuery(data, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].has_value(), parallel[i].has_value()) << i;
+    if (serial[i]) {
+      EXPECT_EQ(serial[i]->id, parallel[i]->id) << i;
+      EXPECT_EQ(serial[i]->similarity, parallel[i]->similarity) << i;
+    }
+  }
+}
+
+TEST_F(FrozenShardTest, ApiErrors) {
+  auto dist = TwoBlockProbabilities(80, 0.25, 3000, 0.01).value();
+  Rng rng(2);
+  Dataset data = GenerateDataset(dist, 120, &rng);
+
+  SkewedPathIndex unbuilt;
+  EXPECT_TRUE(unbuilt.Freeze(Tmp(".skf")).IsInvalidArgument());
+
+  SkewedPathIndex built;
+  ASSERT_TRUE(built.Build(&data, &dist, Options(2)).ok());
+  std::string frozen = Track(Tmp(".skf"));
+  ASSERT_TRUE(built.Freeze(frozen).ok());
+
+  // Wrong dataset: rejected by the fingerprint before any view exists.
+  Rng other_rng(3);
+  Dataset other = GenerateDataset(dist, 120, &other_rng);
+  SkewedPathIndex mapped;
+  EXPECT_TRUE(mapped.MapFrozen(frozen, &other, &dist).IsInvalidArgument());
+
+  // A heap-format file is not a frozen file.
+  std::string saved = Track(Tmp(".skidx"));
+  ASSERT_TRUE(built.Save(saved).ok());
+  EXPECT_TRUE(mapped.MapFrozen(saved, &data, &dist).IsInvalidArgument());
+
+  // A sharded frozen file cannot back an unsharded index (and vice
+  // versa the shard count always comes from the file).
+  ShardedIndexOptions sharded_options;
+  sharded_options.index = Options(2);
+  sharded_options.num_shards = 2;
+  ShardedIndex sharded;
+  ASSERT_TRUE(sharded.Build(&data, &dist, sharded_options).ok());
+  std::string sharded_frozen = Track(Tmp("_sharded.skf"));
+  ASSERT_TRUE(sharded.Freeze(sharded_frozen).ok());
+  EXPECT_TRUE(
+      mapped.MapFrozen(sharded_frozen, &data, &dist).IsInvalidArgument());
+
+  EXPECT_TRUE(
+      mapped.MapFrozen(Tmp("_missing.skf"), &data, &dist).IsIOError());
+}
+
+// ---------------------------------------------------------------------
+// Round-trip goldens: the exact bytes of a freeze of a fixed build are
+// pinned under tests/golden/. A mismatch means the SKF1 format changed;
+// that must be deliberate (bump the format notes in FILE_FORMATS.md and
+// regenerate with SKEWSEARCH_REGEN_GOLDEN=1).
+
+std::string GoldenDir() {
+  return std::string(SKEWSEARCH_TEST_DIR) + "/golden";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return in ? buffer.str() : std::string();
+}
+
+class FrozenGoldenTest : public FrozenShardTest {
+ protected:
+  /// The fixed build every golden derives from: deterministic dataset,
+  /// deterministic options.
+  void MakeFixedInstance(Dataset* data, ProductDistribution* dist) {
+    *dist = TwoBlockProbabilities(90, 0.2, 2500, 0.01).value();
+    Rng rng(12345);
+    *data = GenerateDataset(*dist, 140, &rng);
+  }
+
+  /// Compares the freshly frozen \p path to the committed golden, or
+  /// (re)writes the golden when SKEWSEARCH_REGEN_GOLDEN is set.
+  void CheckGolden(const std::string& path, const std::string& name) {
+    const std::string golden_path = GoldenDir() + "/" + name;
+    const std::string fresh = ReadFile(path);
+    ASSERT_FALSE(fresh.empty());
+    if (std::getenv("SKEWSEARCH_REGEN_GOLDEN") != nullptr) {
+      std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+      out << fresh;
+      ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+      GTEST_SKIP() << "regenerated " << golden_path;
+    }
+    const std::string golden = ReadFile(golden_path);
+    ASSERT_FALSE(golden.empty())
+        << golden_path
+        << " missing; run with SKEWSEARCH_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(fresh.size(), golden.size()) << name;
+    EXPECT_TRUE(fresh == golden)
+        << name << ": frozen bytes diverge from the committed golden";
+  }
+};
+
+TEST_F(FrozenGoldenTest, SingleShardRoundTrip) {
+  Dataset data;
+  ProductDistribution dist;
+  MakeFixedInstance(&data, &dist);
+  SkewedPathIndex built;
+  ASSERT_TRUE(built.Build(&data, &dist, Options(777)).ok());
+  std::string frozen = Track(Tmp(".skf"));
+  ASSERT_TRUE(built.Freeze(frozen).ok());
+  CheckGolden(frozen, "frozen_single_v1.skf");
+
+  // The committed golden itself must map and serve the same answers as
+  // the fresh build (save -> freeze -> map round trip).
+  SkewedPathIndex mapped;
+  ASSERT_TRUE(
+      mapped.MapFrozen(GoldenDir() + "/frozen_single_v1.skf", &data, &dist)
+          .ok());
+  ExpectIdenticalQueries(data, built, mapped);
+}
+
+TEST_F(FrozenGoldenTest, ShardedRoundTrip) {
+  Dataset data;
+  ProductDistribution dist;
+  MakeFixedInstance(&data, &dist);
+  ShardedIndexOptions options;
+  options.index = Options(777);
+  options.num_shards = 3;
+  ShardedIndex built;
+  ASSERT_TRUE(built.Build(&data, &dist, options).ok());
+  std::string frozen = Track(Tmp(".skf"));
+  ASSERT_TRUE(built.Freeze(frozen).ok());
+  CheckGolden(frozen, "frozen_sharded_v1.skf");
+
+  ShardedIndex mapped;
+  FrozenMapOptions verify;
+  verify.verify_payload = true;
+  ASSERT_TRUE(mapped
+                  .MapFrozen(GoldenDir() + "/frozen_sharded_v1.skf", &data,
+                             &dist, verify)
+                  .ok());
+  ExpectIdenticalQueries(data, built, mapped);
+}
+
+}  // namespace
+}  // namespace skewsearch

@@ -14,6 +14,7 @@
 #include "core/skewed_index.h"
 #include "data/correlated.h"
 #include "data/generators.h"
+#include "test_paths.h"
 #include "util/random.h"
 
 namespace skewsearch {
@@ -22,9 +23,7 @@ namespace {
 class IndexIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/index_io_" +
-            std::to_string(::getpid()) + "_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
+    path_ = test::TempPath("index_io", this, ".skidx");
     dist_ = TwoBlockProbabilities(150, 0.25, 8000, 0.005).value();
     Rng rng(11);
     data_ = GenerateDataset(dist_, 250, &rng);

@@ -16,6 +16,7 @@
 #include "core/skewed_index.h"
 #include "data/correlated.h"
 #include "data/generators.h"
+#include "test_paths.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -218,9 +219,7 @@ class ShardedIndexIoTest : public ShardedIndexTest {
  protected:
   void SetUp() override {
     ShardedIndexTest::SetUp();
-    path_ = ::testing::TempDir() + "/sharded_io_" +
-            std::to_string(::getpid()) + "_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".skidx";
+    path_ = test::TempPath("sharded_io", this, ".skidx");
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

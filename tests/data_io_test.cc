@@ -7,15 +7,15 @@
 #include <fstream>
 #include <string>
 
+#include "test_paths.h"
+
 namespace skewsearch {
 namespace {
 
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/skewsearch_io_test_" +
-            std::to_string(::getpid()) + "_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+    path_ = test::TempPath("skewsearch_io_test", this, ".txt");
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

@@ -14,13 +14,15 @@
 #include "data/generators.h"
 #include "data/io.h"
 #include "data/mann_profiles.h"
+#include "test_paths.h"
 #include "util/random.h"
 
 namespace skewsearch {
 namespace {
 
 TEST(PipelineTest, PersistReloadEstimateBuildQuery) {
-  std::string path = ::testing::TempDir() + "/pipeline_data.txt";
+  std::string path;
+  path = test::TempPath("pipeline_data", &path, ".txt");
   const double alpha = 0.75;
   auto truth = TwoBlockProbabilities(200, 0.25, 8000, 0.01).value();
   Rng rng(1);

@@ -1,0 +1,35 @@
+// Copyright 2026 The skewsearch Authors.
+// Shared temp-path helper for test fixtures.
+//
+// Tests that write files must not collide across concurrently running
+// test processes (ctest -j) or across fixtures inside one process. The
+// convention — TempDir + pid + the fixture's own address — makes a path
+// unique per (process, fixture instance); every fixture that touches
+// disk uses it instead of hand-rolling the pattern.
+
+#ifndef SKEWSEARCH_TESTS_TEST_PATHS_H_
+#define SKEWSEARCH_TESTS_TEST_PATHS_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+namespace skewsearch {
+namespace test {
+
+/// A collision-free temp file path "<TempDir>/<stem>_<pid>_<self><suffix>".
+/// Pass the fixture's `this` as \p self; \p suffix is the extension
+/// (e.g. ".skidx") or empty.
+inline std::string TempPath(const std::string& stem, const void* self,
+                            const std::string& suffix = "") {
+  return ::testing::TempDir() + "/" + stem + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(reinterpret_cast<uintptr_t>(self)) + suffix;
+}
+
+}  // namespace test
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_TESTS_TEST_PATHS_H_

@@ -220,11 +220,52 @@ if [ "$w3_status" -ne 3 ]; then
   exit 1
 fi
 
+echo "--- round 3: frozen-shard workers (SKF1 pre-mapped, zero-copy serve)"
+# Freeze the same dataset with the same index parameters (b1 0.6, seed
+# default) into a 2-shard SKF1 file, start two fresh workers that
+# pre-map it via --shard-file, and run the self-join against them with
+# --frozen: the coordinator ships only tiny ShardAssignment frames (no
+# posting payload crosses the wire) yet the dumped pairs must still be
+# byte-identical to the single-process baseline of round 1.
+"$CLI" freeze --in "$TMP/data.txt" --out "$TMP/data.skf" --b1 0.6 --shards 2
+start_worker "$TMP/worker4.log" --shard-file "$TMP/data.skf" --data "$TMP/data.txt"
+start_worker "$TMP/worker5.log" --shard-file "$TMP/data.skf" --data "$TMP/data.txt"
+PORT4="$(grep -o 'port [0-9]*' "$TMP/worker4.log" | cut -d' ' -f2)"
+PORT5="$(grep -o 'port [0-9]*' "$TMP/worker5.log" | cut -d' ' -f2)"
+if ! grep -q 'mapped 2 frozen shard(s)' "$TMP/worker4.log"; then
+  echo "FAIL: frozen worker did not report mapping the SKF1 file" >&2
+  cat "$TMP/worker4.log" >&2
+  exit 1
+fi
+echo "frozen workers listening on ports $PORT4, $PORT5"
+
+if ! "$CLI" selfjoin --in "$TMP/data.txt" --b1 0.6 --probe-batch 32 \
+  --frozen "$TMP/data.skf" --connect "127.0.0.1:$PORT4,127.0.0.1:$PORT5" \
+  --dump-pairs "$TMP/frozen_tcp.txt" | tee "$TMP/coord_frozen.log"; then
+  echo "error: frozen-shard coordinator failed" >&2
+  cat "$TMP/worker4.log" "$TMP/worker5.log" >&2
+  exit 1
+fi
+if ! grep -q 'served zero-copy' "$TMP/coord_frozen.log"; then
+  echo "FAIL: coordinator did not report the frozen build side" >&2
+  cat "$TMP/coord_frozen.log" >&2
+  exit 1
+fi
+if ! diff -u "$TMP/single.txt" "$TMP/frozen_tcp.txt"; then
+  echo "FAIL: frozen-shard join diverged from the single-process baseline" >&2
+  exit 1
+fi
+echo "frozen-shard join byte-identical to the baseline ($pair_count pairs)"
+
 echo "--- draining the surviving workers (SIGTERM)"
 stop_worker "${WORKER_PIDS[0]}"
 stop_worker "${WORKER_PIDS[1]}"
+stop_worker "${WORKER_PIDS[3]}"
+stop_worker "${WORKER_PIDS[4]}"
 WORKER_PIDS=()
-cat "$TMP/worker1.log" "$TMP/worker2.log" "$TMP/worker3.log"
+cat "$TMP/worker1.log" "$TMP/worker2.log" "$TMP/worker3.log" \
+  "$TMP/worker4.log" "$TMP/worker5.log"
 
 echo "PASS: 2 concurrent coordinators byte-identical ($pair_count pairs)," \
-  "and the R-S join recovered a killed worker with byte-identical output"
+  "the R-S join recovered a killed worker with byte-identical output," \
+  "and the frozen-shard (--shard-file/--frozen) round matched it too"

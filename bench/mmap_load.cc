@@ -8,6 +8,7 @@
 // Flags: --json FILE   write metrics JSON (see bench_util.h)
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -90,7 +91,8 @@ LoadTimes RunCase(const std::string& tag, size_t n,
 
   const char* tmpdir = std::getenv("TMPDIR");
   const std::string stem = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
-                           "/skewsearch_mmap_bench_" + tag;
+                           "/skewsearch_mmap_bench_" +
+                           std::to_string(::getpid()) + "_" + tag;
   const std::string heap_path = stem + ".skidx";
   const std::string frozen_path = stem + ".skf";
   LoadTimes times;

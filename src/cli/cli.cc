@@ -22,6 +22,8 @@
 #include "distributed/server.h"
 #include "distributed/transport/session.h"
 #include "distributed/transport/tcp_transport.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "maintenance/service.h"
 #include "data/correlated.h"
 #include "data/estimate.h"
@@ -52,6 +54,8 @@ Commands:
   query-bench --in FILE --alpha A [--queries N] [--seed S] [--shards K]
            [--mmap] [--freeze FILE] [--online] [--maintenance 0|1]
            [--drift-factor F] [--dead-ratio R] [--churn N] [--trace]
+           [--wal DIR] [--sync-policy none|interval|group|always]
+           [--checkpoint-bytes N] [--dump-matches FILE] [--probes N]
            [--binary]
   freeze   --in FILE --out FILE [--b1 X | --alpha A] [--seed S]
            [--shards K] [--binary]
@@ -59,7 +63,9 @@ Commands:
            [--maintenance 0|1] [--drift-factor F] [--dead-ratio R]
            [--churn N] [--workers W] [--heavy-threshold T]
            [--frozen FILE] [--connect HOST:PORT,...] [--probe-batch N]
-           [--pipeline N] [--dump-pairs FILE] [--binary]
+           [--pipeline N] [--dump-pairs FILE] [--wal DIR]
+           [--sync-policy none|interval|group|always]
+           [--checkpoint-bytes N] [--binary]
   join     --left FILE --right FILE --b1 X [--seed S] [--workers W]
            [--heavy-threshold T] [--frozen FILE]
            [--connect HOST:PORT,...] [--probe-batch N] [--pipeline N]
@@ -163,6 +169,19 @@ live-rebuild trigger, and --churn N applies N remove+insert pairs before
 querying so compaction and drift actually fire. For selfjoin the churn
 is net no-op (insert a copy, tombstone it) so the pair output is
 unchanged while the service still gets real compaction work.
+
+--wal DIR (query-bench, selfjoin; implies --online) makes the online
+index durable: DIR/snapshot.skd + DIR/wal.skw are recovered on open
+(a "recovery:" line reports what replayed) and every acknowledged
+Insert/Remove is journaled per --sync-policy (default group: shared
+fsync before ack; always: dedicated fsync per ack; interval: lazy;
+none: never) before the call returns. --checkpoint-bytes N (default
+8M) lets the maintenance thread fold the log into a fresh snapshot
+once it outgrows N. query-bench --dump-matches FILE writes the
+QueryAll answers of --probes N (default 64) seeded probe vectors in
+round-tripping precision — the crash smoke test diffs these dumps
+across killed and clean runs. See docs/FILE_FORMATS.md (SKW1) and
+docs/ARCHITECTURE.md for the recovery contract.
 )";
 
 /// Parsed "--key value" flags.
@@ -336,7 +355,76 @@ int CmdIndependence(const Flags& flags) {
 bool WantsOnline(const Flags& flags) {
   return flags.Has("online") || flags.Has("maintenance") ||
          flags.Has("drift-factor") || flags.Has("dead-ratio") ||
-         flags.Has("churn");
+         flags.Has("churn") || flags.Has("wal");
+}
+
+/// --wal DIR / --sync-policy P / --checkpoint-bytes N (query-bench,
+/// selfjoin). Fails on an unknown policy name.
+Result<DurableOptions> DurableFromFlags(const Flags& flags) {
+  DurableOptions options;
+  options.dir = flags.Get("wal", "");
+  Result<SyncPolicy> policy =
+      ParseSyncPolicy(flags.Get("sync-policy", "group"));
+  SKEWSEARCH_RETURN_NOT_OK(policy.status());
+  options.sync_policy = *policy;
+  options.checkpoint_bytes = flags.GetUint("checkpoint-bytes", 8ull << 20);
+  return options;
+}
+
+void PrintRecoveryLine(const RecoveryStats& stats) {
+  std::string torn;
+  if (stats.truncated) {
+    torn = ", torn tail truncated (" +
+           std::to_string(stats.truncated_bytes) + " bytes)";
+  }
+  std::printf("recovery: snapshot %s, %zu replayed, %zu skipped%s, next "
+              "seq %llu\n",
+              stats.snapshot_loaded ? "loaded" : "absent", stats.replayed,
+              stats.skipped, torn.c_str(),
+              static_cast<unsigned long long>(stats.next_seq));
+}
+
+void PrintWalLine(const WalWriter& wal, size_t checkpoints) {
+  std::printf("wal: %llu append(s), %llu fsync(s), %llu bytes, %zu "
+              "checkpoint(s), policy %.*s\n",
+              static_cast<unsigned long long>(wal.num_appends()),
+              static_cast<unsigned long long>(wal.num_fsyncs()),
+              static_cast<unsigned long long>(wal.bytes()), checkpoints,
+              static_cast<int>(SyncPolicyName(wal.options().sync_policy)
+                                   .size()),
+              SyncPolicyName(wal.options().sync_policy).data());
+}
+
+/// --dump-matches FILE: QueryAll answers for a probe set derived only
+/// from the dataset's distribution and --seed (never from index
+/// layout), written with round-tripping precision — two dumps are
+/// equal iff the answer sets are identical. The crash-recovery smoke
+/// test diffs these across killed vs clean runs.
+int DumpMatches(const Flags& flags, const DynamicIndex& index,
+                const ProductDistribution& dist) {
+  const std::string path = flags.Get("dump-matches", "");
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  constexpr double kDumpThreshold = 0.25;
+  Rng rng(flags.GetUint("seed", 1) ^ 0x9e3779b97f4a7c15ull);
+  const size_t probes = flags.GetUint("probes", 64);
+  size_t matches = 0;
+  for (size_t p = 0; p < probes; ++p) {
+    SparseVector q = dist.Sample(&rng);
+    if (q.span().empty()) continue;
+    for (const Match& m : index.QueryAll(q.span(), kDumpThreshold)) {
+      std::fprintf(out, "q%zu %u %.17g\n", p, m.id, m.similarity);
+      ++matches;
+    }
+  }
+  std::fclose(out);
+  std::printf("wrote %zu match(es) over %zu probe(s) to %s\n", matches,
+              probes, path.c_str());
+  return 0;
 }
 
 MaintenanceOptions MaintenanceFromFlags(const Flags& flags) {
@@ -373,12 +461,38 @@ int CmdQueryBenchOnline(const Flags& flags, const Dataset& data,
   options.index.seed = flags.GetUint("seed", 1);
   options.num_shards =
       std::max(1, static_cast<int>(flags.GetUint("shards", 1)));
-  DynamicIndex index;
-  Status built = index.Build(&data, &dist, options);
-  if (!built.ok()) return Fail(built);
+  // --wal DIR: recover (or initialize) a durable directory and serve
+  // the journaled index from it; otherwise a plain in-memory build.
+  const bool durable_mode = flags.Has("wal");
+  DurableIndex durable;
+  DynamicIndex local;
+  if (durable_mode) {
+    Result<DurableOptions> dopts = DurableFromFlags(flags);
+    if (!dopts.ok()) return Fail(dopts.status());
+    RecoveryStats rstats;
+    Status opened = durable.Open(&data, &dist, options, *dopts, &rstats);
+    if (!opened.ok()) return Fail(opened);
+    PrintRecoveryLine(rstats);
+  } else {
+    Status built = local.Build(&data, &dist, options);
+    if (!built.ok()) return Fail(built);
+  }
+  DynamicIndex& index = durable_mode ? durable.index() : local;
   MaintenanceService service;
   Status attached = service.Attach(&index, MaintenanceFromFlags(flags));
   if (!attached.ok()) return Fail(attached);
+  if (durable_mode) service.SetCheckpointDriver(&durable);
+  // Final dump + durable teardown shared by every exit path.
+  auto finish = [&]() -> int {
+    int rc = 0;
+    if (flags.Has("dump-matches")) rc = DumpMatches(flags, index, dist);
+    if (durable_mode) {
+      PrintWalLine(*durable.wal(), durable.num_checkpoints());
+      Status closed = durable.Close();
+      if (!closed.ok()) return Fail(closed);
+    }
+    return rc;
+  };
   const bool thread = flags.GetUint("maintenance", 1) != 0;
   if (thread) {
     Status started = service.Start();
@@ -438,7 +552,7 @@ int CmdQueryBenchOnline(const Flags& flags, const Dataset& data,
   if (live_targets.empty()) {
     service.Detach();
     std::printf("queries: skipped (churn removed every base vector)\n");
-    return 0;
+    return finish();
   }
   CorrelatedQuerySampler sampler(&dist, alpha);
   Rng rng(flags.GetUint("seed", 1) ^ 0xabcdef);
@@ -471,7 +585,7 @@ int CmdQueryBenchOnline(const Flags& flags, const Dataset& data,
       (void)hit;
     });
   }
-  return 0;
+  return finish();
 }
 
 int CmdQueryBench(const Flags& flags) {
@@ -729,6 +843,49 @@ int CmdSelfJoin(const Flags& flags) {
     options.maintenance_thread = flags.GetUint("maintenance", 1) != 0;
     options.churn = flags.GetUint("churn", data->size() / 5);
   }
+
+  // --wal DIR: a durable churn phase ahead of the join — open the
+  // directory (recovering whatever an earlier run left), journal a
+  // deterministic seeded mutation stream, sync, close, and print the
+  // flushed "wal:" marker. The durability smoke test SIGKILLs the
+  // process after that marker (or mid-churn) and asserts a reopened
+  // index answers probes identically to an uninterrupted run.
+  if (flags.Has("wal")) {
+    Result<DurableOptions> dopts = DurableFromFlags(flags);
+    if (!dopts.ok()) return Fail(dopts.status());
+    DynamicIndexOptions ioptions;
+    ioptions.index = options.index;
+    ioptions.num_shards = std::max(1, options.num_shards);
+    DurableIndex durable;
+    RecoveryStats rstats;
+    Status opened = durable.Open(&*data, &*dist, ioptions, *dopts, &rstats);
+    if (!opened.ok()) return Fail(opened);
+    PrintRecoveryLine(rstats);
+    Rng wal_rng(flags.GetUint("seed", 1) ^ 0xd0d0);
+    const size_t churn = flags.GetUint("churn", data->size() / 5);
+    for (size_t i = 0; i < churn; ++i) {
+      SparseVector fresh = dist->Sample(&wal_rng);
+      if (!fresh.span().empty()) {
+        Result<VectorId> id = durable.index().Insert(fresh.span());
+        if (!id.ok()) return Fail(id.status());
+      }
+      if (i % 3 == 2) {
+        // Interleave base-vector removes so the journaled state is
+        // materially different from the base dataset.
+        VectorId victim =
+            static_cast<VectorId>(wal_rng.NextBounded(data->size()));
+        Status gone = durable.index().Remove(victim);
+        if (!gone.ok() && gone.code() != Status::Code::kNotFound) {
+          return Fail(gone);
+        }
+      }
+    }
+    PrintWalLine(*durable.wal(), durable.num_checkpoints());
+    Status closed = durable.Close();
+    if (!closed.ok()) return Fail(closed);
+    std::fflush(stdout);
+  }
+
   JoinStats stats;
   auto pairs = SelfSimilarityJoin(*data, *dist, options, &stats);
   if (!pairs.ok()) return Fail(pairs.status());

@@ -423,9 +423,7 @@ Status DynamicIndex::Build(const Dataset* data,
   return Status::OK();
 }
 
-Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
-                                      size_t* num_filters) {
-  if (!built()) return Status::InvalidArgument("index not built");
+Status DynamicIndex::ValidateInsertItems(std::span<const ItemId> items) const {
   if (items.empty()) {
     return Status::InvalidArgument("cannot insert an empty vector");
   }
@@ -438,17 +436,13 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
       return Status::InvalidArgument("items must be strictly increasing");
     }
   }
-  // The maximum VectorId is a sentinel that is never handed out and
-  // never incremented past, so exhaustion is sticky: the counter cannot
-  // wrap back into the live id range and reissue ids.
-  VectorId id = next_id_.load(std::memory_order_relaxed);
-  do {
-    if (id == std::numeric_limits<VectorId>::max()) {
-      return Status::Internal("vector id space exhausted");
-    }
-  } while (!next_id_.compare_exchange_weak(id, id + 1,
-                                           std::memory_order_relaxed));
+  return Status::OK();
+}
 
+Status DynamicIndex::ApplyInsert(VectorId id, std::span<const ItemId> items,
+                                 size_t* num_filters, bool journal,
+                                 bool replay, bool* applied) {
+  if (applied != nullptr) *applied = true;
   Shard& shard =
       *shards_[static_cast<size_t>(ShardedIndex::ShardOf(id, num_shards()))];
 
@@ -472,6 +466,13 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
   {
     MutexLock lock(shard.writer);
     const ShardState& s1 = *shard.owner;
+    if (replay &&
+        (s1.FindInserted(id) != nullptr || s1.IsTombstoned(id))) {
+      // The restored snapshot already covers this logged mutation
+      // (checkpoint raced the log append); replay is idempotent.
+      if (applied != nullptr) *applied = false;
+      return Status::OK();
+    }
     if (s1.edition.get() != edition) {
       // A rebuild migrated the shard between key generation and the
       // lock; regenerate under the edition the postings must match
@@ -491,12 +492,84 @@ Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
     next->AppendDeltaAll(keys, id);
     next->live_entries += keys.size();
     collect = PublishLocked(&shard, std::move(next));
+    if (journal) {
+      // Durability before acknowledgement: still under the shard's
+      // writer mutex, so per-shard journal order matches apply order
+      // and SetMutationJournal() can act as a barrier. On error the
+      // mutation is applied in memory but unacknowledged (recovery may
+      // legitimately not contain it).
+      MutationJournal* sink = journal_.load(std::memory_order_acquire);
+      if (sink != nullptr) {
+        Status logged = sink->LogInsert(id, items);
+        if (!logged.ok()) return logged;
+      }
+    }
   }
   if (collect) epochs_.Collect();
+  return Status::OK();
+}
+
+Result<VectorId> DynamicIndex::Insert(std::span<const ItemId> items,
+                                      size_t* num_filters) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  SKEWSEARCH_RETURN_NOT_OK(ValidateInsertItems(items));
+  // The maximum VectorId is a sentinel that is never handed out and
+  // never incremented past, so exhaustion is sticky: the counter cannot
+  // wrap back into the live id range and reissue ids.
+  VectorId id = next_id_.load(std::memory_order_relaxed);
+  do {
+    if (id == std::numeric_limits<VectorId>::max()) {
+      return Status::Internal("vector id space exhausted");
+    }
+  } while (!next_id_.compare_exchange_weak(id, id + 1,
+                                           std::memory_order_relaxed));
+
+  SKEWSEARCH_RETURN_NOT_OK(ApplyInsert(id, items, num_filters,
+                                       /*journal=*/true, /*replay=*/false,
+                                       nullptr));
   return id;
 }
 
+Result<bool> DynamicIndex::ReplayInsert(VectorId id,
+                                        std::span<const ItemId> items) {
+  if (!built()) return Status::InvalidArgument("index not built");
+  SKEWSEARCH_RETURN_NOT_OK(ValidateInsertItems(items));
+  if (id < base_n_) {
+    return Status::InvalidArgument(
+        "replayed insert id collides with the base dataset");
+  }
+  if (id == std::numeric_limits<VectorId>::max()) {
+    return Status::InvalidArgument("replayed insert id is the sentinel");
+  }
+  // Bump the allocator past the logged id so post-recovery Insert()
+  // traffic cannot reissue it.
+  VectorId cur = next_id_.load(std::memory_order_relaxed);
+  while (cur <= id && !next_id_.compare_exchange_weak(
+                          cur, id + 1, std::memory_order_relaxed)) {
+  }
+  bool applied = false;
+  SKEWSEARCH_RETURN_NOT_OK(ApplyInsert(id, items, nullptr,
+                                       /*journal=*/false, /*replay=*/true,
+                                       &applied));
+  return applied;
+}
+
+Result<bool> DynamicIndex::ReplayRemove(VectorId id) {
+  Status removed = RemoveImpl(id, /*journal=*/false);
+  if (removed.ok()) return true;
+  if (removed.code() == Status::Code::kNotFound) {
+    // Already gone in the restored snapshot (checkpoint raced the log
+    // append); replay is idempotent.
+    return false;
+  }
+  return removed;
+}
+
 Status DynamicIndex::Remove(VectorId id) {
+  return RemoveImpl(id, /*journal=*/true);
+}
+
+Status DynamicIndex::RemoveImpl(VectorId id, bool journal) {
   if (!built()) return Status::InvalidArgument("index not built");
   if (id >= next_id_.load(std::memory_order_relaxed)) {
     return Status::NotFound("no such vector id");
@@ -536,6 +609,15 @@ Status DynamicIndex::Remove(VectorId id) {
         static_cast<double>(next->dead_entries) >
             options_.compact_dead_fraction * static_cast<double>(total);
     collect = PublishLocked(&shard, std::move(next));
+    if (journal) {
+      // Same contract as the insert path: log before acknowledging,
+      // under the shard's writer mutex.
+      MutationJournal* sink = journal_.load(std::memory_order_acquire);
+      if (sink != nullptr) {
+        Status logged = sink->LogRemove(id);
+        if (!logged.ok()) return logged;
+      }
+    }
     if (wants_maintenance) {
       // Never compact in the remover's thread: hand the shard to the
       // maintenance component (if any) and return. Notified under the
@@ -548,6 +630,16 @@ Status DynamicIndex::Remove(VectorId id) {
   }
   if (collect) epochs_.Collect();
   return Status::OK();
+}
+
+void DynamicIndex::SetMutationJournal(MutationJournal* journal) {
+  journal_.store(journal, std::memory_order_seq_cst);
+  // Barrier, exactly as SetMaintenanceListener: journal calls run under
+  // a shard writer mutex, so sweeping every one guarantees no call into
+  // a *previous* journal is still in flight when this returns.
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->writer);
+  }
 }
 
 void DynamicIndex::SetMaintenanceListener(MaintenanceListener* listener) {

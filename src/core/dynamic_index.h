@@ -98,6 +98,30 @@ class MaintenanceListener {
   virtual void OnShardDirty(int shard) = 0;
 };
 
+/// \brief Hook making acknowledged mutations durable (the write-ahead
+/// log seam; see durability/wal.h for the production implementation).
+///
+/// When registered, Insert/Remove call LogInsert/LogRemove after
+/// applying the mutation but *before returning*, still under the
+/// owning shard's writer mutex — so a mutation is acknowledged only
+/// once the journal accepted it, per-shard journal order matches apply
+/// order, and SetMutationJournal() can act as a barrier exactly like
+/// SetMaintenanceListener(). A journal error fails the mutating call;
+/// the mutation may then be visible in memory but is not durable (it
+/// is an *unacknowledged* mutation: after a crash and recovery it is
+/// allowed to be absent). Implementations may block (an fsync is the
+/// point) but must never call back into the index.
+class MutationJournal {
+ public:
+  virtual ~MutationJournal() = default;
+
+  /// Mutation "insert \p id = \p items" was applied; make it durable.
+  virtual Status LogInsert(VectorId id, std::span<const ItemId> items) = 0;
+
+  /// Mutation "remove \p id" was applied; make it durable.
+  virtual Status LogRemove(VectorId id) = 0;
+};
+
 /// \brief Per-shard health counters (for maintenance policy and tests).
 struct ShardHealth {
   size_t live_entries = 0;   ///< posting entries referencing live ids
@@ -235,6 +259,31 @@ class DynamicIndex : public IndexView {
   /// every snapshot carries its own edition.
   Status RebuildForSize(size_t target_n);
 
+  /// \name Durability (write-ahead log seam; see durability/recovery.h)
+  /// @{
+
+  /// Registers (or clears, with nullptr) the mutation journal that
+  /// Insert/Remove hand every applied mutation to before returning.
+  /// Same barrier contract as SetMaintenanceListener: when this
+  /// returns, no call into a previously registered journal is still in
+  /// flight. Thread-safe (may briefly block on shard writers).
+  void SetMutationJournal(MutationJournal* journal);
+
+  /// Re-applies a logged insert during recovery: inserts \p items under
+  /// the *given* id (bumping the id allocator past it) instead of
+  /// allocating one, and skips ids the restored snapshot already knows
+  /// (live or tombstoned) — replay after an overlapping checkpoint is
+  /// idempotent. Returns true when the mutation was applied, false
+  /// when it was skipped. Never journals. Not for use while concurrent
+  /// Insert() traffic is allocating ids.
+  Result<bool> ReplayInsert(VectorId id, std::span<const ItemId> items);
+
+  /// Re-applies a logged remove during recovery; an id that is already
+  /// gone is a skip (false), not an error. Never journals.
+  Result<bool> ReplayRemove(VectorId id);
+
+  /// @}
+
   /// Registers (or clears, with nullptr) the maintenance listener that
   /// Remove() notifies when a shard crosses the dead-entry threshold.
   /// Acts as a barrier: when this returns, no callback to a previously
@@ -361,6 +410,20 @@ class DynamicIndex : public IndexView {
 
   Status RebuildShardLocked(int s, std::shared_ptr<const Edition> edition);
 
+  /// Items precondition shared by Insert and ReplayInsert.
+  Status ValidateInsertItems(std::span<const ItemId> items) const;
+
+  /// The locked apply of an insert under a fixed id. In replay mode an
+  /// id the shard already knows is a skip (*applied = false); otherwise
+  /// the insert is published and, when a journal is registered and
+  /// \p journal is true, logged before the shard lock is released.
+  Status ApplyInsert(VectorId id, std::span<const ItemId> items,
+                     size_t* num_filters, bool journal, bool replay,
+                     bool* applied);
+
+  /// Remove with the journal hand-off optional (replay must not log).
+  Status RemoveImpl(VectorId id, bool journal);
+
   const Dataset* data_ = nullptr;
   const ProductDistribution* dist_ = nullptr;
   DynamicIndexOptions options_;
@@ -382,6 +445,7 @@ class DynamicIndex : public IndexView {
 
   mutable EpochManager epochs_;
   std::atomic<MaintenanceListener*> listener_{nullptr};
+  std::atomic<MutationJournal*> journal_{nullptr};
   std::atomic<VectorId> next_id_{0};
   std::atomic<size_t> compactions_{0};
   std::atomic<size_t> rebuilds_{0};

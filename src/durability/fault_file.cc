@@ -1,0 +1,75 @@
+// Copyright 2026 The skewsearch Authors.
+
+#include "durability/fault_file.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace skewsearch {
+
+Status FaultFile::Append(const void* data, size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.size() + size > fail_after_) {
+    return Status::IOError("fault injection: append budget exhausted");
+  }
+  data_.append(static_cast<const char*>(data), size);
+  return Status::OK();
+}
+
+Status FaultFile::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  synced_size_ = data_.size();
+  ++num_syncs_;
+  return Status::OK();
+}
+
+void FaultFile::set_fail_after(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_after_ = bytes;
+}
+
+std::string FaultFile::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+uint64_t FaultFile::synced_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return synced_size_;
+}
+
+size_t FaultFile::num_syncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_syncs_;
+}
+
+std::string FaultFile::CrashImage(
+    uint64_t keep_bytes, uint64_t shorten_tail,
+    std::span<const Corruption> corruptions) const {
+  std::string image;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    image = data_.substr(0, std::min<uint64_t>(keep_bytes, data_.size()));
+  }
+  image.resize(image.size() - std::min<uint64_t>(shorten_tail, image.size()));
+  for (const Corruption& c : corruptions) {
+    if (c.offset < image.size()) {
+      image[c.offset] = static_cast<char>(image[c.offset] ^ c.xor_mask);
+    }
+  }
+  return image;
+}
+
+Status FaultFile::MaterializeCrash(
+    const std::string& path, uint64_t keep_bytes, uint64_t shorten_tail,
+    std::span<const Corruption> corruptions) const {
+  const std::string image = CrashImage(keep_bytes, shorten_tail, corruptions);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  out.close();
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace skewsearch

@@ -1,0 +1,87 @@
+// Copyright 2026 The skewsearch Authors.
+// FaultFile: the fault-injecting WalSink behind the crash-matrix tests.
+//
+// A real crash is nondeterministic twice over — the kernel loses an
+// arbitrary unsynced suffix, and a torn sector can shear a record
+// anywhere. FaultFile makes both deterministic: it captures every
+// appended byte in memory, records the high-water mark of the last
+// Sync(), and can then materialize any "post-crash disk image" on
+// demand — all synced bytes, any shorter prefix (a torn write), and
+// any set of single-byte corruptions (bit rot under the checksum).
+// Tests drive a WalWriter through it, pick a crash point, write the
+// image to a real file, and assert that recovery stops exactly at the
+// last intact record. It can also be armed to fail appends past a
+// byte budget, which exercises the writer's poisoning path (an
+// acknowledged-but-unloggable mutation must surface as an error, never
+// as a silent gap).
+
+#ifndef SKEWSEARCH_DURABILITY_FAULT_FILE_H_
+#define SKEWSEARCH_DURABILITY_FAULT_FILE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "durability/wal.h"
+
+namespace skewsearch {
+
+/// \brief In-memory WalSink that models crash-prone storage.
+///
+/// Thread-safe (a group-commit Sync may race an Append, as with a real
+/// fd).
+class FaultFile : public WalSink {
+ public:
+  /// One deliberate byte corruption in a materialized crash image.
+  struct Corruption {
+    uint64_t offset = 0;   ///< byte position in the image
+    uint8_t xor_mask = 0;  ///< XORed into the byte (0 would be a no-op)
+  };
+
+  FaultFile() = default;
+
+  /// Appends into the capture buffer; fails with IOError once the
+  /// armed byte budget (set_fail_after) is exhausted.
+  Status Append(const void* data, size_t size) override;
+
+  /// Marks everything appended so far as surviving a crash.
+  Status Sync() override;
+
+  /// Arms append failure: appends that would push the total past
+  /// \p bytes return IOError (and capture nothing).
+  void set_fail_after(uint64_t bytes);
+
+  /// Every byte accepted so far (what a crash-free close would leave).
+  std::string bytes() const;
+
+  /// Bytes covered by the last Sync() — the most a crash can keep.
+  uint64_t synced_size() const;
+
+  size_t num_syncs() const;
+
+  /// Builds a post-crash image: the first \p keep_bytes bytes (clamped
+  /// to what was appended), minus \p shorten_tail bytes off the end
+  /// (a torn write), with \p corruptions XORed in (out-of-range
+  /// offsets are ignored). Passing synced_size() as \p keep_bytes
+  /// models a kernel that lost every unsynced write.
+  std::string CrashImage(uint64_t keep_bytes, uint64_t shorten_tail = 0,
+                         std::span<const Corruption> corruptions = {}) const;
+
+  /// CrashImage() written to \p path (overwriting), ready for recovery
+  /// to open.
+  Status MaterializeCrash(const std::string& path, uint64_t keep_bytes,
+                          uint64_t shorten_tail = 0,
+                          std::span<const Corruption> corruptions = {}) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string data_;
+  uint64_t synced_size_ = 0;
+  size_t num_syncs_ = 0;
+  uint64_t fail_after_ = UINT64_MAX;
+};
+
+}  // namespace skewsearch
+
+#endif  // SKEWSEARCH_DURABILITY_FAULT_FILE_H_

@@ -58,6 +58,10 @@ void MaintenanceService::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
+void MaintenanceService::SetCheckpointDriver(CheckpointDriver* driver) {
+  checkpoint_driver_.store(driver, std::memory_order_seq_cst);
+}
+
 void MaintenanceService::OnShardDirty(int /*shard*/) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -139,6 +143,26 @@ Status MaintenanceService::RunOnce() {
       }
     }
   }
+  size_t checkpoints = 0;
+  if (status.ok()) {
+    static obs::Counter* const checkpoints_metric =
+        obs::MetricsRegistry::Global().GetCounter("maintenance.checkpoints");
+    static obs::Histogram* const checkpoint_span_metric =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "span.maintenance.checkpoint");
+    CheckpointDriver* driver =
+        checkpoint_driver_.load(std::memory_order_acquire);
+    if (driver != nullptr && driver->CheckpointDue()) {
+      Timer checkpoint_timer;
+      status = driver->Checkpoint();
+      if (status.ok()) {
+        ++checkpoints;
+        checkpoints_metric->Increment();
+        checkpoint_span_metric->Record(
+            static_cast<uint64_t>(checkpoint_timer.ElapsedNanos()));
+      }
+    }
+  }
   const size_t reclaimed = index->epochs().Collect();
   scans_metric->Increment();
   reclaimed_metric->Increment(reclaimed);
@@ -149,6 +173,7 @@ Status MaintenanceService::RunOnce() {
     stats_.compactions += compactions;
     stats_.rebuilds += rebuilds;
     stats_.reclaimed += reclaimed;
+    stats_.checkpoints += checkpoints;
     if (!status.ok()) last_error_ = status;
   }
   return status;

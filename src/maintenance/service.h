@@ -70,6 +70,27 @@ struct MaintenanceStats {
   size_t compactions = 0;  ///< shard compactions performed
   size_t rebuilds = 0;     ///< full drift rebuilds performed
   size_t reclaimed = 0;    ///< retired snapshots reclaimed by our collects
+  size_t checkpoints = 0;  ///< durability checkpoints completed
+};
+
+/// \brief Hook letting the maintenance thread drive durability
+/// checkpoints (snapshot + WAL truncate) on its own cadence.
+///
+/// The service stays storage-agnostic: each RunOnce pass asks the
+/// registered driver whether a checkpoint is due (log size/age policy
+/// lives in the driver, see durability/recovery.h) and runs it on the
+/// maintenance thread. Implementations must be safe against concurrent
+/// Insert/Remove/Query traffic — the DurableIndex driver is, via the
+/// index's pinned-snapshot Save path.
+class CheckpointDriver {
+ public:
+  virtual ~CheckpointDriver() = default;
+
+  /// True when the WAL's size or age warrants a checkpoint now.
+  virtual bool CheckpointDue() = 0;
+
+  /// Snapshots the index and truncates the log behind it.
+  virtual Status Checkpoint() = 0;
 };
 
 /// \brief Background compaction + drift-rebuild driver for one
@@ -101,9 +122,16 @@ class MaintenanceService : public MaintenanceListener {
   /// and manual RunOnce() remain usable.
   void Stop();
 
+  /// Registers (or clears, with nullptr) the checkpoint driver each
+  /// RunOnce pass consults. Register before Start() (or while the
+  /// thread is stopped); the driver must outlive the service or be
+  /// cleared first.
+  void SetCheckpointDriver(CheckpointDriver* driver);
+
   /// One maintenance pass: compacts every shard over the dead-ratio
-  /// threshold, performs a drift rebuild if warranted, and collects
-  /// retired snapshots. Callable with or without the thread running.
+  /// threshold, performs a drift rebuild if warranted, runs a due
+  /// durability checkpoint, and collects retired snapshots. Callable
+  /// with or without the thread running.
   Status RunOnce();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -122,6 +150,7 @@ class MaintenanceService : public MaintenanceListener {
 
   DynamicIndex* index_ = nullptr;
   MaintenanceOptions options_;
+  std::atomic<CheckpointDriver*> checkpoint_driver_{nullptr};
 
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -14,7 +14,9 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 namespace skewsearch {
 namespace test {
@@ -28,6 +30,33 @@ inline std::string TempPath(const std::string& stem, const void* self,
          std::to_string(::getpid()) + "_" +
          std::to_string(reinterpret_cast<uintptr_t>(self)) + suffix;
 }
+
+/// A collision-free temp *directory* (same uniqueness convention as
+/// TempPath, keyed on the helper's own address), created on
+/// construction and removed recursively — contents included — on
+/// destruction. For fixtures that need a directory of files (WAL +
+/// snapshot dirs) rather than a single path.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& stem)
+      : path_(TempPath(stem, this)) {
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// "<dir>/<name>" convenience join.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace test
 }  // namespace skewsearch
